@@ -1,0 +1,89 @@
+// Figure 1 (motivation): (a) normalized hourly cost of EC2 instances and
+// (b) Char-RNN training time at equal hourly spend on three deployments.
+#include "common.hpp"
+
+#include <cstdio>
+
+using namespace mlcd;
+
+namespace {
+
+void fig1a() {
+  bench::print_header(
+      "Fig. 1a — normalized hourly cost of EC2 instance types",
+      "cost of popular CPU/GPU instances normalized to c5.xlarge = 1; "
+      "p2.8xlarge = 42.5x",
+      "same normalization over the simulated catalog's on-demand prices");
+
+  const auto& cat = cloud::aws_catalog();
+  const double base = cat.at(*cat.find("c5.xlarge")).price_per_hour;
+
+  util::TablePrinter table({"instance", "$/h", "normalized"});
+  auto csv = bench::open_csv("fig01a_prices.csv",
+                             {"instance", "price_per_hour", "normalized"});
+  for (const char* name :
+       {"c5.large", "c5.xlarge", "c5.2xlarge", "c5.4xlarge", "c5n.xlarge",
+        "c5n.4xlarge", "c4.xlarge", "c4.4xlarge", "p2.xlarge", "p2.8xlarge",
+        "p3.2xlarge", "p3.8xlarge"}) {
+    const auto& spec = cat.at(*cat.find(name));
+    table.add_row({name, util::fmt_fixed(spec.price_per_hour, 3),
+                   util::fmt_speedup(spec.price_per_hour / base, 1)});
+    csv.add_row({name, util::fmt_fixed(spec.price_per_hour, 4),
+                 util::fmt_fixed(spec.price_per_hour / base, 3)});
+  }
+  table.print();
+  bench::print_note("paper anchor: p2.8xlarge / c5.xlarge = 42.5x; ours = " +
+                    util::fmt_speedup(
+                        cat.at(*cat.find("p2.8xlarge")).price_per_hour / base,
+                        1));
+}
+
+void fig1b() {
+  bench::print_header(
+      "Fig. 1b — Char-RNN training time at (near-)equal hourly spend",
+      "40 x c5.xlarge vs 10 x c5.4xlarge vs 9 x p2.xlarge; the balanced "
+      "CPU fleet wins by ~3x over the GPU option",
+      "identical three deployments on the simulated substrate "
+      "(9 x p2.xlarge is $8.10/h vs $6.80/h for the others — the paper "
+      "rounded the GPU fleet down to nine nodes)");
+
+  const auto& cat = cloud::aws_catalog();
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = bench::make_config("char_rnn");
+
+  util::TablePrinter table(
+      {"deployment", "$/h", "speed (samples/s)", "training time (h)"});
+  auto csv = bench::open_csv(
+      "fig01b_equal_cost.csv",
+      {"deployment", "hourly_price", "speed", "training_hours"});
+  double worst = 0.0, best = 1e300;
+  for (auto [name, n] : {std::pair<const char*, int>{"c5.xlarge", 40},
+                         {"c5.4xlarge", 10},
+                         {"p2.xlarge", 9}}) {
+    const cloud::Deployment d{*cat.find(name), n};
+    const double speed = perf.true_speed(config, d);
+    const double hours = config.model.samples_to_train / speed / 3600.0;
+    worst = std::max(worst, hours);
+    best = std::min(best, hours);
+    table.add_row({space.describe(d),
+                   util::fmt_fixed(space.hourly_price(d), 2),
+                   util::fmt_fixed(speed, 1), util::fmt_fixed(hours, 2)});
+    csv.add_row({space.describe(d),
+                 util::fmt_fixed(space.hourly_price(d), 3),
+                 util::fmt_fixed(speed, 2), util::fmt_fixed(hours, 3)});
+  }
+  table.print();
+  bench::print_note(
+      "paper: best deployment ~3x faster than worst; ours = " +
+      util::fmt_speedup(worst / best, 2) +
+      " (10 x c5.4xlarge wins, GPU fleet loses — same ordering)");
+}
+
+}  // namespace
+
+int main() {
+  fig1a();
+  fig1b();
+  return 0;
+}

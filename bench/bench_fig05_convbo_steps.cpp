@@ -1,0 +1,85 @@
+// Figure 5 (motivation): per-step cost-saving and speedup of conventional
+// BO deploying AlexNet on CIFAR-10 — most profiling steps bring no gain
+// (and some make the projected outcome worse), showing ConvBO misjudges
+// benefit vs exploration cost.
+//
+// Metric reproduction: after each probing step we project the total cost
+// (cumulative profiling + training at the incumbent) and the total time;
+// the figure plots the step-over-step change (positive = the step helped).
+#include "common.hpp"
+
+using namespace mlcd;
+
+int main() {
+  bench::print_header(
+      "Fig. 5 — per-step gain of conventional BO (AlexNet/CIFAR-10)",
+      "most ConvBO profiling steps bring no cost saving / speedup; "
+      "several make things worse",
+      "ConvBO on the paper's 25-type testbed space; step-over-step change "
+      "of projected total cost and total time");
+
+  const auto cat = bench::paper_testbed_catalog();
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = bench::make_config("alexnet");
+  const auto problem = bench::make_problem(config, space,
+                                           search::Scenario::fastest());
+  const search::SearchResult r = bench::run_method(perf, problem, "conv-bo");
+
+  util::TablePrinter table({"step", "probed", "cost saving ($)",
+                            "speedup (h)", "verdict"});
+  auto csv = bench::open_csv(
+      "fig05_convbo_steps.csv",
+      {"step", "deployment", "delta_cost", "delta_hours"});
+
+  double best_speed = 0.0;
+  double prev_total_cost = 0.0, prev_total_hours = 0.0;
+  bool have_prev = false;
+  int step = 0;
+  int helpful = 0, harmful = 0;
+  for (const search::ProbeStep& s : r.trace) {
+    ++step;
+    if (s.feasible) best_speed = std::max(best_speed, s.measured_speed);
+    if (best_speed <= 0.0) continue;
+    const double train_hours =
+        config.model.samples_to_train / best_speed / 3600.0;
+    // Projected totals if we stopped now and trained at the incumbent.
+    // (Training price uses the incumbent's deployment; find it.)
+    double best_price = 0.0;
+    for (const search::ProbeStep& t : r.trace) {
+      if (&t > &s) break;
+      if (t.feasible && t.measured_speed >= best_speed - 1e-12) {
+        best_price = space.hourly_price(t.deployment);
+      }
+    }
+    const double total_cost = s.cum_profile_cost + train_hours * best_price;
+    const double total_hours = s.cum_profile_hours + train_hours;
+    if (have_prev) {
+      const double dc = prev_total_cost - total_cost;   // + = saved money
+      const double dh = prev_total_hours - total_hours; // + = saved time
+      const char* verdict =
+          (dc > 0.01 || dh > 0.01) ? "gain"
+                                   : (dc < -0.01 || dh < -0.01 ? "WORSE"
+                                                               : "no gain");
+      if (dc > 0.01 || dh > 0.01) {
+        ++helpful;
+      } else {
+        ++harmful;
+      }
+      table.add_row({std::to_string(step), space.describe(s.deployment),
+                     util::fmt_fixed(dc, 2), util::fmt_fixed(dh, 2),
+                     verdict});
+      csv.add_row({std::to_string(step), space.describe(s.deployment),
+                   util::fmt_fixed(dc, 3), util::fmt_fixed(dh, 3)});
+    }
+    prev_total_cost = total_cost;
+    prev_total_hours = total_hours;
+    have_prev = true;
+  }
+  table.print();
+  bench::print_note(
+      "paper shape: most steps do not help. ours: " +
+      std::to_string(helpful) + " helpful vs " + std::to_string(harmful) +
+      " unhelpful/harmful steps");
+  return 0;
+}

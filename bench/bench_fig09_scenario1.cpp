@@ -1,0 +1,58 @@
+// Figure 9 (Scenario 1): fastest training with unlimited budget, ResNet
+// on CIFAR-10, scale-out search over c5.4xlarge. (a) HeterBO's search
+// trace; (b) total time vs ConvBO with profiling/training breakdown —
+// the paper reports HeterBO needing only 16% of ConvBO's profiling cost.
+#include "common.hpp"
+
+using namespace mlcd;
+
+int main() {
+  bench::print_header(
+      "Fig. 9 — Scenario 1 (fastest, unlimited budget)",
+      "ResNet/CIFAR-10, scale-out over c5.4xlarge; HeterBO finds the "
+      "optimum with ~16% of ConvBO's profiling cost",
+      "same single-type scale-out space (1..50 nodes) on the simulated "
+      "substrate, 3-seed means");
+
+  const auto cat = bench::subset_catalog({"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = bench::make_config("resnet");
+  const auto problem = bench::make_problem(config, space,
+                                           search::Scenario::fastest());
+
+  // (a) Search process.
+  std::printf("\n(a) HeterBO search process (seed 7):\n");
+  const search::SearchResult trace_run =
+      bench::run_method(perf, problem, "heterbo");
+  bench::print_trace(space, trace_run);
+
+  // (b) Total-time comparison.
+  std::printf("\n(b) totals (3-seed means):\n");
+  const auto hb = bench::run_method_mean(perf, problem, "heterbo");
+  const auto cb = bench::run_method_mean(perf, problem, "conv-bo");
+  const auto opt =
+      search::optimal_deployment(perf, config, space, problem.scenario);
+
+  auto table = bench::make_result_table();
+  bench::add_result_row(table, hb, problem.scenario);
+  bench::add_result_row(table, cb, problem.scenario);
+  if (opt) bench::add_result_row(table, *opt, problem.scenario);
+  table.print();
+
+  auto csv = bench::open_csv("fig09_scenario1.csv",
+                             {"method", "profile_hours", "profile_cost",
+                              "train_hours", "train_cost"});
+  for (const auto* r : {&hb, &cb}) {
+    csv.add_row({r->method, util::fmt_fixed(r->profile_hours, 3),
+                 util::fmt_fixed(r->profile_cost, 2),
+                 util::fmt_fixed(r->training_hours, 3),
+                 util::fmt_fixed(r->training_cost, 2)});
+  }
+
+  bench::print_note(
+      "paper: HeterBO profiling cost = 16% of ConvBO's; ours = " +
+      util::fmt_percent(hb.profile_cost / cb.profile_cost, 0) +
+      " with both near the oracle's deployment");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 13: HeterBO vs the analytical model Paleo (ConvBO for
+// reference), Inception-v3 on ImageNet, total budget $80. Paleo pays no
+// profiling but its model misses communication nuances at scale and
+// picks a sub-optimal deployment; HeterBO lands near-optimal under
+// budget.
+#include "common.hpp"
+
+using namespace mlcd;
+
+int main() {
+  bench::print_header(
+      "Fig. 13 — vs Paleo (Inception-v3/ImageNet, $80 budget)",
+      "Paleo profiles nothing but picks a sub-optimal cluster (its "
+      "analytic model misses topology nuances); HeterBO is near-optimal "
+      "and under budget; ConvBO overshoots",
+      "moderate-size slice of the testbed, up to 100 CPU / 50 GPU nodes "
+      "per §V-A (giant 8x-18x instances would trivialize the job; see "
+      "EXPERIMENTS.md), 3-seed means");
+
+  const auto cat = bench::subset_catalog(
+      {"c5.xlarge", "c5.2xlarge", "c5.4xlarge", "c5n.xlarge",
+       "c5n.2xlarge", "c5n.4xlarge", "c4.xlarge", "c4.4xlarge",
+       "p2.xlarge", "p3.2xlarge"});
+  // §V-A: up to 100 CPU instances, 50 GPU instances.
+  std::vector<int> limits;
+  for (const auto& spec : cat.all()) {
+    limits.push_back(spec.is_gpu_instance() ? 50 : 100);
+  }
+  const cloud::DeploymentSpace space(cat, limits);
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = bench::make_config("inception_v3");
+  const auto scenario = search::Scenario::fastest_under_budget(80.0);
+  const auto problem = bench::make_problem(config, space, scenario);
+
+  const auto cb = bench::run_method_mean(perf, problem, "conv-bo");
+  const auto paleo = bench::run_method(perf, problem, "paleo");
+  const auto hb = bench::run_method_mean(perf, problem, "heterbo");
+  const auto opt =
+      search::optimal_deployment(perf, config, space, scenario);
+
+  auto table = bench::make_result_table();
+  bench::add_result_row(table, cb, scenario);
+  bench::add_result_row(table, paleo, scenario);
+  bench::add_result_row(table, hb, scenario);
+  if (opt) bench::add_result_row(table, *opt, scenario);
+  table.print();
+
+  auto csv = bench::open_csv("fig13_vs_paleo.csv",
+                             {"method", "total_cost", "total_hours",
+                              "budget_met"});
+  for (const auto* r : {&cb, &paleo, &hb}) {
+    csv.add_row({r->method, util::fmt_fixed(r->total_cost(), 2),
+                 util::fmt_fixed(r->total_hours(), 3),
+                 r->meets_constraints(scenario) ? "yes" : "no"});
+  }
+
+  std::string paleo_gap = "n/a";
+  if (opt && paleo.found) {
+    paleo_gap = util::fmt_percent(
+        1.0 - opt->training_hours / paleo.training_hours, 0);
+  }
+  bench::print_note(
+      "paper shape: Paleo has zero profiling cost yet trains slower than "
+      "the oracle; HeterBO almost optimal while under budget. ours: "
+      "Paleo's pick trains " +
+      paleo_gap + " slower than optimal; HeterBO " +
+      (hb.meets_constraints(scenario) ? "under budget" : "VIOLATED"));
+  return 0;
+}

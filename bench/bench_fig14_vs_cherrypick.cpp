@@ -1,0 +1,94 @@
+// Figure 14: HeterBO vs CherryPick (ConvBO for reference) under a
+// total-time limit, Char-RNN on TensorFlow. CherryPick is favored with
+// an experience-trimmed space, yet still overruns the limit because it
+// ignores heterogeneous profiling cost and constraints.
+//
+// The paper's limit is 20 h for its AWS-scale job; our simulated job is
+// smaller, so the limit sits at the same *relative* position (a few
+// hours above the cheapest compliant training run): 16 h.
+#include "common.hpp"
+
+#include <memory>
+
+#include "search/cherrypick.hpp"
+#include "search/conv_bo.hpp"
+#include "search/heter_bo.hpp"
+
+using namespace mlcd;
+
+int main() {
+  bench::print_header(
+      "Fig. 14 — vs CherryPick (Char-RNN, 16 h total-time limit)",
+      "CherryPick (favored: worse-performing types excluded) still "
+      "overruns the limit; HeterBO complies with low profiling cost",
+      "moderate-size slice of the testbed; CherryPick trimmed to the "
+      "c5/c5n families; violations tallied over 5 seeds");
+
+  const auto cat = bench::subset_catalog(
+      {"c5.xlarge", "c5.2xlarge", "c5.4xlarge", "c5n.xlarge",
+       "c5n.2xlarge", "c5n.4xlarge", "c4.xlarge", "c4.4xlarge",
+       "p2.xlarge", "p3.2xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = bench::make_config("char_rnn");
+  const auto scenario = search::Scenario::cheapest_under_deadline(16.0);
+  auto problem = bench::make_problem(config, space, scenario);
+
+  // Constraint compliance is the figure's point and it is a per-run
+  // property, so each method runs per seed and violations are tallied
+  // (the table shows seed 1's run).
+  constexpr int kSeeds = 5;
+  auto tally = [&](auto&& make) {
+    std::pair<search::SearchResult, int> out{{}, 0};
+    for (int s = 1; s <= kSeeds; ++s) {
+      problem.seed = static_cast<std::uint64_t>(s);
+      const search::SearchResult r = make()->run(problem);
+      if (s == 1) out.first = r;
+      if (!r.found || !r.meets_constraints(scenario)) ++out.second;
+    }
+    return out;
+  };
+
+  const auto [cb, cb_viol] = tally(
+      [&] { return std::make_unique<search::ConvBoSearcher>(perf); });
+  const auto [cp, cp_viol] = tally([&] {
+    search::CherryPickOptions options;
+    options.allowed_families = {"c5", "c5n"};
+    return std::make_unique<search::CherryPickSearcher>(perf, options);
+  });
+  const auto [hb, hb_viol] = tally(
+      [&] { return std::make_unique<search::HeterBoSearcher>(perf); });
+  const auto opt =
+      search::optimal_deployment(perf, config, space, scenario);
+
+  std::printf("\n(seed-1 runs; violations tallied over %d seeds):\n",
+              kSeeds);
+  auto table = bench::make_result_table();
+  bench::add_result_row(table, cb, scenario);
+  bench::add_result_row(table, cp, scenario);
+  bench::add_result_row(table, hb, scenario);
+  if (opt) bench::add_result_row(table, *opt, scenario);
+  table.print();
+
+  auto csv = bench::open_csv("fig14_vs_cherrypick.csv",
+                             {"method", "total_cost", "total_hours",
+                              "violations", "seeds"});
+  csv.add_row({cb.method, util::fmt_fixed(cb.total_cost(), 2),
+               util::fmt_fixed(cb.total_hours(), 3),
+               std::to_string(cb_viol), std::to_string(kSeeds)});
+  csv.add_row({cp.method, util::fmt_fixed(cp.total_cost(), 2),
+               util::fmt_fixed(cp.total_hours(), 3),
+               std::to_string(cp_viol), std::to_string(kSeeds)});
+  csv.add_row({hb.method, util::fmt_fixed(hb.total_cost(), 2),
+               util::fmt_fixed(hb.total_hours(), 3),
+               std::to_string(hb_viol), std::to_string(kSeeds)});
+
+  bench::print_note(
+      "paper shape (20 h limit there, 16 h at our job scale): CherryPick "
+      "overruns despite the favorable trim; HeterBO always meets the "
+      "limit. ours over " + std::to_string(kSeeds) +
+      " seeds — violations: conv-bo " + std::to_string(cb_viol) +
+      ", cherrypick " + std::to_string(cp_viol) + ", heterbo " +
+      std::to_string(hb_viol));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 17: same trajectory study as Fig. 16 but with MXNet as the
+// training platform (budget $120) — HeterBO is platform-independent.
+#include "common.hpp"
+
+using namespace mlcd;
+
+int main() {
+  bench::print_header(
+      "Fig. 17 — HeterBO trajectory, BERT/MXNet (budget $120)",
+      "same explore/exploit pattern as the TensorFlow run, confirming "
+      "platform independence",
+      "c5n.xlarge / c5n.4xlarge / p2.xlarge x 1..20 nodes, MXNet ring "
+      "all-reduce, seed 7");
+
+  const auto cat =
+      bench::subset_catalog({"c5n.xlarge", "c5n.4xlarge", "p2.xlarge"});
+  const cloud::DeploymentSpace space(cat, 20);
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = bench::make_config("bert", "mxnet",
+                                         perf::CommTopology::kRingAllReduce);
+  const auto scenario = search::Scenario::fastest_under_budget(120.0);
+  const auto problem = bench::make_problem(config, space, scenario);
+
+  const search::SearchResult r = bench::run_method(perf, problem, "heterbo");
+  bench::print_trace(space, r);
+
+  auto csv = bench::open_csv(
+      "fig17_trace.csv", {"step", "type", "nodes", "speed", "reason"});
+  int step = 1;
+  for (const search::ProbeStep& s : r.trace) {
+    csv.add_row({std::to_string(step++),
+                 cat.at(s.deployment.type_index).name,
+                 std::to_string(s.deployment.nodes),
+                 util::fmt_fixed(s.measured_speed, 2), s.reason});
+  }
+
+  std::printf("\nfinal pick: %s — total %s / %s (%s)\n",
+              r.best_description.c_str(),
+              util::fmt_hours(r.total_hours()).c_str(),
+              util::fmt_dollars(r.total_cost()).c_str(),
+              r.meets_constraints(scenario) ? "budget met"
+                                            : "BUDGET VIOLATED");
+  bench::print_note(
+      "paper shape: trajectory structure matches the TensorFlow run "
+      "(Fig. 16) with MXNet-specific speeds — platform independence");
+  return 0;
+}

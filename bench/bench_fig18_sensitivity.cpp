@@ -1,0 +1,111 @@
+// Figure 18: sensitivity to the budget constraint — total cost and total
+// time vs budget in {100, 140, 180, 220} for ConvBO, budget-aware ConvBO
+// (BO_imprd), CherryPick, budget-aware CherryPick (CP_imprd), HeterBO and
+// the oracle. The paper reports HeterBO up to 3.1x faster than ConvBO and
+// 2.34x than CherryPick while never violating the budget.
+#include "common.hpp"
+
+#include "search/cherrypick.hpp"
+
+using namespace mlcd;
+
+namespace {
+
+// The paper favors CherryPick in this experiment by narrowing it to the
+// known-good instance type (c5n.4xlarge); build variants accordingly.
+search::SearchResult run_cherrypick(const perf::TrainingPerfModel& perf,
+                                    search::SearchProblem problem,
+                                    bool budget_aware, int seeds = 3) {
+  search::CherryPickOptions options;
+  options.allowed_families = {"c5n"};
+  options.budget_aware = budget_aware;
+  search::SearchResult mean;
+  double ph = 0, pc = 0, th = 0, tc = 0;
+  int found = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    problem.seed = static_cast<std::uint64_t>(s);
+    const auto r = search::CherryPickSearcher(perf, options).run(problem);
+    if (s == 1) mean = r;
+    if (!r.found) continue;
+    ++found;
+    ph += r.profile_hours;
+    pc += r.profile_cost;
+    th += r.training_hours;
+    tc += r.training_cost;
+  }
+  if (found) {
+    mean.profile_hours = ph / found;
+    mean.profile_cost = pc / found;
+    mean.training_hours = th / found;
+    mean.training_cost = tc / found;
+  }
+  return mean;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 18 — budget sensitivity (ResNet/CIFAR-10)",
+      "total cost & time vs budget for ConvBO, BO_imprd, CherryPick, "
+      "CP_imprd, HeterBO and Opt; headline: HeterBO up to 3.1x faster "
+      "than ConvBO and 2.34x than CherryPick, never over budget",
+      "moderate-size slice of the testbed (the paper's §V-D narrows the "
+      "search similarly; the giant 18x/16x instances would trivialize "
+      "this CIFAR-scale job); CherryPick favored with a c5n-only trim; "
+      "3-seed means");
+
+  const auto cat = bench::subset_catalog(
+      {"c5.xlarge", "c5.2xlarge", "c5.4xlarge", "c5n.xlarge",
+       "c5n.2xlarge", "c5n.4xlarge", "c4.xlarge", "c4.4xlarge",
+       "p2.xlarge", "p3.2xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = bench::make_config("resnet");
+
+  auto csv = bench::open_csv(
+      "fig18_sensitivity.csv",
+      {"budget", "method", "total_cost", "total_hours", "budget_met"});
+
+  double worst_speedup_cb = 0.0, worst_speedup_cp = 0.0;
+  for (double budget : {100.0, 140.0, 180.0, 220.0}) {
+    const auto scenario = search::Scenario::fastest_under_budget(budget);
+    const auto problem = bench::make_problem(config, space, scenario);
+
+    const auto cb = bench::run_method_mean(perf, problem, "conv-bo");
+    const auto cbi = bench::run_method_mean(perf, problem, "bo-improved");
+    const auto cp = run_cherrypick(perf, problem, false);
+    const auto cpi = run_cherrypick(perf, problem, true);
+    const auto hb = bench::run_method_mean(perf, problem, "heterbo");
+    const auto opt =
+        search::optimal_deployment(perf, config, space, scenario);
+
+    std::printf("\n--- budget %s\n", util::fmt_dollars(budget, 0).c_str());
+    auto table = bench::make_result_table();
+    bench::add_result_row(table, cb, scenario);
+    bench::add_result_row(table, cbi, scenario);
+    bench::add_result_row(table, cp, scenario);
+    bench::add_result_row(table, cpi, scenario);
+    bench::add_result_row(table, hb, scenario);
+    if (opt) bench::add_result_row(table, *opt, scenario);
+    table.print();
+
+    for (const auto* r : {&cb, &cbi, &cp, &cpi, &hb}) {
+      csv.add_row({util::fmt_fixed(budget, 0), r->method,
+                   util::fmt_fixed(r->total_cost(), 2),
+                   util::fmt_fixed(r->total_hours(), 3),
+                   r->meets_constraints(scenario) ? "yes" : "no"});
+    }
+    worst_speedup_cb =
+        std::max(worst_speedup_cb, cb.total_hours() / hb.total_hours());
+    worst_speedup_cp =
+        std::max(worst_speedup_cp, cp.total_hours() / hb.total_hours());
+  }
+
+  bench::print_note(
+      "paper: up to 3.1x over ConvBO, 2.34x over CherryPick in total "
+      "time; ours: up to " +
+      util::fmt_speedup(worst_speedup_cb, 2) + " over ConvBO, " +
+      util::fmt_speedup(worst_speedup_cp, 2) + " over CherryPick");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Microbenchmarks: GP fit and predict — the per-iteration cost of every
+// BO searcher, as a function of how many probes have been collected.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+#include "gp/gp_regressor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mlcd;
+
+void make_data(std::size_t n, linalg::Matrix& x, linalg::Vector& y) {
+  util::Rng rng(7);
+  x = linalg::Matrix(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+    y[i] = std::sin(6.0 * x(i, 0)) + x(i, 1) + 0.01 * rng.normal();
+  }
+}
+
+void BM_GpFitFixedHyper(benchmark::State& state) {
+  linalg::Matrix x;
+  linalg::Vector y;
+  make_data(state.range(0), x, y);
+  gp::GpOptions options;
+  options.optimize_hyperparameters = false;
+  for (auto _ : state) {
+    gp::GpRegressor gp(std::make_unique<gp::Matern52Kernel>(2), options);
+    gp.fit(x, y);
+    benchmark::DoNotOptimize(gp);
+  }
+}
+BENCHMARK(BM_GpFitFixedHyper)->Range(8, 64);
+
+void BM_GpFitWithMle(benchmark::State& state) {
+  linalg::Matrix x;
+  linalg::Vector y;
+  make_data(state.range(0), x, y);
+  gp::GpOptions options;
+  options.optimizer_restarts = 2;
+  for (auto _ : state) {
+    gp::GpRegressor gp(std::make_unique<gp::Matern52Kernel>(2), options);
+    gp.fit(x, y);
+    benchmark::DoNotOptimize(gp);
+  }
+}
+BENCHMARK(BM_GpFitWithMle)->Range(8, 32);
+
+void BM_GpPredict(benchmark::State& state) {
+  linalg::Matrix x;
+  linalg::Vector y;
+  make_data(state.range(0), x, y);
+  gp::GpOptions options;
+  options.optimize_hyperparameters = false;
+  gp::GpRegressor gp(std::make_unique<gp::Matern52Kernel>(2), options);
+  gp.fit(x, y);
+  const std::vector<double> q{0.3, 0.7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.predict(q));
+  }
+}
+BENCHMARK(BM_GpPredict)->Range(8, 64);
+
+void BM_GpIncrementalAdd(benchmark::State& state) {
+  // Cost of growing a fixed-hyperparameter GP by one observation
+  // (O(n^2) bordered-Cholesky path) at size n.
+  const std::size_t n = state.range(0);
+  linalg::Matrix x;
+  linalg::Vector y;
+  make_data(n, x, y);
+  gp::GpOptions options;
+  options.optimize_hyperparameters = false;
+  options.normalize_targets = false;
+  util::Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    gp::GpRegressor gp(std::make_unique<gp::Matern52Kernel>(2), options);
+    gp.fit(x, y);
+    const std::vector<double> nx{rng.uniform(), rng.uniform()};
+    state.ResumeTiming();
+    gp.add_observation(nx, 0.5);
+    benchmark::DoNotOptimize(gp);
+  }
+}
+BENCHMARK(BM_GpIncrementalAdd)->Range(8, 64);
+
+}  // namespace

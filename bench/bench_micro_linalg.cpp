@@ -1,0 +1,56 @@
+// Microbenchmarks: dense linear algebra (the GP's inner loops).
+#include <benchmark/benchmark.h>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mlcd;
+
+linalg::Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+  }
+  linalg::Matrix spd = a * a.transposed();
+  spd.add_to_diagonal(0.5);
+  return spd;
+}
+
+void BM_CholeskyFactorize(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const linalg::Matrix a = random_spd(n, 1);
+  for (auto _ : state) {
+    linalg::CholeskyFactor f(a);
+    benchmark::DoNotOptimize(f.lower());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CholeskyFactorize)->Range(8, 128)->Complexity();
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const linalg::CholeskyFactor f(random_spd(n, 2));
+  util::Rng rng(3);
+  linalg::Vector b(n);
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.solve(b));
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Range(8, 128);
+
+void BM_MatMul(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const linalg::Matrix a = random_spd(n, 4);
+  const linalg::Matrix b = random_spd(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_MatMul)->Range(8, 128);
+
+}  // namespace

@@ -1,0 +1,53 @@
+// Microbenchmarks: the performance substrate — cost of evaluating one
+// deployment's speed and of sweeping the whole 3,100-point space (what
+// the oracle and Paleo do).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace mlcd;
+
+void BM_TrueSpeedSingle(benchmark::State& state) {
+  const auto& cat = cloud::aws_catalog();
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = bench::make_config("resnet");
+  const cloud::Deployment d{*cat.find("c5.4xlarge"), 20};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perf.true_speed(config, d));
+  }
+}
+BENCHMARK(BM_TrueSpeedSingle);
+
+void BM_FullSpaceSweep(benchmark::State& state) {
+  const auto& cat = cloud::aws_catalog();
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = bench::make_config("resnet");
+  const auto all = space.enumerate();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const cloud::Deployment& d : all) {
+      sum += perf.true_speed(config, d);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(all.size()));
+}
+BENCHMARK(BM_FullSpaceSweep);
+
+void BM_OracleSearch(benchmark::State& state) {
+  const auto& cat = cloud::aws_catalog();
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = bench::make_config("resnet");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search::optimal_deployment(
+        perf, config, space, search::Scenario::fastest()));
+  }
+}
+BENCHMARK(BM_OracleSearch);
+
+}  // namespace

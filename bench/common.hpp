@@ -1,0 +1,89 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary regenerates one figure of the paper's evaluation:
+// it builds the same workload/space/scenario, runs the same methods, and
+// prints the rows/series the figure reports, next to the paper's own
+// numbers where the paper states them. Raw series are also dumped as CSV
+// under ./bench_out/ for re-plotting.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/deployment.hpp"
+#include "cloud/instance.hpp"
+#include "models/model_zoo.hpp"
+#include "perf/perf_model.hpp"
+#include "search/exhaustive.hpp"  // optimal_deployment(), used by benches
+#include "search/scenario.hpp"
+#include "search/search_result.hpp"
+#include "search/searcher.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace mlcd::bench {
+
+/// Prints the bench banner: figure id, what the paper showed, what we run.
+void print_header(const std::string& figure, const std::string& paper_setup,
+                  const std::string& repro_setup);
+
+/// Prints a "paper reported vs ours" closing note.
+void print_note(const std::string& note);
+
+/// Directory for CSV dumps (created on demand).
+std::string bench_out_dir();
+
+/// Opens a CSV in bench_out_dir().
+util::CsvWriter open_csv(const std::string& name,
+                         std::vector<std::string> header);
+
+/// The paper's §V-A testbed: every c4, c5, c5n, p2 and p3 instance type
+/// (25 scale-up options).
+cloud::InstanceCatalog paper_testbed_catalog();
+
+/// Named subset of the full 62-type catalog.
+cloud::InstanceCatalog subset_catalog(const std::vector<std::string>& names);
+
+/// Training configuration for a zoo model on a platform/topology.
+perf::TrainingConfig make_config(
+    const std::string& model, const std::string& platform = "tensorflow",
+    std::optional<perf::CommTopology> topology = std::nullopt);
+
+/// A ready-to-run search problem.
+search::SearchProblem make_problem(const perf::TrainingConfig& config,
+                                   const cloud::DeploymentSpace& space,
+                                   const search::Scenario& scenario,
+                                   std::uint64_t seed = 7);
+
+/// Builds a searcher by method name against a substrate (same registry
+/// as the MLCD deployment engine).
+std::unique_ptr<search::Searcher> make_searcher(
+    const perf::TrainingPerfModel& perf, const std::string& method);
+
+/// Runs `method` and returns its result.
+search::SearchResult run_method(const perf::TrainingPerfModel& perf,
+                                const search::SearchProblem& problem,
+                                const std::string& method);
+
+/// Result averaged over seeds (means of the cost/time fields; the trace
+/// and best deployment come from the first seed).
+search::SearchResult run_method_mean(const perf::TrainingPerfModel& perf,
+                                     search::SearchProblem problem,
+                                     const std::string& method,
+                                     int seeds = 3);
+
+/// Adds a "method | profile h/$ | train h/$ | total h/$ | constraints"
+/// row to a table.
+void add_result_row(util::TablePrinter& table, const search::SearchResult& r,
+                    const search::Scenario& scenario);
+
+/// Header matching add_result_row.
+util::TablePrinter make_result_table();
+
+/// Prints a search trace as the trajectory figures show it.
+void print_trace(const cloud::DeploymentSpace& space,
+                 const search::SearchResult& r);
+
+}  // namespace mlcd::bench

@@ -1,0 +1,40 @@
+// Scenario 2 walkthrough: train as cheaply as possible before a deadline.
+//
+// A practitioner has a nightly window: the model must be ready in 8
+// hours, and every dollar saved matters. This example runs MLCD's
+// deadline-aware search and then shows what a constraint-oblivious
+// baseline (conventional BO) would have done with the same job — the
+// comparison behind the paper's Fig. 10.
+#include <cstdio>
+
+#include "mlcd/mlcd.hpp"
+
+int main() {
+  using namespace mlcd;
+  const system::Mlcd mlcd;
+
+  system::JobRequest job;
+  job.model = "resnet";
+  job.platform = "tensorflow";
+  job.requirements.deadline_hours = 8.0;
+  job.instance_types = {"c5.4xlarge"};
+  job.seed = 11;
+
+  std::printf("--- HeterBO (deadline-aware)\n");
+  const system::RunReport heterbo = mlcd.deploy(job);
+  std::fputs(heterbo.render().c_str(), stdout);
+
+  std::printf("\n--- conventional BO (deadline-oblivious baseline)\n");
+  job.search_method = "conv-bo";
+  const system::RunReport convbo = mlcd.deploy(job);
+  std::fputs(convbo.render().c_str(), stdout);
+
+  const bool hb_ok = heterbo.result.meets_constraints(heterbo.scenario);
+  const bool cb_ok = convbo.result.meets_constraints(convbo.scenario);
+  std::printf(
+      "\nHeterBO %s the 8 h window; conventional BO %s it%s.\n",
+      hb_ok ? "meets" : "misses", cb_ok ? "also meets" : "misses",
+      cb_ok ? "" : " — exactly the over-exploration failure the paper "
+                   "describes");
+  return hb_ok ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+#include "bo/normalizer.hpp"
+
+#include <stdexcept>
+
+namespace mlcd::bo {
+
+InputNormalizer::InputNormalizer(std::vector<double> lo,
+                                 std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  if (lo_.empty() || lo_.size() != hi_.size()) {
+    throw std::invalid_argument("InputNormalizer: bad bounds");
+  }
+  for (std::size_t i = 0; i < lo_.size(); ++i) {
+    if (lo_[i] > hi_[i]) {
+      throw std::invalid_argument("InputNormalizer: lo > hi");
+    }
+  }
+}
+
+std::vector<double> InputNormalizer::normalize(
+    std::span<const double> raw) const {
+  if (raw.size() != lo_.size()) {
+    throw std::invalid_argument("InputNormalizer::normalize: dim mismatch");
+  }
+  std::vector<double> unit(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const double range = hi_[i] - lo_[i];
+    unit[i] = range > 0.0 ? (raw[i] - lo_[i]) / range : 0.5;
+  }
+  return unit;
+}
+
+std::vector<double> InputNormalizer::denormalize(
+    std::span<const double> unit) const {
+  if (unit.size() != lo_.size()) {
+    throw std::invalid_argument(
+        "InputNormalizer::denormalize: dim mismatch");
+  }
+  std::vector<double> raw(unit.size());
+  for (std::size_t i = 0; i < unit.size(); ++i) {
+    raw[i] = lo_[i] + unit[i] * (hi_[i] - lo_[i]);
+  }
+  return raw;
+}
+
+}  // namespace mlcd::bo

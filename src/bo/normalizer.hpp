@@ -1,0 +1,32 @@
+// Min-max input normalization to [0, 1]^d.
+//
+// GP lengthscales are shared across candidates, so searchers map raw
+// deployment coordinates (instance-type index in [0, 61], node count in
+// [1, 50]) into the unit box before fitting. Degenerate dimensions
+// (lo == hi) map to 0.5 so a single-type search space stays well-posed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mlcd::bo {
+
+class InputNormalizer {
+ public:
+  /// Bounds per dimension; lo[i] <= hi[i] required.
+  InputNormalizer(std::vector<double> lo, std::vector<double> hi);
+
+  std::size_t dim() const noexcept { return lo_.size(); }
+
+  /// Maps raw coordinates into [0, 1]^d.
+  std::vector<double> normalize(std::span<const double> raw) const;
+
+  /// Inverse map from [0, 1]^d back to raw coordinates.
+  std::vector<double> denormalize(std::span<const double> unit) const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace mlcd::bo

@@ -1,0 +1,75 @@
+#include "bo/observation_store.hpp"
+
+#include <cmath>
+
+namespace mlcd::bo {
+
+ObservationStore::ObservationStore(std::size_t dim) : dim_(dim) {
+  if (dim == 0) {
+    throw std::invalid_argument("ObservationStore: dim must be > 0");
+  }
+}
+
+void ObservationStore::add(std::vector<double> x, double y) {
+  if (x.size() != dim_) {
+    throw std::invalid_argument("ObservationStore::add: dimension mismatch");
+  }
+  if (!std::isfinite(y)) {
+    throw std::invalid_argument("ObservationStore::add: non-finite target");
+  }
+  observations_.push_back(Observation{std::move(x), y});
+  if (observations_.size() == 1 ||
+      y > observations_[best_index_].y) {
+    best_index_ = observations_.size() - 1;
+  }
+}
+
+double ObservationStore::best_value() const {
+  if (empty()) throw std::logic_error("ObservationStore: empty");
+  return observations_[best_index_].y;
+}
+
+std::span<const double> ObservationStore::best_input() const {
+  if (empty()) throw std::logic_error("ObservationStore: empty");
+  return observations_[best_index_].x;
+}
+
+std::size_t ObservationStore::best_index() const {
+  if (empty()) throw std::logic_error("ObservationStore: empty");
+  return best_index_;
+}
+
+bool ObservationStore::contains(std::span<const double> x) const {
+  for (const Observation& o : observations_) {
+    if (o.x.size() != x.size()) continue;
+    bool equal = true;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (o.x[i] != x[i]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return true;
+  }
+  return false;
+}
+
+linalg::Matrix ObservationStore::design_matrix() const {
+  linalg::Matrix x(observations_.size(), dim_);
+  for (std::size_t i = 0; i < observations_.size(); ++i) {
+    for (std::size_t d = 0; d < dim_; ++d) {
+      x(i, d) = observations_[i].x[d];
+    }
+  }
+  return x;
+}
+
+linalg::Vector ObservationStore::targets() const {
+  linalg::Vector y(observations_.size());
+  for (std::size_t i = 0; i < observations_.size(); ++i) {
+    y[i] = observations_[i].y;
+  }
+  return y;
+}
+
+}  // namespace mlcd::bo

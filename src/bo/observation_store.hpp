@@ -1,0 +1,67 @@
+// Observation bookkeeping shared by all BO searchers: the (x, y) history,
+// the incumbent, and conversion to the design matrix / target vector the
+// GP consumes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mlcd::bo {
+
+/// One profiled point: input coordinates and the observed objective.
+struct Observation {
+  std::vector<double> x;
+  double y = 0.0;
+};
+
+/// Append-only store of observations with incumbent tracking
+/// (maximization convention).
+class ObservationStore {
+ public:
+  /// `dim` is the input dimensionality all observations must share.
+  explicit ObservationStore(std::size_t dim);
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t size() const noexcept { return observations_.size(); }
+  bool empty() const noexcept { return observations_.empty(); }
+
+  /// Adds an observation; throws std::invalid_argument on dimension
+  /// mismatch or non-finite y.
+  void add(std::vector<double> x, double y);
+
+  const Observation& operator[](std::size_t i) const {
+    return observations_[i];
+  }
+  const std::vector<Observation>& all() const noexcept {
+    return observations_;
+  }
+
+  /// Largest observed y; throws std::logic_error when empty.
+  double best_value() const;
+
+  /// Input of the incumbent; throws std::logic_error when empty.
+  std::span<const double> best_input() const;
+
+  /// Index of the incumbent; throws std::logic_error when empty.
+  std::size_t best_index() const;
+
+  /// True when some observation's input equals `x` exactly.
+  bool contains(std::span<const double> x) const;
+
+  /// Design matrix (n x dim) of all inputs.
+  linalg::Matrix design_matrix() const;
+
+  /// Targets vector (n).
+  linalg::Vector targets() const;
+
+ private:
+  std::size_t dim_;
+  std::vector<Observation> observations_;
+  std::size_t best_index_ = 0;
+};
+
+}  // namespace mlcd::bo

@@ -1,0 +1,141 @@
+#include "cli/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mlcd::cli {
+
+Args Args::parse(int argc, const char* const* argv,
+                 const std::vector<std::string>& flags) {
+  Args args;
+  auto is_flag = [&](const std::string& name) {
+    return std::find(flags.begin(), flags.end(), name) != flags.end();
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      args.positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("Args: bare '--' is not an option");
+    }
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      args.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    if (is_flag(body)) {
+      args.values_[body] = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("Args: option --" + body +
+                                  " expects a value");
+    }
+    args.values_[body] = argv[++i];
+  }
+  return args;
+}
+
+bool Args::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> Args::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& name,
+                         const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::vector<std::string> Args::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+double parse_positive_number(const std::string& digits,
+                             const std::string& what) {
+  char* end = nullptr;
+  const double value = std::strtod(digits.c_str(), &end);
+  if (end != digits.c_str() + digits.size() || !(value > 0.0)) {
+    throw std::invalid_argument(what + ": cannot parse '" + digits + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+double parse_duration_hours(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("parse_duration_hours: empty");
+  }
+  double scale = 1.0;
+  std::string digits = text;
+  switch (text.back()) {
+    case 'h':
+    case 'H':
+      digits.pop_back();
+      break;
+    case 'm':
+    case 'M':
+      scale = 1.0 / 60.0;
+      digits.pop_back();
+      break;
+    case 's':
+    case 'S':
+      scale = 1.0 / 3600.0;
+      digits.pop_back();
+      break;
+    default:
+      break;
+  }
+  return parse_positive_number(digits, "duration") * scale;
+}
+
+double parse_money(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("parse_money: empty");
+  }
+  std::string digits = text;
+  if (digits.front() == '$') digits.erase(digits.begin());
+  return parse_positive_number(digits, "money");
+}
+
+std::vector<std::string> parse_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int parse_positive_int(const std::string& text) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || value < 1) {
+    throw std::invalid_argument("parse_positive_int: cannot parse '" +
+                                text + "'");
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace mlcd::cli

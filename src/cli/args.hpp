@@ -1,0 +1,61 @@
+// Command-line argument handling for the mlcd tool.
+//
+// Deliberately dependency-free: a small GNU-style parser
+// (--key=value / --key value / --flag) plus the human-friendly value
+// parsers the tool needs ("6h", "45m" for durations; "$120", "99.50"
+// for money; comma lists for instance types).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mlcd::cli {
+
+/// Parsed command line: options by name plus positional arguments.
+class Args {
+ public:
+  /// Parses argv (argv[0] skipped). `flags` lists option names that take
+  /// no value; everything else starting with "--" expects one (inline
+  /// via '=' or as the next token).
+  /// Throws std::invalid_argument on an unknown-looking token
+  /// ("--opt" with no value) or a malformed option.
+  static Args parse(int argc, const char* const* argv,
+                    const std::vector<std::string>& flags = {});
+
+  bool has(const std::string& name) const;
+
+  /// Value of --name; std::nullopt when absent.
+  std::optional<std::string> get(const std::string& name) const;
+
+  /// Value of --name or `fallback`.
+  std::string get_or(const std::string& name,
+                     const std::string& fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Option names seen, for unknown-option diagnostics.
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// "6h" -> 6.0, "90m" -> 1.5, "45s" -> 0.0125, "2.5" -> 2.5 (hours).
+/// Throws std::invalid_argument on garbage or non-positive values.
+double parse_duration_hours(const std::string& text);
+
+/// "$120" -> 120.0, "99.50" -> 99.5. Throws on garbage or <= 0.
+double parse_money(const std::string& text);
+
+/// "a,b,c" -> {"a","b","c"}; empty segments are dropped.
+std::vector<std::string> parse_list(const std::string& text);
+
+/// "42" -> 42. Throws on garbage, non-integers, or values < 1.
+int parse_positive_int(const std::string& text);
+
+}  // namespace mlcd::cli

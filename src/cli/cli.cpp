@@ -1,0 +1,234 @@
+#include "cli/cli.hpp"
+
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "cloud/catalog_io.hpp"
+#include "search/trace_io.hpp"
+#include "cloud/instance.hpp"
+#include "mlcd/mlcd.hpp"
+#include "models/model_zoo.hpp"
+#include "util/table.hpp"
+
+namespace mlcd::cli {
+namespace {
+
+constexpr const char* kUsage = R"(mlcd — MLaaS training deployment search (HeterBO)
+
+usage:
+  mlcd deploy --model <name> [options]   search and report a deployment
+  mlcd compare --model <name> [options]  run every method on one job
+  mlcd models                            list the model zoo
+  mlcd instances [--family <f>]          list the instance catalog
+  mlcd export-catalog --out <file.csv>   dump the built-in catalog as CSV
+  mlcd help                              this text
+
+deploy/compare options:
+  --model <name>        zoo model (see `mlcd models`)        [required]
+  --platform <name>     tensorflow | mxnet                   [tensorflow]
+  --budget <money>      total budget, e.g. 120 or $120
+  --deadline <time>     total-time limit, e.g. 6h, 90m
+  --types a,b,c         restrict instance types (default: full catalog)
+  --catalog <file.csv>  load a custom instance catalog (deploy only)
+  --max-nodes <n>       scale-out bound                      [50]
+  --method <name>       heterbo | conv-bo | bo-improved | cherrypick |
+                        cherrypick-improved | random | exhaustive |
+                        paleo | pareto                       [heterbo]
+  --seed <n>            RNG seed                             [1]
+  --save-trace <f.csv>  persist the probe history for later warm starts
+  --warm-start <f.csv>  seed the search from a saved trace (heterbo)
+  --spot                buy spot capacity (cheaper, revocable)
+  --trace               print the probe-by-probe search trace
+  --json                emit the deploy report as JSON
+)";
+
+int usage_error(std::ostream& err, const std::string& message) {
+  err << "mlcd: " << message << "\n" << kUsage;
+  return 2;
+}
+
+system::JobRequest request_from(const Args& args) {
+  system::JobRequest job;
+  const auto model = args.get("model");
+  if (!model) {
+    throw std::invalid_argument("--model is required");
+  }
+  job.model = *model;
+  job.platform = args.get_or("platform", "tensorflow");
+  if (const auto budget = args.get("budget")) {
+    job.requirements.budget_dollars = parse_money(*budget);
+  }
+  if (const auto deadline = args.get("deadline")) {
+    job.requirements.deadline_hours = parse_duration_hours(*deadline);
+  }
+  if (const auto types = args.get("types")) {
+    job.instance_types = parse_list(*types);
+  }
+  job.use_spot = args.has("spot");
+  job.max_nodes = parse_positive_int(args.get_or("max-nodes", "50"));
+  job.search_method = args.get_or("method", "heterbo");
+  job.seed = static_cast<std::uint64_t>(
+      parse_positive_int(args.get_or("seed", "1")));
+  return job;
+}
+
+void print_trace(std::ostream& out, const system::RunReport& report) {
+  util::TablePrinter table({"step", "why", "nodes", "type index",
+                            "speed (samples/s)", "cum profile ($)"});
+  int step = 1;
+  for (const search::ProbeStep& s : report.result.trace) {
+    table.add_row({std::to_string(step++), s.reason,
+                   std::to_string(s.deployment.nodes),
+                   std::to_string(s.deployment.type_index),
+                   s.feasible ? util::fmt_fixed(s.measured_speed, 1)
+                              : "infeasible",
+                   util::fmt_fixed(s.cum_profile_cost, 2)});
+  }
+  out << "\nsearch trace:\n" << table.render();
+}
+
+int cmd_deploy(const Args& args, std::ostream& out, std::ostream& err) {
+  try {
+    std::unique_ptr<system::SimulatedCloud> custom_cloud;
+    std::unique_ptr<system::Mlcd> mlcd;
+    if (const auto catalog_path = args.get("catalog")) {
+      custom_cloud = std::make_unique<system::SimulatedCloud>(
+          cloud::load_catalog_csv(*catalog_path), perf::PerfModelOptions{});
+      mlcd = std::make_unique<system::Mlcd>(*custom_cloud,
+                                            models::paper_zoo());
+    } else {
+      mlcd = std::make_unique<system::Mlcd>();
+    }
+    system::JobRequest job = request_from(args);
+    // The catalog view the search will actually run on: traces are keyed
+    // by instance name, but warm-start points carry *indices* into this
+    // view, so both load and save must resolve against it.
+    std::optional<cloud::InstanceCatalog> restricted;
+    if (!job.instance_types.empty()) {
+      restricted = mlcd->cloud().catalog().subset(job.instance_types);
+    }
+    const cloud::InstanceCatalog& view =
+        restricted ? *restricted : mlcd->cloud().catalog();
+    if (const auto warm = args.get("warm-start")) {
+      job.warm_start = search::load_warm_start_csv(*warm, view);
+    }
+    const system::RunReport report = mlcd->deploy(job);
+    if (const auto save = args.get("save-trace")) {
+      const cloud::DeploymentSpace space(
+          view, job.max_nodes,
+          job.use_spot ? cloud::Market::kSpot : cloud::Market::kOnDemand);
+      search::save_trace_csv(*save, report.result, space);
+    }
+    if (args.has("json")) {
+      out << report.to_json() << "\n";
+    } else {
+      out << report.render();
+      if (args.has("trace")) print_trace(out, report);
+    }
+    return report.result.found ? 0 : 1;
+  } catch (const std::invalid_argument& e) {
+    return usage_error(err, e.what());
+  }
+}
+
+int cmd_compare(const Args& args, std::ostream& out, std::ostream& err) {
+  try {
+    const system::Mlcd mlcd;
+    system::JobRequest job = request_from(args);
+
+    util::TablePrinter table({"method", "best", "probes", "profile ($)",
+                              "total (h)", "total ($)", "constraints"});
+    bool any_found = false;
+    for (const char* method :
+         {"heterbo", "conv-bo", "bo-improved", "cherrypick",
+          "cherrypick-improved", "random", "paleo", "pareto"}) {
+      job.search_method = method;
+      const system::RunReport report = mlcd.deploy(job);
+      const search::SearchResult& r = report.result;
+      any_found = any_found || r.found;
+      table.add_row(
+          {method, r.found ? r.best_description : "(none)",
+           std::to_string(r.trace.size()),
+           util::fmt_fixed(r.profile_cost, 2),
+           r.found ? util::fmt_fixed(r.total_hours(), 2) : "-",
+           r.found ? util::fmt_fixed(r.total_cost(), 2) : "-",
+           r.meets_constraints(report.scenario) ? "met" : "VIOLATED"});
+    }
+    out << table.render();
+    return any_found ? 0 : 1;
+  } catch (const std::invalid_argument& e) {
+    return usage_error(err, e.what());
+  }
+}
+
+int cmd_models(std::ostream& out) {
+  util::TablePrinter table({"model", "kind", "params", "GFLOPs/sample",
+                            "dataset", "job size (samples)"});
+  for (const models::ModelSpec& m : models::paper_zoo().models()) {
+    table.add_row({m.name, std::string(models::model_kind_name(m.kind)),
+                   util::fmt_fixed(m.params / 1e6, 1) + "M",
+                   util::fmt_fixed(m.flops_per_sample / 1e9, 1),
+                   m.dataset, util::fmt_fixed(m.samples_to_train, 0)});
+  }
+  out << table.render();
+  return 0;
+}
+
+int cmd_instances(const Args& args, std::ostream& out) {
+  const auto family = args.get("family");
+  util::TablePrinter table({"instance", "family", "device", "vCPUs",
+                            "GPUs", "mem (GiB)", "net (Gbps)", "$/h"});
+  for (const cloud::InstanceSpec& s : cloud::aws_catalog().all()) {
+    if (family && s.family != *family) continue;
+    table.add_row({s.name, s.family,
+                   std::string(cloud::device_kind_name(s.device)),
+                   std::to_string(s.vcpus), std::to_string(s.gpus),
+                   util::fmt_fixed(s.mem_gib, 1),
+                   util::fmt_fixed(s.network_gbps, 1),
+                   util::fmt_fixed(s.price_per_hour, 3)});
+  }
+  out << table.render();
+  return 0;
+}
+
+}  // namespace
+
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err) {
+  Args args;
+  try {
+    args = Args::parse(argc, argv,
+                       /*flags=*/{"trace", "help", "json", "spot"});
+  } catch (const std::invalid_argument& e) {
+    return usage_error(err, e.what());
+  }
+
+  const std::vector<std::string>& positional = args.positional();
+  const std::string command =
+      positional.empty() ? "help" : positional.front();
+
+  if (command == "help" || args.has("help")) {
+    out << kUsage;
+    return 0;
+  }
+  if (command == "deploy") return cmd_deploy(args, out, err);
+  if (command == "compare") return cmd_compare(args, out, err);
+  if (command == "models") return cmd_models(out);
+  if (command == "instances") return cmd_instances(args, out);
+  if (command == "export-catalog") {
+    const auto path = args.get("out");
+    if (!path) return usage_error(err, "--out is required");
+    cloud::save_catalog_csv(cloud::aws_catalog(), *path);
+    out << "wrote " << cloud::aws_catalog().size() << " instance types to "
+        << *path << "\n";
+    return 0;
+  }
+  return usage_error(err, "unknown command '" + command + "'");
+}
+
+}  // namespace mlcd::cli

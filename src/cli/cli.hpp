@@ -1,0 +1,23 @@
+// The `mlcd` command-line tool: submit a training job to MLCD from a
+// shell and get the chosen deployment with full accounting.
+//
+//   mlcd deploy --model resnet --budget $100 --types c5.4xlarge
+//   mlcd deploy --model bert --deadline 12h --method conv-bo --trace
+//   mlcd models                       # list the model zoo
+//   mlcd instances [--family c5n]     # list the instance catalog
+//   mlcd compare --model char_rnn --budget $120 --types c5.xlarge,...
+//
+// All logic lives in run() so tests can drive the tool in-process.
+#pragma once
+
+#include <iosfwd>
+
+namespace mlcd::cli {
+
+/// Entry point (also used by tests). Writes human output to `out` and
+/// problems to `err`; returns the process exit code (0 = success, 1 =
+/// search failed to find a feasible deployment, 2 = usage error).
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace mlcd::cli

@@ -1,0 +1,8 @@
+// Thin process wrapper around cli::run (all logic is testable there).
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  return mlcd::cli::run(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,54 @@
+#include "cloud/billing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mlcd::cloud {
+
+BillingMeter::BillingMeter(const DeploymentSpace& space,
+                           double minimum_seconds)
+    : space_(&space), minimum_seconds_(minimum_seconds) {
+  if (minimum_seconds < 0.0) {
+    throw std::invalid_argument("BillingMeter: negative minimum_seconds");
+  }
+}
+
+double BillingMeter::charge(const Deployment& d, double hours,
+                            UsageKind kind, std::string note) {
+  if (hours < 0.0) {
+    throw std::invalid_argument("BillingMeter::charge: negative hours");
+  }
+  const double seconds = hours * 3600.0;
+  const double billed_seconds =
+      std::max(std::ceil(seconds), minimum_seconds_);
+  const double billed_hours = billed_seconds / 3600.0;
+  const double cost = billed_hours * space_->hourly_price(d);
+
+  records_.push_back(UsageRecord{d, kind, hours, billed_hours, cost,
+                                 std::move(note)});
+  return cost;
+}
+
+double BillingMeter::total_cost() const noexcept {
+  double sum = 0.0;
+  for (const UsageRecord& r : records_) sum += r.cost;
+  return sum;
+}
+
+double BillingMeter::total_cost(UsageKind kind) const noexcept {
+  double sum = 0.0;
+  for (const UsageRecord& r : records_) {
+    if (r.kind == kind) sum += r.cost;
+  }
+  return sum;
+}
+
+double BillingMeter::total_hours(UsageKind kind) const noexcept {
+  double sum = 0.0;
+  for (const UsageRecord& r : records_) {
+    if (r.kind == kind) sum += r.hours;
+  }
+  return sum;
+}
+
+}  // namespace mlcd::cloud

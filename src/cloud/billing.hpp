@@ -1,0 +1,62 @@
+// Billing accounting for simulated cloud usage.
+//
+// EC2 bills per-second with a 60-second minimum per instance launch
+// (Linux on-demand since 2017); the meter reproduces that granularity so
+// short profiling runs are charged realistically. Every charge is tagged
+// so experiments can split profiling spend from training spend — the
+// breakdown every figure in the paper's evaluation reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cloud/deployment.hpp"
+
+namespace mlcd::cloud {
+
+/// What a charge was for.
+enum class UsageKind { kProfiling, kTraining };
+
+/// One billed usage interval of a cluster.
+struct UsageRecord {
+  Deployment deployment;
+  UsageKind kind = UsageKind::kProfiling;
+  double hours = 0.0;        ///< wall-clock duration of the usage
+  double billed_hours = 0.0; ///< after granularity rounding
+  double cost = 0.0;         ///< dollars
+  std::string note;
+};
+
+/// Accumulates usage records and exposes cost/time totals by kind.
+class BillingMeter {
+ public:
+  /// `space` supplies prices. Billing granularity: seconds are rounded up
+  /// to whole seconds with `minimum_seconds` minimum per usage.
+  explicit BillingMeter(const DeploymentSpace& space,
+                        double minimum_seconds = 60.0);
+
+  /// Charges for running `d` for `hours`; returns the dollars charged.
+  double charge(const Deployment& d, double hours, UsageKind kind,
+                std::string note = {});
+
+  double total_cost() const noexcept;
+  double total_cost(UsageKind kind) const noexcept;
+
+  /// Sum of wall-clock hours of all usages of a kind. (Usages of one kind
+  /// are sequential in every searcher, so this is elapsed time.)
+  double total_hours(UsageKind kind) const noexcept;
+
+  const std::vector<UsageRecord>& records() const noexcept {
+    return records_;
+  }
+
+  void reset() noexcept { records_.clear(); }
+
+ private:
+  const DeploymentSpace* space_;
+  double minimum_seconds_;
+  std::vector<UsageRecord> records_;
+};
+
+}  // namespace mlcd::cloud

@@ -1,0 +1,101 @@
+#include "cloud/catalog_io.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace mlcd::cloud {
+namespace {
+
+const std::vector<std::string> kHeader = {
+    "name",           "family",
+    "device",         "vcpus",
+    "gpus",           "mem_gib",
+    "network_gbps",   "price_per_hour",
+    "spot_price_per_hour", "spot_revocations_per_hour",
+    "effective_tflops"};
+
+double to_number(const std::string& text, const std::string& field) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    throw std::invalid_argument("catalog csv: bad numeric field " + field +
+                                ": '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+DeviceKind device_kind_from_name(const std::string& name) {
+  for (DeviceKind kind :
+       {DeviceKind::kCpuAvx2, DeviceKind::kCpuAvx512, DeviceKind::kCpuBurst,
+        DeviceKind::kGpuK80, DeviceKind::kGpuV100, DeviceKind::kGpuM60}) {
+    if (name == device_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("catalog csv: unknown device kind '" + name +
+                              "'");
+}
+
+InstanceCatalog load_catalog_csv(const std::string& path) {
+  const auto rows = util::read_csv(path);
+  if (rows.empty()) {
+    throw std::invalid_argument("catalog csv: empty file " + path);
+  }
+  if (rows.front() != kHeader) {
+    throw std::invalid_argument(
+        "catalog csv: unexpected header (see catalog_io.hpp for the "
+        "expected columns)");
+  }
+
+  std::vector<InstanceSpec> specs;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != kHeader.size()) {
+      throw std::invalid_argument("catalog csv: row " + std::to_string(i) +
+                                  " has " + std::to_string(row.size()) +
+                                  " columns, expected " +
+                                  std::to_string(kHeader.size()));
+    }
+    InstanceSpec s;
+    s.name = row[0];
+    s.family = row[1];
+    s.device = device_kind_from_name(row[2]);
+    s.vcpus = static_cast<int>(to_number(row[3], "vcpus"));
+    s.gpus = static_cast<int>(to_number(row[4], "gpus"));
+    s.mem_gib = to_number(row[5], "mem_gib");
+    s.network_gbps = to_number(row[6], "network_gbps");
+    s.price_per_hour = to_number(row[7], "price_per_hour");
+    s.spot_price_per_hour = to_number(row[8], "spot_price_per_hour");
+    s.spot_revocations_per_hour =
+        to_number(row[9], "spot_revocations_per_hour");
+    s.effective_tflops = to_number(row[10], "effective_tflops");
+    specs.push_back(std::move(s));
+  }
+  if (specs.empty()) {
+    throw std::invalid_argument("catalog csv: no data rows in " + path);
+  }
+  return InstanceCatalog(std::move(specs));
+}
+
+void save_catalog_csv(const InstanceCatalog& catalog,
+                      const std::string& path) {
+  util::CsvWriter csv(path, kHeader);
+  char buf[32];
+  auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return std::string(buf);
+  };
+  for (const InstanceSpec& s : catalog.all()) {
+    csv.add_row({s.name, s.family,
+                 std::string(device_kind_name(s.device)),
+                 std::to_string(s.vcpus), std::to_string(s.gpus),
+                 num(s.mem_gib), num(s.network_gbps),
+                 num(s.price_per_hour), num(s.spot_price_per_hour),
+                 num(s.spot_revocations_per_hour),
+                 num(s.effective_tflops)});
+  }
+}
+
+}  // namespace mlcd::cloud

@@ -1,0 +1,35 @@
+// Instance-catalog serialization.
+//
+// Downstream users rarely deploy on exactly our 62-type 2019 snapshot;
+// catalog_io lets them describe their provider's menu in a CSV file and
+// load it at runtime (the CLI's --catalog option), and round-trip the
+// built-in catalog for editing.
+//
+// Format (header required, '#' comments allowed):
+//   name,family,device,vcpus,gpus,mem_gib,network_gbps,price_per_hour,
+//   spot_price_per_hour,spot_revocations_per_hour,effective_tflops
+// where device is one of: cpu-avx2, cpu-avx512, cpu-burst, gpu-k80,
+// gpu-v100, gpu-m60.
+#pragma once
+
+#include <string>
+
+#include "cloud/instance.hpp"
+
+namespace mlcd::cloud {
+
+/// Loads a catalog from CSV. Throws std::runtime_error when the file
+/// cannot be read and std::invalid_argument on malformed content
+/// (unknown device kind, wrong column count, non-numeric fields, no data
+/// rows).
+InstanceCatalog load_catalog_csv(const std::string& path);
+
+/// Writes a catalog as CSV (the inverse of load_catalog_csv).
+void save_catalog_csv(const InstanceCatalog& catalog,
+                      const std::string& path);
+
+/// Parses a device-kind name ("gpu-v100", ...); throws
+/// std::invalid_argument on an unknown name.
+DeviceKind device_kind_from_name(const std::string& name);
+
+}  // namespace mlcd::cloud

@@ -1,0 +1,108 @@
+#include "cloud/deployment.hpp"
+
+#include <stdexcept>
+
+namespace mlcd::cloud {
+
+DeploymentSpace::DeploymentSpace(const InstanceCatalog& catalog,
+                                 int max_nodes, Market market)
+    : catalog_(&catalog), market_(market) {
+  if (max_nodes < 1) {
+    throw std::invalid_argument("DeploymentSpace: max_nodes must be >= 1");
+  }
+  max_nodes_.assign(catalog.size(), max_nodes);
+}
+
+DeploymentSpace::DeploymentSpace(const InstanceCatalog& catalog,
+                                 std::vector<int> max_nodes_per_type,
+                                 Market market)
+    : catalog_(&catalog),
+      max_nodes_(std::move(max_nodes_per_type)),
+      market_(market) {
+  if (max_nodes_.size() != catalog.size()) {
+    throw std::invalid_argument(
+        "DeploymentSpace: per-type limits must match catalog size");
+  }
+  for (int m : max_nodes_) {
+    if (m < 1) {
+      throw std::invalid_argument(
+          "DeploymentSpace: per-type limit must be >= 1");
+    }
+  }
+}
+
+std::size_t DeploymentSpace::type_count() const noexcept {
+  return catalog_->size();
+}
+
+int DeploymentSpace::max_nodes(std::size_t type_index) const {
+  if (type_index >= max_nodes_.size()) {
+    throw std::out_of_range("DeploymentSpace::max_nodes: bad type index");
+  }
+  return max_nodes_[type_index];
+}
+
+std::size_t DeploymentSpace::size() const noexcept {
+  std::size_t total = 0;
+  for (int m : max_nodes_) total += static_cast<std::size_t>(m);
+  return total;
+}
+
+bool DeploymentSpace::contains(const Deployment& d) const noexcept {
+  return d.type_index < max_nodes_.size() && d.nodes >= 1 &&
+         d.nodes <= max_nodes_[d.type_index];
+}
+
+std::vector<Deployment> DeploymentSpace::enumerate() const {
+  std::vector<Deployment> out;
+  out.reserve(size());
+  for (std::size_t t = 0; t < max_nodes_.size(); ++t) {
+    for (int n = 1; n <= max_nodes_[t]; ++n) {
+      out.push_back(Deployment{t, n});
+    }
+  }
+  return out;
+}
+
+std::vector<Deployment> DeploymentSpace::enumerate_grid(
+    const std::vector<int>& node_grid) const {
+  std::vector<Deployment> out;
+  for (std::size_t t = 0; t < max_nodes_.size(); ++t) {
+    for (int n : node_grid) {
+      if (n >= 1 && n <= max_nodes_[t]) out.push_back(Deployment{t, n});
+    }
+  }
+  return out;
+}
+
+double DeploymentSpace::hourly_price(const Deployment& d) const {
+  if (!contains(d)) {
+    throw std::invalid_argument("DeploymentSpace::hourly_price: out of space");
+  }
+  const InstanceSpec& spec = catalog_->at(d.type_index);
+  double unit = spec.price_per_hour;
+  if (market_ == Market::kSpot && spec.spot_price_per_hour > 0.0) {
+    unit = spec.spot_price_per_hour;
+  }
+  return static_cast<double>(d.nodes) * unit;
+}
+
+double DeploymentSpace::restart_overhead_multiplier(
+    const Deployment& d) const {
+  if (!contains(d)) {
+    throw std::invalid_argument(
+        "DeploymentSpace::restart_overhead_multiplier: out of space");
+  }
+  if (market_ == Market::kOnDemand) return 1.0;
+  // Re-provision + re-warm + recompute since the last checkpoint.
+  constexpr double kRestartPenaltyHours = 0.2;
+  const InstanceSpec& spec = catalog_->at(d.type_index);
+  return 1.0 + static_cast<double>(d.nodes) *
+                   spec.spot_revocations_per_hour * kRestartPenaltyHours;
+}
+
+std::string DeploymentSpace::describe(const Deployment& d) const {
+  return std::to_string(d.nodes) + " x " + catalog_->at(d.type_index).name;
+}
+
+}  // namespace mlcd::cloud

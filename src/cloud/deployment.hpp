@@ -1,0 +1,83 @@
+// Deployment schemes D(m, n) and the discrete search space over them.
+//
+// A deployment is an instance type (scale-up coordinate m) and a node
+// count (scale-out coordinate n). The paper's default AWS space is
+// 62 types x 50 nodes = 3,100 schemes (§III-B).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+
+namespace mlcd::cloud {
+
+/// Purchasing model a deployment space prices against. Spot capacity is
+/// ~3x cheaper but is revoked, which inflates effective training time
+/// (see DeploymentSpace::restart_overhead_multiplier).
+enum class Market { kOnDemand, kSpot };
+
+/// One deployment scheme: `type_index` indexes into an InstanceCatalog.
+struct Deployment {
+  std::size_t type_index = 0;
+  int nodes = 1;
+
+  friend bool operator==(const Deployment&, const Deployment&) = default;
+};
+
+/// Discrete search space: every (type, n) with 1 <= n <= max_nodes.
+class DeploymentSpace {
+ public:
+  /// Uniform node limit for all types (the paper's rule-of-thumb 50).
+  DeploymentSpace(const InstanceCatalog& catalog, int max_nodes = 50,
+                  Market market = Market::kOnDemand);
+
+  /// Per-type node limits; must have one entry per catalog type.
+  DeploymentSpace(const InstanceCatalog& catalog,
+                  std::vector<int> max_nodes_per_type,
+                  Market market = Market::kOnDemand);
+
+  const InstanceCatalog& catalog() const noexcept { return *catalog_; }
+  Market market() const noexcept { return market_; }
+
+  std::size_t type_count() const noexcept;
+  int max_nodes(std::size_t type_index) const;
+
+  /// Total number of deployment schemes in the space.
+  std::size_t size() const noexcept;
+
+  /// True when `d` lies inside the space bounds.
+  bool contains(const Deployment& d) const noexcept;
+
+  /// All deployments, type-major then node order.
+  std::vector<Deployment> enumerate() const;
+
+  /// Every k-th node count for each type — the coarse grid CherryPick
+  /// style searchers use. `node_grid` values outside a type's limit are
+  /// skipped.
+  std::vector<Deployment> enumerate_grid(
+      const std::vector<int>& node_grid) const;
+
+  /// Hourly price of a deployment: n * type price under this space's
+  /// market (spot types without a spot offer fall back to on-demand).
+  double hourly_price(const Deployment& d) const;
+
+  /// Multiplier on effective training wall time accounting for spot
+  /// revocations: each revocation of any node stalls the synchronous job
+  /// for a restart penalty, so
+  ///   multiplier = 1 + n * revocations_per_hour * restart_penalty_hours.
+  /// 1.0 under on-demand.
+  double restart_overhead_multiplier(const Deployment& d) const;
+
+  /// Human-readable "10 x c5.4xlarge".
+  std::string describe(const Deployment& d) const;
+
+ private:
+  const InstanceCatalog* catalog_;
+  std::vector<int> max_nodes_;
+  Market market_ = Market::kOnDemand;
+};
+
+}  // namespace mlcd::cloud

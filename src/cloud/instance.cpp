@@ -1,0 +1,210 @@
+#include "cloud/instance.hpp"
+
+#include <stdexcept>
+
+namespace mlcd::cloud {
+
+std::string_view device_kind_name(DeviceKind kind) noexcept {
+  switch (kind) {
+    case DeviceKind::kCpuAvx2:
+      return "cpu-avx2";
+    case DeviceKind::kCpuAvx512:
+      return "cpu-avx512";
+    case DeviceKind::kCpuBurst:
+      return "cpu-burst";
+    case DeviceKind::kGpuK80:
+      return "gpu-k80";
+    case DeviceKind::kGpuV100:
+      return "gpu-v100";
+    case DeviceKind::kGpuM60:
+      return "gpu-m60";
+  }
+  return "?";
+}
+
+bool is_gpu(DeviceKind kind) noexcept {
+  return kind == DeviceKind::kGpuK80 || kind == DeviceKind::kGpuV100 ||
+         kind == DeviceKind::kGpuM60;
+}
+
+InstanceCatalog::InstanceCatalog(std::vector<InstanceSpec> specs)
+    : specs_(std::move(specs)) {
+  if (specs_.empty()) {
+    throw std::invalid_argument("InstanceCatalog: empty catalog");
+  }
+  for (const InstanceSpec& s : specs_) {
+    if (s.name.empty() || s.price_per_hour <= 0.0 ||
+        s.effective_tflops <= 0.0 || s.network_gbps <= 0.0) {
+      throw std::invalid_argument("InstanceCatalog: invalid spec " + s.name);
+    }
+  }
+}
+
+const InstanceSpec& InstanceCatalog::at(std::size_t i) const {
+  if (i >= specs_.size()) {
+    throw std::out_of_range("InstanceCatalog::at: bad index");
+  }
+  return specs_[i];
+}
+
+std::optional<std::size_t> InstanceCatalog::find(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> InstanceCatalog::family_indices(
+    std::string_view family) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].family == family) out.push_back(i);
+  }
+  return out;
+}
+
+InstanceCatalog InstanceCatalog::subset(
+    std::span<const std::string> names) const {
+  std::vector<InstanceSpec> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    const auto idx = find(name);
+    if (!idx) {
+      throw std::invalid_argument("InstanceCatalog::subset: unknown type " +
+                                  name);
+    }
+    out.push_back(specs_[*idx]);
+  }
+  return InstanceCatalog(std::move(out));
+}
+
+namespace {
+
+// Helper shortening the catalog table below.
+InstanceSpec spec(std::string name, std::string family, DeviceKind device,
+                  int vcpus, int gpus, double mem_gib, double network_gbps,
+                  double price, double tflops) {
+  InstanceSpec s;
+  s.name = std::move(name);
+  s.family = std::move(family);
+  s.device = device;
+  s.vcpus = vcpus;
+  s.gpus = gpus;
+  s.mem_gib = mem_gib;
+  s.network_gbps = network_gbps;
+  s.price_per_hour = price;
+  s.effective_tflops = tflops;
+  // Spot market: ~30% of on-demand for CPU capacity, ~35% for the
+  // scarcer accelerators; revocation pressure likewise higher on GPUs.
+  const bool gpu = gpus > 0;
+  s.spot_price_per_hour = price * (gpu ? 0.35 : 0.30);
+  s.spot_revocations_per_hour = gpu ? 0.06 : 0.03;
+  return s;
+}
+
+std::vector<InstanceSpec> build_aws_catalog() {
+  using DK = DeviceKind;
+  std::vector<InstanceSpec> v;
+  v.reserve(62);
+
+  // Effective CPU training throughput: ~0.045 TFLOP/s per AVX-512 vCPU,
+  // ~0.030 per AVX2 vCPU, ~0.020 per burstable vCPU. GPU throughput:
+  // K80 ~1.3, M60 ~2.2, V100 ~6.0 TFLOP/s effective per device
+  // (2019-era fp32 training without tensor-core mixed precision).
+
+  // c5 — compute optimized (AVX-512).
+  v.push_back(spec("c5.large", "c5", DK::kCpuAvx512, 2, 0, 4, 0.75, 0.085, 0.090));
+  v.push_back(spec("c5.xlarge", "c5", DK::kCpuAvx512, 4, 0, 8, 1.25, 0.170, 0.180));
+  v.push_back(spec("c5.2xlarge", "c5", DK::kCpuAvx512, 8, 0, 16, 2.5, 0.340, 0.360));
+  v.push_back(spec("c5.4xlarge", "c5", DK::kCpuAvx512, 16, 0, 32, 5.0, 0.680, 0.720));
+  v.push_back(spec("c5.9xlarge", "c5", DK::kCpuAvx512, 36, 0, 72, 10.0, 1.530, 1.620));
+  v.push_back(spec("c5.12xlarge", "c5", DK::kCpuAvx512, 48, 0, 96, 12.0, 2.040, 2.160));
+  v.push_back(spec("c5.18xlarge", "c5", DK::kCpuAvx512, 72, 0, 144, 25.0, 3.060, 3.240));
+  v.push_back(spec("c5.24xlarge", "c5", DK::kCpuAvx512, 96, 0, 192, 25.0, 4.080, 4.320));
+
+  // c5n — network-enhanced compute optimized.
+  v.push_back(spec("c5n.large", "c5n", DK::kCpuAvx512, 2, 0, 5.25, 3.0, 0.108, 0.090));
+  v.push_back(spec("c5n.xlarge", "c5n", DK::kCpuAvx512, 4, 0, 10.5, 5.0, 0.216, 0.180));
+  v.push_back(spec("c5n.2xlarge", "c5n", DK::kCpuAvx512, 8, 0, 21, 10.0, 0.432, 0.360));
+  v.push_back(spec("c5n.4xlarge", "c5n", DK::kCpuAvx512, 16, 0, 42, 15.0, 0.864, 0.720));
+  v.push_back(spec("c5n.9xlarge", "c5n", DK::kCpuAvx512, 36, 0, 96, 50.0, 1.944, 1.620));
+  v.push_back(spec("c5n.18xlarge", "c5n", DK::kCpuAvx512, 72, 0, 192, 100.0, 3.888, 3.240));
+
+  // c4 — previous-generation compute optimized (AVX2).
+  v.push_back(spec("c4.large", "c4", DK::kCpuAvx2, 2, 0, 3.75, 0.5, 0.100, 0.060));
+  v.push_back(spec("c4.xlarge", "c4", DK::kCpuAvx2, 4, 0, 7.5, 0.75, 0.199, 0.120));
+  v.push_back(spec("c4.2xlarge", "c4", DK::kCpuAvx2, 8, 0, 15, 1.0, 0.398, 0.240));
+  v.push_back(spec("c4.4xlarge", "c4", DK::kCpuAvx2, 16, 0, 30, 2.0, 0.796, 0.480));
+  v.push_back(spec("c4.8xlarge", "c4", DK::kCpuAvx2, 36, 0, 60, 10.0, 1.591, 1.080));
+
+  // m5 — general purpose.
+  v.push_back(spec("m5.large", "m5", DK::kCpuAvx512, 2, 0, 8, 0.75, 0.096, 0.090));
+  v.push_back(spec("m5.xlarge", "m5", DK::kCpuAvx512, 4, 0, 16, 1.25, 0.192, 0.180));
+  v.push_back(spec("m5.2xlarge", "m5", DK::kCpuAvx512, 8, 0, 32, 2.5, 0.384, 0.360));
+  v.push_back(spec("m5.4xlarge", "m5", DK::kCpuAvx512, 16, 0, 64, 5.0, 0.768, 0.720));
+  v.push_back(spec("m5.8xlarge", "m5", DK::kCpuAvx512, 32, 0, 128, 10.0, 1.536, 1.440));
+  v.push_back(spec("m5.12xlarge", "m5", DK::kCpuAvx512, 48, 0, 192, 12.0, 2.304, 2.160));
+  v.push_back(spec("m5.16xlarge", "m5", DK::kCpuAvx512, 64, 0, 256, 20.0, 3.072, 2.880));
+  v.push_back(spec("m5.24xlarge", "m5", DK::kCpuAvx512, 96, 0, 384, 25.0, 4.608, 4.320));
+
+  // m5n — network-enhanced general purpose.
+  v.push_back(spec("m5n.large", "m5n", DK::kCpuAvx512, 2, 0, 8, 3.0, 0.119, 0.090));
+  v.push_back(spec("m5n.xlarge", "m5n", DK::kCpuAvx512, 4, 0, 16, 5.0, 0.238, 0.180));
+  v.push_back(spec("m5n.2xlarge", "m5n", DK::kCpuAvx512, 8, 0, 32, 10.0, 0.476, 0.360));
+  v.push_back(spec("m5n.4xlarge", "m5n", DK::kCpuAvx512, 16, 0, 64, 15.0, 0.952, 0.720));
+  v.push_back(spec("m5n.8xlarge", "m5n", DK::kCpuAvx512, 32, 0, 128, 25.0, 1.904, 1.440));
+  v.push_back(spec("m5n.12xlarge", "m5n", DK::kCpuAvx512, 48, 0, 192, 50.0, 2.856, 2.160));
+  v.push_back(spec("m5n.16xlarge", "m5n", DK::kCpuAvx512, 64, 0, 256, 75.0, 3.808, 2.880));
+  v.push_back(spec("m5n.24xlarge", "m5n", DK::kCpuAvx512, 96, 0, 384, 100.0, 5.712, 4.320));
+
+  // r5 — memory optimized.
+  v.push_back(spec("r5.large", "r5", DK::kCpuAvx512, 2, 0, 16, 0.75, 0.126, 0.080));
+  v.push_back(spec("r5.xlarge", "r5", DK::kCpuAvx512, 4, 0, 32, 1.25, 0.252, 0.160));
+  v.push_back(spec("r5.2xlarge", "r5", DK::kCpuAvx512, 8, 0, 64, 2.5, 0.504, 0.320));
+  v.push_back(spec("r5.4xlarge", "r5", DK::kCpuAvx512, 16, 0, 128, 5.0, 1.008, 0.640));
+  v.push_back(spec("r5.8xlarge", "r5", DK::kCpuAvx512, 32, 0, 256, 10.0, 2.016, 1.280));
+  v.push_back(spec("r5.12xlarge", "r5", DK::kCpuAvx512, 48, 0, 384, 12.0, 3.024, 1.920));
+  v.push_back(spec("r5.16xlarge", "r5", DK::kCpuAvx512, 64, 0, 512, 20.0, 4.032, 2.560));
+  v.push_back(spec("r5.24xlarge", "r5", DK::kCpuAvx512, 96, 0, 768, 25.0, 6.048, 3.840));
+
+  // r4 — previous-generation memory optimized.
+  v.push_back(spec("r4.large", "r4", DK::kCpuAvx2, 2, 0, 15.25, 0.75, 0.133, 0.055));
+  v.push_back(spec("r4.xlarge", "r4", DK::kCpuAvx2, 4, 0, 30.5, 1.25, 0.266, 0.110));
+  v.push_back(spec("r4.2xlarge", "r4", DK::kCpuAvx2, 8, 0, 61, 2.5, 0.532, 0.220));
+  v.push_back(spec("r4.4xlarge", "r4", DK::kCpuAvx2, 16, 0, 122, 5.0, 1.064, 0.440));
+  v.push_back(spec("r4.8xlarge", "r4", DK::kCpuAvx2, 32, 0, 244, 10.0, 2.128, 0.880));
+  v.push_back(spec("r4.16xlarge", "r4", DK::kCpuAvx2, 64, 0, 488, 25.0, 4.256, 1.760));
+
+  // t3 — burstable.
+  v.push_back(spec("t3.medium", "t3", DK::kCpuBurst, 2, 0, 4, 0.5, 0.0416, 0.040));
+  v.push_back(spec("t3.large", "t3", DK::kCpuBurst, 2, 0, 8, 0.5, 0.0832, 0.040));
+  v.push_back(spec("t3.xlarge", "t3", DK::kCpuBurst, 4, 0, 16, 1.0, 0.1664, 0.080));
+  v.push_back(spec("t3.2xlarge", "t3", DK::kCpuBurst, 8, 0, 32, 1.0, 0.3328, 0.160));
+
+  // p2 — NVIDIA K80 accelerated.
+  v.push_back(spec("p2.xlarge", "p2", DK::kGpuK80, 4, 1, 61, 1.25, 0.900, 1.300));
+  v.push_back(spec("p2.8xlarge", "p2", DK::kGpuK80, 32, 8, 488, 10.0, 7.225, 10.400));
+  v.push_back(spec("p2.16xlarge", "p2", DK::kGpuK80, 64, 16, 732, 25.0, 14.400, 20.800));
+
+  // p3 — NVIDIA V100 accelerated.
+  v.push_back(spec("p3.2xlarge", "p3", DK::kGpuV100, 8, 1, 61, 2.5, 3.060, 6.000));
+  v.push_back(spec("p3.8xlarge", "p3", DK::kGpuV100, 32, 4, 244, 10.0, 12.240, 24.000));
+  v.push_back(spec("p3.16xlarge", "p3", DK::kGpuV100, 64, 8, 488, 25.0, 24.480, 48.000));
+
+  // g3 — NVIDIA M60 graphics-accelerated.
+  v.push_back(spec("g3.4xlarge", "g3", DK::kGpuM60, 16, 1, 122, 5.0, 1.140, 2.200));
+  v.push_back(spec("g3.8xlarge", "g3", DK::kGpuM60, 32, 2, 244, 10.0, 2.280, 4.400));
+  v.push_back(spec("g3.16xlarge", "g3", DK::kGpuM60, 64, 4, 488, 25.0, 4.560, 8.800));
+
+  return v;
+}
+
+}  // namespace
+
+const InstanceCatalog& aws_catalog() {
+  static const InstanceCatalog catalog(build_aws_catalog());
+  return catalog;
+}
+
+}  // namespace mlcd::cloud

@@ -1,0 +1,89 @@
+// Cloud instance catalog.
+//
+// The paper's search space is "62 scale-up options" on AWS (§III-B). We
+// reproduce a 62-entry catalog of 2019-era EC2 instance types across the
+// families the evaluation uses (c4, c5, c5n, p2, p3) plus the general-
+// purpose/memory/burstable/GPU-graphics families that pad the space to 62
+// (m5, m5n, r5, r4, t3, g3). Prices are the published us-east-1 on-demand
+// rates of that period; the Fig. 1a anchor (p2.8xlarge = 42.5x c5.xlarge)
+// holds with these numbers.
+//
+// `effective_tflops` is the instance's sustained dense-training throughput
+// in TFLOP/s terms for a well-suited CNN workload; the performance model
+// (src/perf) scales it by a model-kind x device-class efficiency factor.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlcd::cloud {
+
+/// Accelerator class of an instance.
+enum class DeviceKind {
+  kCpuAvx2,    ///< previous-gen CPU (c4, r4)
+  kCpuAvx512,  ///< current-gen CPU (c5, c5n, m5, m5n, r5)
+  kCpuBurst,   ///< burstable CPU (t3)
+  kGpuK80,     ///< NVIDIA K80 (p2)
+  kGpuV100,    ///< NVIDIA V100 (p3)
+  kGpuM60,     ///< NVIDIA M60 (g3)
+};
+
+std::string_view device_kind_name(DeviceKind kind) noexcept;
+
+/// True for the GPU device kinds.
+bool is_gpu(DeviceKind kind) noexcept;
+
+/// Static description of one instance type.
+struct InstanceSpec {
+  std::string name;          ///< e.g. "c5.4xlarge"
+  std::string family;        ///< e.g. "c5"
+  DeviceKind device = DeviceKind::kCpuAvx512;
+  int vcpus = 0;
+  int gpus = 0;              ///< 0 for CPU instances
+  double mem_gib = 0.0;
+  double network_gbps = 0.0;   ///< sustained NIC bandwidth
+  double price_per_hour = 0.0; ///< on-demand $/h
+  /// Spot-market price, $/h (typically ~30% of on-demand); 0 when the
+  /// type is not offered on the spot market.
+  double spot_price_per_hour = 0.0;
+  /// Expected spot revocations per instance-hour (GPU capacity is
+  /// reclaimed more often than CPU capacity).
+  double spot_revocations_per_hour = 0.0;
+  double effective_tflops = 0.0;
+
+  bool is_gpu_instance() const noexcept { return gpus > 0; }
+};
+
+/// Immutable, indexable collection of instance types. Index order is the
+/// catalog's scale-up coordinate (dimension m in the paper).
+class InstanceCatalog {
+ public:
+  explicit InstanceCatalog(std::vector<InstanceSpec> specs);
+
+  std::size_t size() const noexcept { return specs_.size(); }
+  const InstanceSpec& operator[](std::size_t i) const { return specs_[i]; }
+  const InstanceSpec& at(std::size_t i) const;
+  std::span<const InstanceSpec> all() const noexcept { return specs_; }
+
+  /// Index of the type with the given name, if present.
+  std::optional<std::size_t> find(std::string_view name) const;
+
+  /// Indices of all types in a family (e.g. "c5"), in catalog order.
+  std::vector<std::size_t> family_indices(std::string_view family) const;
+
+  /// Catalog restricted to the named types (preserving given order).
+  /// Throws std::invalid_argument for unknown names.
+  InstanceCatalog subset(std::span<const std::string> names) const;
+
+ private:
+  std::vector<InstanceSpec> specs_;
+};
+
+/// The full 62-type AWS-like catalog described above.
+const InstanceCatalog& aws_catalog();
+
+}  // namespace mlcd::cloud

@@ -1,0 +1,43 @@
+#include "cloud/simulator.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace mlcd::cloud {
+
+CloudSimulator::CloudSimulator(const DeploymentSpace& space,
+                               std::uint64_t seed, SimulatorOptions options)
+    : space_(&space), options_(options), rng_(seed) {
+  if (options_.base_setup_hours < 0.0 ||
+      options_.setup_hours_per_3_nodes < 0.0 ||
+      options_.setup_jitter_sigma < 0.0) {
+    throw std::invalid_argument("CloudSimulator: negative option");
+  }
+}
+
+double CloudSimulator::expected_setup_hours(
+    const Deployment& d) const noexcept {
+  const int extra_nodes = d.nodes - 1;
+  return options_.base_setup_hours +
+         options_.setup_hours_per_3_nodes * (extra_nodes / 3);
+}
+
+Cluster CloudSimulator::provision(const Deployment& d) {
+  if (!space_->contains(d)) {
+    throw std::invalid_argument("CloudSimulator::provision: out of space");
+  }
+  double setup = expected_setup_hours(d);
+  if (options_.setup_jitter_sigma > 0.0) {
+    setup = rng_.lognormal_median(setup, options_.setup_jitter_sigma);
+  }
+  Cluster c;
+  c.deployment = d;
+  c.setup_hours = setup;
+  c.id = next_id_++;
+  MLCD_LOG(kDebug, "cloud") << "provisioned " << space_->describe(d)
+                            << " setup_h=" << setup;
+  return c;
+}
+
+}  // namespace mlcd::cloud

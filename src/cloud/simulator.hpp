@@ -1,0 +1,58 @@
+// Cluster provisioning simulator.
+//
+// Models the operational side of launching a training cluster on a cloud:
+// instance boot, image pull and framework warm-up. The setup-time model
+// matches the paper's profiler accounting (§V-A): 10 minutes for a single
+// node, plus 1 minute per 3 additional nodes (larger clusters take longer
+// to converge to steady state), with small deterministic-seeded jitter.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/deployment.hpp"
+#include "util/rng.hpp"
+
+namespace mlcd::cloud {
+
+struct SimulatorOptions {
+  /// Base setup + warm-up time for a one-node cluster, hours (paper: 10 min).
+  double base_setup_hours = 10.0 / 60.0;
+  /// Extra setup time per 3 additional nodes, hours (paper: 1 min).
+  double setup_hours_per_3_nodes = 1.0 / 60.0;
+  /// Relative jitter (lognormal sigma) on setup time; 0 disables.
+  double setup_jitter_sigma = 0.03;
+};
+
+/// A provisioned (simulated) cluster handle.
+struct Cluster {
+  Deployment deployment;
+  double setup_hours = 0.0;  ///< time spent before training is measurable
+  std::uint64_t id = 0;
+};
+
+/// Simulates provisioning; deterministic given the seed.
+class CloudSimulator {
+ public:
+  CloudSimulator(const DeploymentSpace& space, std::uint64_t seed,
+                 SimulatorOptions options = {});
+
+  const DeploymentSpace& space() const noexcept { return *space_; }
+
+  /// Provisions a cluster for `d`; throws std::invalid_argument when `d`
+  /// is outside the space.
+  Cluster provision(const Deployment& d);
+
+  /// Deterministic mean setup time for `d` (no jitter).
+  double expected_setup_hours(const Deployment& d) const noexcept;
+
+  /// Number of clusters provisioned so far.
+  std::uint64_t provisioned_count() const noexcept { return next_id_; }
+
+ private:
+  const DeploymentSpace* space_;
+  SimulatorOptions options_;
+  util::Rng rng_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace mlcd::cloud

@@ -1,0 +1,272 @@
+#include "gp/gp_regressor.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "gp/nelder_mead.hpp"
+#include "util/logging.hpp"
+
+namespace mlcd::gp {
+
+double Prediction::stddev() const { return std::sqrt(std::max(variance, 0.0)); }
+
+GpRegressor::GpRegressor(std::unique_ptr<Kernel> kernel, GpOptions options)
+    : kernel_(std::move(kernel)),
+      options_(options),
+      noise_stddev_(options.noise_stddev) {
+  if (!kernel_) {
+    throw std::invalid_argument("GpRegressor: null kernel");
+  }
+  if (!(noise_stddev_ > 0.0)) {
+    throw std::invalid_argument("GpRegressor: noise_stddev must be > 0");
+  }
+}
+
+GpRegressor::GpRegressor(const GpRegressor& other)
+    : kernel_(other.kernel_->clone()),
+      options_(other.options_),
+      noise_stddev_(other.noise_stddev_),
+      x_(other.x_),
+      y_raw_(other.y_raw_),
+      y_(other.y_),
+      y_mean_(other.y_mean_),
+      y_scale_(other.y_scale_),
+      factor_(other.factor_),
+      alpha_(other.alpha_) {}
+
+GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
+  if (this == &other) return *this;
+  kernel_ = other.kernel_->clone();
+  options_ = other.options_;
+  noise_stddev_ = other.noise_stddev_;
+  x_ = other.x_;
+  y_raw_ = other.y_raw_;
+  y_ = other.y_;
+  y_mean_ = other.y_mean_;
+  y_scale_ = other.y_scale_;
+  factor_ = other.factor_;
+  alpha_ = other.alpha_;
+  return *this;
+}
+
+std::size_t GpRegressor::input_dim() const noexcept { return x_.cols(); }
+
+void GpRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    throw std::invalid_argument("GpRegressor::fit: shape mismatch");
+  }
+  x_ = x;
+  y_raw_ = y;
+
+  // Target normalization.
+  y_mean_ = 0.0;
+  y_scale_ = 1.0;
+  if (options_.normalize_targets) {
+    for (double v : y_raw_) y_mean_ += v;
+    y_mean_ /= static_cast<double>(y_raw_.size());
+    double ss = 0.0;
+    for (double v : y_raw_) ss += (v - y_mean_) * (v - y_mean_);
+    const double sd = std::sqrt(ss / static_cast<double>(y_raw_.size()));
+    y_scale_ = sd > 1e-12 ? sd : 1.0;
+  }
+  y_.resize(y_raw_.size());
+  for (std::size_t i = 0; i < y_raw_.size(); ++i) {
+    y_[i] = (y_raw_[i] - y_mean_) / y_scale_;
+  }
+
+  if (options_.optimize_hyperparameters && y_.size() >= 3) {
+    optimize_hyperparameters();
+  }
+  const double lml = refit_with_current_params();
+  if (!std::isfinite(lml)) {
+    throw std::runtime_error(
+        "GpRegressor::fit: covariance factorization failed");
+  }
+}
+
+double GpRegressor::refit_with_current_params() {
+  const std::size_t n = x_.rows();
+  linalg::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = (*kernel_)(x_.row(i), x_.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  k.add_to_diagonal(noise_stddev_ * noise_stddev_);
+
+  try {
+    factor_.emplace(k);
+  } catch (const std::runtime_error&) {
+    factor_.reset();
+    return -std::numeric_limits<double>::infinity();
+  }
+  alpha_ = factor_->solve(y_);
+
+  const double fit_term = -0.5 * linalg::dot(y_, alpha_);
+  const double complexity_term = -0.5 * factor_->log_determinant();
+  const double norm_term = -0.5 * static_cast<double>(n) *
+                           std::log(2.0 * std::numbers::pi);
+  return fit_term + complexity_term + norm_term;
+}
+
+void GpRegressor::optimize_hyperparameters() {
+  // Parameter vector: kernel log-params followed by log noise stddev.
+  std::vector<double> start = kernel_->log_params();
+  start.push_back(std::log(noise_stddev_));
+
+  const std::size_t nparams = start.size();
+  if (!options_.log_param_lower.empty() &&
+      options_.log_param_lower.size() != nparams) {
+    throw std::invalid_argument(
+        "GpOptions::log_param_lower size must match param count");
+  }
+  if (!options_.log_param_upper.empty() &&
+      options_.log_param_upper.size() != nparams) {
+    throw std::invalid_argument(
+        "GpOptions::log_param_upper size must match param count");
+  }
+
+  auto objective = [this](const std::vector<double>& p) {
+    // Reject pathological or out-of-bounds scales early; keeps Cholesky
+    // jitter rare and stops the MLE collapsing to flat overconfident fits.
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double v = p[i];
+      const double lo = options_.log_param_lower.empty()
+                            ? -12.0
+                            : options_.log_param_lower[i];
+      const double hi = options_.log_param_upper.empty()
+                            ? 12.0
+                            : options_.log_param_upper[i];
+      if (!std::isfinite(v) || v < lo || v > hi) {
+        return std::numeric_limits<double>::infinity();
+      }
+    }
+    kernel_->set_log_params(
+        std::span<const double>(p.data(), p.size() - 1));
+    noise_stddev_ = std::exp(p.back());
+    return -refit_with_current_params();
+  };
+
+  if (!options_.log_param_lower.empty()) {
+    for (std::size_t i = 0; i < start.size(); ++i) {
+      start[i] = std::max(start[i], options_.log_param_lower[i]);
+    }
+  }
+  if (!options_.log_param_upper.empty()) {
+    for (std::size_t i = 0; i < start.size(); ++i) {
+      start[i] = std::min(start[i], options_.log_param_upper[i]);
+    }
+  }
+
+  std::vector<double> best_x = start;
+  double best_value = objective(start);
+
+  // Deterministic multi-start: perturb each restart with a fixed pattern
+  // so fits are reproducible without threading an Rng through here.
+  for (int restart = 0; restart < options_.optimizer_restarts; ++restart) {
+    std::vector<double> s = start;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const double delta =
+          0.5 * static_cast<double>(restart) *
+          ((i + restart) % 2 == 0 ? 1.0 : -1.0);
+      s[i] += delta;
+    }
+    const NelderMeadResult r = nelder_mead(objective, s);
+    if (r.value < best_value) {
+      best_value = r.value;
+      best_x = r.x;
+    }
+  }
+
+  kernel_->set_log_params(
+      std::span<const double>(best_x.data(), best_x.size() - 1));
+  noise_stddev_ = std::exp(best_x.back());
+  MLCD_LOG(kDebug, "gp") << "hyperparameter MLE: -lml=" << best_value
+                         << " noise=" << noise_stddev_;
+}
+
+void GpRegressor::add_observation(std::span<const double> x, double y) {
+  if (!factor_) {
+    throw std::logic_error("GpRegressor::add_observation: call fit() first");
+  }
+  if (x.size() != x_.cols()) {
+    throw std::invalid_argument(
+        "GpRegressor::add_observation: dimension mismatch");
+  }
+
+  // Grow the stored design matrix and raw targets.
+  linalg::Matrix grown(x_.rows() + 1, x_.cols());
+  for (std::size_t r = 0; r < x_.rows(); ++r) {
+    for (std::size_t c = 0; c < x_.cols(); ++c) grown(r, c) = x_(r, c);
+  }
+  for (std::size_t c = 0; c < x_.cols(); ++c) {
+    grown(x_.rows(), c) = x[c];
+  }
+  linalg::Vector y_grown = y_raw_;
+  y_grown.push_back(y);
+
+  if (options_.optimize_hyperparameters || options_.normalize_targets) {
+    // Hyperparameters and the target normalization are functions of the
+    // whole data set; a full refit is the correct update.
+    fit(grown, y_grown);
+    return;
+  }
+
+  // Incremental path: border the Cholesky factor with the new point's
+  // covariance column and refresh alpha (two triangular solves, O(n²)).
+  const std::size_t n = x_.rows();
+  linalg::Vector col(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    col[i] = (*kernel_)(x_.row(i), x);
+  }
+  const double diag = (*kernel_)(x, x) + noise_stddev_ * noise_stddev_;
+  factor_->extend(col, diag);
+
+  x_ = std::move(grown);
+  y_raw_ = std::move(y_grown);
+  y_ = y_raw_;  // normalization disabled on this path
+  alpha_ = factor_->solve(y_);
+}
+
+Prediction GpRegressor::predict(std::span<const double> x) const {
+  if (!factor_) {
+    throw std::logic_error("GpRegressor::predict: call fit() first");
+  }
+  if (x.size() != x_.cols()) {
+    throw std::invalid_argument("GpRegressor::predict: dimension mismatch");
+  }
+  const std::size_t n = x_.rows();
+  linalg::Vector k_star(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k_star[i] = (*kernel_)(x_.row(i), x);
+  }
+
+  const double mean_normalized = linalg::dot(k_star, alpha_);
+  const linalg::Vector v = factor_->solve_lower(k_star);
+  const double prior_var = (*kernel_)(x, x);
+  double variance_normalized = prior_var - linalg::dot(v, v);
+  variance_normalized = std::max(variance_normalized, 0.0);
+
+  Prediction p;
+  p.mean = mean_normalized * y_scale_ + y_mean_;
+  p.variance = variance_normalized * y_scale_ * y_scale_;
+  return p;
+}
+
+double GpRegressor::log_marginal_likelihood() const {
+  if (!factor_) {
+    throw std::logic_error(
+        "GpRegressor::log_marginal_likelihood: call fit() first");
+  }
+  const double fit_term = -0.5 * linalg::dot(y_, alpha_);
+  const double complexity_term = -0.5 * factor_->log_determinant();
+  const double norm_term = -0.5 * static_cast<double>(y_.size()) *
+                           std::log(2.0 * std::numbers::pi);
+  return fit_term + complexity_term + norm_term;
+}
+
+}  // namespace mlcd::gp

@@ -1,0 +1,108 @@
+// Gaussian-process regression with exact inference.
+//
+// This is the surrogate model behind every BO searcher in the repo.
+// Design points X are deployment coordinates (normalized instance-type
+// index, node count), targets y are measured training speeds. Inference
+// follows Rasmussen & Williams Algorithm 2.1: Cholesky of K + sigma_n^2 I,
+// alpha = K^{-1} y, predictive mean k_*^T alpha and variance
+// k(x*,x*) - ||L^{-1} k_*||^2.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gp/kernel.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mlcd::gp {
+
+/// Predictive distribution at one query point.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+
+  double stddev() const;
+};
+
+struct GpOptions {
+  /// Observation noise standard deviation (before MLE tuning).
+  double noise_stddev = 1e-3;
+  /// When true, fit() maximizes the log marginal likelihood over kernel
+  /// hyperparameters and the noise level with multi-start Nelder–Mead.
+  bool optimize_hyperparameters = true;
+  /// Number of optimizer restarts from perturbed starting points.
+  int optimizer_restarts = 3;
+  /// Normalize targets to zero mean / unit variance internally. Keeps
+  /// hyperparameter scales sane when speeds span orders of magnitude.
+  bool normalize_targets = true;
+  /// Optional box bounds (log space) on [kernel params..., noise stddev]
+  /// for the MLE. Empty = the default wide bounds. BO surrogates use
+  /// these to stop the MLE from collapsing to a near-flat, overconfident
+  /// fit when only a handful of observations exist.
+  std::vector<double> log_param_lower;
+  std::vector<double> log_param_upper;
+};
+
+/// Exact GP regressor. Usage: construct with a kernel, call fit(), then
+/// predict() any number of times.
+class GpRegressor {
+ public:
+  GpRegressor(std::unique_ptr<Kernel> kernel, GpOptions options = {});
+
+  GpRegressor(const GpRegressor& other);
+  GpRegressor& operator=(const GpRegressor& other);
+  GpRegressor(GpRegressor&&) noexcept = default;
+  GpRegressor& operator=(GpRegressor&&) noexcept = default;
+
+  /// Fits to n observations: X is n x d, y has n entries.
+  /// Throws std::invalid_argument on shape mismatch or empty data.
+  void fit(const linalg::Matrix& x, const linalg::Vector& y);
+
+  /// Adds one observation to a fitted model. When hyperparameter
+  /// optimization and target normalization are both disabled, the
+  /// covariance factor is extended incrementally in O(n²); otherwise the
+  /// model refits from scratch (hyperparameters/normalization depend on
+  /// the full data). Throws std::logic_error before fit() and
+  /// std::invalid_argument on dimension mismatch.
+  void add_observation(std::span<const double> x, double y);
+
+  bool is_fitted() const noexcept { return factor_.has_value(); }
+  std::size_t observation_count() const noexcept { return y_raw_.size(); }
+  std::size_t input_dim() const noexcept;
+
+  /// Predictive mean/variance at a query point (dimension d).
+  /// Throws std::logic_error when called before fit().
+  Prediction predict(std::span<const double> x) const;
+
+  /// Log marginal likelihood of the fitted data under current
+  /// hyperparameters (normalized-target space).
+  double log_marginal_likelihood() const;
+
+  const Kernel& kernel() const noexcept { return *kernel_; }
+  double noise_stddev() const noexcept { return noise_stddev_; }
+
+ private:
+  /// Builds K(X, X) + sigma_n^2 I and factorizes; returns log marginal
+  /// likelihood, or -inf when the factorization fails.
+  double refit_with_current_params();
+
+  void optimize_hyperparameters();
+
+  std::unique_ptr<Kernel> kernel_;
+  GpOptions options_;
+  double noise_stddev_ = 1e-3;
+
+  linalg::Matrix x_;          // stored design points
+  linalg::Vector y_raw_;      // original targets
+  linalg::Vector y_;          // normalized targets
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+
+  std::optional<linalg::CholeskyFactor> factor_;
+  linalg::Vector alpha_;  // (K + sigma^2 I)^{-1} y
+};
+
+}  // namespace mlcd::gp

@@ -1,0 +1,94 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mlcd::gp {
+
+ArdStationaryKernel::ArdStationaryKernel(std::size_t dim)
+    : lengthscales_(dim, 1.0) {
+  if (dim == 0) {
+    throw std::invalid_argument("ArdStationaryKernel: dim must be > 0");
+  }
+}
+
+std::vector<double> ArdStationaryKernel::log_params() const {
+  std::vector<double> lp;
+  lp.reserve(param_count());
+  lp.push_back(std::log(signal_stddev_));
+  for (double l : lengthscales_) lp.push_back(std::log(l));
+  return lp;
+}
+
+void ArdStationaryKernel::set_log_params(std::span<const double> lp) {
+  if (lp.size() != param_count()) {
+    throw std::invalid_argument("set_log_params: size mismatch");
+  }
+  signal_stddev_ = std::exp(lp[0]);
+  for (std::size_t d = 0; d < lengthscales_.size(); ++d) {
+    lengthscales_[d] = std::exp(lp[d + 1]);
+  }
+}
+
+void ArdStationaryKernel::set_signal_stddev(double s) {
+  if (!(s > 0.0)) {
+    throw std::invalid_argument("set_signal_stddev: must be positive");
+  }
+  signal_stddev_ = s;
+}
+
+void ArdStationaryKernel::set_lengthscale(std::size_t dim, double l) {
+  if (dim >= lengthscales_.size()) {
+    throw std::out_of_range("set_lengthscale: bad dimension");
+  }
+  if (!(l > 0.0)) {
+    throw std::invalid_argument("set_lengthscale: must be positive");
+  }
+  lengthscales_[dim] = l;
+}
+
+double ArdStationaryKernel::scaled_distance(std::span<const double> a,
+                                            std::span<const double> b) const {
+  if (a.size() != lengthscales_.size() || b.size() != lengthscales_.size()) {
+    throw std::invalid_argument("kernel: input dimension mismatch");
+  }
+  double r2 = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double s = (a[d] - b[d]) / lengthscales_[d];
+    r2 += s * s;
+  }
+  return std::sqrt(r2);
+}
+
+double ArdStationaryKernel::operator()(std::span<const double> a,
+                                       std::span<const double> b) const {
+  return signal_variance() * radial(scaled_distance(a, b));
+}
+
+double SquaredExponentialKernel::radial(double r) const {
+  return std::exp(-0.5 * r * r);
+}
+
+std::unique_ptr<Kernel> SquaredExponentialKernel::clone() const {
+  return std::make_unique<SquaredExponentialKernel>(*this);
+}
+
+double Matern32Kernel::radial(double r) const {
+  const double s = std::sqrt(3.0) * r;
+  return (1.0 + s) * std::exp(-s);
+}
+
+std::unique_ptr<Kernel> Matern32Kernel::clone() const {
+  return std::make_unique<Matern32Kernel>(*this);
+}
+
+double Matern52Kernel::radial(double r) const {
+  const double s = std::sqrt(5.0) * r;
+  return (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+std::unique_ptr<Kernel> Matern52Kernel::clone() const {
+  return std::make_unique<Matern52Kernel>(*this);
+}
+
+}  // namespace mlcd::gp

@@ -1,0 +1,39 @@
+// Derivative-free Nelder–Mead simplex minimizer.
+//
+// Used for GP hyperparameter maximum-likelihood estimation in log space
+// (a smooth, low-dimensional, cheap-to-evaluate objective — exactly the
+// regime where Nelder–Mead is adequate and a gradient implementation
+// would add complexity without benefit at n <= ~5 parameters).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace mlcd::gp {
+
+struct NelderMeadOptions {
+  int max_iterations = 400;
+  /// Converged when both the simplex function-value spread and the
+  /// simplex diameter fall below these.
+  double f_tolerance = 1e-9;
+  double x_tolerance = 1e-7;
+  /// Initial simplex edge length relative to each start coordinate
+  /// (absolute when the coordinate is ~0).
+  double initial_step = 0.25;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;    ///< best point found
+  double value = 0.0;       ///< objective at x
+  int iterations = 0;       ///< iterations used
+  bool converged = false;   ///< tolerances met before max_iterations
+};
+
+/// Minimizes `objective` starting at `start`. The objective may return
+/// +inf (or NaN, treated as +inf) to reject infeasible points.
+/// Throws std::invalid_argument for an empty start point.
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& start, const NelderMeadOptions& options = {});
+
+}  // namespace mlcd::gp

@@ -1,0 +1,128 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace mlcd::linalg {
+
+CholeskyFactor::CholeskyFactor(const Matrix& a, int max_jitter_scalings) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("CholeskyFactor: matrix is not square");
+  }
+  if (a.rows() == 0) {
+    throw std::invalid_argument("CholeskyFactor: empty matrix");
+  }
+
+  if (auto l = try_factor(a)) {
+    l_ = std::move(*l);
+    return;
+  }
+
+  double mean_diag = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) mean_diag += a(i, i);
+  mean_diag /= static_cast<double>(a.rows());
+  double jitter = 1e-12 * std::max(mean_diag, 1.0);
+
+  for (int attempt = 0; attempt < max_jitter_scalings; ++attempt) {
+    Matrix jittered = a;
+    jittered.add_to_diagonal(jitter);
+    if (auto l = try_factor(jittered)) {
+      MLCD_LOG(kDebug, "linalg")
+          << "Cholesky succeeded with jitter " << jitter;
+      l_ = std::move(*l);
+      jitter_ = jitter;
+      return;
+    }
+    jitter *= 10.0;
+  }
+  throw std::runtime_error(
+      "CholeskyFactor: matrix not positive definite even with jitter");
+}
+
+std::optional<Matrix> CholeskyFactor::try_factor(const Matrix& a) {
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+Vector CholeskyFactor::solve(const Vector& b) const {
+  return solve_lower_transpose(solve_lower(b));
+}
+
+Vector CholeskyFactor::solve_lower(const Vector& b) const {
+  const std::size_t n = dim();
+  if (b.size() != n) {
+    throw std::invalid_argument("CholeskyFactor::solve_lower: size mismatch");
+  }
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Vector CholeskyFactor::solve_lower_transpose(const Vector& y) const {
+  const std::size_t n = dim();
+  if (y.size() != n) {
+    throw std::invalid_argument(
+        "CholeskyFactor::solve_lower_transpose: size mismatch");
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+double CholeskyFactor::log_determinant() const {
+  double ld = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) ld += std::log(l_(i, i));
+  return 2.0 * ld;
+}
+
+double CholeskyFactor::quadratic_form(const Vector& b) const {
+  const Vector y = solve_lower(b);
+  return dot(y, y);
+}
+
+void CholeskyFactor::extend(const Vector& col, double diag) {
+  const std::size_t n = dim();
+  if (col.size() != n) {
+    throw std::invalid_argument("CholeskyFactor::extend: size mismatch");
+  }
+  // New bottom row of L: L row = solve(L l = col); corner = sqrt of the
+  // Schur complement.
+  const Vector l_row = solve_lower(col);
+  const double schur = diag - dot(l_row, l_row);
+  if (!(schur > 0.0) || !std::isfinite(schur)) {
+    throw std::runtime_error(
+        "CholeskyFactor::extend: bordered matrix not positive definite");
+  }
+  Matrix grown(n + 1, n + 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) grown(r, c) = l_(r, c);
+  }
+  for (std::size_t c = 0; c < n; ++c) grown(n, c) = l_row[c];
+  grown(n, n) = std::sqrt(schur);
+  l_ = std::move(grown);
+}
+
+}  // namespace mlcd::linalg

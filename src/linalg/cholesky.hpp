@@ -1,0 +1,69 @@
+// Cholesky factorization of symmetric positive-definite matrices with
+// escalating diagonal jitter — the standard numerically robust route for
+// Gaussian-process covariance matrices, which are PSD in exact arithmetic
+// but often indefinite at machine precision when observations nearly
+// coincide (e.g. two probes of the same deployment).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace mlcd::linalg {
+
+/// Lower-triangular Cholesky factor L with A + jitter*I = L*L^T.
+class CholeskyFactor {
+ public:
+  /// Factorizes `a` (must be square, symmetric). If the plain
+  /// factorization fails, retries with jitter 1e-12 * mean(diag) escalated
+  /// by 10x up to `max_jitter_scalings` times.
+  ///
+  /// Throws std::invalid_argument for non-square input and
+  /// std::runtime_error when the matrix is not PD even at maximum jitter.
+  explicit CholeskyFactor(const Matrix& a, int max_jitter_scalings = 10);
+
+  /// The lower-triangular factor.
+  const Matrix& lower() const noexcept { return l_; }
+
+  /// The jitter actually added to the diagonal (0 when none was needed).
+  double jitter() const noexcept { return jitter_; }
+
+  std::size_t dim() const noexcept { return l_.rows(); }
+
+  /// Solves (L L^T) x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solves L y = b (forward substitution).
+  Vector solve_lower(const Vector& b) const;
+
+  /// Solves L^T x = y (backward substitution).
+  Vector solve_lower_transpose(const Vector& y) const;
+
+  /// log det(A + jitter I) = 2 * sum_i log L_ii.
+  double log_determinant() const;
+
+  /// b^T A^{-1} b via the factor — the quadratic form in the GP marginal
+  /// likelihood.
+  double quadratic_form(const Vector& b) const;
+
+  /// Extends the factorization of A to that of the bordered matrix
+  ///   [ A    col ]
+  ///   [ colᵀ diag]
+  /// in O(n²) instead of a fresh O(n³) factorization — the incremental
+  /// update a growing GP uses when one observation arrives.
+  /// `col` has dim() entries. Throws std::invalid_argument on a size
+  /// mismatch and std::runtime_error when the bordered matrix is not
+  /// positive definite.
+  void extend(const Vector& col, double diag);
+
+ private:
+  /// Attempts a plain factorization; returns std::nullopt when a
+  /// non-positive pivot is hit.
+  static std::optional<Matrix> try_factor(const Matrix& a);
+
+  Matrix l_;
+  double jitter_ = 0.0;
+};
+
+}  // namespace mlcd::linalg

@@ -1,0 +1,24 @@
+#include "mlcd/cloud_interface.hpp"
+
+namespace mlcd::system {
+
+SimulatedCloud::SimulatedCloud()
+    : catalog_(&cloud::aws_catalog()),
+      perf_(cloud::aws_catalog(), perf::PerfModelOptions{}) {}
+
+SimulatedCloud::SimulatedCloud(const cloud::InstanceCatalog& catalog,
+                               perf::PerfModelOptions perf_options)
+    : owned_catalog_(std::make_unique<cloud::InstanceCatalog>(catalog)),
+      perf_(*owned_catalog_, perf_options) {
+  catalog_ = owned_catalog_.get();
+}
+
+const cloud::InstanceCatalog& SimulatedCloud::catalog() const {
+  return *catalog_;
+}
+
+const perf::TrainingPerfModel& SimulatedCloud::perf_model() const {
+  return perf_;
+}
+
+}  // namespace mlcd::system

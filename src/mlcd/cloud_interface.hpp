@@ -1,0 +1,54 @@
+// MLCD Cloud Interface (paper §IV, Fig. 8).
+//
+// Abstracts the cloud provider behind launch/price/measure operations so
+// the Deployment Engine is provider-agnostic. The paper's prototype
+// speaks to AWS (and names Google Cloud/Azure as drop-ins); this repo
+// ships the simulated provider, which exposes the identical surface over
+// the substrate in src/cloud + src/perf.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cloud/deployment.hpp"
+#include "cloud/instance.hpp"
+#include "perf/perf_model.hpp"
+
+namespace mlcd::system {
+
+/// Provider abstraction: what the Deployment Engine needs from a cloud.
+class CloudInterface {
+ public:
+  virtual ~CloudInterface() = default;
+
+  virtual std::string provider_name() const = 0;
+
+  /// Instance types this provider offers.
+  virtual const cloud::InstanceCatalog& catalog() const = 0;
+
+  /// The performance substrate measurements come from. (On a real
+  /// provider this is the actual training run; here, the simulator.)
+  virtual const perf::TrainingPerfModel& perf_model() const = 0;
+};
+
+/// The simulated AWS-like provider.
+class SimulatedCloud final : public CloudInterface {
+ public:
+  /// Uses the 62-type catalog and default substrate constants.
+  SimulatedCloud();
+
+  /// Custom catalog / substrate constants (tests and ablations).
+  SimulatedCloud(const cloud::InstanceCatalog& catalog,
+                 perf::PerfModelOptions perf_options);
+
+  std::string provider_name() const override { return "aws-sim"; }
+  const cloud::InstanceCatalog& catalog() const override;
+  const perf::TrainingPerfModel& perf_model() const override;
+
+ private:
+  const cloud::InstanceCatalog* catalog_;
+  std::unique_ptr<cloud::InstanceCatalog> owned_catalog_;
+  perf::TrainingPerfModel perf_;
+};
+
+}  // namespace mlcd::system

@@ -1,0 +1,40 @@
+// MLCD HeterBO Deployment Engine (paper §IV, Fig. 8).
+//
+// Drives the deployment search against the Cloud Interface's substrate.
+// HeterBO is the default search method; the baselines are selectable by
+// name so examples/benches can compare methods through the same engine.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mlcd/cloud_interface.hpp"
+#include "search/searcher.hpp"
+
+namespace mlcd::system {
+
+class DeploymentEngine {
+ public:
+  explicit DeploymentEngine(const CloudInterface& cloud);
+
+  /// Builds a searcher: "heterbo" (default), "conv-bo", "bo-improved",
+  /// "cherrypick", "cherrypick-improved", "random", "exhaustive",
+  /// "paleo", "pareto". Throws std::invalid_argument for unknown names.
+  std::unique_ptr<search::Searcher> make_searcher(
+      const std::string& method) const;
+
+  /// Same factory against an explicit substrate — used when the search
+  /// space restricts the catalog (type indices must stay consistent
+  /// between the space and the performance model).
+  static std::unique_ptr<search::Searcher> make_searcher_for(
+      const perf::TrainingPerfModel& perf, const std::string& method);
+
+  /// Runs the search for `problem` with the given method.
+  search::SearchResult search(const search::SearchProblem& problem,
+                              const std::string& method = "heterbo") const;
+
+ private:
+  const CloudInterface* cloud_;
+};
+
+}  // namespace mlcd::system

@@ -1,0 +1,135 @@
+#include "mlcd/mlcd.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "cloud/deployment.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace mlcd::system {
+
+Mlcd::Mlcd()
+    : owned_cloud_(std::make_unique<SimulatedCloud>()),
+      cloud_(owned_cloud_.get()),
+      zoo_(&models::paper_zoo()),
+      engine_(*cloud_) {}
+
+Mlcd::Mlcd(const CloudInterface& cloud, const models::ModelZoo& zoo)
+    : cloud_(&cloud), zoo_(&zoo), engine_(*cloud_) {}
+
+RunReport Mlcd::deploy(const JobRequest& request) const {
+  if (request.max_nodes < 1) {
+    throw std::invalid_argument("Mlcd::deploy: max_nodes must be >= 1");
+  }
+  const models::ModelSpec& model = zoo_->model(request.model);
+  const search::Scenario scenario = analyzer_.analyze(request.requirements);
+
+  // Build the (possibly restricted) deployment space. The restricted
+  // catalog must outlive the search, so it lives beside the space.
+  std::optional<cloud::InstanceCatalog> restricted;
+  if (!request.instance_types.empty()) {
+    restricted = cloud_->catalog().subset(request.instance_types);
+  }
+  const cloud::InstanceCatalog& catalog =
+      restricted ? *restricted : cloud_->catalog();
+  const cloud::DeploymentSpace space(
+      catalog, request.max_nodes,
+      request.use_spot ? cloud::Market::kSpot : cloud::Market::kOnDemand);
+
+  // Map the restricted space's searcher onto a perf model sharing the
+  // same catalog view.
+  const perf::TrainingPerfModel perf_view(
+      catalog, cloud_->perf_model().options());
+
+  search::SearchProblem problem;
+  problem.config =
+      platforms_.make_config(model, request.platform, request.topology);
+  problem.space = &space;
+  problem.scenario = scenario;
+  problem.seed = request.seed;
+
+  RunReport report;
+  report.request = request;
+  report.scenario = scenario;
+  // Searchers must run against a perf model whose catalog view matches
+  // the space's type indices.
+  if (!request.warm_start.empty() && request.search_method == "heterbo") {
+    search::HeterBoOptions options;
+    options.warm_start = request.warm_start;
+    report.result = search::HeterBoSearcher(perf_view, options).run(problem);
+  } else {
+    report.result =
+        DeploymentEngine::make_searcher_for(perf_view,
+                                            request.search_method)
+            ->run(problem);
+  }
+  MLCD_LOG(kInfo, "mlcd") << report.result.method << " selected "
+                          << report.result.best_description;
+  return report;
+}
+
+std::string RunReport::to_json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("request").begin_object();
+  json.key("model").value(request.model);
+  json.key("platform").value(request.platform);
+  json.key("method").value(request.search_method);
+  json.key("max_nodes").value(request.max_nodes);
+  json.key("seed").value(static_cast<std::int64_t>(request.seed));
+  json.end_object();
+
+  json.key("scenario").begin_object();
+  json.key("description").value(scenario.describe());
+  if (scenario.has_deadline()) {
+    json.key("deadline_hours").value(scenario.deadline_hours);
+  }
+  if (scenario.has_budget()) {
+    json.key("budget_dollars").value(scenario.budget_dollars);
+  }
+  json.end_object();
+
+  json.key("result").begin_object();
+  json.key("found").value(result.found);
+  if (result.found) {
+    json.key("deployment").value(result.best_description);
+    json.key("nodes").value(result.best.nodes);
+    json.key("measured_speed").value(result.best_measured_speed);
+    json.key("profile_hours").value(result.profile_hours);
+    json.key("profile_cost").value(result.profile_cost);
+    json.key("training_hours").value(result.training_hours);
+    json.key("training_cost").value(result.training_cost);
+    json.key("total_hours").value(result.total_hours());
+    json.key("total_cost").value(result.total_cost());
+    json.key("constraints_met").value(result.meets_constraints(scenario));
+  }
+  json.key("trace").begin_array();
+  for (const search::ProbeStep& step : result.trace) {
+    json.begin_object();
+    json.key("reason").value(step.reason);
+    json.key("nodes").value(step.deployment.nodes);
+    json.key("type_index")
+        .value(static_cast<std::int64_t>(step.deployment.type_index));
+    json.key("failed").value(step.failed);
+    json.key("feasible").value(step.feasible);
+    json.key("measured_speed").value(step.measured_speed);
+    json.key("profile_cost").value(step.profile_cost);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+std::string RunReport::render() const {
+  std::ostringstream out;
+  out << "=== MLCD run report ===\n";
+  out << "job        : " << request.model << " on " << request.platform
+      << "\n";
+  out << result.summary(scenario);
+  return out.str();
+}
+
+}  // namespace mlcd::system

@@ -1,0 +1,83 @@
+// MLCD — the fully automated MLaaS training Cloud Deployment system
+// (paper §IV). The facade examples and downstream users program against:
+// submit a training job with its requirements, get back the deployment
+// MLCD selected together with the full cost/time accounting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mlcd/cloud_interface.hpp"
+#include "mlcd/deployment_engine.hpp"
+#include "mlcd/platform_interface.hpp"
+#include "mlcd/scenario_analyzer.hpp"
+#include "search/heter_bo.hpp"
+#include "models/model_zoo.hpp"
+#include "search/search_result.hpp"
+
+namespace mlcd::system {
+
+/// A training job as submitted by an MLaaS user.
+struct JobRequest {
+  std::string model;                 ///< zoo model name ("resnet", ...)
+  std::string platform = "tensorflow";
+  std::optional<perf::CommTopology> topology;  ///< auto when unset
+  UserRequirements requirements;
+  /// Scale-out bound of the search space (paper default: 50).
+  int max_nodes = 50;
+  /// Restrict the scale-up dimension to these instance types
+  /// (empty = full catalog).
+  std::vector<std::string> instance_types;
+  /// Buy spot capacity instead of on-demand: ~3x cheaper per hour, but
+  /// revocations inflate effective training time.
+  bool use_spot = false;
+  std::string search_method = "heterbo";
+  /// Measurements carried over from a previous search of a similar job
+  /// (heterbo only; see search::warm_start_points / trace_io.hpp).
+  std::vector<search::WarmStartPoint> warm_start;
+  std::uint64_t seed = 1;
+};
+
+/// MLCD's answer: the selected deployment plus all accounting.
+struct RunReport {
+  JobRequest request;
+  search::Scenario scenario;
+  search::SearchResult result;
+
+  /// Multi-line human-readable report.
+  std::string render() const;
+
+  /// Machine-readable report (request, scenario, chosen deployment,
+  /// accounting, full probe trace) as a JSON document.
+  std::string to_json() const;
+};
+
+class Mlcd {
+ public:
+  /// Uses the simulated provider and the paper's model zoo.
+  Mlcd();
+
+  /// Custom provider / zoo (tests, custom-model example).
+  Mlcd(const CloudInterface& cloud, const models::ModelZoo& zoo);
+
+  /// Runs the full pipeline: Scenario Analyzer -> Deployment Engine
+  /// (Profiler inside) -> report.
+  RunReport deploy(const JobRequest& request) const;
+
+  const models::ModelZoo& zoo() const noexcept { return *zoo_; }
+  const CloudInterface& cloud() const noexcept { return *cloud_; }
+
+ private:
+  // Declaration order matters: the owned provider must outlive (and be
+  // initialized before) the pointers and engine referring to it.
+  std::unique_ptr<SimulatedCloud> owned_cloud_;
+  const CloudInterface* cloud_;
+  const models::ModelZoo* zoo_;
+  ScenarioAnalyzer analyzer_;
+  MlPlatformInterface platforms_;
+  DeploymentEngine engine_;
+};
+
+}  // namespace mlcd::system

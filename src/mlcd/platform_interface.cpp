@@ -1,0 +1,29 @@
+#include "mlcd/platform_interface.hpp"
+
+namespace mlcd::system {
+
+perf::PlatformProfile MlPlatformInterface::platform(
+    const std::string& name) const {
+  return perf::platform_by_name(name);
+}
+
+perf::CommTopology MlPlatformInterface::default_topology(
+    const models::ModelSpec& model) const {
+  // Gradients beyond ~100M parameters overwhelm sharded PS endpoints;
+  // ring all-reduce is the practitioner default there (the paper trains
+  // BERT with ring all-reduce, the CNN/RNN models with PS).
+  return model.params > 100e6 ? perf::CommTopology::kRingAllReduce
+                              : perf::CommTopology::kParameterServer;
+}
+
+perf::TrainingConfig MlPlatformInterface::make_config(
+    const models::ModelSpec& model, const std::string& platform_name,
+    std::optional<perf::CommTopology> topology) const {
+  perf::TrainingConfig config;
+  config.model = model;
+  config.platform = platform(platform_name);
+  config.topology = topology.value_or(default_topology(model));
+  return config;
+}
+
+}  // namespace mlcd::system

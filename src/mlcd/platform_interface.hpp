@@ -1,0 +1,34 @@
+// MLCD ML Platform Interface (paper §IV, Fig. 8).
+//
+// Connects training platforms (TensorFlow, MXNet) and their distribution
+// features (parameter server, ring all-reduce) to the Deployment Engine.
+// Chooses a sensible default topology per model when the user does not
+// pin one: very large models train with ring all-reduce (as the paper's
+// BERT runs do), smaller ones default to PS.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "models/model_zoo.hpp"
+#include "perf/perf_model.hpp"
+#include "perf/platform.hpp"
+
+namespace mlcd::system {
+
+class MlPlatformInterface {
+ public:
+  /// Platform by name ("tensorflow", "mxnet").
+  /// Throws std::invalid_argument for unknown platforms.
+  perf::PlatformProfile platform(const std::string& name) const;
+
+  /// Topology to use for a model when the user did not pin one.
+  perf::CommTopology default_topology(const models::ModelSpec& model) const;
+
+  /// Assembles the full training configuration.
+  perf::TrainingConfig make_config(
+      const models::ModelSpec& model, const std::string& platform_name,
+      std::optional<perf::CommTopology> topology) const;
+};
+
+}  // namespace mlcd::system

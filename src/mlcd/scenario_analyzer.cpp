@@ -1,0 +1,33 @@
+#include "mlcd/scenario_analyzer.hpp"
+
+#include <stdexcept>
+
+namespace mlcd::system {
+
+search::Scenario ScenarioAnalyzer::analyze(
+    const UserRequirements& requirements) const {
+  const auto positive = [](std::optional<double> v) {
+    return !v.has_value() || *v > 0.0;
+  };
+  if (!positive(requirements.deadline_hours) ||
+      !positive(requirements.budget_dollars)) {
+    throw std::invalid_argument(
+        "ScenarioAnalyzer: bounds must be positive");
+  }
+
+  if (requirements.budget_dollars) {
+    search::Scenario s =
+        search::Scenario::fastest_under_budget(*requirements.budget_dollars);
+    if (requirements.deadline_hours) {
+      s.deadline_hours = *requirements.deadline_hours;
+    }
+    return s;
+  }
+  if (requirements.deadline_hours) {
+    return search::Scenario::cheapest_under_deadline(
+        *requirements.deadline_hours);
+  }
+  return search::Scenario::fastest();
+}
+
+}  // namespace mlcd::system

@@ -1,0 +1,30 @@
+// MLCD Scenario Analyzer (paper §IV, Fig. 8).
+//
+// Turns raw user requirements — an optional deadline and/or an optional
+// budget — into the formal search constraints of §III-B. The paper's
+// three scenarios map as: neither bound -> Scenario 1; deadline only ->
+// Scenario 2; budget only -> Scenario 3. When a user supplies both, the
+// tighter-to-satisfy budget formulation is used with the deadline kept as
+// an additional constraint (both are enforced by the protective reserve).
+#pragma once
+
+#include <optional>
+
+#include "search/scenario.hpp"
+
+namespace mlcd::system {
+
+/// Raw user requirements as MLCD accepts them.
+struct UserRequirements {
+  std::optional<double> deadline_hours;
+  std::optional<double> budget_dollars;
+};
+
+class ScenarioAnalyzer {
+ public:
+  /// Forms the search constraints; throws std::invalid_argument for
+  /// non-positive bounds.
+  search::Scenario analyze(const UserRequirements& requirements) const;
+};
+
+}  // namespace mlcd::system

@@ -1,0 +1,78 @@
+// ML model and dataset descriptors.
+//
+// The search treats a training job as a black box, but the *simulated
+// substrate* needs enough structure to produce realistic speed surfaces:
+// per-sample compute (FLOPs), gradient size (bytes exchanged per
+// iteration), architecture kind (CNNs vectorize well on GPUs, RNNs
+// poorly — the mechanism behind the paper's Fig. 1b surprise), and the
+// total sample count of the full training job (to convert speed into
+// training time and dollars).
+//
+// The zoo covers every model in the paper's evaluation: AlexNet (6.4M
+// parameters, the count Fig. 19 uses), ResNet (60.3M), Inception-V3,
+// Char-RNN, BERT-Large (340M), and the ZeRO 8B/20B scaling points.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlcd::models {
+
+/// Architecture class; drives device-efficiency factors in the
+/// performance model.
+enum class ModelKind { kCnn, kRnn, kTransformer };
+
+std::string_view model_kind_name(ModelKind kind) noexcept;
+
+/// Training dataset descriptor.
+struct DatasetSpec {
+  std::string name;
+  std::uint64_t train_samples = 0;
+  double sample_bytes = 0.0;  ///< average encoded sample size
+};
+
+/// Trainable model descriptor.
+struct ModelSpec {
+  std::string name;
+  ModelKind kind = ModelKind::kCnn;
+  double params = 0.0;            ///< trainable parameter count
+  double flops_per_sample = 0.0;  ///< fwd+bwd FLOPs per training sample
+  std::string dataset;            ///< default dataset name
+  /// Samples the full training job must process (epochs x dataset size).
+  double samples_to_train = 0.0;
+  /// Per-node minibatch size used in (data-parallel, strong-scaling)
+  /// profiling; kept fixed across deployments per the paper §III-A.
+  int batch_per_node = 32;
+
+  /// Gradient bytes exchanged per iteration (fp32 parameters).
+  double gradient_bytes() const noexcept { return params * 4.0; }
+};
+
+/// Immutable model/dataset registry with the paper's zoo preloaded.
+class ModelZoo {
+ public:
+  ModelZoo(std::vector<ModelSpec> models, std::vector<DatasetSpec> datasets);
+
+  const ModelSpec& model(std::string_view name) const;
+  const DatasetSpec& dataset(std::string_view name) const;
+  std::optional<std::size_t> find_model(std::string_view name) const;
+
+  std::span<const ModelSpec> models() const noexcept { return models_; }
+  std::span<const DatasetSpec> datasets() const noexcept { return datasets_; }
+
+  /// Registry extended with a user-supplied model (examples use this).
+  ModelZoo with_model(ModelSpec extra) const;
+
+ private:
+  std::vector<ModelSpec> models_;
+  std::vector<DatasetSpec> datasets_;
+};
+
+/// The paper's evaluation zoo.
+const ModelZoo& paper_zoo();
+
+}  // namespace mlcd::models

@@ -1,0 +1,156 @@
+#include "perf/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mlcd::perf {
+
+double model_device_efficiency(models::ModelKind kind,
+                               cloud::DeviceKind device) noexcept {
+  using MK = models::ModelKind;
+  using DK = cloud::DeviceKind;
+  const bool gpu = cloud::is_gpu(device);
+  switch (kind) {
+    case MK::kCnn:
+      // The catalog's effective_tflops is calibrated on CNNs.
+      return 1.0;
+    case MK::kRnn:
+      // Sequential cell dependencies leave GPUs underutilized; small
+      // matmuls run close to peak on wide-vector CPUs.
+      if (!gpu) return 1.0;
+      return device == DK::kGpuV100 ? 0.25 : 0.15;
+    case MK::kTransformer:
+      // Large dense matmuls: excellent on GPUs, memory-bandwidth-bound
+      // on CPUs.
+      return gpu ? 1.0 : 0.55;
+  }
+  return 1.0;
+}
+
+TrainingPerfModel::TrainingPerfModel(const cloud::InstanceCatalog& catalog,
+                                     PerfModelOptions options)
+    : catalog_(&catalog), options_(options) {
+  if (options_.ps_incast_alpha < 0.0 || options_.ps_incast_beta < 0.0 ||
+      options_.ring_straggler_beta < 0.0 ||
+      options_.zero_comm_factor < 1.0) {
+    throw std::invalid_argument("TrainingPerfModel: invalid options");
+  }
+}
+
+double TrainingPerfModel::node_memory_bytes(
+    const cloud::InstanceSpec& spec) const noexcept {
+  // Training state must fit in accelerator memory on GPU instances and in
+  // host RAM (with ~25% reserved for the runtime) on CPU instances.
+  if (spec.is_gpu_instance()) {
+    double per_gpu_gib = 12.0;  // K80
+    if (spec.device == cloud::DeviceKind::kGpuV100) per_gpu_gib = 16.0;
+    if (spec.device == cloud::DeviceKind::kGpuM60) per_gpu_gib = 8.0;
+    return spec.gpus * per_gpu_gib * 1024.0 * 1024.0 * 1024.0;
+  }
+  return spec.mem_gib * 0.75 * 1024.0 * 1024.0 * 1024.0;
+}
+
+IterationBreakdown TrainingPerfModel::breakdown(
+    const TrainingConfig& config, const cloud::Deployment& d) const {
+  IterationBreakdown out;
+  const cloud::InstanceSpec& spec = catalog_->at(d.type_index);
+  const models::ModelSpec& m = config.model;
+  const int n = d.nodes;
+  if (n < 1) throw std::invalid_argument("breakdown: nodes must be >= 1");
+
+  // --- Feasibility: weights + gradients + optimizer state (fp32 Adam-ish
+  // bookkeeping: 16 bytes/parameter), plus activations ~ proportional to
+  // per-node batch FLOPs footprint (rough constant factor).
+  const double state_bytes = m.params * 16.0;
+  const double mem = node_memory_bytes(spec);
+  bool zero_mode = false;
+  if (state_bytes > mem) {
+    if (!options_.allow_zero_partitioning) return out;  // infeasible
+    // ZeRO partitions state across the n replicas.
+    if (state_bytes / n > mem) return out;  // still infeasible
+    zero_mode = true;
+  }
+
+  // --- Compute time for one per-node minibatch.
+  const double kind_eff = model_device_efficiency(m.kind, spec.device);
+  // Within-instance scale-up efficiency loss relative to the family's
+  // base size (4 vCPUs / 1 GPU).
+  double scaleup_eff = 1.0;
+  if (spec.is_gpu_instance()) {
+    scaleup_eff = std::pow(1.0 / std::max(1, spec.gpus),
+                           options_.gpu_scaleup_exponent);
+  } else if (spec.vcpus > 4) {
+    scaleup_eff =
+        std::pow(4.0 / spec.vcpus, options_.cpu_scaleup_exponent);
+  }
+  const double device_flops = spec.effective_tflops * 1e12 * kind_eff *
+                              scaleup_eff *
+                              config.platform.framework_efficiency;
+  const double compute_s =
+      static_cast<double>(m.batch_per_node) * m.flops_per_sample /
+      device_flops;
+
+  // --- Communication time for one gradient exchange.
+  double comm_s = 0.0;
+  if (n > 1) {
+    const double bw_bytes = spec.network_gbps * 1e9 / 8.0;
+    double grad_bytes = m.gradient_bytes();
+    if (zero_mode) grad_bytes *= options_.zero_comm_factor;
+    const double nd = static_cast<double>(n);
+    if (config.topology == CommTopology::kParameterServer) {
+      // Sharded PS: each worker pushes and pulls the full gradient per
+      // iteration; incast congestion inflates the effective transfer.
+      const double base = 2.0 * grad_bytes / bw_bytes * (nd - 1.0) / nd;
+      const double congestion = 1.0 + options_.ps_incast_alpha * (nd - 1.0) +
+                                options_.ps_incast_beta * (nd - 1.0) *
+                                    (nd - 1.0);
+      comm_s = base * congestion;
+    } else {
+      // Ring all-reduce: 2(n-1)/n of the gradient crosses each NIC, plus
+      // 2(n-1) latency hops, inflated by synchronization stragglers.
+      const double base = 2.0 * grad_bytes * (nd - 1.0) / (nd * bw_bytes) +
+                          2.0 * (nd - 1.0) * config.platform.step_latency_s;
+      const double straggle =
+          1.0 + options_.ring_straggler_beta * (nd - 1.0) * (nd - 1.0);
+      comm_s = base * straggle;
+    }
+  }
+
+  // --- Compose the iteration with comm/compute overlap.
+  const double overlap = config.platform.overlap(config.topology);
+  const double iteration_s =
+      compute_s + std::max(0.0, comm_s - overlap * compute_s);
+
+  out.compute_s = compute_s;
+  out.comm_s = comm_s;
+  out.iteration_s = iteration_s;
+  out.speed = static_cast<double>(n) * m.batch_per_node / iteration_s;
+  out.feasible = true;
+  out.used_zero_partitioning = zero_mode;
+  return out;
+}
+
+double TrainingPerfModel::true_speed(const TrainingConfig& config,
+                                     const cloud::Deployment& d) const {
+  return breakdown(config, d).speed;
+}
+
+bool TrainingPerfModel::memory_feasible(const TrainingConfig& config,
+                                        const cloud::Deployment& d) const {
+  const cloud::InstanceSpec& spec = catalog_->at(d.type_index);
+  const double state_bytes = config.model.params * 16.0;
+  const double mem = node_memory_bytes(spec);
+  if (state_bytes <= mem) return true;
+  return options_.allow_zero_partitioning &&
+         state_bytes / std::max(1, d.nodes) <= mem;
+}
+
+std::optional<double> TrainingPerfModel::training_hours(
+    const TrainingConfig& config, const cloud::Deployment& d) const {
+  const double speed = true_speed(config, d);
+  if (speed <= 0.0) return std::nullopt;
+  return config.model.samples_to_train / speed / 3600.0;
+}
+
+}  // namespace mlcd::perf

@@ -1,0 +1,120 @@
+// Distributed-training performance model — the simulated ground truth.
+//
+// Substitutes for the paper's AWS testbed (see DESIGN.md §2). For a
+// deployment D(m, n) it produces the steady-state training speed in
+// samples/second of synchronous data-parallel training:
+//
+//   t_iter(n)  = t_comp + max(0, t_comm(n) - overlap * t_comp)
+//   speed(n)   = n * batch_per_node / t_iter(n)
+//
+// Compute: per-node batch FLOPs over the instance's effective throughput,
+// scaled by a (model kind x device class) efficiency — the mechanism
+// behind the paper's observation that GPUs are not always the best
+// performance/cost (RNNs underutilize them, Fig. 1b) — and by a mild
+// within-instance scale-up efficiency loss (Fig. 3a's non-linearity).
+//
+// Communication: gradient exchange per iteration.
+//   PS:   2G/B per worker with an incast-congestion factor that grows
+//         superlinearly in n — this is what bends the scale-out curve
+//         over into the paper's concave shape (Fig. 3b).
+//   Ring: bandwidth-optimal 2G(n-1)/(nB) plus per-hop latency and a
+//         straggler synchronization term that also grows with n.
+//
+// Feasibility: data-parallel replicas must fit in device memory; models
+// that do not fit (BERT on small GPUs, ZeRO-scale models anywhere) fall
+// back to ZeRO-style partitioning when allowed, which divides state
+// across nodes at 1.5x communication cost. Infeasible deployments report
+// speed 0 — searchers must cope with them, as on the real cloud.
+#pragma once
+
+#include <optional>
+
+#include "cloud/deployment.hpp"
+#include "cloud/instance.hpp"
+#include "models/model_zoo.hpp"
+#include "perf/platform.hpp"
+
+namespace mlcd::perf {
+
+/// A training job as the performance model sees it.
+struct TrainingConfig {
+  models::ModelSpec model;
+  PlatformProfile platform;
+  CommTopology topology = CommTopology::kParameterServer;
+};
+
+/// Tunable constants of the simulated substrate. The defaults are
+/// calibrated so the paper's qualitative shapes hold (see EXPERIMENTS.md);
+/// the Paleo baseline deliberately zeroes the "nuance" terms.
+struct PerfModelOptions {
+  /// PS incast congestion: t_comm *= 1 + alpha (n-1) + beta (n-1)^2.
+  double ps_incast_alpha = 0.035;
+  double ps_incast_beta = 0.0022;
+  /// Ring straggler/jitter growth: t_comm *= 1 + beta (n-1)^2.
+  double ring_straggler_beta = 0.0011;
+  /// Within-instance scale-up efficiency exponents (throughput is scaled
+  /// by (base_units/units)^exponent for units above the base size).
+  double cpu_scaleup_exponent = 0.10;
+  double gpu_scaleup_exponent = 0.08;
+  /// Allow ZeRO-style state partitioning when a replica does not fit.
+  bool allow_zero_partitioning = true;
+  /// Communication inflation under ZeRO partitioning.
+  double zero_comm_factor = 1.5;
+};
+
+/// Per-iteration timing breakdown, for diagnostics and tests.
+struct IterationBreakdown {
+  double compute_s = 0.0;      ///< per-node compute time
+  double comm_s = 0.0;         ///< gradient-exchange time (pre-overlap)
+  double iteration_s = 0.0;    ///< resulting iteration wall time
+  double speed = 0.0;          ///< samples/s of the whole cluster
+  bool feasible = false;
+  bool used_zero_partitioning = false;
+};
+
+/// Efficiency of a model kind on a device class, relative to the
+/// catalog's effective_tflops (which is calibrated for CNNs).
+double model_device_efficiency(models::ModelKind kind,
+                               cloud::DeviceKind device) noexcept;
+
+/// Deterministic performance model over a given catalog.
+class TrainingPerfModel {
+ public:
+  explicit TrainingPerfModel(const cloud::InstanceCatalog& catalog,
+                             PerfModelOptions options = {});
+
+  const cloud::InstanceCatalog& catalog() const noexcept { return *catalog_; }
+  const PerfModelOptions& options() const noexcept { return options_; }
+
+  /// Steady-state speed in samples/s; 0 when the deployment cannot hold
+  /// the model. Deterministic (measurement noise is the Profiler's job).
+  double true_speed(const TrainingConfig& config,
+                    const cloud::Deployment& d) const;
+
+  /// Static memory-feasibility check: can the model's training state fit
+  /// this deployment (with ZeRO partitioning when allowed)? This needs no
+  /// profiling — it is arithmetic on the model's parameter count and the
+  /// instance's memory — so searchers may use it to avoid launching
+  /// doomed probes, the way any practitioner sizing a 20B-parameter job
+  /// would.
+  bool memory_feasible(const TrainingConfig& config,
+                       const cloud::Deployment& d) const;
+
+  /// Full timing breakdown (same math as true_speed).
+  IterationBreakdown breakdown(const TrainingConfig& config,
+                               const cloud::Deployment& d) const;
+
+  /// Hours to finish the full training job (samples_to_train / speed);
+  /// std::nullopt when infeasible.
+  std::optional<double> training_hours(const TrainingConfig& config,
+                                       const cloud::Deployment& d) const;
+
+ private:
+  /// Usable training-state memory of one node, bytes.
+  double node_memory_bytes(const cloud::InstanceSpec& spec) const noexcept;
+
+  const cloud::InstanceCatalog* catalog_;
+  PerfModelOptions options_;
+};
+
+}  // namespace mlcd::perf

@@ -1,0 +1,44 @@
+#include "perf/platform.hpp"
+
+#include <stdexcept>
+
+namespace mlcd::perf {
+
+std::string_view comm_topology_name(CommTopology t) noexcept {
+  switch (t) {
+    case CommTopology::kParameterServer:
+      return "parameter-server";
+    case CommTopology::kRingAllReduce:
+      return "ring-all-reduce";
+  }
+  return "?";
+}
+
+PlatformProfile tensorflow_profile() {
+  PlatformProfile p;
+  p.name = "tensorflow";
+  p.framework_efficiency = 0.88;
+  p.overlap_ps = 0.30;
+  p.overlap_ring = 0.50;
+  p.step_latency_s = 200e-6;
+  return p;
+}
+
+PlatformProfile mxnet_profile() {
+  PlatformProfile p;
+  p.name = "mxnet";
+  p.framework_efficiency = 0.92;
+  p.overlap_ps = 0.40;
+  p.overlap_ring = 0.45;
+  p.step_latency_s = 150e-6;
+  return p;
+}
+
+PlatformProfile platform_by_name(std::string_view name) {
+  if (name == "tensorflow") return tensorflow_profile();
+  if (name == "mxnet") return mxnet_profile();
+  throw std::invalid_argument("platform_by_name: unknown platform " +
+                              std::string(name));
+}
+
+}  // namespace mlcd::perf

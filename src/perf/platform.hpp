@@ -1,0 +1,54 @@
+// ML training platform profiles (TensorFlow, MXNet) and communication
+// topologies (parameter server, ring all-reduce).
+//
+// The paper evaluates MLCD across both platforms and both topologies to
+// show HeterBO is platform-independent (§V-A). What differs between
+// platforms at the level the deployment search observes is a handful of
+// efficiency constants: framework overhead, and how much of the gradient
+// exchange each runtime overlaps with backprop. These live here so the
+// performance model stays platform-agnostic.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mlcd::perf {
+
+/// Gradient-synchronization topology for data-parallel training.
+enum class CommTopology {
+  kParameterServer,  ///< sharded PS co-located with workers
+  kRingAllReduce,    ///< bandwidth-optimal ring (Horovod-style)
+};
+
+std::string_view comm_topology_name(CommTopology t) noexcept;
+
+/// Runtime characteristics of a training platform.
+struct PlatformProfile {
+  std::string name;
+  /// Multiplier on raw device throughput (kernel dispatch, graph
+  /// execution, input pipeline overheads).
+  double framework_efficiency = 0.9;
+  /// Fraction of communication hidden behind backprop, per topology.
+  double overlap_ps = 0.30;
+  double overlap_ring = 0.50;
+  /// Per-hop latency of one collective step, seconds.
+  double step_latency_s = 200e-6;
+
+  /// Overlap fraction for the given topology.
+  double overlap(CommTopology t) const noexcept {
+    return t == CommTopology::kParameterServer ? overlap_ps : overlap_ring;
+  }
+};
+
+/// TensorFlow 1.x-era profile (graph mode, grpc PS / NCCL+Horovod ring).
+PlatformProfile tensorflow_profile();
+
+/// MXNet profile (kvstore PS / NCCL ring); slightly cheaper runtime,
+/// less aggressive overlap on ring.
+PlatformProfile mxnet_profile();
+
+/// Lookup by name ("tensorflow", "mxnet");
+/// throws std::invalid_argument otherwise.
+PlatformProfile platform_by_name(std::string_view name);
+
+}  // namespace mlcd::perf

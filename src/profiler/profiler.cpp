@@ -1,0 +1,119 @@
+#include "profiler/profiler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+#include "util/logging.hpp"
+
+namespace mlcd::profiler {
+
+Profiler::Profiler(const perf::TrainingPerfModel& perf,
+                   const cloud::DeploymentSpace& space,
+                   cloud::BillingMeter& meter, std::uint64_t seed,
+                   ProfilerOptions options)
+    : perf_(&perf),
+      space_(&space),
+      meter_(&meter),
+      rng_(seed),
+      options_(options) {
+  if (options_.iterations < 2) {
+    throw std::invalid_argument("Profiler: need at least 2 iterations");
+  }
+  if (options_.base_profile_hours <= 0.0 || options_.noise_sigma < 0.0 ||
+      options_.max_extensions < 0 || options_.failure_rate < 0.0 ||
+      options_.failure_rate >= 1.0) {
+    throw std::invalid_argument("Profiler: invalid options");
+  }
+}
+
+double Profiler::expected_profile_hours(
+    const perf::TrainingConfig& config, const cloud::Deployment& d) const {
+  const int extra_nodes = d.nodes - 1;
+  const double base = options_.base_profile_hours +
+                      options_.extra_hours_per_3_nodes * (extra_nodes / 3);
+  // Window stretch: half the base window is measurement budget; models
+  // whose iterations cannot fit min_window_iterations into it stretch
+  // the probe (huge models are expensive to profile *anywhere*).
+  const perf::IterationBreakdown b = perf_->breakdown(config, d);
+  if (!b.feasible) return base;
+  const double needed_h =
+      options_.min_window_iterations * b.iteration_s / 3600.0;
+  return base + std::max(0.0, needed_h - 0.5 * base);
+}
+
+double Profiler::expected_profile_cost(const perf::TrainingConfig& config,
+                                       const cloud::Deployment& d) const {
+  return expected_profile_hours(config, d) * space_->hourly_price(d);
+}
+
+ProfileResult Profiler::profile(const perf::TrainingConfig& config,
+                                const cloud::Deployment& d) {
+  if (!space_->contains(d)) {
+    throw std::invalid_argument("Profiler::profile: deployment out of space");
+  }
+  ++probes_;
+  util::Rng probe_rng = rng_.fork(static_cast<std::uint64_t>(probes_));
+
+  ProfileResult result;
+  result.deployment = d;
+  result.true_speed = perf_->true_speed(config, d);
+  result.profile_hours = expected_profile_hours(config, d);
+
+  if (options_.failure_rate > 0.0 &&
+      probe_rng.uniform() < options_.failure_rate) {
+    // Operational failure: the cluster came up (or half came up) and the
+    // run died before producing a stable measurement. Half the window is
+    // billed; the caller may retry the same deployment.
+    result.failed = true;
+    result.profile_hours *= 0.5;
+    result.profile_cost = meter_->charge(d, result.profile_hours,
+                                         cloud::UsageKind::kProfiling,
+                                         "probe (failed)");
+    MLCD_LOG(kDebug, "profiler")
+        << "probe failed operationally at " << space_->describe(d);
+    return result;
+  }
+
+  if (result.true_speed <= 0.0) {
+    // The job fails to launch (out of memory); the cluster time until the
+    // failure is diagnosed is still billed.
+    result.feasible = false;
+    result.profile_cost = meter_->charge(d, result.profile_hours,
+                                         cloud::UsageKind::kProfiling,
+                                         "probe (infeasible)");
+    MLCD_LOG(kDebug, "profiler")
+        << "infeasible probe " << space_->describe(d);
+    return result;
+  }
+
+  // Measure noisy per-iteration throughput; extend while unstable.
+  stats::RunningStats window;
+  auto measure_iterations = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      window.add(probe_rng.lognormal_median(result.true_speed,
+                                            options_.noise_sigma));
+    }
+  };
+  measure_iterations(options_.iterations);
+  while (window.coefficient_of_variation() > options_.cov_threshold &&
+         result.extensions < options_.max_extensions) {
+    ++result.extensions;
+    result.profile_hours += options_.extension_hours;
+    measure_iterations(options_.iterations);
+  }
+
+  result.feasible = true;
+  result.measured_speed = window.mean();
+  result.iterations = static_cast<int>(window.count());
+  result.profile_cost =
+      meter_->charge(d, result.profile_hours, cloud::UsageKind::kProfiling,
+                     "probe " + space_->describe(d));
+  MLCD_LOG(kDebug, "profiler")
+      << "probe " << space_->describe(d) << " speed=" << result.measured_speed
+      << " (true " << result.true_speed << ") hours=" << result.profile_hours
+      << " cost=$" << result.profile_cost;
+  return result;
+}
+
+}  // namespace mlcd::profiler

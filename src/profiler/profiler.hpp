@@ -1,0 +1,108 @@
+// The MLCD Profiler (paper §IV).
+//
+// Executes a short training run on a candidate deployment and reports the
+// measured throughput together with what the probe cost. Time accounting
+// follows the paper's evaluation protocol (§V-A): a single-node probe
+// takes 10 minutes including cluster setup and warm-up, plus 1 minute for
+// every 3 additional nodes. For statistical stability the profiler
+// monitors throughput across iterations and extends the measurement
+// window while the coefficient of variation stays high.
+//
+// Measurements are the *only* noisy quantity in the substrate: the
+// performance model's true_speed is deterministic and the profiler
+// perturbs each iteration with seeded lognormal noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/billing.hpp"
+#include "cloud/deployment.hpp"
+#include "perf/perf_model.hpp"
+#include "util/rng.hpp"
+
+namespace mlcd::profiler {
+
+struct ProfilerOptions {
+  /// Wall time of a single-node probe including setup/warm-up, hours.
+  double base_profile_hours = 10.0 / 60.0;
+  /// Additional wall time per 3 extra nodes, hours.
+  double extra_hours_per_3_nodes = 1.0 / 60.0;
+  /// Iterations measured inside one probe window.
+  int iterations = 20;
+  /// The probe window must contain at least this many training
+  /// iterations to be meaningful; when a model's iteration takes so long
+  /// that the base window cannot fit them (huge models on small
+  /// deployments), the window — and the bill — stretches accordingly.
+  /// This is the second face of heterogeneous profiling cost: probing a
+  /// 20B-parameter model is expensive *everywhere*.
+  int min_window_iterations = 10;
+  /// Per-iteration multiplicative noise (lognormal sigma).
+  double noise_sigma = 0.03;
+  /// Extend the window while the across-iteration coefficient of
+  /// variation exceeds this.
+  double cov_threshold = 0.08;
+  /// Maximum number of window extensions.
+  int max_extensions = 3;
+  /// Wall time added per extension, hours.
+  double extension_hours = 2.0 / 60.0;
+  /// Probability that a probe fails operationally (cluster launch
+  /// failure, instance revocation mid-window). A failed probe yields no
+  /// measurement but still bills roughly half the window — failures on a
+  /// real cloud are not free. 0 disables injection.
+  double failure_rate = 0.0;
+};
+
+/// Outcome of one profiling probe.
+struct ProfileResult {
+  cloud::Deployment deployment;
+  bool failed = false;          ///< transient operational failure (retryable)
+  bool feasible = false;        ///< false when the model cannot run there
+  double measured_speed = 0.0;  ///< samples/s (mean over iterations)
+  double true_speed = 0.0;      ///< substrate ground truth (diagnostics)
+  double profile_hours = 0.0;   ///< wall time consumed by the probe
+  double profile_cost = 0.0;    ///< dollars billed for the probe
+  int iterations = 0;           ///< iterations actually measured
+  int extensions = 0;           ///< stability extensions performed
+};
+
+/// Profiles deployments against the simulated substrate, charging every
+/// probe to the supplied billing meter.
+class Profiler {
+ public:
+  Profiler(const perf::TrainingPerfModel& perf,
+           const cloud::DeploymentSpace& space, cloud::BillingMeter& meter,
+           std::uint64_t seed, ProfilerOptions options = {});
+
+  /// Runs one probe. Infeasible deployments still consume (and bill) the
+  /// base probe time — discovering that a model does not fit costs real
+  /// money on a real cloud too.
+  ProfileResult profile(const perf::TrainingConfig& config,
+                        const cloud::Deployment& d);
+
+  /// Deterministic expected wall time of probing `d` (the quantity
+  /// HeterBO's penalty terms use), hours — the paper's t(m, n). Includes
+  /// the window stretch needed to fit min_window_iterations of the given
+  /// model (static arithmetic on model FLOPs and instance specs — no
+  /// profiling required to estimate it).
+  double expected_profile_hours(const perf::TrainingConfig& config,
+                                const cloud::Deployment& d) const;
+
+  /// Expected dollar cost of probing `d` — the paper's PL_C
+  /// = P(m) * n * t(m, n).
+  double expected_profile_cost(const perf::TrainingConfig& config,
+                               const cloud::Deployment& d) const;
+
+  const ProfilerOptions& options() const noexcept { return options_; }
+  int probes_performed() const noexcept { return probes_; }
+
+ private:
+  const perf::TrainingPerfModel* perf_;
+  const cloud::DeploymentSpace* space_;
+  cloud::BillingMeter* meter_;
+  util::Rng rng_;
+  ProfilerOptions options_;
+  int probes_ = 0;
+};
+
+}  // namespace mlcd::profiler

@@ -1,0 +1,183 @@
+#include "search/bo_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "bo/acquisition.hpp"
+#include "util/logging.hpp"
+
+namespace mlcd::search {
+
+bo::InputNormalizer make_space_normalizer(
+    const cloud::DeploymentSpace& space) {
+  int max_nodes = 1;
+  for (std::size_t t = 0; t < space.type_count(); ++t) {
+    max_nodes = std::max(max_nodes, space.max_nodes(t));
+  }
+  return bo::InputNormalizer(
+      {0.0, 1.0},
+      {static_cast<double>(space.type_count() - 1),
+       static_cast<double>(max_nodes)});
+}
+
+std::vector<double> deployment_coords(const cloud::Deployment& d) {
+  return {static_cast<double>(d.type_index), static_cast<double>(d.nodes)};
+}
+
+double log_objective(const Searcher::Session& session,
+                     const ProbeStep& step) {
+  // Floor keeps infeasible probes (objective 0) representable: they land
+  // far below any real measurement, which is exactly the signal we want
+  // the surrogate to carry.
+  constexpr double kFloor = 1e-9;
+  return std::log(std::max(session.objective_of(step), kFloor));
+}
+
+gp::GpRegressor fit_gp_on_trace(const Searcher::Session& session,
+                                const bo::InputNormalizer& normalizer) {
+  const auto& trace = session.trace();
+  if (trace.empty()) {
+    throw std::invalid_argument("fit_gp_on_trace: empty trace");
+  }
+  // Failed probes carry no measurement (unlike infeasible ones, whose
+  // floor value is real information) and are excluded.
+  std::vector<const ProbeStep*> usable;
+  usable.reserve(trace.size());
+  for (const ProbeStep& step : trace) {
+    if (!step.failed) usable.push_back(&step);
+  }
+  if (usable.empty()) {
+    throw std::invalid_argument("fit_gp_on_trace: no usable probes");
+  }
+  linalg::Matrix x(usable.size(), 2);
+  linalg::Vector y(usable.size());
+  for (std::size_t i = 0; i < usable.size(); ++i) {
+    const std::vector<double> unit =
+        normalizer.normalize(deployment_coords(usable[i]->deployment));
+    x(i, 0) = unit[0];
+    x(i, 1) = unit[1];
+    y[i] = log_objective(session, *usable[i]);
+  }
+  gp::GpOptions options;
+  options.noise_stddev = 0.05;
+  options.optimize_hyperparameters = trace.size() >= 4;
+  options.optimizer_restarts = 2;
+  // MLE bounds (log space) over [signal, l_type, l_nodes, noise]: the
+  // node-axis lengthscale is capped well below the domain width so the
+  // surrogate never becomes confidently flat across unexplored scale-out
+  // ranges from a handful of clustered probes.
+  options.log_param_lower = {std::log(0.1), std::log(0.08), std::log(0.05),
+                             std::log(1e-3)};
+  options.log_param_upper = {std::log(3.0), std::log(1.0), std::log(0.45),
+                             std::log(0.3)};
+  auto kernel = std::make_unique<gp::Matern52Kernel>(2);
+  // Initial lengthscales in normalized coordinates: performance surfaces
+  // vary substantially across a quarter of the type axis / node axis.
+  // These seed the MLE (and stand alone for tiny traces, where a unit
+  // lengthscale would make the surrogate overconfident between two
+  // far-apart observations).
+  kernel->set_lengthscale(0, 0.30);
+  kernel->set_lengthscale(1, 0.25);
+  gp::GpRegressor gp(std::move(kernel), options);
+  gp.fit(x, y);
+  return gp;
+}
+
+void run_bo_loop(Searcher::Session& session,
+                 const std::vector<cloud::Deployment>& candidates,
+                 const BoLoopOptions& options) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("run_bo_loop: no candidates");
+  }
+  if (options.init_points < 1 || options.max_probes < options.init_points) {
+    throw std::invalid_argument("run_bo_loop: inconsistent probe counts");
+  }
+  const bo::InputNormalizer normalizer =
+      make_space_normalizer(session.space());
+  const std::unique_ptr<bo::AcquisitionFunction> acquisition =
+      bo::make_acquisition(options.acquisition);
+  const bool ucb = options.acquisition == "ucb";
+
+  const perf::TrainingConfig& config = session.problem().config;
+  auto probe_allowed = [&](const cloud::Deployment& d) {
+    if (!options.budget_aware) return true;
+    return session.reserve_allows(
+        session.profiler().expected_profile_hours(config, d),
+        session.profiler().expected_profile_cost(config, d));
+  };
+
+  // --- Random initialization (distinct points).
+  std::vector<cloud::Deployment> pool = candidates;
+  std::shuffle(pool.begin(), pool.end(), session.rng().engine());
+  int probes = 0;
+  for (const cloud::Deployment& d : pool) {
+    if (probes >= options.init_points) break;
+    if (session.already_probed(d)) continue;
+    if (!probe_allowed(d)) continue;
+    session.probe(d, 0.0, "init");
+    ++probes;
+  }
+  if (session.trace().empty()) return;  // nothing affordable at all
+
+  // --- GP-driven loop.
+  while (static_cast<int>(session.trace().size()) < options.max_probes) {
+    const gp::GpRegressor gp = fit_gp_on_trace(session, normalizer);
+    double best = std::log(1e-9);
+    if (session.has_incumbent()) {
+      best = log_objective(session, session.incumbent());
+    }
+
+    // Score every unprobed candidate; keep them ordered by EI so the
+    // budget-aware variant can fall through to cheaper alternatives.
+    struct Scored {
+      double ei_value;
+      const cloud::Deployment* d;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(candidates.size());
+    for (const cloud::Deployment& d : candidates) {
+      if (session.already_probed(d)) continue;
+      const gp::Prediction p =
+          gp.predict(normalizer.normalize(deployment_coords(d)));
+      // For UCB the ranking score is mu + kappa*sigma; the *improvement*
+      // the stop rule monitors is that bound minus the incumbent.
+      double score = acquisition->score(p, best);
+      if (ucb) score -= best;
+      scored.push_back(Scored{score, &d});
+    }
+    if (scored.empty()) break;
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) {
+                return a.ei_value > b.ei_value;
+              });
+
+    const double ei_max = scored.front().ei_value;
+    if (static_cast<int>(session.trace().size()) >= options.min_probes &&
+        ei_max < options.ei_stop_improvement) {
+      MLCD_LOG(kDebug, "search")
+          << "bo loop: EI " << ei_max << " below threshold, stopping";
+      break;
+    }
+
+    const cloud::Deployment* next = nullptr;
+    double next_ei = 0.0;
+    for (const Scored& s : scored) {
+      if (probe_allowed(*s.d)) {
+        next = s.d;
+        next_ei = s.ei_value;
+        break;
+      }
+    }
+    if (next == nullptr) {
+      MLCD_LOG(kDebug, "search")
+          << "bo loop: protective reserve exhausted, stopping";
+      break;
+    }
+    session.probe(*next, next_ei, "ei");
+  }
+}
+
+}  // namespace mlcd::search

@@ -1,0 +1,50 @@
+#include "search/cherrypick.hpp"
+
+#include <algorithm>
+
+namespace mlcd::search {
+
+CherryPickSearcher::CherryPickSearcher(const perf::TrainingPerfModel& perf,
+                                       CherryPickOptions options)
+    : Searcher(perf, options.budget_aware
+                         ? IncumbentPolicy::kConstraintAware
+                         : IncumbentPolicy::kObjectiveOnly),
+      options_(std::move(options)) {
+  options_.loop.budget_aware = options_.budget_aware;
+}
+
+std::string CherryPickSearcher::name() const {
+  return options_.budget_aware ? "cherrypick-improved" : "cherrypick";
+}
+
+std::vector<cloud::Deployment> CherryPickSearcher::trimmed_candidates(
+    const cloud::DeploymentSpace& space) const {
+  std::vector<cloud::Deployment> out;
+  for (const cloud::Deployment& d : space.enumerate_grid(options_.node_grid)) {
+    if (!options_.allowed_families.empty()) {
+      const std::string& family =
+          space.catalog().at(d.type_index).family;
+      if (std::find(options_.allowed_families.begin(),
+                    options_.allowed_families.end(),
+                    family) == options_.allowed_families.end()) {
+        continue;
+      }
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+void CherryPickSearcher::search(Session& session) {
+  std::vector<cloud::Deployment> candidates =
+      trimmed_candidates(session.space());
+  if (candidates.empty()) {
+    // Experience trim removed everything; fall back to the full space so
+    // the searcher still returns *something* (mirrors CherryPick's
+    // behavior of widening when the prior is useless).
+    candidates = session.space().enumerate();
+  }
+  run_bo_loop(session, candidates, options_.loop);
+}
+
+}  // namespace mlcd::search

@@ -1,0 +1,22 @@
+#include "search/conv_bo.hpp"
+
+namespace mlcd::search {
+
+ConvBoSearcher::ConvBoSearcher(const perf::TrainingPerfModel& perf,
+                               ConvBoOptions options)
+    : Searcher(perf, options.budget_aware
+                         ? IncumbentPolicy::kConstraintAware
+                         : IncumbentPolicy::kObjectiveOnly),
+      options_(options) {
+  options_.loop.budget_aware = options_.budget_aware;
+}
+
+std::string ConvBoSearcher::name() const {
+  return options_.budget_aware ? "bo-improved" : "conv-bo";
+}
+
+void ConvBoSearcher::search(Session& session) {
+  run_bo_loop(session, session.space().enumerate(), options_.loop);
+}
+
+}  // namespace mlcd::search

@@ -1,0 +1,36 @@
+// Conventional Bayesian optimization baseline ("ConvBO" in the paper).
+//
+// Standard EI-driven BO over the full deployment space: random
+// initialization, uniform treatment of every probe regardless of what it
+// costs, and no awareness of the user's deadline/budget. The paper's
+// motivation figures (Figs. 2, 5) and every comparison plot use it as the
+// main reference. The budget-aware variant ("BO_imprd", Fig. 18) adds the
+// protective reserve filter but keeps cost-oblivious probe selection.
+#pragma once
+
+#include "search/bo_loop.hpp"
+#include "search/searcher.hpp"
+
+namespace mlcd::search {
+
+struct ConvBoOptions {
+  BoLoopOptions loop;
+  /// Selects the strengthened budget-aware variant (BO_imprd).
+  bool budget_aware = false;
+};
+
+class ConvBoSearcher final : public Searcher {
+ public:
+  ConvBoSearcher(const perf::TrainingPerfModel& perf,
+                 ConvBoOptions options = {});
+
+  std::string name() const override;
+
+ protected:
+  void search(Session& session) override;
+
+ private:
+  ConvBoOptions options_;
+};
+
+}  // namespace mlcd::search

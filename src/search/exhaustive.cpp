@@ -1,0 +1,92 @@
+#include "search/exhaustive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+#include <stdexcept>
+
+namespace mlcd::search {
+
+ExhaustiveSearcher::ExhaustiveSearcher(const perf::TrainingPerfModel& perf,
+                                       ExhaustiveOptions options)
+    : Searcher(perf, IncumbentPolicy::kObjectiveOnly), options_(options) {
+  if (options_.max_probes < 0) {
+    throw std::invalid_argument("ExhaustiveSearcher: negative max_probes");
+  }
+  if (options_.parallel_clusters < 1) {
+    throw std::invalid_argument(
+        "ExhaustiveSearcher: parallel_clusters must be >= 1");
+  }
+}
+
+SearchResult ExhaustiveSearcher::run(const SearchProblem& problem) {
+  SearchResult result = Searcher::run(problem);
+  if (options_.parallel_clusters > 1) {
+    // Re-express profiling wall time as the campaign makespan: probes
+    // are assigned round-robin to `k` concurrent clusters; each
+    // cluster's chain is sequential; the campaign ends when the longest
+    // chain does. Dollars are unchanged — every cluster-hour is billed.
+    std::vector<double> chain(options_.parallel_clusters, 0.0);
+    std::size_t next = 0;
+    for (const ProbeStep& step : result.trace) {
+      chain[next] += step.profile_hours;
+      next = (next + 1) % chain.size();
+    }
+    result.profile_hours = *std::max_element(chain.begin(), chain.end());
+  }
+  return result;
+}
+
+std::string ExhaustiveSearcher::name() const {
+  return options_.max_probes > 0
+             ? "exhaustive-" + std::to_string(options_.max_probes)
+             : "exhaustive";
+}
+
+void ExhaustiveSearcher::search(Session& session) {
+  const std::vector<cloud::Deployment> all = session.space().enumerate();
+  std::size_t stride = 1;
+  if (options_.max_probes > 0 &&
+      all.size() > static_cast<std::size_t>(options_.max_probes)) {
+    stride = (all.size() + options_.max_probes - 1) /
+             static_cast<std::size_t>(options_.max_probes);
+  }
+  for (std::size_t i = 0; i < all.size(); i += stride) {
+    session.probe(all[i], 0.0, "exhaustive");
+  }
+}
+
+std::optional<SearchResult> optimal_deployment(
+    const perf::TrainingPerfModel& perf, const perf::TrainingConfig& config,
+    const cloud::DeploymentSpace& space, const Scenario& scenario) {
+  SearchResult result;
+  result.method = "opt";
+  double best_objective = -std::numeric_limits<double>::infinity();
+
+  for (const cloud::Deployment& d : space.enumerate()) {
+    const double speed = perf.true_speed(config, d);
+    if (speed <= 0.0) continue;
+    const double hours = config.model.samples_to_train / speed / 3600.0 *
+                         space.restart_overhead_multiplier(d);
+    const double cost = hours * space.hourly_price(d);
+    if (scenario.has_deadline() && hours > scenario.deadline_hours) continue;
+    if (scenario.has_budget() && cost > scenario.budget_dollars) continue;
+
+    const double objective =
+        scenario_objective(scenario, speed, space.hourly_price(d));
+    if (objective > best_objective) {
+      best_objective = objective;
+      result.found = true;
+      result.best = d;
+      result.best_description = space.describe(d);
+      result.best_true_speed = speed;
+      result.best_measured_speed = speed;
+      result.training_hours = hours;
+      result.training_cost = cost;
+    }
+  }
+  if (!result.found) return std::nullopt;
+  return result;
+}
+
+}  // namespace mlcd::search

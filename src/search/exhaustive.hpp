@@ -1,0 +1,56 @@
+// Exhaustive profiling baseline (paper §II-C, Fig. 2) and the oracle
+// "Opt" reference every evaluation figure includes.
+//
+// ExhaustiveSearcher actually pays for every probe (optionally a strided
+// subsample, matching the paper's "180 out of 3,100 choices"), which is
+// what makes it prohibitively expensive. optimal_deployment() is the
+// free oracle: it reads the substrate's true speeds directly and reports
+// the best achievable training time/cost with zero profiling — the "Opt"
+// bars in Figs. 13, 14, 18.
+#pragma once
+
+#include <optional>
+
+#include "search/searcher.hpp"
+
+namespace mlcd::search {
+
+struct ExhaustiveOptions {
+  /// Probe at most this many points, strided uniformly over the space;
+  /// 0 = the whole space.
+  int max_probes = 0;
+  /// Number of clusters profiling concurrently. Exhaustive campaigns are
+  /// embarrassingly parallel — no probe depends on another — so wall
+  /// time divides by the fleet width while dollars do not: the reported
+  /// profile_hours become the campaign makespan (longest per-cluster
+  /// chain under round-robin assignment) instead of the serial sum.
+  int parallel_clusters = 1;
+};
+
+class ExhaustiveSearcher final : public Searcher {
+ public:
+  ExhaustiveSearcher(const perf::TrainingPerfModel& perf,
+                     ExhaustiveOptions options = {});
+
+  std::string name() const override;
+
+  /// Re-expresses profiling wall time as the parallel-campaign makespan
+  /// when parallel_clusters > 1 (dollars unchanged).
+  SearchResult run(const SearchProblem& problem) override;
+
+ protected:
+  void search(Session& session) override;
+
+ private:
+  ExhaustiveOptions options_;
+};
+
+/// Oracle: best deployment by true scenario objective (constraint-aware
+/// for scenarios 2/3: among deployments whose training run alone meets
+/// the constraint). No profiling is charged. Returns std::nullopt when no
+/// deployment satisfies the constraints.
+std::optional<SearchResult> optimal_deployment(
+    const perf::TrainingPerfModel& perf, const perf::TrainingConfig& config,
+    const cloud::DeploymentSpace& space, const Scenario& scenario);
+
+}  // namespace mlcd::search

@@ -1,0 +1,447 @@
+#include "search/heter_bo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "bo/acquisition.hpp"
+#include "search/bo_loop.hpp"
+#include "stats/normal.hpp"
+#include "util/logging.hpp"
+
+namespace mlcd::search {
+namespace {
+
+/// HeterBO models each instance type's scale-out curve with its own 1-D
+/// GP over the node count — exactly the "fit the probed points into a
+/// concave-shape curve" view the paper's trajectory figures describe
+/// (Figs. 9a, 15-17). A shared 2-D GP would let a slow type's
+/// observations suppress the posterior of a fast neighbouring type (the
+/// type axis is not a metric space); per-type curves cannot contaminate
+/// each other. Types with fewer than two probes fall back to the global
+/// 2-D surrogate.
+class TypeSurrogates {
+ public:
+  TypeSurrogates(const Searcher::Session& session,
+                 const bo::InputNormalizer& normalizer2d,
+                 const std::vector<WarmStartPoint>& warm_start)
+      : normalizer2d_(&normalizer2d) {
+    const cloud::DeploymentSpace& space = session.space();
+    per_type_.resize(space.type_count());
+    for (std::size_t t = 0; t < space.type_count(); ++t) {
+      linalg::Matrix x(0, 0);
+      std::vector<double> xs;
+      std::vector<double> ys;
+      for (const ProbeStep& step : session.trace()) {
+        if (step.deployment.type_index != t || step.failed) continue;
+        xs.push_back(static_cast<double>(step.deployment.nodes) /
+                     space.max_nodes(t));
+        ys.push_back(log_objective(session, step));
+      }
+      // Warm-start pseudo-observations shape the surrogate of types the
+      // new search has not measured yet. Once the type has two real
+      // probes of its own, the carried-over points are dropped — they
+      // describe a *similar* job, not this one.
+      if (xs.size() < 2) {
+        for (const WarmStartPoint& w : warm_start) {
+          if (w.deployment.type_index != t || w.measured_speed <= 0.0 ||
+              !space.contains(w.deployment)) {
+            continue;
+          }
+          xs.push_back(static_cast<double>(w.deployment.nodes) /
+                       space.max_nodes(t));
+          ys.push_back(std::log(std::max(
+              scenario_objective(session.scenario(), w.measured_speed,
+                                 space.hourly_price(w.deployment)),
+              1e-9)));
+        }
+      }
+      // Even a single observation pins the type's level (with wide
+      // bands); only unprobed types fall back to the global surrogate.
+      if (xs.empty()) continue;
+      linalg::Matrix design(xs.size(), 1);
+      linalg::Vector targets(xs.size());
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        design(i, 0) = xs[i];
+        targets[i] = ys[i];
+      }
+      gp::GpOptions options;
+      options.noise_stddev = 0.05;
+      options.optimize_hyperparameters = xs.size() >= 4;
+      options.optimizer_restarts = 2;
+      options.log_param_lower = {std::log(0.1), std::log(0.05),
+                                 std::log(1e-3)};
+      options.log_param_upper = {std::log(3.0), std::log(0.45),
+                                 std::log(0.3)};
+      auto kernel = std::make_unique<gp::Matern52Kernel>(1);
+      kernel->set_lengthscale(0, 0.25);
+      gp::GpRegressor fit(std::move(kernel), options);
+      fit.fit(design, targets);
+      per_type_[t].emplace(std::move(fit));
+    }
+    bool any_usable = false;
+    for (const ProbeStep& step : session.trace()) {
+      if (!step.failed) {
+        any_usable = true;
+        break;
+      }
+    }
+    if (any_usable) {
+      global_.emplace(fit_gp_on_trace(session, normalizer2d));
+    }
+  }
+
+  gp::Prediction predict(const Searcher::Session& session,
+                         const cloud::Deployment& d) const {
+    if (per_type_[d.type_index]) {
+      const double n_unit =
+          static_cast<double>(d.nodes) /
+          session.space().max_nodes(d.type_index);
+      return per_type_[d.type_index]->predict(std::vector<double>{n_unit});
+    }
+    if (global_) {
+      return global_->predict(
+          normalizer2d_->normalize(deployment_coords(d)));
+    }
+    // Nothing measured and no carry-over for this type: wide prior.
+    gp::Prediction p;
+    p.mean = 0.0;
+    p.variance = 4.0;
+    return p;
+  }
+
+ private:
+  const bo::InputNormalizer* normalizer2d_;
+  std::vector<std::optional<gp::GpRegressor>> per_type_;
+  std::optional<gp::GpRegressor> global_;
+};
+
+}  // namespace
+
+std::vector<WarmStartPoint> warm_start_points(const SearchResult& result) {
+  std::vector<WarmStartPoint> points;
+  for (const ProbeStep& step : result.trace) {
+    if (step.feasible && step.measured_speed > 0.0) {
+      points.push_back(WarmStartPoint{step.deployment, step.measured_speed});
+    }
+  }
+  return points;
+}
+
+HeterBoSearcher::HeterBoSearcher(const perf::TrainingPerfModel& perf,
+                                 HeterBoOptions options)
+    : Searcher(perf, IncumbentPolicy::kConstraintAware), options_(options) {
+  if (options_.max_probes < 2 || options_.ei_stop_improvement < 0.0 ||
+      !(options_.ci_confidence > 0.0 && options_.ci_confidence < 1.0)) {
+    throw std::invalid_argument("HeterBoSearcher: invalid options");
+  }
+}
+
+std::vector<int> HeterBoSearcher::concavity_limits(
+    const Session& session) const {
+  const std::size_t types = session.space().type_count();
+  std::vector<int> limit(types, std::numeric_limits<int>::max());
+  if (!options_.use_concavity_prior) return limit;
+
+  for (std::size_t t = 0; t < types; ++t) {
+    // Collect feasible probes of this type, ordered by node count.
+    std::vector<std::pair<int, double>> points;
+    for (const ProbeStep& step : session.trace()) {
+      if (step.deployment.type_index == t && step.feasible) {
+        points.emplace_back(step.deployment.nodes, step.measured_speed);
+      }
+    }
+    std::sort(points.begin(), points.end());
+    // Two neighbouring probed scale-outs with declining speed put us on
+    // the concave curve's down-slope: prune everything beyond.
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      if (points[i].second < points[i - 1].second) {
+        limit[t] = points[i].first;
+        break;
+      }
+    }
+  }
+  return limit;
+}
+
+double HeterBoSearcher::true_expected_improvement(
+    const Session& session, const cloud::Deployment& d,
+    double projected_speed) const {
+  const Scenario& s = session.scenario();
+  if (projected_speed <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const double train_hours =
+      session.problem().config.model.samples_to_train / projected_speed /
+      3600.0;
+  if (s.kind == ScenarioKind::kCheapestUnderDeadline) {
+    // Eq. 5: T_max - T_profile - S / EI-projected speed.
+    return s.deadline_hours - session.spent_hours() -
+           session.profiler().expected_profile_hours(
+               session.problem().config, d) -
+           train_hours;
+  }
+  if (s.kind == ScenarioKind::kFastestUnderBudget) {
+    // Eq. 6: C_max - C_profile - (S / EI-projected speed) * P(m).
+    return s.budget_dollars - session.spent_cost() -
+           session.profiler().expected_profile_cost(
+               session.problem().config, d) -
+           train_hours * session.space().hourly_price(d);
+  }
+  // Scenario 1 has no constraint; TEI degenerates to +inf headroom.
+  return std::numeric_limits<double>::infinity();
+}
+
+void HeterBoSearcher::search(Session& session) {
+  const cloud::DeploymentSpace& space = session.space();
+  const Scenario& scenario = session.scenario();
+  // The penalty currency is whatever the scenario actually pressures:
+  // wall time under a deadline, dollars otherwise (profiling *time* is
+  // nearly uniform across probes — the heterogeneity is monetary).
+  const bool time_penalty =
+      scenario.kind == ScenarioKind::kCheapestUnderDeadline;
+
+  const perf::TrainingConfig& config = session.problem().config;
+  auto reserve_ok = [&](const cloud::Deployment& d) {
+    if (!options_.protective_reserve) return true;
+    return session.reserve_allows(
+        session.profiler().expected_profile_hours(config, d),
+        session.profiler().expected_profile_cost(config, d));
+  };
+
+  // --- Initialization: one probe per instance type at the smallest
+  // scale that can hold the model at all (§III-C "Initial points" —
+  // single node for everything except ZeRO-scale models, whose state
+  // must be partitioned across a minimum number of nodes; that minimum
+  // is static arithmetic, not something worth paying a doomed probe to
+  // discover).
+  std::vector<int> min_feasible(space.type_count(), -1);
+  for (std::size_t t = 0; t < space.type_count(); ++t) {
+    for (int n = 1; n <= space.max_nodes(t); ++n) {
+      if (session.perf().memory_feasible(config, {t, n})) {
+        min_feasible[t] = n;
+        break;
+      }
+    }
+  }
+  // Types whose minimum viable cluster is disproportionately expensive
+  // to probe are skipped during initialization (they stay reachable
+  // through the acquisition later). "Disproportionate" is measured
+  // against the median min-feasible probe cost across types.
+  std::vector<double> init_costs;
+  for (std::size_t t = 0; t < space.type_count(); ++t) {
+    if (min_feasible[t] < 0) continue;
+    init_costs.push_back(session.profiler().expected_profile_cost(
+        config, {t, min_feasible[t]}));
+  }
+  double median_init = 0.0;
+  if (!init_costs.empty()) {
+    std::sort(init_costs.begin(), init_costs.end());
+    median_init = init_costs[init_costs.size() / 2];
+  }
+  auto init_affordable = [&](const cloud::Deployment& d) {
+    return session.profiler().expected_profile_cost(config, d) <=
+           options_.init_cost_ratio_cap * median_init;
+  };
+  // A type whose *minimum viable* probe already breaks the cap can never
+  // be examined cheaply; in the spirit of §III-C ("judiciously limit the
+  // search in a small range") it is excluded from the search outright
+  // rather than left to soak up the exploration allowance later.
+  std::vector<bool> excluded(space.type_count(), false);
+  for (std::size_t t = 0; t < space.type_count(); ++t) {
+    if (min_feasible[t] < 0) continue;
+    const cloud::Deployment d{t, min_feasible[t]};
+    if (!init_affordable(d)) {
+      excluded[t] = true;
+      MLCD_LOG(kInfo, "heterbo")
+          << "excluding " << space.catalog().at(t).name
+          << ": its smallest viable probe costs "
+          << session.profiler().expected_profile_cost(config, d)
+          << " (cap " << options_.init_cost_ratio_cap * median_init << ")";
+    }
+  }
+  // Warm-start coverage: a type with at least two carried-over points
+  // already has a usable curve estimate, so its mandatory init/curve
+  // probes are skipped (the acquisition re-measures where it matters).
+  std::vector<int> warm_points(space.type_count(), 0);
+  for (const WarmStartPoint& w : options_.warm_start) {
+    if (w.deployment.type_index < warm_points.size() &&
+        space.contains(w.deployment) && w.measured_speed > 0.0) {
+      ++warm_points[w.deployment.type_index];
+    }
+  }
+  for (std::size_t t = 0; t < space.type_count(); ++t) {
+    if (min_feasible[t] < 0 || excluded[t] || warm_points[t] >= 2) continue;
+    const cloud::Deployment d{t, min_feasible[t]};
+    if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
+      break;
+    }
+    if (reserve_ok(d)) session.probe(d, 0.0, "init");
+  }
+  // Second wave: one small-scale probe per type so the surrogate sees
+  // each type's scaling *slope*, not just its intercept — without this,
+  // a type whose single node is slow but which scales steeply (the
+  // typical winner) can be starved by the cost-aware acquisition and the
+  // search stops early. This mirrors the paper's observed traces
+  // (Figs. 15-17, steps 4-6: one small/mid probe per panel). A
+  // single-type space gets its curve point at mid-range instead
+  // (Fig. 9a's second initial point before the "third in between").
+  for (std::size_t t = 0; t < space.type_count(); ++t) {
+    if (min_feasible[t] < 0 || excluded[t] || warm_points[t] >= 2) continue;
+    if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
+      break;
+    }
+    int curve_n = space.type_count() == 1
+                      ? (1 + space.max_nodes(t)) / 2
+                      : std::min(space.max_nodes(t),
+                                 std::max(3, space.max_nodes(t) / 6));
+    curve_n = std::max(curve_n, std::min(space.max_nodes(t),
+                                         min_feasible[t] + 2));
+    const cloud::Deployment d{t, curve_n};
+    // The single-type midpoint is exempt from the cost cap: it is the
+    // only way to seed the curve fit when there is just one type.
+    const bool affordable =
+        space.type_count() == 1 || init_affordable(d);
+    if (curve_n > min_feasible[t] && !session.already_probed(d) &&
+        reserve_ok(d) && affordable) {
+      session.probe(d, 0.0, "curve");
+    }
+  }
+  if (session.trace().empty() && options_.warm_start.empty()) {
+    MLCD_LOG(kWarn, "heterbo") << "no initial probe affordable";
+    return;
+  }
+  // EI-based stopping is allowed only after the surrogate has seen a few
+  // exploratory probes beyond initialization; the confidence-interval
+  // stop, which trusts the GP's error bars, waits a little longer still
+  // (young GPs are routinely overconfident about unexplored regions).
+  const int init_count = static_cast<int>(session.trace().size());
+  const int min_probes = init_count + 4;
+  const int min_probes_ci = init_count + 6;
+
+  const bo::InputNormalizer normalizer = make_space_normalizer(space);
+  const bo::ExpectedImprovement ei;
+  const double z =
+      stats::normal_quantile(0.5 + options_.ci_confidence / 2.0);
+  const std::vector<cloud::Deployment> all = space.enumerate();
+
+  // A warm-started search should not chase "improvements" below what the
+  // previous run already achieved: the best carried-over observation
+  // seeds the EI baseline until real probes take over.
+  double warm_floor = -std::numeric_limits<double>::infinity();
+  for (const WarmStartPoint& w : options_.warm_start) {
+    if (w.measured_speed <= 0.0 || !space.contains(w.deployment)) continue;
+    warm_floor = std::max(
+        warm_floor,
+        std::log(std::max(
+            scenario_objective(scenario, w.measured_speed,
+                               space.hourly_price(w.deployment)),
+            1e-9)));
+  }
+
+  while (static_cast<int>(session.trace().size()) < options_.max_probes) {
+    const std::vector<int> prune = concavity_limits(session);
+    const TypeSurrogates surrogates(session, normalizer,
+                                    options_.warm_start);
+
+    // EI baseline: the incumbent's log objective. (Using only
+    // constraint-compliant probes as the baseline is tempting but
+    // unstable: as profiling spend grows the compliant set shrinks, the
+    // baseline falls, and EI re-inflates — a feedback loop that
+    // encourages more spending. The reserve filter plus the constraint-
+    // aware final pick already deliver the compliance guarantee.)
+    double best = std::log(1e-9);
+    if (session.has_incumbent()) {
+      best = log_objective(session, session.incumbent());
+    }
+    best = std::max(best, warm_floor);
+
+    const cloud::Deployment* chosen = nullptr;
+    double chosen_score = -std::numeric_limits<double>::infinity();
+    double chosen_projected_speed = 0.0;
+    double ei_max = 0.0;
+    double ucb_max = -std::numeric_limits<double>::infinity();
+    std::size_t affordable = 0;
+
+    for (const cloud::Deployment& d : all) {
+      if (d.nodes > prune[d.type_index]) continue;  // concavity prior
+      // Static memory check: never pay for a probe that arithmetic
+      // already proves cannot run; cost-excluded types stay out too.
+      if (min_feasible[d.type_index] < 0 || excluded[d.type_index] ||
+          d.nodes < min_feasible[d.type_index]) {
+        continue;
+      }
+      if (session.already_probed(d)) continue;
+      if (!reserve_ok(d)) continue;  // protective reserve
+      ++affordable;
+
+      const gp::Prediction p = surrogates.predict(session, d);
+      const double ei_value = ei.score(p, best);
+      ei_max = std::max(ei_max, ei_value);
+      ucb_max = std::max(ucb_max, p.mean + z * p.stddev());
+
+      // Heterogeneous-cost penalty (Eqs. 7/8): improvement per unit of
+      // what the scenario actually constrains.
+      double penalty =
+          time_penalty
+              ? session.profiler().expected_profile_hours(config, d)
+              : session.profiler().expected_profile_cost(config, d);
+      penalty = std::max(penalty, 1e-9);
+      const double score =
+          options_.cost_aware_acquisition
+              ? ei_value / std::pow(penalty, options_.cost_penalty_exponent)
+              : ei_value;
+
+      // Projected speed if this candidate realizes its expected
+      // improvement (used for the TEI bookkeeping below). The surrogate
+      // lives in log space, so the projection exponentiates back.
+      const double projected_objective = std::exp(best + ei_value);
+      const double projected_speed =
+          scenario.kind == ScenarioKind::kCheapestUnderDeadline
+              ? projected_objective * space.hourly_price(d)
+              : projected_objective;
+
+      if (score > chosen_score) {
+        chosen_score = score;
+        chosen = &d;
+        chosen_projected_speed = projected_speed;
+      }
+    }
+
+    if (chosen == nullptr) {
+      MLCD_LOG(kDebug, "heterbo")
+          << "stop: reserve/prior left no candidate (" << affordable
+          << " affordable)";
+      break;
+    }
+    const int probes_done = static_cast<int>(session.trace().size());
+    if (probes_done >= min_probes &&
+        ei_max < options_.ei_stop_improvement) {
+      MLCD_LOG(kDebug, "heterbo") << "stop: EI " << ei_max
+                                  << " below threshold";
+      break;
+    }
+    if (probes_done >= min_probes_ci && session.has_incumbent() &&
+        ucb_max <= best) {
+      MLCD_LOG(kDebug, "heterbo")
+          << "stop: no candidate plausibly improves at "
+          << options_.ci_confidence << " confidence";
+      break;
+    }
+
+    // TEI (Eqs. 5/6) is recorded for diagnostics: the constraint headroom
+    // assuming the chosen probe realizes its expected improvement. The
+    // hard guarantee itself comes from the reserve filter above, which is
+    // immune to early GP pessimism (a tiny EI would make TEI negative for
+    // every far-from-probed candidate long before the surrogate has seen
+    // the curve).
+    const double tei = true_expected_improvement(session, *chosen,
+                                                 chosen_projected_speed);
+    MLCD_LOG(kTrace, "heterbo") << "probe TEI headroom " << tei;
+    session.probe(*chosen, chosen_score, "tei");
+  }
+}
+
+}  // namespace mlcd::search

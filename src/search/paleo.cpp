@@ -1,0 +1,82 @@
+#include "search/paleo.hpp"
+
+#include <limits>
+
+namespace mlcd::search {
+
+perf::PerfModelOptions paleo_model_options() {
+  perf::PerfModelOptions o;
+  // The nuances analytical models miss: congestion, stragglers, and
+  // within-instance scaling losses all modeled as absent.
+  o.ps_incast_alpha = 0.0;
+  o.ps_incast_beta = 0.0;
+  o.ring_straggler_beta = 0.0;
+  o.cpu_scaleup_exponent = 0.0;
+  o.gpu_scaleup_exponent = 0.0;
+  return o;
+}
+
+PaleoSearcher::PaleoSearcher(const perf::TrainingPerfModel& perf)
+    : Searcher(perf, IncumbentPolicy::kObjectiveOnly),
+      analytic_(perf.catalog(), paleo_model_options()) {}
+
+double PaleoSearcher::predicted_speed(const perf::TrainingConfig& config,
+                                      const cloud::Deployment& d) const {
+  return analytic_.true_speed(config, d);
+}
+
+void PaleoSearcher::search(Session& /*session*/) {
+  // Never called; run() below bypasses the probing scaffolding.
+}
+
+SearchResult PaleoSearcher::run(const SearchProblem& problem) {
+  SearchResult result;
+  result.method = name();
+
+  // Plan analytically: best predicted objective whose *predicted*
+  // completion satisfies the user constraints.
+  const cloud::DeploymentSpace& space = *problem.space;
+  double best_objective = -std::numeric_limits<double>::infinity();
+  for (const cloud::Deployment& d : space.enumerate()) {
+    const double predicted = predicted_speed(problem.config, d);
+    if (predicted <= 0.0) continue;
+    const double hours =
+        problem.config.model.samples_to_train / predicted / 3600.0 *
+        space.restart_overhead_multiplier(d);
+    const double cost = hours * space.hourly_price(d);
+    if (problem.scenario.has_deadline() &&
+        hours > problem.scenario.deadline_hours) {
+      continue;
+    }
+    if (problem.scenario.has_budget() &&
+        cost > problem.scenario.budget_dollars) {
+      continue;
+    }
+    const double objective = scenario_objective(problem.scenario, predicted,
+                                                space.hourly_price(d));
+    if (objective > best_objective) {
+      best_objective = objective;
+      result.found = true;
+      result.best = d;
+      result.best_measured_speed = predicted;  // the model's belief
+    }
+  }
+  if (!result.found) return result;
+
+  // Reality check: training happens at the substrate's true speed, which
+  // the analytic model over-estimated at scale.
+  result.best_description = space.describe(result.best);
+  result.best_true_speed = perf_->true_speed(problem.config, result.best);
+  if (result.best_true_speed <= 0.0) {
+    result.found = false;
+    return result;
+  }
+  result.training_hours = problem.config.model.samples_to_train /
+                          result.best_true_speed / 3600.0 *
+                          space.restart_overhead_multiplier(result.best);
+  result.training_cost =
+      result.training_hours * space.hourly_price(result.best);
+  return result;
+}
+
+}  // namespace mlcd::search

@@ -1,0 +1,44 @@
+// Paleo baseline (Qi et al., ICLR'17): a purely analytical performance
+// model that predicts training speed from model architecture, hardware
+// specs and cluster size — no profiling at all.
+//
+// Per DESIGN.md §2, our Paleo shares the substrate's functional form but
+// with the communication "nuances" removed: no PS incast congestion, no
+// ring stragglers, no within-instance scale-up efficiency loss. This is
+// the exact failure mode the paper attributes to analytical modeling
+// (§V-C, Fig. 13): "as the cluster grows bigger, nuances like
+// communication topology demonstrate bigger impacts ... particularly hard
+// to capture by analytical modeling", so Paleo picks an over-scaled
+// deployment that underdelivers, while paying zero profiling cost.
+#pragma once
+
+#include "perf/perf_model.hpp"
+#include "search/searcher.hpp"
+
+namespace mlcd::search {
+
+/// The simplified analytic estimator Paleo plans with.
+perf::PerfModelOptions paleo_model_options();
+
+class PaleoSearcher final : public Searcher {
+ public:
+  explicit PaleoSearcher(const perf::TrainingPerfModel& perf);
+
+  std::string name() const override { return "paleo"; }
+
+  /// Probe-free analytic planning; bypasses the profiling scaffolding.
+  SearchResult run(const SearchProblem& problem) override;
+
+  /// Predicted speed of a deployment under Paleo's analytic model.
+  double predicted_speed(const perf::TrainingConfig& config,
+                         const cloud::Deployment& d) const;
+
+ protected:
+  /// Paleo performs no probes; it plans analytically in finalize-time.
+  void search(Session& session) override;
+
+ private:
+  perf::TrainingPerfModel analytic_;
+};
+
+}  // namespace mlcd::search

@@ -1,0 +1,98 @@
+#include "search/pareto.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlcd::search {
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  std::vector<ParetoPoint> front;
+  for (const ParetoPoint& candidate : points) {
+    bool dominated = false;
+    for (const ParetoPoint& other : points) {
+      const bool at_least_as_good =
+          other.training_hours <= candidate.training_hours &&
+          other.training_cost <= candidate.training_cost;
+      const bool strictly_better =
+          other.training_hours < candidate.training_hours ||
+          other.training_cost < candidate.training_cost;
+      if (at_least_as_good && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    // Drop exact duplicates already on the front.
+    bool duplicate = false;
+    for (const ParetoPoint& kept : front) {
+      if (kept.training_hours == candidate.training_hours &&
+          kept.training_cost == candidate.training_cost) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) front.push_back(candidate);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.training_hours < b.training_hours;
+            });
+  return front;
+}
+
+ParetoSearcher::ParetoSearcher(const perf::TrainingPerfModel& perf,
+                               ParetoSearchOptions options)
+    : Searcher(perf, IncumbentPolicy::kObjectiveOnly), options_(options) {
+  if (options_.probes < 2) {
+    throw std::invalid_argument("ParetoSearcher: probes must be >= 2");
+  }
+}
+
+void ParetoSearcher::search(Session& session) {
+  // Stratified, non-adaptive sample: for each type, node counts spread
+  // geometrically across the range, round-robin until the probe budget
+  // is spent. No observation ever influences the next probe — that is
+  // the method's defining weakness.
+  const cloud::DeploymentSpace& space = session.space();
+  std::vector<cloud::Deployment> plan;
+  const int per_type = std::max(
+      1, options_.probes / static_cast<int>(space.type_count()));
+  for (std::size_t t = 0; t < space.type_count(); ++t) {
+    const int max_n = space.max_nodes(t);
+    for (int k = 0; k < per_type; ++k) {
+      // Geometric spread: 1, ~max^(1/(p-1)), ..., max.
+      double frac = per_type == 1
+                        ? 0.0
+                        : static_cast<double>(k) / (per_type - 1);
+      const int n = std::clamp(
+          static_cast<int>(std::lround(std::pow(
+              static_cast<double>(max_n), frac))),
+          1, max_n);
+      const cloud::Deployment d{t, n};
+      if (!session.already_probed(d)) plan.push_back(d);
+    }
+  }
+  for (const cloud::Deployment& d : plan) {
+    if (static_cast<int>(session.trace().size()) >= options_.probes) break;
+    session.probe(d, 0.0, "pareto");
+  }
+}
+
+std::vector<ParetoPoint> ParetoSearcher::front_of(
+    const SearchResult& result, const cloud::DeploymentSpace& space,
+    double samples_to_train) const {
+  std::vector<ParetoPoint> points;
+  for (const ProbeStep& step : result.trace) {
+    if (!step.feasible || step.measured_speed <= 0.0) continue;
+    ParetoPoint p;
+    p.deployment = step.deployment;
+    p.training_hours = samples_to_train / step.measured_speed / 3600.0 *
+                       space.restart_overhead_multiplier(step.deployment);
+    p.training_cost =
+        p.training_hours * space.hourly_price(step.deployment);
+    points.push_back(p);
+  }
+  return pareto_front(std::move(points));
+}
+
+}  // namespace mlcd::search

@@ -1,0 +1,53 @@
+// Pareto-optimization baseline (Mariani et al., CCGRID'17 — reference
+// [10] in the paper). §I positions it as the non-BO profiling-based
+// alternative that "falls short in performance": it profiles a fixed,
+// non-adaptive sample of the space, computes the Pareto front over
+// (training time, training cost), and picks from the front per the
+// user's scenario. Because the sample is not steered by observations, it
+// wastes probes in dominated regions and resolves the front coarsely.
+#pragma once
+
+#include <vector>
+
+#include "search/searcher.hpp"
+
+namespace mlcd::search {
+
+/// A point on the time/cost Pareto front.
+struct ParetoPoint {
+  cloud::Deployment deployment;
+  double training_hours = 0.0;
+  double training_cost = 0.0;
+};
+
+/// Non-dominated filtering: keeps points where no other point is at
+/// least as good in both objectives and better in one. Ties keep the
+/// first occurrence.
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
+
+struct ParetoSearchOptions {
+  /// Probes spent on the stratified sample.
+  int probes = 12;
+};
+
+class ParetoSearcher final : public Searcher {
+ public:
+  ParetoSearcher(const perf::TrainingPerfModel& perf,
+                 ParetoSearchOptions options = {});
+
+  std::string name() const override { return "pareto"; }
+
+  /// The front computed from a finished run's probes (what the method
+  /// would present to the user).
+  std::vector<ParetoPoint> front_of(const SearchResult& result,
+                                    const cloud::DeploymentSpace& space,
+                                    double samples_to_train) const;
+
+ protected:
+  void search(Session& session) override;
+
+ private:
+  ParetoSearchOptions options_;
+};
+
+}  // namespace mlcd::search

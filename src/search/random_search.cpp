@@ -1,0 +1,30 @@
+#include "search/random_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlcd::search {
+
+RandomSearcher::RandomSearcher(const perf::TrainingPerfModel& perf,
+                               RandomSearchOptions options)
+    : Searcher(perf, IncumbentPolicy::kObjectiveOnly), options_(options) {
+  if (options_.probes < 1) {
+    throw std::invalid_argument("RandomSearcher: probes must be >= 1");
+  }
+}
+
+std::string RandomSearcher::name() const {
+  return "random-" + std::to_string(options_.probes);
+}
+
+void RandomSearcher::search(Session& session) {
+  std::vector<cloud::Deployment> pool = session.space().enumerate();
+  std::shuffle(pool.begin(), pool.end(), session.rng().engine());
+  const int count =
+      std::min<int>(options_.probes, static_cast<int>(pool.size()));
+  for (int i = 0; i < count; ++i) {
+    session.probe(pool[i], 0.0, "random");
+  }
+}
+
+}  // namespace mlcd::search

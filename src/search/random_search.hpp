@@ -1,0 +1,29 @@
+// Random profiling baseline (paper Fig. 12): probe k deployments chosen
+// uniformly at random without replacement, then pick the best. Exists to
+// show that HeterBO's advantage is not luck: random search needs many
+// probes to match, and each extra probe inflates the profiling bill.
+#pragma once
+
+#include "search/searcher.hpp"
+
+namespace mlcd::search {
+
+struct RandomSearchOptions {
+  int probes = 9;
+};
+
+class RandomSearcher final : public Searcher {
+ public:
+  RandomSearcher(const perf::TrainingPerfModel& perf,
+                 RandomSearchOptions options = {});
+
+  std::string name() const override;
+
+ protected:
+  void search(Session& session) override;
+
+ private:
+  RandomSearchOptions options_;
+};
+
+}  // namespace mlcd::search

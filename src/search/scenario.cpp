@@ -1,0 +1,66 @@
+#include "search/scenario.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace mlcd::search {
+
+Scenario Scenario::fastest() { return Scenario{}; }
+
+Scenario Scenario::cheapest_under_deadline(double deadline_hours) {
+  if (!(deadline_hours > 0.0)) {
+    throw std::invalid_argument("Scenario: deadline must be positive");
+  }
+  Scenario s;
+  s.kind = ScenarioKind::kCheapestUnderDeadline;
+  s.deadline_hours = deadline_hours;
+  return s;
+}
+
+Scenario Scenario::fastest_under_budget(double budget_dollars) {
+  if (!(budget_dollars > 0.0)) {
+    throw std::invalid_argument("Scenario: budget must be positive");
+  }
+  Scenario s;
+  s.kind = ScenarioKind::kFastestUnderBudget;
+  s.budget_dollars = budget_dollars;
+  return s;
+}
+
+bool Scenario::has_deadline() const noexcept {
+  return std::isfinite(deadline_hours);
+}
+
+bool Scenario::has_budget() const noexcept {
+  return std::isfinite(budget_dollars);
+}
+
+std::string Scenario::describe() const {
+  switch (kind) {
+    case ScenarioKind::kFastest:
+      return "scenario-1 (fastest, unlimited budget)";
+    case ScenarioKind::kCheapestUnderDeadline:
+      return "scenario-2 (cheapest under deadline " +
+             util::fmt_hours(deadline_hours) + ")";
+    case ScenarioKind::kFastestUnderBudget:
+      return "scenario-3 (fastest under budget " +
+             util::fmt_dollars(budget_dollars) + ")";
+  }
+  return "?";
+}
+
+double scenario_objective(const Scenario& scenario, double speed,
+                          double hourly_price) {
+  if (speed <= 0.0) return 0.0;
+  if (scenario.kind == ScenarioKind::kCheapestUnderDeadline) {
+    if (hourly_price <= 0.0) {
+      throw std::invalid_argument("scenario_objective: bad hourly price");
+    }
+    return speed / hourly_price;
+  }
+  return speed;
+}
+
+}  // namespace mlcd::search

@@ -1,0 +1,46 @@
+// User deployment-requirement scenarios (paper §III-A/B).
+//
+//   Scenario 1: finish training as fast as possible, unlimited budget.
+//   Scenario 2: finish before a deadline at the lowest cost (Eq. 2).
+//   Scenario 3: finish as fast as possible within a budget (Eq. 3).
+//
+// Deadlines and budgets cover the *total* expenditure — profiling plus
+// training — which is exactly why constraint-oblivious searchers violate
+// them (Figs. 10, 11, 14).
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace mlcd::search {
+
+enum class ScenarioKind {
+  kFastest,              ///< Scenario 1
+  kCheapestUnderDeadline,///< Scenario 2
+  kFastestUnderBudget,   ///< Scenario 3
+};
+
+struct Scenario {
+  ScenarioKind kind = ScenarioKind::kFastest;
+  /// Total-time deadline, hours (Scenario 2); +inf otherwise.
+  double deadline_hours = std::numeric_limits<double>::infinity();
+  /// Total-dollar budget (Scenario 3); +inf otherwise.
+  double budget_dollars = std::numeric_limits<double>::infinity();
+
+  static Scenario fastest();
+  static Scenario cheapest_under_deadline(double deadline_hours);
+  static Scenario fastest_under_budget(double budget_dollars);
+
+  bool has_deadline() const noexcept;
+  bool has_budget() const noexcept;
+
+  std::string describe() const;
+};
+
+/// Scenario objective, maximization convention. Scenarios 1 and 3
+/// maximize training speed; Scenario 2 maximizes cost-efficiency
+/// (speed per $/hour, i.e. samples per dollar).
+double scenario_objective(const Scenario& scenario, double speed,
+                          double hourly_price);
+
+}  // namespace mlcd::search

@@ -1,0 +1,46 @@
+#include "search/search_result.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace mlcd::search {
+
+bool SearchResult::meets_constraints(
+    const Scenario& scenario) const noexcept {
+  if (!found) return false;
+  if (scenario.has_deadline() &&
+      total_hours() > scenario.deadline_hours) {
+    return false;
+  }
+  if (scenario.has_budget() &&
+      total_cost() > scenario.budget_dollars) {
+    return false;
+  }
+  return true;
+}
+
+std::string SearchResult::summary(const Scenario& scenario) const {
+  std::ostringstream out;
+  out << method << " [" << scenario.describe() << "]\n";
+  if (!found) {
+    out << "  no feasible deployment found after " << trace.size()
+        << " probes\n";
+    return out.str();
+  }
+  out << "  best deployment : " << best_description << " ("
+      << util::fmt_fixed(best_true_speed, 1) << " samples/s)\n";
+  out << "  profiling       : " << util::fmt_hours(profile_hours) << ", "
+      << util::fmt_dollars(profile_cost) << " over " << trace.size()
+      << " probes\n";
+  out << "  training        : " << util::fmt_hours(training_hours) << ", "
+      << util::fmt_dollars(training_cost) << "\n";
+  out << "  total           : " << util::fmt_hours(total_hours()) << ", "
+      << util::fmt_dollars(total_cost())
+      << (meets_constraints(scenario) ? "  [constraints met]"
+                                      : "  [CONSTRAINTS VIOLATED]")
+      << "\n";
+  return out.str();
+}
+
+}  // namespace mlcd::search

@@ -1,0 +1,62 @@
+// Search outcome accounting shared by every searcher.
+//
+// The paper's evaluation reports, for each method: the profiling time and
+// cost, the training time and cost at the deployment the method settled
+// on, and whether user constraints were met. SearchResult carries exactly
+// that, plus the full probe trace (which Figs. 9a, 15-17 visualize).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/deployment.hpp"
+#include "search/scenario.hpp"
+
+namespace mlcd::search {
+
+/// One profiling step in a search trace.
+struct ProbeStep {
+  cloud::Deployment deployment;
+  bool failed = false;   ///< transient probe failure (no measurement)
+  bool feasible = false;
+  double measured_speed = 0.0;   ///< samples/s as profiled (noisy)
+  double true_speed = 0.0;       ///< substrate ground truth
+  double profile_hours = 0.0;
+  double profile_cost = 0.0;
+  double cum_profile_hours = 0.0;
+  double cum_profile_cost = 0.0;
+  double acquisition = 0.0;      ///< score that selected this probe
+  std::string reason;            ///< "init", "ei", "tei", ...
+};
+
+/// Final outcome of one deployment search.
+struct SearchResult {
+  std::string method;
+  bool found = false;                ///< a feasible deployment was selected
+  cloud::Deployment best{};
+  std::string best_description;
+  double best_measured_speed = 0.0;
+  double best_true_speed = 0.0;
+
+  double profile_hours = 0.0;
+  double profile_cost = 0.0;
+  double training_hours = 0.0;       ///< at best, using the true speed
+  double training_cost = 0.0;
+
+  std::vector<ProbeStep> trace;
+
+  double total_hours() const noexcept {
+    return profile_hours + training_hours;
+  }
+  double total_cost() const noexcept {
+    return profile_cost + training_cost;
+  }
+
+  /// True when the scenario's constraints hold for the totals.
+  bool meets_constraints(const Scenario& scenario) const noexcept;
+
+  /// Multi-line human-readable report.
+  std::string summary(const Scenario& scenario) const;
+};
+
+}  // namespace mlcd::search

@@ -1,0 +1,279 @@
+#include "search/searcher.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace mlcd::search {
+
+Searcher::Searcher(const perf::TrainingPerfModel& perf,
+                   IncumbentPolicy policy)
+    : perf_(&perf), policy_(policy) {}
+
+Searcher::Session::Session(const Searcher& owner,
+                           const SearchProblem& problem)
+    : owner_(&owner),
+      problem_(&problem),
+      meter_(*problem.space),
+      profiler_(*owner.perf_, *problem.space, meter_, problem.seed,
+                problem.profiler_options),
+      rng_(util::splitmix64(problem.seed ^ 0x5ea6c4e2u)) {
+  if (problem.space == nullptr) {
+    throw std::invalid_argument("SearchProblem: null deployment space");
+  }
+}
+
+const ProbeStep& Searcher::Session::probe(const cloud::Deployment& d,
+                                          double acquisition,
+                                          std::string reason) {
+  const profiler::ProfileResult r =
+      profiler_.profile(problem_->config, d);
+  cum_hours_ += r.profile_hours;
+  cum_cost_ += r.profile_cost;
+
+  ProbeStep step;
+  step.deployment = d;
+  step.failed = r.failed;
+  step.feasible = r.feasible;
+  step.measured_speed = r.measured_speed;
+  step.true_speed = r.true_speed;
+  step.profile_hours = r.profile_hours;
+  step.profile_cost = r.profile_cost;
+  step.cum_profile_hours = cum_hours_;
+  step.cum_profile_cost = cum_cost_;
+  step.acquisition = acquisition;
+  step.reason = std::move(reason);
+  trace_.push_back(std::move(step));
+
+  const std::size_t idx = trace_.size() - 1;
+  if (trace_[idx].feasible &&
+      (!incumbent_.has_value() ||
+       objective_of(trace_[idx]) > objective_of(trace_[*incumbent_]))) {
+    incumbent_ = idx;
+  }
+  return trace_[idx];
+}
+
+bool Searcher::Session::already_probed(
+    const cloud::Deployment& d) const noexcept {
+  for (const ProbeStep& s : trace_) {
+    // A transiently failed probe produced no measurement; the point may
+    // be retried.
+    if (s.deployment == d && !s.failed) return true;
+  }
+  return false;
+}
+
+double Searcher::Session::objective_of(const ProbeStep& step) const {
+  if (!step.feasible) return 0.0;
+  const Scenario& s = problem_->scenario;
+  // Under a deadline, a deployment whose *training run alone* cannot
+  // finish in time has no utility at any price — without this, the
+  // cost-efficiency objective degenerates to the smallest (slowest)
+  // cluster. Note this uses only the deadline itself, not the time
+  // already spent: constraint-oblivious methods still burn profiling
+  // time on top and overshoot moderately, as the paper reports.
+  if (s.has_deadline() &&
+      projected_training_hours(step) > s.deadline_hours) {
+    return 0.0;
+  }
+  return scenario_objective(s, step.measured_speed,
+                            problem_->space->hourly_price(step.deployment));
+}
+
+const ProbeStep& Searcher::Session::incumbent() const {
+  if (!incumbent_) throw std::logic_error("Session: no incumbent yet");
+  return trace_[*incumbent_];
+}
+
+double Searcher::Session::projected_training_hours(
+    const ProbeStep& step) const {
+  if (!step.feasible || step.measured_speed <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return problem_->config.model.samples_to_train / step.measured_speed /
+         3600.0 *
+         problem_->space->restart_overhead_multiplier(step.deployment);
+}
+
+double Searcher::Session::projected_training_cost(
+    const ProbeStep& step) const {
+  const double hours = projected_training_hours(step);
+  if (!std::isfinite(hours)) return hours;
+  return hours * problem_->space->hourly_price(step.deployment);
+}
+
+double Searcher::Session::min_completion_hours() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const ProbeStep& step : trace_) {
+    if (step.feasible) {
+      best = std::min(best, projected_training_hours(step));
+    }
+  }
+  return best;
+}
+
+double Searcher::Session::min_completion_cost() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const ProbeStep& step : trace_) {
+    if (step.feasible) {
+      best = std::min(best, projected_training_cost(step));
+    }
+  }
+  return best;
+}
+
+namespace {
+// Completion projections come from noisy measured speeds while the final
+// accounting uses the substrate's true speed; the reserve keeps this much
+// relative headroom so measurement noise cannot turn a "just fits" into a
+// violation.
+constexpr double kReserveMargin = 0.03;
+}  // namespace
+
+bool Searcher::Session::reserve_allows(double extra_hours,
+                                       double extra_cost) const {
+  // The reserve protects the *best compliant* deployment found so far
+  // (the paper's "reserves the training budget for the current best"):
+  // spending that would forfeit the ability to finish training there is
+  // vetoed. This is stronger than only protecting the cheapest fallback
+  // — without it the search can keep probing until nothing but a slow,
+  // cheap deployment still fits the constraint.
+  const Scenario& s = problem_->scenario;
+
+  // Select the best-objective probe whose completion currently satisfies
+  // every constraint; its completion time/cost is what we reserve.
+  double reserve_hours = std::numeric_limits<double>::infinity();
+  double reserve_cost = std::numeric_limits<double>::infinity();
+  {
+    double best_objective = -std::numeric_limits<double>::infinity();
+    for (const ProbeStep& step : trace_) {
+      if (!step.feasible) continue;
+      const double h = projected_training_hours(step);
+      const double c = projected_training_cost(step);
+      const bool compliant =
+          (!s.has_deadline() || cum_hours_ + h <= s.deadline_hours) &&
+          (!s.has_budget() || cum_cost_ + c <= s.budget_dollars);
+      if (!compliant) continue;
+      const double objective = objective_of(step);
+      if (objective > best_objective) {
+        best_objective = objective;
+        reserve_hours = h;
+        reserve_cost = c;
+      }
+    }
+    if (!std::isfinite(reserve_hours)) {
+      // Nothing compliant yet: protect the cheapest way to finish, if
+      // any exists (when even that violates, the constraint does not
+      // veto further probes — exploring is the only path to compliance).
+      reserve_hours = min_completion_hours();
+      reserve_cost = min_completion_cost();
+    }
+  }
+
+  if (s.has_deadline() && std::isfinite(reserve_hours)) {
+    const double limit = s.deadline_hours * (1.0 - kReserveMargin);
+    if (cum_hours_ + reserve_hours <= limit &&
+        cum_hours_ + extra_hours + reserve_hours > limit) {
+      return false;
+    }
+  }
+  if (s.has_budget() && std::isfinite(reserve_cost)) {
+    const double limit = s.budget_dollars * (1.0 - kReserveMargin);
+    if (cum_cost_ + reserve_cost <= limit &&
+        cum_cost_ + extra_cost + reserve_cost > limit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SearchResult Searcher::run(const SearchProblem& problem) {
+  Session session(*this, problem);
+  search(session);
+  return finalize(session);
+}
+
+SearchResult Searcher::finalize(Session& session) const {
+  SearchResult result;
+  result.method = name();
+  result.trace = session.trace();
+  result.profile_hours = session.spent_hours();
+  result.profile_cost = session.spent_cost();
+
+  // Select the final deployment from the probe history.
+  const Scenario& scenario = session.scenario();
+  const ProbeStep* chosen = nullptr;
+  double chosen_score = -std::numeric_limits<double>::infinity();
+
+  auto consider = [&](const ProbeStep& step, double score) {
+    if (score > chosen_score) {
+      chosen_score = score;
+      chosen = &step;
+    }
+  };
+
+  if (policy_ == IncumbentPolicy::kObjectiveOnly) {
+    for (const ProbeStep& step : result.trace) {
+      if (step.feasible) consider(step, session.objective_of(step));
+    }
+  } else {
+    // Constraint-aware: prefer probes whose projected completion keeps
+    // every constraint satisfied; among them maximize the objective.
+    bool any_compliant = false;
+    for (const ProbeStep& step : result.trace) {
+      if (!step.feasible) continue;
+      const double train_h = session.projected_training_hours(step);
+      const double train_c = session.projected_training_cost(step);
+      const bool compliant =
+          (!scenario.has_deadline() ||
+           session.spent_hours() + train_h <= scenario.deadline_hours) &&
+          (!scenario.has_budget() ||
+           session.spent_cost() + train_c <= scenario.budget_dollars);
+      if (compliant) {
+        any_compliant = true;
+        consider(step, session.objective_of(step));
+      }
+    }
+    if (!any_compliant) {
+      // Fall back to the least-violating probe: the one finishing
+      // soonest (deadline) or cheapest (budget).
+      for (const ProbeStep& step : result.trace) {
+        if (!step.feasible) continue;
+        const double penalty =
+            scenario.has_budget()
+                ? -session.projected_training_cost(step)
+                : -session.projected_training_hours(step);
+        consider(step, penalty);
+      }
+    }
+  }
+
+  if (chosen == nullptr) {
+    MLCD_LOG(kWarn, "search")
+        << name() << ": no feasible deployment among "
+        << result.trace.size() << " probes";
+    return result;
+  }
+
+  result.found = true;
+  result.best = chosen->deployment;
+  result.best_description = session.space().describe(chosen->deployment);
+  result.best_measured_speed = chosen->measured_speed;
+  result.best_true_speed = chosen->true_speed;
+
+  // Train at the chosen deployment; the substrate's true speed governs
+  // how long the real training run takes (inflated by spot restarts when
+  // the space prices the spot market).
+  const double true_speed = chosen->true_speed;
+  result.training_hours =
+      session.problem().config.model.samples_to_train / true_speed /
+      3600.0 * session.space().restart_overhead_multiplier(chosen->deployment);
+  result.training_cost =
+      result.training_hours * session.space().hourly_price(chosen->deployment);
+  return result;
+}
+
+}  // namespace mlcd::search

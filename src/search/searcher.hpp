@@ -1,0 +1,144 @@
+// Searcher interface and shared per-run machinery.
+//
+// Every method in the paper's evaluation — HeterBO, conventional BO,
+// CherryPick, random, exhaustive, Paleo — implements Searcher. The base
+// class owns the run scaffolding all of them share: a billing meter, a
+// profiler bound to the simulated substrate, probe/trace bookkeeping,
+// incumbent selection, and the final "train at the chosen deployment"
+// accounting. Subclasses implement only the probe-selection strategy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/billing.hpp"
+#include "cloud/deployment.hpp"
+#include "perf/perf_model.hpp"
+#include "profiler/profiler.hpp"
+#include "search/scenario.hpp"
+#include "search/search_result.hpp"
+#include "util/rng.hpp"
+
+namespace mlcd::search {
+
+/// Everything that defines one deployment-search task.
+struct SearchProblem {
+  perf::TrainingConfig config;
+  const cloud::DeploymentSpace* space = nullptr;
+  Scenario scenario;
+  std::uint64_t seed = 1;
+  profiler::ProfilerOptions profiler_options;
+};
+
+/// How the final deployment is chosen from the probe history.
+enum class IncumbentPolicy {
+  /// Highest scenario objective, constraints ignored — what the
+  /// constraint-oblivious baselines do (and why they overshoot).
+  kObjectiveOnly,
+  /// Highest objective among probes whose projected completion still
+  /// satisfies the scenario constraints; least-violating otherwise.
+  kConstraintAware,
+};
+
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs the full search: probes per the subclass strategy, selects the
+  /// final deployment, accounts for the training run at that deployment.
+  /// (Virtual so probe-free planners like Paleo can bypass the profiling
+  /// scaffolding entirely.)
+  virtual SearchResult run(const SearchProblem& problem);
+
+  /// Per-run mutable state handed to the subclass strategy (public so
+  /// strategy helpers like the shared BO loop can operate on it).
+  class Session {
+   public:
+    Session(const Searcher& owner, const SearchProblem& problem);
+
+    const SearchProblem& problem() const noexcept { return *problem_; }
+    const cloud::DeploymentSpace& space() const noexcept {
+      return *problem_->space;
+    }
+    const Scenario& scenario() const noexcept { return problem_->scenario; }
+    const perf::TrainingPerfModel& perf() const noexcept {
+      return *owner_->perf_;
+    }
+    profiler::Profiler& profiler() noexcept { return profiler_; }
+    const profiler::Profiler& profiler() const noexcept { return profiler_; }
+    util::Rng& rng() noexcept { return rng_; }
+
+    /// Profiles `d`, appends to the trace, updates cumulative spend and
+    /// the incumbent. Returns the recorded step.
+    const ProbeStep& probe(const cloud::Deployment& d, double acquisition,
+                           std::string reason);
+
+    const std::vector<ProbeStep>& trace() const noexcept { return trace_; }
+    bool already_probed(const cloud::Deployment& d) const noexcept;
+
+    double spent_hours() const noexcept { return cum_hours_; }
+    double spent_cost() const noexcept { return cum_cost_; }
+
+    /// Scenario objective of a probed step (0 when infeasible).
+    double objective_of(const ProbeStep& step) const;
+
+    /// Incumbent = best feasible probe by scenario objective.
+    bool has_incumbent() const noexcept { return incumbent_.has_value(); }
+    const ProbeStep& incumbent() const;
+
+    /// Projected hours to finish training at a probed point, from its
+    /// measured speed.
+    double projected_training_hours(const ProbeStep& step) const;
+    /// Projected dollars to finish training at a probed point.
+    double projected_training_cost(const ProbeStep& step) const;
+
+    /// Cheapest way to finish training from any probed point so far:
+    /// minimum projected training hours / dollars over feasible probes.
+    /// +inf when nothing feasible has been probed.
+    double min_completion_hours() const;
+    double min_completion_cost() const;
+
+    /// Protective reserve check (HeterBO §III-C "stop condition"):
+    /// after spending `extra_hours` / `extra_cost` on one more probe,
+    /// could we still finish training within the constraints from the
+    /// best fallback probed so far? Always true for Scenario 1.
+    ///
+    /// When no probed point satisfies a constraint yet, that constraint
+    /// does not veto further probes: a violation is already guaranteed,
+    /// and exploring is the only way to find a compliant deployment.
+    bool reserve_allows(double extra_hours, double extra_cost) const;
+
+   private:
+    const Searcher* owner_;
+    const SearchProblem* problem_;
+    cloud::BillingMeter meter_;
+    profiler::Profiler profiler_;
+    util::Rng rng_;
+    std::vector<ProbeStep> trace_;
+    double cum_hours_ = 0.0;
+    double cum_cost_ = 0.0;
+    std::optional<std::size_t> incumbent_;
+  };
+
+ protected:
+  explicit Searcher(const perf::TrainingPerfModel& perf,
+                    IncumbentPolicy policy = IncumbentPolicy::kObjectiveOnly);
+
+  /// Strategy hook: issue probes via session.probe() until done.
+  virtual void search(Session& session) = 0;
+
+  const perf::TrainingPerfModel* perf_;
+  IncumbentPolicy policy_;
+
+ private:
+  /// Picks the final deployment per `policy_` and fills in training
+  /// accounting using the substrate's true speed.
+  SearchResult finalize(Session& session) const;
+};
+
+}  // namespace mlcd::search

@@ -1,0 +1,63 @@
+#include "search/trace_io.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace mlcd::search {
+namespace {
+
+const std::vector<std::string> kHeader = {
+    "instance", "nodes", "measured_speed", "feasible", "failed", "reason"};
+
+}  // namespace
+
+void save_trace_csv(const std::string& path, const SearchResult& result,
+                    const cloud::DeploymentSpace& space) {
+  util::CsvWriter csv(path, kHeader);
+  for (const ProbeStep& step : result.trace) {
+    char speed[32];
+    std::snprintf(speed, sizeof(speed), "%.10g", step.measured_speed);
+    csv.add_row({space.catalog().at(step.deployment.type_index).name,
+                 std::to_string(step.deployment.nodes), speed,
+                 step.feasible ? "1" : "0", step.failed ? "1" : "0",
+                 step.reason});
+  }
+}
+
+std::vector<WarmStartPoint> load_warm_start_csv(
+    const std::string& path, const cloud::InstanceCatalog& catalog) {
+  const auto rows = util::read_csv(path);
+  if (rows.empty() || rows.front() != kHeader) {
+    throw std::invalid_argument(
+        "trace csv: missing or unexpected header in " + path);
+  }
+  std::vector<WarmStartPoint> points;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != kHeader.size()) {
+      throw std::invalid_argument("trace csv: row " + std::to_string(i) +
+                                  " has wrong column count");
+    }
+    if (row[3] != "1" || row[4] == "1") continue;  // infeasible or failed
+    const auto type = catalog.find(row[0]);
+    if (!type) continue;  // the new catalog no longer offers this type
+
+    char* end = nullptr;
+    const long nodes = std::strtol(row[1].c_str(), &end, 10);
+    if (end != row[1].c_str() + row[1].size() || nodes < 1) {
+      throw std::invalid_argument("trace csv: bad node count '" + row[1] +
+                                  "'");
+    }
+    const double speed = std::strtod(row[2].c_str(), &end);
+    if (end != row[2].c_str() + row[2].size() || !(speed > 0.0)) {
+      throw std::invalid_argument("trace csv: bad speed '" + row[2] + "'");
+    }
+    points.push_back(WarmStartPoint{
+        cloud::Deployment{*type, static_cast<int>(nodes)}, speed});
+  }
+  return points;
+}
+
+}  // namespace mlcd::search

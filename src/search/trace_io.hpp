@@ -1,0 +1,35 @@
+// Search-trace persistence.
+//
+// A finished search's measurements are valuable beyond the process that
+// ran it: the next time a similar job is tuned (tomorrow's batch-size
+// experiment, next week's fine-tune), its search can warm-start from
+// them (paper Fig. 2's motivation). save_trace_csv/load_warm_start_csv
+// round-trip the probe history through a plain CSV, keyed by instance
+// *names* so the file survives catalog reordering or subsetting.
+//
+// The CLI exposes this as `mlcd deploy --save-trace f.csv` and
+// `--warm-start f.csv`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/deployment.hpp"
+#include "search/heter_bo.hpp"
+#include "search/search_result.hpp"
+
+namespace mlcd::search {
+
+/// Writes the probe history (instance name, nodes, measured speed,
+/// flags) of `result` to CSV.
+void save_trace_csv(const std::string& path, const SearchResult& result,
+                    const cloud::DeploymentSpace& space);
+
+/// Loads warm-start points from a trace CSV, resolving instance names
+/// against `catalog`. Probes of unknown types, failed probes and
+/// infeasible probes are skipped. Throws std::runtime_error when the
+/// file cannot be read and std::invalid_argument on malformed content.
+std::vector<WarmStartPoint> load_warm_start_csv(
+    const std::string& path, const cloud::InstanceCatalog& catalog);
+
+}  // namespace mlcd::search

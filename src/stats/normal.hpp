@@ -1,0 +1,22 @@
+// Standard-normal density, distribution and quantile functions.
+//
+// These are the phi/Phi terms in the Expected Improvement acquisition
+// (paper Eq. 4) and the 95% confidence interval used by HeterBO's stop
+// condition, implemented without external dependencies.
+#pragma once
+
+namespace mlcd::stats {
+
+/// Standard normal probability density phi(x).
+double normal_pdf(double x) noexcept;
+
+/// Standard normal cumulative distribution Phi(x), via erfc for accuracy
+/// in both tails.
+double normal_cdf(double x) noexcept;
+
+/// Inverse of normal_cdf on (0, 1) — Acklam's rational approximation
+/// refined with one Halley step (|relative error| < 1e-9).
+/// Throws std::domain_error outside (0, 1).
+double normal_quantile(double p);
+
+}  // namespace mlcd::stats

@@ -1,0 +1,96 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/normal.hpp"
+
+namespace mlcd::stats {
+
+Summary summarize(std::span<const double> sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument("summarize: empty sample");
+  }
+  Summary s;
+  s.count = sample.size();
+  s.min = sample[0];
+  s.max = sample[0];
+  double sum = 0.0;
+  for (double x : sample) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (double x : sample) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.variance = ss / static_cast<double>(s.count - 1);
+  }
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+double quantile(std::span<const double> sample, double q) {
+  if (sample.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("quantile: q outside [0, 1]");
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+WhiskerStats whisker_stats(std::span<const double> sample) {
+  WhiskerStats w;
+  w.min = quantile(sample, 0.0);
+  w.q1 = quantile(sample, 0.25);
+  w.median = quantile(sample, 0.5);
+  w.q3 = quantile(sample, 0.75);
+  w.max = quantile(sample, 1.0);
+  return w;
+}
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::coefficient_of_variation() const noexcept {
+  if (n_ < 2) return 0.0;
+  if (mean_ == 0.0) return std::numeric_limits<double>::infinity();
+  return stddev() / std::abs(mean_);
+}
+
+double confidence_halfwidth(const RunningStats& stats, double confidence) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument(
+        "confidence_halfwidth: confidence outside (0, 1)");
+  }
+  if (stats.count() < 2) {
+    throw std::invalid_argument(
+        "confidence_halfwidth: need at least two samples");
+  }
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  return z * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+}
+
+}  // namespace mlcd::stats

@@ -1,0 +1,73 @@
+// Summary statistics, quantiles, whisker ("box plot") summaries and an
+// online variance accumulator.
+//
+// These back two pieces of the system: the Profiler's stability check
+// (extend profiling while the coefficient of variation is high, paper
+// §IV) and the Fig. 12 random-search distribution plot.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mlcd::stats {
+
+/// Basic sample statistics.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased sample variance (n-1 denominator)
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes Summary for a non-empty sample; throws std::invalid_argument
+/// on an empty input.
+Summary summarize(std::span<const double> sample);
+
+/// Linear-interpolation quantile (type-7, the numpy default) for
+/// q in [0, 1]. Throws on empty input or q outside [0, 1].
+double quantile(std::span<const double> sample, double q);
+
+/// Five-number summary used by whisker plots.
+struct WhiskerStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+WhiskerStats whisker_stats(std::span<const double> sample);
+
+/// Welford online mean/variance accumulator — numerically stable and
+/// single-pass, suitable for streaming profiling measurements.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 until two samples are seen.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  /// stddev / |mean|; +inf when the mean is zero. Undefined (0) before
+  /// two samples.
+  double coefficient_of_variation() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Half-width of the two-sided normal confidence interval at `confidence`
+/// (e.g. 0.95) for a mean estimated from `stats`.
+/// Throws std::invalid_argument when confidence is outside (0, 1) or
+/// fewer than two samples were seen.
+double confidence_halfwidth(const RunningStats& stats, double confidence);
+
+}  // namespace mlcd::stats

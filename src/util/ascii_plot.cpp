@@ -1,0 +1,119 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace mlcd::util {
+
+std::string render_chart(const std::vector<Series>& series,
+                         const AsciiChartOptions& options) {
+  if (options.width < 8 || options.height < 4) {
+    throw std::invalid_argument("render_chart: area too small");
+  }
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min, y_min = x_min, y_max = -x_min;
+  std::size_t points = 0;
+  for (const Series& s : series) {
+    if (s.x.size() != s.y.size()) {
+      throw std::invalid_argument("render_chart: x/y size mismatch in " +
+                                  s.name);
+    }
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      x_min = std::min(x_min, s.x[i]);
+      x_max = std::max(x_max, s.x[i]);
+      y_min = std::min(y_min, s.y[i]);
+      y_max = std::max(y_max, s.y[i]);
+      ++points;
+    }
+  }
+  if (points == 0) {
+    throw std::invalid_argument("render_chart: no points");
+  }
+  if (y_min >= 0.0) y_min = 0.0;  // anchor non-negative data at zero
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  auto col_of = [&](double x) {
+    const double t = (x - x_min) / (x_max - x_min);
+    return std::clamp(static_cast<int>(std::lround(t * (w - 1))), 0, w - 1);
+  };
+  auto row_of = [&](double y) {
+    const double t = (y - y_min) / (y_max - y_min);
+    // Row 0 is the top of the chart.
+    return std::clamp(h - 1 - static_cast<int>(std::lround(t * (h - 1))),
+                      0, h - 1);
+  };
+
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      grid[row_of(s.y[i])][col_of(s.x[i])] = s.symbol;
+    }
+  }
+
+  // Compose with y tick labels on the left (top, middle, bottom).
+  std::ostringstream out;
+  if (!options.y_label.empty()) {
+    out << options.y_label << '\n';
+  }
+  const int label_width = 10;
+  auto y_tick = [&](int row) {
+    const double t = static_cast<double>(h - 1 - row) / (h - 1);
+    return y_min + t * (y_max - y_min);
+  };
+  for (int row = 0; row < h; ++row) {
+    std::string label(label_width, ' ');
+    if (row == 0 || row == h / 2 || row == h - 1) {
+      std::string text = fmt_fixed(y_tick(row), 1);
+      if (text.size() > static_cast<std::size_t>(label_width - 1)) {
+        text = text.substr(0, label_width - 1);
+      }
+      label = std::string(label_width - 1 - text.size(), ' ') + text + " ";
+    }
+    out << label << '|' << grid[row] << '\n';
+  }
+  out << std::string(label_width, ' ') << '+' << std::string(w, '-')
+      << '\n';
+  out << std::string(label_width + 1, ' ') << fmt_fixed(x_min, 0)
+      << std::string(
+             std::max(1, w - 2 - static_cast<int>(
+                                     fmt_fixed(x_min, 0).size() +
+                                     fmt_fixed(x_max, 0).size())),
+             ' ')
+      << fmt_fixed(x_max, 0);
+  if (!options.x_label.empty()) out << "  " << options.x_label;
+  out << '\n';
+
+  // Legend.
+  if (series.size() > 1 || !series.front().name.empty()) {
+    out << std::string(label_width + 1, ' ');
+    for (const Series& s : series) {
+      out << s.symbol << "=" << s.name << "  ";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_bar(const std::string& label, double fraction,
+                       const std::string& value, int width,
+                       int label_width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const int fill = static_cast<int>(std::lround(fraction * width));
+  std::string padded = label;
+  if (static_cast<int>(padded.size()) < label_width) {
+    padded += std::string(label_width - padded.size(), ' ');
+  }
+  return padded + " |" + std::string(fill, '#') +
+         std::string(width - fill, ' ') + "| " + value;
+}
+
+}  // namespace mlcd::util

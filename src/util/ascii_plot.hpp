@@ -1,0 +1,42 @@
+// Terminal charts for the figure-reproduction benches.
+//
+// The paper's evaluation is figures, not tables; where a series' *shape*
+// is the claim (concave scale-out, whisker distributions, growth trends),
+// the benches render it directly in the terminal next to the numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlcd::util {
+
+/// One plottable series: (x, y) points drawn with a single symbol.
+struct Series {
+  std::string name;
+  char symbol = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct AsciiChartOptions {
+  int width = 64;    ///< plot area columns (excluding axis labels)
+  int height = 16;   ///< plot area rows
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders one or more series into a character grid with y-axis tick
+/// labels, an x-axis ruler and a legend. Ranges are the union of all
+/// series; y starts at 0 when all values are non-negative.
+/// Throws std::invalid_argument when no series has points or when a
+/// series' x/y sizes disagree.
+std::string render_chart(const std::vector<Series>& series,
+                         const AsciiChartOptions& options = {});
+
+/// Renders a horizontal bar: "label |#######        | value".
+/// `fraction` is clamped to [0, 1].
+std::string render_bar(const std::string& label, double fraction,
+                       const std::string& value, int width = 40,
+                       int label_width = 14);
+
+}  // namespace mlcd::util

@@ -1,0 +1,49 @@
+// CSV reading/writing. The writer dumps the raw series behind each bench
+// figure; the reader loads user-supplied instance catalogs. Both handle
+// RFC-4180 quoting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mlcd::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; must match the header arity.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Quotes a single field per RFC 4180 when it contains
+  /// commas, quotes, or newlines.
+  static std::string escape(const std::string& field);
+
+ private:
+  void write_line(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+/// Parses one CSV line into fields (RFC-4180: quoted fields may contain
+/// commas and doubled quotes). Throws std::invalid_argument on an
+/// unterminated quote.
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// Reads a whole CSV file into rows of fields. Blank lines and lines
+/// starting with '#' are skipped. Throws std::runtime_error when the file
+/// cannot be opened.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+}  // namespace mlcd::util

@@ -1,0 +1,167 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mlcd::util {
+
+void JsonWriter::before_value() {
+  if (done_) {
+    throw std::logic_error("JsonWriter: document already complete");
+  }
+  if (!scopes_.empty() && scopes_.back() == Scope::kObject &&
+      !pending_key_) {
+    throw std::logic_error("JsonWriter: object member needs a key");
+  }
+  if ((scopes_.empty() || scopes_.back() == Scope::kArray) &&
+      pending_key_) {
+    throw std::logic_error("JsonWriter: dangling key outside object");
+  }
+  if (!scopes_.empty() && scopes_.back() == Scope::kArray) {
+    if (!first_.back()) out_ << ',';
+    first_.back() = false;
+  }
+  pending_key_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  scopes_.push_back(Scope::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (scopes_.empty() || scopes_.back() != Scope::kObject || pending_key_) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  out_ << '}';
+  scopes_.pop_back();
+  first_.pop_back();
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  scopes_.push_back(Scope::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (scopes_.empty() || scopes_.back() != Scope::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  out_ << ']';
+  scopes_.pop_back();
+  first_.pop_back();
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (done_ || scopes_.empty() || scopes_.back() != Scope::kObject ||
+      pending_key_) {
+    throw std::logic_error("JsonWriter: key() outside object position");
+  }
+  if (!first_.back()) out_ << ',';
+  first_.back() = false;
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ << '"' << escape(text) << '"';
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    out_ << "null";  // JSON has no Inf/NaN
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", number);
+    out_ << buf;
+  }
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ << number;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!scopes_.empty()) {
+    throw std::logic_error("JsonWriter::str: unclosed containers");
+  }
+  return out_.str();
+}
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mlcd::util

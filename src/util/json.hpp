@@ -1,0 +1,55 @@
+// Minimal streaming JSON writer.
+//
+// MLCD run reports are consumed by scripts as often as by eyes; the CLI's
+// --json mode serializes them with this writer. It produces compact,
+// valid JSON with correct escaping and enforces well-formedness (keys
+// only inside objects, one value per key) by throwing std::logic_error
+// on misuse.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlcd::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be directly inside an object and must be
+  /// followed by exactly one value (or container).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// The serialized document; all containers must be closed.
+  std::string str() const;
+
+  /// JSON string escaping (quotes, backslashes, control characters).
+  static std::string escape(std::string_view text);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void before_value();
+
+  std::ostringstream out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+}  // namespace mlcd::util

@@ -1,0 +1,68 @@
+// Minimal leveled logging for the MLCD library.
+//
+// The library is used both interactively (examples, benches) and inside
+// tight search loops (tests sweeping hundreds of scenarios), so logging is
+// cheap when disabled: level checks are a single atomic load and message
+// formatting only happens for enabled levels.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mlcd::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the short uppercase tag for a level ("INFO", "WARN", ...).
+std::string_view log_level_name(LogLevel level) noexcept;
+
+/// Global minimum level; messages below it are dropped. Thread-safe.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// True when `level` would currently be emitted.
+bool log_enabled(LogLevel level) noexcept;
+
+/// Emits one formatted line to stderr: "[LEVEL] component: message".
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+/// Stream-style log statement builder, used via the MLCD_LOG macro.
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view component)
+      : level_(level), component_(component), enabled_(log_enabled(level)) {}
+
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  ~LogStatement() {
+    if (enabled_) log_message(level_, component_, stream_.str());
+  }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace mlcd::util
+
+#define MLCD_LOG(level, component) \
+  ::mlcd::util::LogStatement(::mlcd::util::LogLevel::level, component)

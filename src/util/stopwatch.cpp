@@ -1,0 +1,9 @@
+#include "util/stopwatch.hpp"
+
+namespace mlcd::util {
+
+double Stopwatch::elapsed_seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace mlcd::util

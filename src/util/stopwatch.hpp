@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for instrumentation in benches and the profiler
+// shell. Simulated time inside experiments never uses this — simulation
+// time is explicit (see cloud::BillingMeter) so results are deterministic.
+#pragma once
+
+#include <chrono>
+
+namespace mlcd::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const;
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mlcd::util

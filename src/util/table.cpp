@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mlcd::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TablePrinter: need at least one column");
+  }
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TablePrinter::set_align(std::size_t index, Align align) {
+  if (index >= aligns_.size()) {
+    throw std::out_of_range("TablePrinter::set_align: bad column index");
+  }
+  aligns_[index] = align;
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument(
+        "TablePrinter::add_row: cell count does not match header count");
+  }
+  rows_.push_back(Row{std::move(cells)});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{}); }
+
+std::string TablePrinter::render() const {
+  const std::size_t ncols = headers_.size();
+  std::vector<std::size_t> width(ncols);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto emit_cells = [&](std::ostringstream& out,
+                        const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c != 0) out << "  ";
+      const std::string& cell = cells[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (aligns_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << cell;
+      if (aligns_[c] == Align::kLeft && c + 1 != ncols) {
+        out << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  emit_cells(out, headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < ncols; ++c) total += width[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const Row& row : rows_) {
+    if (row.cells.empty()) {
+      out << std::string(total, '-') << '\n';
+    } else {
+      emit_cells(out, row.cells);
+    }
+  }
+  return out.str();
+}
+
+void TablePrinter::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+std::string fmt_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_speedup(double value, int digits) {
+  return fmt_fixed(value, digits) + "x";
+}
+
+std::string fmt_percent(double fraction, int digits) {
+  return fmt_fixed(fraction * 100.0, digits) + "%";
+}
+
+std::string fmt_dollars(double value, int digits) {
+  return "$" + fmt_fixed(value, digits);
+}
+
+std::string fmt_hours(double value, int digits) {
+  return fmt_fixed(value, digits) + " h";
+}
+
+}  // namespace mlcd::util

@@ -1,0 +1,246 @@
+// Unit tests for src/cli: argument parsing, value parsers and the
+// in-process command driver.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "cli/cli.hpp"
+
+namespace mlcd::cli {
+namespace {
+
+Args parse(std::vector<const char*> argv,
+           const std::vector<std::string>& flags = {}) {
+  argv.insert(argv.begin(), "mlcd");
+  return Args::parse(static_cast<int>(argv.size()), argv.data(), flags);
+}
+
+// ------------------------------------------------------------------- Args
+
+TEST(Args, InlineAndSeparateValues) {
+  const Args a = parse({"deploy", "--model=resnet", "--budget", "100"});
+  EXPECT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "deploy");
+  EXPECT_EQ(a.get("model").value(), "resnet");
+  EXPECT_EQ(a.get("budget").value(), "100");
+}
+
+TEST(Args, FlagsTakeNoValue) {
+  const Args a = parse({"deploy", "--trace", "--model", "bert"},
+                       {"trace"});
+  EXPECT_TRUE(a.has("trace"));
+  EXPECT_EQ(a.get("model").value(), "bert");
+}
+
+TEST(Args, MissingValueThrows) {
+  EXPECT_THROW(parse({"--model"}), std::invalid_argument);
+}
+
+TEST(Args, BareDashesThrow) {
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+TEST(Args, GetOrFallsBack) {
+  const Args a = parse({});
+  EXPECT_EQ(a.get_or("platform", "tensorflow"), "tensorflow");
+  EXPECT_FALSE(a.get("platform").has_value());
+}
+
+TEST(Args, NamesListsOptions) {
+  const Args a = parse({"--alpha=1", "--beta=2"});
+  const auto names = a.names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+// ------------------------------------------------------------- value parse
+
+TEST(ValueParse, Durations) {
+  EXPECT_DOUBLE_EQ(parse_duration_hours("6h"), 6.0);
+  EXPECT_DOUBLE_EQ(parse_duration_hours("90m"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_duration_hours("45s"), 45.0 / 3600.0);
+  EXPECT_DOUBLE_EQ(parse_duration_hours("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_duration_hours("1.5H"), 1.5);
+}
+
+TEST(ValueParse, DurationErrors) {
+  EXPECT_THROW(parse_duration_hours(""), std::invalid_argument);
+  EXPECT_THROW(parse_duration_hours("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_hours("-5h"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_hours("5h30m"), std::invalid_argument);
+}
+
+TEST(ValueParse, Money) {
+  EXPECT_DOUBLE_EQ(parse_money("$120"), 120.0);
+  EXPECT_DOUBLE_EQ(parse_money("99.50"), 99.5);
+  EXPECT_THROW(parse_money("$"), std::invalid_argument);
+  EXPECT_THROW(parse_money("-3"), std::invalid_argument);
+  EXPECT_THROW(parse_money(""), std::invalid_argument);
+}
+
+TEST(ValueParse, Lists) {
+  const auto v = parse_list("a,b,c");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], "b");
+  EXPECT_TRUE(parse_list("").empty());
+  EXPECT_EQ(parse_list("one").size(), 1u);
+  EXPECT_EQ(parse_list("a,,b").size(), 2u);  // empty segment dropped
+}
+
+TEST(ValueParse, PositiveInt) {
+  EXPECT_EQ(parse_positive_int("42"), 42);
+  EXPECT_THROW(parse_positive_int("0"), std::invalid_argument);
+  EXPECT_THROW(parse_positive_int("3.5"), std::invalid_argument);
+  EXPECT_THROW(parse_positive_int("x"), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- run
+
+int drive(std::vector<const char*> argv, std::string* out_text = nullptr,
+          std::string* err_text = nullptr) {
+  argv.insert(argv.begin(), "mlcd");
+  std::ostringstream out, err;
+  const int rc =
+      run(static_cast<int>(argv.size()), argv.data(), out, err);
+  if (out_text) *out_text = out.str();
+  if (err_text) *err_text = err.str();
+  return rc;
+}
+
+TEST(CliRun, HelpPrintsUsage) {
+  std::string out;
+  EXPECT_EQ(drive({"help"}, &out), 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST(CliRun, NoArgsIsHelp) {
+  std::string out;
+  EXPECT_EQ(drive({}, &out), 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST(CliRun, UnknownCommandIsUsageError) {
+  std::string err;
+  EXPECT_EQ(drive({"frobnicate"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliRun, DeployRequiresModel) {
+  std::string err;
+  EXPECT_EQ(drive({"deploy"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("--model"), std::string::npos);
+}
+
+TEST(CliRun, DeployEndToEnd) {
+  std::string out;
+  const int rc = drive({"deploy", "--model", "resnet", "--budget", "$100",
+                        "--types", "c5.4xlarge", "--seed", "7"},
+                       &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("MLCD run report"), std::string::npos);
+  EXPECT_NE(out.find("constraints met"), std::string::npos);
+}
+
+TEST(CliRun, DeployWithTracePrintsSteps) {
+  std::string out;
+  const int rc = drive({"deploy", "--model", "resnet", "--types",
+                        "c5.4xlarge", "--trace"},
+                       &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("search trace"), std::string::npos);
+  EXPECT_NE(out.find("init"), std::string::npos);
+}
+
+TEST(CliRun, DeployUnknownModelIsUsageError) {
+  std::string err;
+  EXPECT_EQ(drive({"deploy", "--model", "vgg"}, nullptr, &err), 2);
+}
+
+TEST(CliRun, DeployBadBudgetIsUsageError) {
+  std::string err;
+  EXPECT_EQ(drive({"deploy", "--model", "resnet", "--budget", "lots"},
+                  nullptr, &err),
+            2);
+}
+
+TEST(CliRun, DeployJsonMode) {
+  std::string out;
+  const int rc = drive({"deploy", "--model", "resnet", "--types",
+                        "c5.4xlarge", "--budget", "100", "--json"},
+                       &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_NE(out.find("\"constraints_met\":true"), std::string::npos);
+  EXPECT_EQ(out.find("MLCD run report"), std::string::npos);
+}
+
+TEST(CliRun, ModelsListsZoo) {
+  std::string out;
+  EXPECT_EQ(drive({"models"}, &out), 0);
+  EXPECT_NE(out.find("resnet"), std::string::npos);
+  EXPECT_NE(out.find("bert"), std::string::npos);
+}
+
+TEST(CliRun, InstancesFilterByFamily) {
+  std::string out;
+  EXPECT_EQ(drive({"instances", "--family", "p3"}, &out), 0);
+  EXPECT_NE(out.find("p3.2xlarge"), std::string::npos);
+  EXPECT_EQ(out.find("c5.xlarge"), std::string::npos);
+}
+
+TEST(CliRun, ExportAndLoadCustomCatalog) {
+  const std::string path = testing::TempDir() + "/mlcd_cli_catalog.csv";
+  std::string out;
+  ASSERT_EQ(drive({"export-catalog", "--out", path.c_str()}, &out), 0);
+  EXPECT_NE(out.find("62 instance types"), std::string::npos);
+
+  // Deploying against the exported catalog behaves like the default.
+  std::string deploy_out;
+  const int rc = drive({"deploy", "--model", "resnet", "--types",
+                        "c5.4xlarge", "--catalog", path.c_str(), "--seed",
+                        "7"},
+                       &deploy_out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(deploy_out.find("c5.4xlarge"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(CliRun, ExportCatalogRequiresOut) {
+  std::string err;
+  EXPECT_EQ(drive({"export-catalog"}, nullptr, &err), 2);
+}
+
+TEST(CliRun, SaveAndWarmStartFlow) {
+  const std::string path = testing::TempDir() + "/mlcd_cli_trace.csv";
+  std::string out;
+  ASSERT_EQ(drive({"deploy", "--model", "resnet", "--types", "c5.4xlarge",
+                   "--save-trace", path.c_str()},
+                  &out),
+            0);
+  std::string warm_out;
+  const int rc = drive({"deploy", "--model", "resnet", "--types",
+                        "c5.4xlarge", "--warm-start", path.c_str(),
+                        "--trace", "--seed", "11"},
+                       &warm_out);
+  EXPECT_EQ(rc, 0);
+  // Warm-started runs skip the mandatory init/curve waves.
+  EXPECT_EQ(warm_out.find(" init "), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(CliRun, CompareRunsAllMethods) {
+  std::string out;
+  const int rc = drive({"compare", "--model", "resnet", "--types",
+                        "c5.4xlarge", "--budget", "120", "--max-nodes",
+                        "20"},
+                       &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("heterbo"), std::string::npos);
+  EXPECT_NE(out.find("conv-bo"), std::string::npos);
+  EXPECT_NE(out.find("paleo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlcd::cli

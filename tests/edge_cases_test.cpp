@@ -1,0 +1,171 @@
+// Corner-condition tests: degenerate spaces, impossible constraints,
+// combined constraints — the situations a deployed system hits that the
+// paper's evaluation never shows.
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+#include "search/conv_bo.hpp"
+#include "search/exhaustive.hpp"
+#include "search/heter_bo.hpp"
+
+namespace mlcd::search {
+namespace {
+
+SearchProblem make_problem(const cloud::DeploymentSpace& space,
+                           Scenario scenario, const char* model = "resnet") {
+  SearchProblem p;
+  p.config.model = models::paper_zoo().model(model);
+  p.config.platform = perf::tensorflow_profile();
+  p.config.topology = perf::CommTopology::kParameterServer;
+  p.space = &space;
+  p.scenario = scenario;
+  p.seed = 3;
+  return p;
+}
+
+TEST(EdgeCases, SingleDeploymentSpace) {
+  // A space with exactly one point: every method must pick it.
+  const auto cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 1);
+  const perf::TrainingPerfModel perf(cat);
+  const SearchProblem p = make_problem(space, Scenario::fastest());
+
+  const SearchResult hb = HeterBoSearcher(perf).run(p);
+  ASSERT_TRUE(hb.found);
+  EXPECT_EQ(hb.best.nodes, 1);
+  const SearchResult ex = ExhaustiveSearcher(perf).run(p);
+  EXPECT_EQ(ex.best.nodes, 1);
+}
+
+TEST(EdgeCases, ImpossibleBudgetStillTerminates) {
+  // A budget too small even for one probe: the search must terminate
+  // without crashing; whatever it reports is flagged as violating.
+  const auto cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const SearchProblem p =
+      make_problem(space, Scenario::fastest_under_budget(0.05));
+
+  const SearchResult r = HeterBoSearcher(perf).run(p);
+  // The probe itself costs ~$0.11 > $0.05; whatever happened, the result
+  // must be marked non-compliant rather than silently "ok".
+  EXPECT_FALSE(r.meets_constraints(p.scenario) &&
+               r.total_cost() > 0.05);
+}
+
+TEST(EdgeCases, ImpossibleDeadlineReportsLeastViolation) {
+  // No deployment can train a resnet job in 6 minutes; HeterBO must
+  // still return its least-violating option and the report must say
+  // VIOLATED.
+  const auto cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const SearchProblem p =
+      make_problem(space, Scenario::cheapest_under_deadline(0.1));
+
+  const SearchResult r = HeterBoSearcher(perf).run(p);
+  ASSERT_TRUE(r.found);
+  EXPECT_FALSE(r.meets_constraints(p.scenario));
+  // Least-violating = fastest completion among probed points.
+  for (const ProbeStep& s : r.trace) {
+    if (!s.feasible) continue;
+    const double hours =
+        p.config.model.samples_to_train / s.measured_speed / 3600.0;
+    EXPECT_GE(hours * 1.05,
+              p.config.model.samples_to_train / r.best_measured_speed /
+                  3600.0);
+  }
+}
+
+TEST(EdgeCases, BothConstraintsEnforcedTogether) {
+  const auto cat = cloud::aws_catalog().subset(
+      std::vector<std::string>{"c5.xlarge", "c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+
+  Scenario both = Scenario::fastest_under_budget(120.0);
+  both.deadline_hours = 9.0;
+  const SearchProblem p = make_problem(space, both);
+
+  const SearchResult r = HeterBoSearcher(perf).run(p);
+  ASSERT_TRUE(r.found);
+  EXPECT_LE(r.total_cost(), 120.0);
+  EXPECT_LE(r.total_hours(), 9.0);
+}
+
+TEST(EdgeCases, ModelTooLargeForEntireSpace) {
+  // zero_20b cannot fit any deployment of small CPU nodes: HeterBO must
+  // return not-found instead of fabricating a result.
+  const auto cat = cloud::aws_catalog().subset(
+      std::vector<std::string>{"c5.large", "t3.medium"});
+  const cloud::DeploymentSpace space(cat, 10);
+  const perf::TrainingPerfModel perf(cat);
+  const SearchProblem p =
+      make_problem(space, Scenario::fastest(), "zero_20b");
+
+  const SearchResult r = HeterBoSearcher(perf).run(p);
+  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.meets_constraints(p.scenario));
+}
+
+TEST(EdgeCases, ConvBoSurvivesInfeasibleRegions) {
+  // A space where most points are infeasible (bert on tiny-memory
+  // nodes): ConvBO's random init may hit many zero-objective probes and
+  // must still return the feasible best if it finds one.
+  const auto cat = cloud::aws_catalog().subset(
+      std::vector<std::string>{"t3.medium", "c5n.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 20);
+  const perf::TrainingPerfModel perf(cat);
+  SearchProblem p = make_problem(space, Scenario::fastest(), "bert");
+  p.config.topology = perf::CommTopology::kRingAllReduce;
+
+  bool found_any = false;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    p.seed = seed;
+    const SearchResult r = ConvBoSearcher(perf).run(p);
+    if (r.found) {
+      found_any = true;
+      EXPECT_GT(r.best_true_speed, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_any);
+}
+
+TEST(EdgeCases, MaxProbesOfTwoStillWorks) {
+  const auto cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  HeterBoOptions options;
+  options.max_probes = 2;
+  const SearchResult r = HeterBoSearcher(perf, options)
+                             .run(make_problem(space, Scenario::fastest()));
+  EXPECT_LE(r.trace.size(), 2u);
+  EXPECT_TRUE(r.found);
+}
+
+TEST(EdgeCases, WarmStartWithStalePointsOutsideSpaceIsIgnored) {
+  // Warm points referencing deployments outside the new (smaller) space
+  // must be silently dropped, not crash or corrupt the surrogate.
+  const auto cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace big(cat, 50);
+  const cloud::DeploymentSpace small(cat, 10);
+  const perf::TrainingPerfModel perf(cat);
+
+  const SearchResult first =
+      HeterBoSearcher(perf).run(make_problem(big, Scenario::fastest()));
+  HeterBoOptions options;
+  options.warm_start = warm_start_points(first);  // includes n > 10
+
+  SearchProblem p = make_problem(small, Scenario::fastest());
+  const SearchResult second = HeterBoSearcher(perf, options).run(p);
+  ASSERT_TRUE(second.found);
+  EXPECT_LE(second.best.nodes, 10);
+}
+
+}  // namespace
+}  // namespace mlcd::search

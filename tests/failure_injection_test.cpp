@@ -1,0 +1,168 @@
+// Failure-injection tests: transient probe failures (cluster launch
+// failures, revocations) must be billed, must not poison the surrogate,
+// and must not break HeterBO's constraint guarantee.
+#include <gtest/gtest.h>
+
+#include "cloud/billing.hpp"
+#include "models/model_zoo.hpp"
+#include "perf/perf_model.hpp"
+#include "profiler/profiler.hpp"
+#include "search/conv_bo.hpp"
+#include "search/heter_bo.hpp"
+
+namespace mlcd {
+namespace {
+
+perf::TrainingConfig resnet_config() {
+  perf::TrainingConfig c;
+  c.model = models::paper_zoo().model("resnet");
+  c.platform = perf::tensorflow_profile();
+  c.topology = perf::CommTopology::kParameterServer;
+  return c;
+}
+
+// ----------------------------------------------------------------- profiler
+
+TEST(FailureInjection, FailedProbesBillHalfTheWindow) {
+  const auto cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  cloud::BillingMeter meter(space);
+
+  profiler::ProfilerOptions options;
+  options.failure_rate = 0.5;
+  profiler::Profiler profiler(perf, space, meter, 3, options);
+
+  const auto config = resnet_config();
+  int failures = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto r = profiler.profile(config, {0, 4});
+    if (r.failed) {
+      ++failures;
+      EXPECT_FALSE(r.feasible);
+      EXPECT_DOUBLE_EQ(r.measured_speed, 0.0);
+      EXPECT_GT(r.profile_cost, 0.0);  // failures are not free
+      EXPECT_NEAR(r.profile_hours,
+                  0.5 * profiler.expected_profile_hours(config, {0, 4}),
+                  1e-12);
+    }
+  }
+  // ~50% failure rate: expect a healthy count of both outcomes.
+  EXPECT_GT(failures, 8);
+  EXPECT_LT(failures, 32);
+}
+
+TEST(FailureInjection, ZeroRateNeverFails) {
+  const auto cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  cloud::BillingMeter meter(space);
+  profiler::Profiler profiler(perf, space, meter, 3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(profiler.profile(resnet_config(), {0, 4}).failed);
+  }
+}
+
+TEST(FailureInjection, InvalidRateThrows) {
+  const auto cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  cloud::BillingMeter meter(space);
+  profiler::ProfilerOptions bad;
+  bad.failure_rate = 1.0;
+  EXPECT_THROW(profiler::Profiler(perf, space, meter, 1, bad),
+               std::invalid_argument);
+  profiler::ProfilerOptions bad2;
+  bad2.failure_rate = -0.1;
+  EXPECT_THROW(profiler::Profiler(perf, space, meter, 1, bad2),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- searchers
+
+class SearchUnderFailures : public testing::TestWithParam<int> {};
+
+TEST_P(SearchUnderFailures, HeterBoStillFindsAndComplies) {
+  const auto cat = cloud::aws_catalog().subset(std::vector<std::string>{
+      "c5.xlarge", "c5.4xlarge", "p2.xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+
+  search::SearchProblem p;
+  p.config = resnet_config();
+  p.space = &space;
+  p.scenario = search::Scenario::fastest_under_budget(120.0);
+  p.seed = static_cast<std::uint64_t>(GetParam());
+  p.profiler_options.failure_rate = 0.2;
+
+  const search::SearchResult r = search::HeterBoSearcher(perf).run(p);
+  ASSERT_TRUE(r.found) << "seed " << GetParam();
+  EXPECT_LE(r.total_cost(), 120.0) << r.summary(p.scenario);
+  // The final pick must be a real (non-failed) measurement.
+  bool pick_measured = false;
+  for (const search::ProbeStep& s : r.trace) {
+    if (s.deployment == r.best && !s.failed && s.feasible) {
+      pick_measured = true;
+    }
+  }
+  EXPECT_TRUE(pick_measured);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchUnderFailures, testing::Range(1, 7));
+
+TEST(FailureInjection, FailedProbesMayBeRetried) {
+  // With a high failure rate the same deployment can legitimately appear
+  // more than once in a trace: once failed, once measured.
+  const auto cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 20);
+  const perf::TrainingPerfModel perf(cat);
+
+  search::SearchProblem p;
+  p.config = resnet_config();
+  p.space = &space;
+  p.scenario = search::Scenario::fastest();
+  p.profiler_options.failure_rate = 0.4;
+
+  bool saw_retry = false;
+  for (int seed = 1; seed <= 10 && !saw_retry; ++seed) {
+    p.seed = static_cast<std::uint64_t>(seed);
+    const search::SearchResult r = search::ConvBoSearcher(perf).run(p);
+    for (std::size_t i = 0; i < r.trace.size() && !saw_retry; ++i) {
+      if (!r.trace[i].failed) continue;
+      for (std::size_t j = i + 1; j < r.trace.size(); ++j) {
+        if (r.trace[j].deployment == r.trace[i].deployment &&
+            !r.trace[j].failed) {
+          saw_retry = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(FailureInjection, FailuresCountedInProfilingSpend) {
+  const auto cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+
+  search::SearchProblem p;
+  p.config = resnet_config();
+  p.space = &space;
+  p.scenario = search::Scenario::fastest();
+  p.seed = 5;
+  p.profiler_options.failure_rate = 0.3;
+
+  const search::SearchResult r = search::HeterBoSearcher(perf).run(p);
+  double sum = 0.0;
+  for (const search::ProbeStep& s : r.trace) sum += s.profile_cost;
+  EXPECT_NEAR(sum, r.profile_cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace mlcd

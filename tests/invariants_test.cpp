@@ -1,0 +1,162 @@
+// Cross-cutting invariants: properties that must hold for EVERY searcher
+// on EVERY scenario, checked as a parameterized sweep. These are the
+// accounting and bookkeeping contracts downstream code (benches, MLCD
+// reports, the CLI) relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "mlcd/deployment_engine.hpp"
+#include "mlcd/mlcd.hpp"
+#include "models/model_zoo.hpp"
+#include "search/exhaustive.hpp"
+#include "search/searcher.hpp"
+
+namespace mlcd {
+namespace {
+
+struct Sweep {
+  std::string method;
+  int scenario;  // 1, 2, 3
+};
+
+std::string sweep_name(const testing::TestParamInfo<Sweep>& info) {
+  std::string name = info.param.method + "_s" +
+                     std::to_string(info.param.scenario);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class SearcherInvariants : public testing::TestWithParam<Sweep> {
+ protected:
+  SearcherInvariants()
+      : cat_(cloud::aws_catalog().subset(std::vector<std::string>{
+            "c5.xlarge", "c5.4xlarge", "p2.xlarge"})),
+        space_(cat_, 30),
+        perf_(cat_) {}
+
+  search::SearchProblem problem() const {
+    search::SearchProblem p;
+    p.config.model = models::paper_zoo().model("resnet");
+    p.config.platform = perf::tensorflow_profile();
+    p.config.topology = perf::CommTopology::kParameterServer;
+    p.space = &space_;
+    switch (GetParam().scenario) {
+      case 2:
+        p.scenario = search::Scenario::cheapest_under_deadline(10.0);
+        break;
+      case 3:
+        p.scenario = search::Scenario::fastest_under_budget(150.0);
+        break;
+      default:
+        p.scenario = search::Scenario::fastest();
+    }
+    p.seed = 13;
+    return p;
+  }
+
+  search::SearchResult run() const {
+    return system::DeploymentEngine::make_searcher_for(perf_,
+                                                       GetParam().method)
+        ->run(problem());
+  }
+
+  cloud::InstanceCatalog cat_;
+  cloud::DeploymentSpace space_;
+  perf::TrainingPerfModel perf_;
+};
+
+TEST_P(SearcherInvariants, ProfilingSpendEqualsTraceSum) {
+  const search::SearchResult r = run();
+  double cost = 0.0, hours = 0.0;
+  for (const search::ProbeStep& s : r.trace) {
+    cost += s.profile_cost;
+    hours += s.profile_hours;
+  }
+  EXPECT_NEAR(cost, r.profile_cost, 1e-9);
+  EXPECT_NEAR(hours, r.profile_hours, 1e-9);
+}
+
+TEST_P(SearcherInvariants, CumulativeColumnsAreMonotonePrefixSums) {
+  const search::SearchResult r = run();
+  double cost = 0.0, hours = 0.0;
+  for (const search::ProbeStep& s : r.trace) {
+    cost += s.profile_cost;
+    hours += s.profile_hours;
+    EXPECT_NEAR(s.cum_profile_cost, cost, 1e-9);
+    EXPECT_NEAR(s.cum_profile_hours, hours, 1e-9);
+  }
+}
+
+TEST_P(SearcherInvariants, ChosenDeploymentWasActuallyMeasured) {
+  const search::SearchResult r = run();
+  if (!r.found) GTEST_SKIP() << "no feasible pick for this combination";
+  if (r.method == "paleo") GTEST_SKIP() << "paleo plans without probing";
+  bool measured = false;
+  for (const search::ProbeStep& s : r.trace) {
+    if (s.deployment == r.best && s.feasible && !s.failed) measured = true;
+  }
+  EXPECT_TRUE(measured);
+}
+
+TEST_P(SearcherInvariants, TrainingAccountingIsConsistent) {
+  const search::SearchResult r = run();
+  if (!r.found) GTEST_SKIP();
+  const auto p = problem();
+  EXPECT_NEAR(r.training_hours,
+              p.config.model.samples_to_train / r.best_true_speed / 3600.0,
+              1e-9);
+  EXPECT_NEAR(r.training_cost,
+              r.training_hours * space_.hourly_price(r.best), 1e-9);
+  EXPECT_NEAR(r.total_hours(), r.profile_hours + r.training_hours, 1e-12);
+  EXPECT_NEAR(r.total_cost(), r.profile_cost + r.training_cost, 1e-12);
+}
+
+TEST_P(SearcherInvariants, DeterministicAcrossRuns) {
+  const search::SearchResult a = run();
+  const search::SearchResult b = run();
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.profile_cost, b.profile_cost);
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].deployment, b.trace[i].deployment);
+    EXPECT_DOUBLE_EQ(a.trace[i].measured_speed,
+                     b.trace[i].measured_speed);
+  }
+}
+
+TEST_P(SearcherInvariants, AllProbesInsideTheSpace) {
+  const search::SearchResult r = run();
+  for (const search::ProbeStep& s : r.trace) {
+    EXPECT_TRUE(space_.contains(s.deployment));
+  }
+}
+
+TEST_P(SearcherInvariants, MeasuredSpeedsNearTruth) {
+  const search::SearchResult r = run();
+  for (const search::ProbeStep& s : r.trace) {
+    if (!s.feasible || s.failed) continue;
+    EXPECT_NEAR(s.measured_speed / s.true_speed, 1.0, 0.08)
+        << space_.describe(s.deployment);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsByScenario, SearcherInvariants,
+    testing::Values(Sweep{"heterbo", 1}, Sweep{"heterbo", 2},
+                    Sweep{"heterbo", 3}, Sweep{"conv-bo", 1},
+                    Sweep{"conv-bo", 3}, Sweep{"bo-improved", 3},
+                    Sweep{"cherrypick", 1}, Sweep{"cherrypick-improved", 3},
+                    Sweep{"random", 1}, Sweep{"random", 3},
+                    Sweep{"exhaustive", 1}, Sweep{"paleo", 1},
+                    Sweep{"paleo", 3}, Sweep{"pareto", 1},
+                    Sweep{"pareto", 3}),
+    sweep_name);
+
+}  // namespace
+}  // namespace mlcd

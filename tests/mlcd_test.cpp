@@ -1,0 +1,217 @@
+// Unit tests for src/mlcd: the MLCD system shell (paper §IV).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mlcd/mlcd.hpp"
+
+namespace mlcd::system {
+namespace {
+
+// -------------------------------------------------------- ScenarioAnalyzer
+
+TEST(ScenarioAnalyzer, NoBoundsIsScenario1) {
+  const ScenarioAnalyzer analyzer;
+  const search::Scenario s = analyzer.analyze({});
+  EXPECT_EQ(s.kind, search::ScenarioKind::kFastest);
+}
+
+TEST(ScenarioAnalyzer, DeadlineOnlyIsScenario2) {
+  const ScenarioAnalyzer analyzer;
+  UserRequirements req;
+  req.deadline_hours = 6.0;
+  const search::Scenario s = analyzer.analyze(req);
+  EXPECT_EQ(s.kind, search::ScenarioKind::kCheapestUnderDeadline);
+  EXPECT_DOUBLE_EQ(s.deadline_hours, 6.0);
+}
+
+TEST(ScenarioAnalyzer, BudgetOnlyIsScenario3) {
+  const ScenarioAnalyzer analyzer;
+  UserRequirements req;
+  req.budget_dollars = 100.0;
+  const search::Scenario s = analyzer.analyze(req);
+  EXPECT_EQ(s.kind, search::ScenarioKind::kFastestUnderBudget);
+  EXPECT_DOUBLE_EQ(s.budget_dollars, 100.0);
+}
+
+TEST(ScenarioAnalyzer, BothBoundsKeepsBoth) {
+  const ScenarioAnalyzer analyzer;
+  UserRequirements req;
+  req.deadline_hours = 20.0;
+  req.budget_dollars = 100.0;
+  const search::Scenario s = analyzer.analyze(req);
+  EXPECT_EQ(s.kind, search::ScenarioKind::kFastestUnderBudget);
+  EXPECT_TRUE(s.has_deadline());
+  EXPECT_TRUE(s.has_budget());
+}
+
+TEST(ScenarioAnalyzer, NonPositiveBoundsThrow) {
+  const ScenarioAnalyzer analyzer;
+  UserRequirements req;
+  req.deadline_hours = 0.0;
+  EXPECT_THROW(analyzer.analyze(req), std::invalid_argument);
+  UserRequirements req2;
+  req2.budget_dollars = -1.0;
+  EXPECT_THROW(analyzer.analyze(req2), std::invalid_argument);
+}
+
+// ---------------------------------------------------- MlPlatformInterface
+
+TEST(PlatformInterface, LargeModelsDefaultToRingAllReduce) {
+  const MlPlatformInterface platforms;
+  EXPECT_EQ(platforms.default_topology(models::paper_zoo().model("bert")),
+            perf::CommTopology::kRingAllReduce);
+  EXPECT_EQ(platforms.default_topology(models::paper_zoo().model("resnet")),
+            perf::CommTopology::kParameterServer);
+}
+
+TEST(PlatformInterface, ExplicitTopologyWins) {
+  const MlPlatformInterface platforms;
+  const perf::TrainingConfig config = platforms.make_config(
+      models::paper_zoo().model("bert"), "mxnet",
+      perf::CommTopology::kParameterServer);
+  EXPECT_EQ(config.topology, perf::CommTopology::kParameterServer);
+  EXPECT_EQ(config.platform.name, "mxnet");
+}
+
+TEST(PlatformInterface, UnknownPlatformThrows) {
+  const MlPlatformInterface platforms;
+  EXPECT_THROW(platforms.platform("theano"), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- SimulatedCloud
+
+TEST(SimulatedCloud, DefaultProviderUsesFullCatalog) {
+  const SimulatedCloud cloud;
+  EXPECT_EQ(cloud.catalog().size(), 62u);
+  EXPECT_EQ(cloud.provider_name(), "aws-sim");
+}
+
+// -------------------------------------------------------- DeploymentEngine
+
+TEST(DeploymentEngine, KnownMethodsConstruct) {
+  const SimulatedCloud cloud;
+  const DeploymentEngine engine(cloud);
+  for (const char* method :
+       {"heterbo", "conv-bo", "bo-improved", "cherrypick",
+        "cherrypick-improved", "random", "exhaustive", "paleo"}) {
+    EXPECT_NO_THROW(engine.make_searcher(method)) << method;
+  }
+  EXPECT_THROW(engine.make_searcher("gradient-descent"),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- Mlcd
+
+TEST(Mlcd, DeployEndToEndOnRestrictedSpace) {
+  const Mlcd mlcd;
+  JobRequest request;
+  request.model = "resnet";
+  request.instance_types = {"c5.4xlarge"};
+  request.max_nodes = 50;
+  request.requirements.budget_dollars = 100.0;
+  request.seed = 7;
+
+  const RunReport report = mlcd.deploy(request);
+  EXPECT_TRUE(report.result.found);
+  EXPECT_LE(report.result.total_cost(), 100.0);
+  EXPECT_EQ(report.scenario.kind,
+            search::ScenarioKind::kFastestUnderBudget);
+  const std::string text = report.render();
+  EXPECT_NE(text.find("MLCD run report"), std::string::npos);
+  EXPECT_NE(text.find("resnet"), std::string::npos);
+}
+
+TEST(Mlcd, DeployWithBaselineMethod) {
+  const Mlcd mlcd;
+  JobRequest request;
+  request.model = "resnet";
+  request.instance_types = {"c5.4xlarge"};
+  request.search_method = "conv-bo";
+  request.seed = 3;
+  const RunReport report = mlcd.deploy(request);
+  EXPECT_TRUE(report.result.found);
+  EXPECT_EQ(report.result.method, "conv-bo");
+}
+
+TEST(Mlcd, UnknownModelThrows) {
+  const Mlcd mlcd;
+  JobRequest request;
+  request.model = "not-a-model";
+  EXPECT_THROW(mlcd.deploy(request), std::invalid_argument);
+}
+
+TEST(Mlcd, UnknownInstanceTypeThrows) {
+  const Mlcd mlcd;
+  JobRequest request;
+  request.model = "resnet";
+  request.instance_types = {"quantum.64xlarge"};
+  EXPECT_THROW(mlcd.deploy(request), std::invalid_argument);
+}
+
+TEST(Mlcd, InvalidMaxNodesThrows) {
+  const Mlcd mlcd;
+  JobRequest request;
+  request.model = "resnet";
+  request.max_nodes = 0;
+  EXPECT_THROW(mlcd.deploy(request), std::invalid_argument);
+}
+
+TEST(Mlcd, JsonReportIsWellFormedAndComplete) {
+  const Mlcd mlcd;
+  JobRequest request;
+  request.model = "resnet";
+  request.instance_types = {"c5.4xlarge"};
+  request.requirements.budget_dollars = 100.0;
+  request.seed = 7;
+  const RunReport report = mlcd.deploy(request);
+  const std::string json = report.to_json();
+
+  // Structural sanity: balanced braces/brackets, expected fields present.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  for (const char* field :
+       {"\"request\"", "\"scenario\"", "\"result\"", "\"trace\"",
+        "\"deployment\"", "\"total_cost\"", "\"constraints_met\"",
+        "\"budget_dollars\":100"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(Mlcd, DeterministicPerSeed) {
+  const Mlcd mlcd;
+  JobRequest request;
+  request.model = "resnet";
+  request.instance_types = {"c5.4xlarge"};
+  request.seed = 99;
+  const RunReport a = mlcd.deploy(request);
+  const RunReport b = mlcd.deploy(request);
+  EXPECT_EQ(a.result.best, b.result.best);
+  EXPECT_DOUBLE_EQ(a.result.profile_cost, b.result.profile_cost);
+}
+
+TEST(Mlcd, CustomZooModelDeployable) {
+  models::ModelSpec custom;
+  custom.name = "tiny_cnn";
+  custom.kind = models::ModelKind::kCnn;
+  custom.params = 1e6;
+  custom.flops_per_sample = 0.2e9;
+  custom.dataset = "cifar10";
+  custom.samples_to_train = 5e6;
+  custom.batch_per_node = 64;
+  const models::ModelZoo zoo = models::paper_zoo().with_model(custom);
+  const SimulatedCloud cloud;
+  const Mlcd mlcd(cloud, zoo);
+
+  JobRequest request;
+  request.model = "tiny_cnn";
+  request.instance_types = {"c5.xlarge", "c5.4xlarge"};
+  request.seed = 5;
+  const RunReport report = mlcd.deploy(request);
+  EXPECT_TRUE(report.result.found);
+}
+
+}  // namespace
+}  // namespace mlcd::system

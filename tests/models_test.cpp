@@ -1,0 +1,115 @@
+// Unit tests for src/models: the model zoo and dataset registry.
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+
+namespace mlcd::models {
+namespace {
+
+TEST(Zoo, ContainsAllPaperModels) {
+  const ModelZoo& zoo = paper_zoo();
+  for (const char* name : {"alexnet", "resnet", "inception_v3", "char_rnn",
+                           "bert", "zero_8b", "zero_20b"}) {
+    EXPECT_TRUE(zoo.find_model(name).has_value()) << name;
+  }
+}
+
+TEST(Zoo, Fig19ParameterCounts) {
+  // Fig. 19's x-axis: 6.4M (AlexNet), 60.3M (ResNet), 340M (BERT),
+  // 8B and 20B (ZeRO).
+  const ModelZoo& zoo = paper_zoo();
+  EXPECT_NEAR(zoo.model("alexnet").params, 6.4e6, 1.0);
+  EXPECT_NEAR(zoo.model("resnet").params, 60.3e6, 1.0);
+  EXPECT_NEAR(zoo.model("bert").params, 340e6, 1.0);
+  EXPECT_NEAR(zoo.model("zero_8b").params, 8e9, 1.0);
+  EXPECT_NEAR(zoo.model("zero_20b").params, 20e9, 1.0);
+}
+
+TEST(Zoo, ModelKindsMatchArchitectures) {
+  const ModelZoo& zoo = paper_zoo();
+  EXPECT_EQ(zoo.model("alexnet").kind, ModelKind::kCnn);
+  EXPECT_EQ(zoo.model("resnet").kind, ModelKind::kCnn);
+  EXPECT_EQ(zoo.model("inception_v3").kind, ModelKind::kCnn);
+  EXPECT_EQ(zoo.model("char_rnn").kind, ModelKind::kRnn);
+  EXPECT_EQ(zoo.model("bert").kind, ModelKind::kTransformer);
+}
+
+TEST(Zoo, GradientBytesAreFp32Params) {
+  const ModelSpec& bert = paper_zoo().model("bert");
+  EXPECT_DOUBLE_EQ(bert.gradient_bytes(), 340e6 * 4.0);
+}
+
+TEST(Zoo, ModelsReferenceKnownDatasets) {
+  const ModelZoo& zoo = paper_zoo();
+  for (const ModelSpec& m : zoo.models()) {
+    EXPECT_NO_THROW(zoo.dataset(m.dataset)) << m.name;
+  }
+}
+
+TEST(Zoo, DatasetSizes) {
+  const ModelZoo& zoo = paper_zoo();
+  EXPECT_EQ(zoo.dataset("cifar10").train_samples, 50'000u);
+  EXPECT_EQ(zoo.dataset("imagenet").train_samples, 1'281'167u);
+}
+
+TEST(Zoo, UnknownLookupsThrow) {
+  EXPECT_THROW(paper_zoo().model("vgg"), std::invalid_argument);
+  EXPECT_THROW(paper_zoo().dataset("mnist"), std::invalid_argument);
+  EXPECT_FALSE(paper_zoo().find_model("vgg").has_value());
+}
+
+TEST(Zoo, WithModelExtends) {
+  ModelSpec custom;
+  custom.name = "my_model";
+  custom.kind = ModelKind::kCnn;
+  custom.params = 1e6;
+  custom.flops_per_sample = 1e9;
+  custom.dataset = "cifar10";
+  custom.samples_to_train = 1e6;
+  custom.batch_per_node = 32;
+  const ModelZoo extended = paper_zoo().with_model(custom);
+  EXPECT_TRUE(extended.find_model("my_model").has_value());
+  // Original registry unchanged.
+  EXPECT_FALSE(paper_zoo().find_model("my_model").has_value());
+}
+
+TEST(Zoo, InvalidSpecsRejected) {
+  ModelSpec bad;
+  bad.name = "bad";
+  bad.params = -1.0;
+  bad.flops_per_sample = 1.0;
+  bad.dataset = "cifar10";
+  bad.samples_to_train = 1.0;
+  EXPECT_THROW(paper_zoo().with_model(bad), std::invalid_argument);
+
+  ModelSpec unknown_dataset;
+  unknown_dataset.name = "x";
+  unknown_dataset.params = 1.0;
+  unknown_dataset.flops_per_sample = 1.0;
+  unknown_dataset.dataset = "not_a_dataset";
+  unknown_dataset.samples_to_train = 1.0;
+  EXPECT_THROW(paper_zoo().with_model(unknown_dataset),
+               std::invalid_argument);
+}
+
+TEST(Zoo, KindNames) {
+  EXPECT_EQ(model_kind_name(ModelKind::kCnn), "cnn");
+  EXPECT_EQ(model_kind_name(ModelKind::kRnn), "rnn");
+  EXPECT_EQ(model_kind_name(ModelKind::kTransformer), "transformer");
+}
+
+TEST(Zoo, FlopsOrderingMatchesModelScale) {
+  // Bigger models need more compute per sample.
+  const ModelZoo& zoo = paper_zoo();
+  EXPECT_LT(zoo.model("alexnet").flops_per_sample,
+            zoo.model("inception_v3").flops_per_sample);
+  EXPECT_LT(zoo.model("inception_v3").flops_per_sample,
+            zoo.model("bert").flops_per_sample);
+  EXPECT_LT(zoo.model("bert").flops_per_sample,
+            zoo.model("zero_8b").flops_per_sample);
+  EXPECT_LT(zoo.model("zero_8b").flops_per_sample,
+            zoo.model("zero_20b").flops_per_sample);
+}
+
+}  // namespace
+}  // namespace mlcd::models

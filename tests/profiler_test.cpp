@@ -1,0 +1,165 @@
+// Unit tests for src/profiler: probe accounting, noise, stability
+// extension, billing integration.
+#include <gtest/gtest.h>
+
+#include "cloud/billing.hpp"
+#include "models/model_zoo.hpp"
+#include "perf/perf_model.hpp"
+#include "profiler/profiler.hpp"
+
+namespace mlcd::profiler {
+namespace {
+
+class ProfilerTest : public testing::Test {
+ protected:
+  ProfilerTest()
+      : space_(cloud::aws_catalog(), 50),
+        perf_(cloud::aws_catalog()),
+        meter_(space_) {}
+
+  perf::TrainingConfig config(const char* model = "resnet") const {
+    perf::TrainingConfig c;
+    c.model = models::paper_zoo().model(model);
+    c.platform = perf::tensorflow_profile();
+    c.topology = perf::CommTopology::kParameterServer;
+    return c;
+  }
+
+  std::size_t type_of(const char* name) const {
+    return *cloud::aws_catalog().find(name);
+  }
+
+  cloud::DeploymentSpace space_;
+  perf::TrainingPerfModel perf_;
+  cloud::BillingMeter meter_;
+};
+
+TEST_F(ProfilerTest, TimeRuleMatchesPaper) {
+  // §V-A: 10 minutes for a single node, +1 minute per 3 extra nodes.
+  // resnet iterations are fast enough that no window stretch applies.
+  Profiler profiler(perf_, space_, meter_, 1);
+  const auto cfg = config();
+  EXPECT_NEAR(profiler.expected_profile_hours(cfg, {0, 1}), 10.0 / 60.0,
+              1e-12);
+  EXPECT_NEAR(profiler.expected_profile_hours(cfg, {0, 4}), 11.0 / 60.0,
+              1e-12);
+  EXPECT_NEAR(profiler.expected_profile_hours(cfg, {0, 7}), 12.0 / 60.0,
+              1e-12);
+  EXPECT_NEAR(profiler.expected_profile_hours(cfg, {0, 49}), 26.0 / 60.0,
+              1e-12);
+}
+
+TEST_F(ProfilerTest, CostIsPriceTimesNodesTimesTime) {
+  // Paper Eq. 8: PL_C = P(m) * n * t(m, n).
+  Profiler profiler(perf_, space_, meter_, 1);
+  const cloud::Deployment d{type_of("c5.xlarge"), 10};
+  EXPECT_NEAR(profiler.expected_profile_cost(config(), d),
+              0.17 * 10 * (13.0 / 60.0), 1e-9);
+}
+
+TEST_F(ProfilerTest, HugeModelStretchesTheWindow) {
+  // A 20B-parameter model's iterations cannot fit the 10-minute window
+  // on a small deployment: the probe (and its bill) stretches. This is
+  // the second face of heterogeneous profiling cost.
+  Profiler profiler(perf_, space_, meter_, 1);
+  const auto big = config("zero_20b");
+  const cloud::Deployment d{type_of("p3.16xlarge"), 4};
+  EXPECT_GT(profiler.expected_profile_hours(big, d), 10.0 / 60.0);
+}
+
+TEST_F(ProfilerTest, MeasurementNearTruth) {
+  Profiler profiler(perf_, space_, meter_, 7);
+  const cloud::Deployment d{type_of("c5.4xlarge"), 10};
+  const ProfileResult r = profiler.profile(config(), d);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GT(r.true_speed, 0.0);
+  EXPECT_NEAR(r.measured_speed / r.true_speed, 1.0, 0.05);
+}
+
+TEST_F(ProfilerTest, MeasurementsAreNoisyAcrossProbes) {
+  Profiler profiler(perf_, space_, meter_, 7);
+  const cloud::Deployment d{type_of("c5.4xlarge"), 10};
+  const ProfileResult a = profiler.profile(config(), d);
+  const ProfileResult b = profiler.profile(config(), d);
+  EXPECT_NE(a.measured_speed, b.measured_speed);
+  EXPECT_DOUBLE_EQ(a.true_speed, b.true_speed);
+}
+
+TEST_F(ProfilerTest, DeterministicPerSeed) {
+  cloud::BillingMeter m1(space_), m2(space_);
+  Profiler p1(perf_, space_, m1, 42), p2(perf_, space_, m2, 42);
+  const cloud::Deployment d{type_of("c5.4xlarge"), 10};
+  EXPECT_DOUBLE_EQ(p1.profile(config(), d).measured_speed,
+                   p2.profile(config(), d).measured_speed);
+}
+
+TEST_F(ProfilerTest, ChargesBillingMeter) {
+  Profiler profiler(perf_, space_, meter_, 1);
+  const cloud::Deployment d{type_of("c5.xlarge"), 1};
+  const ProfileResult r = profiler.profile(config(), d);
+  EXPECT_NEAR(meter_.total_cost(cloud::UsageKind::kProfiling),
+              r.profile_cost, 1e-12);
+  EXPECT_DOUBLE_EQ(meter_.total_cost(cloud::UsageKind::kTraining), 0.0);
+}
+
+TEST_F(ProfilerTest, HighNoiseTriggersExtension) {
+  ProfilerOptions options;
+  options.noise_sigma = 0.5;     // very unstable measurements
+  options.cov_threshold = 0.05;  // strict stability requirement
+  options.max_extensions = 3;
+  Profiler profiler(perf_, space_, meter_, 3, options);
+  const ProfileResult r =
+      profiler.profile(config(), {type_of("c5.4xlarge"), 4});
+  EXPECT_GT(r.extensions, 0);
+  EXPECT_GT(r.profile_hours, profiler.expected_profile_hours(
+                                 config(), {type_of("c5.4xlarge"), 4}));
+  EXPECT_GT(r.iterations, options.iterations);
+}
+
+TEST_F(ProfilerTest, LowNoiseNeedsNoExtension) {
+  ProfilerOptions options;
+  options.noise_sigma = 0.005;
+  Profiler profiler(perf_, space_, meter_, 3, options);
+  const ProfileResult r =
+      profiler.profile(config(), {type_of("c5.4xlarge"), 4});
+  EXPECT_EQ(r.extensions, 0);
+}
+
+TEST_F(ProfilerTest, InfeasibleDeploymentStillBilled) {
+  // zero_20b cannot fit on 2 K80 nodes; the probe discovers this but the
+  // cluster time is still paid for.
+  Profiler profiler(perf_, space_, meter_, 1);
+  const ProfileResult r =
+      profiler.profile(config("zero_20b"), {type_of("p2.xlarge"), 2});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.measured_speed, 0.0);
+  EXPECT_GT(r.profile_cost, 0.0);
+  EXPECT_GT(meter_.total_cost(), 0.0);
+}
+
+TEST_F(ProfilerTest, OutOfSpaceThrows) {
+  Profiler profiler(perf_, space_, meter_, 1);
+  EXPECT_THROW(profiler.profile(config(), {0, 51}), std::invalid_argument);
+}
+
+TEST_F(ProfilerTest, InvalidOptionsThrow) {
+  ProfilerOptions bad;
+  bad.iterations = 1;
+  EXPECT_THROW(Profiler(perf_, space_, meter_, 1, bad),
+               std::invalid_argument);
+  ProfilerOptions bad2;
+  bad2.base_profile_hours = 0.0;
+  EXPECT_THROW(Profiler(perf_, space_, meter_, 1, bad2),
+               std::invalid_argument);
+}
+
+TEST_F(ProfilerTest, ProbeCountIncrements) {
+  Profiler profiler(perf_, space_, meter_, 1);
+  EXPECT_EQ(profiler.probes_performed(), 0);
+  profiler.profile(config(), {type_of("c5.xlarge"), 1});
+  profiler.profile(config(), {type_of("c5.xlarge"), 2});
+  EXPECT_EQ(profiler.probes_performed(), 2);
+}
+
+}  // namespace
+}  // namespace mlcd::profiler

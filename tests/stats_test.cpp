@@ -1,0 +1,182 @@
+// Unit and property tests for src/stats: normal functions and summaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "stats/normal.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace mlcd::stats {
+namespace {
+
+// ----------------------------------------------------------------- normal
+
+TEST(Normal, PdfKnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 1.0 / std::sqrt(2.0 * std::numbers::pi),
+              1e-15);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-15);
+}
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(normal_cdf(6.0), 1.0, 1e-9);
+  EXPECT_NEAR(normal_cdf(-6.0), 0.0, 1e-9);
+}
+
+TEST(Normal, CdfIsMonotone) {
+  double prev = -1.0;
+  for (double x = -5.0; x <= 5.0; x += 0.1) {
+    const double c = normal_cdf(x);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Normal, QuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963984540054, 1e-8);
+}
+
+TEST(Normal, QuantileDomainErrors) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(-0.5), std::domain_error);
+}
+
+// Property: quantile inverts cdf across the whole domain, tails included.
+class NormalRoundTrip : public testing::TestWithParam<double> {};
+
+TEST_P(NormalRoundTrip, QuantileInvertsCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, NormalRoundTrip,
+                         testing::Values(1e-6, 1e-3, 0.01, 0.1, 0.25, 0.5,
+                                         0.75, 0.9, 0.95, 0.975, 0.99,
+                                         0.999, 1.0 - 1e-6));
+
+TEST(Normal, PdfIsDerivativeOfCdf) {
+  for (double x : {-2.0, -0.5, 0.0, 0.7, 2.3}) {
+    const double h = 1e-6;
+    const double numeric = (normal_cdf(x + h) - normal_cdf(x - h)) / (2 * h);
+    EXPECT_NEAR(numeric, normal_pdf(x), 1e-7);
+  }
+}
+
+// ---------------------------------------------------------------- summary
+
+TEST(Summary, BasicStatistics) {
+  const std::vector<double> sample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(sample);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summary, SingleElement) {
+  const Summary s = summarize(std::vector<double>{3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  EXPECT_THROW(summarize(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Quantile, MatchesNumpyType7) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(Quantile, Errors) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(std::vector<double>{1.0}, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Whisker, FiveNumberSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(i);
+  const WhiskerStats w = whisker_stats(v);
+  EXPECT_DOUBLE_EQ(w.min, 1.0);
+  EXPECT_DOUBLE_EQ(w.q1, 26.0);
+  EXPECT_DOUBLE_EQ(w.median, 51.0);
+  EXPECT_DOUBLE_EQ(w.q3, 76.0);
+  EXPECT_DOUBLE_EQ(w.max, 101.0);
+}
+
+// ----------------------------------------------------------- RunningStats
+
+TEST(RunningStats, MatchesBatchSummary) {
+  util::Rng rng(8);
+  std::vector<double> sample;
+  RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sample.push_back(x);
+    rs.add(x);
+  }
+  const Summary s = summarize(sample);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-10);
+  EXPECT_NEAR(rs.variance(), s.variance, 1e-8);
+  EXPECT_EQ(rs.count(), s.count);
+}
+
+TEST(RunningStats, CoVZeroBeforeTwoSamples) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.coefficient_of_variation(), 0.0);
+  rs.add(5.0);
+  EXPECT_DOUBLE_EQ(rs.coefficient_of_variation(), 0.0);
+}
+
+TEST(RunningStats, CoVInfiniteAtZeroMean) {
+  RunningStats rs;
+  rs.add(-1.0);
+  rs.add(1.0);
+  EXPECT_TRUE(std::isinf(rs.coefficient_of_variation()));
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats rs;
+  // Classic catastrophic-cancellation scenario for naive sum-of-squares.
+  for (double x : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0}) rs.add(x);
+  EXPECT_NEAR(rs.variance(), 30.0, 1e-6);
+}
+
+TEST(ConfidenceHalfwidth, MatchesFormula) {
+  RunningStats rs;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) rs.add(x);
+  const double hw = confidence_halfwidth(rs, 0.95);
+  const double expected =
+      normal_quantile(0.975) * rs.stddev() / std::sqrt(5.0);
+  EXPECT_NEAR(hw, expected, 1e-12);
+}
+
+TEST(ConfidenceHalfwidth, Errors) {
+  RunningStats rs;
+  rs.add(1.0);
+  EXPECT_THROW(confidence_halfwidth(rs, 0.95), std::invalid_argument);
+  rs.add(2.0);
+  EXPECT_THROW(confidence_halfwidth(rs, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlcd::stats
