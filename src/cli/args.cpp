@@ -138,4 +138,15 @@ int parse_positive_int(const std::string& text) {
   return static_cast<int>(value);
 }
 
+double parse_fraction(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || value < 0.0 ||
+      value >= 1.0) {
+    throw std::invalid_argument("parse_fraction: cannot parse '" + text +
+                                "' (want a value in [0, 1))");
+  }
+  return value;
+}
+
 }  // namespace mlcd::cli

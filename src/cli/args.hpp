@@ -58,4 +58,7 @@ std::vector<std::string> parse_list(const std::string& text);
 /// "42" -> 42. Throws on garbage, non-integers, or values < 1.
 int parse_positive_int(const std::string& text);
 
+/// "0.3" -> 0.3. Throws on garbage or values outside [0, 1).
+double parse_fraction(const std::string& text);
+
 }  // namespace mlcd::cli

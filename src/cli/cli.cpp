@@ -45,6 +45,13 @@ deploy/compare options:
   --spot                buy spot capacity (cheaper, revocable)
   --trace               print the probe-by-probe search trace
   --json                emit the deploy report as JSON
+
+chaos options (fault injection; see docs/fault-model.md):
+  --failure-rate <p>    per-node launch-failure probability   [0]
+  --straggler-rate <p>  per-probe straggler probability       [0]
+  --outage-rate <r>     capacity outages per type per 100h    [0]
+  --max-retries <n>     launch attempts per probe             [3]
+  --chaos-seed <n>      fault-stream seed (0 = derive)        [0]
 )";
 
 int usage_error(std::ostream& err, const std::string& message) {
@@ -74,6 +81,25 @@ system::JobRequest request_from(const Args& args) {
   job.search_method = args.get_or("method", "heterbo");
   job.seed = static_cast<std::uint64_t>(
       parse_positive_int(args.get_or("seed", "1")));
+  if (const auto rate = args.get("failure-rate")) {
+    job.profiler_options.faults.launch_failure_per_node =
+        parse_fraction(*rate);
+  }
+  if (const auto rate = args.get("straggler-rate")) {
+    job.profiler_options.faults.straggler_rate = parse_fraction(*rate);
+  }
+  if (const auto rate = args.get("outage-rate")) {
+    // Reuses the money parser: a plain positive decimal.
+    job.profiler_options.faults.outage_episodes_per_100h =
+        parse_money(*rate);
+  }
+  if (const auto retries = args.get("max-retries")) {
+    job.profiler_options.retry.max_attempts = parse_positive_int(*retries);
+  }
+  if (const auto chaos = args.get("chaos-seed")) {
+    job.profiler_options.fault_seed = static_cast<std::uint64_t>(
+        parse_positive_int(*chaos));
+  }
   return job;
 }
 

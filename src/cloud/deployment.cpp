@@ -94,11 +94,20 @@ double DeploymentSpace::restart_overhead_multiplier(
         "DeploymentSpace::restart_overhead_multiplier: out of space");
   }
   if (market_ == Market::kOnDemand) return 1.0;
-  // Re-provision + re-warm + recompute since the last checkpoint.
+  // Spot training survives revocations by checkpointing. Three costs:
+  // the steady-state overhead of writing checkpoints at all, and per
+  // revocation a restart penalty (re-provision + re-warm) plus the
+  // recompute of work lost since the last checkpoint (half an interval
+  // in expectation).
+  constexpr double kCheckpointWriteFraction = 0.005;
   constexpr double kRestartPenaltyHours = 0.2;
+  constexpr double kCheckpointIntervalHours = 0.25;
   const InstanceSpec& spec = catalog_->at(d.type_index);
-  return 1.0 + static_cast<double>(d.nodes) *
-                   spec.spot_revocations_per_hour * kRestartPenaltyHours;
+  const double revocations_per_hour =
+      static_cast<double>(d.nodes) * spec.spot_revocations_per_hour;
+  return (1.0 + kCheckpointWriteFraction) +
+         revocations_per_hour *
+             (kRestartPenaltyHours + 0.5 * kCheckpointIntervalHours);
 }
 
 std::string DeploymentSpace::describe(const Deployment& d) const {

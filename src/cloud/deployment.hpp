@@ -65,10 +65,13 @@ class DeploymentSpace {
   double hourly_price(const Deployment& d) const;
 
   /// Multiplier on effective training wall time accounting for spot
-  /// revocations: each revocation of any node stalls the synchronous job
-  /// for a restart penalty, so
-  ///   multiplier = 1 + n * revocations_per_hour * restart_penalty_hours.
-  /// 1.0 under on-demand.
+  /// revocations under a checkpoint/restart discipline: a steady
+  /// checkpoint-write tax, plus per revocation of any node a restart
+  /// penalty and the expected recompute since the last checkpoint:
+  ///   multiplier = (1 + ckpt_write_fraction)
+  ///              + n * revocations_per_hour
+  ///                  * (restart_penalty_hours + ckpt_interval_hours / 2).
+  /// 1.0 under on-demand (see docs/fault-model.md).
   double restart_overhead_multiplier(const Deployment& d) const;
 
   /// Human-readable "10 x c5.4xlarge".

@@ -1,0 +1,200 @@
+#include "cloud/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mlcd::cloud {
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kLaunchFailure:
+      return "launch-failure";
+    case FaultKind::kSpotRevocation:
+      return "spot-revocation";
+    case FaultKind::kCapacityOutage:
+      return "capacity-outage";
+    case FaultKind::kStraggler:
+      return "straggler";
+  }
+  return "unknown";
+}
+
+double RetryPolicy::backoff_hours_after(int failed_attempts,
+                                        util::Rng& rng) const {
+  if (failed_attempts <= 0) return 0.0;
+  double delay =
+      base_backoff_hours *
+      std::pow(backoff_multiplier, static_cast<double>(failed_attempts - 1));
+  if (backoff_jitter_sigma > 0.0) {
+    delay = rng.lognormal_median(delay, backoff_jitter_sigma);
+  }
+  // Cap after jitter: max_backoff_hours is a hard bound, which is what
+  // lets the protective reserve budget for the worst retry chain exactly.
+  return std::min(delay, max_backoff_hours);
+}
+
+FaultModel::FaultModel(const InstanceCatalog& catalog, std::uint64_t seed,
+                       FaultModelOptions options)
+    : catalog_(&catalog),
+      options_(std::move(options)),
+      rng_(util::splitmix64(seed ^ 0x6fa7'10de'1c0f'a17bULL)),
+      outages_(catalog.size()) {
+  if (options_.launch_failure_per_node < 0.0 ||
+      options_.launch_failure_per_node >= 1.0) {
+    throw std::invalid_argument(
+        "FaultModel: launch_failure_per_node must be in [0, 1)");
+  }
+  if (options_.spot_revocation_scale < 0.0 ||
+      options_.outage_episodes_per_100h < 0.0 ||
+      options_.straggler_rate < 0.0 || options_.straggler_rate > 1.0) {
+    throw std::invalid_argument("FaultModel: negative hazard rate");
+  }
+  // Pre-schedule outage episodes per type from a forked stream, so outage
+  // state is a pure function of (seed, type, clock) and never depends on
+  // how many attempt() rolls happened first.
+  if (options_.outage_episodes_per_100h > 0.0) {
+    const double rate = options_.outage_episodes_per_100h / 100.0;
+    for (std::size_t t = 0; t < catalog_->size(); ++t) {
+      auto stream = rng_.fork(0x07'0000ULL + t);
+      double clock = 0.0;
+      while (true) {
+        // Exponential inter-arrival, then exponential duration.
+        clock += -std::log(1.0 - stream.uniform()) / rate;
+        if (clock >= options_.outage_horizon_hours) break;
+        const double duration = -std::log(1.0 - stream.uniform()) *
+                                options_.outage_mean_hours;
+        outages_[t].push_back({clock, clock + duration});
+        clock += duration;
+      }
+    }
+  }
+  for (const auto& [type, episode] : options_.scheduled_outages) {
+    if (type >= catalog_->size()) {
+      throw std::invalid_argument(
+          "FaultModel: scheduled outage for unknown type index");
+    }
+    outages_[type].push_back(episode);
+  }
+  for (auto& episodes : outages_) {
+    std::sort(episodes.begin(), episodes.end(),
+              [](const OutageEpisode& a, const OutageEpisode& b) {
+                return a.start_hours < b.start_hours;
+              });
+  }
+}
+
+bool FaultModel::enabled(Market market) const noexcept {
+  if (options_.launch_failure_per_node > 0.0) return true;
+  if (market == Market::kSpot && options_.spot_revocation_scale > 0.0) {
+    for (const auto& spec : catalog_->all()) {
+      if (spec.spot_revocations_per_hour > 0.0) return true;
+    }
+  }
+  if (options_.outage_episodes_per_100h > 0.0) return true;
+  if (!options_.scheduled_outages.empty()) return true;
+  if (options_.straggler_rate > 0.0) return true;
+  return false;
+}
+
+bool FaultModel::in_outage(std::size_t type_index, double now_hours) const {
+  return outage_remaining_hours(type_index, now_hours) > 0.0;
+}
+
+double FaultModel::outage_remaining_hours(std::size_t type_index,
+                                          double now_hours) const {
+  if (type_index >= outages_.size()) return 0.0;
+  double remaining = 0.0;
+  for (const auto& episode : outages_[type_index]) {
+    if (episode.start_hours > now_hours) break;
+    if (now_hours < episode.end_hours) {
+      remaining = std::max(remaining, episode.end_hours - now_hours);
+    }
+  }
+  return remaining;
+}
+
+double FaultModel::launch_failure_probability(int nodes) const noexcept {
+  const double h = options_.launch_failure_per_node;
+  if (h <= 0.0 || nodes <= 0) return 0.0;
+  return 1.0 - std::pow(1.0 - h, static_cast<double>(nodes));
+}
+
+double FaultModel::revocation_probability(std::size_t type_index, int nodes,
+                                          double window_hours) const {
+  const double rate = catalog_->at(type_index).spot_revocations_per_hour *
+                      options_.spot_revocation_scale;
+  if (rate <= 0.0 || nodes <= 0 || window_hours <= 0.0) return 0.0;
+  // Any of n independent Poisson revocation processes firing in the
+  // window kills the synchronous probe.
+  return 1.0 - std::exp(-static_cast<double>(nodes) * rate * window_hours);
+}
+
+AttemptOutcome FaultModel::attempt(const Deployment& d, Market market,
+                                   double window_hours, double now_hours) {
+  AttemptOutcome out;
+  if (in_outage(d.type_index, now_hours)) {
+    // No instance ever started: burns a little wall clock on API
+    // retries, bills nothing.
+    out.fault = FaultKind::kCapacityOutage;
+    out.wall_fraction = options_.outage_wall_fraction;
+    out.bill_fraction = 0.0;
+    return out;
+  }
+  if (rng_.uniform() < launch_failure_probability(d.nodes)) {
+    out.fault = FaultKind::kLaunchFailure;
+    out.wall_fraction = options_.launch_failure_fraction;
+    out.bill_fraction = options_.launch_failure_fraction;
+    return out;
+  }
+  if (market == Market::kSpot &&
+      rng_.uniform() <
+          revocation_probability(d.type_index, d.nodes, window_hours)) {
+    // Revocation point uniform in the window, floored so a revoked
+    // attempt always shows up in the billing trail.
+    const double point = std::max(options_.revocation_fraction_floor,
+                                  rng_.uniform());
+    out.fault = FaultKind::kSpotRevocation;
+    out.wall_fraction = point;
+    out.bill_fraction = point;
+    return out;
+  }
+  if (options_.straggler_rate > 0.0 &&
+      rng_.uniform() < options_.straggler_rate) {
+    out.fault = FaultKind::kStraggler;
+    out.slowdown = options_.straggler_slowdown;
+  }
+  return out;
+}
+
+double FaultModel::worst_failed_wall_fraction(Market market) const noexcept {
+  double worst = 0.0;
+  if (options_.launch_failure_per_node > 0.0) {
+    worst = std::max(worst, options_.launch_failure_fraction);
+  }
+  if (market == Market::kSpot && options_.spot_revocation_scale > 0.0) {
+    // A revocation can land arbitrarily late in the window.
+    worst = std::max(worst, 1.0);
+  }
+  if (options_.outage_episodes_per_100h > 0.0 ||
+      !options_.scheduled_outages.empty()) {
+    worst = std::max(worst, options_.outage_wall_fraction);
+  }
+  return worst;
+}
+
+double FaultModel::worst_failed_bill_fraction(Market market) const noexcept {
+  double worst = 0.0;
+  if (options_.launch_failure_per_node > 0.0) {
+    worst = std::max(worst, options_.launch_failure_fraction);
+  }
+  if (market == Market::kSpot && options_.spot_revocation_scale > 0.0) {
+    worst = std::max(worst, 1.0);
+  }
+  // Capacity outages bill nothing.
+  return worst;
+}
+
+}  // namespace mlcd::cloud

@@ -1,0 +1,177 @@
+// Operational fault injection for the simulated cloud.
+//
+// Real clouds bill for launches that fail, reclaim spot capacity
+// mid-window, run out of capacity for whole instance types at a time,
+// and occasionally hand out a straggler node that stretches a run. The
+// FaultModel is the single source of that misbehavior: a seeded,
+// deterministic generator of per-attempt outcomes that the profiler (and
+// the provisioning simulator) roll before every cluster launch.
+//
+// Hazards scale with what actually drives them on a real provider:
+//  - launch failures are per *node* — a 50-node cluster fails far more
+//    often than a 1-node probe (P_fail(n) = 1 - (1 - h)^n);
+//  - spot revocations are per *type* and per *hour*, driven by the
+//    catalog's spot_revocations_per_hour field;
+//  - capacity outages are correlated episodes: an instance type becomes
+//    unlaunchable for a window, pre-scheduled from the seed so outage
+//    state is a pure function of (seed, type, clock);
+//  - stragglers do not fail the attempt, they stretch its wall time.
+//
+// RetryPolicy is the matching recovery discipline: capped exponential
+// backoff with jittered delay. Failed attempts charge the meter and the
+// clock — exactly like a real cloud — while backoff waits charge only
+// the clock (nothing is running, but the deadline keeps ticking).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cloud/deployment.hpp"
+#include "cloud/instance.hpp"
+#include "util/rng.hpp"
+
+namespace mlcd::cloud {
+
+/// What went wrong with (or during) one launch + measurement attempt.
+enum class FaultKind {
+  kNone = 0,        ///< clean attempt
+  kLaunchFailure,   ///< a node died during cluster launch
+  kSpotRevocation,  ///< spot capacity reclaimed mid-window
+  kCapacityOutage,  ///< type temporarily unlaunchable (correlated episode)
+  kStraggler,       ///< a slow node stretched the window (success, late)
+};
+
+std::string_view fault_kind_name(FaultKind kind) noexcept;
+
+/// One capacity-outage episode of an instance type, [start, end) hours.
+struct OutageEpisode {
+  double start_hours = 0.0;
+  double end_hours = 0.0;
+};
+
+struct FaultModelOptions {
+  /// Probability that any single node fails during cluster launch. An
+  /// n-node launch succeeds only when all n nodes come up, so
+  /// P_fail(n) = 1 - (1 - h)^n — the per-node hazard is what makes big
+  /// probes operationally riskier than small ones. 0 disables.
+  double launch_failure_per_node = 0.0;
+  /// Scale on the catalog's spot_revocations_per_hour when rolling
+  /// probe-window revocations (spot market only). 0 disables.
+  double spot_revocation_scale = 1.0;
+  /// Capacity-outage episodes per type per 100 hours; 0 disables.
+  double outage_episodes_per_100h = 0.0;
+  /// Mean episode duration (exponential), hours.
+  double outage_mean_hours = 2.0;
+  /// Episodes are pre-scheduled on [0, horizon) at construction, so
+  /// outage state never depends on the order of attempt() calls.
+  double outage_horizon_hours = 500.0;
+  /// Deterministic extra episodes (chaos scripting, tests): pairs of
+  /// (type index, episode).
+  std::vector<std::pair<std::size_t, OutageEpisode>> scheduled_outages;
+  /// Probability a successful attempt is stretched by a straggler, and
+  /// the wall-time multiplier when it is.
+  double straggler_rate = 0.0;
+  double straggler_slowdown = 1.5;
+  /// Fraction of the planned window a failed launch consumes and bills
+  /// (the partial cluster ran until the failure was diagnosed).
+  double launch_failure_fraction = 0.5;
+  /// Floor on the elapsed/billed fraction of a revoked window; the
+  /// revocation point is drawn uniformly in the window above it.
+  double revocation_fraction_floor = 0.05;
+  /// Wall-clock fraction burned discovering a capacity outage (API
+  /// retries). Outage attempts never bill: no instance ever started.
+  double outage_wall_fraction = 0.05;
+};
+
+/// Outcome of rolling one attempt against the fault model.
+struct AttemptOutcome {
+  FaultKind fault = FaultKind::kNone;
+  double wall_fraction = 1.0;  ///< of the planned window, elapsed
+  double bill_fraction = 1.0;  ///< of the planned window, billed
+  double slowdown = 1.0;       ///< straggler stretch (success only)
+
+  /// True when the attempt produced no measurement (straggling still
+  /// succeeds — just slowly).
+  bool failed() const noexcept {
+    return fault != FaultKind::kNone && fault != FaultKind::kStraggler;
+  }
+};
+
+/// Per-attempt accounting record, surfaced through probe traces and run
+/// reports so every failed attempt's charge is visible in the billing
+/// trail.
+struct AttemptRecord {
+  FaultKind fault = FaultKind::kNone;  ///< kNone/kStraggler = success
+  double hours = 0.0;          ///< wall time the attempt consumed
+  double cost = 0.0;           ///< dollars billed for the attempt
+  double backoff_hours = 0.0;  ///< delay before the next attempt
+};
+
+/// Capped exponential backoff with jittered delay.
+struct RetryPolicy {
+  /// Launch attempts per probe before giving up (>= 1; 1 = no retry).
+  int max_attempts = 3;
+  double base_backoff_hours = 2.0 / 60.0;
+  double backoff_multiplier = 2.0;
+  /// Hard cap, applied after jitter — worst-case delay is bounded, which
+  /// is what lets the protective reserve account for retries exactly.
+  double max_backoff_hours = 10.0 / 60.0;
+  /// Lognormal sigma on the delay (de-synchronizes thundering herds).
+  double backoff_jitter_sigma = 0.2;
+
+  /// Delay before attempt number `failed_attempts + 1`.
+  double backoff_hours_after(int failed_attempts, util::Rng& rng) const;
+};
+
+/// Seeded, deterministic fault generator over an instance catalog. The
+/// same seed and the same options produce bit-identical outcome
+/// sequences for the same sequence of attempt() calls.
+class FaultModel {
+ public:
+  FaultModel(const InstanceCatalog& catalog, std::uint64_t seed,
+             FaultModelOptions options = {});
+
+  const FaultModelOptions& options() const noexcept { return options_; }
+
+  /// True when any hazard can actually fire under `market` (the
+  /// profiler's fault-free fast path keys off this). The catalog's spot
+  /// revocation rates only count on the spot market.
+  bool enabled(Market market) const noexcept;
+  /// True when any hazard is configured for any market.
+  bool enabled() const noexcept { return enabled(Market::kSpot); }
+
+  /// True when `type_index` sits inside an outage episode at `now`.
+  bool in_outage(std::size_t type_index, double now_hours) const;
+  /// Hours until the surrounding episode ends; 0 when not in outage.
+  double outage_remaining_hours(std::size_t type_index,
+                                double now_hours) const;
+
+  /// Per-attempt launch-failure probability of an n-node cluster.
+  double launch_failure_probability(int nodes) const noexcept;
+  /// Probability a spot window of `window_hours` on `nodes` nodes of
+  /// `type_index` is revoked before it completes.
+  double revocation_probability(std::size_t type_index, int nodes,
+                                double window_hours) const;
+
+  /// Rolls one launch + window attempt at clock `now_hours`.
+  AttemptOutcome attempt(const Deployment& d, Market market,
+                         double window_hours, double now_hours);
+
+  /// Upper bounds on the window fraction one *failed* attempt can
+  /// consume / bill, given the configured hazards. The protective
+  /// reserve uses these to budget for retry-inflated spend.
+  double worst_failed_wall_fraction(Market market) const noexcept;
+  double worst_failed_bill_fraction(Market market) const noexcept;
+
+ private:
+  const InstanceCatalog* catalog_;
+  FaultModelOptions options_;
+  util::Rng rng_;
+  /// Per-type episodes, sorted by start time.
+  std::vector<std::vector<OutageEpisode>> outages_;
+};
+
+}  // namespace mlcd::cloud

@@ -23,6 +23,20 @@ double CloudSimulator::expected_setup_hours(
          options_.setup_hours_per_3_nodes * (extra_nodes / 3);
 }
 
+std::string_view provision_status_name(ProvisionStatus status) noexcept {
+  switch (status) {
+    case ProvisionStatus::kOk:
+      return "ok";
+    case ProvisionStatus::kInvalidDeployment:
+      return "invalid-deployment";
+    case ProvisionStatus::kLaunchFailure:
+      return "launch-failure";
+    case ProvisionStatus::kCapacityOutage:
+      return "capacity-outage";
+  }
+  return "unknown";
+}
+
 Cluster CloudSimulator::provision(const Deployment& d) {
   if (!space_->contains(d)) {
     throw std::invalid_argument("CloudSimulator::provision: out of space");
@@ -38,6 +52,34 @@ Cluster CloudSimulator::provision(const Deployment& d) {
   MLCD_LOG(kDebug, "cloud") << "provisioned " << space_->describe(d)
                             << " setup_h=" << setup;
   return c;
+}
+
+ProvisionOutcome CloudSimulator::try_provision(const Deployment& d,
+                                               double now_hours) {
+  ProvisionOutcome out;
+  if (!space_->contains(d)) {
+    out.status = ProvisionStatus::kInvalidDeployment;
+    out.message = "deployment outside the space";
+    return out;
+  }
+  if (faults_ != nullptr) {
+    if (faults_->in_outage(d.type_index, now_hours)) {
+      out.status = ProvisionStatus::kCapacityOutage;
+      out.message = "capacity outage on " +
+                    space_->catalog().at(d.type_index).name;
+      return out;
+    }
+    // Roll just the launch phase; window hazards (revocation, straggler)
+    // belong to whoever runs the cluster afterwards.
+    const auto roll = faults_->attempt(d, space_->market(), 0.0, now_hours);
+    if (roll.fault == FaultKind::kLaunchFailure) {
+      out.status = ProvisionStatus::kLaunchFailure;
+      out.message = "node failed during launch of " + space_->describe(d);
+      return out;
+    }
+  }
+  out.cluster = provision(d);
+  return out;
 }
 
 }  // namespace mlcd::cloud

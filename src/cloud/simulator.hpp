@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "cloud/deployment.hpp"
+#include "cloud/fault_model.hpp"
 #include "util/rng.hpp"
 
 namespace mlcd::cloud {
@@ -30,6 +33,32 @@ struct Cluster {
   std::uint64_t id = 0;
 };
 
+/// Why a provision attempt did not return a cluster. The split matters
+/// for retry logic: a launch failure or capacity outage is transient and
+/// worth retrying, an invalid deployment never is.
+enum class ProvisionStatus {
+  kOk = 0,
+  kInvalidDeployment,  ///< outside the deployment space — never retry
+  kLaunchFailure,      ///< transient node failure during launch — retry
+  kCapacityOutage,     ///< type temporarily unlaunchable — retry later
+};
+
+std::string_view provision_status_name(ProvisionStatus status) noexcept;
+
+/// Outcome of CloudSimulator::try_provision.
+struct ProvisionOutcome {
+  ProvisionStatus status = ProvisionStatus::kOk;
+  std::optional<Cluster> cluster;  ///< present iff status == kOk
+  std::string message;
+
+  bool ok() const noexcept { return status == ProvisionStatus::kOk; }
+  /// True when a retry might succeed (transient failure).
+  bool retryable() const noexcept {
+    return status == ProvisionStatus::kLaunchFailure ||
+           status == ProvisionStatus::kCapacityOutage;
+  }
+};
+
 /// Simulates provisioning; deterministic given the seed.
 class CloudSimulator {
  public:
@@ -39,8 +68,19 @@ class CloudSimulator {
   const DeploymentSpace& space() const noexcept { return *space_; }
 
   /// Provisions a cluster for `d`; throws std::invalid_argument when `d`
-  /// is outside the space.
+  /// is outside the space. Ignores any attached fault model (legacy
+  /// entry point — prefer try_provision for fault-aware callers).
   Cluster provision(const Deployment& d);
+
+  /// Fault-aware provisioning: distinguishes invalid deployments from
+  /// transient launch failures / capacity outages so callers can decide
+  /// what is worth retrying. Rolls the attached fault model (if any) at
+  /// clock `now_hours`.
+  ProvisionOutcome try_provision(const Deployment& d, double now_hours = 0.0);
+
+  /// Attaches a fault model consulted by try_provision. Pass nullptr to
+  /// detach; the model must outlive the simulator.
+  void set_fault_model(FaultModel* model) noexcept { faults_ = model; }
 
   /// Deterministic mean setup time for `d` (no jitter).
   double expected_setup_hours(const Deployment& d) const noexcept;
@@ -52,6 +92,7 @@ class CloudSimulator {
   const DeploymentSpace* space_;
   SimulatorOptions options_;
   util::Rng rng_;
+  FaultModel* faults_ = nullptr;
   std::uint64_t next_id_ = 0;
 };
 

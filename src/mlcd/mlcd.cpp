@@ -1,9 +1,11 @@
 #include "mlcd/mlcd.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 #include "cloud/deployment.hpp"
+#include "cloud/fault_model.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 
@@ -48,6 +50,7 @@ RunReport Mlcd::deploy(const JobRequest& request) const {
   problem.space = &space;
   problem.scenario = scenario;
   problem.seed = request.seed;
+  problem.profiler_options = request.profiler_options;
 
   RunReport report;
   report.request = request;
@@ -78,6 +81,13 @@ std::string RunReport::to_json() const {
   json.key("method").value(request.search_method);
   json.key("max_nodes").value(request.max_nodes);
   json.key("seed").value(static_cast<std::int64_t>(request.seed));
+  json.key("use_spot").value(request.use_spot);
+  json.key("failure_rate")
+      .value(std::max(request.profiler_options.faults.launch_failure_per_node,
+                      request.profiler_options.failure_rate));
+  json.key("max_retries").value(request.profiler_options.retry.max_attempts);
+  json.key("chaos_seed")
+      .value(static_cast<std::int64_t>(request.profiler_options.fault_seed));
   json.end_object();
 
   json.key("scenario").begin_object();
@@ -104,6 +114,9 @@ std::string RunReport::to_json() const {
     json.key("total_cost").value(result.total_cost());
     json.key("constraints_met").value(result.meets_constraints(scenario));
   }
+  json.key("probe_attempts").value(result.total_probe_attempts());
+  json.key("failed_probes").value(result.failed_probe_count());
+  json.key("backoff_hours").value(result.total_backoff_hours());
   json.key("trace").begin_array();
   for (const search::ProbeStep& step : result.trace) {
     json.begin_object();
@@ -115,6 +128,9 @@ std::string RunReport::to_json() const {
     json.key("feasible").value(step.feasible);
     json.key("measured_speed").value(step.measured_speed);
     json.key("profile_cost").value(step.profile_cost);
+    json.key("attempts").value(step.attempts);
+    json.key("fault").value(std::string(cloud::fault_kind_name(step.fault)));
+    json.key("backoff_hours").value(step.backoff_hours);
     json.end_object();
   }
   json.end_array();

@@ -13,6 +13,7 @@
 #include "mlcd/deployment_engine.hpp"
 #include "mlcd/platform_interface.hpp"
 #include "mlcd/scenario_analyzer.hpp"
+#include "profiler/profiler.hpp"
 #include "search/heter_bo.hpp"
 #include "models/model_zoo.hpp"
 #include "search/search_result.hpp"
@@ -38,6 +39,9 @@ struct JobRequest {
   /// (heterbo only; see search::warm_start_points / trace_io.hpp).
   std::vector<search::WarmStartPoint> warm_start;
   std::uint64_t seed = 1;
+  /// Profiler knobs, including injected fault hazards and the retry
+  /// policy (see docs/fault-model.md and the CLI chaos flags).
+  profiler::ProfilerOptions profiler_options;
 };
 
 /// MLCD's answer: the selected deployment plus all accounting.

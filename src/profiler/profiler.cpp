@@ -2,11 +2,36 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "stats/summary.hpp"
 #include "util/logging.hpp"
 
 namespace mlcd::profiler {
+
+namespace {
+
+// The legacy failure_rate knob becomes a per-node launch hazard: for a
+// 1-node probe the probability is unchanged, and larger clusters are now
+// (correctly) riskier.
+cloud::FaultModelOptions merge_legacy_failure_rate(
+    const ProfilerOptions& options) {
+  if (options.failure_rate < 0.0 || options.failure_rate >= 1.0) {
+    throw std::invalid_argument("Profiler: invalid options");
+  }
+  cloud::FaultModelOptions faults = options.faults;
+  faults.launch_failure_per_node =
+      std::max(faults.launch_failure_per_node, options.failure_rate);
+  return faults;
+}
+
+std::uint64_t fault_stream_seed(std::uint64_t profiler_seed,
+                                const ProfilerOptions& options) {
+  if (options.fault_seed != 0) return options.fault_seed;
+  return util::splitmix64(profiler_seed ^ 0xfa'17'5e'edULL);
+}
+
+}  // namespace
 
 Profiler::Profiler(const perf::TrainingPerfModel& perf,
                    const cloud::DeploymentSpace& space,
@@ -16,7 +41,9 @@ Profiler::Profiler(const perf::TrainingPerfModel& perf,
       space_(&space),
       meter_(&meter),
       rng_(seed),
-      options_(options) {
+      options_(options),
+      fault_model_(space.catalog(), fault_stream_seed(seed, options),
+                   merge_legacy_failure_rate(options)) {
   if (options_.iterations < 2) {
     throw std::invalid_argument("Profiler: need at least 2 iterations");
   }
@@ -24,6 +51,12 @@ Profiler::Profiler(const perf::TrainingPerfModel& perf,
       options_.max_extensions < 0 || options_.failure_rate < 0.0 ||
       options_.failure_rate >= 1.0) {
     throw std::invalid_argument("Profiler: invalid options");
+  }
+  if (options_.retry.max_attempts < 1 ||
+      options_.retry.base_backoff_hours < 0.0 ||
+      options_.retry.max_backoff_hours < 0.0 ||
+      options_.retry.backoff_multiplier < 1.0) {
+    throw std::invalid_argument("Profiler: invalid retry policy");
   }
 }
 
@@ -47,6 +80,52 @@ double Profiler::expected_profile_cost(const perf::TrainingConfig& config,
   return expected_profile_hours(config, d) * space_->hourly_price(d);
 }
 
+double Profiler::worst_case_profile_hours(
+    const perf::TrainingConfig& config, const cloud::Deployment& d) const {
+  const double planned = expected_profile_hours(config, d);
+  if (!fault_model_.enabled(space_->market())) return planned;
+  const auto& faults = fault_model_.options();
+  const double slowdown = faults.straggler_rate > 0.0
+                              ? std::max(1.0, faults.straggler_slowdown)
+                              : 1.0;
+  // Worst success: fully extended window on a straggling cluster.
+  const double success =
+      (planned + options_.max_extensions * options_.extension_hours) *
+      slowdown;
+  // Worst retry chain: every preceding attempt fails at the costliest
+  // fault and every backoff hits its (hard) cap.
+  const int retries = options_.retry.max_attempts - 1;
+  const double per_failure =
+      planned * fault_model_.worst_failed_wall_fraction(space_->market()) +
+      options_.retry.max_backoff_hours;
+  return success + retries * per_failure;
+}
+
+double Profiler::worst_case_profile_cost(
+    const perf::TrainingConfig& config, const cloud::Deployment& d) const {
+  if (!fault_model_.enabled(space_->market())) {
+    return expected_profile_cost(config, d);
+  }
+  const double planned = expected_profile_hours(config, d);
+  const double price = space_->hourly_price(d);
+  const auto& faults = fault_model_.options();
+  const double slowdown = faults.straggler_rate > 0.0
+                              ? std::max(1.0, faults.straggler_slowdown)
+                              : 1.0;
+  // The meter rounds every charge up to whole seconds with a 60 s
+  // minimum; bound each attempt's charge by hours + 1 s, floored at 60 s.
+  const auto billed = [&](double hours) {
+    return std::max(hours + 1.0 / 3600.0, 60.0 / 3600.0) * price;
+  };
+  const double success = billed(
+      (planned + options_.max_extensions * options_.extension_hours) *
+      slowdown);
+  const int retries = options_.retry.max_attempts - 1;
+  const double per_failure = billed(
+      planned * fault_model_.worst_failed_bill_fraction(space_->market()));
+  return success + retries * per_failure;
+}
+
 ProfileResult Profiler::profile(const perf::TrainingConfig& config,
                                 const cloud::Deployment& d) {
   if (!space_->contains(d)) {
@@ -58,61 +137,114 @@ ProfileResult Profiler::profile(const perf::TrainingConfig& config,
   ProfileResult result;
   result.deployment = d;
   result.true_speed = perf_->true_speed(config, d);
-  result.profile_hours = expected_profile_hours(config, d);
+  const double planned = expected_profile_hours(config, d);
 
-  if (options_.failure_rate > 0.0 &&
-      probe_rng.uniform() < options_.failure_rate) {
-    // Operational failure: the cluster came up (or half came up) and the
-    // run died before producing a stable measurement. Half the window is
-    // billed; the caller may retry the same deployment.
-    result.failed = true;
-    result.profile_hours *= 0.5;
-    result.profile_cost = meter_->charge(d, result.profile_hours,
-                                         cloud::UsageKind::kProfiling,
-                                         "probe (failed)");
-    MLCD_LOG(kDebug, "profiler")
-        << "probe failed operationally at " << space_->describe(d);
-    return result;
-  }
+  const bool faults_on = fault_model_.enabled(space_->market());
+  const int max_attempts = faults_on ? options_.retry.max_attempts : 1;
 
-  if (result.true_speed <= 0.0) {
-    // The job fails to launch (out of memory); the cluster time until the
-    // failure is diagnosed is still billed.
-    result.feasible = false;
-    result.profile_cost = meter_->charge(d, result.profile_hours,
-                                         cloud::UsageKind::kProfiling,
-                                         "probe (infeasible)");
-    MLCD_LOG(kDebug, "profiler")
-        << "infeasible probe " << space_->describe(d);
-    return result;
-  }
-
-  // Measure noisy per-iteration throughput; extend while unstable.
-  stats::RunningStats window;
-  auto measure_iterations = [&](int count) {
-    for (int i = 0; i < count; ++i) {
-      window.add(probe_rng.lognormal_median(result.true_speed,
-                                            options_.noise_sigma));
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    result.attempts = attempt;
+    cloud::AttemptOutcome outcome;
+    if (faults_on) {
+      outcome =
+          fault_model_.attempt(d, space_->market(), planned, clock_hours_);
     }
-  };
-  measure_iterations(options_.iterations);
-  while (window.coefficient_of_variation() > options_.cov_threshold &&
-         result.extensions < options_.max_extensions) {
-    ++result.extensions;
-    result.profile_hours += options_.extension_hours;
+
+    if (outcome.failed()) {
+      // The attempt died before producing a measurement. Whatever ran is
+      // billed (a real cloud charges for the nodes that came up), the
+      // wall clock advances, and — unless this was the last attempt — a
+      // jittered backoff charges the deadline clock only.
+      const double hours = planned * outcome.wall_fraction;
+      double cost = 0.0;
+      if (outcome.bill_fraction > 0.0) {
+        cost = meter_->charge(
+            d, planned * outcome.bill_fraction, cloud::UsageKind::kProfiling,
+            "probe attempt failed: " +
+                std::string(cloud::fault_kind_name(outcome.fault)));
+      }
+      result.fault = outcome.fault;
+      result.profile_hours += hours;
+      result.profile_cost += cost;
+      clock_hours_ += hours;
+      double backoff = 0.0;
+      if (attempt < max_attempts) {
+        backoff = options_.retry.backoff_hours_after(attempt, probe_rng);
+        result.backoff_hours += backoff;
+        result.profile_hours += backoff;
+        clock_hours_ += backoff;
+      }
+      result.attempt_log.push_back({outcome.fault, hours, cost, backoff});
+      MLCD_LOG(kDebug, "profiler")
+          << "probe attempt " << attempt << "/" << max_attempts << " at "
+          << space_->describe(d) << " failed: "
+          << cloud::fault_kind_name(outcome.fault);
+      continue;
+    }
+
+    // Launch succeeded (possibly on a straggling cluster).
+    result.fault = outcome.fault;  // kNone or kStraggler
+
+    if (result.true_speed <= 0.0) {
+      // The job fails to launch (out of memory); the cluster time until
+      // the failure is diagnosed is still billed. Infeasibility is a
+      // property of the deployment, not of the weather — never retried.
+      const double hours = planned * outcome.slowdown;
+      const double cost = meter_->charge(
+          d, hours, cloud::UsageKind::kProfiling, "probe (infeasible)");
+      result.feasible = false;
+      result.profile_hours += hours;
+      result.profile_cost += cost;
+      clock_hours_ += hours;
+      result.attempt_log.push_back({outcome.fault, hours, cost, 0.0});
+      MLCD_LOG(kDebug, "profiler")
+          << "infeasible probe " << space_->describe(d);
+      return result;
+    }
+
+    // Measure noisy per-iteration throughput; extend while unstable.
+    stats::RunningStats window;
+    auto measure_iterations = [&](int count) {
+      for (int i = 0; i < count; ++i) {
+        window.add(probe_rng.lognormal_median(result.true_speed,
+                                              options_.noise_sigma));
+      }
+    };
+    double attempt_hours = planned;
     measure_iterations(options_.iterations);
+    while (window.coefficient_of_variation() > options_.cov_threshold &&
+           result.extensions < options_.max_extensions) {
+      ++result.extensions;
+      attempt_hours += options_.extension_hours;
+      measure_iterations(options_.iterations);
+    }
+    attempt_hours *= outcome.slowdown;
+
+    result.feasible = true;
+    result.measured_speed = window.mean();
+    result.iterations = static_cast<int>(window.count());
+    const double cost =
+        meter_->charge(d, attempt_hours, cloud::UsageKind::kProfiling,
+                       "probe " + space_->describe(d));
+    result.profile_hours += attempt_hours;
+    result.profile_cost += cost;
+    clock_hours_ += attempt_hours;
+    result.attempt_log.push_back({outcome.fault, attempt_hours, cost, 0.0});
+    MLCD_LOG(kDebug, "profiler")
+        << "probe " << space_->describe(d)
+        << " speed=" << result.measured_speed << " (true "
+        << result.true_speed << ") hours=" << result.profile_hours
+        << " cost=$" << result.profile_cost
+        << " attempts=" << result.attempts;
+    return result;
   }
 
-  result.feasible = true;
-  result.measured_speed = window.mean();
-  result.iterations = static_cast<int>(window.count());
-  result.profile_cost =
-      meter_->charge(d, result.profile_hours, cloud::UsageKind::kProfiling,
-                     "probe " + space_->describe(d));
+  // Every launch attempt failed: billed but uninformative.
+  result.failed = true;
   MLCD_LOG(kDebug, "profiler")
-      << "probe " << space_->describe(d) << " speed=" << result.measured_speed
-      << " (true " << result.true_speed << ") hours=" << result.profile_hours
-      << " cost=$" << result.profile_cost;
+      << "probe failed operationally at " << space_->describe(d) << " after "
+      << result.attempts << " attempts ("
+      << cloud::fault_kind_name(result.fault) << ")";
   return result;
 }
 

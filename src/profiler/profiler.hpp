@@ -11,13 +11,23 @@
 // Measurements are the *only* noisy quantity in the substrate: the
 // performance model's true_speed is deterministic and the profiler
 // perturbs each iteration with seeded lognormal noise.
+//
+// Operational faults are injected through a cloud::FaultModel and
+// recovered from with a cloud::RetryPolicy: each probe launches up to
+// max_attempts clusters, every failed attempt bills the meter and the
+// clock (a real cloud charges for the nodes that came up), and backoff
+// delays between attempts charge the deadline clock only. The fault
+// model draws from its own seeded stream, so a fault-free configuration
+// is bit-identical to a profiler without the fault layer.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cloud/billing.hpp"
 #include "cloud/deployment.hpp"
+#include "cloud/fault_model.hpp"
 #include "perf/perf_model.hpp"
 #include "util/rng.hpp"
 
@@ -46,24 +56,37 @@ struct ProfilerOptions {
   int max_extensions = 3;
   /// Wall time added per extension, hours.
   double extension_hours = 2.0 / 60.0;
-  /// Probability that a probe fails operationally (cluster launch
-  /// failure, instance revocation mid-window). A failed probe yields no
-  /// measurement but still bills roughly half the window — failures on a
-  /// real cloud are not free. 0 disables injection.
+  /// Deprecated alias: probability that a probe's cluster launch fails.
+  /// Folded into `faults.launch_failure_per_node` at construction, so the
+  /// legacy knob now (correctly) makes a 50-node probe riskier than a
+  /// 1-node probe. Prefer setting `faults` directly.
   double failure_rate = 0.0;
+  /// Operational hazards injected per launch attempt.
+  cloud::FaultModelOptions faults;
+  /// Recovery discipline when an attempt fails.
+  cloud::RetryPolicy retry;
+  /// Seed of the fault stream; 0 derives one from the profiler seed.
+  std::uint64_t fault_seed = 0;
 };
 
 /// Outcome of one profiling probe.
 struct ProfileResult {
   cloud::Deployment deployment;
-  bool failed = false;          ///< transient operational failure (retryable)
+  bool failed = false;          ///< all launch attempts failed (retryable)
   bool feasible = false;        ///< false when the model cannot run there
   double measured_speed = 0.0;  ///< samples/s (mean over iterations)
   double true_speed = 0.0;      ///< substrate ground truth (diagnostics)
-  double profile_hours = 0.0;   ///< wall time consumed by the probe
-  double profile_cost = 0.0;    ///< dollars billed for the probe
+  double profile_hours = 0.0;   ///< wall time consumed, incl. retries+backoff
+  double profile_cost = 0.0;    ///< dollars billed across all attempts
   int iterations = 0;           ///< iterations actually measured
   int extensions = 0;           ///< stability extensions performed
+  int attempts = 1;             ///< launch attempts made (>= 1)
+  /// Fault on the final attempt: kNone for a clean success, kStraggler
+  /// for a stretched success, otherwise why the probe ultimately failed.
+  cloud::FaultKind fault = cloud::FaultKind::kNone;
+  double backoff_hours = 0.0;   ///< retry delays (clock only, never billed)
+  /// Per-attempt accounting; profile_cost == sum of attempt costs.
+  std::vector<cloud::AttemptRecord> attempt_log;
 };
 
 /// Profiles deployments against the simulated substrate, charging every
@@ -76,7 +99,8 @@ class Profiler {
 
   /// Runs one probe. Infeasible deployments still consume (and bill) the
   /// base probe time — discovering that a model does not fit costs real
-  /// money on a real cloud too.
+  /// money on a real cloud too. Under injected faults the probe retries
+  /// failed launches per the RetryPolicy, billing every attempt.
   ProfileResult profile(const perf::TrainingConfig& config,
                         const cloud::Deployment& d);
 
@@ -93,8 +117,32 @@ class Profiler {
   double expected_profile_cost(const perf::TrainingConfig& config,
                                const cloud::Deployment& d) const;
 
+  /// Upper bound on the wall time one probe of `d` can consume: every
+  /// attempt fails at the worst fault, every backoff hits its cap, and a
+  /// straggler stretches a fully-extended window. Equals
+  /// expected_profile_hours when no faults are configured. The protective
+  /// reserve budgets probes against this, which is what keeps the
+  /// deadline guarantee intact under injected failures.
+  double worst_case_profile_hours(const perf::TrainingConfig& config,
+                                  const cloud::Deployment& d) const;
+
+  /// Dollar analogue of worst_case_profile_hours (backoff is free).
+  double worst_case_profile_cost(const perf::TrainingConfig& config,
+                                 const cloud::Deployment& d) const;
+
   const ProfilerOptions& options() const noexcept { return options_; }
   int probes_performed() const noexcept { return probes_; }
+
+  const cloud::FaultModel& fault_model() const noexcept {
+    return fault_model_;
+  }
+  /// Wall-clock hours of profiling performed so far (drives the fault
+  /// model's outage calendar).
+  double clock_hours() const noexcept { return clock_hours_; }
+  /// True when `type_index` is under a capacity outage right now.
+  bool type_in_outage(std::size_t type_index) const {
+    return fault_model_.in_outage(type_index, clock_hours_);
+  }
 
  private:
   const perf::TrainingPerfModel* perf_;
@@ -102,6 +150,8 @@ class Profiler {
   cloud::BillingMeter* meter_;
   util::Rng rng_;
   ProfilerOptions options_;
+  cloud::FaultModel fault_model_;
+  double clock_hours_ = 0.0;
   int probes_ = 0;
 };
 

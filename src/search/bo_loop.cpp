@@ -102,11 +102,16 @@ void run_bo_loop(Searcher::Session& session,
   const bool ucb = options.acquisition == "ucb";
 
   const perf::TrainingConfig& config = session.problem().config;
+  // Budget-aware variants reserve at the worst-case probe spend (retries
+  // + capped backoff + straggler stretch); equal to the expected spend
+  // when no faults are injected. Types under a capacity outage are
+  // demoted for as long as the episode lasts.
   auto probe_allowed = [&](const cloud::Deployment& d) {
+    if (session.profiler().type_in_outage(d.type_index)) return false;
     if (!options.budget_aware) return true;
     return session.reserve_allows(
-        session.profiler().expected_profile_hours(config, d),
-        session.profiler().expected_profile_cost(config, d));
+        session.profiler().worst_case_profile_hours(config, d),
+        session.profiler().worst_case_profile_cost(config, d));
   };
 
   // --- Random initialization (distinct points).
@@ -124,6 +129,28 @@ void run_bo_loop(Searcher::Session& session,
 
   // --- GP-driven loop.
   while (static_cast<int>(session.trace().size()) < options.max_probes) {
+    // Every probe so far may have exhausted its retries (billed but
+    // uninformative); the surrogate has nothing to fit, so keep drawing
+    // random points until one measurement lands.
+    bool any_usable = false;
+    for (const ProbeStep& step : session.trace()) {
+      if (!step.failed) {
+        any_usable = true;
+        break;
+      }
+    }
+    if (!any_usable) {
+      const cloud::Deployment* next = nullptr;
+      for (const cloud::Deployment& d : pool) {
+        if (!session.already_probed(d) && probe_allowed(d)) {
+          next = &d;
+          break;
+        }
+      }
+      if (next == nullptr) break;
+      session.probe(*next, 0.0, "init");
+      continue;
+    }
     const gp::GpRegressor gp = fit_gp_on_trace(session, normalizer);
     double best = std::log(1e-9);
     if (session.has_incumbent()) {

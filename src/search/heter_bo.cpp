@@ -204,11 +204,21 @@ void HeterBoSearcher::search(Session& session) {
       scenario.kind == ScenarioKind::kCheapestUnderDeadline;
 
   const perf::TrainingConfig& config = session.problem().config;
+  // The reserve budgets each candidate at its *worst-case* spend (every
+  // retry fails, every backoff maxes out, stragglers stretch a fully
+  // extended window) — identical to the expected spend when no faults
+  // are injected. Anything less would let retry-inflated probes eat the
+  // training reserve and break the constraint guarantee.
   auto reserve_ok = [&](const cloud::Deployment& d) {
     if (!options_.protective_reserve) return true;
     return session.reserve_allows(
-        session.profiler().expected_profile_hours(config, d),
-        session.profiler().expected_profile_cost(config, d));
+        session.profiler().worst_case_profile_hours(config, d),
+        session.profiler().worst_case_profile_cost(config, d));
+  };
+  // A type under a capacity outage cannot be launched right now; it is
+  // demoted until the profiling clock leaves the episode.
+  auto outaged = [&](std::size_t type_index) {
+    return session.profiler().type_in_outage(type_index);
   };
 
   // --- Initialization: one probe per instance type at the smallest
@@ -273,7 +283,10 @@ void HeterBoSearcher::search(Session& session) {
     }
   }
   for (std::size_t t = 0; t < space.type_count(); ++t) {
-    if (min_feasible[t] < 0 || excluded[t] || warm_points[t] >= 2) continue;
+    if (min_feasible[t] < 0 || excluded[t] || warm_points[t] >= 2 ||
+        outaged(t)) {
+      continue;
+    }
     const cloud::Deployment d{t, min_feasible[t]};
     if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
       break;
@@ -289,7 +302,10 @@ void HeterBoSearcher::search(Session& session) {
   // single-type space gets its curve point at mid-range instead
   // (Fig. 9a's second initial point before the "third in between").
   for (std::size_t t = 0; t < space.type_count(); ++t) {
-    if (min_feasible[t] < 0 || excluded[t] || warm_points[t] >= 2) continue;
+    if (min_feasible[t] < 0 || excluded[t] || warm_points[t] >= 2 ||
+        outaged(t)) {
+      continue;
+    }
     if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
       break;
     }
@@ -374,6 +390,7 @@ void HeterBoSearcher::search(Session& session) {
         continue;
       }
       if (session.already_probed(d)) continue;
+      if (outaged(d.type_index)) continue;  // capacity outage: demoted
       if (!reserve_ok(d)) continue;  // protective reserve
       ++affordable;
 

@@ -20,6 +20,26 @@ bool SearchResult::meets_constraints(
   return true;
 }
 
+int SearchResult::total_probe_attempts() const noexcept {
+  int sum = 0;
+  for (const ProbeStep& s : trace) sum += s.attempts;
+  return sum;
+}
+
+int SearchResult::failed_probe_count() const noexcept {
+  int count = 0;
+  for (const ProbeStep& s : trace) {
+    if (s.failed) ++count;
+  }
+  return count;
+}
+
+double SearchResult::total_backoff_hours() const noexcept {
+  double sum = 0.0;
+  for (const ProbeStep& s : trace) sum += s.backoff_hours;
+  return sum;
+}
+
 std::string SearchResult::summary(const Scenario& scenario) const {
   std::ostringstream out;
   out << method << " [" << scenario.describe() << "]\n";
@@ -35,6 +55,13 @@ std::string SearchResult::summary(const Scenario& scenario) const {
       << " probes\n";
   out << "  training        : " << util::fmt_hours(training_hours) << ", "
       << util::fmt_dollars(training_cost) << "\n";
+  const int attempts = total_probe_attempts();
+  const int failures = failed_probe_count();
+  if (attempts > static_cast<int>(trace.size()) || failures > 0) {
+    out << "  faults          : " << attempts << " launch attempts, "
+        << failures << " probes lost, "
+        << util::fmt_hours(total_backoff_hours()) << " in backoff\n";
+  }
   out << "  total           : " << util::fmt_hours(total_hours()) << ", "
       << util::fmt_dollars(total_cost())
       << (meets_constraints(scenario) ? "  [constraints met]"

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cloud/deployment.hpp"
+#include "cloud/fault_model.hpp"
 #include "search/scenario.hpp"
 
 namespace mlcd::search {
@@ -17,16 +18,20 @@ namespace mlcd::search {
 /// One profiling step in a search trace.
 struct ProbeStep {
   cloud::Deployment deployment;
-  bool failed = false;   ///< transient probe failure (no measurement)
+  bool failed = false;   ///< probe exhausted retries (no measurement)
   bool feasible = false;
   double measured_speed = 0.0;   ///< samples/s as profiled (noisy)
   double true_speed = 0.0;       ///< substrate ground truth
-  double profile_hours = 0.0;
-  double profile_cost = 0.0;
+  double profile_hours = 0.0;    ///< wall time incl. retries + backoff
+  double profile_cost = 0.0;     ///< dollars billed across all attempts
   double cum_profile_hours = 0.0;
   double cum_profile_cost = 0.0;
   double acquisition = 0.0;      ///< score that selected this probe
   std::string reason;            ///< "init", "ei", "tei", ...
+  int attempts = 1;              ///< launch attempts made
+  cloud::FaultKind fault = cloud::FaultKind::kNone;  ///< final attempt's fault
+  double backoff_hours = 0.0;    ///< retry delays (clock only)
+  std::vector<cloud::AttemptRecord> attempt_log;  ///< per-attempt billing
 };
 
 /// Final outcome of one deployment search.
@@ -51,6 +56,13 @@ struct SearchResult {
   double total_cost() const noexcept {
     return profile_cost + training_cost;
   }
+
+  /// Launch attempts summed over the trace (== probes when fault-free).
+  int total_probe_attempts() const noexcept;
+  /// Probes that exhausted every retry (billed but uninformative).
+  int failed_probe_count() const noexcept;
+  /// Retry backoff delays summed over the trace, hours.
+  double total_backoff_hours() const noexcept;
 
   /// True when the scenario's constraints hold for the totals.
   bool meets_constraints(const Scenario& scenario) const noexcept;

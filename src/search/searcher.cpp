@@ -45,6 +45,10 @@ const ProbeStep& Searcher::Session::probe(const cloud::Deployment& d,
   step.cum_profile_cost = cum_cost_;
   step.acquisition = acquisition;
   step.reason = std::move(reason);
+  step.attempts = r.attempts;
+  step.fault = r.fault;
+  step.backoff_hours = r.backoff_hours;
+  step.attempt_log = r.attempt_log;
   trace_.push_back(std::move(step));
 
   const std::size_t idx = trace_.size() - 1;

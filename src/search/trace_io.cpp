@@ -3,12 +3,18 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "cloud/fault_model.hpp"
 #include "util/csv.hpp"
 
 namespace mlcd::search {
 namespace {
 
 const std::vector<std::string> kHeader = {
+    "instance", "nodes",    "measured_speed", "feasible",
+    "failed",   "attempts", "fault",          "reason"};
+
+// Pre-fault-model traces: still loadable as warm starts.
+const std::vector<std::string> kLegacyHeader = {
     "instance", "nodes", "measured_speed", "feasible", "failed", "reason"};
 
 }  // namespace
@@ -22,6 +28,8 @@ void save_trace_csv(const std::string& path, const SearchResult& result,
     csv.add_row({space.catalog().at(step.deployment.type_index).name,
                  std::to_string(step.deployment.nodes), speed,
                  step.feasible ? "1" : "0", step.failed ? "1" : "0",
+                 std::to_string(step.attempts),
+                 std::string(cloud::fault_kind_name(step.fault)),
                  step.reason});
   }
 }
@@ -29,14 +37,16 @@ void save_trace_csv(const std::string& path, const SearchResult& result,
 std::vector<WarmStartPoint> load_warm_start_csv(
     const std::string& path, const cloud::InstanceCatalog& catalog) {
   const auto rows = util::read_csv(path);
-  if (rows.empty() || rows.front() != kHeader) {
+  const bool legacy = !rows.empty() && rows.front() == kLegacyHeader;
+  if (rows.empty() || (rows.front() != kHeader && !legacy)) {
     throw std::invalid_argument(
         "trace csv: missing or unexpected header in " + path);
   }
+  const std::size_t columns = legacy ? kLegacyHeader.size() : kHeader.size();
   std::vector<WarmStartPoint> points;
   for (std::size_t i = 1; i < rows.size(); ++i) {
     const auto& row = rows[i];
-    if (row.size() != kHeader.size()) {
+    if (row.size() != columns) {
       throw std::invalid_argument("trace csv: row " + std::to_string(i) +
                                   " has wrong column count");
     }

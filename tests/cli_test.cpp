@@ -96,6 +96,16 @@ TEST(ValueParse, PositiveInt) {
   EXPECT_THROW(parse_positive_int("x"), std::invalid_argument);
 }
 
+TEST(ValueParse, Fractions) {
+  EXPECT_DOUBLE_EQ(parse_fraction("0"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_fraction("0.3"), 0.3);
+  EXPECT_THROW(parse_fraction("1"), std::invalid_argument);
+  EXPECT_THROW(parse_fraction("1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fraction("-0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fraction(""), std::invalid_argument);
+  EXPECT_THROW(parse_fraction("half"), std::invalid_argument);
+}
+
 // -------------------------------------------------------------------- run
 
 int drive(std::vector<const char*> argv, std::string* out_text = nullptr,
@@ -228,6 +238,38 @@ TEST(CliRun, SaveAndWarmStartFlow) {
   // Warm-started runs skip the mandatory init/curve waves.
   EXPECT_EQ(warm_out.find(" init "), std::string::npos);
   std::filesystem::remove(path);
+}
+
+TEST(CliRun, ChaosFlagsRoundTripIntoJson) {
+  std::string out;
+  const int rc = drive({"deploy", "--model", "resnet", "--types",
+                        "c5.4xlarge", "--budget", "100", "--seed", "7",
+                        "--failure-rate", "0.25", "--max-retries", "4",
+                        "--chaos-seed", "99", "--json"},
+                       &out);
+  EXPECT_EQ(rc, 0);
+  // The request echoes the chaos knobs...
+  EXPECT_NE(out.find("\"failure_rate\":0.25"), std::string::npos);
+  EXPECT_NE(out.find("\"max_retries\":4"), std::string::npos);
+  EXPECT_NE(out.find("\"chaos_seed\":99"), std::string::npos);
+  // ...and the result carries per-run and per-step fault accounting.
+  EXPECT_NE(out.find("\"probe_attempts\":"), std::string::npos);
+  EXPECT_NE(out.find("\"failed_probes\":"), std::string::npos);
+  EXPECT_NE(out.find("\"backoff_hours\":"), std::string::npos);
+  EXPECT_NE(out.find("\"fault\":"), std::string::npos);
+}
+
+TEST(CliRun, ChaosFlagsRejectGarbage) {
+  std::string err;
+  EXPECT_EQ(drive({"deploy", "--model", "resnet", "--types", "c5.4xlarge",
+                   "--failure-rate", "1.5"},
+                  nullptr, &err),
+            2);
+  EXPECT_NE(err.find("parse_fraction"), std::string::npos);
+  EXPECT_EQ(drive({"deploy", "--model", "resnet", "--types", "c5.4xlarge",
+                   "--max-retries", "0"},
+                  nullptr, &err),
+            2);
 }
 
 TEST(CliRun, CompareRunsAllMethods) {

@@ -1,9 +1,18 @@
 // Failure-injection tests: transient probe failures (cluster launch
-// failures, revocations) must be billed, must not poison the surrogate,
-// and must not break HeterBO's constraint guarantee.
+// failures, spot revocations, capacity outages, stragglers) must be
+// billed, must be retried with backoff, must not poison the surrogate,
+// and must not break HeterBO's constraint guarantee. The chaos sweep at
+// the bottom is the subsystem's acceptance criterion: across failure
+// rates x scenarios x seeds, no run ever exceeds its deadline or budget,
+// and every billed dollar is traceable to a recorded attempt.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include "cloud/billing.hpp"
+#include "cloud/fault_model.hpp"
 #include "models/model_zoo.hpp"
 #include "perf/perf_model.hpp"
 #include "profiler/profiler.hpp"
@@ -21,30 +30,37 @@ perf::TrainingConfig resnet_config() {
   return c;
 }
 
+cloud::InstanceCatalog one_type() {
+  return cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+}
+
 // ----------------------------------------------------------------- profiler
 
 TEST(FailureInjection, FailedProbesBillHalfTheWindow) {
-  const auto cat =
-      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const auto cat = one_type();
   const cloud::DeploymentSpace space(cat, 50);
   const perf::TrainingPerfModel perf(cat);
   cloud::BillingMeter meter(space);
 
   profiler::ProfilerOptions options;
-  options.failure_rate = 0.5;
+  options.failure_rate = 0.5;          // legacy knob -> per-node hazard
+  options.retry.max_attempts = 1;      // no recovery: every roll is final
   profiler::Profiler profiler(perf, space, meter, 3, options);
 
   const auto config = resnet_config();
+  // One node, so the per-node hazard is exactly the per-probe one.
   int failures = 0;
   for (int i = 0; i < 40; ++i) {
-    const auto r = profiler.profile(config, {0, 4});
+    const auto r = profiler.profile(config, {0, 1});
     if (r.failed) {
       ++failures;
       EXPECT_FALSE(r.feasible);
       EXPECT_DOUBLE_EQ(r.measured_speed, 0.0);
+      EXPECT_EQ(r.fault, cloud::FaultKind::kLaunchFailure);
+      EXPECT_EQ(r.attempts, 1);
       EXPECT_GT(r.profile_cost, 0.0);  // failures are not free
       EXPECT_NEAR(r.profile_hours,
-                  0.5 * profiler.expected_profile_hours(config, {0, 4}),
+                  0.5 * profiler.expected_profile_hours(config, {0, 1}),
                   1e-12);
     }
   }
@@ -54,20 +70,22 @@ TEST(FailureInjection, FailedProbesBillHalfTheWindow) {
 }
 
 TEST(FailureInjection, ZeroRateNeverFails) {
-  const auto cat =
-      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const auto cat = one_type();
   const cloud::DeploymentSpace space(cat, 50);
   const perf::TrainingPerfModel perf(cat);
   cloud::BillingMeter meter(space);
   profiler::Profiler profiler(perf, space, meter, 3);
   for (int i = 0; i < 20; ++i) {
-    EXPECT_FALSE(profiler.profile(resnet_config(), {0, 4}).failed);
+    const auto r = profiler.profile(resnet_config(), {0, 4});
+    EXPECT_FALSE(r.failed);
+    EXPECT_EQ(r.fault, cloud::FaultKind::kNone);
+    EXPECT_EQ(r.attempts, 1);
+    EXPECT_DOUBLE_EQ(r.backoff_hours, 0.0);
   }
 }
 
 TEST(FailureInjection, InvalidRateThrows) {
-  const auto cat =
-      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const auto cat = one_type();
   const cloud::DeploymentSpace space(cat, 50);
   const perf::TrainingPerfModel perf(cat);
   cloud::BillingMeter meter(space);
@@ -79,6 +97,163 @@ TEST(FailureInjection, InvalidRateThrows) {
   bad2.failure_rate = -0.1;
   EXPECT_THROW(profiler::Profiler(perf, space, meter, 1, bad2),
                std::invalid_argument);
+  profiler::ProfilerOptions bad3;
+  bad3.retry.max_attempts = 0;
+  EXPECT_THROW(profiler::Profiler(perf, space, meter, 1, bad3),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, PerNodeHazardScalesWithClusterSize) {
+  const auto cat = one_type();
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = resnet_config();
+
+  profiler::ProfilerOptions options;
+  options.faults.launch_failure_per_node = 0.05;
+  options.retry.max_attempts = 1;
+
+  auto count_failures = [&](int nodes) {
+    cloud::BillingMeter meter(space);
+    profiler::Profiler profiler(perf, space, meter, 9, options);
+    int failures = 0;
+    for (int i = 0; i < 100; ++i) {
+      if (profiler.profile(config, {0, nodes}).failed) ++failures;
+    }
+    return failures;
+  };
+
+  const int small = count_failures(1);   // P ~ 0.05
+  const int large = count_failures(40);  // P ~ 0.87
+  EXPECT_LT(small, 20);
+  EXPECT_GT(large, 60);
+  EXPECT_GT(large, 2 * small);
+}
+
+TEST(FailureInjection, ExhaustionBillsEveryAttempt) {
+  const auto cat = one_type();
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  cloud::BillingMeter meter(space);
+
+  profiler::ProfilerOptions options;
+  options.faults.launch_failure_per_node = 0.999;
+  profiler::Profiler profiler(perf, space, meter, 1, options);
+
+  const auto r = profiler.profile(resnet_config(), {0, 4});
+  ASSERT_TRUE(r.failed);  // P(any attempt succeeds) ~ 3e-9
+  EXPECT_EQ(r.attempts, options.retry.max_attempts);
+  ASSERT_EQ(r.attempt_log.size(),
+            static_cast<std::size_t>(options.retry.max_attempts));
+  double attempt_cost_sum = 0.0;
+  for (const cloud::AttemptRecord& rec : r.attempt_log) {
+    EXPECT_EQ(rec.fault, cloud::FaultKind::kLaunchFailure);
+    EXPECT_GT(rec.cost, 0.0);  // every failed launch is billed
+    attempt_cost_sum += rec.cost;
+  }
+  EXPECT_NEAR(attempt_cost_sum, r.profile_cost, 1e-12);
+  EXPECT_NEAR(meter.total_cost(cloud::UsageKind::kProfiling),
+              r.profile_cost, 1e-12);
+}
+
+TEST(FailureInjection, BackoffChargedToClockNotMeter) {
+  const auto cat = one_type();
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  cloud::BillingMeter meter(space);
+
+  profiler::ProfilerOptions options;
+  options.faults.launch_failure_per_node = 0.999;
+  profiler::Profiler profiler(perf, space, meter, 1, options);
+
+  const auto r = profiler.profile(resnet_config(), {0, 4});
+  ASSERT_TRUE(r.failed);
+  EXPECT_GT(r.backoff_hours, 0.0);  // two retries -> two backoff waits
+  double hours_from_log = 0.0;
+  for (const cloud::AttemptRecord& rec : r.attempt_log) {
+    hours_from_log += rec.hours + rec.backoff_hours;
+  }
+  EXPECT_NEAR(r.profile_hours, hours_from_log, 1e-12);
+  // The meter only saw the cluster-up time; backoff is deadline-clock
+  // time during which nothing is rented.
+  EXPECT_LT(meter.total_hours(cloud::UsageKind::kProfiling),
+            r.profile_hours);
+  EXPECT_NEAR(meter.total_hours(cloud::UsageKind::kProfiling),
+              r.profile_hours - r.backoff_hours, 1e-12);
+  // The last attempt never backs off: the probe is abandoned, not queued.
+  EXPECT_DOUBLE_EQ(r.attempt_log.back().backoff_hours, 0.0);
+}
+
+TEST(FailureInjection, StragglerStretchesProbeWithoutChangingMeasurement) {
+  const auto cat = one_type();
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const auto config = resnet_config();
+
+  cloud::BillingMeter clean_meter(space);
+  profiler::Profiler clean(perf, space, clean_meter, 17);
+  const auto clean_r = clean.profile(config, {0, 4});
+
+  profiler::ProfilerOptions options;
+  options.faults.straggler_rate = 1.0;
+  options.faults.straggler_slowdown = 2.0;
+  cloud::BillingMeter slow_meter(space);
+  profiler::Profiler slow(perf, space, slow_meter, 17, options);
+  const auto slow_r = slow.profile(config, {0, 4});
+
+  // The fault stream is separate from the measurement stream: the same
+  // seed yields the bit-identical speed estimate, just twice as slowly.
+  EXPECT_FALSE(slow_r.failed);
+  EXPECT_EQ(slow_r.fault, cloud::FaultKind::kStraggler);
+  EXPECT_DOUBLE_EQ(slow_r.measured_speed, clean_r.measured_speed);
+  EXPECT_NEAR(slow_r.profile_hours, 2.0 * clean_r.profile_hours, 1e-12);
+  EXPECT_GT(slow_r.profile_cost, clean_r.profile_cost);
+}
+
+TEST(FailureInjection, SpotRevocationFaultKind) {
+  const auto cat = one_type();
+  const cloud::DeploymentSpace space(cat, 50, cloud::Market::kSpot);
+  const perf::TrainingPerfModel perf(cat);
+  cloud::BillingMeter meter(space);
+
+  profiler::ProfilerOptions options;
+  // Crank the catalog's revocation rate until a revocation within the
+  // probe window is a near-certainty.
+  options.faults.spot_revocation_scale = 1000.0;
+  options.retry.max_attempts = 1;
+  profiler::Profiler profiler(perf, space, meter, 4, options);
+
+  const auto config = resnet_config();
+  const double planned = profiler.expected_profile_hours(config, {0, 4});
+  const auto r = profiler.profile(config, {0, 4});
+  ASSERT_TRUE(r.failed);
+  EXPECT_EQ(r.fault, cloud::FaultKind::kSpotRevocation);
+  // A revoked attempt bills at least the floor fraction of the window.
+  const double floor_cost =
+      profiler.fault_model().options().revocation_fraction_floor * planned *
+      space.hourly_price({0, 4});
+  EXPECT_GE(r.profile_cost, floor_cost);
+}
+
+TEST(FailureInjection, ScheduledOutageBillsNothing) {
+  const auto cat = one_type();
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  cloud::BillingMeter meter(space);
+
+  profiler::ProfilerOptions options;
+  options.faults.scheduled_outages = {{0, {0.0, 1000.0}}};
+  profiler::Profiler profiler(perf, space, meter, 1, options);
+
+  EXPECT_TRUE(profiler.type_in_outage(0));
+  const auto r = profiler.profile(resnet_config(), {0, 4});
+  ASSERT_TRUE(r.failed);
+  EXPECT_EQ(r.fault, cloud::FaultKind::kCapacityOutage);
+  EXPECT_EQ(r.attempts, options.retry.max_attempts);
+  // No instance ever started: wall clock burned, nothing billed.
+  EXPECT_DOUBLE_EQ(r.profile_cost, 0.0);
+  EXPECT_GT(r.profile_hours, 0.0);
+  EXPECT_DOUBLE_EQ(meter.total_cost(), 0.0);
 }
 
 // ---------------------------------------------------------------- searchers
@@ -116,8 +291,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SearchUnderFailures, testing::Range(1, 7));
 TEST(FailureInjection, FailedProbesMayBeRetried) {
   // With a high failure rate the same deployment can legitimately appear
   // more than once in a trace: once failed, once measured.
-  const auto cat =
-      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const auto cat = one_type();
   const cloud::DeploymentSpace space(cat, 20);
   const perf::TrainingPerfModel perf(cat);
 
@@ -126,6 +300,8 @@ TEST(FailureInjection, FailedProbesMayBeRetried) {
   p.space = &space;
   p.scenario = search::Scenario::fastest();
   p.profiler_options.failure_rate = 0.4;
+  // Disable in-probe recovery so failures surface in the trace.
+  p.profiler_options.retry.max_attempts = 1;
 
   bool saw_retry = false;
   for (int seed = 1; seed <= 10 && !saw_retry; ++seed) {
@@ -146,8 +322,7 @@ TEST(FailureInjection, FailedProbesMayBeRetried) {
 }
 
 TEST(FailureInjection, FailuresCountedInProfilingSpend) {
-  const auto cat =
-      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const auto cat = one_type();
   const cloud::DeploymentSpace space(cat, 50);
   const perf::TrainingPerfModel perf(cat);
 
@@ -162,6 +337,172 @@ TEST(FailureInjection, FailuresCountedInProfilingSpend) {
   double sum = 0.0;
   for (const search::ProbeStep& s : r.trace) sum += s.profile_cost;
   EXPECT_NEAR(sum, r.profile_cost, 1e-9);
+  EXPECT_GE(r.total_probe_attempts(),
+            static_cast<int>(r.trace.size()));
+}
+
+TEST(FailureInjection, WarmStartCoveringOutagedTypeStillInitializes) {
+  const auto cat = cloud::aws_catalog().subset(std::vector<std::string>{
+      "c5.xlarge", "c5.4xlarge", "p2.xlarge"});
+  const cloud::DeploymentSpace space(cat, 20);
+  const perf::TrainingPerfModel perf(cat);
+
+  search::SearchProblem p;
+  p.config = resnet_config();
+  p.space = &space;
+  p.scenario = search::Scenario::fastest_under_budget(120.0);
+  p.seed = 2;
+  // Type 0 is dark for the whole run.
+  p.profiler_options.faults.scheduled_outages = {{0, {0.0, 1e6}}};
+
+  // Warm points cover the outaged type: the searcher must neither probe
+  // it nor trip over the stale surrogate rows.
+  search::HeterBoOptions options;
+  options.warm_start = {{{0, 1}, 40.0}, {{0, 4}, 120.0}};
+
+  const search::SearchResult r =
+      search::HeterBoSearcher(perf, options).run(p);
+  ASSERT_TRUE(r.found);
+  EXPECT_NE(r.best.type_index, 0u);
+  for (const search::ProbeStep& s : r.trace) {
+    EXPECT_NE(s.deployment.type_index, 0u)
+        << "probed an outaged type at step reason " << s.reason;
+  }
+  EXPECT_TRUE(r.meets_constraints(p.scenario)) << r.summary(p.scenario);
+}
+
+TEST(FailureInjection, DeterministicReplay) {
+  const auto cat = cloud::aws_catalog().subset(std::vector<std::string>{
+      "c5.xlarge", "c5.4xlarge", "p2.xlarge"});
+  const cloud::DeploymentSpace space(cat, 20);
+  const perf::TrainingPerfModel perf(cat);
+
+  search::SearchProblem p;
+  p.config = resnet_config();
+  p.space = &space;
+  p.scenario = search::Scenario::fastest_under_budget(100.0);
+  p.seed = 11;
+  p.profiler_options.faults.launch_failure_per_node = 0.1;
+  p.profiler_options.faults.straggler_rate = 0.2;
+  p.profiler_options.faults.outage_episodes_per_100h = 20.0;
+
+  const search::SearchResult a = search::HeterBoSearcher(perf).run(p);
+  const search::SearchResult b = search::HeterBoSearcher(perf).run(p);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    const search::ProbeStep& sa = a.trace[i];
+    const search::ProbeStep& sb = b.trace[i];
+    EXPECT_EQ(sa.deployment, sb.deployment) << "step " << i;
+    EXPECT_EQ(sa.failed, sb.failed) << "step " << i;
+    EXPECT_EQ(sa.attempts, sb.attempts) << "step " << i;
+    EXPECT_EQ(sa.fault, sb.fault) << "step " << i;
+    EXPECT_DOUBLE_EQ(sa.measured_speed, sb.measured_speed) << "step " << i;
+    EXPECT_DOUBLE_EQ(sa.profile_cost, sb.profile_cost) << "step " << i;
+    EXPECT_DOUBLE_EQ(sa.backoff_hours, sb.backoff_hours) << "step " << i;
+  }
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.best, b.best);
+}
+
+// ------------------------------------------------------------- chaos sweep
+
+// Acceptance criterion for the fault subsystem, in the form the
+// protective reserve actually guarantees: the moment any probed point is
+// constraint-compliant with margin, that compliance can never be
+// forfeited — the run must finish within T_max/C_max. (When chaos denies
+// every compliant point — e.g. the only fast type is outaged all run —
+// the searcher reports its least-violating option flagged VIOLATED,
+// mirroring the seed's impossible-constraint behavior; that is honest
+// reporting, not a silent overshoot.) The billing identity must hold at
+// every level regardless: run == sum of steps, step == sum of attempts.
+TEST(ChaosSweep, ConstraintsHoldUnderEveryFailureRate) {
+  const auto cat = cloud::aws_catalog().subset(std::vector<std::string>{
+      "c5.xlarge", "c5.4xlarge", "p2.xlarge"});
+  const cloud::DeploymentSpace on_demand(cat, 20);
+  const cloud::DeploymentSpace spot(cat, 20, cloud::Market::kSpot);
+  const perf::TrainingPerfModel perf(cat);
+
+  struct Case {
+    const char* name;
+    const cloud::DeploymentSpace* space;
+    search::Scenario scenario;
+  };
+  const Case cases[] = {
+      {"cheapest<=24h", &on_demand,
+       search::Scenario::cheapest_under_deadline(24.0)},
+      {"fastest<=$120", &on_demand,
+       search::Scenario::fastest_under_budget(120.0)},
+      {"spot fastest<=$60", &spot,
+       search::Scenario::fastest_under_budget(60.0)},
+  };
+
+  // Did any feasible probe, at the moment it completed, still leave 10%
+  // of the constraint for its own training run? Such a point is well
+  // inside the reserve's 3% protection band, so from then on the
+  // constraint guarantee is unconditional.
+  const auto protectable = [&](const search::SearchResult& r,
+                               const search::SearchProblem& p) {
+    for (const search::ProbeStep& s : r.trace) {
+      if (!s.feasible || s.measured_speed <= 0.0) continue;
+      const double train_h =
+          p.config.model.samples_to_train / s.measured_speed / 3600.0 *
+          p.space->restart_overhead_multiplier(s.deployment);
+      const double train_c = train_h * p.space->hourly_price(s.deployment);
+      const bool within_t =
+          !p.scenario.has_deadline() ||
+          s.cum_profile_hours + train_h <= 0.90 * p.scenario.deadline_hours;
+      const bool within_c =
+          !p.scenario.has_budget() ||
+          s.cum_profile_cost + train_c <= 0.90 * p.scenario.budget_dollars;
+      if (within_t && within_c) return true;
+    }
+    return false;
+  };
+
+  int runs = 0;
+  int guaranteed = 0;
+  for (const double rate : {0.0, 0.1, 0.3}) {
+    for (const Case& c : cases) {
+      for (int seed = 1; seed <= 10; ++seed) {
+        search::SearchProblem p;
+        p.config = resnet_config();
+        p.space = c.space;
+        p.scenario = c.scenario;
+        p.seed = static_cast<std::uint64_t>(seed);
+        p.profiler_options.faults.launch_failure_per_node = rate;
+        p.profiler_options.faults.straggler_rate = rate;
+        p.profiler_options.faults.outage_episodes_per_100h = 100.0 * rate;
+
+        const search::SearchResult r = search::HeterBoSearcher(perf).run(p);
+        ++runs;
+        const std::string label = std::string(c.name) + " rate=" +
+                                  std::to_string(rate) + " seed=" +
+                                  std::to_string(seed);
+        if (protectable(r, p)) {
+          ++guaranteed;
+          EXPECT_TRUE(r.found) << label;
+          EXPECT_TRUE(r.meets_constraints(p.scenario))
+              << label << "\n" << r.summary(p.scenario);
+        }
+        // Billing identity, both levels.
+        double step_sum = 0.0;
+        for (const search::ProbeStep& s : r.trace) {
+          step_sum += s.profile_cost;
+          double attempt_sum = 0.0;
+          for (const cloud::AttemptRecord& rec : s.attempt_log) {
+            attempt_sum += rec.cost;
+          }
+          EXPECT_NEAR(s.profile_cost, attempt_sum, 1e-9) << label;
+        }
+        EXPECT_NEAR(r.profile_cost, step_sum, 1e-9) << label;
+      }
+    }
+  }
+  EXPECT_EQ(runs, 90);
+  // Chaos may deny some runs their compliant point, but the guarantee
+  // must bind for the clear majority — otherwise it guarantees nothing.
+  EXPECT_GT(guaranteed, runs / 2)
+      << "guaranteed " << guaranteed << " of " << runs;
 }
 
 }  // namespace
