@@ -90,4 +90,53 @@ void BM_GpIncrementalAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_GpIncrementalAdd)->Range(8, 64);
 
+void BM_GpAddWithRefitSchedule(benchmark::State& state) {
+  // Growing a tuned GP by 8 observations under a refit_every schedule:
+  // range(0) = 1 is the legacy retune-per-add behavior, larger values
+  // amortize the MLE over incremental adds (the PR-2 fast path).
+  const int refit_every = static_cast<int>(state.range(0));
+  linalg::Matrix x;
+  linalg::Vector y;
+  make_data(24, x, y);
+  gp::GpOptions options;
+  options.optimizer_restarts = 1;
+  options.refit_every = refit_every;
+  util::Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    gp::GpRegressor gp(std::make_unique<gp::Matern52Kernel>(2), options);
+    gp.fit(x, y);
+    std::vector<std::vector<double>> adds;
+    for (int i = 0; i < 8; ++i) adds.push_back({rng.uniform(), rng.uniform()});
+    state.ResumeTiming();
+    for (const auto& nx : adds) gp.add_observation(nx, 0.5);
+    benchmark::DoNotOptimize(gp);
+  }
+}
+BENCHMARK(BM_GpAddWithRefitSchedule)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_GpPredictCachedScan(benchmark::State& state) {
+  // Repeated scans of a fixed candidate set with per-candidate caches —
+  // the steady-state inner loop of every BO searcher. After the first
+  // scan each prediction is O(n) instead of O(n^2).
+  const std::size_t n = state.range(0);
+  linalg::Matrix x;
+  linalg::Vector y;
+  make_data(n, x, y);
+  gp::GpOptions options;
+  options.optimize_hyperparameters = false;
+  gp::GpRegressor gp(std::make_unique<gp::Matern52Kernel>(2), options);
+  gp.fit(x, y);
+  util::Rng rng(17);
+  std::vector<std::vector<double>> candidates(512);
+  for (auto& c : candidates) c = {rng.uniform(), rng.uniform()};
+  std::vector<gp::GpRegressor::PredictCache> caches(candidates.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      benchmark::DoNotOptimize(gp.predict_cached(candidates[i], caches[i]));
+    }
+  }
+}
+BENCHMARK(BM_GpPredictCachedScan)->Range(8, 64);
+
 }  // namespace

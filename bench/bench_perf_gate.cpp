@@ -1,0 +1,329 @@
+// PR-2 fast-path performance gate.
+//
+// Measures the two throughputs the fast-path BO engine exists for —
+// incremental GP updates and parallel acquisition scans — plus the
+// determinism contract (probe traces bit-identical across thread
+// counts), and writes them to BENCH_PR2.json. With --baseline it
+// compares against a previous run and exits nonzero when either
+// throughput regressed by more than --max-regression (default 20%).
+//
+// Absolute ops/sec are machine-dependent, so cross-machine comparisons
+// (a CI runner vs the machine that committed the baseline) are made on
+// calibration-normalized ratios: every throughput is divided by the
+// machine's serial GP-fit throughput measured in the same process.
+//
+// Usage:
+//   bench_perf_gate [--out FILE] [--baseline FILE]
+//                   [--max-regression FRACTION] [--quick]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bo/acquisition.hpp"
+#include "common.hpp"
+#include "gp/gp_regressor.hpp"
+#include "gp/kernel.hpp"
+#include "search/heter_bo.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace mlcd;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Best-of-trials wall time of op(), seconds. Minimum, not mean: the
+/// minimum is the least noisy estimator of the true cost on a shared
+/// machine.
+template <typename Op>
+double best_time(int trials, Op&& op) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int t = 0; t < trials; ++t) {
+    const Clock::time_point start = Clock::now();
+    op();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+void make_data(std::size_t n, linalg::Matrix& x, linalg::Vector& y) {
+  util::Rng rng(7);
+  x = linalg::Matrix(n, 2);
+  y.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+    y.push_back(std::sin(6.0 * x(i, 0)) + x(i, 1) + 0.01 * rng.normal());
+  }
+}
+
+gp::GpRegressor frozen_gp(std::size_t n) {
+  linalg::Matrix x;
+  linalg::Vector y;
+  make_data(n, x, y);
+  gp::GpOptions options;
+  options.optimize_hyperparameters = false;
+  options.normalize_targets = false;
+  options.refit_every = 0;
+  gp::GpRegressor gp(std::make_unique<gp::Matern52Kernel>(2), options);
+  gp.fit(x, y);
+  return gp;
+}
+
+/// Machine-speed calibration: serial fixed-hyperparameter GP fits/sec.
+double calibration_fits_per_sec(int fits_per_trial, int trials) {
+  linalg::Matrix x;
+  linalg::Vector y;
+  make_data(48, x, y);
+  gp::GpOptions options;
+  options.optimize_hyperparameters = false;
+  const double secs = best_time(trials, [&] {
+    for (int i = 0; i < fits_per_trial; ++i) {
+      gp::GpRegressor gp(std::make_unique<gp::Matern52Kernel>(2), options);
+      gp.fit(x, y);
+    }
+  });
+  return fits_per_trial / secs;
+}
+
+/// Incremental add_observation throughput (frozen hyperparameters,
+/// O(n^2) bordered-Cholesky path), ops/sec while growing 64 -> 64+adds.
+double gp_incremental_adds_per_sec(int adds, int trials) {
+  util::Rng rng(11);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < adds; ++i) points.push_back({rng.uniform(), rng.uniform()});
+  const double secs = best_time(trials, [&] {
+    gp::GpRegressor gp = frozen_gp(64);
+    for (const auto& p : points) gp.add_observation(p, 0.5);
+  });
+  // Subtract nothing for the initial fit: it is shared across trials'
+  // comparisons (baseline and candidate measure the identical workload).
+  return adds / secs;
+}
+
+/// Full O(n^3) refit throughput at the same terminal size, refits/sec.
+double gp_full_refits_per_sec(int trials) {
+  gp::GpRegressor gp = frozen_gp(96);
+  const double secs = best_time(
+      trials, [&] { gp.refit_full(/*retune_hyperparameters=*/false); });
+  return 1.0 / secs;
+}
+
+/// One acquisition scan exactly as the searchers run it: parallel
+/// cached prediction into pre-sized slots, then score_batch.
+double scan_candidates_per_sec(int threads, int scans, int trials) {
+  gp::GpRegressor gp = frozen_gp(48);
+  util::Rng rng(17);
+  const std::size_t m = 8192;
+  std::vector<std::vector<double>> candidates(m);
+  for (auto& c : candidates) c = {rng.uniform(), rng.uniform()};
+  std::vector<gp::GpRegressor::PredictCache> caches(m);
+  std::vector<gp::Prediction> predictions(m);
+  std::vector<double> scores(m);
+  const bo::ExpectedImprovement ei(0.01);
+  util::ThreadPool pool(threads);
+
+  const auto scan = [&] {
+    pool.parallel_for(m, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        predictions[i] = gp.predict_cached(candidates[i], caches[i]);
+      }
+    });
+    bo::score_batch(ei, pool, predictions, 0.5, scores);
+  };
+  scan();  // warm the per-candidate caches once, outside the timing
+  const double secs = best_time(trials, [&] {
+    for (int s = 0; s < scans; ++s) scan();
+  });
+  return static_cast<double>(m) * scans / secs;
+}
+
+struct DeterminismReport {
+  bool identical = true;
+  std::size_t probes = 0;
+  double run_secs_t1 = 0.0;
+  double run_secs_t4 = 0.0;
+};
+
+/// Runs HeterBO on the Fig. 15 workload with 1 and 4 threads and
+/// compares the traces bitwise.
+DeterminismReport heterbo_determinism() {
+  const cloud::InstanceCatalog cat =
+      bench::subset_catalog({"c5.xlarge", "c5.4xlarge", "p2.xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+  const perf::TrainingConfig config = bench::make_config("char_rnn");
+  search::SearchProblem problem = bench::make_problem(
+      config, space, search::Scenario::fastest_under_budget(120.0));
+
+  DeterminismReport report;
+  problem.threads = 1;
+  Clock::time_point start = Clock::now();
+  const search::SearchResult serial =
+      bench::run_method(perf, problem, "heterbo");
+  report.run_secs_t1 = seconds_since(start);
+
+  problem.threads = 4;
+  start = Clock::now();
+  const search::SearchResult parallel =
+      bench::run_method(perf, problem, "heterbo");
+  report.run_secs_t4 = seconds_since(start);
+
+  report.probes = serial.trace.size();
+  report.identical = serial.trace.size() == parallel.trace.size();
+  for (std::size_t i = 0; report.identical && i < serial.trace.size(); ++i) {
+    const search::ProbeStep& a = serial.trace[i];
+    const search::ProbeStep& b = parallel.trace[i];
+    report.identical = a.deployment == b.deployment &&
+                       a.measured_speed == b.measured_speed &&
+                       a.acquisition == b.acquisition && a.reason == b.reason;
+  }
+  return report;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out FILE] [--baseline FILE] "
+               "[--max-regression FRACTION] [--quick]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_PR2.json";
+  std::string baseline_path;
+  double max_regression = 0.20;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--max-regression" && i + 1 < argc) {
+      max_regression = std::atof(argv[++i]);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const int trials = quick ? 3 : 7;
+  std::printf("PR-2 fast-path gate: measuring (trials=%d)...\n", trials);
+
+  const double calibration = calibration_fits_per_sec(quick ? 4 : 10, trials);
+  const double gp_adds = gp_incremental_adds_per_sec(64, trials);
+  const double gp_refits = gp_full_refits_per_sec(trials);
+  const double scan_t1 = scan_candidates_per_sec(1, quick ? 2 : 5, trials);
+  const double scan_t4 = scan_candidates_per_sec(4, quick ? 2 : 5, trials);
+  const double scan_speedup = scan_t4 / scan_t1;
+  const DeterminismReport determinism = heterbo_determinism();
+
+  std::map<std::string, double> metrics;
+  metrics["calibration_fits_per_sec"] = calibration;
+  metrics["gp_incremental_adds_per_sec"] = gp_adds;
+  metrics["gp_full_refits_per_sec"] = gp_refits;
+  metrics["acq_scan_candidates_per_sec_t1"] = scan_t1;
+  metrics["acq_scan_candidates_per_sec_t4"] = scan_t4;
+  metrics["acq_scan_speedup_t4"] = scan_speedup;
+  metrics["heterbo_run_secs_t1"] = determinism.run_secs_t1;
+  metrics["heterbo_run_secs_t4"] = determinism.run_secs_t4;
+  metrics["heterbo_run_speedup_t4"] =
+      determinism.run_secs_t4 > 0.0
+          ? determinism.run_secs_t1 / determinism.run_secs_t4
+          : 0.0;
+
+  for (const auto& [name, value] : metrics) {
+    std::printf("  %-34s %.4g\n", name.c_str(), value);
+  }
+  std::printf("  %-34s %s (%zu probes)\n", "heterbo_trace_identical_t1_t4",
+              determinism.identical ? "yes" : "NO", determinism.probes);
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema_version").value(1);
+  json.key("bench").value("pr2-fastpath-gate");
+  json.key("hardware_threads").value(util::ThreadPool::hardware_threads());
+  json.key("metrics").begin_object();
+  for (const auto& [name, value] : metrics) json.key(name).value(value);
+  json.end_object();
+  json.key("determinism").begin_object();
+  json.key("heterbo_trace_identical_t1_t4").value(determinism.identical);
+  json.key("probes").value(static_cast<std::int64_t>(determinism.probes));
+  json.end_object();
+  json.end_object();
+  {
+    std::ofstream out(out_path);
+    out << json.str() << "\n";
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  bool ok = true;
+  if (!determinism.identical) {
+    std::fprintf(stderr,
+                 "GATE FAIL: HeterBO probe trace differs between "
+                 "--threads 1 and --threads 4\n");
+    ok = false;
+  }
+  if (util::ThreadPool::hardware_threads() >= 4 && scan_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "GATE FAIL: acquisition-scan speedup at 4 threads is "
+                 "%.2fx (< 2.0x required)\n",
+                 scan_speedup);
+    ok = false;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "GATE FAIL: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const util::JsonValue baseline = util::parse_json(buffer.str());
+    const util::JsonValue& base_metrics = baseline.at("metrics");
+    const double base_calibration =
+        base_metrics.at("calibration_fits_per_sec").as_number();
+    // Calibration-normalized comparison: machine speed cancels out.
+    for (const char* key :
+         {"gp_incremental_adds_per_sec", "acq_scan_candidates_per_sec_t1",
+          "acq_scan_candidates_per_sec_t4"}) {
+      if (!base_metrics.contains(key)) continue;
+      const double base_ratio =
+          base_metrics.at(key).as_number() / base_calibration;
+      const double ratio = metrics[key] / calibration;
+      if (ratio < (1.0 - max_regression) * base_ratio) {
+        std::fprintf(stderr,
+                     "GATE FAIL: %s regressed %.1f%% vs baseline "
+                     "(calibration-normalized %.4g -> %.4g)\n",
+                     key, 100.0 * (1.0 - ratio / base_ratio), base_ratio,
+                     ratio);
+        ok = false;
+      } else {
+        std::printf("  baseline check %-32s ok (%+.1f%%)\n", key,
+                    100.0 * (ratio / base_ratio - 1.0));
+      }
+    }
+  }
+
+  if (ok) std::printf("gate passed\n");
+  return ok ? 0 : 1;
+}

@@ -3,13 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "search/cherrypick.hpp"
-#include "search/conv_bo.hpp"
-#include "search/exhaustive.hpp"
-#include "search/heter_bo.hpp"
-#include "search/paleo.hpp"
-#include "search/pareto.hpp"
-#include "search/random_search.hpp"
+#include "search/registry.hpp"
 
 namespace mlcd::bench {
 
@@ -78,29 +72,7 @@ search::SearchProblem make_problem(const perf::TrainingConfig& config,
 
 std::unique_ptr<search::Searcher> make_searcher(
     const perf::TrainingPerfModel& perf, const std::string& method) {
-  using namespace search;
-  if (method == "heterbo") return std::make_unique<HeterBoSearcher>(perf);
-  if (method == "conv-bo") return std::make_unique<ConvBoSearcher>(perf);
-  if (method == "bo-improved") {
-    ConvBoOptions o;
-    o.budget_aware = true;
-    return std::make_unique<ConvBoSearcher>(perf, o);
-  }
-  if (method == "cherrypick") {
-    return std::make_unique<CherryPickSearcher>(perf);
-  }
-  if (method == "cherrypick-improved") {
-    CherryPickOptions o;
-    o.budget_aware = true;
-    return std::make_unique<CherryPickSearcher>(perf, o);
-  }
-  if (method == "random") return std::make_unique<RandomSearcher>(perf);
-  if (method == "exhaustive") {
-    return std::make_unique<ExhaustiveSearcher>(perf);
-  }
-  if (method == "paleo") return std::make_unique<PaleoSearcher>(perf);
-  if (method == "pareto") return std::make_unique<ParetoSearcher>(perf);
-  throw std::invalid_argument("bench: unknown method " + method);
+  return search::SearcherRegistry::instance().create(method, perf);
 }
 
 search::SearchResult run_method(const perf::TrainingPerfModel& perf,

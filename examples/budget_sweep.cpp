@@ -25,7 +25,7 @@ int main() {
     job.instance_types = {"c5.xlarge", "c5.4xlarge", "p2.xlarge"};
     job.seed = 7;
 
-    const system::RunReport report = mlcd.deploy(job);
+    const system::RunReport report = mlcd.deploy(job).report();
     const search::SearchResult& r = report.result;
     table.add_row({util::fmt_dollars(budget, 0),
                    r.found ? r.best_description : "(none)",

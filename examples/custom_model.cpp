@@ -42,7 +42,7 @@ int main() {
   job.max_nodes = 32;
   job.seed = 21;
 
-  const system::RunReport report = mlcd.deploy(job);
+  const system::RunReport report = mlcd.deploy(job).report();
   std::fputs(report.render().c_str(), stdout);
 
   std::printf("\nprobe trail:\n");

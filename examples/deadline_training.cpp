@@ -21,12 +21,12 @@ int main() {
   job.seed = 11;
 
   std::printf("--- HeterBO (deadline-aware)\n");
-  const system::RunReport heterbo = mlcd.deploy(job);
+  const system::RunReport heterbo = mlcd.deploy(job).report();
   std::fputs(heterbo.render().c_str(), stdout);
 
   std::printf("\n--- conventional BO (deadline-oblivious baseline)\n");
   job.search_method = "conv-bo";
-  const system::RunReport convbo = mlcd.deploy(job);
+  const system::RunReport convbo = mlcd.deploy(job).report();
   std::fputs(convbo.render().c_str(), stdout);
 
   const bool hb_ok = heterbo.result.meets_constraints(heterbo.scenario);

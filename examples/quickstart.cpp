@@ -29,7 +29,18 @@ int main() {
   job.instance_types = {"c5.4xlarge"};
   job.seed = 7;
 
-  const system::RunReport report = mlcd.deploy(job);
+  // deploy() returns a structured result: a rejected job carries a typed
+  // JobError (code + message) instead of throwing.
+  const system::DeployResult outcome = mlcd.deploy(job);
+  if (!outcome) {
+    std::fprintf(stderr, "job rejected (%s): %s\n",
+                 std::string(system::job_error_code_name(
+                                 outcome.error().code))
+                     .c_str(),
+                 outcome.error().message.c_str());
+    return 2;
+  }
+  const system::RunReport& report = outcome.report();
   std::fputs(report.render().c_str(), stdout);
 
   std::printf(

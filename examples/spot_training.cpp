@@ -27,7 +27,7 @@ int main() {
     job.use_spot = spot;
     job.seed = 7;
 
-    const system::RunReport report = mlcd.deploy(job);
+    const system::RunReport report = mlcd.deploy(job).report();
     const search::SearchResult& r = report.result;
     table.add_row({spot ? "spot" : "on-demand",
                    r.found ? r.best_description : "(none)",

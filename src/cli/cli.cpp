@@ -40,6 +40,11 @@ deploy/compare options:
                         cherrypick-improved | random | exhaustive |
                         paleo | pareto                       [heterbo]
   --seed <n>            RNG seed                             [1]
+  --threads <n>         worker lanes for the BO candidate scans; probe
+                        traces are bit-identical for any value [1]
+  --gp-refit-every <k>  retune the BO surrogates every k probes and
+                        update incrementally in between (1 = retune
+                        on every probe; see docs/performance.md) [1]
   --save-trace <f.csv>  persist the probe history for later warm starts
   --warm-start <f.csv>  seed the search from a saved trace (heterbo)
   --spot                buy spot capacity (cheaper, revocable)
@@ -81,6 +86,9 @@ system::JobRequest request_from(const Args& args) {
   job.search_method = args.get_or("method", "heterbo");
   job.seed = static_cast<std::uint64_t>(
       parse_positive_int(args.get_or("seed", "1")));
+  job.threads = parse_positive_int(args.get_or("threads", "1"));
+  job.gp_refit_every =
+      parse_positive_int(args.get_or("gp-refit-every", "1"));
   if (const auto rate = args.get("failure-rate")) {
     job.profiler_options.faults.launch_failure_per_node =
         parse_fraction(*rate);
@@ -143,7 +151,11 @@ int cmd_deploy(const Args& args, std::ostream& out, std::ostream& err) {
     if (const auto warm = args.get("warm-start")) {
       job.warm_start = search::load_warm_start_csv(*warm, view);
     }
-    const system::RunReport report = mlcd->deploy(job);
+    const system::DeployResult outcome = mlcd->deploy(job);
+    if (!outcome) {
+      return usage_error(err, outcome.error().message);
+    }
+    const system::RunReport& report = outcome.report();
     if (const auto save = args.get("save-trace")) {
       const cloud::DeploymentSpace space(
           view, job.max_nodes,
@@ -174,7 +186,11 @@ int cmd_compare(const Args& args, std::ostream& out, std::ostream& err) {
          {"heterbo", "conv-bo", "bo-improved", "cherrypick",
           "cherrypick-improved", "random", "paleo", "pareto"}) {
       job.search_method = method;
-      const system::RunReport report = mlcd.deploy(job);
+      const system::DeployResult outcome = mlcd.deploy(job);
+      if (!outcome) {
+        return usage_error(err, outcome.error().message);
+      }
+      const system::RunReport& report = outcome.report();
       const search::SearchResult& r = report.result;
       any_found = any_found || r.found;
       table.add_row(

@@ -1,5 +1,6 @@
 #include "gp/gp_regressor.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numbers>
@@ -9,6 +10,21 @@
 #include "util/logging.hpp"
 
 namespace mlcd::gp {
+namespace {
+
+/// Pivot-conditioning floor for the incremental border: below this ratio
+/// the new point is (numerically) a duplicate and the full refit's
+/// escalating jitter is the safe route.
+constexpr double kMinBorderPivotRatio = 1e-12;
+
+/// Fit versions are unique across all GpRegressor instances so a
+/// PredictCache can never be validated against the wrong surrogate.
+std::uint64_t next_fit_version() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace
 
 double Prediction::stddev() const { return std::sqrt(std::max(variance, 0.0)); }
 
@@ -34,7 +50,11 @@ GpRegressor::GpRegressor(const GpRegressor& other)
       y_mean_(other.y_mean_),
       y_scale_(other.y_scale_),
       factor_(other.factor_),
-      alpha_(other.alpha_) {}
+      alpha_(other.alpha_),
+      w_(other.w_),
+      fit_version_(other.fit_version_),
+      adds_since_refit_(other.adds_since_refit_),
+      lml_per_obs_at_refit_(other.lml_per_obs_at_refit_) {}
 
 GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
   if (this == &other) return *this;
@@ -48,6 +68,10 @@ GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
   y_scale_ = other.y_scale_;
   factor_ = other.factor_;
   alpha_ = other.alpha_;
+  w_ = other.w_;
+  fit_version_ = other.fit_version_;
+  adds_since_refit_ = other.adds_since_refit_;
+  lml_per_obs_at_refit_ = other.lml_per_obs_at_refit_;
   return *this;
 }
 
@@ -76,7 +100,9 @@ void GpRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y) {
     y_[i] = (y_raw_[i] - y_mean_) / y_scale_;
   }
 
-  if (options_.optimize_hyperparameters && y_.size() >= 3) {
+  if (options_.optimize_hyperparameters &&
+      static_cast<int>(y_.size()) >=
+          std::max(3, options_.hyperopt_min_obs)) {
     optimize_hyperparameters();
   }
   const double lml = refit_with_current_params();
@@ -84,6 +110,9 @@ void GpRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y) {
     throw std::runtime_error(
         "GpRegressor::fit: covariance factorization failed");
   }
+  adds_since_refit_ = 0;
+  fit_version_ = next_fit_version();
+  lml_per_obs_at_refit_ = lml / static_cast<double>(y_.size());
 }
 
 double GpRegressor::refit_with_current_params() {
@@ -104,7 +133,8 @@ double GpRegressor::refit_with_current_params() {
     factor_.reset();
     return -std::numeric_limits<double>::infinity();
   }
-  alpha_ = factor_->solve(y_);
+  w_ = factor_->solve_lower(y_);
+  alpha_ = factor_->solve_lower_transpose(w_);
 
   const double fit_term = -0.5 * linalg::dot(y_, alpha_);
   const double complexity_term = -0.5 * factor_->log_determinant();
@@ -209,27 +239,84 @@ void GpRegressor::add_observation(std::span<const double> x, double y) {
   linalg::Vector y_grown = y_raw_;
   y_grown.push_back(y);
 
-  if (options_.optimize_hyperparameters || options_.normalize_targets) {
-    // Hyperparameters and the target normalization are functions of the
-    // whole data set; a full refit is the correct update.
+  // Hyperparameters and the target normalization are functions of the
+  // whole data set; on the retune schedule a full refit is the correct
+  // update. When both are static there is nothing to retune and the
+  // incremental path is exact regardless of the schedule.
+  const bool params_static = !options_.optimize_hyperparameters &&
+                             !options_.normalize_targets;
+  const bool scheduled_refit =
+      !params_static &&
+      (options_.refit_every == 1 ||
+       (options_.refit_every > 1 &&
+        adds_since_refit_ + 1 >= options_.refit_every));
+  if (scheduled_refit) {
     fit(grown, y_grown);
     return;
   }
 
   // Incremental path: border the Cholesky factor with the new point's
-  // covariance column and refresh alpha (two triangular solves, O(n²)).
+  // covariance column and refresh alpha (one triangular solve plus an
+  // O(n) forward-solve append, O(n²) total). Hyperparameters and the
+  // normalization constants stay frozen until the next scheduled retune.
   const std::size_t n = x_.rows();
   linalg::Vector col(n);
   for (std::size_t i = 0; i < n; ++i) {
     col[i] = (*kernel_)(x_.row(i), x);
   }
-  const double diag = (*kernel_)(x, x) + noise_stddev_ * noise_stddev_;
-  factor_->extend(col, diag);
+  const double diag =
+      (*kernel_)(x, x) + noise_stddev_ * noise_stddev_ + factor_->jitter();
+  if (!factor_->try_extend(col, diag, kMinBorderPivotRatio)) {
+    // Tolerance-checked fallback: the border is numerically unsafe
+    // (typically a near-duplicate point); the full refit reapplies the
+    // escalating-jitter factorization.
+    MLCD_LOG(kDebug, "gp")
+        << "incremental update rejected (ill-conditioned border), "
+           "falling back to full refit";
+    fit(grown, y_grown);
+    return;
+  }
 
   x_ = std::move(grown);
   y_raw_ = std::move(y_grown);
-  y_ = y_raw_;  // normalization disabled on this path
-  alpha_ = factor_->solve(y_);
+  y_.push_back((y_raw_.back() - y_mean_) / y_scale_);
+  factor_->extend_solve_lower(w_, y_);
+  alpha_ = factor_->solve_lower_transpose(w_);
+  ++adds_since_refit_;
+
+  if (!params_static && options_.refit_evidence_drop > 0.0) {
+    const double per_obs =
+        log_marginal_likelihood() / static_cast<double>(y_.size());
+    if (per_obs < lml_per_obs_at_refit_ - options_.refit_evidence_drop) {
+      // Evidence drop: the frozen hyperparameters stopped explaining the
+      // data; retune off-schedule.
+      MLCD_LOG(kDebug, "gp")
+          << "evidence drop (" << per_obs << " vs "
+          << lml_per_obs_at_refit_ << " nats/obs at last retune), "
+             "refitting early";
+      refit_full(true);
+    }
+  }
+}
+
+void GpRegressor::refit_full(bool retune_hyperparameters) {
+  if (!factor_) {
+    throw std::logic_error("GpRegressor::refit_full: call fit() first");
+  }
+  if (retune_hyperparameters) {
+    const linalg::Matrix x = x_;
+    const linalg::Vector y = y_raw_;
+    fit(x, y);
+    return;
+  }
+  const double lml = refit_with_current_params();
+  if (!std::isfinite(lml)) {
+    throw std::runtime_error(
+        "GpRegressor::refit_full: covariance factorization failed");
+  }
+  adds_since_refit_ = 0;
+  fit_version_ = next_fit_version();
+  lml_per_obs_at_refit_ = lml / static_cast<double>(y_.size());
 }
 
 Prediction GpRegressor::predict(std::span<const double> x) const {
@@ -249,6 +336,39 @@ Prediction GpRegressor::predict(std::span<const double> x) const {
   const linalg::Vector v = factor_->solve_lower(k_star);
   const double prior_var = (*kernel_)(x, x);
   double variance_normalized = prior_var - linalg::dot(v, v);
+  variance_normalized = std::max(variance_normalized, 0.0);
+
+  Prediction p;
+  p.mean = mean_normalized * y_scale_ + y_mean_;
+  p.variance = variance_normalized * y_scale_ * y_scale_;
+  return p;
+}
+
+Prediction GpRegressor::predict_cached(std::span<const double> x,
+                                       PredictCache& cache) const {
+  if (!factor_) {
+    throw std::logic_error("GpRegressor::predict_cached: call fit() first");
+  }
+  if (x.size() != x_.cols()) {
+    throw std::invalid_argument(
+        "GpRegressor::predict_cached: dimension mismatch");
+  }
+  const std::size_t n = x_.rows();
+  if (cache.fit_version != fit_version_ || cache.k_star.size() > n) {
+    cache.k_star.clear();
+    cache.v.clear();
+    cache.fit_version = fit_version_;
+  }
+  // Append kernel entries for the observations that arrived since this
+  // cache was last used, then extend v = L⁻¹ k_star by the same rows.
+  for (std::size_t i = cache.k_star.size(); i < n; ++i) {
+    cache.k_star.push_back((*kernel_)(x_.row(i), x));
+  }
+  factor_->extend_solve_lower(cache.v, cache.k_star);
+
+  const double mean_normalized = linalg::dot(cache.v, w_);
+  const double prior_var = (*kernel_)(x, x);
+  double variance_normalized = prior_var - linalg::dot(cache.v, cache.v);
   variance_normalized = std::max(variance_normalized, 0.0);
 
   Prediction p;

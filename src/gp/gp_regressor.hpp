@@ -38,6 +38,24 @@ struct GpOptions {
   /// Normalize targets to zero mean / unit variance internally. Keeps
   /// hyperparameter scales sane when speeds span orders of magnitude.
   bool normalize_targets = true;
+  /// add_observation() full-refit schedule when hyperparameter tuning or
+  /// target normalization is active: 1 (default) refits — retune + re-
+  /// normalization — on every add, the legacy exact behavior; k > 1
+  /// refits on every k-th add and runs the O(n²) incremental bordered-
+  /// Cholesky update with frozen hyperparameters/normalizer in between;
+  /// <= 0 disables the schedule entirely (incremental always, full refit
+  /// only on numerical fallback or evidence drop).
+  int refit_every = 1;
+  /// Early-retune trigger for the incremental path: when the mean log
+  /// marginal likelihood per observation falls more than this many nats
+  /// below its value at the last full fit, the model retunes immediately
+  /// (the frozen hyperparameters stopped explaining the data). 0
+  /// disables the check.
+  double refit_evidence_drop = 0.0;
+  /// fit() runs the hyperparameter MLE only at or above this many
+  /// observations; below it a young GP would overfit its handful of
+  /// points.
+  int hyperopt_min_obs = 3;
   /// Optional box bounds (log space) on [kernel params..., noise stddev]
   /// for the MLE. Empty = the default wide bounds. BO surrogates use
   /// these to stop the MLE from collapsing to a near-flat, overconfident
@@ -62,20 +80,63 @@ class GpRegressor {
   void fit(const linalg::Matrix& x, const linalg::Vector& y);
 
   /// Adds one observation to a fitted model. When hyperparameter
-  /// optimization and target normalization are both disabled, the
-  /// covariance factor is extended incrementally in O(n²); otherwise the
-  /// model refits from scratch (hyperparameters/normalization depend on
-  /// the full data). Throws std::logic_error before fit() and
+  /// optimization and target normalization are both disabled — or the
+  /// GpOptions::refit_every schedule says this add is not a retune
+  /// point — the covariance factor is extended incrementally in O(n²)
+  /// (bordered Cholesky, frozen hyperparameters/normalizer), with a
+  /// tolerance-checked fallback to a full refit when the border is
+  /// numerically unsafe. On scheduled retunes the model refits from
+  /// scratch. Throws std::logic_error before fit() and
   /// std::invalid_argument on dimension mismatch.
   void add_observation(std::span<const double> x, double y);
+
+  /// Rebuilds the covariance factor from the stored observations in
+  /// O(n³). With `retune_hyperparameters` the MLE and target
+  /// renormalization re-run (same as fit() on the stored data); without
+  /// it the current hyperparameters and normalization constants are kept
+  /// — the exact reference the incremental path is validated against.
+  /// Throws std::logic_error before fit().
+  void refit_full(bool retune_hyperparameters = true);
 
   bool is_fitted() const noexcept { return factor_.has_value(); }
   std::size_t observation_count() const noexcept { return y_raw_.size(); }
   std::size_t input_dim() const noexcept;
 
+  /// Monotone token identifying the last full (re)fit. Incremental adds
+  /// keep the version; anything that can move hyperparameters or
+  /// normalization constants bumps it, invalidating PredictCaches.
+  /// Unique across GpRegressor instances, so a cache can never be
+  /// mistakenly reused against a different surrogate.
+  std::uint64_t fit_version() const noexcept { return fit_version_; }
+
+  /// Incremental adds since the last full fit (0 right after a refit).
+  int adds_since_refit() const noexcept { return adds_since_refit_; }
+
   /// Predictive mean/variance at a query point (dimension d).
   /// Throws std::logic_error when called before fit().
   Prediction predict(std::span<const double> x) const;
+
+  /// Per-candidate scratch for predict_cached(): the kernel row
+  /// k_star = k(x, X) and its forward solve v = L⁻¹ k_star, tagged with
+  /// the fit version they were computed against. A cache belongs to one
+  /// fixed query point; entries are appended as observations arrive
+  /// (O(n) per new observation) and discarded wholesale when a full
+  /// refit moves the hyperparameters.
+  struct PredictCache {
+    linalg::Vector k_star;
+    linalg::Vector v;
+    std::uint64_t fit_version = 0;
+  };
+
+  /// predict() with kernel-row reuse across BO iterations: repeated
+  /// scans of a fixed candidate set pay O(n) per candidate after an
+  /// incremental add instead of O(n²). Safe to call concurrently from
+  /// multiple threads as long as each thread passes a distinct cache.
+  /// The mean is computed as (L⁻¹k_star)·(L⁻¹y), which is analytically
+  /// equal to predict()'s k_star·alpha but may differ in the last bits;
+  /// searchers therefore use one path consistently for all candidates.
+  Prediction predict_cached(std::span<const double> x,
+                            PredictCache& cache) const;
 
   /// Log marginal likelihood of the fitted data under current
   /// hyperparameters (normalized-target space).
@@ -103,6 +164,11 @@ class GpRegressor {
 
   std::optional<linalg::CholeskyFactor> factor_;
   linalg::Vector alpha_;  // (K + sigma^2 I)^{-1} y
+  linalg::Vector w_;      // L^{-1} y, shared by all cached predictions
+
+  std::uint64_t fit_version_ = 0;
+  int adds_since_refit_ = 0;
+  double lml_per_obs_at_refit_ = 0.0;
 };
 
 }  // namespace mlcd::gp

@@ -104,17 +104,28 @@ double CholeskyFactor::quadratic_form(const Vector& b) const {
 }
 
 void CholeskyFactor::extend(const Vector& col, double diag) {
+  if (!try_extend(col, diag)) {
+    throw std::runtime_error(
+        "CholeskyFactor::extend: bordered matrix not positive definite");
+  }
+}
+
+bool CholeskyFactor::try_extend(const Vector& col, double diag,
+                                double min_pivot_ratio) {
   const std::size_t n = dim();
   if (col.size() != n) {
     throw std::invalid_argument("CholeskyFactor::extend: size mismatch");
   }
   // New bottom row of L: L row = solve(L l = col); corner = sqrt of the
-  // Schur complement.
+  // Schur complement. The pivot subtracts the squares sequentially —
+  // the same order try_factor uses — so the grown factor is bit-identical
+  // to a fresh factorization of the bordered matrix.
   const Vector l_row = solve_lower(col);
-  const double schur = diag - dot(l_row, l_row);
-  if (!(schur > 0.0) || !std::isfinite(schur)) {
-    throw std::runtime_error(
-        "CholeskyFactor::extend: bordered matrix not positive definite");
+  double schur = diag;
+  for (const double v : l_row) schur -= v * v;
+  if (!(schur > 0.0) || !std::isfinite(schur) ||
+      schur < min_pivot_ratio * diag) {
+    return false;
   }
   Matrix grown(n + 1, n + 1);
   for (std::size_t r = 0; r < n; ++r) {
@@ -123,6 +134,21 @@ void CholeskyFactor::extend(const Vector& col, double diag) {
   for (std::size_t c = 0; c < n; ++c) grown(n, c) = l_row[c];
   grown(n, n) = std::sqrt(schur);
   l_ = std::move(grown);
+  return true;
+}
+
+void CholeskyFactor::extend_solve_lower(Vector& partial,
+                                        std::span<const double> b) const {
+  const std::size_t n = dim();
+  if (partial.size() > n || b.size() < n) {
+    throw std::invalid_argument(
+        "CholeskyFactor::extend_solve_lower: size mismatch");
+  }
+  for (std::size_t i = partial.size(); i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * partial[k];
+    partial.push_back(s / l_(i, i));
+  }
 }
 
 }  // namespace mlcd::linalg

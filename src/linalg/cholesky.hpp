@@ -57,6 +57,24 @@ class CholeskyFactor {
   /// positive definite.
   void extend(const Vector& col, double diag);
 
+  /// Tolerance-checked extend: returns false (leaving the factor
+  /// untouched) instead of throwing when the new pivot — the Schur
+  /// complement diag - ||L⁻¹col||² — is non-positive, non-finite, or
+  /// smaller than `min_pivot_ratio * diag`. Callers use the failure as
+  /// the signal to fall back to a full refactorization with jitter.
+  /// Still throws std::invalid_argument on a size mismatch.
+  bool try_extend(const Vector& col, double diag,
+                  double min_pivot_ratio = 0.0);
+
+  /// Incremental forward substitution: given `partial` holding the first
+  /// m entries of y = L⁻¹ b (0 <= m <= dim()), appends the remaining
+  /// entries using rows m..dim()-1 of L and b[m..dim()-1]. Identical
+  /// arithmetic to solve_lower, so a solution grown entry-by-entry across
+  /// extend() calls is bit-identical to a fresh solve — the property the
+  /// GP's cached candidate scans rely on. Throws std::invalid_argument
+  /// when partial is longer than dim() or b is shorter than dim().
+  void extend_solve_lower(Vector& partial, std::span<const double> b) const;
+
  private:
   /// Attempts a plain factorization; returns std::nullopt when a
   /// non-positive pivot is hit.

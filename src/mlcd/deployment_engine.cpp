@@ -1,14 +1,6 @@
 #include "mlcd/deployment_engine.hpp"
 
-#include <stdexcept>
-
-#include "search/cherrypick.hpp"
-#include "search/conv_bo.hpp"
-#include "search/exhaustive.hpp"
-#include "search/heter_bo.hpp"
-#include "search/paleo.hpp"
-#include "search/pareto.hpp"
-#include "search/random_search.hpp"
+#include "search/registry.hpp"
 
 namespace mlcd::system {
 
@@ -22,38 +14,7 @@ std::unique_ptr<search::Searcher> DeploymentEngine::make_searcher(
 
 std::unique_ptr<search::Searcher> DeploymentEngine::make_searcher_for(
     const perf::TrainingPerfModel& perf, const std::string& method) {
-  if (method == "heterbo") {
-    return std::make_unique<search::HeterBoSearcher>(perf);
-  }
-  if (method == "conv-bo") {
-    return std::make_unique<search::ConvBoSearcher>(perf);
-  }
-  if (method == "bo-improved") {
-    search::ConvBoOptions options;
-    options.budget_aware = true;
-    return std::make_unique<search::ConvBoSearcher>(perf, options);
-  }
-  if (method == "cherrypick") {
-    return std::make_unique<search::CherryPickSearcher>(perf);
-  }
-  if (method == "cherrypick-improved") {
-    search::CherryPickOptions options;
-    options.budget_aware = true;
-    return std::make_unique<search::CherryPickSearcher>(perf, options);
-  }
-  if (method == "random") {
-    return std::make_unique<search::RandomSearcher>(perf);
-  }
-  if (method == "exhaustive") {
-    return std::make_unique<search::ExhaustiveSearcher>(perf);
-  }
-  if (method == "paleo") {
-    return std::make_unique<search::PaleoSearcher>(perf);
-  }
-  if (method == "pareto") {
-    return std::make_unique<search::ParetoSearcher>(perf);
-  }
-  throw std::invalid_argument("DeploymentEngine: unknown method " + method);
+  return search::SearcherRegistry::instance().create(method, perf);
 }
 
 search::SearchResult DeploymentEngine::search(

@@ -1,11 +1,14 @@
 #include "mlcd/mlcd.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "cloud/deployment.hpp"
 #include "cloud/fault_model.hpp"
+#include "search/registry.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 
@@ -20,18 +23,91 @@ Mlcd::Mlcd()
 Mlcd::Mlcd(const CloudInterface& cloud, const models::ModelZoo& zoo)
     : cloud_(&cloud), zoo_(&zoo), engine_(*cloud_) {}
 
-RunReport Mlcd::deploy(const JobRequest& request) const {
-  if (request.max_nodes < 1) {
-    throw std::invalid_argument("Mlcd::deploy: max_nodes must be >= 1");
+std::string_view job_error_code_name(JobErrorCode code) {
+  switch (code) {
+    case JobErrorCode::kUnknownModel: return "unknown_model";
+    case JobErrorCode::kUnknownPlatform: return "unknown_platform";
+    case JobErrorCode::kUnknownMethod: return "unknown_method";
+    case JobErrorCode::kUnknownInstanceType: return "unknown_instance_type";
+    case JobErrorCode::kInvalidRequest: return "invalid_request";
   }
-  const models::ModelSpec& model = zoo_->model(request.model);
-  const search::Scenario scenario = analyzer_.analyze(request.requirements);
+  return "invalid_request";
+}
+
+DeployResult DeployResult::success(RunReport report) {
+  DeployResult result;
+  result.report_.emplace(std::move(report));
+  return result;
+}
+
+DeployResult DeployResult::failure(JobError error) {
+  DeployResult result;
+  result.error_.emplace(std::move(error));
+  return result;
+}
+
+const RunReport& DeployResult::report() const& {
+  if (!report_) {
+    throw std::runtime_error("Mlcd::deploy rejected the job: " +
+                             error_->message);
+  }
+  return *report_;
+}
+
+RunReport&& DeployResult::report() && {
+  if (!report_) {
+    throw std::runtime_error("Mlcd::deploy rejected the job: " +
+                             error_->message);
+  }
+  return std::move(*report_);
+}
+
+const JobError& DeployResult::error() const {
+  if (!error_) {
+    throw std::logic_error("DeployResult::error: the job succeeded");
+  }
+  return *error_;
+}
+
+DeployResult Mlcd::deploy(const JobRequest& request) const {
+  auto reject = [](JobErrorCode code, std::string message) {
+    return DeployResult::failure(JobError{code, std::move(message)});
+  };
+  if (request.max_nodes < 1) {
+    return reject(JobErrorCode::kInvalidRequest,
+                  "max_nodes must be >= 1 (got " +
+                      std::to_string(request.max_nodes) + ")");
+  }
+  if (request.threads < 1) {
+    return reject(JobErrorCode::kInvalidRequest,
+                  "threads must be >= 1 (got " +
+                      std::to_string(request.threads) + ")");
+  }
+  const std::optional<std::size_t> model_index =
+      zoo_->find_model(request.model);
+  if (!model_index) {
+    return reject(JobErrorCode::kUnknownModel,
+                  "unknown model '" + request.model +
+                      "' (see `mlcd models` for the zoo)");
+  }
+  const models::ModelSpec& model = zoo_->models()[*model_index];
+
+  search::Scenario scenario;
+  try {
+    scenario = analyzer_.analyze(request.requirements);
+  } catch (const std::invalid_argument& e) {
+    return reject(JobErrorCode::kInvalidRequest, e.what());
+  }
 
   // Build the (possibly restricted) deployment space. The restricted
   // catalog must outlive the search, so it lives beside the space.
   std::optional<cloud::InstanceCatalog> restricted;
   if (!request.instance_types.empty()) {
-    restricted = cloud_->catalog().subset(request.instance_types);
+    try {
+      restricted = cloud_->catalog().subset(request.instance_types);
+    } catch (const std::invalid_argument& e) {
+      return reject(JobErrorCode::kUnknownInstanceType, e.what());
+    }
   }
   const cloud::InstanceCatalog& catalog =
       restricted ? *restricted : cloud_->catalog();
@@ -45,36 +121,44 @@ RunReport Mlcd::deploy(const JobRequest& request) const {
       catalog, cloud_->perf_model().options());
 
   search::SearchProblem problem;
-  problem.config =
-      platforms_.make_config(model, request.platform, request.topology);
+  try {
+    problem.config =
+        platforms_.make_config(model, request.platform, request.topology);
+  } catch (const std::invalid_argument& e) {
+    return reject(JobErrorCode::kUnknownPlatform, e.what());
+  }
   problem.space = &space;
   problem.scenario = scenario;
   problem.seed = request.seed;
   problem.profiler_options = request.profiler_options;
+  problem.threads = request.threads;
+  problem.gp_refit_every = request.gp_refit_every;
+
+  // Searchers must run against a perf model whose catalog view matches
+  // the space's type indices.
+  std::unique_ptr<search::Searcher> searcher;
+  try {
+    search::SearcherOptions options;
+    options.warm_start = request.warm_start;
+    searcher = search::SearcherRegistry::instance().create(
+        request.search_method, perf_view, options);
+  } catch (const std::invalid_argument& e) {
+    return reject(JobErrorCode::kUnknownMethod, e.what());
+  }
 
   RunReport report;
   report.request = request;
   report.scenario = scenario;
-  // Searchers must run against a perf model whose catalog view matches
-  // the space's type indices.
-  if (!request.warm_start.empty() && request.search_method == "heterbo") {
-    search::HeterBoOptions options;
-    options.warm_start = request.warm_start;
-    report.result = search::HeterBoSearcher(perf_view, options).run(problem);
-  } else {
-    report.result =
-        DeploymentEngine::make_searcher_for(perf_view,
-                                            request.search_method)
-            ->run(problem);
-  }
+  report.result = searcher->run(problem);
   MLCD_LOG(kInfo, "mlcd") << report.result.method << " selected "
                           << report.result.best_description;
-  return report;
+  return DeployResult::success(std::move(report));
 }
 
 std::string RunReport::to_json() const {
   util::JsonWriter json;
   json.begin_object();
+  json.key("schema_version").value(kJsonSchemaVersion);
   json.key("request").begin_object();
   json.key("model").value(request.model);
   json.key("platform").value(request.platform);
@@ -82,6 +166,8 @@ std::string RunReport::to_json() const {
   json.key("max_nodes").value(request.max_nodes);
   json.key("seed").value(static_cast<std::int64_t>(request.seed));
   json.key("use_spot").value(request.use_spot);
+  json.key("threads").value(request.threads);
+  json.key("gp_refit_every").value(request.gp_refit_every);
   json.key("failure_rate")
       .value(std::max(request.profiler_options.faults.launch_failure_per_node,
                       request.profiler_options.failure_rate));

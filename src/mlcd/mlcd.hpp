@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mlcd/cloud_interface.hpp"
@@ -42,10 +43,24 @@ struct JobRequest {
   /// Profiler knobs, including injected fault hazards and the retry
   /// policy (see docs/fault-model.md and the CLI chaos flags).
   profiler::ProfilerOptions profiler_options;
+  /// Execution lanes for the BO candidate scans (CLI --threads). Probe
+  /// traces are bit-identical for any value; see docs/performance.md.
+  int threads = 1;
+  /// GP retune cadence (CLI --gp-refit-every): rebuild the BO surrogates
+  /// from scratch every this many probes, extending incrementally in
+  /// between. 1 = retune on every probe (exact legacy behavior).
+  int gp_refit_every = 1;
 };
 
 /// MLCD's answer: the selected deployment plus all accounting.
 struct RunReport {
+  /// Version of the to_json() document layout. Bumped whenever a key is
+  /// renamed, removed, or changes meaning; consumers should check it
+  /// before parsing. History: 1 = unversioned PR-1 layout; 2 = adds
+  /// schema_version, threads/gp_refit_every, and the failure-accounting
+  /// counters under stable snake_case keys.
+  static constexpr int kJsonSchemaVersion = 2;
+
   JobRequest request;
   search::Scenario scenario;
   search::SearchResult result;
@@ -54,8 +69,56 @@ struct RunReport {
   std::string render() const;
 
   /// Machine-readable report (request, scenario, chosen deployment,
-  /// accounting, full probe trace) as a JSON document.
+  /// accounting, full probe trace) as a JSON document. The layout is
+  /// versioned via the top-level "schema_version" key
+  /// (kJsonSchemaVersion); every key is snake_case.
   std::string to_json() const;
+};
+
+/// Why a job was rejected before any search ran.
+enum class JobErrorCode {
+  kUnknownModel,
+  kUnknownPlatform,
+  kUnknownMethod,
+  kUnknownInstanceType,
+  kInvalidRequest,
+};
+
+std::string_view job_error_code_name(JobErrorCode code);
+
+/// A rejected job: machine-checkable code plus a human-readable message
+/// (the message of kUnknownMethod lists every registered method).
+struct JobError {
+  JobErrorCode code = JobErrorCode::kInvalidRequest;
+  std::string message;
+};
+
+/// std::expected-style result of Mlcd::deploy: either a RunReport or a
+/// typed JobError. Invalid requests are data, not control flow — callers
+/// branch on ok() / the error code instead of catching exceptions.
+/// (Internal invariant violations still throw.)
+class DeployResult {
+ public:
+  static DeployResult success(RunReport report);
+  static DeployResult failure(JobError error);
+
+  bool ok() const noexcept { return report_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// The report. Throws std::runtime_error carrying the JobError message
+  /// when the job was rejected — the value()-style accessor for callers
+  /// that have nothing useful to do with a rejection.
+  const RunReport& report() const&;
+  RunReport&& report() &&;
+
+  /// The rejection. Throws std::logic_error when the job succeeded.
+  const JobError& error() const;
+
+ private:
+  DeployResult() = default;
+
+  std::optional<RunReport> report_;
+  std::optional<JobError> error_;
 };
 
 class Mlcd {
@@ -67,8 +130,11 @@ class Mlcd {
   Mlcd(const CloudInterface& cloud, const models::ModelZoo& zoo);
 
   /// Runs the full pipeline: Scenario Analyzer -> Deployment Engine
-  /// (Profiler inside) -> report.
-  RunReport deploy(const JobRequest& request) const;
+  /// (Profiler inside) -> report. Request problems (unknown model /
+  /// platform / method / instance type, inconsistent requirements) come
+  /// back as a typed JobError in the DeployResult rather than an
+  /// exception.
+  DeployResult deploy(const JobRequest& request) const;
 
   const models::ModelZoo& zoo() const noexcept { return *zoo_; }
   const CloudInterface& cloud() const noexcept { return *cloud_; }

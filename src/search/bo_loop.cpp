@@ -65,6 +65,9 @@ gp::GpRegressor fit_gp_on_trace(const Searcher::Session& session,
   options.noise_stddev = 0.05;
   options.optimize_hyperparameters = trace.size() >= 4;
   options.optimizer_restarts = 2;
+  // The search loop owns the retune cadence (TraceSurrogate); direct
+  // add_observation() calls must always take the incremental path.
+  options.refit_every = 0;
   // MLE bounds (log space) over [signal, l_type, l_nodes, noise]: the
   // node-axis lengthscale is capped well below the domain width so the
   // surrogate never becomes confidently flat across unexplored scale-out
@@ -84,6 +87,46 @@ gp::GpRegressor fit_gp_on_trace(const Searcher::Session& session,
   gp::GpRegressor gp(std::move(kernel), options);
   gp.fit(x, y);
   return gp;
+}
+
+TraceSurrogate::TraceSurrogate(const bo::InputNormalizer& normalizer,
+                               int refit_every)
+    : normalizer_(&normalizer), refit_every_(refit_every) {}
+
+bool TraceSurrogate::update(const Searcher::Session& session) {
+  const auto& trace = session.trace();
+  // Stage the new usable probes, then decide once whether the batch
+  // lands incrementally or triggers a scheduled rebuild.
+  std::vector<std::size_t> fresh;
+  for (std::size_t i = next_trace_index_; i < trace.size(); ++i) {
+    if (!trace[i].failed) fresh.push_back(i);
+  }
+  next_trace_index_ = trace.size();
+  if (fresh.empty()) return gp_.has_value();
+
+  const bool rebuild =
+      !gp_.has_value() || refit_every_ == 1 ||
+      (refit_every_ > 1 &&
+       adds_since_build_ + static_cast<int>(fresh.size()) >= refit_every_);
+  if (rebuild) {
+    gp_.emplace(fit_gp_on_trace(session, *normalizer_));
+    adds_since_build_ = 0;
+    return true;
+  }
+  for (std::size_t i : fresh) {
+    gp_->add_observation(
+        normalizer_->normalize(deployment_coords(trace[i].deployment)),
+        log_objective(session, trace[i]));
+  }
+  adds_since_build_ += static_cast<int>(fresh.size());
+  return true;
+}
+
+const gp::GpRegressor& TraceSurrogate::gp() const {
+  if (!gp_) {
+    throw std::logic_error("TraceSurrogate: no usable probe seen yet");
+  }
+  return *gp_;
 }
 
 void run_bo_loop(Searcher::Session& session,
@@ -128,6 +171,23 @@ void run_bo_loop(Searcher::Session& session,
   if (session.trace().empty()) return;  // nothing affordable at all
 
   // --- GP-driven loop.
+  // Candidate geometry is fixed for the whole run: normalize the
+  // coordinates once, and keep one PredictCache per candidate so
+  // repeated scans reuse kernel rows across iterations (O(n) per
+  // candidate after an incremental GP update instead of O(n²)).
+  const std::size_t m = candidates.size();
+  std::vector<std::vector<double>> unit_coords(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    unit_coords[i] = normalizer.normalize(deployment_coords(candidates[i]));
+  }
+  std::vector<gp::GpRegressor::PredictCache> caches(m);
+  TraceSurrogate surrogate(normalizer,
+                           session.problem().gp_refit_every);
+  util::ThreadPool& workers = session.pool();
+  std::vector<gp::Prediction> predictions(m);
+  std::vector<double> scores(m);
+  std::vector<char> probed(m);
+
   while (static_cast<int>(session.trace().size()) < options.max_probes) {
     // Every probe so far may have exhausted its retries (billed but
     // uninformative); the surrogate has nothing to fit, so keep drawing
@@ -151,35 +211,48 @@ void run_bo_loop(Searcher::Session& session,
       session.probe(*next, 0.0, "init");
       continue;
     }
-    const gp::GpRegressor gp = fit_gp_on_trace(session, normalizer);
+    surrogate.update(session);
+    const gp::GpRegressor& gp = surrogate.gp();
     double best = std::log(1e-9);
     if (session.has_incumbent()) {
       best = log_objective(session, session.incumbent());
     }
 
-    // Score every unprobed candidate; keep them ordered by EI so the
-    // budget-aware variant can fall through to cheaper alternatives.
+    // Parallel scan: posteriors for every unprobed candidate land in
+    // disjoint pre-sized slots (determinism contract,
+    // util/thread_pool.hpp), then the batched acquisition scoring runs
+    // over the same partitioning. Everything order-dependent — the sort,
+    // the reserve fall-through — stays serial, in candidate order.
+    workers.parallel_for(m, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        probed[i] = session.already_probed(candidates[i]) ? 1 : 0;
+        if (!probed[i]) {
+          predictions[i] = gp.predict_cached(unit_coords[i], caches[i]);
+        }
+      }
+    });
+    bo::score_batch(*acquisition, workers, predictions, best, scores);
+
+    // Keep the unprobed candidates ordered by EI so the budget-aware
+    // variant can fall through to cheaper alternatives.
     struct Scored {
       double ei_value;
       const cloud::Deployment* d;
     };
     std::vector<Scored> scored;
-    scored.reserve(candidates.size());
-    for (const cloud::Deployment& d : candidates) {
-      if (session.already_probed(d)) continue;
-      const gp::Prediction p =
-          gp.predict(normalizer.normalize(deployment_coords(d)));
+    scored.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (probed[i]) continue;
       // For UCB the ranking score is mu + kappa*sigma; the *improvement*
       // the stop rule monitors is that bound minus the incumbent.
-      double score = acquisition->score(p, best);
-      if (ucb) score -= best;
-      scored.push_back(Scored{score, &d});
+      const double score = ucb ? scores[i] - best : scores[i];
+      scored.push_back(Scored{score, &candidates[i]});
     }
     if (scored.empty()) break;
-    std::sort(scored.begin(), scored.end(),
-              [](const Scored& a, const Scored& b) {
-                return a.ei_value > b.ei_value;
-              });
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.ei_value > b.ei_value;
+                     });
 
     const double ei_max = scored.front().ei_value;
     if (static_cast<int>(session.trace().size()) >= options.min_probes &&

@@ -8,6 +8,7 @@
 // that loop once, on top of Searcher::Session.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,9 +59,47 @@ std::vector<double> deployment_coords(const cloud::Deployment& d);
 double log_objective(const Searcher::Session& session, const ProbeStep& step);
 
 /// Fits a Matérn-5/2 GP to a session's probe history on log-objective
-/// targets. Requires a non-empty trace.
+/// targets. Requires a non-empty trace. The returned regressor has its
+/// internal refit schedule disabled (GpOptions::refit_every = 0): the
+/// search loops own the retune policy via TraceSurrogate, so direct
+/// add_observation() calls extend it incrementally with frozen
+/// hyperparameters.
 gp::GpRegressor fit_gp_on_trace(const Searcher::Session& session,
                                 const bo::InputNormalizer& normalizer);
+
+/// Persistent 2-D surrogate over a session's probe history. Legacy
+/// searchers called fit_gp_on_trace() — a fresh O(n³) build plus a full
+/// hyperparameter MLE — on every iteration; this wrapper keeps one
+/// regressor alive across iterations, folds new probes in with O(n²)
+/// incremental updates, and rebuilds from scratch only on the
+/// SearchProblem::gp_refit_every cadence. At refit_every = 1 every new
+/// usable probe triggers a rebuild, which makes the surrogate — and
+/// therefore every probe trace — identical to the legacy per-iteration
+/// refit (rebuilding from unchanged data is deterministic, so skipping
+/// the no-new-data rebuilds changes nothing).
+class TraceSurrogate {
+ public:
+  /// `refit_every`: SearchProblem::gp_refit_every semantics (1 = rebuild
+  /// on every usable probe, k > 1 = rebuild every k-th, <= 0 = never
+  /// after the first build).
+  TraceSurrogate(const bo::InputNormalizer& normalizer, int refit_every);
+
+  /// Folds trace entries added since the last call into the surrogate.
+  /// Returns true when a fitted GP is available (at least one usable
+  /// probe exists).
+  bool update(const Searcher::Session& session);
+
+  /// The live regressor. Throws std::logic_error when update() has not
+  /// yet seen a usable probe.
+  const gp::GpRegressor& gp() const;
+
+ private:
+  const bo::InputNormalizer* normalizer_;
+  int refit_every_;
+  std::optional<gp::GpRegressor> gp_;
+  std::size_t next_trace_index_ = 0;
+  int adds_since_build_ = 0;
+};
 
 /// Runs the loop, mutating `session` through its probe() interface.
 void run_bo_loop(Searcher::Session& session,

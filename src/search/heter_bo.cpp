@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -22,88 +24,86 @@ namespace {
 /// type axis is not a metric space); per-type curves cannot contaminate
 /// each other. Types with fewer than two probes fall back to the global
 /// 2-D surrogate.
-class TypeSurrogates {
+///
+/// The bank is persistent across BO iterations. The legacy code rebuilt
+/// every surrogate from scratch each iteration; here a type's curve is
+/// rebuilt only when that type received a new measurement (identical
+/// data refits deterministically to the identical GP, so skipping
+/// untouched types cannot change a trace), and mature curves extend
+/// incrementally between scheduled retunes per
+/// SearchProblem::gp_refit_every. Young types (< 4 real probes) always
+/// rebuild: their data composition is still changing — warm-start
+/// points drop out at two real probes and the hyperparameter MLE gate
+/// opens at four.
+class SurrogateBank {
  public:
-  TypeSurrogates(const Searcher::Session& session,
-                 const bo::InputNormalizer& normalizer2d,
-                 const std::vector<WarmStartPoint>& warm_start)
-      : normalizer2d_(&normalizer2d) {
-    const cloud::DeploymentSpace& space = session.space();
-    per_type_.resize(space.type_count());
-    for (std::size_t t = 0; t < space.type_count(); ++t) {
-      linalg::Matrix x(0, 0);
-      std::vector<double> xs;
-      std::vector<double> ys;
-      for (const ProbeStep& step : session.trace()) {
-        if (step.deployment.type_index != t || step.failed) continue;
-        xs.push_back(static_cast<double>(step.deployment.nodes) /
-                     space.max_nodes(t));
-        ys.push_back(log_objective(session, step));
-      }
-      // Warm-start pseudo-observations shape the surrogate of types the
-      // new search has not measured yet. Once the type has two real
-      // probes of its own, the carried-over points are dropped — they
-      // describe a *similar* job, not this one.
-      if (xs.size() < 2) {
-        for (const WarmStartPoint& w : warm_start) {
-          if (w.deployment.type_index != t || w.measured_speed <= 0.0 ||
-              !space.contains(w.deployment)) {
-            continue;
-          }
-          xs.push_back(static_cast<double>(w.deployment.nodes) /
-                       space.max_nodes(t));
-          ys.push_back(std::log(std::max(
-              scenario_objective(session.scenario(), w.measured_speed,
-                                 space.hourly_price(w.deployment)),
-              1e-9)));
-        }
-      }
-      // Even a single observation pins the type's level (with wide
-      // bands); only unprobed types fall back to the global surrogate.
-      if (xs.empty()) continue;
-      linalg::Matrix design(xs.size(), 1);
-      linalg::Vector targets(xs.size());
-      for (std::size_t i = 0; i < xs.size(); ++i) {
-        design(i, 0) = xs[i];
-        targets[i] = ys[i];
-      }
-      gp::GpOptions options;
-      options.noise_stddev = 0.05;
-      options.optimize_hyperparameters = xs.size() >= 4;
-      options.optimizer_restarts = 2;
-      options.log_param_lower = {std::log(0.1), std::log(0.05),
-                                 std::log(1e-3)};
-      options.log_param_upper = {std::log(3.0), std::log(0.45),
-                                 std::log(0.3)};
-      auto kernel = std::make_unique<gp::Matern52Kernel>(1);
-      kernel->set_lengthscale(0, 0.25);
-      gp::GpRegressor fit(std::move(kernel), options);
-      fit.fit(design, targets);
-      per_type_[t].emplace(std::move(fit));
-    }
-    bool any_usable = false;
-    for (const ProbeStep& step : session.trace()) {
-      if (!step.failed) {
-        any_usable = true;
-        break;
+  SurrogateBank(const Searcher::Session& session,
+                const bo::InputNormalizer& normalizer2d,
+                const std::vector<WarmStartPoint>& warm_start,
+                int refit_every)
+      : normalizer2d_(&normalizer2d),
+        warm_start_(&warm_start),
+        refit_every_(refit_every),
+        global_(normalizer2d, refit_every),
+        types_(session.space().type_count()) {}
+
+  /// Folds trace entries added since the last call into the per-type
+  /// curves and the global surrogate.
+  void update(const Searcher::Session& session) {
+    const auto& trace = session.trace();
+    std::vector<std::vector<std::size_t>> fresh(types_.size());
+    for (std::size_t i = next_trace_index_; i < trace.size(); ++i) {
+      if (!trace[i].failed) {
+        fresh[trace[i].deployment.type_index].push_back(i);
       }
     }
-    if (any_usable) {
-      global_.emplace(fit_gp_on_trace(session, normalizer2d));
+    next_trace_index_ = trace.size();
+    for (std::size_t t = 0; t < types_.size(); ++t) {
+      // The first pass builds every type (warm-start-only curves
+      // included); later passes touch only types with new measurements.
+      if (built_ && fresh[t].empty()) continue;
+      TypeState& state = types_[t];
+      const bool rebuild =
+          !built_ || !state.gp.has_value() || refit_every_ == 1 ||
+          state.real_obs < 4 ||
+          (refit_every_ > 1 &&
+           state.adds_since_build + static_cast<int>(fresh[t].size()) >=
+               refit_every_);
+      state.real_obs += fresh[t].size();
+      if (rebuild) {
+        rebuild_type(session, t);
+        state.adds_since_build = 0;
+        continue;
+      }
+      for (std::size_t i : fresh[t]) {
+        const double n_unit =
+            static_cast<double>(trace[i].deployment.nodes) /
+            session.space().max_nodes(t);
+        const double q[1] = {n_unit};
+        state.gp->add_observation(q, log_objective(session, trace[i]));
+      }
+      state.adds_since_build += static_cast<int>(fresh[t].size());
     }
+    built_ = true;
+    global_ready_ = global_.update(session);
   }
 
+  /// Posterior for one candidate. Safe to call concurrently as long as
+  /// each caller passes a distinct cache (the bank itself is read-only
+  /// here; see GpRegressor::predict_cached).
   gp::Prediction predict(const Searcher::Session& session,
-                         const cloud::Deployment& d) const {
-    if (per_type_[d.type_index]) {
+                         const cloud::Deployment& d,
+                         std::span<const double> unit2d,
+                         gp::GpRegressor::PredictCache& cache) const {
+    if (types_[d.type_index].gp) {
       const double n_unit =
           static_cast<double>(d.nodes) /
           session.space().max_nodes(d.type_index);
-      return per_type_[d.type_index]->predict(std::vector<double>{n_unit});
+      const double q[1] = {n_unit};
+      return types_[d.type_index].gp->predict_cached(q, cache);
     }
-    if (global_) {
-      return global_->predict(
-          normalizer2d_->normalize(deployment_coords(d)));
+    if (global_ready_) {
+      return global_.gp().predict_cached(unit2d, cache);
     }
     // Nothing measured and no carry-over for this type: wide prior.
     gp::Prediction p;
@@ -113,9 +113,81 @@ class TypeSurrogates {
   }
 
  private:
+  struct TypeState {
+    std::optional<gp::GpRegressor> gp;
+    std::size_t real_obs = 0;  // non-failed probes incorporated so far
+    int adds_since_build = 0;
+  };
+
+  /// Legacy per-type construction, verbatim: real probes of the type
+  /// from the full trace, warm-start fallback below two real points,
+  /// MLE above four.
+  void rebuild_type(const Searcher::Session& session, std::size_t t) {
+    const cloud::DeploymentSpace& space = session.space();
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const ProbeStep& step : session.trace()) {
+      if (step.deployment.type_index != t || step.failed) continue;
+      xs.push_back(static_cast<double>(step.deployment.nodes) /
+                   space.max_nodes(t));
+      ys.push_back(log_objective(session, step));
+    }
+    // Warm-start pseudo-observations shape the surrogate of types the
+    // new search has not measured yet. Once the type has two real
+    // probes of its own, the carried-over points are dropped — they
+    // describe a *similar* job, not this one.
+    if (xs.size() < 2) {
+      for (const WarmStartPoint& w : *warm_start_) {
+        if (w.deployment.type_index != t || w.measured_speed <= 0.0 ||
+            !space.contains(w.deployment)) {
+          continue;
+        }
+        xs.push_back(static_cast<double>(w.deployment.nodes) /
+                     space.max_nodes(t));
+        ys.push_back(std::log(std::max(
+            scenario_objective(session.scenario(), w.measured_speed,
+                               space.hourly_price(w.deployment)),
+            1e-9)));
+      }
+    }
+    // Even a single observation pins the type's level (with wide
+    // bands); only unprobed types fall back to the global surrogate.
+    if (xs.empty()) {
+      types_[t].gp.reset();
+      return;
+    }
+    linalg::Matrix design(xs.size(), 1);
+    linalg::Vector targets(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      design(i, 0) = xs[i];
+      targets[i] = ys[i];
+    }
+    gp::GpOptions options;
+    options.noise_stddev = 0.05;
+    options.optimize_hyperparameters = xs.size() >= 4;
+    options.optimizer_restarts = 2;
+    // The bank owns the retune cadence; add_observation() between
+    // rebuilds must always take the incremental path.
+    options.refit_every = 0;
+    options.log_param_lower = {std::log(0.1), std::log(0.05),
+                               std::log(1e-3)};
+    options.log_param_upper = {std::log(3.0), std::log(0.45),
+                               std::log(0.3)};
+    auto kernel = std::make_unique<gp::Matern52Kernel>(1);
+    kernel->set_lengthscale(0, 0.25);
+    gp::GpRegressor fit(std::move(kernel), options);
+    fit.fit(design, targets);
+    types_[t].gp.emplace(std::move(fit));
+  }
+
   const bo::InputNormalizer* normalizer2d_;
-  std::vector<std::optional<gp::GpRegressor>> per_type_;
-  std::optional<gp::GpRegressor> global_;
+  const std::vector<WarmStartPoint>* warm_start_;
+  int refit_every_;
+  TraceSurrogate global_;
+  bool global_ready_ = false;
+  std::vector<TypeState> types_;
+  std::size_t next_trace_index_ = 0;
+  bool built_ = false;
 };
 
 }  // namespace
@@ -357,10 +429,28 @@ void HeterBoSearcher::search(Session& session) {
             1e-9)));
   }
 
+  // Candidate geometry and the surrogate bank persist across
+  // iterations: 2-D coordinates are normalized once, per-candidate
+  // PredictCaches make repeated scans O(n) per candidate, and GPs are
+  // rebuilt/extended per the SearchProblem::gp_refit_every cadence.
+  const std::size_t m = all.size();
+  std::vector<std::vector<double>> unit2d(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    unit2d[i] = normalizer.normalize(deployment_coords(all[i]));
+  }
+  std::vector<gp::GpRegressor::PredictCache> caches(m);
+  SurrogateBank surrogates(session, normalizer, options_.warm_start,
+                           session.problem().gp_refit_every);
+  util::ThreadPool& pool = session.pool();
+  std::vector<char> valid(m);
+  std::vector<double> ei_values(m);
+  std::vector<double> ucb_values(m);
+  std::vector<double> scores(m);
+  std::vector<double> projected_speeds(m);
+
   while (static_cast<int>(session.trace().size()) < options_.max_probes) {
     const std::vector<int> prune = concavity_limits(session);
-    const TypeSurrogates surrogates(session, normalizer,
-                                    options_.warm_start);
+    surrogates.update(session);
 
     // EI baseline: the incumbent's log objective. (Using only
     // constraint-compliant probes as the baseline is tempting but
@@ -381,49 +471,67 @@ void HeterBoSearcher::search(Session& session) {
     double ucb_max = -std::numeric_limits<double>::infinity();
     std::size_t affordable = 0;
 
-    for (const cloud::Deployment& d : all) {
-      if (d.nodes > prune[d.type_index]) continue;  // concavity prior
-      // Static memory check: never pay for a probe that arithmetic
-      // already proves cannot run; cost-excluded types stay out too.
-      if (min_feasible[d.type_index] < 0 || excluded[d.type_index] ||
-          d.nodes < min_feasible[d.type_index]) {
-        continue;
+    // Parallel scan: every candidate's filters, posterior and
+    // acquisition score are functions of its own inputs alone and land
+    // in disjoint pre-sized slots, so the result is bitwise identical
+    // for any thread count (util/thread_pool.hpp). The argmax and the
+    // ei/ucb maxima reduce serially afterwards, in candidate order —
+    // exactly the legacy single-threaded visit order.
+    pool.parallel_for(m, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        valid[i] = 0;
+        const cloud::Deployment& d = all[i];
+        if (d.nodes > prune[d.type_index]) continue;  // concavity prior
+        // Static memory check: never pay for a probe that arithmetic
+        // already proves cannot run; cost-excluded types stay out too.
+        if (min_feasible[d.type_index] < 0 || excluded[d.type_index] ||
+            d.nodes < min_feasible[d.type_index]) {
+          continue;
+        }
+        if (session.already_probed(d)) continue;
+        if (outaged(d.type_index)) continue;  // capacity outage: demoted
+        if (!reserve_ok(d)) continue;  // protective reserve
+        valid[i] = 1;
+
+        const gp::Prediction p =
+            surrogates.predict(session, d, unit2d[i], caches[i]);
+        ei_values[i] = ei.score(p, best);
+        ucb_values[i] = p.mean + z * p.stddev();
+
+        // Heterogeneous-cost penalty (Eqs. 7/8): improvement per unit
+        // of what the scenario actually constrains.
+        double penalty =
+            time_penalty
+                ? session.profiler().expected_profile_hours(config, d)
+                : session.profiler().expected_profile_cost(config, d);
+        penalty = std::max(penalty, 1e-9);
+        scores[i] = options_.cost_aware_acquisition
+                        ? ei_values[i] /
+                              std::pow(penalty,
+                                       options_.cost_penalty_exponent)
+                        : ei_values[i];
+
+        // Projected speed if this candidate realizes its expected
+        // improvement (used for the TEI bookkeeping below). The
+        // surrogate lives in log space, so the projection exponentiates
+        // back.
+        const double projected_objective = std::exp(best + ei_values[i]);
+        projected_speeds[i] =
+            scenario.kind == ScenarioKind::kCheapestUnderDeadline
+                ? projected_objective * space.hourly_price(d)
+                : projected_objective;
       }
-      if (session.already_probed(d)) continue;
-      if (outaged(d.type_index)) continue;  // capacity outage: demoted
-      if (!reserve_ok(d)) continue;  // protective reserve
+    });
+
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!valid[i]) continue;
       ++affordable;
-
-      const gp::Prediction p = surrogates.predict(session, d);
-      const double ei_value = ei.score(p, best);
-      ei_max = std::max(ei_max, ei_value);
-      ucb_max = std::max(ucb_max, p.mean + z * p.stddev());
-
-      // Heterogeneous-cost penalty (Eqs. 7/8): improvement per unit of
-      // what the scenario actually constrains.
-      double penalty =
-          time_penalty
-              ? session.profiler().expected_profile_hours(config, d)
-              : session.profiler().expected_profile_cost(config, d);
-      penalty = std::max(penalty, 1e-9);
-      const double score =
-          options_.cost_aware_acquisition
-              ? ei_value / std::pow(penalty, options_.cost_penalty_exponent)
-              : ei_value;
-
-      // Projected speed if this candidate realizes its expected
-      // improvement (used for the TEI bookkeeping below). The surrogate
-      // lives in log space, so the projection exponentiates back.
-      const double projected_objective = std::exp(best + ei_value);
-      const double projected_speed =
-          scenario.kind == ScenarioKind::kCheapestUnderDeadline
-              ? projected_objective * space.hourly_price(d)
-              : projected_objective;
-
-      if (score > chosen_score) {
-        chosen_score = score;
-        chosen = &d;
-        chosen_projected_speed = projected_speed;
+      ei_max = std::max(ei_max, ei_values[i]);
+      ucb_max = std::max(ucb_max, ucb_values[i]);
+      if (scores[i] > chosen_score) {
+        chosen_score = scores[i];
+        chosen = &all[i];
+        chosen_projected_speed = projected_speeds[i];
       }
     }
 

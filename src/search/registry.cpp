@@ -1,0 +1,119 @@
+#include "search/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "search/cherrypick.hpp"
+#include "search/conv_bo.hpp"
+#include "search/exhaustive.hpp"
+#include "search/paleo.hpp"
+#include "search/pareto.hpp"
+#include "search/random_search.hpp"
+
+namespace mlcd::search {
+namespace {
+
+SearcherRegistry make_builtin_registry() {
+  SearcherRegistry registry;
+  registry.register_method(
+      "heterbo",
+      [](const perf::TrainingPerfModel& perf, const SearcherOptions& o) {
+        HeterBoOptions options;
+        options.warm_start = o.warm_start;
+        return std::make_unique<HeterBoSearcher>(perf, options);
+      });
+  registry.register_method(
+      "conv-bo",
+      [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
+        return std::make_unique<ConvBoSearcher>(perf);
+      });
+  registry.register_method(
+      "bo-improved",
+      [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
+        ConvBoOptions options;
+        options.budget_aware = true;
+        return std::make_unique<ConvBoSearcher>(perf, options);
+      });
+  registry.register_method(
+      "cherrypick",
+      [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
+        return std::make_unique<CherryPickSearcher>(perf);
+      });
+  registry.register_method(
+      "cherrypick-improved",
+      [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
+        CherryPickOptions options;
+        options.budget_aware = true;
+        return std::make_unique<CherryPickSearcher>(perf, options);
+      });
+  registry.register_method(
+      "random",
+      [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
+        return std::make_unique<RandomSearcher>(perf);
+      });
+  registry.register_method(
+      "exhaustive",
+      [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
+        return std::make_unique<ExhaustiveSearcher>(perf);
+      });
+  registry.register_method(
+      "paleo",
+      [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
+        return std::make_unique<PaleoSearcher>(perf);
+      });
+  registry.register_method(
+      "pareto",
+      [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
+        return std::make_unique<ParetoSearcher>(perf);
+      });
+  return registry;
+}
+
+}  // namespace
+
+SearcherRegistry& SearcherRegistry::instance() {
+  static SearcherRegistry registry = make_builtin_registry();
+  return registry;
+}
+
+void SearcherRegistry::register_method(const std::string& name,
+                                       Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("SearcherRegistry: empty method name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("SearcherRegistry: null factory for " +
+                                name);
+  }
+  factories_[name] = std::move(factory);
+}
+
+bool SearcherRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> SearcherRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::unique_ptr<Searcher> SearcherRegistry::create(
+    const std::string& name, const perf::TrainingPerfModel& perf,
+    const SearcherOptions& options) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::ostringstream message;
+    message << "unknown search method '" << name << "' (choices:";
+    for (const auto& [registered, factory] : factories_) {
+      message << " " << registered;
+    }
+    message << ")";
+    throw std::invalid_argument(message.str());
+  }
+  return it->second(perf, options);
+}
+
+}  // namespace mlcd::search

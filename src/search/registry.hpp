@@ -1,0 +1,63 @@
+// Name -> searcher factory registry.
+//
+// The CLI, the Deployment Engine and the benchmark harness each used to
+// carry their own if-chain mapping method names ("heterbo", "conv-bo",
+// ...) onto searcher constructors; the three copies drifted one feature
+// apart per release. This registry is the single source of truth: every
+// built-in method self-registers here, unknown names fail with the full
+// list of registered choices, and downstream tools (or tests) can add
+// experimental methods without touching the dispatch sites.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perf/perf_model.hpp"
+#include "search/heter_bo.hpp"
+#include "search/searcher.hpp"
+
+namespace mlcd::search {
+
+/// Cross-method construction options. Methods consume what applies to
+/// them and ignore the rest (warm starts only mean something to
+/// HeterBO's surrogate carry-over, for example).
+struct SearcherOptions {
+  /// Measurements carried over from a previous search of a similar job.
+  std::vector<WarmStartPoint> warm_start;
+};
+
+class SearcherRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Searcher>(
+      const perf::TrainingPerfModel& perf, const SearcherOptions& options)>;
+
+  /// An empty registry (tests build isolated ones); production code goes
+  /// through instance().
+  SearcherRegistry() = default;
+
+  /// The process-wide registry, preloaded with every built-in method.
+  static SearcherRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`. Throws
+  /// std::invalid_argument on an empty name.
+  void register_method(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Registered method names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Builds the named searcher. Throws std::invalid_argument for an
+  /// unknown name, with the message listing every registered choice.
+  std::unique_ptr<Searcher> create(
+      const std::string& name, const perf::TrainingPerfModel& perf,
+      const SearcherOptions& options = {}) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace mlcd::search

@@ -60,6 +60,13 @@ const ProbeStep& Searcher::Session::probe(const cloud::Deployment& d,
   return trace_[idx];
 }
 
+util::ThreadPool& Searcher::Session::pool() {
+  if (!pool_) {
+    pool_ = std::make_unique<util::ThreadPool>(problem_->threads);
+  }
+  return *pool_;
+}
+
 bool Searcher::Session::already_probed(
     const cloud::Deployment& d) const noexcept {
   for (const ProbeStep& s : trace_) {

@@ -21,6 +21,7 @@
 #include "search/scenario.hpp"
 #include "search/search_result.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mlcd::search {
 
@@ -31,6 +32,18 @@ struct SearchProblem {
   Scenario scenario;
   std::uint64_t seed = 1;
   profiler::ProfilerOptions profiler_options;
+  /// Execution lanes for the candidate-scan parallelism (acquisition
+  /// scoring over the deployment plane). Probe traces are bit-identical
+  /// for any value — see util/thread_pool.hpp for the contract — so this
+  /// is purely a wall-clock knob. Values < 1 are clamped to 1.
+  int threads = 1;
+  /// BO-surrogate retune cadence: the searchers rebuild their GPs from
+  /// scratch (hyperparameter MLE + target renormalization) every this
+  /// many incorporated probes and extend them incrementally in between
+  /// (O(n²) bordered-Cholesky adds with frozen hyperparameters).
+  /// 1 (default) retunes on every probe — the exact legacy behavior;
+  /// <= 0 never retunes after the first build.
+  int gp_refit_every = 1;
 };
 
 /// How the final deployment is chosen from the probe history.
@@ -113,12 +126,17 @@ class Searcher {
     /// and exploring is the only way to find a compliant deployment.
     bool reserve_allows(double extra_hours, double extra_cost) const;
 
+    /// Worker pool sized to SearchProblem::threads, created on first use
+    /// so probe-free searchers never pay for thread spawns.
+    util::ThreadPool& pool();
+
    private:
     const Searcher* owner_;
     const SearchProblem* problem_;
     cloud::BillingMeter meter_;
     profiler::Profiler profiler_;
     util::Rng rng_;
+    std::unique_ptr<util::ThreadPool> pool_;
     std::vector<ProbeStep> trace_;
     double cum_hours_ = 0.0;
     double cum_cost_ = 0.0;

@@ -1,0 +1,106 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mlcd::util {
+
+ThreadPool::ThreadPool(int threads)
+    : thread_count_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(thread_count_ - 1));
+  for (int i = 1; i < thread_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (thread_count_ == 1) {
+    fn(0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_n_ = n;
+    // Never more chunks than elements, so tiny batches skip empty ranges.
+    chunk_count_ = std::min<std::size_t>(
+        static_cast<std::size_t>(thread_count_), n);
+    next_chunk_ = 0;
+    completed_chunks_ = 0;
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_chunks();  // the calling thread is one of the lanes
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return completed_chunks_ == chunk_count_; });
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    run_chunks();
+  }
+}
+
+void ThreadPool::run_chunks() {
+  for (;;) {
+    std::size_t chunk;
+    std::size_t n;
+    std::size_t chunks;
+    const std::function<void(std::size_t, std::size_t)>* job;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job_ == nullptr || next_chunk_ >= chunk_count_) return;
+      chunk = next_chunk_++;
+      n = job_n_;
+      chunks = chunk_count_;
+      job = job_;
+    }
+    const std::size_t begin = chunk * n / chunks;
+    const std::size_t end = (chunk + 1) * n / chunks;
+    try {
+      if (begin < end) (*job)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++completed_chunks_ == chunk_count_) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mlcd::util

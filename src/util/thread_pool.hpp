@@ -1,0 +1,78 @@
+// Fixed-size worker pool for deterministic data-parallel loops.
+//
+// The BO searchers score acquisition functions over thousands of
+// candidate deployments per iteration; this pool parallelizes such scans
+// while keeping probe traces bit-identical across thread counts. The
+// contract that makes this possible:
+//
+//   * parallel_for splits [0, n) into contiguous chunks with a fixed
+//     partitioning rule — no work stealing, no dynamic scheduling — so
+//     every index is processed exactly once, by exactly one chunk.
+//   * Workers write per-element results into disjoint slots of a
+//     pre-sized buffer. Element i's value never depends on which thread
+//     computed it or on how many threads exist.
+//   * Any cross-element reduction (argmax, sum, sort) happens after
+//     parallel_for returns, serially, in index order.
+//
+// Under these rules the output is bitwise independent of thread count,
+// which tests/fastpath_test.cpp enforces for every searcher.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlcd::util {
+
+class ThreadPool {
+ public:
+  /// Pool with `threads` execution lanes (the calling thread counts as
+  /// one, so `threads - 1` workers are spawned). `threads <= 1` runs
+  /// everything inline. `threads == 0` is clamped to 1.
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const noexcept { return thread_count_; }
+
+  /// Invokes fn(begin, end) over contiguous chunks covering [0, n) and
+  /// blocks until all chunks finish. Chunk c is [c*n/k, (c+1)*n/k) with
+  /// k = thread_count(). The first exception thrown by fn is rethrown on
+  /// the caller after the batch drains. Not reentrant: fn must not call
+  /// parallel_for on the same pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+  /// Claims and runs chunks of the current batch until none remain.
+  void run_chunks();
+
+  int thread_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+
+  // Current batch, valid while job_ != nullptr.
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t chunk_count_ = 0;
+  std::size_t next_chunk_ = 0;
+  std::size_t completed_chunks_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace mlcd::util

@@ -112,7 +112,7 @@ TEST(Mlcd, DeployEndToEndOnRestrictedSpace) {
   request.requirements.budget_dollars = 100.0;
   request.seed = 7;
 
-  const RunReport report = mlcd.deploy(request);
+  const RunReport report = mlcd.deploy(request).report();
   EXPECT_TRUE(report.result.found);
   EXPECT_LE(report.result.total_cost(), 100.0);
   EXPECT_EQ(report.scenario.kind,
@@ -129,32 +129,68 @@ TEST(Mlcd, DeployWithBaselineMethod) {
   request.instance_types = {"c5.4xlarge"};
   request.search_method = "conv-bo";
   request.seed = 3;
-  const RunReport report = mlcd.deploy(request);
+  const RunReport report = mlcd.deploy(request).report();
   EXPECT_TRUE(report.result.found);
   EXPECT_EQ(report.result.method, "conv-bo");
 }
 
-TEST(Mlcd, UnknownModelThrows) {
+TEST(Mlcd, UnknownModelIsTypedError) {
   const Mlcd mlcd;
   JobRequest request;
   request.model = "not-a-model";
-  EXPECT_THROW(mlcd.deploy(request), std::invalid_argument);
+  const DeployResult outcome = mlcd.deploy(request);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, JobErrorCode::kUnknownModel);
+  EXPECT_NE(outcome.error().message.find("not-a-model"),
+            std::string::npos);
+  // The value-style accessor surfaces the message for callers that
+  // cannot handle a rejection.
+  EXPECT_THROW(outcome.report(), std::runtime_error);
 }
 
-TEST(Mlcd, UnknownInstanceTypeThrows) {
+TEST(Mlcd, UnknownInstanceTypeIsTypedError) {
   const Mlcd mlcd;
   JobRequest request;
   request.model = "resnet";
   request.instance_types = {"quantum.64xlarge"};
-  EXPECT_THROW(mlcd.deploy(request), std::invalid_argument);
+  const DeployResult outcome = mlcd.deploy(request);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, JobErrorCode::kUnknownInstanceType);
 }
 
-TEST(Mlcd, InvalidMaxNodesThrows) {
+TEST(Mlcd, UnknownMethodErrorListsChoices) {
+  const Mlcd mlcd;
+  JobRequest request;
+  request.model = "resnet";
+  request.instance_types = {"c5.4xlarge"};
+  request.search_method = "gradient-descent";
+  const DeployResult outcome = mlcd.deploy(request);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, JobErrorCode::kUnknownMethod);
+  EXPECT_NE(outcome.error().message.find("heterbo"), std::string::npos);
+  EXPECT_NE(outcome.error().message.find("cherrypick"), std::string::npos);
+}
+
+TEST(Mlcd, InvalidMaxNodesIsTypedError) {
   const Mlcd mlcd;
   JobRequest request;
   request.model = "resnet";
   request.max_nodes = 0;
-  EXPECT_THROW(mlcd.deploy(request), std::invalid_argument);
+  const DeployResult outcome = mlcd.deploy(request);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, JobErrorCode::kInvalidRequest);
+}
+
+TEST(Mlcd, ErrorAccessorOnSuccessThrows) {
+  const Mlcd mlcd;
+  JobRequest request;
+  request.model = "resnet";
+  request.instance_types = {"c5.4xlarge"};
+  request.seed = 7;
+  const DeployResult outcome = mlcd.deploy(request);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(static_cast<bool>(outcome));
+  EXPECT_THROW(outcome.error(), std::logic_error);
 }
 
 TEST(Mlcd, JsonReportIsWellFormedAndComplete) {
@@ -164,7 +200,7 @@ TEST(Mlcd, JsonReportIsWellFormedAndComplete) {
   request.instance_types = {"c5.4xlarge"};
   request.requirements.budget_dollars = 100.0;
   request.seed = 7;
-  const RunReport report = mlcd.deploy(request);
+  const RunReport report = mlcd.deploy(request).report();
   const std::string json = report.to_json();
 
   // Structural sanity: balanced braces/brackets, expected fields present.
@@ -173,9 +209,10 @@ TEST(Mlcd, JsonReportIsWellFormedAndComplete) {
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
   for (const char* field :
-       {"\"request\"", "\"scenario\"", "\"result\"", "\"trace\"",
-        "\"deployment\"", "\"total_cost\"", "\"constraints_met\"",
-        "\"budget_dollars\":100"}) {
+       {"\"schema_version\":2", "\"request\"", "\"scenario\"",
+        "\"result\"", "\"trace\"", "\"deployment\"", "\"total_cost\"",
+        "\"constraints_met\"", "\"budget_dollars\":100", "\"threads\"",
+        "\"gp_refit_every\""}) {
     EXPECT_NE(json.find(field), std::string::npos) << field;
   }
 }
@@ -186,8 +223,8 @@ TEST(Mlcd, DeterministicPerSeed) {
   request.model = "resnet";
   request.instance_types = {"c5.4xlarge"};
   request.seed = 99;
-  const RunReport a = mlcd.deploy(request);
-  const RunReport b = mlcd.deploy(request);
+  const RunReport a = mlcd.deploy(request).report();
+  const RunReport b = mlcd.deploy(request).report();
   EXPECT_EQ(a.result.best, b.result.best);
   EXPECT_DOUBLE_EQ(a.result.profile_cost, b.result.profile_cost);
 }
@@ -209,7 +246,7 @@ TEST(Mlcd, CustomZooModelDeployable) {
   request.model = "tiny_cnn";
   request.instance_types = {"c5.xlarge", "c5.4xlarge"};
   request.seed = 5;
-  const RunReport report = mlcd.deploy(request);
+  const RunReport report = mlcd.deploy(request).report();
   EXPECT_TRUE(report.result.found);
 }
 
