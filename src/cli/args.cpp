@@ -1,6 +1,9 @@
 #include "cli/args.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -68,8 +71,12 @@ namespace {
 double parse_positive_number(const std::string& digits,
                              const std::string& what) {
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(digits.c_str(), &end);
-  if (end != digits.c_str() + digits.size() || !(value > 0.0)) {
+  // std::isfinite rejects both "inf"/"nan" literals and overflowing
+  // decimal exponents ("1e999" parses to +inf with no trailing garbage).
+  if (end != digits.c_str() + digits.size() || errno == ERANGE ||
+      !std::isfinite(value) || !(value > 0.0)) {
     throw std::invalid_argument(what + ": cannot parse '" + digits + "'");
   }
   return value;
@@ -130,8 +137,12 @@ std::vector<std::string> parse_list(const std::string& text) {
 
 int parse_positive_int(const std::string& text) {
   char* end = nullptr;
+  errno = 0;
   const long value = std::strtol(text.c_str(), &end, 10);
-  if (end != text.c_str() + text.size() || value < 1) {
+  // Overflow clamps to LONG_MAX with errno = ERANGE; values above
+  // INT_MAX would otherwise be silently truncated by the cast.
+  if (end != text.c_str() + text.size() || errno == ERANGE || value < 1 ||
+      value > INT_MAX) {
     throw std::invalid_argument("parse_positive_int: cannot parse '" +
                                 text + "'");
   }
@@ -141,8 +152,10 @@ int parse_positive_int(const std::string& text) {
 double parse_fraction(const std::string& text) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (text.empty() || end != text.c_str() + text.size() || value < 0.0 ||
-      value >= 1.0) {
+  // The negated range test catches NaN ("nan" compares false to
+  // everything and would sail through `value < 0.0 || value >= 1.0`).
+  if (text.empty() || end != text.c_str() + text.size() ||
+      !(value >= 0.0 && value < 1.0)) {
     throw std::invalid_argument("parse_fraction: cannot parse '" + text +
                                 "' (want a value in [0, 1))");
   }

@@ -57,6 +57,19 @@ chaos options (fault injection; see docs/fault-model.md):
   --outage-rate <r>     capacity outages per type per 100h    [0]
   --max-retries <n>     launch attempts per probe             [3]
   --chaos-seed <n>      fault-stream seed (0 = derive)        [0]
+
+crash-safety options (see docs/crash-safety.md):
+  --journal <file>      write-ahead probe journal: every outcome is
+                        checksummed and fsync'd before entering the
+                        trace, so a crash never loses spend
+  --resume <file>       replay a journal and continue the search
+                        bit-identically (zero probes re-executed);
+                        the request must match the journal's header
+  --probe-timeout <t>   per-attempt watchdog deadline, e.g. 30m: an
+                        attempt running longer is killed, billed for
+                        the elapsed window, and retried        [off]
+  --watchdog-seconds <s> real wall-clock cap on one measurement
+                        computation (hang protection)          [off]
 )";
 
 int usage_error(std::ostream& err, const std::string& message) {
@@ -107,6 +120,20 @@ system::JobRequest request_from(const Args& args) {
   if (const auto chaos = args.get("chaos-seed")) {
     job.profiler_options.fault_seed = static_cast<std::uint64_t>(
         parse_positive_int(*chaos));
+  }
+  if (const auto journal = args.get("journal")) {
+    job.journal_path = *journal;
+  }
+  if (const auto resume = args.get("resume")) {
+    job.resume_path = *resume;
+  }
+  if (const auto timeout = args.get("probe-timeout")) {
+    job.profiler_options.probe_attempt_timeout_hours =
+        parse_duration_hours(*timeout);
+  }
+  if (const auto watchdog = args.get("watchdog-seconds")) {
+    // Reuses the money parser: a plain positive decimal.
+    job.profiler_options.watchdog_wall_seconds = parse_money(*watchdog);
   }
   return job;
 }

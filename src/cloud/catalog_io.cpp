@@ -1,5 +1,6 @@
 #include "cloud/catalog_io.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -19,7 +20,11 @@ const std::vector<std::string> kHeader = {
 double to_number(const std::string& text, const std::string& field) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (text.empty() || end != text.c_str() + text.size()) {
+  // Non-finite values ("nan", "inf", overflowing exponents) are rejected
+  // here, not just downstream: some columns are cast to int, and casting
+  // NaN to int is undefined behavior.
+  if (text.empty() || end != text.c_str() + text.size() ||
+      !std::isfinite(value)) {
     throw std::invalid_argument("catalog csv: bad numeric field " + field +
                                 ": '" + text + "'");
   }

@@ -18,6 +18,8 @@ std::string_view fault_kind_name(FaultKind kind) noexcept {
       return "capacity-outage";
     case FaultKind::kStraggler:
       return "straggler";
+    case FaultKind::kProbeTimeout:
+      return "probe-timeout";
   }
   return "unknown";
 }

@@ -42,6 +42,7 @@ enum class FaultKind {
   kSpotRevocation,  ///< spot capacity reclaimed mid-window
   kCapacityOutage,  ///< type temporarily unlaunchable (correlated episode)
   kStraggler,       ///< a slow node stretched the window (success, late)
+  kProbeTimeout,    ///< watchdog killed a hung/overlong attempt
 };
 
 std::string_view fault_kind_name(FaultKind kind) noexcept;

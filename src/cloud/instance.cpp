@@ -1,5 +1,7 @@
 #include "cloud/instance.hpp"
 
+#include <cmath>
+#include <set>
 #include <stdexcept>
 
 namespace mlcd::cloud {
@@ -32,10 +34,42 @@ InstanceCatalog::InstanceCatalog(std::vector<InstanceSpec> specs)
   if (specs_.empty()) {
     throw std::invalid_argument("InstanceCatalog: empty catalog");
   }
+  std::set<std::string_view> names;
   for (const InstanceSpec& s : specs_) {
-    if (s.name.empty() || s.price_per_hour <= 0.0 ||
-        s.effective_tflops <= 0.0 || s.network_gbps <= 0.0) {
-      throw std::invalid_argument("InstanceCatalog: invalid spec " + s.name);
+    const auto reject = [&s](const char* field) {
+      throw std::invalid_argument("InstanceCatalog: spec '" + s.name +
+                                  "': invalid " + field);
+    };
+    if (s.name.empty()) reject("name (empty)");
+    // The negated comparisons also catch NaN (which compares false to
+    // everything and would sail through `x <= 0.0` gates); std::isfinite
+    // additionally rejects infinities.
+    if (!(s.price_per_hour > 0.0) || !std::isfinite(s.price_per_hour)) {
+      reject("price_per_hour (want a positive finite number)");
+    }
+    if (!(s.effective_tflops > 0.0) ||
+        !std::isfinite(s.effective_tflops)) {
+      reject("effective_tflops (want a positive finite number)");
+    }
+    if (!(s.network_gbps > 0.0) || !std::isfinite(s.network_gbps)) {
+      reject("network_gbps (want a positive finite number)");
+    }
+    if (!(s.mem_gib >= 0.0) || !std::isfinite(s.mem_gib)) {
+      reject("mem_gib (want a non-negative finite number)");
+    }
+    if (!(s.spot_price_per_hour >= 0.0) ||
+        !std::isfinite(s.spot_price_per_hour)) {
+      reject("spot_price_per_hour (want a non-negative finite number)");
+    }
+    if (!(s.spot_revocations_per_hour >= 0.0) ||
+        !std::isfinite(s.spot_revocations_per_hour)) {
+      reject("spot_revocations_per_hour (want a non-negative finite number)");
+    }
+    if (s.vcpus < 1) reject("vcpus (want >= 1)");
+    if (s.gpus < 0) reject("gpus (want >= 0)");
+    if (!names.insert(s.name).second) {
+      throw std::invalid_argument("InstanceCatalog: duplicate type name '" +
+                                  s.name + "'");
     }
   }
 }

@@ -1,0 +1,212 @@
+// Durable run journal: the crash-safety layer of the search controller.
+//
+// The paper's protective stop condition guarantees the *search* never
+// overspends the user's budget, but the controller process itself is a
+// single point of failure: if it dies mid-search, every dollar already
+// spent on probes is lost and a rerun spends it again — exactly the
+// over-spend the stop condition forbids. The RunJournal makes probe
+// spend durable: a write-ahead, append-only JSONL file that the search
+// session appends every probe outcome to (fsync'd) *before* the probe
+// is admitted into the in-memory trace. `mlcd --resume <journal>`
+// replays the valid records (truncating a torn tail), restores the
+// profiler's stream positions and spend accounting, and continues the
+// search bit-identically to an uninterrupted run — with zero probes
+// re-executed against the cloud.
+//
+// File format (one record per line):
+//
+//   MLCDJ1 <payload-bytes> <crc32-hex> <payload-json>\n
+//
+// The fixed magic pins the framing version; the length and CRC-32 (of
+// the payload bytes) make torn writes detectable. A record that fails
+// to frame at the *end* of the file is a torn tail — the crash landed
+// mid-append — and is dropped on replay. A frame or checksum failure
+// anywhere *before* the tail means the file was corrupted at rest and
+// the journal is refused with a typed error: resuming from silently
+// patched history could re-spend probes or violate the reserve.
+//
+// The first record is a versioned header capturing everything that
+// shapes the probe sequence (scenario, seed, method, catalog hash,
+// profiler/fault knobs, surrogate cadence, warm-start hash). A resume
+// request whose own configuration hashes differently is refused: the
+// journal describes a different search.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlcd::cloud {
+class InstanceCatalog;
+}  // namespace mlcd::cloud
+
+namespace mlcd::journal {
+
+/// Why a journal could not be written, read, or resumed from.
+enum class JournalErrorCode {
+  kIo,              ///< open/write/fsync failure
+  kCorrupt,         ///< framing/CRC failure before the tail record
+  kVersionMismatch, ///< journal written by an incompatible format version
+  kHeaderMismatch,  ///< journal describes a different search than requested
+  kReplayDiverged,  ///< replayed outcome contradicts the seeded substrate
+};
+
+std::string_view journal_error_code_name(JournalErrorCode code) noexcept;
+
+/// Typed journal failure: machine-checkable code + human message.
+class JournalError : public std::runtime_error {
+ public:
+  JournalError(JournalErrorCode code, const std::string& message);
+  JournalErrorCode code() const noexcept { return code_; }
+
+ private:
+  JournalErrorCode code_;
+};
+
+/// Journal format version (the number in the MLCDJ1 frame magic and the
+/// header record). Bumped on any change to framing or record layout.
+inline constexpr int kJournalFormatVersion = 1;
+
+/// Everything that shapes the probe sequence of a run. Two runs whose
+/// headers are equal and whose binaries match produce bit-identical
+/// probe traces — which is what makes replay + continue sound.
+struct JournalHeader {
+  int version = kJournalFormatVersion;
+  std::string method;    ///< searcher name ("heterbo", ...)
+  std::string model;     ///< zoo model name
+  std::string platform;  ///< "tensorflow" | "mxnet"
+  int scenario_kind = 0; ///< search::ScenarioKind as int
+  double deadline_hours = 0.0;  ///< 0 = unconstrained
+  double budget_dollars = 0.0;  ///< 0 = unconstrained
+  std::uint64_t seed = 1;
+  int max_nodes = 0;
+  bool use_spot = false;
+  int gp_refit_every = 1;
+  /// FNV-1a over the catalog view the search runs on (restricted subset
+  /// included): a journal recorded against different instances/prices
+  /// must not seed a resume.
+  std::uint64_t catalog_hash = 0;
+  /// FNV-1a over every profiler knob (fault hazards, retry policy,
+  /// watchdog deadlines, noise): these shape outcomes and stream draws.
+  std::uint64_t profiler_options_hash = 0;
+  /// FNV-1a over the warm-start points (they steer the surrogate).
+  std::uint64_t warm_start_hash = 0;
+};
+
+/// One journaled launch attempt (mirrors cloud::AttemptRecord).
+struct AttemptEntry {
+  int fault = 0;               ///< cloud::FaultKind as int
+  double hours = 0.0;          ///< wall time the attempt consumed
+  double cost = 0.0;           ///< dollars billed for the attempt
+  double backoff_hours = 0.0;  ///< delay before the next attempt
+};
+
+/// One journaled probe outcome (mirrors search::ProbeStep; kept in
+/// primitive terms so the journal layer stays below the search layer).
+struct ProbeRecord {
+  std::size_t type_index = 0;
+  int nodes = 0;
+  bool failed = false;
+  bool feasible = false;
+  double measured_speed = 0.0;
+  double true_speed = 0.0;
+  double profile_hours = 0.0;
+  double profile_cost = 0.0;
+  double cum_profile_hours = 0.0;
+  double cum_profile_cost = 0.0;
+  double acquisition = 0.0;
+  std::string reason;
+  int attempts = 1;
+  int fault = 0;  ///< cloud::FaultKind as int
+  double backoff_hours = 0.0;
+  std::vector<AttemptEntry> attempt_log;
+};
+
+/// One journaled searcher-degradation episode (surrogate refit failed;
+/// the iteration fell back to the prior-mean safe mode).
+struct DegradeRecord {
+  int iteration = 0;
+  std::string why;
+};
+
+/// A journal read back from disk.
+struct JournalContents {
+  JournalHeader header;
+  std::vector<ProbeRecord> probes;
+  std::vector<DegradeRecord> degraded;
+  /// Bytes of the file that framed cleanly; a resume reopens the file
+  /// truncated to this length before appending.
+  std::uint64_t valid_bytes = 0;
+  /// True when a torn tail record was dropped.
+  bool truncated_tail = false;
+};
+
+/// Append-only journal writer. Every append is framed, written, and
+/// fsync'd before returning — when append_probe() returns, the probe's
+/// spend survives a crash of this process (write-ahead discipline: the
+/// caller admits the probe into its in-memory trace only afterwards).
+class RunJournal {
+ public:
+  /// Starts a fresh journal at `path` (truncating any existing file)
+  /// and durably writes the header record. Throws JournalError(kIo).
+  static RunJournal create(const std::string& path,
+                           const JournalHeader& header);
+
+  /// Reopens an existing journal for continuation after replay,
+  /// truncating it to `valid_bytes` first (drops a torn tail record).
+  static RunJournal append_to(const std::string& path,
+                              std::uint64_t valid_bytes);
+
+  RunJournal(RunJournal&& other) noexcept;
+  RunJournal& operator=(RunJournal&& other) noexcept;
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+  ~RunJournal();
+
+  void append_probe(const ProbeRecord& record);
+  void append_degrade(const DegradeRecord& record);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  RunJournal(std::string path, std::FILE* file);
+  void append_record(const std::string& payload);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Reads a journal back: frames and parses every record, validating
+/// length + CRC. A torn final record is dropped (truncated_tail set);
+/// any earlier framing/CRC/parse failure throws JournalError(kCorrupt),
+/// a missing/alien header throws kCorrupt, and an unsupported format
+/// version throws kVersionMismatch.
+JournalContents read_journal(const std::string& path);
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte string.
+std::uint32_t crc32(std::string_view bytes) noexcept;
+
+/// FNV-1a content hash of a catalog view: names, device kinds, prices,
+/// spot prices, revocation rates, specs — everything that shapes probe
+/// outcomes or billing.
+std::uint64_t hash_catalog(const cloud::InstanceCatalog& catalog) noexcept;
+
+/// Incremental FNV-1a hasher for mixed field streams (used to fingerprint
+/// option structs into the journal header).
+class HashStream {
+ public:
+  HashStream& mix(std::uint64_t v) noexcept;
+  HashStream& mix(double v) noexcept;  ///< by bit pattern (NaN-stable)
+  HashStream& mix(int v) noexcept;
+  HashStream& mix(bool v) noexcept;
+  HashStream& mix(std::string_view s) noexcept;
+  std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace mlcd::journal

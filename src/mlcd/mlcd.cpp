@@ -1,6 +1,7 @@
 #include "mlcd/mlcd.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -30,9 +31,90 @@ std::string_view job_error_code_name(JobErrorCode code) {
     case JobErrorCode::kUnknownMethod: return "unknown_method";
     case JobErrorCode::kUnknownInstanceType: return "unknown_instance_type";
     case JobErrorCode::kInvalidRequest: return "invalid_request";
+    case JobErrorCode::kJournalError: return "journal_error";
   }
   return "invalid_request";
 }
+
+namespace {
+
+std::uint64_t hash_profiler_options(const profiler::ProfilerOptions& o) {
+  journal::HashStream h;
+  h.mix(o.base_profile_hours)
+      .mix(o.extra_hours_per_3_nodes)
+      .mix(o.iterations)
+      .mix(o.min_window_iterations)
+      .mix(o.noise_sigma)
+      .mix(o.cov_threshold)
+      .mix(o.max_extensions)
+      .mix(o.extension_hours)
+      .mix(o.failure_rate);
+  const cloud::FaultModelOptions& f = o.faults;
+  h.mix(f.launch_failure_per_node)
+      .mix(f.spot_revocation_scale)
+      .mix(f.outage_episodes_per_100h)
+      .mix(f.outage_mean_hours)
+      .mix(f.outage_horizon_hours)
+      .mix(static_cast<std::uint64_t>(f.scheduled_outages.size()));
+  for (const auto& [type, episode] : f.scheduled_outages) {
+    h.mix(static_cast<std::uint64_t>(type))
+        .mix(episode.start_hours)
+        .mix(episode.end_hours);
+  }
+  h.mix(f.straggler_rate)
+      .mix(f.straggler_slowdown)
+      .mix(f.launch_failure_fraction)
+      .mix(f.revocation_fraction_floor)
+      .mix(f.outage_wall_fraction);
+  const cloud::RetryPolicy& r = o.retry;
+  h.mix(r.max_attempts)
+      .mix(r.base_backoff_hours)
+      .mix(r.backoff_multiplier)
+      .mix(r.max_backoff_hours)
+      .mix(r.backoff_jitter_sigma);
+  h.mix(o.fault_seed)
+      .mix(o.probe_attempt_timeout_hours)
+      .mix(o.watchdog_wall_seconds);
+  return h.digest();
+}
+
+std::uint64_t hash_warm_start(
+    const std::vector<search::WarmStartPoint>& points) {
+  journal::HashStream h;
+  h.mix(static_cast<std::uint64_t>(points.size()));
+  for (const search::WarmStartPoint& w : points) {
+    h.mix(static_cast<std::uint64_t>(w.deployment.type_index))
+        .mix(w.deployment.nodes)
+        .mix(w.measured_speed);
+  }
+  return h.digest();
+}
+
+/// Name of the first header field on which `got` (the journal) differs
+/// from `want` (this request); empty when they describe the same search.
+std::string header_diff(const journal::JournalHeader& got,
+                        const journal::JournalHeader& want) {
+  if (got.method != want.method) return "method";
+  if (got.model != want.model) return "model";
+  if (got.platform != want.platform) return "platform";
+  if (got.scenario_kind != want.scenario_kind) return "scenario kind";
+  if (got.deadline_hours != want.deadline_hours) return "deadline_hours";
+  if (got.budget_dollars != want.budget_dollars) return "budget_dollars";
+  if (got.seed != want.seed) return "seed";
+  if (got.max_nodes != want.max_nodes) return "max_nodes";
+  if (got.use_spot != want.use_spot) return "use_spot";
+  if (got.gp_refit_every != want.gp_refit_every) return "gp_refit_every";
+  if (got.catalog_hash != want.catalog_hash) return "catalog contents";
+  if (got.profiler_options_hash != want.profiler_options_hash) {
+    return "profiler/fault options";
+  }
+  if (got.warm_start_hash != want.warm_start_hash) {
+    return "warm-start points";
+  }
+  return "";
+}
+
+}  // namespace
 
 DeployResult DeployResult::success(RunReport report) {
   DeployResult result;
@@ -146,10 +228,69 @@ DeployResult Mlcd::deploy(const JobRequest& request) const {
     return reject(JobErrorCode::kUnknownMethod, e.what());
   }
 
+  // --- Crash safety: journal header fingerprinting everything that
+  // shapes the probe sequence. A resume whose own configuration would
+  // hash differently is refused — the journal describes another search.
+  if (!request.resume_path.empty() && !request.journal_path.empty() &&
+      request.resume_path != request.journal_path) {
+    return reject(JobErrorCode::kInvalidRequest,
+                  "--journal and --resume must name the same file (a "
+                  "resumed run continues its own journal)");
+  }
+  journal::JournalHeader header;
+  header.method = request.search_method;
+  header.model = request.model;
+  header.platform = request.platform;
+  header.scenario_kind = static_cast<int>(scenario.kind);
+  // Unconstrained limits are +inf in the Scenario but 0 in the header:
+  // JSON has no representation for non-finite numbers.
+  header.deadline_hours =
+      std::isfinite(scenario.deadline_hours) ? scenario.deadline_hours : 0.0;
+  header.budget_dollars =
+      std::isfinite(scenario.budget_dollars) ? scenario.budget_dollars : 0.0;
+  header.seed = request.seed;
+  header.max_nodes = request.max_nodes;
+  header.use_spot = request.use_spot;
+  header.gp_refit_every = request.gp_refit_every;
+  header.catalog_hash = journal::hash_catalog(catalog);
+  header.profiler_options_hash =
+      hash_profiler_options(request.profiler_options);
+  header.warm_start_hash = hash_warm_start(request.warm_start);
+
   RunReport report;
-  report.request = request;
-  report.scenario = scenario;
-  report.result = searcher->run(problem);
+  std::optional<journal::RunJournal> writer;
+  try {
+    if (!request.resume_path.empty()) {
+      journal::JournalContents contents =
+          journal::read_journal(request.resume_path);
+      const std::string diff = header_diff(contents.header, header);
+      if (!diff.empty()) {
+        throw journal::JournalError(
+            journal::JournalErrorCode::kHeaderMismatch,
+            "journal '" + request.resume_path +
+                "' records a different search: " + diff + " differs");
+      }
+      MLCD_LOG(kInfo, "mlcd")
+          << "resuming from " << request.resume_path << ": "
+          << contents.probes.size() << " journaled probes"
+          << (contents.truncated_tail ? " (torn tail dropped)" : "");
+      problem.replay = std::move(contents.probes);
+      // Reopen for continuation, truncating any torn tail first.
+      writer.emplace(journal::RunJournal::append_to(request.resume_path,
+                                                    contents.valid_bytes));
+      report.resumed_from = request.resume_path;
+    } else if (!request.journal_path.empty()) {
+      writer.emplace(
+          journal::RunJournal::create(request.journal_path, header));
+    }
+    if (writer) problem.journal = &*writer;
+
+    report.request = request;
+    report.scenario = scenario;
+    report.result = searcher->run(problem);
+  } catch (const journal::JournalError& e) {
+    return reject(JobErrorCode::kJournalError, e.what());
+  }
   MLCD_LOG(kInfo, "mlcd") << report.result.method << " selected "
                           << report.result.best_description;
   return DeployResult::success(std::move(report));
@@ -174,6 +315,10 @@ std::string RunReport::to_json() const {
   json.key("max_retries").value(request.profiler_options.retry.max_attempts);
   json.key("chaos_seed")
       .value(static_cast<std::int64_t>(request.profiler_options.fault_seed));
+  json.key("journal").value(request.resume_path.empty()
+                                ? request.journal_path
+                                : request.resume_path);
+  json.key("resumed_from").value(resumed_from);
   json.end_object();
 
   json.key("scenario").begin_object();
@@ -203,6 +348,9 @@ std::string RunReport::to_json() const {
   json.key("probe_attempts").value(result.total_probe_attempts());
   json.key("failed_probes").value(result.failed_probe_count());
   json.key("backoff_hours").value(result.total_backoff_hours());
+  json.key("replayed_probes").value(result.replayed_probes);
+  json.key("probe_timeouts").value(result.probe_timeout_count());
+  json.key("degraded_iterations").value(result.degraded_iterations);
   json.key("trace").begin_array();
   for (const search::ProbeStep& step : result.trace) {
     json.begin_object();
@@ -217,6 +365,7 @@ std::string RunReport::to_json() const {
     json.key("attempts").value(step.attempts);
     json.key("fault").value(std::string(cloud::fault_kind_name(step.fault)));
     json.key("backoff_hours").value(step.backoff_hours);
+    json.key("replayed").value(step.replayed);
     json.end_object();
   }
   json.end_array();

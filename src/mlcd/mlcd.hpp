@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "journal/journal.hpp"
 #include "mlcd/cloud_interface.hpp"
 #include "mlcd/deployment_engine.hpp"
 #include "mlcd/platform_interface.hpp"
@@ -50,6 +51,19 @@ struct JobRequest {
   /// from scratch every this many probes, extending incrementally in
   /// between. 1 = retune on every probe (exact legacy behavior).
   int gp_refit_every = 1;
+  /// Durable run journal (CLI --journal): every probe outcome is framed,
+  /// checksummed, and fsync'd to this file *before* it is admitted into
+  /// the search trace, so a crash never loses spend accounting. Empty
+  /// disables. See docs/crash-safety.md.
+  std::string journal_path;
+  /// Crash resume (CLI --resume): replay the journal at this path —
+  /// restoring billing, the profiling clock, and every seeded stream —
+  /// then continue the search bit-identically to an uninterrupted run,
+  /// appending new probes to the same file. The journal's header must
+  /// match this request exactly (typed kJournalError otherwise). Empty
+  /// disables. Mutually exclusive with journal_path naming a different
+  /// file.
+  std::string resume_path;
 };
 
 /// MLCD's answer: the selected deployment plus all accounting.
@@ -58,12 +72,17 @@ struct RunReport {
   /// renamed, removed, or changes meaning; consumers should check it
   /// before parsing. History: 1 = unversioned PR-1 layout; 2 = adds
   /// schema_version, threads/gp_refit_every, and the failure-accounting
-  /// counters under stable snake_case keys.
-  static constexpr int kJsonSchemaVersion = 2;
+  /// counters under stable snake_case keys; 3 = adds the crash-safety
+  /// fields (request.journal / request.resumed_from, result
+  /// replayed_probes / probe_timeouts / degraded_iterations, per-step
+  /// replayed flag).
+  static constexpr int kJsonSchemaVersion = 3;
 
   JobRequest request;
   search::Scenario scenario;
   search::SearchResult result;
+  /// Journal path this run was resumed from (empty for a fresh run).
+  std::string resumed_from;
 
   /// Multi-line human-readable report.
   std::string render() const;
@@ -82,6 +101,9 @@ enum class JobErrorCode {
   kUnknownMethod,
   kUnknownInstanceType,
   kInvalidRequest,
+  /// Journal could not be created, read, verified, or replayed (wraps
+  /// journal::JournalError — the message carries its typed code name).
+  kJournalError,
 };
 
 std::string_view job_error_code_name(JobErrorCode code);

@@ -1,18 +1,27 @@
 #include "mlcd/scenario_analyzer.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace mlcd::system {
 
 search::Scenario ScenarioAnalyzer::analyze(
     const UserRequirements& requirements) const {
+  // The negated comparison also rejects NaN, which compares false to
+  // everything; infinities are refused too — an unbounded constraint is
+  // expressed by omitting it, not by passing inf.
   const auto positive = [](std::optional<double> v) {
-    return !v.has_value() || *v > 0.0;
+    return !v.has_value() || (*v > 0.0 && std::isfinite(*v));
   };
-  if (!positive(requirements.deadline_hours) ||
-      !positive(requirements.budget_dollars)) {
+  if (!positive(requirements.deadline_hours)) {
     throw std::invalid_argument(
-        "ScenarioAnalyzer: bounds must be positive");
+        "ScenarioAnalyzer: deadline_hours must be a positive finite "
+        "number of hours");
+  }
+  if (!positive(requirements.budget_dollars)) {
+    throw std::invalid_argument(
+        "ScenarioAnalyzer: budget_dollars must be a positive finite "
+        "dollar amount");
   }
 
   if (requirements.budget_dollars) {

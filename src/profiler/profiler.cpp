@@ -1,11 +1,14 @@
 #include "profiler/profiler.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "stats/summary.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mlcd::profiler {
 
@@ -58,6 +61,15 @@ Profiler::Profiler(const perf::TrainingPerfModel& perf,
       options_.retry.backoff_multiplier < 1.0) {
     throw std::invalid_argument("Profiler: invalid retry policy");
   }
+  if (options_.probe_attempt_timeout_hours < 0.0 ||
+      options_.watchdog_wall_seconds < 0.0) {
+    throw std::invalid_argument("Profiler: negative watchdog deadline");
+  }
+}
+
+void Profiler::set_replay(std::vector<journal::ProbeRecord> records) {
+  replay_ = std::move(records);
+  replay_pos_ = 0;
 }
 
 double Profiler::expected_profile_hours(
@@ -83,33 +95,51 @@ double Profiler::expected_profile_cost(const perf::TrainingConfig& config,
 double Profiler::worst_case_profile_hours(
     const perf::TrainingConfig& config, const cloud::Deployment& d) const {
   const double planned = expected_profile_hours(config, d);
-  if (!fault_model_.enabled(space_->market())) return planned;
+  const bool faults_on = fault_model_.enabled(space_->market());
+  const double timeout = options_.probe_attempt_timeout_hours;
+  if (!faults_on && timeout <= 0.0) return planned;
   const auto& faults = fault_model_.options();
-  const double slowdown = faults.straggler_rate > 0.0
+  const double slowdown = (faults_on && faults.straggler_rate > 0.0)
                               ? std::max(1.0, faults.straggler_slowdown)
                               : 1.0;
-  // Worst success: fully extended window on a straggling cluster.
-  const double success =
+  // Worst success: fully extended window on a straggling cluster. The
+  // watchdog caps every attempt's wall time at its deadline (an attempt
+  // that would run longer is killed and retried), so the deadline also
+  // caps the bound.
+  const double success_natural =
       (planned + options_.max_extensions * options_.extension_hours) *
       slowdown;
+  const double success =
+      timeout > 0.0 ? std::min(success_natural, timeout) : success_natural;
   // Worst retry chain: every preceding attempt fails at the costliest
   // fault and every backoff hits its (hard) cap.
+  double per_failed_wall =
+      faults_on
+          ? planned * fault_model_.worst_failed_wall_fraction(space_->market())
+          : 0.0;
+  if (timeout > 0.0) {
+    per_failed_wall = std::min(per_failed_wall, timeout);
+    // When even a clean window overruns the deadline, measurement
+    // attempts themselves time out after a full deadline's worth of wall.
+    if (success_natural > timeout) per_failed_wall = timeout;
+  }
+  if (!faults_on && per_failed_wall <= 0.0) return success;  // cannot fail
   const int retries = options_.retry.max_attempts - 1;
-  const double per_failure =
-      planned * fault_model_.worst_failed_wall_fraction(space_->market()) +
-      options_.retry.max_backoff_hours;
-  return success + retries * per_failure;
+  return success +
+         retries * (per_failed_wall + options_.retry.max_backoff_hours);
 }
 
 double Profiler::worst_case_profile_cost(
     const perf::TrainingConfig& config, const cloud::Deployment& d) const {
-  if (!fault_model_.enabled(space_->market())) {
+  const bool faults_on = fault_model_.enabled(space_->market());
+  const double timeout = options_.probe_attempt_timeout_hours;
+  if (!faults_on && timeout <= 0.0) {
     return expected_profile_cost(config, d);
   }
   const double planned = expected_profile_hours(config, d);
   const double price = space_->hourly_price(d);
   const auto& faults = fault_model_.options();
-  const double slowdown = faults.straggler_rate > 0.0
+  const double slowdown = (faults_on && faults.straggler_rate > 0.0)
                               ? std::max(1.0, faults.straggler_slowdown)
                               : 1.0;
   // The meter rounds every charge up to whole seconds with a 60 s
@@ -117,13 +147,23 @@ double Profiler::worst_case_profile_cost(
   const auto billed = [&](double hours) {
     return std::max(hours + 1.0 / 3600.0, 60.0 / 3600.0) * price;
   };
-  const double success = billed(
+  const double success_natural =
       (planned + options_.max_extensions * options_.extension_hours) *
-      slowdown);
+      slowdown;
+  const double success = billed(
+      timeout > 0.0 ? std::min(success_natural, timeout) : success_natural);
+  double per_failed_bill =
+      faults_on
+          ? planned * fault_model_.worst_failed_bill_fraction(space_->market())
+          : 0.0;
+  if (timeout > 0.0) {
+    per_failed_bill = std::min(per_failed_bill, timeout);
+    // A timed-out measurement attempt bills the full deadline it ran.
+    if (success_natural > timeout) per_failed_bill = timeout;
+  }
+  if (!faults_on && per_failed_bill <= 0.0) return success;  // cannot fail
   const int retries = options_.retry.max_attempts - 1;
-  const double per_failure = billed(
-      planned * fault_model_.worst_failed_bill_fraction(space_->market()));
-  return success + retries * per_failure;
+  return success + retries * billed(per_failed_bill);
 }
 
 ProfileResult Profiler::profile(const perf::TrainingConfig& config,
@@ -131,6 +171,7 @@ ProfileResult Profiler::profile(const perf::TrainingConfig& config,
   if (!space_->contains(d)) {
     throw std::invalid_argument("Profiler::profile: deployment out of space");
   }
+  if (replay_pending()) return replay_next(config, d);
   ++probes_;
   util::Rng probe_rng = rng_.fork(static_cast<std::uint64_t>(probes_));
 
@@ -140,7 +181,40 @@ ProfileResult Profiler::profile(const perf::TrainingConfig& config,
   const double planned = expected_profile_hours(config, d);
 
   const bool faults_on = fault_model_.enabled(space_->market());
-  const int max_attempts = faults_on ? options_.retry.max_attempts : 1;
+  const double timeout = options_.probe_attempt_timeout_hours;
+  // Timed-out attempts are retryable even on a fault-free cloud.
+  const int max_attempts =
+      (faults_on || timeout > 0.0) ? options_.retry.max_attempts : 1;
+
+  // Watchdog conversion: an attempt that outruns its deadline is killed
+  // at the deadline — the cluster ran that long, so the deadline's worth
+  // of wall time is billed and charged to the clock, and the attempt
+  // becomes a retryable kProbeTimeout failure.
+  const auto kill_at_deadline = [&](double wall_hours, double bill_hours,
+                                    int attempt) {
+    double cost = 0.0;
+    if (bill_hours > 0.0) {
+      cost = meter_->charge(d, bill_hours, cloud::UsageKind::kProfiling,
+                            "probe attempt failed: probe-timeout");
+    }
+    result.fault = cloud::FaultKind::kProbeTimeout;
+    result.profile_hours += wall_hours;
+    result.profile_cost += cost;
+    clock_hours_ += wall_hours;
+    double backoff = 0.0;
+    if (attempt < max_attempts) {
+      backoff = options_.retry.backoff_hours_after(attempt, probe_rng);
+      result.backoff_hours += backoff;
+      result.profile_hours += backoff;
+      clock_hours_ += backoff;
+    }
+    result.attempt_log.push_back(
+        {cloud::FaultKind::kProbeTimeout, wall_hours, cost, backoff});
+    MLCD_LOG(kDebug, "profiler")
+        << "probe attempt " << attempt << "/" << max_attempts << " at "
+        << space_->describe(d) << " killed by watchdog after " << wall_hours
+        << " h";
+  };
 
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     result.attempts = attempt;
@@ -151,6 +225,16 @@ ProfileResult Profiler::profile(const perf::TrainingConfig& config,
     }
 
     if (outcome.failed()) {
+      if (timeout > 0.0 && planned * outcome.wall_fraction > timeout) {
+        // The watchdog fires before the underlying fault is diagnosed.
+        kill_at_deadline(
+            timeout,
+            outcome.bill_fraction > 0.0
+                ? std::min(planned * outcome.bill_fraction, timeout)
+                : 0.0,
+            attempt);
+        continue;
+      }
       // The attempt died before producing a measurement. Whatever ran is
       // billed (a real cloud charges for the nodes that came up), the
       // wall clock advances, and — unless this was the last attempt — a
@@ -190,6 +274,12 @@ ProfileResult Profiler::profile(const perf::TrainingConfig& config,
       // the failure is diagnosed is still billed. Infeasibility is a
       // property of the deployment, not of the weather — never retried.
       const double hours = planned * outcome.slowdown;
+      if (timeout > 0.0 && hours > timeout) {
+        // Killed before the diagnosis completes: from the controller's
+        // side a hang and a slow OOM are indistinguishable.
+        kill_at_deadline(timeout, timeout, attempt);
+        continue;
+      }
       const double cost = meter_->charge(
           d, hours, cloud::UsageKind::kProfiling, "probe (infeasible)");
       result.feasible = false;
@@ -202,23 +292,61 @@ ProfileResult Profiler::profile(const perf::TrainingConfig& config,
       return result;
     }
 
-    // Measure noisy per-iteration throughput; extend while unstable.
-    stats::RunningStats window;
-    auto measure_iterations = [&](int count) {
-      for (int i = 0; i < count; ++i) {
-        window.add(probe_rng.lognormal_median(result.true_speed,
-                                              options_.noise_sigma));
+    // Measure noisy per-iteration throughput; extend while unstable. The
+    // measurement runs on a self-contained state block so the real-time
+    // watchdog can abandon a hung computation without sharing any state
+    // with it; when the watchdog is off (or the task finishes in time)
+    // the block is copied back and the draws are bit-identical to the
+    // historical inline path.
+    struct MeasureState {
+      util::Rng rng;
+      stats::RunningStats window;
+      int extensions = 0;
+      double attempt_hours = 0.0;
+    };
+    auto state = std::make_shared<MeasureState>(MeasureState{probe_rng});
+    state->extensions = result.extensions;
+    state->attempt_hours = planned;
+    const double true_speed = result.true_speed;
+    const ProfilerOptions& opts = options_;
+    const auto measure = [state, true_speed, &opts] {
+      auto measure_iterations = [&](int count) {
+        for (int i = 0; i < count; ++i) {
+          state->window.add(
+              state->rng.lognormal_median(true_speed, opts.noise_sigma));
+        }
+      };
+      measure_iterations(opts.iterations);
+      while (state->window.coefficient_of_variation() > opts.cov_threshold &&
+             state->extensions < opts.max_extensions) {
+        ++state->extensions;
+        state->attempt_hours += opts.extension_hours;
+        measure_iterations(opts.iterations);
       }
     };
-    double attempt_hours = planned;
-    measure_iterations(options_.iterations);
-    while (window.coefficient_of_variation() > options_.cov_threshold &&
-           result.extensions < options_.max_extensions) {
-      ++result.extensions;
-      attempt_hours += options_.extension_hours;
-      measure_iterations(options_.iterations);
+    if (!util::ThreadPool::run_with_deadline(measure,
+                                             options_.watchdog_wall_seconds)) {
+      // Real-time expiry: the measurement computation itself hung. The
+      // simulated cluster ran its (deadline-capped) window for nothing.
+      const double wall = planned * outcome.slowdown;
+      const double capped =
+          timeout > 0.0 ? std::min(wall, timeout) : wall;
+      kill_at_deadline(capped, capped, attempt);
+      continue;
     }
+    probe_rng = state->rng;
+    result.extensions = state->extensions;
+    const stats::RunningStats& window = state->window;
+    double attempt_hours = state->attempt_hours;
     attempt_hours *= outcome.slowdown;
+
+    if (timeout > 0.0 && attempt_hours > timeout) {
+      // The (possibly straggler-stretched, possibly extended) window
+      // overran the per-attempt deadline: the watchdog kills the cluster
+      // at the deadline and the measurement is discarded.
+      kill_at_deadline(timeout, timeout, attempt);
+      continue;
+    }
 
     result.feasible = true;
     result.measured_speed = window.mean();
@@ -245,6 +373,98 @@ ProfileResult Profiler::profile(const perf::TrainingConfig& config,
       << "probe failed operationally at " << space_->describe(d) << " after "
       << result.attempts << " attempts ("
       << cloud::fault_kind_name(result.fault) << ")";
+  return result;
+}
+
+ProfileResult Profiler::replay_next(const perf::TrainingConfig& config,
+                                    const cloud::Deployment& d) {
+  const journal::ProbeRecord& rec = replay_[replay_pos_];
+  const auto diverged = [&](const std::string& what) -> void {
+    throw journal::JournalError(
+        journal::JournalErrorCode::kReplayDiverged,
+        "replaying probe " + std::to_string(replay_pos_ + 1) + " at " +
+            space_->describe(d) + ": " + what +
+            " — the run configuration or binary has drifted since the "
+            "journal was written");
+  };
+  if (rec.type_index != d.type_index || rec.nodes != d.nodes) {
+    diverged("journal recorded type " + std::to_string(rec.type_index) +
+             " x " + std::to_string(rec.nodes) +
+             " but the resumed search requested a different deployment");
+  }
+  ++replay_pos_;
+  ++probes_;
+  // Advance the probe fork exactly as the original run did (fork mutates
+  // the parent engine). The child stream fed only this probe's noise and
+  // backoff draws, which the journal already captured — drop it.
+  (void)rng_.fork(static_cast<std::uint64_t>(probes_));
+
+  ProfileResult result;
+  result.deployment = d;
+  result.true_speed = perf_->true_speed(config, d);
+  if (result.true_speed != rec.true_speed) {
+    diverged("substrate true speed differs from the recorded value");
+  }
+  const double planned = expected_profile_hours(config, d);
+  const bool faults_on = fault_model_.enabled(space_->market());
+
+  for (std::size_t i = 0; i < rec.attempt_log.size(); ++i) {
+    const journal::AttemptEntry& entry = rec.attempt_log[i];
+    const auto kind = static_cast<cloud::FaultKind>(entry.fault);
+    if (faults_on) {
+      // Re-roll the fault stream: attempt() is a pure function of
+      // (seed, deployment, market, window, clock), so this advances the
+      // stream to exactly where the original run left it — and doubles
+      // as a divergence check. A journaled timeout may wrap any
+      // underlying outcome (the watchdog fired first), so it matches all.
+      const cloud::AttemptOutcome outcome =
+          fault_model_.attempt(d, space_->market(), planned, clock_hours_);
+      if (kind != cloud::FaultKind::kProbeTimeout && outcome.fault != kind) {
+        diverged("fault stream produced '" +
+                 std::string(cloud::fault_kind_name(outcome.fault)) +
+                 "' where the journal recorded '" +
+                 std::string(cloud::fault_kind_name(kind)) + "'");
+      }
+    }
+    double cost = 0.0;
+    if (entry.cost > 0.0) {
+      // Re-bill through the meter with the recorded wall hours (billed
+      // hours equal wall hours on every charging path), reproducing the
+      // original charge — and its ledger line — bit-identically.
+      const bool last = i + 1 == rec.attempt_log.size();
+      std::string note;
+      if (!last || rec.failed) {
+        note = "probe attempt failed: " +
+               std::string(cloud::fault_kind_name(kind));
+      } else if (!rec.feasible) {
+        note = "probe (infeasible)";
+      } else {
+        note = "probe " + space_->describe(d);
+      }
+      cost = meter_->charge(d, entry.hours, cloud::UsageKind::kProfiling,
+                            note);
+      if (cost != entry.cost) {
+        diverged("re-derived charge differs from the journaled cost");
+      }
+    }
+    clock_hours_ += entry.hours + entry.backoff_hours;
+    result.attempt_log.push_back({kind, entry.hours, cost,
+                                  entry.backoff_hours});
+  }
+
+  result.failed = rec.failed;
+  result.feasible = rec.feasible;
+  result.measured_speed = rec.measured_speed;
+  result.profile_hours = rec.profile_hours;
+  result.profile_cost = rec.profile_cost;
+  result.attempts = rec.attempts;
+  result.fault = static_cast<cloud::FaultKind>(rec.fault);
+  result.backoff_hours = rec.backoff_hours;
+  result.replayed = true;
+  ++replayed_;
+  MLCD_LOG(kDebug, "profiler")
+      << "replayed probe " << replayed_ << " at " << space_->describe(d)
+      << " from journal";
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include "cloud/billing.hpp"
 #include "cloud/deployment.hpp"
 #include "cloud/fault_model.hpp"
+#include "journal/journal.hpp"
 #include "perf/perf_model.hpp"
 #include "util/rng.hpp"
 
@@ -67,6 +68,22 @@ struct ProfilerOptions {
   cloud::RetryPolicy retry;
   /// Seed of the fault stream; 0 derives one from the profiler seed.
   std::uint64_t fault_seed = 0;
+  /// Probe watchdog: simulated wall-hours deadline per launch attempt.
+  /// An attempt whose window would run longer than this is killed at the
+  /// deadline and surfaces as a retryable FaultKind::kProbeTimeout that
+  /// bills the elapsed (capped) window — the loop never stalls on a
+  /// straggler-stretched or runaway probe, and the reserve still pays
+  /// for the time the cluster ran. 0 disables. Timeouts are retried per
+  /// `retry` even when no cloud faults are configured.
+  double probe_attempt_timeout_hours = 0.0;
+  /// Probe watchdog, real-time face: wall-clock seconds the measurement
+  /// computation itself may take before the attempt is abandoned (for
+  /// hangs in the measurement path, not the simulated cluster). Runs the
+  /// measurement under util::ThreadPool::run_with_deadline with a
+  /// self-contained state block. 0 disables (the default — when enabled,
+  /// an expiry depends on host speed, so bit-identical traces across
+  /// machines are only guaranteed while it never fires).
+  double watchdog_wall_seconds = 0.0;
 };
 
 /// Outcome of one profiling probe.
@@ -87,6 +104,9 @@ struct ProfileResult {
   double backoff_hours = 0.0;   ///< retry delays (clock only, never billed)
   /// Per-attempt accounting; profile_cost == sum of attempt costs.
   std::vector<cloud::AttemptRecord> attempt_log;
+  /// True when this result was served from a resume journal instead of
+  /// executing the probe (spend re-accounted, nothing re-run).
+  bool replayed = false;
 };
 
 /// Profiles deployments against the simulated substrate, charging every
@@ -133,6 +153,22 @@ class Profiler {
   const ProfilerOptions& options() const noexcept { return options_; }
   int probes_performed() const noexcept { return probes_; }
 
+  /// Arms crash-recovery replay: the next `records.size()` profile()
+  /// calls are served from the journal instead of being executed —
+  /// billing, the profiling clock, and every seeded stream advance
+  /// exactly as they did in the original run, so the continuation is
+  /// bit-identical to an uninterrupted search. Each served call verifies
+  /// the requested deployment, the fault sequence, and the re-derived
+  /// charges against the record and throws
+  /// journal::JournalError(kReplayDiverged) on any mismatch.
+  void set_replay(std::vector<journal::ProbeRecord> records);
+  /// True while journaled records remain to be served.
+  bool replay_pending() const noexcept {
+    return replay_pos_ < replay_.size();
+  }
+  /// Probes served from the journal so far.
+  int replayed_probes() const noexcept { return replayed_; }
+
   const cloud::FaultModel& fault_model() const noexcept {
     return fault_model_;
   }
@@ -145,6 +181,9 @@ class Profiler {
   }
 
  private:
+  ProfileResult replay_next(const perf::TrainingConfig& config,
+                            const cloud::Deployment& d);
+
   const perf::TrainingPerfModel* perf_;
   const cloud::DeploymentSpace* space_;
   cloud::BillingMeter* meter_;
@@ -153,6 +192,9 @@ class Profiler {
   cloud::FaultModel fault_model_;
   double clock_hours_ = 0.0;
   int probes_ = 0;
+  std::vector<journal::ProbeRecord> replay_;
+  std::size_t replay_pos_ = 0;
+  int replayed_ = 0;
 };
 
 }  // namespace mlcd::profiler

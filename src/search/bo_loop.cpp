@@ -129,6 +129,31 @@ const gp::GpRegressor& TraceSurrogate::gp() const {
   return *gp_;
 }
 
+void TraceSurrogate::invalidate() {
+  gp_.reset();
+  next_trace_index_ = 0;
+  adds_since_build_ = 0;
+}
+
+const cloud::Deployment* degraded_fallback(
+    const Searcher::Session& session,
+    const std::vector<cloud::Deployment>& candidates,
+    const std::function<bool(const cloud::Deployment&)>& allowed) {
+  const perf::TrainingConfig& config = session.problem().config;
+  const cloud::Deployment* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const cloud::Deployment& d : candidates) {
+    if (session.already_probed(d)) continue;
+    if (allowed && !allowed(d)) continue;
+    const double cost = session.profiler().expected_profile_cost(config, d);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &d;
+    }
+  }
+  return best;
+}
+
 void run_bo_loop(Searcher::Session& session,
                  const std::vector<cloud::Deployment>& candidates,
                  const BoLoopOptions& options) {
@@ -188,7 +213,9 @@ void run_bo_loop(Searcher::Session& session,
   std::vector<double> scores(m);
   std::vector<char> probed(m);
 
+  int iteration = 0;
   while (static_cast<int>(session.trace().size()) < options.max_probes) {
+    ++iteration;
     // Every probe so far may have exhausted its retries (billed but
     // uninformative); the surrogate has nothing to fit, so keep drawing
     // random points until one measurement lands.
@@ -211,7 +238,32 @@ void run_bo_loop(Searcher::Session& session,
       session.probe(*next, 0.0, "init");
       continue;
     }
-    surrogate.update(session);
+    // Graceful degradation: a refit can fail on pathological evidence
+    // (non-PSD covariance, NaN likelihood, diverged MLE). Rather than
+    // abort the whole search, demote this iteration to a surrogate-free
+    // safe mode — probe the cheapest affordable unprobed candidate — and
+    // let the next successful refit re-promote the loop. The invalidated
+    // surrogate rebuilds from the full trace, so one bad batch cannot
+    // leave a half-updated GP behind.
+    bool degraded = session.chaos_degrade(iteration);
+    std::string why = degraded ? "chaos degrade hook" : "";
+    if (!degraded) {
+      try {
+        surrogate.update(session);
+      } catch (const std::runtime_error& e) {
+        degraded = true;
+        why = e.what();
+      }
+    }
+    if (degraded) {
+      session.note_degraded(iteration, why);
+      surrogate.invalidate();
+      const cloud::Deployment* fallback =
+          degraded_fallback(session, candidates, probe_allowed);
+      if (fallback == nullptr) break;
+      session.probe(*fallback, 0.0, "degraded");
+      continue;
+    }
     const gp::GpRegressor& gp = surrogate.gp();
     double best = std::log(1e-9);
     if (session.has_incumbent()) {

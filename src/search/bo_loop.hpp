@@ -8,6 +8,7 @@
 // that loop once, on top of Searcher::Session.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -93,6 +94,12 @@ class TraceSurrogate {
   /// yet seen a usable probe.
   const gp::GpRegressor& gp() const;
 
+  /// Drops the fitted regressor and rewinds the trace cursor so the next
+  /// update() rebuilds from the full history. Called when a refit fails
+  /// (graceful degradation): the stale GP may be inconsistent with the
+  /// staged observations, so nothing short of a clean rebuild is safe.
+  void invalidate();
+
  private:
   const bo::InputNormalizer* normalizer_;
   int refit_every_;
@@ -100,6 +107,16 @@ class TraceSurrogate {
   std::size_t next_trace_index_ = 0;
   int adds_since_build_ = 0;
 };
+
+/// Safe-mode probe selection for a degraded (surrogate-less) iteration:
+/// the cheapest-to-profile candidate passing `allowed` that has not been
+/// probed yet — a CherryPick-style prior-mean choice that spends as
+/// little of the reserve as possible while still making progress.
+/// Returns nullptr when no candidate qualifies (the loop should stop).
+const cloud::Deployment* degraded_fallback(
+    const Searcher::Session& session,
+    const std::vector<cloud::Deployment>& candidates,
+    const std::function<bool(const cloud::Deployment&)>& allowed);
 
 /// Runs the loop, mutating `session` through its probe() interface.
 void run_bo_loop(Searcher::Session& session,

@@ -88,6 +88,23 @@ class SurrogateBank {
     global_ready_ = global_.update(session);
   }
 
+  /// Drops every fitted curve and rewinds the trace cursor so the next
+  /// update() rebuilds the whole bank from the full history. Called when
+  /// a refit throws mid-update: some types may already hold new
+  /// observations while others do not, and only a clean rebuild restores
+  /// a consistent state.
+  void invalidate() {
+    for (TypeState& state : types_) {
+      state.gp.reset();
+      state.real_obs = 0;
+      state.adds_since_build = 0;
+    }
+    global_.invalidate();
+    global_ready_ = false;
+    next_trace_index_ = 0;
+    built_ = false;
+  }
+
   /// Posterior for one candidate. Safe to call concurrently as long as
   /// each caller passes a distinct cache (the bank itself is read-only
   /// here; see GpRegressor::predict_cached).
@@ -448,9 +465,43 @@ void HeterBoSearcher::search(Session& session) {
   std::vector<double> scores(m);
   std::vector<double> projected_speeds(m);
 
+  int iteration = 0;
   while (static_cast<int>(session.trace().size()) < options_.max_probes) {
+    ++iteration;
     const std::vector<int> prune = concavity_limits(session);
-    surrogates.update(session);
+
+    // Graceful degradation: a failed bank refit (non-PSD covariance, NaN
+    // likelihood, diverged MLE) demotes this iteration to a surrogate-
+    // free safe mode — the cheapest affordable unprobed candidate that
+    // passes every hard filter — instead of aborting the search. The
+    // bank rebuilds from the full trace on the next iteration, which
+    // re-promotes the loop as soon as a refit succeeds again.
+    bool degraded = session.chaos_degrade(iteration);
+    std::string why = degraded ? "chaos degrade hook" : "";
+    if (!degraded) {
+      try {
+        surrogates.update(session);
+      } catch (const std::runtime_error& e) {
+        degraded = true;
+        why = e.what();
+      }
+    }
+    if (degraded) {
+      session.note_degraded(iteration, why);
+      surrogates.invalidate();
+      auto safe_allowed = [&](const cloud::Deployment& d) {
+        return d.nodes <= prune[d.type_index] &&
+               min_feasible[d.type_index] >= 0 &&
+               !excluded[d.type_index] &&
+               d.nodes >= min_feasible[d.type_index] &&
+               !outaged(d.type_index) && reserve_ok(d);
+      };
+      const cloud::Deployment* fallback =
+          degraded_fallback(session, all, safe_allowed);
+      if (fallback == nullptr) break;
+      session.probe(*fallback, 0.0, "degraded");
+      continue;
+    }
 
     // EI baseline: the incumbent's log objective. (Using only
     // constraint-compliant probes as the baseline is tempting but

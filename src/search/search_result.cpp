@@ -40,6 +40,66 @@ double SearchResult::total_backoff_hours() const noexcept {
   return sum;
 }
 
+int SearchResult::probe_timeout_count() const noexcept {
+  int count = 0;
+  for (const ProbeStep& s : trace) {
+    for (const cloud::AttemptRecord& a : s.attempt_log) {
+      if (a.fault == cloud::FaultKind::kProbeTimeout) ++count;
+    }
+  }
+  return count;
+}
+
+journal::ProbeRecord to_journal_record(const ProbeStep& step) {
+  journal::ProbeRecord rec;
+  rec.type_index = step.deployment.type_index;
+  rec.nodes = step.deployment.nodes;
+  rec.failed = step.failed;
+  rec.feasible = step.feasible;
+  rec.measured_speed = step.measured_speed;
+  rec.true_speed = step.true_speed;
+  rec.profile_hours = step.profile_hours;
+  rec.profile_cost = step.profile_cost;
+  rec.cum_profile_hours = step.cum_profile_hours;
+  rec.cum_profile_cost = step.cum_profile_cost;
+  rec.acquisition = step.acquisition;
+  rec.reason = step.reason;
+  rec.attempts = step.attempts;
+  rec.fault = static_cast<int>(step.fault);
+  rec.backoff_hours = step.backoff_hours;
+  rec.attempt_log.reserve(step.attempt_log.size());
+  for (const cloud::AttemptRecord& a : step.attempt_log) {
+    rec.attempt_log.push_back({static_cast<int>(a.fault), a.hours, a.cost,
+                               a.backoff_hours});
+  }
+  return rec;
+}
+
+ProbeStep from_journal_record(const journal::ProbeRecord& record) {
+  ProbeStep step;
+  step.deployment = cloud::Deployment{record.type_index, record.nodes};
+  step.failed = record.failed;
+  step.feasible = record.feasible;
+  step.measured_speed = record.measured_speed;
+  step.true_speed = record.true_speed;
+  step.profile_hours = record.profile_hours;
+  step.profile_cost = record.profile_cost;
+  step.cum_profile_hours = record.cum_profile_hours;
+  step.cum_profile_cost = record.cum_profile_cost;
+  step.acquisition = record.acquisition;
+  step.reason = record.reason;
+  step.attempts = record.attempts;
+  step.fault = static_cast<cloud::FaultKind>(record.fault);
+  step.backoff_hours = record.backoff_hours;
+  step.attempt_log.reserve(record.attempt_log.size());
+  for (const journal::AttemptEntry& a : record.attempt_log) {
+    step.attempt_log.push_back({static_cast<cloud::FaultKind>(a.fault),
+                                a.hours, a.cost, a.backoff_hours});
+  }
+  step.replayed = true;
+  return step;
+}
+
 std::string SearchResult::summary(const Scenario& scenario) const {
   std::ostringstream out;
   out << method << " [" << scenario.describe() << "]\n";

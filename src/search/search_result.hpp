@@ -11,6 +11,7 @@
 
 #include "cloud/deployment.hpp"
 #include "cloud/fault_model.hpp"
+#include "journal/journal.hpp"
 #include "search/scenario.hpp"
 
 namespace mlcd::search {
@@ -32,7 +33,15 @@ struct ProbeStep {
   cloud::FaultKind fault = cloud::FaultKind::kNone;  ///< final attempt's fault
   double backoff_hours = 0.0;    ///< retry delays (clock only)
   std::vector<cloud::AttemptRecord> attempt_log;  ///< per-attempt billing
+  /// True when this step was restored from a resume journal rather than
+  /// executed (its spend was paid by the original run).
+  bool replayed = false;
 };
+
+/// Journal-record image of a probe step (what the run journal persists).
+journal::ProbeRecord to_journal_record(const ProbeStep& step);
+/// Trace image of a journaled probe (used by resume bookkeeping/tests).
+ProbeStep from_journal_record(const journal::ProbeRecord& record);
 
 /// Final outcome of one deployment search.
 struct SearchResult {
@@ -47,6 +56,12 @@ struct SearchResult {
   double profile_cost = 0.0;
   double training_hours = 0.0;       ///< at best, using the true speed
   double training_cost = 0.0;
+
+  /// Iterations the searcher spent demoted to its prior-mean safe mode
+  /// because the surrogate refit failed (graceful degradation).
+  int degraded_iterations = 0;
+  /// Probes served from a resume journal instead of being executed.
+  int replayed_probes = 0;
 
   std::vector<ProbeStep> trace;
 
@@ -63,6 +78,8 @@ struct SearchResult {
   int failed_probe_count() const noexcept;
   /// Retry backoff delays summed over the trace, hours.
   double total_backoff_hours() const noexcept;
+  /// Attempts the probe watchdog killed, summed over the trace.
+  int probe_timeout_count() const noexcept;
 
   /// True when the scenario's constraints hold for the totals.
   bool meets_constraints(const Scenario& scenario) const noexcept;

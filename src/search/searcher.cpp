@@ -23,6 +23,9 @@ Searcher::Session::Session(const Searcher& owner,
   if (problem.space == nullptr) {
     throw std::invalid_argument("SearchProblem: null deployment space");
   }
+  if (!problem.replay.empty()) {
+    profiler_.set_replay(problem.replay);
+  }
 }
 
 const ProbeStep& Searcher::Session::probe(const cloud::Deployment& d,
@@ -49,6 +52,16 @@ const ProbeStep& Searcher::Session::probe(const cloud::Deployment& d,
   step.fault = r.fault;
   step.backoff_hours = r.backoff_hours;
   step.attempt_log = r.attempt_log;
+  step.replayed = r.replayed;
+
+  // Write-ahead discipline: the outcome is made durable *before* it is
+  // admitted into the trace, so a crash between the two re-derives the
+  // step from the journal instead of re-spending the probe. Replayed
+  // steps are already on disk — appending them again would duplicate
+  // records on every resume.
+  if (problem_->journal != nullptr && !r.replayed) {
+    problem_->journal->append_probe(to_journal_record(step));
+  }
   trace_.push_back(std::move(step));
 
   const std::size_t idx = trace_.size() - 1;
@@ -65,6 +78,16 @@ util::ThreadPool& Searcher::Session::pool() {
     pool_ = std::make_unique<util::ThreadPool>(problem_->threads);
   }
   return *pool_;
+}
+
+void Searcher::Session::note_degraded(int iteration, const std::string& why) {
+  ++degraded_;
+  MLCD_LOG(kWarn, "search")
+      << "surrogate refit failed at iteration " << iteration << " (" << why
+      << "); degrading to prior-mean safe mode for this iteration";
+  if (problem_->journal != nullptr && !replaying()) {
+    problem_->journal->append_degrade({iteration, why});
+  }
 }
 
 bool Searcher::Session::already_probed(
@@ -213,6 +236,8 @@ SearchResult Searcher::finalize(Session& session) const {
   result.trace = session.trace();
   result.profile_hours = session.spent_hours();
   result.profile_cost = session.spent_cost();
+  result.degraded_iterations = session.degraded_iterations();
+  result.replayed_probes = session.profiler().replayed_probes();
 
   // Select the final deployment from the probe history.
   const Scenario& scenario = session.scenario();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "cloud/billing.hpp"
 #include "cloud/deployment.hpp"
+#include "journal/journal.hpp"
 #include "perf/perf_model.hpp"
 #include "profiler/profiler.hpp"
 #include "search/scenario.hpp"
@@ -44,6 +46,21 @@ struct SearchProblem {
   /// 1 (default) retunes on every probe — the exact legacy behavior;
   /// <= 0 never retunes after the first build.
   int gp_refit_every = 1;
+  /// Durable run journal to append each probe outcome to *before* it is
+  /// admitted into the trace (write-ahead discipline). The journal must
+  /// already contain its header. nullptr = no journaling. Not owned.
+  journal::RunJournal* journal = nullptr;
+  /// Crash-resume replay: probe outcomes recovered from a journal, in
+  /// original order. The session's profiler serves these for the first
+  /// `replay.size()` probes instead of executing them — billing, clock,
+  /// and every seeded stream advance exactly as in the original run —
+  /// then switches back to live execution, making the continuation
+  /// bit-identical to an uninterrupted search.
+  std::vector<journal::ProbeRecord> replay;
+  /// Test seam: when set, searchers treat iterations for which this
+  /// returns true as if the surrogate refit had failed, exercising the
+  /// graceful-degradation safe mode without needing a pathological GP.
+  std::function<bool(int iteration)> chaos_degrade_hook;
 };
 
 /// How the final deployment is chosen from the probe history.
@@ -130,6 +147,22 @@ class Searcher {
     /// so probe-free searchers never pay for thread spawns.
     util::ThreadPool& pool();
 
+    /// Records one graceful-degradation episode (surrogate refit failed;
+    /// the iteration ran in the prior-mean safe mode). Journaled unless
+    /// the session is still replaying — a replayed iteration re-derives
+    /// the same episode deterministically and must not duplicate it.
+    void note_degraded(int iteration, const std::string& why);
+    int degraded_iterations() const noexcept { return degraded_; }
+
+    /// True while probe() is still serving journaled outcomes.
+    bool replaying() const noexcept { return profiler_.replay_pending(); }
+
+    /// True when the chaos hook asks this iteration to degrade.
+    bool chaos_degrade(int iteration) const {
+      return problem_->chaos_degrade_hook &&
+             problem_->chaos_degrade_hook(iteration);
+    }
+
    private:
     const Searcher* owner_;
     const SearchProblem* problem_;
@@ -141,6 +174,7 @@ class Searcher {
     double cum_hours_ = 0.0;
     double cum_cost_ = 0.0;
     std::optional<std::size_t> incumbent_;
+    int degraded_ = 0;
   };
 
  protected:

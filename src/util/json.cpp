@@ -509,7 +509,12 @@ class JsonParser {
       }
     }
     const std::string token(text_.substr(start, pos_ - start));
-    return JsonValue::make_number(std::strtod(token.c_str(), nullptr));
+    const double value = std::strtod(token.c_str(), nullptr);
+    // A grammatically valid literal can still overflow the double range
+    // ("1e999" parses to +inf); JSON has no representation for
+    // non-finite numbers, so accepting one would round-trip as garbage.
+    if (!std::isfinite(value)) fail("number literal overflows double");
+    return JsonValue::make_number(value);
   }
 
   std::string_view text_;

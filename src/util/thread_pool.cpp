@@ -1,7 +1,10 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 namespace mlcd::util {
 
@@ -24,6 +27,48 @@ ThreadPool::~ThreadPool() {
 
 int ThreadPool::hardware_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool ThreadPool::run_with_deadline(std::function<void()> task,
+                                   double timeout_seconds) {
+  if (timeout_seconds <= 0.0) {
+    task();
+    return true;
+  }
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  // Detached on purpose: a hung task would otherwise hang the join. The
+  // helper signals through the shared block, which outlives both sides.
+  std::thread([shared, task = std::move(task)] {
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    shared->done = true;
+    if (!shared->abandoned) shared->error = error;
+    shared->cv.notify_all();
+  }).detach();
+
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  if (!shared->cv.wait_until(lock, deadline, [&] { return shared->done; })) {
+    shared->abandoned = true;
+    return false;
+  }
+  if (shared->error) std::rethrow_exception(shared->error);
+  return true;
 }
 
 void ThreadPool::parallel_for(

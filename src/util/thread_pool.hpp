@@ -52,6 +52,20 @@ class ThreadPool {
   /// std::thread::hardware_concurrency() with a floor of 1.
   static int hardware_threads();
 
+  /// Runs `task` with a real wall-clock deadline: returns true when the
+  /// task finished within `timeout_seconds`, false when the deadline
+  /// expired first. `timeout_seconds <= 0` runs the task inline (no
+  /// deadline, always true). A task that misses its deadline is
+  /// *abandoned*, not cancelled — its helper thread keeps running to
+  /// completion in the background, so the task must exclusively own all
+  /// state it touches (share nothing with the caller); the profiler's
+  /// probe watchdog hands each attempt a self-contained state block for
+  /// exactly this reason. Exceptions from a task that finished in time
+  /// are rethrown on the caller; exceptions after abandonment are
+  /// swallowed with the thread.
+  static bool run_with_deadline(std::function<void()> task,
+                                double timeout_seconds);
+
  private:
   void worker_loop();
   /// Claims and runs chunks of the current batch until none remain.

@@ -104,6 +104,19 @@ TEST(ValueParse, Fractions) {
   EXPECT_THROW(parse_fraction("-0.1"), std::invalid_argument);
   EXPECT_THROW(parse_fraction(""), std::invalid_argument);
   EXPECT_THROW(parse_fraction("half"), std::invalid_argument);
+  // NaN compares false to every bound, so a naive range check would let
+  // it through; the parser must reject it explicitly.
+  EXPECT_THROW(parse_fraction("nan"), std::invalid_argument);
+}
+
+TEST(ValueParse, RejectsNonFiniteAndOverflowingNumbers) {
+  EXPECT_THROW(parse_money("nan"), std::invalid_argument);
+  EXPECT_THROW(parse_money("inf"), std::invalid_argument);
+  EXPECT_THROW(parse_money("1e999"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_hours("nan"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_hours("inf"), std::invalid_argument);
+  EXPECT_THROW(parse_positive_int("99999999999999999999"),
+               std::invalid_argument);
 }
 
 // -------------------------------------------------------------------- run

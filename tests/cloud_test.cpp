@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <limits>
 #include <set>
 
 #include <filesystem>
@@ -76,6 +77,54 @@ TEST(Catalog, InvalidSpecRejected) {
   EXPECT_THROW(InstanceCatalog({bad}), std::invalid_argument);
   EXPECT_THROW(InstanceCatalog(std::vector<InstanceSpec>{}),
                std::invalid_argument);
+}
+
+TEST(Catalog, StrictValidationNamesTheField) {
+  const InstanceSpec good = aws_catalog().at(0);
+
+  auto expect_rejected = [&](auto&& mutate, const std::string& field) {
+    InstanceSpec s = good;
+    mutate(s);
+    try {
+      InstanceCatalog({s});
+      FAIL() << "spec with bad " << field << " was accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+
+  expect_rejected([](InstanceSpec& s) { s.name.clear(); }, "name");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  expect_rejected([&](InstanceSpec& s) { s.price_per_hour = nan; },
+                  "price_per_hour");
+  expect_rejected([&](InstanceSpec& s) { s.price_per_hour = inf; },
+                  "price_per_hour");
+  expect_rejected([&](InstanceSpec& s) { s.price_per_hour = 0.0; },
+                  "price_per_hour");
+  expect_rejected([&](InstanceSpec& s) { s.effective_tflops = nan; },
+                  "effective_tflops");
+  expect_rejected([&](InstanceSpec& s) { s.network_gbps = -1.0; },
+                  "network_gbps");
+  expect_rejected([&](InstanceSpec& s) { s.mem_gib = nan; }, "mem_gib");
+  expect_rejected([&](InstanceSpec& s) { s.spot_price_per_hour = -0.5; },
+                  "spot_price_per_hour");
+  expect_rejected([&](InstanceSpec& s) { s.vcpus = 0; }, "vcpus");
+  expect_rejected([&](InstanceSpec& s) { s.gpus = -1; }, "gpus");
+}
+
+TEST(Catalog, DuplicateNamesRejected) {
+  const InstanceSpec spec = aws_catalog().at(0);
+  try {
+    InstanceCatalog({spec, spec});
+    FAIL() << "duplicate type names were accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(spec.name), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Catalog, PricesScaleWithinFamily) {

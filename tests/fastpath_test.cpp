@@ -563,7 +563,11 @@ TEST(JsonParser, RejectsMalformedDocuments) {
   for (const char* bad :
        {"", "{", "[1,]", "{\"a\":}", "{\"a\":1,}", "01", "1 2",
         "\"unterminated", "{\"a\" 1}", "[1] trailing", "nul",
-        "\"bad\\q\"", "\"\\ud800\""}) {
+        "\"bad\\q\"", "\"\\ud800\"",
+        // Overflowing number literals parse to +/-inf, which JSON cannot
+        // represent; trailing garbage after a complete document is
+        // rejected rather than silently ignored.
+        "1e999", "-1e999", "{\"a\":1e999}", "{\"a\":1} x", "[1][2]"}) {
     EXPECT_THROW(util::parse_json(bad), std::invalid_argument) << bad;
   }
 }

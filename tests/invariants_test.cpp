@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <tuple>
 
+#include "journal/journal.hpp"
 #include "mlcd/deployment_engine.hpp"
+#include "search/search_result.hpp"
 #include "mlcd/mlcd.hpp"
 #include "models/model_zoo.hpp"
 #include "search/exhaustive.hpp"
@@ -143,6 +146,72 @@ TEST_P(SearcherInvariants, MeasuredSpeedsNearTruth) {
     if (!s.feasible || s.failed) continue;
     EXPECT_NEAR(s.measured_speed / s.true_speed, 1.0, 0.08)
         << space_.describe(s.deployment);
+  }
+}
+
+// The protective-reserve guarantee must survive every crash-safety mode:
+// watchdog-killed probes (billed but uninformative), degraded iterations
+// (surrogate refit failed, prior-mean safe mode), and a journal-replayed
+// resume (which must also be bit-identical to its golden run). See
+// docs/crash-safety.md.
+TEST_P(SearcherInvariants, ConstraintsHoldUnderCrashSafetyModes) {
+  const auto check = [&](const search::SearchResult& r) {
+    const search::Scenario scenario = problem().scenario;
+    if (r.found) EXPECT_TRUE(r.meets_constraints(scenario));
+    double cost = 0.0;
+    for (const search::ProbeStep& s : r.trace) cost += s.profile_cost;
+    EXPECT_NEAR(cost, r.profile_cost, 1e-9);
+  };
+
+  // Watchdog: a deadline short enough to kill the larger probe windows.
+  {
+    search::SearchProblem p = problem();
+    p.profiler_options.probe_attempt_timeout_hours = 0.2;
+    check(system::DeploymentEngine::make_searcher_for(perf_,
+                                                      GetParam().method)
+              ->run(p));
+  }
+
+  // Degradation: every other surrogate refit fails (BO methods; the
+  // hook is a no-op for methods without a surrogate).
+  {
+    search::SearchProblem p = problem();
+    p.chaos_degrade_hook = [](int iteration) {
+      return iteration % 2 == 0;
+    };
+    check(system::DeploymentEngine::make_searcher_for(perf_,
+                                                      GetParam().method)
+              ->run(p));
+  }
+
+  // Resume: journal a golden run, replay every record, and continue —
+  // the result must both hold the constraints and match the golden run.
+  {
+    const search::SearchResult golden = run();
+    const std::string path =
+        (std::filesystem::path(testing::TempDir()) /
+         ("invariants_" + sweep_name({GetParam(), 0}) + ".mlcdj"))
+            .string();
+    journal::JournalHeader header;
+    header.method = GetParam().method;
+    {
+      journal::RunJournal writer = journal::RunJournal::create(path, header);
+      for (const search::ProbeStep& s : golden.trace) {
+        writer.append_probe(search::to_journal_record(s));
+      }
+    }
+    search::SearchProblem p = problem();
+    p.replay = journal::read_journal(path).probes;
+    const search::SearchResult resumed =
+        system::DeploymentEngine::make_searcher_for(perf_,
+                                                    GetParam().method)
+            ->run(p);
+    check(resumed);
+    EXPECT_EQ(resumed.best, golden.best);
+    EXPECT_EQ(resumed.profile_cost, golden.profile_cost);
+    EXPECT_EQ(resumed.trace.size(), golden.trace.size());
+    EXPECT_EQ(resumed.replayed_probes,
+              static_cast<int>(golden.trace.size()));
   }
 }
 

@@ -1,0 +1,625 @@
+// Crash-safety tests: journal framing and round-tripping, the kill-point
+// resume sweep (truncate after every record boundary and mid-record,
+// resume, assert the continuation is bit-identical to the golden run with
+// zero probes re-executed), typed refusals for corrupt/mismatched
+// journals, probe watchdog semantics, and graceful searcher degradation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cloud/billing.hpp"
+#include "cloud/deployment.hpp"
+#include "journal/journal.hpp"
+#include "mlcd/mlcd.hpp"
+#include "models/model_zoo.hpp"
+#include "profiler/profiler.hpp"
+#include "search/conv_bo.hpp"
+#include "search/heter_bo.hpp"
+
+namespace mlcd {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Byte offsets of every record boundary (position just after each '\n'),
+/// including 0 and the file size.
+std::vector<std::size_t> record_boundaries(const std::string& bytes) {
+  std::vector<std::size_t> offsets = {0};
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (bytes[i] == '\n') offsets.push_back(i + 1);
+  }
+  return offsets;
+}
+
+// ----------------------------------------------------------------- framing
+
+TEST(Crc32, MatchesTheStandardCheckValue) {
+  EXPECT_EQ(journal::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(journal::crc32(""), 0u);
+}
+
+journal::JournalHeader sample_header() {
+  journal::JournalHeader h;
+  h.method = "heterbo";
+  h.model = "resnet";
+  h.platform = "tensorflow";
+  h.scenario_kind = 2;
+  h.deadline_hours = 0.0;
+  h.budget_dollars = 150.0;
+  h.seed = 0xDEADBEEFCAFEF00DULL;  // exercises the full uint64 range
+  h.max_nodes = 8;
+  h.use_spot = false;
+  h.gp_refit_every = 1;
+  h.catalog_hash = 0xFFFFFFFFFFFFFFFFULL;
+  h.profiler_options_hash = 12345;
+  h.warm_start_hash = 0;
+  return h;
+}
+
+TEST(Journal, RoundTripsRecordsBitExactly) {
+  const std::string path = temp_path("roundtrip.mlcdj");
+  const journal::JournalHeader header = sample_header();
+
+  journal::ProbeRecord probe;
+  probe.type_index = 1;
+  probe.nodes = 5;
+  probe.failed = false;
+  probe.feasible = true;
+  // Doubles that are not exactly representable in short decimal form:
+  // the journal must round-trip the exact bit pattern.
+  probe.measured_speed = 0.1 + 0.2;
+  probe.true_speed = 1.0 / 3.0;
+  probe.profile_hours = 5e-324;  // smallest denormal
+  probe.profile_cost = 1.2345678901234567;
+  probe.cum_profile_hours = 1e308;
+  probe.cum_profile_cost = 42.0;
+  probe.acquisition = -0.007;
+  probe.reason = "tei";
+  probe.attempts = 2;
+  probe.fault = 4;
+  probe.backoff_hours = 0.031;
+  probe.attempt_log = {{1, 0.05, 0.25, 0.031}, {0, 0.17, 0.85, 0.0}};
+
+  {
+    journal::RunJournal j = journal::RunJournal::create(path, header);
+    j.append_probe(probe);
+    j.append_degrade({3, "chaos degrade hook"});
+  }
+
+  const journal::JournalContents back = journal::read_journal(path);
+  EXPECT_FALSE(back.truncated_tail);
+  EXPECT_EQ(back.valid_bytes, read_file(path).size());
+  EXPECT_EQ(back.header.method, header.method);
+  EXPECT_EQ(back.header.model, header.model);
+  EXPECT_EQ(back.header.platform, header.platform);
+  EXPECT_EQ(back.header.scenario_kind, header.scenario_kind);
+  EXPECT_EQ(back.header.budget_dollars, header.budget_dollars);
+  EXPECT_EQ(back.header.seed, header.seed);
+  EXPECT_EQ(back.header.catalog_hash, header.catalog_hash);
+
+  ASSERT_EQ(back.probes.size(), 1u);
+  const journal::ProbeRecord& p = back.probes[0];
+  EXPECT_EQ(p.type_index, probe.type_index);
+  EXPECT_EQ(p.nodes, probe.nodes);
+  EXPECT_EQ(p.failed, probe.failed);
+  EXPECT_EQ(p.feasible, probe.feasible);
+  EXPECT_EQ(p.measured_speed, probe.measured_speed);  // bit-exact
+  EXPECT_EQ(p.true_speed, probe.true_speed);
+  EXPECT_EQ(p.profile_hours, probe.profile_hours);
+  EXPECT_EQ(p.profile_cost, probe.profile_cost);
+  EXPECT_EQ(p.cum_profile_hours, probe.cum_profile_hours);
+  EXPECT_EQ(p.acquisition, probe.acquisition);
+  EXPECT_EQ(p.reason, probe.reason);
+  EXPECT_EQ(p.attempts, probe.attempts);
+  EXPECT_EQ(p.fault, probe.fault);
+  ASSERT_EQ(p.attempt_log.size(), 2u);
+  EXPECT_EQ(p.attempt_log[0].fault, 1);
+  EXPECT_EQ(p.attempt_log[0].hours, 0.05);
+  EXPECT_EQ(p.attempt_log[1].cost, 0.85);
+
+  ASSERT_EQ(back.degraded.size(), 1u);
+  EXPECT_EQ(back.degraded[0].iteration, 3);
+  EXPECT_EQ(back.degraded[0].why, "chaos degrade hook");
+}
+
+TEST(Journal, TornTailIsDroppedNotFatal) {
+  const std::string path = temp_path("torn.mlcdj");
+  {
+    journal::RunJournal j =
+        journal::RunJournal::create(path, sample_header());
+    journal::ProbeRecord probe;
+    probe.nodes = 1;
+    j.append_probe(probe);
+    probe.nodes = 2;
+    j.append_probe(probe);
+  }
+  const std::string bytes = read_file(path);
+  const std::vector<std::size_t> offsets = record_boundaries(bytes);
+  ASSERT_EQ(offsets.size(), 4u);  // header + 2 probes + EOF
+
+  // Cut mid-way through the last record: crash landed mid-append.
+  const std::size_t cut = offsets[2] + (offsets[3] - offsets[2]) / 2;
+  write_file(path, bytes.substr(0, cut));
+  const journal::JournalContents back = journal::read_journal(path);
+  EXPECT_TRUE(back.truncated_tail);
+  EXPECT_EQ(back.valid_bytes, offsets[2]);
+  ASSERT_EQ(back.probes.size(), 1u);
+  EXPECT_EQ(back.probes[0].nodes, 1);
+}
+
+TEST(Journal, MidFileCorruptionRefusedTyped) {
+  const std::string path = temp_path("corrupt.mlcdj");
+  {
+    journal::RunJournal j =
+        journal::RunJournal::create(path, sample_header());
+    journal::ProbeRecord probe;
+    probe.nodes = 3;
+    j.append_probe(probe);
+    probe.nodes = 4;
+    j.append_probe(probe);
+  }
+  std::string bytes = read_file(path);
+  const std::vector<std::size_t> offsets = record_boundaries(bytes);
+  // Flip a payload byte inside the *first probe* record (not the tail).
+  bytes[offsets[1] + 30] ^= 0x20;
+  write_file(path, bytes);
+  try {
+    journal::read_journal(path);
+    FAIL() << "corrupt journal was accepted";
+  } catch (const journal::JournalError& e) {
+    EXPECT_EQ(e.code(), journal::JournalErrorCode::kCorrupt);
+  }
+}
+
+TEST(Journal, EmptyOrHeaderlessFileRefused) {
+  const std::string path = temp_path("empty.mlcdj");
+  write_file(path, "");
+  EXPECT_THROW(journal::read_journal(path), journal::JournalError);
+}
+
+// ------------------------------------------------- end-to-end crash safety
+
+system::JobRequest base_request() {
+  system::JobRequest request;
+  request.model = "resnet";
+  request.instance_types = {"c5.xlarge", "c5.4xlarge"};
+  request.max_nodes = 8;
+  request.requirements.budget_dollars = 150.0;
+  request.seed = 7;
+  // Faults on, so the sweep also replays multi-attempt records (the
+  // fault stream is the hardest state to restore bit-exactly).
+  request.profiler_options.faults.launch_failure_per_node = 0.02;
+  request.profiler_options.faults.straggler_rate = 0.15;
+  return request;
+}
+
+void expect_traces_identical(const search::SearchResult& a,
+                             const search::SearchResult& b) {
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    const search::ProbeStep& x = a.trace[i];
+    const search::ProbeStep& y = b.trace[i];
+    EXPECT_EQ(x.deployment, y.deployment) << "step " << i;
+    EXPECT_EQ(x.failed, y.failed) << "step " << i;
+    EXPECT_EQ(x.feasible, y.feasible) << "step " << i;
+    EXPECT_EQ(x.measured_speed, y.measured_speed) << "step " << i;
+    EXPECT_EQ(x.true_speed, y.true_speed) << "step " << i;
+    EXPECT_EQ(x.profile_hours, y.profile_hours) << "step " << i;
+    EXPECT_EQ(x.profile_cost, y.profile_cost) << "step " << i;
+    EXPECT_EQ(x.cum_profile_hours, y.cum_profile_hours) << "step " << i;
+    EXPECT_EQ(x.cum_profile_cost, y.cum_profile_cost) << "step " << i;
+    EXPECT_EQ(x.reason, y.reason) << "step " << i;
+    EXPECT_EQ(x.attempts, y.attempts) << "step " << i;
+    EXPECT_EQ(x.fault, y.fault) << "step " << i;
+    EXPECT_EQ(x.backoff_hours, y.backoff_hours) << "step " << i;
+    ASSERT_EQ(x.attempt_log.size(), y.attempt_log.size()) << "step " << i;
+    for (std::size_t k = 0; k < x.attempt_log.size(); ++k) {
+      EXPECT_EQ(x.attempt_log[k].fault, y.attempt_log[k].fault);
+      EXPECT_EQ(x.attempt_log[k].hours, y.attempt_log[k].hours);
+      EXPECT_EQ(x.attempt_log[k].cost, y.attempt_log[k].cost);
+      EXPECT_EQ(x.attempt_log[k].backoff_hours,
+                y.attempt_log[k].backoff_hours);
+    }
+  }
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_measured_speed, b.best_measured_speed);
+  EXPECT_EQ(a.profile_hours, b.profile_hours);
+  EXPECT_EQ(a.profile_cost, b.profile_cost);
+  EXPECT_EQ(a.training_hours, b.training_hours);
+  EXPECT_EQ(a.training_cost, b.training_cost);
+  EXPECT_EQ(a.degraded_iterations, b.degraded_iterations);
+}
+
+TEST(CrashSafety, JournalingDoesNotPerturbTheSearch) {
+  const system::Mlcd mlcd;
+  system::JobRequest plain = base_request();
+  const system::RunReport bare = mlcd.deploy(plain).report();
+
+  system::JobRequest journaled = base_request();
+  journaled.journal_path = temp_path("noperturb.mlcdj");
+  const system::RunReport logged = mlcd.deploy(journaled).report();
+
+  expect_traces_identical(bare.result, logged.result);
+  EXPECT_EQ(logged.result.replayed_probes, 0);
+
+  // Every probe made it to disk, in order.
+  const journal::JournalContents contents =
+      journal::read_journal(journaled.journal_path);
+  ASSERT_EQ(contents.probes.size(), logged.result.trace.size());
+  for (std::size_t i = 0; i < contents.probes.size(); ++i) {
+    EXPECT_EQ(contents.probes[i].nodes,
+              logged.result.trace[i].deployment.nodes);
+    EXPECT_EQ(contents.probes[i].cum_profile_cost,
+              logged.result.trace[i].cum_profile_cost);
+  }
+}
+
+TEST(CrashSafety, KillPointSweepResumesBitIdentically) {
+  const system::Mlcd mlcd;
+  system::JobRequest golden_request = base_request();
+  golden_request.journal_path = temp_path("golden.mlcdj");
+  const system::RunReport golden = mlcd.deploy(golden_request).report();
+  ASSERT_GE(golden.result.trace.size(), 3u);
+
+  const std::string bytes = read_file(golden_request.journal_path);
+  const std::vector<std::size_t> offsets = record_boundaries(bytes);
+  // offsets[1] is the end of the header; a journal cut before that has no
+  // header and is rightly refused, so the sweep starts at the header
+  // boundary. For every later record boundary AND a cut in the middle of
+  // the record that follows it (a torn write), the resumed run must be
+  // bit-identical to the golden run with zero probes re-executed.
+  for (std::size_t b = 1; b + 1 < offsets.size(); ++b) {
+    for (const bool torn : {false, true}) {
+      const std::size_t cut =
+          torn ? offsets[b] + (offsets[b + 1] - offsets[b]) / 2
+               : offsets[b];
+      const std::string label =
+          "cut at byte " + std::to_string(cut) +
+          (torn ? " (mid-record)" : " (record boundary)");
+      const std::string path = temp_path("killpoint.mlcdj");
+      write_file(path, bytes.substr(0, cut));
+      const int journaled_probes = static_cast<int>(
+          journal::read_journal(path).probes.size());
+
+      system::JobRequest resume_request = base_request();
+      resume_request.resume_path = path;
+      const system::DeployResult outcome = mlcd.deploy(resume_request);
+      ASSERT_TRUE(outcome.ok()) << label << ": "
+                                << outcome.error().message;
+      const system::RunReport& resumed = outcome.report();
+      SCOPED_TRACE(label);
+      expect_traces_identical(golden.result, resumed.result);
+      EXPECT_EQ(resumed.result.replayed_probes, journaled_probes);
+      EXPECT_EQ(resumed.resumed_from, path);
+      for (int i = 0; i < journaled_probes; ++i) {
+        EXPECT_TRUE(resumed.result.trace[i].replayed) << label;
+      }
+      for (std::size_t i = journaled_probes;
+           i < resumed.result.trace.size(); ++i) {
+        EXPECT_FALSE(resumed.result.trace[i].replayed) << label;
+      }
+
+      // The continued journal must converge to the golden file's record
+      // sequence — resuming the resumed file reproduces the same run.
+      const journal::JournalContents final_contents =
+          journal::read_journal(path);
+      ASSERT_EQ(final_contents.probes.size(), golden.result.trace.size())
+          << label;
+      for (std::size_t i = 0; i < final_contents.probes.size(); ++i) {
+        EXPECT_EQ(final_contents.probes[i].cum_profile_cost,
+                  golden.result.trace[i].cum_profile_cost);
+      }
+    }
+  }
+}
+
+TEST(CrashSafety, ResumeOfACompletedRunReexecutesNothing) {
+  const system::Mlcd mlcd;
+  system::JobRequest request = base_request();
+  request.journal_path = temp_path("complete.mlcdj");
+  const system::RunReport golden = mlcd.deploy(request).report();
+
+  system::JobRequest resume = base_request();
+  resume.resume_path = request.journal_path;
+  const system::RunReport resumed = mlcd.deploy(resume).report();
+  expect_traces_identical(golden.result, resumed.result);
+  EXPECT_EQ(resumed.result.replayed_probes,
+            static_cast<int>(golden.result.trace.size()));
+}
+
+TEST(CrashSafety, HeaderMismatchRefusedWithFieldName) {
+  const system::Mlcd mlcd;
+  system::JobRequest request = base_request();
+  request.journal_path = temp_path("mismatch.mlcdj");
+  ASSERT_TRUE(mlcd.deploy(request).ok());
+
+  system::JobRequest other = base_request();
+  other.resume_path = request.journal_path;
+  other.seed = 8;  // different search
+  const system::DeployResult outcome = mlcd.deploy(other);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, system::JobErrorCode::kJournalError);
+  EXPECT_NE(outcome.error().message.find("seed"), std::string::npos)
+      << outcome.error().message;
+
+  // Changing a profiler knob (not in the header verbatim, only hashed)
+  // is caught too.
+  system::JobRequest chaotic = base_request();
+  chaotic.resume_path = request.journal_path;
+  chaotic.profiler_options.faults.straggler_rate = 0.5;
+  const system::DeployResult outcome2 = mlcd.deploy(chaotic);
+  ASSERT_FALSE(outcome2.ok());
+  EXPECT_EQ(outcome2.error().code, system::JobErrorCode::kJournalError);
+}
+
+TEST(CrashSafety, CorruptJournalRefusedAtDeploy) {
+  const system::Mlcd mlcd;
+  system::JobRequest request = base_request();
+  request.journal_path = temp_path("deploycorrupt.mlcdj");
+  ASSERT_TRUE(mlcd.deploy(request).ok());
+
+  std::string bytes = read_file(request.journal_path);
+  const std::vector<std::size_t> offsets = record_boundaries(bytes);
+  ASSERT_GE(offsets.size(), 3u);
+  bytes[offsets[1] + 25] ^= 0x01;  // corrupt the first probe record
+  write_file(request.journal_path, bytes);
+
+  system::JobRequest resume = base_request();
+  resume.resume_path = request.journal_path;
+  const system::DeployResult outcome = mlcd.deploy(resume);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, system::JobErrorCode::kJournalError);
+  EXPECT_NE(outcome.error().message.find("corrupt"), std::string::npos)
+      << outcome.error().message;
+}
+
+TEST(CrashSafety, JournalAndResumeMustNameTheSameFile) {
+  const system::Mlcd mlcd;
+  system::JobRequest request = base_request();
+  request.journal_path = temp_path("a.mlcdj");
+  request.resume_path = temp_path("b.mlcdj");
+  const system::DeployResult outcome = mlcd.deploy(request);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, system::JobErrorCode::kInvalidRequest);
+}
+
+TEST(CrashSafety, ReportCarriesSchema3CrashFields) {
+  const system::Mlcd mlcd;
+  system::JobRequest request = base_request();
+  request.journal_path = temp_path("schema3.mlcdj");
+  const system::RunReport golden = mlcd.deploy(request).report();
+
+  system::JobRequest resume = base_request();
+  resume.resume_path = request.journal_path;
+  const system::RunReport resumed = mlcd.deploy(resume).report();
+  EXPECT_EQ(system::RunReport::kJsonSchemaVersion, 3);
+  const std::string json = resumed.to_json();
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"resumed_from\""), std::string::npos);
+  EXPECT_NE(json.find("\"replayed_probes\""), std::string::npos);
+  EXPECT_NE(json.find("\"probe_timeouts\""), std::string::npos);
+  EXPECT_NE(json.find("\"degraded_iterations\""), std::string::npos);
+  EXPECT_GT(resumed.result.replayed_probes, 0);
+  (void)golden;
+}
+
+// -------------------------------------------------------- probe watchdog
+
+TEST(Watchdog, ShortDeadlineTimesOutEveryAttemptAndStillBills) {
+  const cloud::InstanceCatalog cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 8);
+  const perf::TrainingPerfModel perf(cat);
+  perf::TrainingConfig config;
+  config.model = models::paper_zoo().model("resnet");
+  config.platform = perf::tensorflow_profile();
+  config.topology = perf::CommTopology::kParameterServer;
+
+  profiler::ProfilerOptions options;
+  // Far below the ~10-minute base window: every attempt is killed at the
+  // deadline, billed for the elapsed window, and retried.
+  options.probe_attempt_timeout_hours = 0.05;
+  cloud::BillingMeter meter(space);
+  profiler::Profiler profiler(perf, space, meter, 7, options);
+  const profiler::ProfileResult r = profiler.profile(config, {0, 2});
+
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.fault, cloud::FaultKind::kProbeTimeout);
+  EXPECT_EQ(r.attempts, options.retry.max_attempts);
+  ASSERT_EQ(r.attempt_log.size(),
+            static_cast<std::size_t>(options.retry.max_attempts));
+  double billed = 0.0;
+  for (const cloud::AttemptRecord& a : r.attempt_log) {
+    EXPECT_EQ(a.fault, cloud::FaultKind::kProbeTimeout);
+    EXPECT_EQ(a.hours, options.probe_attempt_timeout_hours);
+    EXPECT_GT(a.cost, 0.0);  // elapsed reserve is still billed
+    billed += a.cost;
+  }
+  EXPECT_EQ(r.profile_cost, billed);
+  EXPECT_EQ(r.profile_cost, meter.total_cost());
+
+  // The worst-case bound the reserve budgets against caps at the
+  // deadline too.
+  EXPECT_LE(profiler.worst_case_profile_hours(config, {0, 2}),
+            options.retry.max_attempts *
+                    (options.probe_attempt_timeout_hours +
+                     options.retry.max_backoff_hours) +
+                1e-12);
+}
+
+TEST(Watchdog, GenerousDeadlineIsBitIdenticalToNoWatchdog) {
+  const cloud::InstanceCatalog cat =
+      cloud::aws_catalog().subset(std::vector<std::string>{"c5.4xlarge"});
+  const cloud::DeploymentSpace space(cat, 8);
+  const perf::TrainingPerfModel perf(cat);
+  perf::TrainingConfig config;
+  config.model = models::paper_zoo().model("resnet");
+  config.platform = perf::tensorflow_profile();
+  config.topology = perf::CommTopology::kParameterServer;
+
+  cloud::BillingMeter meter_a(space);
+  profiler::Profiler bare(perf, space, meter_a, 7);
+  const profiler::ProfileResult a = bare.profile(config, {0, 3});
+
+  profiler::ProfilerOptions options;
+  options.probe_attempt_timeout_hours = 100.0;
+  options.watchdog_wall_seconds = 3600.0;
+  cloud::BillingMeter meter_b(space);
+  profiler::Profiler guarded(perf, space, meter_b, 7, options);
+  const profiler::ProfileResult b = guarded.profile(config, {0, 3});
+
+  EXPECT_EQ(a.measured_speed, b.measured_speed);
+  EXPECT_EQ(a.profile_hours, b.profile_hours);
+  EXPECT_EQ(a.profile_cost, b.profile_cost);
+  EXPECT_EQ(a.extensions, b.extensions);
+}
+
+TEST(Watchdog, TimeoutsSurviveTheResumeSweep) {
+  // A deadline between the 1-node window and the stretched large-window
+  // probes: some probes time out, and the journaled kProbeTimeout
+  // attempts must replay bit-exactly.
+  const system::Mlcd mlcd;
+  system::JobRequest request = base_request();
+  request.profiler_options.probe_attempt_timeout_hours = 0.2;
+  request.journal_path = temp_path("timeout-golden.mlcdj");
+  const system::RunReport golden = mlcd.deploy(request).report();
+
+  const std::string bytes = read_file(request.journal_path);
+  const std::vector<std::size_t> offsets = record_boundaries(bytes);
+  // Resume from the halfway record boundary.
+  const std::size_t cut = offsets[offsets.size() / 2];
+  const std::string path = temp_path("timeout-resume.mlcdj");
+  write_file(path, bytes.substr(0, cut));
+
+  system::JobRequest resume = base_request();
+  resume.profiler_options.probe_attempt_timeout_hours = 0.2;
+  resume.resume_path = path;
+  const system::DeployResult outcome = mlcd.deploy(resume);
+  ASSERT_TRUE(outcome.ok()) << outcome.error().message;
+  expect_traces_identical(golden.result, outcome.report().result);
+  EXPECT_EQ(golden.result.probe_timeout_count(),
+            outcome.report().result.probe_timeout_count());
+}
+
+// -------------------------------------------------- graceful degradation
+
+class DegradeTest : public testing::Test {
+ protected:
+  DegradeTest()
+      : cat_(cloud::aws_catalog().subset(std::vector<std::string>{
+            "c5.xlarge", "c5.4xlarge", "p2.xlarge"})),
+        space_(cat_, 10),
+        perf_(cat_) {}
+
+  search::SearchProblem problem(std::uint64_t seed = 7) const {
+    search::SearchProblem p;
+    p.config.model = models::paper_zoo().model("resnet");
+    p.config.platform = perf::tensorflow_profile();
+    p.config.topology = perf::CommTopology::kParameterServer;
+    p.space = &space_;
+    p.scenario = search::Scenario::fastest_under_budget(200.0);
+    p.seed = seed;
+    return p;
+  }
+
+  cloud::InstanceCatalog cat_;
+  cloud::DeploymentSpace space_;
+  perf::TrainingPerfModel perf_;
+};
+
+TEST_F(DegradeTest, HeterBoSurvivesChaosDegradeAndJournalsIt) {
+  search::SearchProblem p = problem();
+  p.chaos_degrade_hook = [](int iteration) {
+    return iteration == 2 || iteration == 3;
+  };
+  const std::string path = temp_path("degrade.mlcdj");
+  journal::JournalHeader header;
+  header.method = "heterbo";
+  journal::RunJournal writer = journal::RunJournal::create(path, header);
+  p.journal = &writer;
+
+  search::HeterBoSearcher searcher(perf_);
+  const search::SearchResult result = searcher.run(p);
+  EXPECT_EQ(result.degraded_iterations, 2);
+  EXPECT_TRUE(result.found);
+  int degraded_probes = 0;
+  for (const search::ProbeStep& s : result.trace) {
+    if (s.reason == "degraded") ++degraded_probes;
+  }
+  EXPECT_EQ(degraded_probes, 2);
+
+  const journal::JournalContents contents = journal::read_journal(path);
+  ASSERT_EQ(contents.degraded.size(), 2u);
+  EXPECT_EQ(contents.degraded[0].iteration, 2);
+  EXPECT_EQ(contents.degraded[0].why, "chaos degrade hook");
+
+  // Degradation is deterministic: a replayed continuation re-derives the
+  // same episodes and the same trace.
+  search::SearchProblem replayed = problem();
+  replayed.chaos_degrade_hook = p.chaos_degrade_hook;
+  replayed.replay = contents.probes;
+  const search::SearchResult again = searcher.run(replayed);
+  ASSERT_EQ(again.trace.size(), result.trace.size());
+  for (std::size_t i = 0; i < again.trace.size(); ++i) {
+    EXPECT_EQ(again.trace[i].deployment, result.trace[i].deployment);
+    EXPECT_EQ(again.trace[i].cum_profile_cost,
+              result.trace[i].cum_profile_cost);
+  }
+  EXPECT_EQ(again.degraded_iterations, result.degraded_iterations);
+  EXPECT_EQ(again.replayed_probes,
+            static_cast<int>(contents.probes.size()));
+}
+
+TEST_F(DegradeTest, ConvBoSurvivesChaosDegrade) {
+  search::SearchProblem p = problem();
+  p.chaos_degrade_hook = [](int iteration) { return iteration == 1; };
+  search::ConvBoSearcher searcher(perf_);
+  const search::SearchResult result = searcher.run(p);
+  EXPECT_EQ(result.degraded_iterations, 1);
+  EXPECT_TRUE(result.found);
+  bool saw_degraded_probe = false;
+  for (const search::ProbeStep& s : result.trace) {
+    saw_degraded_probe = saw_degraded_probe || s.reason == "degraded";
+  }
+  EXPECT_TRUE(saw_degraded_probe);
+}
+
+TEST_F(DegradeTest, PermanentDegradationNeverViolatesTheReserve) {
+  // Every iteration degrades: the search runs entirely in safe mode and
+  // must still respect the protective reserve / budget.
+  search::SearchProblem p = problem();
+  p.scenario = search::Scenario::fastest_under_budget(60.0);
+  p.chaos_degrade_hook = [](int) { return true; };
+  search::HeterBoSearcher searcher(perf_);
+  const search::SearchResult result = searcher.run(p);
+  EXPECT_GT(result.degraded_iterations, 0);
+  EXPECT_LE(result.profile_cost, 60.0);
+  if (result.found) {
+    EXPECT_TRUE(result.meets_constraints(p.scenario));
+  }
+}
+
+}  // namespace
+}  // namespace mlcd

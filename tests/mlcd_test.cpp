@@ -209,10 +209,12 @@ TEST(Mlcd, JsonReportIsWellFormedAndComplete) {
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
   for (const char* field :
-       {"\"schema_version\":2", "\"request\"", "\"scenario\"",
+       {"\"schema_version\":3", "\"request\"", "\"scenario\"",
         "\"result\"", "\"trace\"", "\"deployment\"", "\"total_cost\"",
         "\"constraints_met\"", "\"budget_dollars\":100", "\"threads\"",
-        "\"gp_refit_every\""}) {
+        "\"gp_refit_every\"", "\"journal\"", "\"resumed_from\"",
+        "\"replayed_probes\"", "\"probe_timeouts\"",
+        "\"degraded_iterations\"", "\"replayed\""}) {
     EXPECT_NE(json.find(field), std::string::npos) << field;
   }
 }
