@@ -7,12 +7,17 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "cli/args.hpp"
 #include "cloud/catalog_io.hpp"
+#include "search/registry.hpp"
 #include "search/trace_io.hpp"
 #include "cloud/instance.hpp"
 #include "mlcd/mlcd.hpp"
 #include "models/model_zoo.hpp"
+#include "service/scheduler.hpp"
+#include "service/workload.hpp"
 #include "util/table.hpp"
 
 namespace mlcd::cli {
@@ -22,7 +27,9 @@ constexpr const char* kUsage = R"(mlcd — MLaaS training deployment search (Het
 
 usage:
   mlcd deploy --model <name> [options]   search and report a deployment
+  mlcd batch <workload.json> [options]   run a multi-tenant job fleet
   mlcd compare --model <name> [options]  run every method on one job
+  mlcd searchers                         list search methods for workloads
   mlcd models                            list the model zoo
   mlcd instances [--family <f>]          list the instance catalog
   mlcd export-catalog --out <file.csv>   dump the built-in catalog as CSV
@@ -70,6 +77,15 @@ crash-safety options (see docs/crash-safety.md):
                         the elapsed window, and retried        [off]
   --watchdog-seconds <s> real wall-clock cap on one measurement
                         computation (hang protection)          [off]
+
+batch options (multi-tenant scheduler; see docs/service.md):
+  --threads <n>         concurrent jobs (scheduler lanes)      [1]
+  --capacity <n>        global pool of concurrent simulated
+                        nodes; over-capacity probes queue      [unlimited]
+  --tenant-quota <n>    max concurrent jobs per tenant         [unlimited]
+  --no-share            disable the cross-job probe cache
+  --json                emit the BatchReport as JSON
+  --out <file.json>     also write the BatchReport JSON here
 )";
 
 int usage_error(std::ostream& err, const std::string& message) {
@@ -235,6 +251,63 @@ int cmd_compare(const Args& args, std::ostream& out, std::ostream& err) {
   }
 }
 
+int cmd_batch(const Args& args, std::ostream& out, std::ostream& err) {
+  try {
+    const std::vector<std::string>& positional = args.positional();
+    if (positional.size() < 2) {
+      return usage_error(err, "batch needs a workload file: "
+                              "mlcd batch <workload.json>");
+    }
+    service::Workload workload;
+    try {
+      workload = service::load_workload(positional[1]);
+    } catch (const std::runtime_error& e) {
+      err << "mlcd: " << e.what() << "\n";
+      return 2;
+    }
+    service::SchedulerOptions options;
+    options.threads = parse_positive_int(args.get_or("threads", "1"));
+    if (const auto capacity = args.get("capacity")) {
+      options.capacity_nodes = parse_positive_int(*capacity);
+    }
+    if (const auto quota = args.get("tenant-quota")) {
+      options.tenant_max_jobs = parse_positive_int(*quota);
+    }
+    options.share_probes = !args.has("no-share");
+
+    const system::Mlcd mlcd;
+    const service::Scheduler scheduler(mlcd, options);
+    const service::BatchReport report = scheduler.run(workload);
+    if (const auto path = args.get("out")) {
+      std::ofstream file(*path, std::ios::binary | std::ios::trunc);
+      if (!file) {
+        err << "mlcd: cannot write '" << *path << "'\n";
+        return 2;
+      }
+      file << report.to_json() << "\n";
+    }
+    if (args.has("json")) {
+      out << report.to_json() << "\n";
+    } else {
+      out << report.render();
+    }
+    return report.succeeded() == static_cast<int>(report.jobs.size()) ? 0
+                                                                      : 1;
+  } catch (const std::invalid_argument& e) {
+    return usage_error(err, e.what());
+  }
+}
+
+int cmd_searchers(std::ostream& out) {
+  util::TablePrinter table({"method", "description"});
+  for (const search::SearcherRegistry::Entry& entry :
+       search::SearcherRegistry::instance().entries()) {
+    table.add_row({entry.name, entry.description});
+  }
+  out << table.render();
+  return 0;
+}
+
 int cmd_models(std::ostream& out) {
   util::TablePrinter table({"model", "kind", "params", "GFLOPs/sample",
                             "dataset", "job size (samples)"});
@@ -271,8 +344,9 @@ int run(int argc, const char* const* argv, std::ostream& out,
         std::ostream& err) {
   Args args;
   try {
-    args = Args::parse(argc, argv,
-                       /*flags=*/{"trace", "help", "json", "spot"});
+    args = Args::parse(
+        argc, argv,
+        /*flags=*/{"trace", "help", "json", "spot", "no-share"});
   } catch (const std::invalid_argument& e) {
     return usage_error(err, e.what());
   }
@@ -286,7 +360,9 @@ int run(int argc, const char* const* argv, std::ostream& out,
     return 0;
   }
   if (command == "deploy") return cmd_deploy(args, out, err);
+  if (command == "batch") return cmd_batch(args, out, err);
   if (command == "compare") return cmd_compare(args, out, err);
+  if (command == "searchers") return cmd_searchers(out);
   if (command == "models") return cmd_models(out);
   if (command == "instances") return cmd_instances(args, out);
   if (command == "export-catalog") {

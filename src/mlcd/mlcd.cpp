@@ -38,46 +38,6 @@ std::string_view job_error_code_name(JobErrorCode code) {
 
 namespace {
 
-std::uint64_t hash_profiler_options(const profiler::ProfilerOptions& o) {
-  journal::HashStream h;
-  h.mix(o.base_profile_hours)
-      .mix(o.extra_hours_per_3_nodes)
-      .mix(o.iterations)
-      .mix(o.min_window_iterations)
-      .mix(o.noise_sigma)
-      .mix(o.cov_threshold)
-      .mix(o.max_extensions)
-      .mix(o.extension_hours)
-      .mix(o.failure_rate);
-  const cloud::FaultModelOptions& f = o.faults;
-  h.mix(f.launch_failure_per_node)
-      .mix(f.spot_revocation_scale)
-      .mix(f.outage_episodes_per_100h)
-      .mix(f.outage_mean_hours)
-      .mix(f.outage_horizon_hours)
-      .mix(static_cast<std::uint64_t>(f.scheduled_outages.size()));
-  for (const auto& [type, episode] : f.scheduled_outages) {
-    h.mix(static_cast<std::uint64_t>(type))
-        .mix(episode.start_hours)
-        .mix(episode.end_hours);
-  }
-  h.mix(f.straggler_rate)
-      .mix(f.straggler_slowdown)
-      .mix(f.launch_failure_fraction)
-      .mix(f.revocation_fraction_floor)
-      .mix(f.outage_wall_fraction);
-  const cloud::RetryPolicy& r = o.retry;
-  h.mix(r.max_attempts)
-      .mix(r.base_backoff_hours)
-      .mix(r.backoff_multiplier)
-      .mix(r.max_backoff_hours)
-      .mix(r.backoff_jitter_sigma);
-  h.mix(o.fault_seed)
-      .mix(o.probe_attempt_timeout_hours)
-      .mix(o.watchdog_wall_seconds);
-  return h.digest();
-}
-
 std::uint64_t hash_warm_start(
     const std::vector<search::WarmStartPoint>& points) {
   journal::HashStream h;
@@ -216,6 +176,26 @@ DeployResult Mlcd::deploy(const JobRequest& request) const {
   problem.threads = request.threads;
   problem.gp_refit_every = request.gp_refit_every;
 
+  if (request.probe_gate != nullptr) {
+    // Substrate fingerprint for the service probe cache: everything
+    // job-invariant that shapes a probe's outcome (the scenario and the
+    // search method deliberately excluded — cross-scenario reuse of an
+    // identical probe prefix is the point; the history hash covers the
+    // rest). See probe_gate.hpp for the soundness contract.
+    journal::HashStream sub;
+    sub.mix(request.model)
+        .mix(request.platform)
+        .mix(request.topology.has_value())
+        .mix(request.topology ? static_cast<int>(*request.topology) : 0)
+        .mix(request.seed)
+        .mix(request.max_nodes)
+        .mix(request.use_spot)
+        .mix(journal::hash_catalog(catalog))
+        .mix(profiler::hash_options(request.profiler_options));
+    problem.probe_gate = request.probe_gate;
+    problem.probe_substrate = sub.digest();
+  }
+
   // Searchers must run against a perf model whose catalog view matches
   // the space's type indices.
   std::unique_ptr<search::Searcher> searcher;
@@ -254,7 +234,7 @@ DeployResult Mlcd::deploy(const JobRequest& request) const {
   header.gp_refit_every = request.gp_refit_every;
   header.catalog_hash = journal::hash_catalog(catalog);
   header.profiler_options_hash =
-      hash_profiler_options(request.profiler_options);
+      profiler::hash_options(request.profiler_options);
   header.warm_start_hash = hash_warm_start(request.warm_start);
 
   RunReport report;
@@ -286,6 +266,9 @@ DeployResult Mlcd::deploy(const JobRequest& request) const {
     if (writer) problem.journal = &*writer;
 
     report.request = request;
+    // The gate is scoped to the deploy call; never let it dangle out of
+    // the report.
+    report.request.probe_gate = nullptr;
     report.scenario = scenario;
     report.result = searcher->run(problem);
   } catch (const journal::JournalError& e) {

@@ -64,6 +64,12 @@ struct JobRequest {
   /// disables. Mutually exclusive with journal_path naming a different
   /// file.
   std::string resume_path;
+  /// Multi-tenant probe gate (service layer): when set, the search's
+  /// probes are offered to this gate for cross-job cache reuse and
+  /// capacity admission (see profiler/probe_gate.hpp). Trace-neutral:
+  /// the resulting RunReport is bit-identical to the gate-free run.
+  /// Not owned; nullptr (default) disables.
+  profiler::ProbeGate* probe_gate = nullptr;
 };
 
 /// MLCD's answer: the selected deployment plus all accounting.

@@ -1,0 +1,88 @@
+// Probe admission/reuse hook: the profiler-side seam the multi-tenant
+// search service plugs into (src/service/).
+//
+// A fleet of concurrent deployment searches probes the *same* catalog of
+// deployments over and over — HeterBO alone opens every search with one
+// single-node probe per instance type — so identical probes are measured
+// once and reused, and the simulated nodes a live probe occupies are
+// drawn from a shared capacity pool. Both concerns meet the profiler at
+// the same point (the moment a probe is about to launch), so they share
+// one gate interface:
+//
+//   admit()   — called before a live probe launches. May return the
+//               journal-record image of an identical probe measured
+//               earlier (a cache hit: nothing launches, no capacity is
+//               consumed, the record is re-accounted exactly like a
+//               journal-resume replay), or block until the deployment's
+//               nodes fit the capacity pool and return nullopt.
+//   publish() — called after a live probe completes: releases the
+//               capacity admit() acquired and offers the outcome to the
+//               shared cache for future jobs.
+//   abandon() — error path: releases capacity without publishing.
+//
+// The soundness contract is carried by ProbeKey: it fingerprints every
+// input of the probe computation — the job-invariant substrate (model,
+// platform, catalog, market, profiler knobs, seed) plus a running hash
+// of the job's entire prior probe sequence. All profiler state (the
+// measurement RNG, the fault stream position, the billing meter, the
+// profiling clock) is a deterministic function of those inputs, so two
+// jobs holding the same key would measure bit-identical outcomes —
+// which is what lets a cache hit replace a live probe without breaking
+// the solo-vs-batch trace-identity invariant (docs/service.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "cloud/deployment.hpp"
+#include "journal/journal.hpp"
+
+namespace mlcd::profiler {
+
+/// Identity of one probe computation. Equal keys => bit-identical
+/// outcomes (see the contract above).
+struct ProbeKey {
+  /// Job-invariant fingerprint: model, platform, topology, seed,
+  /// max_nodes, market, catalog hash, profiler-options hash.
+  std::uint64_t substrate = 0;
+  /// Running hash of every prior probe of this job (deployment +
+  /// outcome), journal-replayed and cache-served probes included.
+  std::uint64_t history = 0;
+  /// 1-based position of this probe in the job's probe sequence.
+  int probe_index = 0;
+  std::size_t type_index = 0;
+  int nodes = 0;
+
+  bool operator==(const ProbeKey&) const = default;
+};
+
+struct ProbeKeyHash {
+  std::size_t operator()(const ProbeKey& key) const noexcept;
+};
+
+/// Probe admission hook. Implementations must be safe to call from many
+/// search sessions concurrently (each session calls it serially).
+class ProbeGate {
+ public:
+  virtual ~ProbeGate() = default;
+
+  /// Cache lookup + capacity admission for the probe identified by
+  /// `key`. A returned record is served instead of launching anything;
+  /// nullopt means the probe was admitted (capacity for `d.nodes`
+  /// acquired where a pool is configured) and must be followed by
+  /// exactly one publish() or abandon() for the same deployment.
+  virtual std::optional<journal::ProbeRecord> admit(
+      const ProbeKey& key, const cloud::Deployment& d) = 0;
+
+  /// Completes an admitted probe: releases its capacity and offers the
+  /// measurement to the shared cache (first writer wins).
+  virtual void publish(const ProbeKey& key, const cloud::Deployment& d,
+                       const journal::ProbeRecord& outcome) = 0;
+
+  /// Releases an admitted probe's capacity without publishing (the
+  /// probe threw); must not throw.
+  virtual void abandon(const cloud::Deployment& d) noexcept = 0;
+};
+
+}  // namespace mlcd::profiler

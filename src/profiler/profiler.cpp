@@ -36,6 +36,76 @@ std::uint64_t fault_stream_seed(std::uint64_t profiler_seed,
 
 }  // namespace
 
+std::size_t ProbeKeyHash::operator()(const ProbeKey& key) const noexcept {
+  std::uint64_t h = key.substrate;
+  h = util::splitmix64(h ^ key.history);
+  h = util::splitmix64(h ^ static_cast<std::uint64_t>(key.probe_index));
+  h = util::splitmix64(h ^ static_cast<std::uint64_t>(key.type_index));
+  h = util::splitmix64(h ^ static_cast<std::uint64_t>(key.nodes));
+  return static_cast<std::size_t>(h);
+}
+
+std::uint64_t hash_options(const ProfilerOptions& o) noexcept {
+  journal::HashStream h;
+  h.mix(o.base_profile_hours)
+      .mix(o.extra_hours_per_3_nodes)
+      .mix(o.iterations)
+      .mix(o.min_window_iterations)
+      .mix(o.noise_sigma)
+      .mix(o.cov_threshold)
+      .mix(o.max_extensions)
+      .mix(o.extension_hours)
+      .mix(o.failure_rate);
+  const cloud::FaultModelOptions& f = o.faults;
+  h.mix(f.launch_failure_per_node)
+      .mix(f.spot_revocation_scale)
+      .mix(f.outage_episodes_per_100h)
+      .mix(f.outage_mean_hours)
+      .mix(f.outage_horizon_hours)
+      .mix(static_cast<std::uint64_t>(f.scheduled_outages.size()));
+  for (const auto& [type, episode] : f.scheduled_outages) {
+    h.mix(static_cast<std::uint64_t>(type))
+        .mix(episode.start_hours)
+        .mix(episode.end_hours);
+  }
+  h.mix(f.straggler_rate)
+      .mix(f.straggler_slowdown)
+      .mix(f.launch_failure_fraction)
+      .mix(f.revocation_fraction_floor)
+      .mix(f.outage_wall_fraction);
+  const cloud::RetryPolicy& r = o.retry;
+  h.mix(r.max_attempts)
+      .mix(r.base_backoff_hours)
+      .mix(r.backoff_multiplier)
+      .mix(r.max_backoff_hours)
+      .mix(r.backoff_jitter_sigma);
+  h.mix(o.fault_seed)
+      .mix(o.probe_attempt_timeout_hours)
+      .mix(o.watchdog_wall_seconds);
+  return h.digest();
+}
+
+journal::ProbeRecord measurement_record(const ProfileResult& result) {
+  journal::ProbeRecord rec;
+  rec.type_index = result.deployment.type_index;
+  rec.nodes = result.deployment.nodes;
+  rec.failed = result.failed;
+  rec.feasible = result.feasible;
+  rec.measured_speed = result.measured_speed;
+  rec.true_speed = result.true_speed;
+  rec.profile_hours = result.profile_hours;
+  rec.profile_cost = result.profile_cost;
+  rec.attempts = result.attempts;
+  rec.fault = static_cast<int>(result.fault);
+  rec.backoff_hours = result.backoff_hours;
+  rec.attempt_log.reserve(result.attempt_log.size());
+  for (const cloud::AttemptRecord& a : result.attempt_log) {
+    rec.attempt_log.push_back(
+        {static_cast<int>(a.fault), a.hours, a.cost, a.backoff_hours});
+  }
+  return rec;
+}
+
 Profiler::Profiler(const perf::TrainingPerfModel& perf,
                    const cloud::DeploymentSpace& space,
                    cloud::BillingMeter& meter, std::uint64_t seed,
@@ -171,7 +241,39 @@ ProfileResult Profiler::profile(const perf::TrainingConfig& config,
   if (!space_->contains(d)) {
     throw std::invalid_argument("Profiler::profile: deployment out of space");
   }
-  if (replay_pending()) return replay_next(config, d);
+  ProfileResult result;
+  if (replay_pending()) {
+    result = replay_next(config, d);
+  } else if (gate_ != nullptr) {
+    ProbeKey key;
+    key.substrate = substrate_;
+    key.history = history_;
+    key.probe_index = probes_ + 1;
+    key.type_index = d.type_index;
+    key.nodes = d.nodes;
+    if (std::optional<journal::ProbeRecord> hit = gate_->admit(key, d)) {
+      // Another job already measured this exact probe: serve the shared
+      // record the way journal resume would, but trace-neutrally.
+      result = serve_record(config, d, *hit, /*from_journal=*/false);
+    } else {
+      // Admitted: capacity for d.nodes is held until publish/abandon.
+      try {
+        result = profile_live(config, d);
+      } catch (...) {
+        gate_->abandon(d);
+        throw;
+      }
+      gate_->publish(key, d, measurement_record(result));
+    }
+  } else {
+    result = profile_live(config, d);
+  }
+  note_history(result);
+  return result;
+}
+
+ProfileResult Profiler::profile_live(const perf::TrainingConfig& config,
+                                     const cloud::Deployment& d) {
   ++probes_;
   util::Rng probe_rng = rng_.fork(static_cast<std::uint64_t>(probes_));
 
@@ -379,20 +481,31 @@ ProfileResult Profiler::profile(const perf::TrainingConfig& config,
 ProfileResult Profiler::replay_next(const perf::TrainingConfig& config,
                                     const cloud::Deployment& d) {
   const journal::ProbeRecord& rec = replay_[replay_pos_];
+  ++replay_pos_;
+  return serve_record(config, d, rec, /*from_journal=*/true);
+}
+
+ProfileResult Profiler::serve_record(const perf::TrainingConfig& config,
+                                     const cloud::Deployment& d,
+                                     const journal::ProbeRecord& rec,
+                                     bool from_journal) {
+  const int probe_number = probes_ + 1;
   const auto diverged = [&](const std::string& what) -> void {
+    const std::string context =
+        from_journal
+            ? "replaying probe " + std::to_string(probe_number)
+            : "probe-cache hit at probe " + std::to_string(probe_number);
     throw journal::JournalError(
         journal::JournalErrorCode::kReplayDiverged,
-        "replaying probe " + std::to_string(replay_pos_ + 1) + " at " +
-            space_->describe(d) + ": " + what +
-            " — the run configuration or binary has drifted since the "
-            "journal was written");
+        context + " at " + space_->describe(d) + ": " + what +
+            " — the run configuration or binary has drifted since the " +
+            (from_journal ? "journal was written" : "record was cached"));
   };
   if (rec.type_index != d.type_index || rec.nodes != d.nodes) {
-    diverged("journal recorded type " + std::to_string(rec.type_index) +
-             " x " + std::to_string(rec.nodes) +
-             " but the resumed search requested a different deployment");
+    diverged("record holds type " + std::to_string(rec.type_index) + " x " +
+             std::to_string(rec.nodes) +
+             " but the search requested a different deployment");
   }
-  ++replay_pos_;
   ++probes_;
   // Advance the probe fork exactly as the original run did (fork mutates
   // the parent engine). The child stream fed only this probe's noise and
@@ -460,12 +573,43 @@ ProfileResult Profiler::replay_next(const perf::TrainingConfig& config,
   result.attempts = rec.attempts;
   result.fault = static_cast<cloud::FaultKind>(rec.fault);
   result.backoff_hours = rec.backoff_hours;
-  result.replayed = true;
-  ++replayed_;
-  MLCD_LOG(kDebug, "profiler")
-      << "replayed probe " << replayed_ << " at " << space_->describe(d)
-      << " from journal";
+  if (from_journal) {
+    result.replayed = true;
+    ++replayed_;
+    MLCD_LOG(kDebug, "profiler")
+        << "replayed probe " << replayed_ << " at " << space_->describe(d)
+        << " from journal";
+  } else {
+    // Cache service is trace-neutral: the result is indistinguishable
+    // from a live execution, so solo and batch traces stay bit-identical.
+    ++cache_served_;
+    MLCD_LOG(kDebug, "profiler")
+        << "served probe " << probe_number << " at " << space_->describe(d)
+        << " from the shared probe cache";
+  }
   return result;
+}
+
+void Profiler::note_history(const ProfileResult& result) {
+  const journal::ProbeRecord rec = measurement_record(result);
+  journal::HashStream h;
+  h.mix(history_)
+      .mix(static_cast<std::uint64_t>(rec.type_index))
+      .mix(rec.nodes)
+      .mix(rec.failed)
+      .mix(rec.feasible)
+      .mix(rec.measured_speed)
+      .mix(rec.true_speed)
+      .mix(rec.profile_hours)
+      .mix(rec.profile_cost)
+      .mix(rec.attempts)
+      .mix(rec.fault)
+      .mix(rec.backoff_hours)
+      .mix(static_cast<std::uint64_t>(rec.attempt_log.size()));
+  for (const journal::AttemptEntry& a : rec.attempt_log) {
+    h.mix(a.fault).mix(a.hours).mix(a.cost).mix(a.backoff_hours);
+  }
+  history_ = h.digest();
 }
 
 }  // namespace mlcd::profiler

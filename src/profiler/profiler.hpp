@@ -30,6 +30,7 @@
 #include "cloud/fault_model.hpp"
 #include "journal/journal.hpp"
 #include "perf/perf_model.hpp"
+#include "profiler/probe_gate.hpp"
 #include "util/rng.hpp"
 
 namespace mlcd::profiler {
@@ -109,6 +110,18 @@ struct ProfileResult {
   bool replayed = false;
 };
 
+/// Fingerprint of every profiler knob (fault hazards, retry policy,
+/// watchdog deadlines, noise): the journal header and the service's
+/// probe-cache keys both refuse to match runs whose knobs differ.
+std::uint64_t hash_options(const ProfilerOptions& options) noexcept;
+
+/// The measurement image of a probe outcome: the journal-record fields
+/// the profiler itself produces. Session-side fields (cumulative spend,
+/// acquisition score, reason) are left zero — they belong to the search
+/// trace, not the measurement, and the service's probe cache must store
+/// records that are identical for every job that reuses them.
+journal::ProbeRecord measurement_record(const ProfileResult& result);
+
 /// Profiles deployments against the simulated substrate, charging every
 /// probe to the supplied billing meter.
 class Profiler {
@@ -169,6 +182,21 @@ class Profiler {
   /// Probes served from the journal so far.
   int replayed_probes() const noexcept { return replayed_; }
 
+  /// Arms the multi-tenant probe gate (service layer): every live probe
+  /// is first offered to `gate` under a ProbeKey derived from
+  /// `substrate` and the probe history. A record returned by admit() is
+  /// served exactly like a journal replay — billing, clock, and every
+  /// seeded stream advance as if the probe had run — except the result
+  /// is *not* marked replayed: cache service is trace-neutral, so a
+  /// gated run's trace is bit-identical to a solo run. Not owned;
+  /// nullptr disarms.
+  void set_gate(ProbeGate* gate, std::uint64_t substrate) noexcept {
+    gate_ = gate;
+    substrate_ = substrate;
+  }
+  /// Probes served from the shared probe cache so far.
+  int cache_served_probes() const noexcept { return cache_served_; }
+
   const cloud::FaultModel& fault_model() const noexcept {
     return fault_model_;
   }
@@ -181,8 +209,26 @@ class Profiler {
   }
 
  private:
+  /// Executes one probe against the substrate (the historical profile()
+  /// body); profile() wraps it with replay service and the probe gate.
+  ProfileResult profile_live(const perf::TrainingConfig& config,
+                             const cloud::Deployment& d);
   ProfileResult replay_next(const perf::TrainingConfig& config,
                             const cloud::Deployment& d);
+  /// Serves a recorded outcome instead of executing: advances billing,
+  /// the clock, and every seeded stream exactly as the original
+  /// execution did, verifying the record against the substrate at each
+  /// step (JournalError(kReplayDiverged) on mismatch). `from_journal`
+  /// selects the replayed flag/counter vs the cache-served counter.
+  ProfileResult serve_record(const perf::TrainingConfig& config,
+                             const cloud::Deployment& d,
+                             const journal::ProbeRecord& rec,
+                             bool from_journal);
+  /// Folds a completed probe into the history fingerprint ProbeKeys
+  /// carry. Called for live, replayed, and cache-served probes alike —
+  /// all three mix the identical measurement image, so the fingerprint
+  /// tracks the probe *sequence*, not how each outcome was obtained.
+  void note_history(const ProfileResult& result);
 
   const perf::TrainingPerfModel* perf_;
   const cloud::DeploymentSpace* space_;
@@ -195,6 +241,10 @@ class Profiler {
   std::vector<journal::ProbeRecord> replay_;
   std::size_t replay_pos_ = 0;
   int replayed_ = 0;
+  ProbeGate* gate_ = nullptr;
+  std::uint64_t substrate_ = 0;
+  std::uint64_t history_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+  int cache_served_ = 0;
 };
 
 }  // namespace mlcd::profiler

@@ -22,51 +22,60 @@ SearcherRegistry make_builtin_registry() {
         HeterBoOptions options;
         options.warm_start = o.warm_start;
         return std::make_unique<HeterBoSearcher>(perf, options);
-      });
+      },
+      "the paper's cost-aware BO: heterogeneous probe pricing, protective reserve, constraint-aware incumbent");
   registry.register_method(
       "conv-bo",
       [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
         return std::make_unique<ConvBoSearcher>(perf);
-      });
+      },
+      "conventional Bayesian optimization, probe cost ignored (paper baseline)");
   registry.register_method(
       "bo-improved",
       [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
         ConvBoOptions options;
         options.budget_aware = true;
         return std::make_unique<ConvBoSearcher>(perf, options);
-      });
+      },
+      "conventional BO with budget awareness bolted on (paper's BO-improved baseline)");
   registry.register_method(
       "cherrypick",
       [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
         return std::make_unique<CherryPickSearcher>(perf);
-      });
+      },
+      "CherryPick-style EI search with a fixed probe budget (paper baseline)");
   registry.register_method(
       "cherrypick-improved",
       [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
         CherryPickOptions options;
         options.budget_aware = true;
         return std::make_unique<CherryPickSearcher>(perf, options);
-      });
+      },
+      "CherryPick with budget awareness (paper's CherryPick-improved baseline)");
   registry.register_method(
       "random",
       [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
         return std::make_unique<RandomSearcher>(perf);
-      });
+      },
+      "uniform random probing under the scenario budget (sanity baseline)");
   registry.register_method(
       "exhaustive",
       [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
         return std::make_unique<ExhaustiveSearcher>(perf);
-      });
+      },
+      "probes the entire deployment plane (oracle; tiny catalogs only)");
   registry.register_method(
       "paleo",
       [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
         return std::make_unique<PaleoSearcher>(perf);
-      });
+      },
+      "probe-free analytical planner from perf-model predictions (Paleo-style)");
   registry.register_method(
       "pareto",
       [](const perf::TrainingPerfModel& perf, const SearcherOptions&) {
         return std::make_unique<ParetoSearcher>(perf);
-      });
+      },
+      "sweeps the time/cost Pareto front of HeterBO deployments");
   return registry;
 }
 
@@ -78,7 +87,8 @@ SearcherRegistry& SearcherRegistry::instance() {
 }
 
 void SearcherRegistry::register_method(const std::string& name,
-                                       Factory factory) {
+                                       Factory factory,
+                                       std::string description) {
   if (name.empty()) {
     throw std::invalid_argument("SearcherRegistry: empty method name");
   }
@@ -86,7 +96,7 @@ void SearcherRegistry::register_method(const std::string& name,
     throw std::invalid_argument("SearcherRegistry: null factory for " +
                                 name);
   }
-  factories_[name] = std::move(factory);
+  factories_[name] = {std::move(factory), std::move(description)};
 }
 
 bool SearcherRegistry::contains(const std::string& name) const {
@@ -96,8 +106,22 @@ bool SearcherRegistry::contains(const std::string& name) const {
 std::vector<std::string> SearcherRegistry::names() const {
   std::vector<std::string> out;
   out.reserve(factories_.size());
-  for (const auto& [name, factory] : factories_) out.push_back(name);
+  for (const auto& [name, reg] : factories_) out.push_back(name);
   return out;  // std::map iteration is already sorted
+}
+
+std::vector<SearcherRegistry::Entry> SearcherRegistry::entries() const {
+  std::vector<Entry> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, reg] : factories_) {
+    out.push_back({name, reg.description});
+  }
+  return out;  // sorted by name via std::map iteration
+}
+
+std::string SearcherRegistry::description(const std::string& name) const {
+  const auto it = factories_.find(name);
+  return it == factories_.end() ? std::string() : it->second.description;
 }
 
 std::unique_ptr<Searcher> SearcherRegistry::create(
@@ -107,13 +131,13 @@ std::unique_ptr<Searcher> SearcherRegistry::create(
   if (it == factories_.end()) {
     std::ostringstream message;
     message << "unknown search method '" << name << "' (choices:";
-    for (const auto& [registered, factory] : factories_) {
+    for (const auto& [registered, reg] : factories_) {
       message << " " << registered;
     }
     message << ")";
     throw std::invalid_argument(message.str());
   }
-  return it->second(perf, options);
+  return it->second.factory(perf, options);
 }
 
 }  // namespace mlcd::search

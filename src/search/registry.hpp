@@ -34,6 +34,13 @@ class SearcherRegistry {
   using Factory = std::function<std::unique_ptr<Searcher>(
       const perf::TrainingPerfModel& perf, const SearcherOptions& options)>;
 
+  /// One registered method: name + one-line description (what `mlcd
+  /// searchers` prints so workload files are discoverable).
+  struct Entry {
+    std::string name;
+    std::string description;
+  };
+
   /// An empty registry (tests build isolated ones); production code goes
   /// through instance().
   SearcherRegistry() = default;
@@ -43,12 +50,20 @@ class SearcherRegistry {
 
   /// Registers (or replaces) a factory under `name`. Throws
   /// std::invalid_argument on an empty name.
-  void register_method(const std::string& name, Factory factory);
+  void register_method(const std::string& name, Factory factory,
+                       std::string description = {});
 
   bool contains(const std::string& name) const;
 
   /// Registered method names, sorted.
   std::vector<std::string> names() const;
+
+  /// Registered methods with their descriptions, sorted by name.
+  std::vector<Entry> entries() const;
+
+  /// One-line description of a method; empty for unknown names or
+  /// methods registered without one.
+  std::string description(const std::string& name) const;
 
   /// Builds the named searcher. Throws std::invalid_argument for an
   /// unknown name, with the message listing every registered choice.
@@ -57,7 +72,11 @@ class SearcherRegistry {
       const SearcherOptions& options = {}) const;
 
  private:
-  std::map<std::string, Factory> factories_;
+  struct Registration {
+    Factory factory;
+    std::string description;
+  };
+  std::map<std::string, Registration> factories_;
 };
 
 }  // namespace mlcd::search

@@ -26,6 +26,9 @@ Searcher::Session::Session(const Searcher& owner,
   if (!problem.replay.empty()) {
     profiler_.set_replay(problem.replay);
   }
+  if (problem.probe_gate != nullptr) {
+    profiler_.set_gate(problem.probe_gate, problem.probe_substrate);
+  }
 }
 
 const ProbeStep& Searcher::Session::probe(const cloud::Deployment& d,

@@ -61,6 +61,15 @@ struct SearchProblem {
   /// returns true as if the surrogate refit had failed, exercising the
   /// graceful-degradation safe mode without needing a pathological GP.
   std::function<bool(int iteration)> chaos_degrade_hook;
+  /// Multi-tenant probe gate (service layer): when set, every live probe
+  /// is offered to the gate for cross-job cache reuse and capacity
+  /// admission (see profiler/probe_gate.hpp). Trace-neutral — a gated
+  /// run's trace is bit-identical to the same problem run solo. Not
+  /// owned.
+  profiler::ProbeGate* probe_gate = nullptr;
+  /// Job-invariant fingerprint the gate's ProbeKeys carry (model,
+  /// platform, topology, seed, catalog, market, profiler knobs).
+  std::uint64_t probe_substrate = 0;
 };
 
 /// How the final deployment is chosen from the probe history.

@@ -1,0 +1,109 @@
+#include "service/batch_report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace mlcd::service {
+
+int BatchReport::succeeded() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) count += job.ok ? 1 : 0;
+  return count;
+}
+
+int BatchReport::total_cache_hits() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) count += job.stats.cache_hits;
+  return count;
+}
+
+std::string BatchReport::render() const {
+  std::ostringstream out;
+  out << "=== MLCD batch report ===\n";
+  out << "jobs: " << jobs.size() << " (" << succeeded() << " succeeded), "
+      << "scheduler threads: " << threads;
+  if (capacity_nodes > 0) out << ", capacity: " << capacity_nodes << " nodes";
+  if (tenant_max_jobs > 0) {
+    out << ", tenant quota: " << tenant_max_jobs << " concurrent";
+  }
+  out << "\n";
+  out << std::fixed << std::setprecision(2);
+  out << "makespan: " << makespan_seconds << " s, peak capacity in use: "
+      << peak_capacity_nodes << " nodes, peak tenant concurrency: "
+      << peak_tenant_jobs << "\n";
+  out << "probe cache: " << cache.size << " records, " << cache.hits << "/"
+      << cache.lookups << " hits\n";
+  for (const JobOutcome& job : jobs) {
+    out << "--- " << job.name << " (tenant " << job.tenant << ")";
+    if (!job.ok) {
+      out << " FAILED [" << job.error_code << "]: " << job.error_message
+          << "\n";
+      continue;
+    }
+    out << "\n";
+    out << "    " << job.report.result.method << " -> "
+        << job.report.result.best_description << "\n";
+    out << "    queue wait " << job.stats.queue_wait_seconds << " s, ran "
+        << job.stats.run_seconds << " s; cache hits "
+        << job.stats.cache_hits << " (reused $" << job.stats.reused_probe_cost
+        << "), published " << job.stats.cache_publishes
+        << "; capacity stalls " << job.stats.capacity_stalls << " ("
+        << job.stats.capacity_stall_seconds << " s)\n";
+  }
+  return out.str();
+}
+
+std::string BatchReport::to_json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema_version").value(kJsonSchemaVersion);
+  json.key("scheduler").begin_object();
+  json.key("threads").value(threads);
+  json.key("capacity_nodes").value(capacity_nodes);
+  json.key("tenant_max_jobs").value(tenant_max_jobs);
+  json.key("makespan_seconds").value(makespan_seconds);
+  json.key("peak_capacity_nodes").value(peak_capacity_nodes);
+  json.key("peak_tenant_jobs").value(peak_tenant_jobs);
+  json.end_object();
+  json.key("probe_cache").begin_object();
+  json.key("lookups").value(cache.lookups);
+  json.key("hits").value(cache.hits);
+  json.key("inserts").value(cache.inserts);
+  json.key("size").value(static_cast<std::int64_t>(cache.size));
+  json.end_object();
+  json.key("jobs").begin_array();
+  for (const JobOutcome& job : jobs) {
+    json.begin_object();
+    json.key("name").value(job.name);
+    json.key("tenant").value(job.tenant);
+    json.key("ok").value(job.ok);
+    json.key("stats").begin_object();
+    json.key("queue_wait_seconds").value(job.stats.queue_wait_seconds);
+    json.key("run_seconds").value(job.stats.run_seconds);
+    json.key("cache_hits").value(job.stats.cache_hits);
+    json.key("cache_publishes").value(job.stats.cache_publishes);
+    json.key("reused_probe_cost").value(job.stats.reused_probe_cost);
+    json.key("capacity_stalls").value(job.stats.capacity_stalls);
+    json.key("capacity_stall_seconds")
+        .value(job.stats.capacity_stall_seconds);
+    json.end_object();
+    if (job.ok) {
+      // The solo-identical RunReport, spliced in verbatim: its bytes are
+      // exactly `mlcd deploy --json` of the same JobSpec.
+      json.key("report").raw(job.report.to_json());
+    } else {
+      json.key("error").begin_object();
+      json.key("code").value(job.error_code);
+      json.key("message").value(job.error_message);
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace mlcd::service

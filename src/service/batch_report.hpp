@@ -1,0 +1,91 @@
+// BatchReport: the versioned result document of one scheduled workload.
+//
+// Sits alongside RunReport (v3): one JobOutcome per workload job — the
+// job's full solo-equivalent RunReport plus the scheduler-side stats
+// that only exist in batch mode (queue wait, capacity stalls, probe-
+// cache reuse) — topped with fleet-level aggregates (makespan, peak
+// capacity occupancy, cache totals). Scheduler-side numbers are real
+// wall-clock observations and deliberately live *outside* the embedded
+// RunReports, which stay byte-identical to their solo runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mlcd/mlcd.hpp"
+#include "service/probe_cache.hpp"
+
+namespace mlcd::service {
+
+/// Scheduler-side accounting for one job (never part of the job's own
+/// simulated accounting).
+struct JobStats {
+  /// Real seconds between workload admission and the job starting.
+  double queue_wait_seconds = 0.0;
+  /// Real seconds the job's search ran.
+  double run_seconds = 0.0;
+  /// Probes served from the shared cache instead of measuring.
+  int cache_hits = 0;
+  /// Live probes this job measured and offered to the cache.
+  int cache_publishes = 0;
+  /// Simulated dollars of probe spend this job re-accounted from records
+  /// another tenant already paid to measure (reused probes bill only the
+  /// first tenant at the service level; the job's *internal* accounting
+  /// still books them, keeping its trace solo-identical).
+  double reused_probe_cost = 0.0;
+  /// Probes that queued for pool capacity / their cumulative wall wait.
+  int capacity_stalls = 0;
+  double capacity_stall_seconds = 0.0;
+};
+
+/// One workload job's outcome: either a RunReport or a typed JobError,
+/// plus scheduler stats either way.
+struct JobOutcome {
+  std::string name;
+  std::string tenant;
+  bool ok = false;
+  /// Set when !ok (mirrors system::JobError).
+  std::string error_code;
+  std::string error_message;
+  /// Set when ok; bit-identical to the solo run of the same JobSpec.
+  system::RunReport report;
+  JobStats stats;
+};
+
+struct BatchReport {
+  /// Version of the to_json() layout. History: 1 = first release.
+  static constexpr int kJsonSchemaVersion = 1;
+
+  /// Scheduler configuration this batch ran under.
+  int threads = 1;
+  int capacity_nodes = 0;    ///< 0 = unlimited
+  int tenant_max_jobs = 0;   ///< 0 = unlimited
+  /// Outcomes in workload order.
+  std::vector<JobOutcome> jobs;
+  /// Real seconds from first job start to last job finish.
+  double makespan_seconds = 0.0;
+  /// High-water mark of concurrently occupied simulated nodes.
+  int peak_capacity_nodes = 0;
+  /// High-water mark of concurrently running jobs of any single tenant
+  /// (the quota invariant's observable: <= tenant_max_jobs when set).
+  int peak_tenant_jobs = 0;
+  /// Fleet-level probe-cache totals.
+  ProbeCache::Stats cache;
+
+  /// Jobs that completed with a RunReport.
+  int succeeded() const noexcept;
+  /// Sum of per-job cache hits (probes the fleet did not re-measure).
+  int total_cache_hits() const noexcept;
+
+  /// Multi-line human-readable summary.
+  std::string render() const;
+
+  /// Machine-readable document: batch metadata + per-job scheduler stats
+  /// with each job's RunReport embedded verbatim (its own
+  /// schema_version intact) under "report". Versioned via the top-level
+  /// "schema_version" key.
+  std::string to_json() const;
+};
+
+}  // namespace mlcd::service

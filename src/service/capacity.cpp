@@ -1,0 +1,79 @@
+#include "service/capacity.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace mlcd::service {
+
+CapacityPool::CapacityPool(int capacity_nodes)
+    : capacity_(capacity_nodes > 0 ? capacity_nodes : 0) {}
+
+CapacityPool::Admission CapacityPool::acquire(int nodes) {
+  if (nodes <= 0) {
+    throw std::invalid_argument("CapacityPool: non-positive node count");
+  }
+  Admission admission;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (capacity_ == 0) {  // unlimited pool: only track occupancy
+    in_use_ += nodes;
+    peak_ = std::max(peak_, in_use_);
+    return admission;
+  }
+  if (nodes > capacity_) {
+    throw std::invalid_argument(
+        "CapacityPool: probe of " + std::to_string(nodes) +
+        " nodes exceeds the pool of " + std::to_string(capacity_) +
+        " (the scheduler should have rejected this workload)");
+  }
+  const std::uint64_t ticket = next_ticket_++;
+  const bool must_wait = serving_ != ticket || in_use_ + nodes > capacity_;
+  if (must_wait) {
+    const auto started = std::chrono::steady_clock::now();
+    turn_cv_.wait(lock, [&] {
+      return serving_ == ticket && in_use_ + nodes <= capacity_;
+    });
+    admission.stalled = true;
+    admission.wait_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    ++stalls_;
+    stall_seconds_ += admission.wait_seconds;
+  }
+  in_use_ += nodes;
+  peak_ = std::max(peak_, in_use_);
+  ++serving_;
+  // The next ticket holder may already fit alongside us.
+  turn_cv_.notify_all();
+  return admission;
+}
+
+void CapacityPool::release(int nodes) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_use_ = std::max(0, in_use_ - nodes);
+  turn_cv_.notify_all();
+}
+
+int CapacityPool::in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_use_;
+}
+
+int CapacityPool::peak_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+std::int64_t CapacityPool::stalls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stalls_;
+}
+
+double CapacityPool::stall_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stall_seconds_;
+}
+
+}  // namespace mlcd::service

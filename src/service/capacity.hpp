@@ -1,0 +1,66 @@
+// Global simulated-node capacity pool (service layer).
+//
+// A real MLaaS region does not have infinite machines: the fleet's
+// in-flight probes draw their nodes from one shared pool, and a probe
+// that would exceed it queues until running probes release enough
+// capacity. Queueing is strict FIFO (ticketed): a large probe at the
+// head is never starved by small probes arriving behind it, at the cost
+// of head-of-line blocking — the deterministic, explainable choice for
+// a scheduler whose decisions tenants will audit.
+//
+// Capacity waits are *real wall-clock* scheduler time. They are never
+// charged to a job's simulated profiling clock or billing meter — a
+// queued cluster bills nothing until it launches — which is exactly what
+// keeps a job's trace and constraint accounting bit-identical to its
+// solo run (docs/service.md).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace mlcd::service {
+
+/// Counting semaphore over simulated nodes with FIFO admission.
+class CapacityPool {
+ public:
+  /// `capacity_nodes` <= 0 means unlimited (every acquire succeeds
+  /// immediately); otherwise acquire(n) requires n <= capacity_nodes —
+  /// the scheduler validates workloads against this at admission so a
+  /// too-large probe can never wedge the queue.
+  explicit CapacityPool(int capacity_nodes);
+
+  struct Admission {
+    bool stalled = false;        ///< the probe had to queue
+    double wait_seconds = 0.0;   ///< real wall-clock time spent queued
+  };
+
+  /// Blocks until `nodes` fit, FIFO order. Throws std::invalid_argument
+  /// when `nodes` exceeds the pool outright or is non-positive.
+  Admission acquire(int nodes);
+
+  /// Returns capacity acquired earlier. Never blocks.
+  void release(int nodes) noexcept;
+
+  int capacity_nodes() const noexcept { return capacity_; }
+  /// Nodes occupied by in-flight probes right now.
+  int in_use() const;
+  /// High-water mark of concurrent occupied nodes.
+  int peak_in_use() const;
+  /// Probes that had to queue / their cumulative wall wait.
+  std::int64_t stalls() const;
+  double stall_seconds() const;
+
+ private:
+  const int capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable turn_cv_;
+  int in_use_ = 0;
+  int peak_ = 0;
+  std::uint64_t next_ticket_ = 0;   // next ticket to hand out
+  std::uint64_t serving_ = 0;       // ticket currently at the head
+  std::int64_t stalls_ = 0;
+  double stall_seconds_ = 0.0;
+};
+
+}  // namespace mlcd::service

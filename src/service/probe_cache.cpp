@@ -1,0 +1,34 @@
+#include "service/probe_cache.hpp"
+
+namespace mlcd::service {
+
+std::optional<journal::ProbeRecord> ProbeCache::lookup(
+    const profiler::ProbeKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  ++stats_.hits;
+  return it->second;
+}
+
+bool ProbeCache::insert(const profiler::ProbeKey& key,
+                        const journal::ProbeRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool inserted = records_.emplace(key, record).second;
+  if (inserted) {
+    ++stats_.inserts;
+  } else {
+    ++stats_.rejected;
+  }
+  return inserted;
+}
+
+ProbeCache::Stats ProbeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.size = records_.size();
+  return out;
+}
+
+}  // namespace mlcd::service

@@ -1,0 +1,58 @@
+// Shared cross-job probe cache (service layer).
+//
+// A fleet of concurrent searches probes the same deployment catalog —
+// HeterBO alone opens every run with one single-node probe per instance
+// type — so the service measures each distinct probe once and serves
+// every later identical request from this cache. "Identical" is decided
+// by profiler::ProbeKey, which fingerprints every input of the probe
+// computation (substrate + full prior probe history); see
+// profiler/probe_gate.hpp for why a key match implies a bit-identical
+// outcome, which is what keeps batch traces equal to solo traces.
+//
+// Records are stored as journal::ProbeRecord measurement images (the
+// same representation crash-resume replays), first writer wins, and the
+// map only ever grows — entries are immutable once published, so a hit
+// can be copied out under a short lock with no coherence protocol.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "journal/journal.hpp"
+#include "profiler/probe_gate.hpp"
+
+namespace mlcd::service {
+
+/// Thread-safe, grow-only map from probe identity to measured outcome.
+class ProbeCache {
+ public:
+  struct Stats {
+    std::int64_t lookups = 0;
+    std::int64_t hits = 0;
+    std::int64_t inserts = 0;   ///< records accepted (first writer)
+    std::int64_t rejected = 0;  ///< publish lost the first-writer race
+    std::size_t size = 0;
+  };
+
+  /// The record published under `key`, if any.
+  std::optional<journal::ProbeRecord> lookup(const profiler::ProbeKey& key);
+
+  /// Publishes a measurement; first writer wins (a concurrent duplicate
+  /// is dropped — by the ProbeKey contract it holds identical bytes).
+  /// Returns true when this call inserted the record.
+  bool insert(const profiler::ProbeKey& key,
+              const journal::ProbeRecord& record);
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<profiler::ProbeKey, journal::ProbeRecord,
+                     profiler::ProbeKeyHash>
+      records_;
+  Stats stats_;
+};
+
+}  // namespace mlcd::service

@@ -1,0 +1,220 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/capacity.hpp"
+#include "service/probe_cache.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlcd::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Per-job ProbeGate: cache lookup first, then capacity admission.
+/// The cache and pool are shared (and internally locked); `stats` is the
+/// job's own and is only ever touched from the job's thread — the
+/// profiler calls the gate serially.
+class JobGate final : public profiler::ProbeGate {
+ public:
+  JobGate(ProbeCache* cache, CapacityPool* capacity, JobStats* stats)
+      : cache_(cache), capacity_(capacity), stats_(stats) {}
+
+  std::optional<journal::ProbeRecord> admit(
+      const profiler::ProbeKey& key, const cloud::Deployment& d) override {
+    if (cache_ != nullptr) {
+      if (std::optional<journal::ProbeRecord> hit = cache_->lookup(key)) {
+        // Served, not launched: no capacity consumed, and the service-
+        // level ledger bills the measurement to the tenant that first
+        // ran it — this job only re-accounts it internally.
+        ++stats_->cache_hits;
+        stats_->reused_probe_cost += hit->profile_cost;
+        return hit;
+      }
+    }
+    const CapacityPool::Admission admission = capacity_->acquire(d.nodes);
+    if (admission.stalled) {
+      ++stats_->capacity_stalls;
+      stats_->capacity_stall_seconds += admission.wait_seconds;
+    }
+    return std::nullopt;
+  }
+
+  void publish(const profiler::ProbeKey& key, const cloud::Deployment& d,
+               const journal::ProbeRecord& outcome) override {
+    capacity_->release(d.nodes);
+    if (cache_ != nullptr) {
+      cache_->insert(key, outcome);
+      ++stats_->cache_publishes;
+    }
+  }
+
+  void abandon(const cloud::Deployment& d) noexcept override {
+    capacity_->release(d.nodes);
+  }
+
+ private:
+  ProbeCache* cache_;
+  CapacityPool* capacity_;
+  JobStats* stats_;
+};
+
+}  // namespace
+
+Scheduler::Scheduler(const system::Mlcd& mlcd, SchedulerOptions options)
+    : mlcd_(&mlcd), options_(options) {
+  if (options_.threads < 1) options_.threads = 1;
+  if (options_.capacity_nodes < 0) {
+    throw std::invalid_argument("Scheduler: negative capacity_nodes");
+  }
+  if (options_.tenant_max_jobs < 0) {
+    throw std::invalid_argument("Scheduler: negative tenant_max_jobs");
+  }
+}
+
+BatchReport Scheduler::run(const Workload& workload) const {
+  const std::size_t n = workload.jobs.size();
+  if (n == 0) {
+    throw std::invalid_argument("Scheduler: empty workload");
+  }
+  // Admission control: a probe larger than the whole pool would wedge
+  // the FIFO queue forever — refuse the workload instead of deadlocking
+  // mid-batch. (Searchers never probe beyond the job's max_nodes.)
+  if (options_.capacity_nodes > 0) {
+    for (const JobSpec& spec : workload.jobs) {
+      if (spec.request.max_nodes > options_.capacity_nodes) {
+        throw std::invalid_argument(
+            "Scheduler: admission refused — job '" + spec.name +
+            "' may probe up to " + std::to_string(spec.request.max_nodes) +
+            " nodes but the capacity pool holds only " +
+            std::to_string(options_.capacity_nodes));
+      }
+    }
+  }
+
+  BatchReport report;
+  report.threads = options_.threads;
+  report.capacity_nodes = options_.capacity_nodes;
+  report.tenant_max_jobs = options_.tenant_max_jobs;
+  report.jobs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    report.jobs[i].name = workload.jobs[i].name;
+    report.jobs[i].tenant = workload.jobs[i].tenant;
+  }
+
+  ProbeCache cache;
+  CapacityPool capacity(options_.capacity_nodes);
+
+  // Job claiming: workers pull the lowest-index unclaimed job whose
+  // tenant is under quota; when every unclaimed job is quota-blocked
+  // they sleep until some job completes. A quota slot is only ever held
+  // by a running job and running jobs always finish, so this cannot
+  // deadlock.
+  std::mutex mutex;
+  std::condition_variable claim_cv;
+  std::vector<bool> claimed(n, false);
+  std::map<std::string, int> tenant_running;
+  int peak_tenant = 0;
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+  const Clock::time_point batch_start = Clock::now();
+
+  const auto claim_next = [&]() -> std::size_t {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      bool any_unclaimed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (claimed[i]) continue;
+        any_unclaimed = true;
+        int& running = tenant_running[workload.jobs[i].tenant];
+        if (options_.tenant_max_jobs > 0 &&
+            running >= options_.tenant_max_jobs) {
+          continue;  // quota-blocked; later jobs may still be eligible
+        }
+        claimed[i] = true;
+        ++running;
+        peak_tenant = std::max(peak_tenant, running);
+        return i;
+      }
+      if (!any_unclaimed) return kNone;
+      claim_cv.wait(lock);
+    }
+  };
+  const auto complete = [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(mutex);
+    --tenant_running[workload.jobs[i].tenant];
+    claim_cv.notify_all();
+  };
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(options_.threads, n));
+  util::ThreadPool pool(workers);
+  pool.parallel_for(
+      static_cast<std::size_t>(workers),
+      [&](std::size_t begin, std::size_t end) {
+        // One claim loop per worker lane (chunks are [w, w+1)).
+        for (std::size_t lane = begin; lane < end; ++lane) {
+          for (std::size_t i = claim_next(); i != kNone; i = claim_next()) {
+            const JobSpec& spec = workload.jobs[i];
+            JobOutcome& outcome = report.jobs[i];
+            outcome.stats.queue_wait_seconds = seconds_since(batch_start);
+            const Clock::time_point job_start = Clock::now();
+            JobGate gate(options_.share_probes ? &cache : nullptr, &capacity,
+                         &outcome.stats);
+            system::JobRequest request = spec.request;
+            request.probe_gate = &gate;
+            try {
+              system::DeployResult result = mlcd_->deploy(request);
+              if (result.ok()) {
+                outcome.ok = true;
+                outcome.report = std::move(result).report();
+              } else {
+                outcome.error_code = std::string(
+                    system::job_error_code_name(result.error().code));
+                outcome.error_message = result.error().message;
+              }
+            } catch (const std::exception& e) {
+              // One job's internal failure must not take the fleet down.
+              outcome.error_code = "internal";
+              outcome.error_message = e.what();
+            }
+            outcome.stats.run_seconds = seconds_since(job_start);
+            if (!outcome.ok) {
+              MLCD_LOG(kWarn, "service")
+                  << "job '" << spec.name << "' failed ["
+                  << outcome.error_code << "]: " << outcome.error_message;
+            }
+            complete(i);
+          }
+        }
+      });
+
+  report.makespan_seconds = seconds_since(batch_start);
+  report.peak_capacity_nodes = capacity.peak_in_use();
+  report.peak_tenant_jobs = peak_tenant;
+  report.cache = cache.stats();
+  MLCD_LOG(kInfo, "service")
+      << "batch of " << n << " jobs done in " << report.makespan_seconds
+      << " s (" << report.succeeded() << " ok, "
+      << report.total_cache_hits() << " cache hits, peak "
+      << report.peak_capacity_nodes << " nodes)";
+  return report;
+}
+
+}  // namespace mlcd::service

@@ -1,0 +1,66 @@
+// Multi-tenant search scheduler (service layer tentpole).
+//
+// Takes an admitted Workload and runs its jobs concurrently on a shared
+// util::ThreadPool, composing the pieces the service adds on top of
+// `mlcd deploy`:
+//
+//   * admission control — a workload whose jobs could never fit the
+//     capacity pool is refused up front (no wedged queues later);
+//   * per-tenant quotas — at most `tenant_max_jobs` of one tenant's
+//     jobs run concurrently; eligible jobs of other tenants overtake
+//     quota-blocked ones (work-conserving);
+//   * a global capacity pool — concurrent simulated nodes across all
+//     in-flight probes; over-capacity probes queue (real wall time,
+//     never simulated time) rather than launch;
+//   * a shared ProbeCache — identical probes are measured once and
+//     served to every later job, billing only the first tenant.
+//
+// The hard invariant, enforced by tests/service_test.cpp at every
+// thread count: each job's RunReport — trace included — is bit-identical
+// to running that JobSpec solo with the same seed. Scheduling order,
+// quotas, capacity waits, and cache hits are all trace-neutral.
+#pragma once
+
+#include "mlcd/mlcd.hpp"
+#include "service/batch_report.hpp"
+#include "service/workload.hpp"
+
+namespace mlcd::service {
+
+struct SchedulerOptions {
+  /// Concurrent jobs (scheduler lanes; each job may additionally use its
+  /// own per-job candidate-scan threads). Clamped to >= 1.
+  int threads = 1;
+  /// Global pool of concurrent simulated nodes across all in-flight
+  /// probes; 0 = unlimited. Workloads containing a job whose max_nodes
+  /// exceeds this are refused at admission.
+  int capacity_nodes = 0;
+  /// Max concurrently-running jobs per tenant; 0 = unlimited.
+  int tenant_max_jobs = 0;
+  /// Route probes through the shared cross-job cache (on by default;
+  /// the bench switches it off to measure its contribution).
+  bool share_probes = true;
+};
+
+class Scheduler {
+ public:
+  /// `mlcd` is borrowed and must outlive the scheduler. Throws
+  /// std::invalid_argument on nonsensical options (negative capacity or
+  /// quota).
+  Scheduler(const system::Mlcd& mlcd, SchedulerOptions options = {});
+
+  /// Admits and runs the workload to completion. Throws
+  /// std::invalid_argument when admission fails (empty workload, or a
+  /// job's max_nodes exceeds capacity_nodes). Per-job failures (unknown
+  /// model/method, journal errors) do not abort the batch — they come
+  /// back as failed JobOutcomes.
+  BatchReport run(const Workload& workload) const;
+
+  const SchedulerOptions& options() const noexcept { return options_; }
+
+ private:
+  const system::Mlcd* mlcd_;
+  SchedulerOptions options_;
+};
+
+}  // namespace mlcd::service

@@ -1,0 +1,134 @@
+#include "service/workload.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace mlcd::service {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("workload: " + what);
+}
+
+double finite_number(const util::JsonValue& v, const std::string& key) {
+  const double x = v.as_number();
+  if (!std::isfinite(x)) fail("'" + key + "' must be finite");
+  return x;
+}
+
+int int_field(const util::JsonValue& job, const std::string& key,
+              int fallback, int min_value) {
+  if (!job.contains(key)) return fallback;
+  const double x = finite_number(job.at(key), key);
+  const int i = static_cast<int>(x);
+  if (static_cast<double>(i) != x) fail("'" + key + "' must be an integer");
+  if (i < min_value) {
+    fail("'" + key + "' must be >= " + std::to_string(min_value));
+  }
+  return i;
+}
+
+std::string string_field(const util::JsonValue& job, const std::string& key,
+                         const std::string& fallback) {
+  if (!job.contains(key)) return fallback;
+  return job.at(key).as_string();
+}
+
+JobSpec parse_job(const util::JsonValue& job, std::size_t index) {
+  if (!job.is_object()) {
+    fail("jobs[" + std::to_string(index) + "] must be an object");
+  }
+  JobSpec spec;
+  if (!job.contains("name") || job.at("name").as_string().empty()) {
+    fail("jobs[" + std::to_string(index) + "] needs a non-empty 'name'");
+  }
+  spec.name = job.at("name").as_string();
+  spec.tenant = string_field(job, "tenant", spec.name);
+  if (spec.tenant.empty()) fail("job '" + spec.name + "': empty 'tenant'");
+
+  system::JobRequest& r = spec.request;
+  if (!job.contains("model") || job.at("model").as_string().empty()) {
+    fail("job '" + spec.name + "' needs a non-empty 'model'");
+  }
+  r.model = job.at("model").as_string();
+  r.platform = string_field(job, "platform", r.platform);
+  r.search_method = string_field(job, "method", r.search_method);
+  if (job.contains("deadline_hours")) {
+    const double hours = finite_number(job.at("deadline_hours"),
+                                       "deadline_hours");
+    if (hours <= 0.0) fail("job '" + spec.name + "': non-positive deadline");
+    r.requirements.deadline_hours = hours;
+  }
+  if (job.contains("budget_dollars")) {
+    const double dollars = finite_number(job.at("budget_dollars"),
+                                         "budget_dollars");
+    if (dollars <= 0.0) fail("job '" + spec.name + "': non-positive budget");
+    r.requirements.budget_dollars = dollars;
+  }
+  r.seed = static_cast<std::uint64_t>(int_field(job, "seed", 1, 1));
+  r.max_nodes = int_field(job, "max_nodes", r.max_nodes, 1);
+  r.threads = int_field(job, "threads", r.threads, 1);
+  r.gp_refit_every = int_field(job, "gp_refit_every", r.gp_refit_every, 0);
+  if (job.contains("use_spot")) r.use_spot = job.at("use_spot").as_bool();
+  r.journal_path = string_field(job, "journal", "");
+  if (job.contains("instance_types")) {
+    for (const util::JsonValue& t : job.at("instance_types").as_array()) {
+      r.instance_types.push_back(t.as_string());
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+Workload parse_workload(std::string_view json) {
+  util::JsonValue doc;
+  try {
+    doc = util::parse_json(json);
+  } catch (const std::invalid_argument& e) {
+    fail(std::string("malformed JSON: ") + e.what());
+  }
+  if (!doc.is_object()) fail("top level must be an object");
+  if (doc.contains("schema_version")) {
+    const double v = doc.at("schema_version").as_number();
+    if (v != Workload::kJsonSchemaVersion) {
+      std::ostringstream message;
+      message << "unsupported schema_version " << v << " (this build reads "
+              << Workload::kJsonSchemaVersion << ")";
+      fail(message.str());
+    }
+  }
+  if (!doc.contains("jobs")) fail("missing 'jobs' array");
+
+  Workload workload;
+  const auto& jobs = doc.at("jobs").as_array();
+  if (jobs.empty()) fail("'jobs' must not be empty");
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    JobSpec spec = parse_job(jobs[i], i);
+    if (!names.insert(spec.name).second) {
+      fail("duplicate job name '" + spec.name + "'");
+    }
+    workload.jobs.push_back(std::move(spec));
+  }
+  return workload;
+}
+
+Workload load_workload(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("workload: cannot read '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_workload(buffer.str());
+}
+
+}  // namespace mlcd::service

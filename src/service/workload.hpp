@@ -1,0 +1,68 @@
+// Workload: the unit of admission for the multi-tenant search service.
+//
+// A workload is a JSON file naming a fleet of deployment-search jobs —
+// one per training job a tenant wants placed — each carrying the same
+// knobs `mlcd deploy` accepts (model, scenario bounds, search method,
+// seed, chaos knobs, journal path). The scheduler (scheduler.hpp) runs
+// the fleet concurrently; parsing and validation live here so the CLI,
+// the examples, and the tests share one format.
+//
+// Format (see docs/service.md and examples/workloads/):
+//
+//   {
+//     "schema_version": 1,
+//     "jobs": [
+//       {
+//         "name": "acme-resnet",          // required, unique
+//         "tenant": "acme",               // quota bucket; default: name
+//         "model": "resnet",              // required
+//         "platform": "tensorflow",
+//         "method": "heterbo",
+//         "seed": 7,
+//         "deadline_hours": 24.0,         // optional scenario bounds
+//         "budget_dollars": 400.0,
+//         "max_nodes": 50,
+//         "use_spot": false,
+//         "threads": 1,                   // per-job candidate-scan lanes
+//         "gp_refit_every": 1,
+//         "journal": "acme-resnet.mlcdj"  // optional durable journal
+//       }
+//     ]
+//   }
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mlcd/mlcd.hpp"
+
+namespace mlcd::service {
+
+/// One named job of a workload: a tenant label (the quota bucket) plus
+/// the full deploy request.
+struct JobSpec {
+  std::string name;
+  std::string tenant;
+  system::JobRequest request;
+};
+
+/// A fleet of jobs admitted and scheduled together.
+struct Workload {
+  static constexpr int kJsonSchemaVersion = 1;
+
+  std::vector<JobSpec> jobs;
+};
+
+/// Parses a workload document. Throws std::invalid_argument on
+/// malformed JSON, an unsupported schema_version, missing required
+/// fields, duplicate or empty job names, or out-of-range numbers.
+/// (Unknown models/methods are *not* rejected here — the scheduler
+/// surfaces those as per-job JobErrors, matching `mlcd deploy`.)
+Workload parse_workload(std::string_view json);
+
+/// Reads and parses a workload file; throws std::runtime_error when the
+/// file cannot be read.
+Workload load_workload(const std::string& path);
+
+}  // namespace mlcd::service

@@ -127,6 +127,16 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  if (json.empty()) {
+    throw std::logic_error("JsonWriter::raw: empty document");
+  }
+  before_value();
+  out_ << json;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
 std::string JsonWriter::str() const {
   if (!scopes_.empty()) {
     throw std::logic_error("JsonWriter::str: unclosed containers");

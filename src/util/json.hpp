@@ -38,6 +38,12 @@ class JsonWriter {
   JsonWriter& value(bool flag);
   JsonWriter& null();
 
+  /// Splices a pre-serialized JSON document in value position (e.g. a
+  /// nested report produced by another writer). The caller vouches that
+  /// `json` is itself well-formed; structural bookkeeping treats it as
+  /// one value.
+  JsonWriter& raw(std::string_view json);
+
   /// The serialized document; all containers must be closed.
   std::string str() const;
 

@@ -2,7 +2,9 @@
 // in-process command driver.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -295,6 +297,78 @@ TEST(CliRun, CompareRunsAllMethods) {
   EXPECT_NE(out.find("heterbo"), std::string::npos);
   EXPECT_NE(out.find("conv-bo"), std::string::npos);
   EXPECT_NE(out.find("paleo"), std::string::npos);
+}
+
+TEST(CliRun, SearchersListsRegistryWithDescriptions) {
+  std::string out;
+  EXPECT_EQ(drive({"searchers"}, &out), 0);
+  // Every built-in method, each with its one-line description.
+  for (const char* method :
+       {"heterbo", "conv-bo", "bo-improved", "cherrypick",
+        "cherrypick-improved", "random", "exhaustive", "paleo", "pareto"}) {
+    EXPECT_NE(out.find(method), std::string::npos) << method;
+  }
+  EXPECT_NE(out.find("description"), std::string::npos);
+  EXPECT_NE(out.find("protective reserve"), std::string::npos);
+  EXPECT_NE(out.find("Pareto front"), std::string::npos);
+}
+
+TEST(CliRun, BatchRequiresWorkloadFile) {
+  std::string err;
+  EXPECT_EQ(drive({"batch"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("workload"), std::string::npos);
+}
+
+TEST(CliRun, BatchMissingFileFails) {
+  std::string err;
+  EXPECT_EQ(drive({"batch", "/no/such/workload.json"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("cannot read"), std::string::npos);
+}
+
+TEST(CliRun, BatchEndToEnd) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string workload = (tmp / "mlcd_cli_batch.json").string();
+  const std::string report_out = (tmp / "mlcd_cli_batch_out.json").string();
+  {
+    std::ofstream f(workload);
+    f << R"({"jobs": [
+      {"name": "a", "tenant": "t1", "model": "resnet",
+       "deadline_hours": 24, "seed": 7, "max_nodes": 8},
+      {"name": "b", "tenant": "t2", "model": "resnet",
+       "deadline_hours": 30, "seed": 7, "max_nodes": 8}
+    ]})";
+  }
+  std::string out;
+  const int rc = drive({"batch", workload.c_str(), "--threads", "2",
+                        "--capacity", "16", "--tenant-quota", "1", "--json",
+                        "--out", report_out.c_str()},
+                       &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"a\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"b\""), std::string::npos);
+  // --out writes the same document.
+  std::ifstream in(report_out, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), out);
+  std::remove(workload.c_str());
+  std::remove(report_out.c_str());
+}
+
+TEST(CliRun, BatchRefusesOverCapacityWorkload) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string workload = (tmp / "mlcd_cli_batch_cap.json").string();
+  {
+    std::ofstream f(workload);
+    f << R"({"jobs": [{"name": "a", "model": "resnet", "max_nodes": 50}]})";
+  }
+  std::string err;
+  EXPECT_EQ(drive({"batch", workload.c_str(), "--capacity", "10"}, nullptr,
+                  &err),
+            2);
+  EXPECT_NE(err.find("admission refused"), std::string::npos);
+  std::remove(workload.c_str());
 }
 
 }  // namespace

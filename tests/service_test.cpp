@@ -1,0 +1,548 @@
+// Tests for src/service: workload parsing, the shared probe cache, the
+// capacity pool, the multi-tenant scheduler, and the subsystem's hard
+// invariant — every job's batch-mode RunReport is bit-identical to the
+// solo run of the same JobSpec, at any scheduler thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mlcd/mlcd.hpp"
+#include "search/pareto.hpp"
+#include "search/trace_io.hpp"
+#include "service/batch_report.hpp"
+#include "service/capacity.hpp"
+#include "service/probe_cache.hpp"
+#include "service/scheduler.hpp"
+#include "service/workload.hpp"
+#include "util/json.hpp"
+
+namespace mlcd::service {
+namespace {
+
+// ---------------------------------------------------------------- workload
+
+TEST(Workload, ParsesFullDocument) {
+  const Workload w = parse_workload(R"({
+    "schema_version": 1,
+    "jobs": [
+      {"name": "a", "tenant": "acme", "model": "resnet",
+       "deadline_hours": 24, "seed": 7, "max_nodes": 10,
+       "method": "conv-bo", "use_spot": true, "threads": 2,
+       "journal": "a.mlcdj"},
+      {"name": "b", "model": "alexnet", "budget_dollars": 120.5}
+    ]
+  })");
+  ASSERT_EQ(w.jobs.size(), 2u);
+  const JobSpec& a = w.jobs[0];
+  EXPECT_EQ(a.name, "a");
+  EXPECT_EQ(a.tenant, "acme");
+  EXPECT_EQ(a.request.model, "resnet");
+  EXPECT_EQ(a.request.search_method, "conv-bo");
+  EXPECT_EQ(a.request.seed, 7u);
+  EXPECT_EQ(a.request.max_nodes, 10);
+  EXPECT_EQ(a.request.threads, 2);
+  EXPECT_TRUE(a.request.use_spot);
+  EXPECT_EQ(a.request.journal_path, "a.mlcdj");
+  ASSERT_TRUE(a.request.requirements.deadline_hours.has_value());
+  EXPECT_DOUBLE_EQ(*a.request.requirements.deadline_hours, 24.0);
+  EXPECT_FALSE(a.request.requirements.budget_dollars.has_value());
+  // Defaults: tenant = name, method = heterbo, seed = 1.
+  const JobSpec& b = w.jobs[1];
+  EXPECT_EQ(b.tenant, "b");
+  EXPECT_EQ(b.request.search_method, "heterbo");
+  EXPECT_EQ(b.request.seed, 1u);
+  ASSERT_TRUE(b.request.requirements.budget_dollars.has_value());
+  EXPECT_DOUBLE_EQ(*b.request.requirements.budget_dollars, 120.5);
+}
+
+TEST(Workload, RejectsBadDocuments) {
+  EXPECT_THROW(parse_workload("not json"), std::invalid_argument);
+  EXPECT_THROW(parse_workload("[]"), std::invalid_argument);
+  EXPECT_THROW(parse_workload(R"({"jobs": []})"), std::invalid_argument);
+  EXPECT_THROW(parse_workload(R"({"schema_version": 99, "jobs": [
+      {"name": "a", "model": "resnet"}]})"),
+               std::invalid_argument);
+  // Missing / empty name, missing model.
+  EXPECT_THROW(parse_workload(R"({"jobs": [{"model": "resnet"}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_workload(R"({"jobs": [{"name": "", "model": "resnet"}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(parse_workload(R"({"jobs": [{"name": "a"}]})"),
+               std::invalid_argument);
+  // Duplicate names.
+  EXPECT_THROW(parse_workload(R"({"jobs": [
+      {"name": "a", "model": "resnet"},
+      {"name": "a", "model": "alexnet"}]})"),
+               std::invalid_argument);
+  // Out-of-range numbers.
+  EXPECT_THROW(parse_workload(R"({"jobs": [
+      {"name": "a", "model": "resnet", "deadline_hours": -1}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_workload(R"({"jobs": [
+      {"name": "a", "model": "resnet", "seed": 1.5}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_workload(R"({"jobs": [
+      {"name": "a", "model": "resnet", "max_nodes": 0}]})"),
+               std::invalid_argument);
+}
+
+TEST(Workload, LoadReadsFileAndReportsMissing) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mlcd_wl_test.json")
+          .string();
+  {
+    std::ofstream f(path);
+    f << R"({"jobs": [{"name": "a", "model": "resnet"}]})";
+  }
+  const Workload w = load_workload(path);
+  EXPECT_EQ(w.jobs.size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_workload(path), std::runtime_error);
+}
+
+// -------------------------------------------------------------- ProbeCache
+
+profiler::ProbeKey key_of(std::uint64_t substrate, std::uint64_t history,
+                          int index, std::size_t type, int nodes) {
+  profiler::ProbeKey key;
+  key.substrate = substrate;
+  key.history = history;
+  key.probe_index = index;
+  key.type_index = type;
+  key.nodes = nodes;
+  return key;
+}
+
+TEST(ProbeCache, MissInsertHit) {
+  ProbeCache cache;
+  const profiler::ProbeKey key = key_of(1, 2, 3, 4, 5);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+
+  journal::ProbeRecord record;
+  record.type_index = 4;
+  record.nodes = 5;
+  record.measured_speed = 123.5;
+  EXPECT_TRUE(cache.insert(key, record));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->nodes, 5);
+  EXPECT_DOUBLE_EQ(hit->measured_speed, 123.5);
+
+  // Any key component distinguishes entries.
+  EXPECT_FALSE(cache.lookup(key_of(9, 2, 3, 4, 5)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(1, 9, 3, 4, 5)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(1, 2, 9, 4, 5)).has_value());
+
+  const ProbeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 5);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.inserts, 1);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ProbeCache, FirstWriterWins) {
+  ProbeCache cache;
+  const profiler::ProbeKey key = key_of(1, 2, 3, 4, 5);
+  journal::ProbeRecord first;
+  first.measured_speed = 1.0;
+  journal::ProbeRecord second;
+  second.measured_speed = 2.0;
+  EXPECT_TRUE(cache.insert(key, first));
+  EXPECT_FALSE(cache.insert(key, second));
+  EXPECT_DOUBLE_EQ(cache.lookup(key)->measured_speed, 1.0);
+  EXPECT_EQ(cache.stats().rejected, 1);
+}
+
+// ------------------------------------------------------------ CapacityPool
+
+TEST(CapacityPool, UnlimitedTracksOccupancyOnly) {
+  CapacityPool pool(0);
+  const auto a = pool.acquire(100);
+  EXPECT_FALSE(a.stalled);
+  EXPECT_EQ(pool.in_use(), 100);
+  pool.acquire(50);
+  EXPECT_EQ(pool.peak_in_use(), 150);
+  pool.release(100);
+  pool.release(50);
+  EXPECT_EQ(pool.in_use(), 0);
+  EXPECT_EQ(pool.stalls(), 0);
+}
+
+TEST(CapacityPool, RejectsImpossibleRequests) {
+  CapacityPool pool(10);
+  EXPECT_THROW(pool.acquire(0), std::invalid_argument);
+  EXPECT_THROW(pool.acquire(11), std::invalid_argument);
+}
+
+TEST(CapacityPool, QueuesUntilCapacityFrees) {
+  CapacityPool pool(10);
+  EXPECT_FALSE(pool.acquire(8).stalled);
+  EXPECT_EQ(pool.in_use(), 8);
+
+  std::atomic<bool> admitted{false};
+  CapacityPool::Admission waiter_admission;
+  std::thread waiter([&] {
+    waiter_admission = pool.acquire(5);  // cannot fit beside the 8
+    admitted.store(true);
+  });
+  // The waiter must be stalled, not admitted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load());
+  EXPECT_EQ(pool.in_use(), 8);
+
+  pool.release(8);
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_TRUE(waiter_admission.stalled);
+  EXPECT_GT(waiter_admission.wait_seconds, 0.0);
+  EXPECT_EQ(pool.in_use(), 5);
+  EXPECT_EQ(pool.peak_in_use(), 8);
+  EXPECT_EQ(pool.stalls(), 1);
+  EXPECT_GT(pool.stall_seconds(), 0.0);
+  pool.release(5);
+}
+
+// --------------------------------------------------------------- Scheduler
+
+Workload small_fleet() {
+  // Two tenants sharing (model, seed) pairs so the probe cache has
+  // cross-job identical prefixes to reuse; scenarios differ per job.
+  return parse_workload(R"({
+    "jobs": [
+      {"name": "acme-resnet", "tenant": "acme", "model": "resnet",
+       "deadline_hours": 24, "seed": 7, "max_nodes": 10},
+      {"name": "beta-resnet", "tenant": "beta", "model": "resnet",
+       "deadline_hours": 30, "seed": 7, "max_nodes": 10},
+      {"name": "acme-alexnet", "tenant": "acme", "model": "alexnet",
+       "budget_dollars": 150, "seed": 9, "max_nodes": 10},
+      {"name": "beta-alexnet", "tenant": "beta", "model": "alexnet",
+       "budget_dollars": 200, "seed": 9, "max_nodes": 10}
+    ]
+  })");
+}
+
+TEST(Scheduler, RejectsBadOptionsAndWorkloads) {
+  const system::Mlcd mlcd;
+  SchedulerOptions negative;
+  negative.capacity_nodes = -1;
+  EXPECT_THROW(Scheduler(mlcd, negative), std::invalid_argument);
+  negative.capacity_nodes = 0;
+  negative.tenant_max_jobs = -1;
+  EXPECT_THROW(Scheduler(mlcd, negative), std::invalid_argument);
+
+  const Scheduler scheduler(mlcd, {});
+  EXPECT_THROW(scheduler.run(Workload{}), std::invalid_argument);
+
+  // Admission control: a job that could probe beyond the whole pool is
+  // refused up front (it would wedge the FIFO capacity queue).
+  SchedulerOptions tight;
+  tight.capacity_nodes = 5;
+  const Scheduler guarded(mlcd, tight);
+  EXPECT_THROW(guarded.run(small_fleet()), std::invalid_argument);
+}
+
+TEST(Scheduler, PerJobFailuresDoNotAbortTheBatch) {
+  const system::Mlcd mlcd;
+  const Workload workload = parse_workload(R"({
+    "jobs": [
+      {"name": "good", "model": "resnet", "deadline_hours": 24, "seed": 3,
+       "max_nodes": 8},
+      {"name": "bad-model", "model": "no-such-model"},
+      {"name": "bad-method", "model": "resnet", "method": "no-such"}
+    ]
+  })");
+  const Scheduler scheduler(mlcd, {});
+  const BatchReport report = scheduler.run(workload);
+  ASSERT_EQ(report.jobs.size(), 3u);
+  EXPECT_TRUE(report.jobs[0].ok);
+  EXPECT_FALSE(report.jobs[1].ok);
+  EXPECT_EQ(report.jobs[1].error_code, "unknown_model");
+  EXPECT_FALSE(report.jobs[2].ok);
+  EXPECT_EQ(report.jobs[2].error_code, "unknown_method");
+  EXPECT_EQ(report.succeeded(), 1);
+}
+
+TEST(Scheduler, SharesProbesAndBillsFirstTenantOnly) {
+  const system::Mlcd mlcd;
+  SchedulerOptions options;  // serial: deterministic claim order
+  const Scheduler scheduler(mlcd, options);
+  const BatchReport report = scheduler.run(small_fleet());
+  ASSERT_EQ(report.jobs.size(), 4u);
+  for (const JobOutcome& job : report.jobs) ASSERT_TRUE(job.ok) << job.name;
+
+  // Serial order runs acme-resnet first: it publishes, beta-resnet (same
+  // model+seed, different deadline) reuses the shared prefix.
+  EXPECT_EQ(report.jobs[0].stats.cache_hits, 0);
+  EXPECT_GT(report.jobs[0].stats.cache_publishes, 0);
+  EXPECT_GT(report.jobs[1].stats.cache_hits, 0);
+  EXPECT_GT(report.jobs[1].stats.reused_probe_cost, 0.0);
+  EXPECT_GT(report.total_cache_hits(), 0);
+  EXPECT_GT(report.cache.hits, 0);
+  EXPECT_EQ(report.cache.hits, report.total_cache_hits());
+  // Fleet-level: reused probes were measured once; the cache never holds
+  // more records than were published.
+  EXPECT_GT(report.cache.inserts, 0);
+  EXPECT_EQ(report.cache.size, static_cast<std::size_t>(report.cache.inserts));
+}
+
+TEST(Scheduler, NoShareModeStillProducesIdenticalReports) {
+  const system::Mlcd mlcd;
+  SchedulerOptions shared;
+  SchedulerOptions isolated;
+  isolated.share_probes = false;
+  const BatchReport a = Scheduler(mlcd, shared).run(small_fleet());
+  const BatchReport b = Scheduler(mlcd, isolated).run(small_fleet());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  EXPECT_EQ(b.total_cache_hits(), 0);
+  EXPECT_EQ(b.cache.lookups, 0);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].report.to_json(), b.jobs[i].report.to_json())
+        << a.jobs[i].name;
+  }
+}
+
+// The tentpole invariant, small scale: batch == solo, bytes, at several
+// scheduler thread counts. (The 32-job version below stresses it.)
+TEST(Scheduler, BatchReportsAreBitIdenticalToSoloRuns) {
+  const system::Mlcd mlcd;
+  const Workload workload = small_fleet();
+
+  std::vector<std::string> solo;
+  for (const JobSpec& spec : workload.jobs) {
+    const system::DeployResult result = mlcd.deploy(spec.request);
+    ASSERT_TRUE(result.ok()) << spec.name;
+    solo.push_back(result.report().to_json());
+  }
+
+  for (const int threads : {1, 4}) {
+    SchedulerOptions options;
+    options.threads = threads;
+    options.capacity_nodes = 24;
+    options.tenant_max_jobs = 1;
+    const BatchReport report = Scheduler(mlcd, options).run(workload);
+    ASSERT_EQ(report.jobs.size(), solo.size());
+    for (std::size_t i = 0; i < solo.size(); ++i) {
+      ASSERT_TRUE(report.jobs[i].ok);
+      EXPECT_EQ(report.jobs[i].report.to_json(), solo[i])
+          << "threads=" << threads << " job=" << report.jobs[i].name;
+    }
+    EXPECT_LE(report.peak_tenant_jobs, 1);
+    EXPECT_LE(report.peak_capacity_nodes, 24);
+  }
+}
+
+// ------------------------------------------------------------ BatchReport
+
+TEST(BatchReport, JsonRoundTripsUnderTheSchema) {
+  const system::Mlcd mlcd;
+  SchedulerOptions options;
+  options.threads = 2;
+  options.capacity_nodes = 30;
+  options.tenant_max_jobs = 2;
+  const BatchReport report = Scheduler(mlcd, options).run(small_fleet());
+
+  const util::JsonValue doc = util::parse_json(report.to_json());
+  EXPECT_EQ(doc.at("schema_version").as_number(),
+            BatchReport::kJsonSchemaVersion);
+  EXPECT_EQ(doc.at("scheduler").at("threads").as_number(), 2);
+  EXPECT_EQ(doc.at("scheduler").at("capacity_nodes").as_number(), 30);
+  EXPECT_GE(doc.at("scheduler").at("makespan_seconds").as_number(), 0.0);
+  EXPECT_GE(doc.at("probe_cache").at("hits").as_number(), 0.0);
+  const auto& jobs = doc.at("jobs").as_array();
+  ASSERT_EQ(jobs.size(), report.jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].at("name").as_string(), report.jobs[i].name);
+    EXPECT_EQ(jobs[i].at("tenant").as_string(), report.jobs[i].tenant);
+    ASSERT_TRUE(jobs[i].at("ok").as_bool());
+    EXPECT_GE(jobs[i].at("stats").at("cache_hits").as_number(), 0.0);
+    // The embedded document is a full RunReport under its own schema.
+    const util::JsonValue& embedded = jobs[i].at("report");
+    EXPECT_EQ(embedded.at("schema_version").as_number(),
+              system::RunReport::kJsonSchemaVersion);
+    EXPECT_TRUE(embedded.at("result").at("found").as_bool());
+    // ... and its bytes are exactly the solo document's bytes.
+    EXPECT_EQ(report.jobs[i].report.to_json(),
+              mlcd.deploy(small_fleet().jobs[i].request).report().to_json());
+  }
+}
+
+TEST(BatchReport, FailedJobsCarryTypedErrors) {
+  const system::Mlcd mlcd;
+  const Workload workload = parse_workload(
+      R"({"jobs": [{"name": "nope", "model": "no-such-model"}]})");
+  const BatchReport report = Scheduler(mlcd, {}).run(workload);
+  const util::JsonValue doc = util::parse_json(report.to_json());
+  const util::JsonValue& job = doc.at("jobs").at(std::size_t{0});
+  EXPECT_FALSE(job.at("ok").as_bool());
+  EXPECT_EQ(job.at("error").at("code").as_string(), "unknown_model");
+  EXPECT_FALSE(job.contains("report"));
+  EXPECT_NE(report.render().find("FAILED"), std::string::npos);
+}
+
+// ------------------------------------------------- trace_io / pareto rides
+
+TEST(BatchReport, TraceRoundTripMatchesSolo) {
+  const system::Mlcd mlcd;
+  const Workload workload = small_fleet();
+  const BatchReport batch = Scheduler(mlcd, {}).run(workload);
+  ASSERT_TRUE(batch.jobs[1].ok);
+
+  const JobSpec& spec = workload.jobs[1];
+  const system::DeployResult solo = mlcd.deploy(spec.request);
+  ASSERT_TRUE(solo.ok());
+
+  const cloud::DeploymentSpace space(
+      mlcd.cloud().catalog(), spec.request.max_nodes,
+      cloud::Market::kOnDemand);
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string from_batch = (tmp / "mlcd_batch_trace.csv").string();
+  const std::string from_solo = (tmp / "mlcd_solo_trace.csv").string();
+  search::save_trace_csv(from_batch, batch.jobs[1].report.result, space);
+  search::save_trace_csv(from_solo, solo.report().result, space);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  EXPECT_EQ(slurp(from_batch), slurp(from_solo));
+
+  // And the warm-start loader reads the batch-produced trace back.
+  const std::vector<search::WarmStartPoint> points =
+      search::load_warm_start_csv(from_batch, mlcd.cloud().catalog());
+  EXPECT_EQ(points.size(), batch.jobs[1].report.result.trace.size());
+  std::remove(from_batch.c_str());
+  std::remove(from_solo.c_str());
+}
+
+TEST(BatchReport, ParetoFrontMatchesSolo) {
+  const system::Mlcd mlcd;
+  const Workload workload = parse_workload(R"({
+    "jobs": [{"name": "front", "model": "resnet", "method": "pareto",
+              "deadline_hours": 24, "seed": 5, "max_nodes": 10}]
+  })");
+  const BatchReport batch = Scheduler(mlcd, {}).run(workload);
+  ASSERT_TRUE(batch.jobs[0].ok);
+  const system::DeployResult solo = mlcd.deploy(workload.jobs[0].request);
+  ASSERT_TRUE(solo.ok());
+
+  const perf::TrainingPerfModel& perf = mlcd.cloud().perf_model();
+  const search::ParetoSearcher searcher(perf);
+  const cloud::DeploymentSpace space(mlcd.cloud().catalog(), 10,
+                                     cloud::Market::kOnDemand);
+  const double samples =
+      mlcd.zoo().models()[*mlcd.zoo().find_model("resnet")].samples_to_train;
+  const auto batch_front =
+      searcher.front_of(batch.jobs[0].report.result, space, samples);
+  const auto solo_front =
+      searcher.front_of(solo.report().result, space, samples);
+  ASSERT_EQ(batch_front.size(), solo_front.size());
+  ASSERT_FALSE(batch_front.empty());
+  for (std::size_t i = 0; i < batch_front.size(); ++i) {
+    EXPECT_EQ(batch_front[i].deployment.type_index,
+              solo_front[i].deployment.type_index);
+    EXPECT_EQ(batch_front[i].deployment.nodes, solo_front[i].deployment.nodes);
+    EXPECT_DOUBLE_EQ(batch_front[i].training_hours,
+                     solo_front[i].training_hours);
+    EXPECT_DOUBLE_EQ(batch_front[i].training_cost,
+                     solo_front[i].training_cost);
+  }
+}
+
+// ------------------------------------------------------- 32-job stress run
+
+Workload stress_fleet() {
+  // 4 tenants x 8 jobs. Tenants deliberately mirror each other's
+  // (model, seed) pairs so identical probe prefixes recur fleet-wide,
+  // while scenarios and methods vary per job.
+  static constexpr const char* kModels[] = {"alexnet", "resnet", "char_rnn"};
+  static constexpr const char* kMethods[] = {"heterbo", "heterbo", "conv-bo",
+                                             "cherrypick"};
+  Workload workload;
+  for (int t = 0; t < 4; ++t) {
+    for (int j = 0; j < 8; ++j) {
+      JobSpec spec;
+      spec.tenant = "tenant-" + std::to_string(t);
+      spec.name = spec.tenant + "-job-" + std::to_string(j);
+      spec.request.model = kModels[j % 3];
+      spec.request.search_method = kMethods[j % 4];
+      spec.request.seed = static_cast<std::uint64_t>(100 + j);
+      spec.request.max_nodes = 10;
+      if (j % 2 == 0) {
+        spec.request.requirements.deadline_hours = 18.0 + j;
+      } else {
+        spec.request.requirements.budget_dollars = 150.0 + 25.0 * j;
+      }
+      workload.jobs.push_back(std::move(spec));
+    }
+  }
+  return workload;
+}
+
+TEST(ServiceStress, ThirtyTwoJobsBitIdenticalWithQuotaAndCapacity) {
+  const system::Mlcd mlcd;
+  const Workload workload = stress_fleet();
+
+  std::vector<std::string> solo;
+  solo.reserve(workload.jobs.size());
+  for (const JobSpec& spec : workload.jobs) {
+    const system::DeployResult result = mlcd.deploy(spec.request);
+    ASSERT_TRUE(result.ok()) << spec.name;
+    solo.push_back(result.report().to_json());
+  }
+
+  for (const int threads : {1, 4}) {
+    SchedulerOptions options;
+    options.threads = threads;
+    options.capacity_nodes = 16;  // forces queueing under contention
+    options.tenant_max_jobs = 2;
+    const BatchReport report = Scheduler(mlcd, options).run(workload);
+
+    ASSERT_EQ(report.jobs.size(), workload.jobs.size());
+    for (std::size_t i = 0; i < solo.size(); ++i) {
+      ASSERT_TRUE(report.jobs[i].ok) << report.jobs[i].name;
+      // The hard invariant: bit-identical to the solo run — trace,
+      // accounting, chosen deployment, every byte.
+      ASSERT_EQ(report.jobs[i].report.to_json(), solo[i])
+          << "threads=" << threads << " job=" << report.jobs[i].name;
+    }
+
+    // Quota and capacity invariants, from observed high-water marks.
+    EXPECT_LE(report.peak_tenant_jobs, 2);
+    EXPECT_GE(report.peak_tenant_jobs, 1);
+    EXPECT_LE(report.peak_capacity_nodes, 16);
+
+    // Cross-job reuse must actually happen: 4 tenants mirror each
+    // other's substrates, so at minimum the mirrored jobs' full probe
+    // sequences are served from the cache.
+    EXPECT_GT(report.total_cache_hits(), 0);
+    EXPECT_EQ(report.cache.hits, report.total_cache_hits());
+
+    // Per-tenant constraint safety under contention: the solo-identity
+    // proven above already implies it, but assert the user-facing form
+    // too — no job exceeded its own scenario bounds.
+    for (const JobOutcome& job : report.jobs) {
+      EXPECT_TRUE(job.report.result.meets_constraints(job.report.scenario))
+          << job.name;
+    }
+
+    // Makespan sanity: wall-clock stats exist and capacity stalls (if
+    // any) were charged to scheduler time, not to any job's simulated
+    // clock (the solo-identity assertions above would have caught that).
+    EXPECT_GE(report.makespan_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mlcd::service
