@@ -1,4 +1,4 @@
-// PR-4 service throughput gate.
+// PR-4 service throughput gate + PR-5 probe-granularity series.
 //
 // Schedules the same multi-tenant workload at several scheduler lane
 // counts and measures what the service layer exists for — aggregate
@@ -9,13 +9,24 @@
 // and exits nonzero when either gated ratio regressed by more than
 // --max-regression (default 20%).
 //
+// The PR-5 series re-runs the capacity-pressured configuration under
+// both scheduler modes — probe granularity (sessions park off their
+// lane while waiting for pool capacity) and the legacy job-per-lane
+// baseline (a blocked job idles its lane) — and writes the comparison
+// to BENCH_PR5.json: the lane-idle fraction of each mode, the idle-
+// fraction drop, session parks, and the job-over-probe makespan ratio.
+// Gated: the two modes' per-job reports must be bit-identical, probe
+// mode must actually park under pressure, and (vs --baseline5) the
+// lane-idle drop and makespan ratio must not regress.
+//
 // Absolute jobs/sec are machine-dependent, so only ratios are gated and
 // baseline-compared: the t4-vs-serial speedup and the probe-cache hit
 // rate are both dimensionless and cancel machine speed out, which keeps
 // the committed baseline meaningful on CI runners of any size.
 //
 // Usage:
-//   bench_service_throughput [--out FILE] [--baseline FILE]
+//   bench_service_throughput [--out FILE] [--out5 FILE]
+//                            [--baseline FILE] [--baseline5 FILE]
 //                            [--max-regression FRACTION] [--quick]
 #include <algorithm>
 #include <chrono>
@@ -98,27 +109,105 @@ service::Workload bench_fleet() {
   return workload;
 }
 
+/// The PR-5 contended fleet: exhaustive searchers, which probe
+/// back-to-back with no surrogate compute in between, so in-flight
+/// probes keep the capacity pool at a high duty cycle — the regime
+/// where the scheduler's run-vs-park decision dominates lane
+/// utilization. (BO fleets spend most wall time fitting GPs while
+/// holding zero capacity; they barely contend a pool on small boxes.)
+service::Workload contended_fleet() {
+  const char* models[] = {"resnet", "alexnet"};
+  service::Workload workload;
+  for (int j = 0; j < 6; ++j) {
+    service::JobSpec spec;
+    spec.tenant = "t" + std::to_string(j);
+    spec.name = spec.tenant + "-" + models[j % 2];
+    spec.request.model = models[j % 2];
+    spec.request.search_method = "exhaustive";
+    spec.request.seed = 100 + static_cast<std::uint64_t>(j);
+    spec.request.max_nodes = 8;
+    spec.request.requirements.deadline_hours = 24.0;
+    workload.jobs.push_back(std::move(spec));
+  }
+  return workload;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--out FILE] [--baseline FILE] "
-               "[--max-regression FRACTION] [--quick]\n",
+               "usage: %s [--out FILE] [--out5 FILE] [--baseline FILE] "
+               "[--baseline5 FILE] [--max-regression FRACTION] [--quick]\n",
                argv0);
   return 2;
+}
+
+/// Baseline ratio check shared by the PR-4 and PR-5 gates: fails when
+/// `value` fell more than `max_regression` below the baseline's number
+/// for any of `keys` (higher = better for every gated metric).
+bool check_baseline(const std::string& path,
+                    const std::vector<const char*>& keys,
+                    std::map<std::string, double>& metrics,
+                    double max_regression, bool skip_parallel_ratios) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "GATE FAIL: cannot read baseline %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const util::JsonValue baseline = util::parse_json(buffer.str());
+  const util::JsonValue& base_metrics = baseline.at("metrics");
+  const int base_cores =
+      baseline.contains("hardware_threads")
+          ? static_cast<int>(baseline.at("hardware_threads").as_number())
+          : 0;
+  bool ok = true;
+  for (const char* key : keys) {
+    if (!base_metrics.contains(key)) continue;
+    // Parallelism ratios need >= 4 cores on *both* sides to mean
+    // anything (a 1-core box can only ever measure ~1.0x).
+    if (skip_parallel_ratios &&
+        (base_cores < 4 || util::ThreadPool::hardware_threads() < 4) &&
+        std::string(key) != "cache_hit_rate_t4") {
+      std::printf("  baseline check %-32s skipped (<4 cores)\n", key);
+      continue;
+    }
+    const double base_value = base_metrics.at(key).as_number();
+    const double value = metrics[key];
+    if (value < (1.0 - max_regression) * base_value) {
+      std::fprintf(stderr,
+                   "GATE FAIL: %s regressed %.1f%% vs baseline "
+                   "(%.4g -> %.4g)\n",
+                   key, 100.0 * (1.0 - value / base_value), base_value,
+                   value);
+      ok = false;
+    } else {
+      std::printf("  baseline check %-32s ok (%+.1f%%)\n", key,
+                  100.0 * (value / base_value - 1.0));
+    }
+  }
+  return ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_PR4.json";
+  std::string out5_path = "BENCH_PR5.json";
   std::string baseline_path;
+  std::string baseline5_path;
   double max_regression = 0.20;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--out5" && i + 1 < argc) {
+      out5_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (arg == "--baseline5" && i + 1 < argc) {
+      baseline5_path = argv[++i];
     } else if (arg == "--max-regression" && i + 1 < argc) {
       max_regression = std::atof(argv[++i]);
     } else if (arg == "--quick") {
@@ -162,6 +251,29 @@ int main(int argc, char** argv) {
     options.tenant_max_jobs = 2;
     best_time(trials, [&] { return service::Scheduler(mlcd, options).run(workload); },
               &pressured);
+  }
+
+  // PR-5 series: a probe-dense fleet under *hard* capacity pressure —
+  // the pool shrunk to one max-size probe's worth of nodes and the
+  // shared cache off so every probe launches live — run under both
+  // scheduler modes. Job-per-lane idles a lane for every capacity wait;
+  // probe granularity parks the session and lends the lane out, which
+  // is exactly the lane-idle gap this series measures.
+  const service::Workload contended = contended_fleet();
+  service::BatchReport contended_probe_mode;
+  service::BatchReport contended_job_mode;
+  {
+    service::SchedulerOptions options;
+    options.threads = 4;
+    options.capacity_nodes = 8;  // == every job's max_nodes
+    options.share_probes = false;
+    best_time(trials,
+              [&] { return service::Scheduler(mlcd, options).run(contended); },
+              &contended_probe_mode);
+    options.probe_granularity = false;
+    best_time(trials,
+              [&] { return service::Scheduler(mlcd, options).run(contended); },
+              &contended_job_mode);
   }
 
   const double jobs_per_sec_t1 = n_jobs / secs_by_threads[1];
@@ -236,7 +348,84 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", out_path.c_str());
 
+  // ------------------------------------------------ PR-5 scheduler series
+  // Probe granularity vs job-per-lane under the same capacity pressure:
+  // how much lane-time the park/resume design recovers.
+  const double lane_idle_probe = contended_probe_mode.lane_idle_fraction();
+  const double lane_idle_job = contended_job_mode.lane_idle_fraction();
+  const int session_parks = contended_probe_mode.total_session_parks();
+  const double makespan_ratio =
+      contended_probe_mode.makespan_seconds > 0.0
+          ? contended_job_mode.makespan_seconds /
+                contended_probe_mode.makespan_seconds
+          : 0.0;
+  bool modes_identical =
+      contended_probe_mode.jobs.size() == contended_job_mode.jobs.size();
+  for (std::size_t i = 0;
+       modes_identical && i < contended_probe_mode.jobs.size(); ++i) {
+    modes_identical = contended_probe_mode.jobs[i].ok &&
+                      contended_job_mode.jobs[i].ok &&
+                      contended_probe_mode.jobs[i].report.to_json() ==
+                          contended_job_mode.jobs[i].report.to_json();
+  }
+
+  std::map<std::string, double> pr5_metrics;
+  pr5_metrics["lane_idle_fraction_probe"] = lane_idle_probe;
+  pr5_metrics["lane_idle_fraction_job"] = lane_idle_job;
+  pr5_metrics["lane_idle_drop"] = lane_idle_job - lane_idle_probe;
+  pr5_metrics["lane_busy_ratio_probe_vs_job"] =
+      lane_idle_job < 1.0 && lane_idle_probe < 1.0
+          ? (1.0 - lane_idle_probe) / (1.0 - lane_idle_job)
+          : 0.0;
+  pr5_metrics["makespan_ratio_job_over_probe"] = makespan_ratio;
+  pr5_metrics["session_parks"] = static_cast<double>(session_parks);
+  pr5_metrics["job_mode_capacity_stall_seconds"] = [&] {
+    double total = 0.0;
+    for (const auto& job : contended_job_mode.jobs) {
+      total += job.stats.capacity_stall_seconds;
+    }
+    return total;
+  }();
+
+  std::printf("PR-5 scheduler series (4 lanes, 8-node pool, no cache):\n");
+  for (const auto& [name, value] : pr5_metrics) {
+    std::printf("  %-34s %.4g\n", name.c_str(), value);
+  }
+  std::printf("  %-34s %s\n", "reports_identical_probe_vs_job",
+              modes_identical ? "yes" : "NO");
+
+  util::JsonWriter json5;
+  json5.begin_object();
+  json5.key("schema_version").value(1);
+  json5.key("bench").value("pr5-scheduler-gate");
+  json5.key("hardware_threads").value(util::ThreadPool::hardware_threads());
+  json5.key("metrics").begin_object();
+  for (const auto& [name, value] : pr5_metrics) json5.key(name).value(value);
+  json5.end_object();
+  json5.key("determinism").begin_object();
+  json5.key("reports_identical_probe_vs_job").value(modes_identical);
+  json5.key("jobs").value(static_cast<std::int64_t>(workload.jobs.size()));
+  json5.end_object();
+  json5.end_object();
+  {
+    std::ofstream out(out5_path);
+    out << json5.str() << "\n";
+  }
+  std::printf("wrote %s\n", out5_path.c_str());
+
   bool ok = true;
+  if (!modes_identical) {
+    std::fprintf(stderr,
+                 "GATE FAIL: per-job reports differ between the probe-"
+                 "granularity and job-per-lane schedulers\n");
+    ok = false;
+  }
+  if (session_parks <= 0) {
+    std::fprintf(stderr,
+                 "GATE FAIL: the pressured fleet never parked a session "
+                 "— the probe-granularity path went unexercised\n");
+    ok = false;
+  }
   if (!identical) {
     std::fprintf(stderr,
                  "GATE FAIL: per-job reports differ between --threads 1 "
@@ -257,45 +446,25 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
-  if (!baseline_path.empty()) {
-    std::ifstream in(baseline_path);
-    if (!in) {
-      std::fprintf(stderr, "GATE FAIL: cannot read baseline %s\n",
-                   baseline_path.c_str());
-      return 1;
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const util::JsonValue baseline = util::parse_json(buffer.str());
-    const util::JsonValue& base_metrics = baseline.at("metrics");
-    const int base_cores =
-        baseline.contains("hardware_threads")
-            ? static_cast<int>(baseline.at("hardware_threads").as_number())
-            : 0;
-    // Only dimensionless ratios are compared: machine speed cancels out.
-    // The speedup ratio additionally needs >= 4 cores on *both* sides to
-    // mean anything (a 1-core box can only ever measure ~1.0x).
-    for (const char* key : {"jobs_per_sec_speedup_t4", "cache_hit_rate_t4"}) {
-      if (!base_metrics.contains(key)) continue;
-      if (std::string(key) == "jobs_per_sec_speedup_t4" &&
-          (base_cores < 4 || util::ThreadPool::hardware_threads() < 4)) {
-        std::printf("  baseline check %-32s skipped (<4 cores)\n", key);
-        continue;
-      }
-      const double base_value = base_metrics.at(key).as_number();
-      const double value = metrics[key];
-      if (value < (1.0 - max_regression) * base_value) {
-        std::fprintf(stderr,
-                     "GATE FAIL: %s regressed %.1f%% vs baseline "
-                     "(%.4g -> %.4g)\n",
-                     key, 100.0 * (1.0 - value / base_value), base_value,
-                     value);
-        ok = false;
-      } else {
-        std::printf("  baseline check %-32s ok (%+.1f%%)\n", key,
-                    100.0 * (value / base_value - 1.0));
-      }
-    }
+  // Only dimensionless ratios are compared: machine speed cancels out.
+  if (!baseline_path.empty() &&
+      !check_baseline(baseline_path,
+                      {"jobs_per_sec_speedup_t4", "cache_hit_rate_t4"},
+                      metrics, max_regression,
+                      /*skip_parallel_ratios=*/true)) {
+    ok = false;
+  }
+  // PR-5 baseline: the recovered lane-time ratio and the job-over-probe
+  // makespan ratio are both dimensionless (higher = better). Like the
+  // lane-speedup ratio above they only mean anything with real
+  // parallelism on both sides.
+  if (!baseline5_path.empty() &&
+      !check_baseline(baseline5_path,
+                      {"lane_busy_ratio_probe_vs_job",
+                       "makespan_ratio_job_over_probe"},
+                      pr5_metrics, max_regression,
+                      /*skip_parallel_ratios=*/true)) {
+    ok = false;
   }
 
   if (ok) std::printf("gate passed\n");

@@ -84,6 +84,9 @@ batch options (multi-tenant scheduler; see docs/service.md):
                         nodes; over-capacity probes queue      [unlimited]
   --tenant-quota <n>    max concurrent jobs per tenant         [unlimited]
   --no-share            disable the cross-job probe cache
+  --scheduler <mode>    probe = park capacity-blocked sessions
+                        off their lane; job = legacy
+                        job-per-lane blocking                  [probe]
   --json                emit the BatchReport as JSON
   --out <file.json>     also write the BatchReport JSON here
 )";
@@ -274,6 +277,15 @@ int cmd_batch(const Args& args, std::ostream& out, std::ostream& err) {
       options.tenant_max_jobs = parse_positive_int(*quota);
     }
     options.share_probes = !args.has("no-share");
+    const std::string scheduler_mode = args.get_or("scheduler", "probe");
+    if (scheduler_mode == "probe") {
+      options.probe_granularity = true;
+    } else if (scheduler_mode == "job") {
+      options.probe_granularity = false;
+    } else {
+      return usage_error(err, "unknown --scheduler mode '" + scheduler_mode +
+                                  "' (expected probe or job)");
+    }
 
     const system::Mlcd mlcd;
     const service::Scheduler scheduler(mlcd, options);

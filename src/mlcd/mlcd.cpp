@@ -9,6 +9,7 @@
 
 #include "cloud/deployment.hpp"
 #include "cloud/fault_model.hpp"
+#include "search/probe_driver.hpp"
 #include "search/registry.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
@@ -111,9 +112,77 @@ const JobError& DeployResult::error() const {
   return *error_;
 }
 
-DeployResult Mlcd::deploy(const JobRequest& request) const {
+/// Everything a prepared job's session borrows, heap-pinned in
+/// declaration order (the space borrows the catalog, the problem borrows
+/// the space/journal, the session borrows the problem and searcher).
+struct PreparedJob::Context {
+  JobRequest request;  ///< owned copy; gate/pool pointers stay live
+  search::Scenario scenario;
+  std::optional<cloud::InstanceCatalog> restricted;
+  std::optional<cloud::DeploymentSpace> space;
+  std::optional<perf::TrainingPerfModel> perf_view;
+  std::unique_ptr<search::Searcher> searcher;
+  std::optional<journal::RunJournal> writer;
+  search::SearchProblem problem;
+  std::string resumed_from;
+  std::unique_ptr<search::SearchSession> session;
+};
+
+PreparedJob::PreparedJob(std::unique_ptr<Context> context)
+    : context_(std::move(context)) {}
+PreparedJob::PreparedJob(PreparedJob&&) noexcept = default;
+PreparedJob& PreparedJob::operator=(PreparedJob&&) noexcept = default;
+PreparedJob::~PreparedJob() = default;
+
+search::SearchSession& PreparedJob::session() noexcept {
+  return *context_->session;
+}
+
+DeployResult PreparedJob::finish() {
+  RunReport report;
+  report.request = context_->request;
+  // The gate and scan pool are scoped to the run; never let them dangle
+  // out of the report.
+  report.request.probe_gate = nullptr;
+  report.request.scan_pool = nullptr;
+  report.scenario = context_->scenario;
+  report.resumed_from = context_->resumed_from;
+  report.result = context_->searcher->finish(*context_->session);
+  MLCD_LOG(kInfo, "mlcd") << report.result.method << " selected "
+                          << report.result.best_description;
+  return DeployResult::success(std::move(report));
+}
+
+PrepareResult PrepareResult::success(PreparedJob job) {
+  PrepareResult result;
+  result.job_.emplace(std::move(job));
+  return result;
+}
+
+PrepareResult PrepareResult::failure(JobError error) {
+  PrepareResult result;
+  result.error_.emplace(std::move(error));
+  return result;
+}
+
+PreparedJob& PrepareResult::job() {
+  if (!job_) {
+    throw std::runtime_error("Mlcd::prepare rejected the job: " +
+                             error_->message);
+  }
+  return *job_;
+}
+
+const JobError& PrepareResult::error() const {
+  if (!error_) {
+    throw std::logic_error("PrepareResult::error: preparation succeeded");
+  }
+  return *error_;
+}
+
+PrepareResult Mlcd::prepare(const JobRequest& request) const {
   auto reject = [](JobErrorCode code, std::string message) {
-    return DeployResult::failure(JobError{code, std::move(message)});
+    return PrepareResult::failure(JobError{code, std::move(message)});
   };
   if (request.max_nodes < 1) {
     return reject(JobErrorCode::kInvalidRequest,
@@ -141,39 +210,45 @@ DeployResult Mlcd::deploy(const JobRequest& request) const {
     return reject(JobErrorCode::kInvalidRequest, e.what());
   }
 
+  // Everything below is owned by the prepared job's context: the session
+  // borrows the space/perf view/searcher/journal, so they must live —
+  // heap-pinned — for as long as the session does.
+  auto context = std::make_unique<PreparedJob::Context>();
+  context->request = request;
+  context->scenario = scenario;
+
   // Build the (possibly restricted) deployment space. The restricted
   // catalog must outlive the search, so it lives beside the space.
-  std::optional<cloud::InstanceCatalog> restricted;
   if (!request.instance_types.empty()) {
     try {
-      restricted = cloud_->catalog().subset(request.instance_types);
+      context->restricted = cloud_->catalog().subset(request.instance_types);
     } catch (const std::invalid_argument& e) {
       return reject(JobErrorCode::kUnknownInstanceType, e.what());
     }
   }
   const cloud::InstanceCatalog& catalog =
-      restricted ? *restricted : cloud_->catalog();
-  const cloud::DeploymentSpace space(
+      context->restricted ? *context->restricted : cloud_->catalog();
+  context->space.emplace(
       catalog, request.max_nodes,
       request.use_spot ? cloud::Market::kSpot : cloud::Market::kOnDemand);
 
   // Map the restricted space's searcher onto a perf model sharing the
   // same catalog view.
-  const perf::TrainingPerfModel perf_view(
-      catalog, cloud_->perf_model().options());
+  context->perf_view.emplace(catalog, cloud_->perf_model().options());
 
-  search::SearchProblem problem;
+  search::SearchProblem& problem = context->problem;
   try {
     problem.config =
         platforms_.make_config(model, request.platform, request.topology);
   } catch (const std::invalid_argument& e) {
     return reject(JobErrorCode::kUnknownPlatform, e.what());
   }
-  problem.space = &space;
+  problem.space = &*context->space;
   problem.scenario = scenario;
   problem.seed = request.seed;
   problem.profiler_options = request.profiler_options;
   problem.threads = request.threads;
+  problem.scan_pool = request.scan_pool;
   problem.gp_refit_every = request.gp_refit_every;
 
   if (request.probe_gate != nullptr) {
@@ -198,12 +273,11 @@ DeployResult Mlcd::deploy(const JobRequest& request) const {
 
   // Searchers must run against a perf model whose catalog view matches
   // the space's type indices.
-  std::unique_ptr<search::Searcher> searcher;
   try {
     search::SearcherOptions options;
     options.warm_start = request.warm_start;
-    searcher = search::SearcherRegistry::instance().create(
-        request.search_method, perf_view, options);
+    context->searcher = search::SearcherRegistry::instance().create(
+        request.search_method, *context->perf_view, options);
   } catch (const std::invalid_argument& e) {
     return reject(JobErrorCode::kUnknownMethod, e.what());
   }
@@ -237,8 +311,6 @@ DeployResult Mlcd::deploy(const JobRequest& request) const {
       profiler::hash_options(request.profiler_options);
   header.warm_start_hash = hash_warm_start(request.warm_start);
 
-  RunReport report;
-  std::optional<journal::RunJournal> writer;
   try {
     if (!request.resume_path.empty()) {
       journal::JournalContents contents =
@@ -256,27 +328,36 @@ DeployResult Mlcd::deploy(const JobRequest& request) const {
           << (contents.truncated_tail ? " (torn tail dropped)" : "");
       problem.replay = std::move(contents.probes);
       // Reopen for continuation, truncating any torn tail first.
-      writer.emplace(journal::RunJournal::append_to(request.resume_path,
-                                                    contents.valid_bytes));
-      report.resumed_from = request.resume_path;
+      context->writer.emplace(journal::RunJournal::append_to(
+          request.resume_path, contents.valid_bytes));
+      context->resumed_from = request.resume_path;
     } else if (!request.journal_path.empty()) {
-      writer.emplace(
+      context->writer.emplace(
           journal::RunJournal::create(request.journal_path, header));
     }
-    if (writer) problem.journal = &*writer;
+    if (context->writer) problem.journal = &*context->writer;
 
-    report.request = request;
-    // The gate is scoped to the deploy call; never let it dangle out of
-    // the report.
-    report.request.probe_gate = nullptr;
-    report.scenario = scenario;
-    report.result = searcher->run(problem);
+    // Session construction performs no probes and draws nothing from
+    // seeded streams — a prepared job that is never driven spends $0.
+    context->session = context->searcher->start(problem);
   } catch (const journal::JournalError& e) {
     return reject(JobErrorCode::kJournalError, e.what());
   }
-  MLCD_LOG(kInfo, "mlcd") << report.result.method << " selected "
-                          << report.result.best_description;
-  return DeployResult::success(std::move(report));
+  return PrepareResult::success(PreparedJob(std::move(context)));
+}
+
+DeployResult Mlcd::deploy(const JobRequest& request) const {
+  PrepareResult prepared = prepare(request);
+  if (!prepared.ok()) return DeployResult::failure(prepared.error());
+  try {
+    search::ProbeDriver::drive(prepared.job().session());
+    return prepared.job().finish();
+  } catch (const journal::JournalError& e) {
+    // Mid-search journal failures (append error, replay divergence) are
+    // typed rejections, exactly as when they surface during prepare().
+    return DeployResult::failure(
+        JobError{JobErrorCode::kJournalError, e.what()});
+  }
 }
 
 std::string RunReport::to_json() const {

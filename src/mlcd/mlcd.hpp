@@ -19,6 +19,8 @@
 #include "search/heter_bo.hpp"
 #include "models/model_zoo.hpp"
 #include "search/search_result.hpp"
+#include "search/search_session.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mlcd::system {
 
@@ -47,6 +49,12 @@ struct JobRequest {
   /// Execution lanes for the BO candidate scans (CLI --threads). Probe
   /// traces are bit-identical for any value; see docs/performance.md.
   int threads = 1;
+  /// Shared candidate-scan worker pool (service layer): when set, the
+  /// search scans on this pool instead of creating its own, so a fleet
+  /// of concurrent jobs shares one set of worker threads. Trace-neutral
+  /// for any pool size (`threads` determinism contract). Not owned;
+  /// nullptr (default) lets the session size its own pool.
+  util::ThreadPool* scan_pool = nullptr;
   /// GP retune cadence (CLI --gp-refit-every): rebuild the BO surrogates
   /// from scratch every this many probes, extending incrementally in
   /// between. 1 = retune on every probe (exact legacy behavior).
@@ -149,6 +157,60 @@ class DeployResult {
   std::optional<JobError> error_;
 };
 
+/// A validated job whose search session is ready to drive — the
+/// ask/tell face of Mlcd::deploy. Owns everything the session borrows
+/// (scenario, restricted catalog, deployment space, perf view, searcher,
+/// journal writer), heap-pinned so the object can be moved freely while
+/// the session's internal pointers stay valid. Drive the session with
+/// search::ProbeDriver (step-at-a-time from a scheduler, or drive() to
+/// completion), then call finish() exactly once.
+class PreparedJob {
+ public:
+  PreparedJob(PreparedJob&&) noexcept;
+  PreparedJob& operator=(PreparedJob&&) noexcept;
+  ~PreparedJob();
+
+  /// The resumable search session. Probes execute only when a driver
+  /// steps it — preparing a job spends nothing.
+  search::SearchSession& session() noexcept;
+
+  /// Final deployment selection + report assembly for a session whose
+  /// strategy has finished. The returned report is byte-identical to the
+  /// one Mlcd::deploy would have produced for the same request.
+  DeployResult finish();
+
+ private:
+  friend class Mlcd;
+  struct Context;
+  explicit PreparedJob(std::unique_ptr<Context> context);
+
+  std::unique_ptr<Context> context_;
+};
+
+/// std::expected-style result of Mlcd::prepare: a ready-to-drive job or
+/// a typed JobError (same codes deploy() reports).
+class PrepareResult {
+ public:
+  static PrepareResult success(PreparedJob job);
+  static PrepareResult failure(JobError error);
+
+  bool ok() const noexcept { return job_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// The prepared job. Throws std::runtime_error carrying the JobError
+  /// message when preparation was rejected.
+  PreparedJob& job();
+
+  /// The rejection. Throws std::logic_error when preparation succeeded.
+  const JobError& error() const;
+
+ private:
+  PrepareResult() = default;
+
+  std::optional<PreparedJob> job_;
+  std::optional<JobError> error_;
+};
+
 class Mlcd {
  public:
   /// Uses the simulated provider and the paper's model zoo.
@@ -161,8 +223,15 @@ class Mlcd {
   /// (Profiler inside) -> report. Request problems (unknown model /
   /// platform / method / instance type, inconsistent requirements) come
   /// back as a typed JobError in the DeployResult rather than an
-  /// exception.
+  /// exception. Equivalent to prepare() + ProbeDriver::drive() +
+  /// finish().
   DeployResult deploy(const JobRequest& request) const;
+
+  /// Validation + journal recovery/creation + session construction, with
+  /// no probe executed: the pull-style half of deploy() the service
+  /// scheduler uses to multiplex many jobs over a few lanes at probe
+  /// granularity.
+  PrepareResult prepare(const JobRequest& request) const;
 
   const models::ModelZoo& zoo() const noexcept { return *zoo_; }
   const CloudInterface& cloud() const noexcept { return *cloud_; }

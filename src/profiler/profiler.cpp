@@ -245,12 +245,7 @@ ProfileResult Profiler::profile(const perf::TrainingConfig& config,
   if (replay_pending()) {
     result = replay_next(config, d);
   } else if (gate_ != nullptr) {
-    ProbeKey key;
-    key.substrate = substrate_;
-    key.history = history_;
-    key.probe_index = probes_ + 1;
-    key.type_index = d.type_index;
-    key.nodes = d.nodes;
+    const ProbeKey key = next_probe_key(d);
     if (std::optional<journal::ProbeRecord> hit = gate_->admit(key, d)) {
       // Another job already measured this exact probe: serve the shared
       // record the way journal resume would, but trace-neutrally.

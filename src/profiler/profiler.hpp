@@ -197,6 +197,21 @@ class Profiler {
   /// Probes served from the shared probe cache so far.
   int cache_served_probes() const noexcept { return cache_served_; }
 
+  /// The ProbeKey the *next* profile() call for `d` would carry — the
+  /// same fingerprint profile() derives before consulting the gate. Lets
+  /// a probe-granularity scheduler pre-check the shared cache (a hit
+  /// needs no capacity) before deciding whether to run, park, or serve
+  /// the session's pending probe.
+  ProbeKey next_probe_key(const cloud::Deployment& d) const noexcept {
+    ProbeKey key;
+    key.substrate = substrate_;
+    key.history = history_;
+    key.probe_index = probes_ + 1;
+    key.type_index = d.type_index;
+    key.nodes = d.nodes;
+    return key;
+  }
+
   const cloud::FaultModel& fault_model() const noexcept {
     return fault_model_;
   }

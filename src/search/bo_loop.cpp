@@ -5,8 +5,8 @@
 #include <limits>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
-#include "bo/acquisition.hpp"
 #include "util/logging.hpp"
 
 namespace mlcd::search {
@@ -27,7 +27,7 @@ std::vector<double> deployment_coords(const cloud::Deployment& d) {
   return {static_cast<double>(d.type_index), static_cast<double>(d.nodes)};
 }
 
-double log_objective(const Searcher::Session& session,
+double log_objective(const SearchSession& session,
                      const ProbeStep& step) {
   // Floor keeps infeasible probes (objective 0) representable: they land
   // far below any real measurement, which is exactly the signal we want
@@ -36,7 +36,7 @@ double log_objective(const Searcher::Session& session,
   return std::log(std::max(session.objective_of(step), kFloor));
 }
 
-gp::GpRegressor fit_gp_on_trace(const Searcher::Session& session,
+gp::GpRegressor fit_gp_on_trace(const SearchSession& session,
                                 const bo::InputNormalizer& normalizer) {
   const auto& trace = session.trace();
   if (trace.empty()) {
@@ -93,7 +93,7 @@ TraceSurrogate::TraceSurrogate(const bo::InputNormalizer& normalizer,
                                int refit_every)
     : normalizer_(&normalizer), refit_every_(refit_every) {}
 
-bool TraceSurrogate::update(const Searcher::Session& session) {
+bool TraceSurrogate::update(const SearchSession& session) {
   const auto& trace = session.trace();
   // Stage the new usable probes, then decide once whether the batch
   // lands incrementally or triggers a scheduled rebuild.
@@ -136,7 +136,7 @@ void TraceSurrogate::invalidate() {
 }
 
 const cloud::Deployment* degraded_fallback(
-    const Searcher::Session& session,
+    const SearchSession& session,
     const std::vector<cloud::Deployment>& candidates,
     const std::function<bool(const cloud::Deployment&)>& allowed) {
   const perf::TrainingConfig& config = session.problem().config;
@@ -154,182 +154,202 @@ const cloud::Deployment* degraded_fallback(
   return best;
 }
 
-void run_bo_loop(Searcher::Session& session,
-                 const std::vector<cloud::Deployment>& candidates,
-                 const BoLoopOptions& options) {
-  if (candidates.empty()) {
-    throw std::invalid_argument("run_bo_loop: no candidates");
-  }
-  if (options.init_points < 1 || options.max_probes < options.init_points) {
-    throw std::invalid_argument("run_bo_loop: inconsistent probe counts");
-  }
-  const bo::InputNormalizer normalizer =
-      make_space_normalizer(session.space());
-  const std::unique_ptr<bo::AcquisitionFunction> acquisition =
-      bo::make_acquisition(options.acquisition);
-  const bool ucb = options.acquisition == "ucb";
+BoLoopStrategy::BoLoopStrategy(BoLoopOptions options, CandidateFn candidates)
+    : options_(std::move(options)), make_candidates_(std::move(candidates)) {}
 
-  const perf::TrainingConfig& config = session.problem().config;
+bool BoLoopStrategy::probe_allowed(const SearchSession& session,
+                                   const cloud::Deployment& d) const {
   // Budget-aware variants reserve at the worst-case probe spend (retries
   // + capped backoff + straggler stretch); equal to the expected spend
   // when no faults are injected. Types under a capacity outage are
   // demoted for as long as the episode lasts.
-  auto probe_allowed = [&](const cloud::Deployment& d) {
-    if (session.profiler().type_in_outage(d.type_index)) return false;
-    if (!options.budget_aware) return true;
-    return session.reserve_allows(
-        session.profiler().worst_case_profile_hours(config, d),
-        session.profiler().worst_case_profile_cost(config, d));
-  };
+  if (session.profiler().type_in_outage(d.type_index)) return false;
+  if (!options_.budget_aware) return true;
+  return session.reserve_allows_probe(d);
+}
 
-  // --- Random initialization (distinct points).
-  std::vector<cloud::Deployment> pool = candidates;
-  std::shuffle(pool.begin(), pool.end(), session.rng().engine());
-  int probes = 0;
-  for (const cloud::Deployment& d : pool) {
-    if (probes >= options.init_points) break;
-    if (session.already_probed(d)) continue;
-    if (!probe_allowed(d)) continue;
-    session.probe(d, 0.0, "init");
-    ++probes;
+void BoLoopStrategy::begin(SearchSession& session) {
+  candidates_ = make_candidates_(session);
+  if (candidates_.empty()) {
+    throw std::invalid_argument("bo loop: no candidates");
   }
-  if (session.trace().empty()) return;  // nothing affordable at all
+  if (options_.init_points < 1 || options_.max_probes < options_.init_points) {
+    throw std::invalid_argument("bo loop: inconsistent probe counts");
+  }
+  // Validate the acquisition name before the first probe spends money —
+  // make_acquisition throws on an unknown name.
+  normalizer_.emplace(make_space_normalizer(session.space()));
+  acquisition_ = bo::make_acquisition(options_.acquisition);
+  ucb_ = options_.acquisition == "ucb";
+  // Random initialization order (distinct points).
+  pool_ = candidates_;
+  std::shuffle(pool_.begin(), pool_.end(), session.rng().engine());
+  phase_ = Phase::kInit;
+}
 
-  // --- GP-driven loop.
+std::optional<ProbeRequest> BoLoopStrategy::init_next(
+    SearchSession& session) {
+  while (init_cursor_ < pool_.size() &&
+         init_probes_ < options_.init_points) {
+    const cloud::Deployment& d = pool_[init_cursor_++];
+    if (session.already_probed(d)) continue;
+    if (!probe_allowed(session, d)) continue;
+    ++init_probes_;
+    return ProbeRequest{d, 0.0, "init"};
+  }
+  return std::nullopt;
+}
+
+void BoLoopStrategy::enter_loop(SearchSession& session) {
   // Candidate geometry is fixed for the whole run: normalize the
   // coordinates once, and keep one PredictCache per candidate so
   // repeated scans reuse kernel rows across iterations (O(n) per
   // candidate after an incremental GP update instead of O(n²)).
-  const std::size_t m = candidates.size();
-  std::vector<std::vector<double>> unit_coords(m);
+  const std::size_t m = candidates_.size();
+  unit_coords_.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
-    unit_coords[i] = normalizer.normalize(deployment_coords(candidates[i]));
+    unit_coords_[i] =
+        normalizer_->normalize(deployment_coords(candidates_[i]));
   }
-  std::vector<gp::GpRegressor::PredictCache> caches(m);
-  TraceSurrogate surrogate(normalizer,
-                           session.problem().gp_refit_every);
-  util::ThreadPool& workers = session.pool();
-  std::vector<gp::Prediction> predictions(m);
-  std::vector<double> scores(m);
-  std::vector<char> probed(m);
+  caches_.resize(m);
+  surrogate_.emplace(*normalizer_, session.problem().gp_refit_every);
+  workers_ = &session.pool();
+  predictions_.resize(m);
+  scores_.resize(m);
+  probed_.resize(m);
+  phase_ = Phase::kLoop;
+}
 
-  int iteration = 0;
-  while (static_cast<int>(session.trace().size()) < options.max_probes) {
-    ++iteration;
-    // Every probe so far may have exhausted its retries (billed but
-    // uninformative); the surrogate has nothing to fit, so keep drawing
-    // random points until one measurement lands.
-    bool any_usable = false;
-    for (const ProbeStep& step : session.trace()) {
-      if (!step.failed) {
-        any_usable = true;
-        break;
-      }
-    }
-    if (!any_usable) {
-      const cloud::Deployment* next = nullptr;
-      for (const cloud::Deployment& d : pool) {
-        if (!session.already_probed(d) && probe_allowed(d)) {
-          next = &d;
-          break;
-        }
-      }
-      if (next == nullptr) break;
-      session.probe(*next, 0.0, "init");
-      continue;
-    }
-    // Graceful degradation: a refit can fail on pathological evidence
-    // (non-PSD covariance, NaN likelihood, diverged MLE). Rather than
-    // abort the whole search, demote this iteration to a surrogate-free
-    // safe mode — probe the cheapest affordable unprobed candidate — and
-    // let the next successful refit re-promote the loop. The invalidated
-    // surrogate rebuilds from the full trace, so one bad batch cannot
-    // leave a half-updated GP behind.
-    bool degraded = session.chaos_degrade(iteration);
-    std::string why = degraded ? "chaos degrade hook" : "";
-    if (!degraded) {
-      try {
-        surrogate.update(session);
-      } catch (const std::runtime_error& e) {
-        degraded = true;
-        why = e.what();
-      }
-    }
-    if (degraded) {
-      session.note_degraded(iteration, why);
-      surrogate.invalidate();
-      const cloud::Deployment* fallback =
-          degraded_fallback(session, candidates, probe_allowed);
-      if (fallback == nullptr) break;
-      session.probe(*fallback, 0.0, "degraded");
-      continue;
-    }
-    const gp::GpRegressor& gp = surrogate.gp();
-    double best = std::log(1e-9);
-    if (session.has_incumbent()) {
-      best = log_objective(session, session.incumbent());
-    }
-
-    // Parallel scan: posteriors for every unprobed candidate land in
-    // disjoint pre-sized slots (determinism contract,
-    // util/thread_pool.hpp), then the batched acquisition scoring runs
-    // over the same partitioning. Everything order-dependent — the sort,
-    // the reserve fall-through — stays serial, in candidate order.
-    workers.parallel_for(m, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        probed[i] = session.already_probed(candidates[i]) ? 1 : 0;
-        if (!probed[i]) {
-          predictions[i] = gp.predict_cached(unit_coords[i], caches[i]);
-        }
-      }
-    });
-    bo::score_batch(*acquisition, workers, predictions, best, scores);
-
-    // Keep the unprobed candidates ordered by EI so the budget-aware
-    // variant can fall through to cheaper alternatives.
-    struct Scored {
-      double ei_value;
-      const cloud::Deployment* d;
-    };
-    std::vector<Scored> scored;
-    scored.reserve(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      if (probed[i]) continue;
-      // For UCB the ranking score is mu + kappa*sigma; the *improvement*
-      // the stop rule monitors is that bound minus the incumbent.
-      const double score = ucb ? scores[i] - best : scores[i];
-      scored.push_back(Scored{score, &candidates[i]});
-    }
-    if (scored.empty()) break;
-    std::stable_sort(scored.begin(), scored.end(),
-                     [](const Scored& a, const Scored& b) {
-                       return a.ei_value > b.ei_value;
-                     });
-
-    const double ei_max = scored.front().ei_value;
-    if (static_cast<int>(session.trace().size()) >= options.min_probes &&
-        ei_max < options.ei_stop_improvement) {
-      MLCD_LOG(kDebug, "search")
-          << "bo loop: EI " << ei_max << " below threshold, stopping";
+std::optional<ProbeRequest> BoLoopStrategy::loop_next(
+    SearchSession& session) {
+  if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
+    return std::nullopt;
+  }
+  ++iteration_;
+  // Every probe so far may have exhausted its retries (billed but
+  // uninformative); the surrogate has nothing to fit, so keep drawing
+  // random points until one measurement lands.
+  bool any_usable = false;
+  for (const ProbeStep& step : session.trace()) {
+    if (!step.failed) {
+      any_usable = true;
       break;
     }
-
-    const cloud::Deployment* next = nullptr;
-    double next_ei = 0.0;
-    for (const Scored& s : scored) {
-      if (probe_allowed(*s.d)) {
-        next = s.d;
-        next_ei = s.ei_value;
-        break;
+  }
+  if (!any_usable) {
+    for (const cloud::Deployment& d : pool_) {
+      if (!session.already_probed(d) && probe_allowed(session, d)) {
+        return ProbeRequest{d, 0.0, "init"};
       }
     }
-    if (next == nullptr) {
-      MLCD_LOG(kDebug, "search")
-          << "bo loop: protective reserve exhausted, stopping";
-      break;
-    }
-    session.probe(*next, next_ei, "ei");
+    return std::nullopt;
   }
+  // Graceful degradation: a refit can fail on pathological evidence
+  // (non-PSD covariance, NaN likelihood, diverged MLE). Rather than
+  // abort the whole search, demote this iteration to a surrogate-free
+  // safe mode — probe the cheapest affordable unprobed candidate — and
+  // let the next successful refit re-promote the loop. The invalidated
+  // surrogate rebuilds from the full trace, so one bad batch cannot
+  // leave a half-updated GP behind.
+  bool degraded = session.chaos_degrade(iteration_);
+  std::string why = degraded ? "chaos degrade hook" : "";
+  if (!degraded) {
+    try {
+      surrogate_->update(session);
+    } catch (const std::runtime_error& e) {
+      degraded = true;
+      why = e.what();
+    }
+  }
+  if (degraded) {
+    session.note_degraded(iteration_, why);
+    surrogate_->invalidate();
+    const cloud::Deployment* fallback = degraded_fallback(
+        session, candidates_,
+        [&](const cloud::Deployment& d) { return probe_allowed(session, d); });
+    if (fallback == nullptr) return std::nullopt;
+    return ProbeRequest{*fallback, 0.0, "degraded"};
+  }
+  const gp::GpRegressor& gp = surrogate_->gp();
+  double best = std::log(1e-9);
+  if (session.has_incumbent()) {
+    best = log_objective(session, session.incumbent());
+  }
+
+  // Parallel scan: posteriors for every unprobed candidate land in
+  // disjoint pre-sized slots (determinism contract,
+  // util/thread_pool.hpp), then the batched acquisition scoring runs
+  // over the same partitioning. Everything order-dependent — the sort,
+  // the reserve fall-through — stays serial, in candidate order.
+  const std::size_t m = candidates_.size();
+  workers_->parallel_for(m, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      probed_[i] = session.already_probed(candidates_[i]) ? 1 : 0;
+      if (!probed_[i]) {
+        predictions_[i] = gp.predict_cached(unit_coords_[i], caches_[i]);
+      }
+    }
+  });
+  bo::score_batch(*acquisition_, *workers_, predictions_, best, scores_);
+
+  // Keep the unprobed candidates ordered by EI so the budget-aware
+  // variant can fall through to cheaper alternatives.
+  struct Scored {
+    double ei_value;
+    const cloud::Deployment* d;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (probed_[i]) continue;
+    // For UCB the ranking score is mu + kappa*sigma; the *improvement*
+    // the stop rule monitors is that bound minus the incumbent.
+    const double score = ucb_ ? scores_[i] - best : scores_[i];
+    scored.push_back(Scored{score, &candidates_[i]});
+  }
+  if (scored.empty()) return std::nullopt;
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.ei_value > b.ei_value;
+                   });
+
+  const double ei_max = scored.front().ei_value;
+  if (static_cast<int>(session.trace().size()) >= options_.min_probes &&
+      ei_max < options_.ei_stop_improvement) {
+    MLCD_LOG(kDebug, "search")
+        << "bo loop: EI " << ei_max << " below threshold, stopping";
+    return std::nullopt;
+  }
+
+  for (const Scored& s : scored) {
+    if (probe_allowed(session, *s.d)) {
+      return ProbeRequest{*s.d, s.ei_value, "ei"};
+    }
+  }
+  MLCD_LOG(kDebug, "search")
+      << "bo loop: protective reserve exhausted, stopping";
+  return std::nullopt;
+}
+
+std::optional<ProbeRequest> BoLoopStrategy::propose(SearchSession& session) {
+  if (phase_ == Phase::kBegin) begin(session);
+  if (phase_ == Phase::kInit) {
+    if (std::optional<ProbeRequest> request = init_next(session)) {
+      return request;
+    }
+    if (session.trace().empty()) {  // nothing affordable at all
+      phase_ = Phase::kDone;
+      return std::nullopt;
+    }
+    enter_loop(session);
+  }
+  if (phase_ == Phase::kLoop) {
+    if (std::optional<ProbeRequest> request = loop_next(session)) {
+      return request;
+    }
+    phase_ = Phase::kDone;
+  }
+  return std::nullopt;
 }
 
 }  // namespace mlcd::search

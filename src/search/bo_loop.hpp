@@ -1,22 +1,26 @@
-// Shared conventional-BO probe loop.
+// Shared conventional-BO probe strategy.
 //
 // ConvBO, CherryPick and their budget-aware "improved" variants
 // (Fig. 18) all run the same machinery — random initialization, a
 // Matérn-5/2 GP surrogate over the normalized (type, nodes) plane, and
 // EI-maximizing probe selection with a relative-EI stop rule — differing
-// only in the candidate set and a few thresholds. This helper implements
-// that loop once, on top of Searcher::Session.
+// only in the candidate set and a few thresholds. BoLoopStrategy
+// implements that machinery once, as an explicit ask/tell state machine
+// on top of SearchSession (phase + cursor instead of the legacy blocking
+// loop; one proposal per executed probe).
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "bo/acquisition.hpp"
 #include "bo/normalizer.hpp"
 #include "cloud/deployment.hpp"
 #include "gp/gp_regressor.hpp"
-#include "search/searcher.hpp"
+#include "search/search_session.hpp"
 
 namespace mlcd::search {
 
@@ -57,7 +61,7 @@ std::vector<double> deployment_coords(const cloud::Deployment& d);
 /// objective — speeds span orders of magnitude across the deployment
 /// plane and the type x nodes interaction is multiplicative, which a
 /// log-additive GP captures where a raw-space ARD kernel cannot.
-double log_objective(const Searcher::Session& session, const ProbeStep& step);
+double log_objective(const SearchSession& session, const ProbeStep& step);
 
 /// Fits a Matérn-5/2 GP to a session's probe history on log-objective
 /// targets. Requires a non-empty trace. The returned regressor has its
@@ -65,7 +69,7 @@ double log_objective(const Searcher::Session& session, const ProbeStep& step);
 /// search loops own the retune policy via TraceSurrogate, so direct
 /// add_observation() calls extend it incrementally with frozen
 /// hyperparameters.
-gp::GpRegressor fit_gp_on_trace(const Searcher::Session& session,
+gp::GpRegressor fit_gp_on_trace(const SearchSession& session,
                                 const bo::InputNormalizer& normalizer);
 
 /// Persistent 2-D surrogate over a session's probe history. Legacy
@@ -88,7 +92,7 @@ class TraceSurrogate {
   /// Folds trace entries added since the last call into the surrogate.
   /// Returns true when a fitted GP is available (at least one usable
   /// probe exists).
-  bool update(const Searcher::Session& session);
+  bool update(const SearchSession& session);
 
   /// The live regressor. Throws std::logic_error when update() has not
   /// yet seen a usable probe.
@@ -114,13 +118,56 @@ class TraceSurrogate {
 /// little of the reserve as possible while still making progress.
 /// Returns nullptr when no candidate qualifies (the loop should stop).
 const cloud::Deployment* degraded_fallback(
-    const Searcher::Session& session,
+    const SearchSession& session,
     const std::vector<cloud::Deployment>& candidates,
     const std::function<bool(const cloud::Deployment&)>& allowed);
 
-/// Runs the loop, mutating `session` through its probe() interface.
-void run_bo_loop(Searcher::Session& session,
-                 const std::vector<cloud::Deployment>& candidates,
-                 const BoLoopOptions& options);
+/// The shared BO loop as a resumable strategy. The candidate set is
+/// produced lazily at the first proposal (it needs the session's
+/// deployment space); option validation also happens there, so a
+/// misconfigured loop throws on the first next(), exactly where the
+/// legacy blocking call threw.
+class BoLoopStrategy final : public SearchStrategy {
+ public:
+  using CandidateFn =
+      std::function<std::vector<cloud::Deployment>(SearchSession&)>;
+
+  BoLoopStrategy(BoLoopOptions options, CandidateFn candidates);
+
+  std::optional<ProbeRequest> propose(SearchSession& session) override;
+
+ private:
+  enum class Phase { kBegin, kInit, kLoop, kDone };
+
+  void begin(SearchSession& session);
+  std::optional<ProbeRequest> init_next(SearchSession& session);
+  void enter_loop(SearchSession& session);
+  std::optional<ProbeRequest> loop_next(SearchSession& session);
+  bool probe_allowed(const SearchSession& session,
+                     const cloud::Deployment& d) const;
+
+  BoLoopOptions options_;
+  CandidateFn make_candidates_;
+  Phase phase_ = Phase::kBegin;
+
+  // --- init state
+  std::vector<cloud::Deployment> candidates_;
+  std::vector<cloud::Deployment> pool_;  // shuffled candidates
+  std::size_t init_cursor_ = 0;
+  int init_probes_ = 0;
+
+  // --- loop state (built by enter_loop)
+  std::optional<bo::InputNormalizer> normalizer_;
+  std::unique_ptr<bo::AcquisitionFunction> acquisition_;
+  bool ucb_ = false;
+  std::vector<std::vector<double>> unit_coords_;
+  std::vector<gp::GpRegressor::PredictCache> caches_;
+  std::optional<TraceSurrogate> surrogate_;
+  util::ThreadPool* workers_ = nullptr;
+  std::vector<gp::Prediction> predictions_;
+  std::vector<double> scores_;
+  std::vector<char> probed_;
+  int iteration_ = 0;
+};
 
 }  // namespace mlcd::search

@@ -1,6 +1,7 @@
 #include "search/cherrypick.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace mlcd::search {
 
@@ -35,16 +36,20 @@ std::vector<cloud::Deployment> CherryPickSearcher::trimmed_candidates(
   return out;
 }
 
-void CherryPickSearcher::search(Session& session) {
-  std::vector<cloud::Deployment> candidates =
-      trimmed_candidates(session.space());
-  if (candidates.empty()) {
-    // Experience trim removed everything; fall back to the full space so
-    // the searcher still returns *something* (mirrors CherryPick's
-    // behavior of widening when the prior is useless).
-    candidates = session.space().enumerate();
-  }
-  run_bo_loop(session, candidates, options_.loop);
+std::unique_ptr<SearchStrategy> CherryPickSearcher::make_strategy(
+    const SearchProblem& /*problem*/) const {
+  return std::make_unique<BoLoopStrategy>(
+      options_.loop, [this](SearchSession& session) {
+        std::vector<cloud::Deployment> candidates =
+            trimmed_candidates(session.space());
+        if (candidates.empty()) {
+          // Experience trim removed everything; fall back to the full
+          // space so the searcher still returns *something* (mirrors
+          // CherryPick's behavior of widening when the prior is useless).
+          candidates = session.space().enumerate();
+        }
+        return candidates;
+      });
 }
 
 }  // namespace mlcd::search

@@ -8,6 +8,7 @@
 // variant ("CP_imprd", Fig. 18) adds the protective reserve filter.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,7 +46,8 @@ class CherryPickSearcher final : public Searcher {
       const cloud::DeploymentSpace& space) const;
 
  protected:
-  void search(Session& session) override;
+  std::unique_ptr<SearchStrategy> make_strategy(
+      const SearchProblem& problem) const override;
 
  private:
   CherryPickOptions options_;

@@ -1,0 +1,31 @@
+#include "search/completion_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mlcd::search {
+
+CompletionModel::CompletionModel(double samples_to_train,
+                                 const cloud::DeploymentSpace& space)
+    : samples_to_train_(samples_to_train), space_(&space) {}
+
+double CompletionModel::training_hours(const cloud::Deployment& d,
+                                       double speed) const {
+  if (speed <= 0.0) return std::numeric_limits<double>::infinity();
+  return samples_to_train_ / speed / 3600.0 *
+         space_->restart_overhead_multiplier(d);
+}
+
+double CompletionModel::training_cost(const cloud::Deployment& d,
+                                      double speed) const {
+  const double hours = training_hours(d, speed);
+  if (!std::isfinite(hours)) return hours;
+  return hours * space_->hourly_price(d);
+}
+
+double CompletionModel::raw_training_hours(double speed) const {
+  if (speed <= 0.0) return std::numeric_limits<double>::infinity();
+  return samples_to_train_ / speed / 3600.0;
+}
+
+}  // namespace mlcd::search

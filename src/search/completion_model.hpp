@@ -1,0 +1,50 @@
+// Projected-completion arithmetic, shared.
+//
+// "How long (and how much) to finish training at deployment d given a
+// sustained speed" appears in every layer of the search stack: the
+// session's projections and protective reserve, the final training
+// accounting, Paleo's analytic plan, the exhaustive oracle, and the
+// Pareto front. Before this helper each site carried its own copy of the
+// same three-factor product; a drifted copy would silently break the
+// bit-identity invariant between projection and accounting. The model
+// keeps the expression in exactly one place — and in exactly one
+// floating-point evaluation order, which golden tests pin down.
+#pragma once
+
+#include "cloud/deployment.hpp"
+
+namespace mlcd::search {
+
+class CompletionModel {
+ public:
+  /// `samples_to_train`: the job's total sample count (model zoo units).
+  /// `space` is referenced, not owned, and must outlive the model.
+  CompletionModel(double samples_to_train,
+                  const cloud::DeploymentSpace& space);
+
+  /// Hours to finish training at `d` at a sustained `speed` (samples per
+  /// second), inflated by the market's restart-overhead multiplier
+  /// (spot revocations re-run work). +inf when speed is not positive.
+  ///
+  /// Evaluation order is load-bearing: samples / speed / 3600 * mult,
+  /// exactly as every pre-refactor call site computed it.
+  double training_hours(const cloud::Deployment& d, double speed) const;
+
+  /// Dollars for that training run (hours * hourly price); a non-finite
+  /// hour projection propagates unchanged.
+  double training_cost(const cloud::Deployment& d, double speed) const;
+
+  /// Raw training hours without the restart multiplier — what HeterBO's
+  /// TEI headroom (paper Eqs. 5/6) budgets with: the equations price the
+  /// *nominal* run, not the market-inflated one. +inf when speed is not
+  /// positive.
+  double raw_training_hours(double speed) const;
+
+  double samples_to_train() const noexcept { return samples_to_train_; }
+
+ private:
+  double samples_to_train_;
+  const cloud::DeploymentSpace* space_;
+};
+
+}  // namespace mlcd::search

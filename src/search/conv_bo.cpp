@@ -1,5 +1,7 @@
 #include "search/conv_bo.hpp"
 
+#include <memory>
+
 namespace mlcd::search {
 
 ConvBoSearcher::ConvBoSearcher(const perf::TrainingPerfModel& perf,
@@ -15,8 +17,11 @@ std::string ConvBoSearcher::name() const {
   return options_.budget_aware ? "bo-improved" : "conv-bo";
 }
 
-void ConvBoSearcher::search(Session& session) {
-  run_bo_loop(session, session.space().enumerate(), options_.loop);
+std::unique_ptr<SearchStrategy> ConvBoSearcher::make_strategy(
+    const SearchProblem& /*problem*/) const {
+  return std::make_unique<BoLoopStrategy>(
+      options_.loop,
+      [](SearchSession& session) { return session.space().enumerate(); });
 }
 
 }  // namespace mlcd::search

@@ -8,6 +8,9 @@
 // protective reserve filter but keeps cost-oblivious probe selection.
 #pragma once
 
+#include <memory>
+#include <string>
+
 #include "search/bo_loop.hpp"
 #include "search/searcher.hpp"
 
@@ -27,7 +30,8 @@ class ConvBoSearcher final : public Searcher {
   std::string name() const override;
 
  protected:
-  void search(Session& session) override;
+  std::unique_ptr<SearchStrategy> make_strategy(
+      const SearchProblem& problem) const override;
 
  private:
   ConvBoOptions options_;

@@ -2,10 +2,44 @@
 
 #include <algorithm>
 #include <limits>
-#include <vector>
+#include <memory>
 #include <stdexcept>
+#include <vector>
+
+#include "search/completion_model.hpp"
 
 namespace mlcd::search {
+namespace {
+
+class ExhaustiveStrategy final : public SearchStrategy {
+ public:
+  explicit ExhaustiveStrategy(int max_probes) : max_probes_(max_probes) {}
+
+  std::optional<ProbeRequest> propose(SearchSession& session) override {
+    if (!enumerated_) {
+      all_ = session.space().enumerate();
+      if (max_probes_ > 0 &&
+          all_.size() > static_cast<std::size_t>(max_probes_)) {
+        stride_ = (all_.size() + max_probes_ - 1) /
+                  static_cast<std::size_t>(max_probes_);
+      }
+      enumerated_ = true;
+    }
+    if (cursor_ >= all_.size()) return std::nullopt;
+    const cloud::Deployment d = all_[cursor_];
+    cursor_ += stride_;
+    return ProbeRequest{d, 0.0, "exhaustive"};
+  }
+
+ private:
+  int max_probes_;
+  bool enumerated_ = false;
+  std::vector<cloud::Deployment> all_;
+  std::size_t stride_ = 1;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
 
 ExhaustiveSearcher::ExhaustiveSearcher(const perf::TrainingPerfModel& perf,
                                        ExhaustiveOptions options)
@@ -19,8 +53,19 @@ ExhaustiveSearcher::ExhaustiveSearcher(const perf::TrainingPerfModel& perf,
   }
 }
 
-SearchResult ExhaustiveSearcher::run(const SearchProblem& problem) {
-  SearchResult result = Searcher::run(problem);
+std::string ExhaustiveSearcher::name() const {
+  return options_.max_probes > 0
+             ? "exhaustive-" + std::to_string(options_.max_probes)
+             : "exhaustive";
+}
+
+std::unique_ptr<SearchStrategy> ExhaustiveSearcher::make_strategy(
+    const SearchProblem& /*problem*/) const {
+  return std::make_unique<ExhaustiveStrategy>(options_.max_probes);
+}
+
+SearchResult ExhaustiveSearcher::finalize(SearchSession& session) const {
+  SearchResult result = Searcher::finalize(session);
   if (options_.parallel_clusters > 1) {
     // Re-express profiling wall time as the campaign makespan: probes
     // are assigned round-robin to `k` concurrent clusters; each
@@ -37,37 +82,18 @@ SearchResult ExhaustiveSearcher::run(const SearchProblem& problem) {
   return result;
 }
 
-std::string ExhaustiveSearcher::name() const {
-  return options_.max_probes > 0
-             ? "exhaustive-" + std::to_string(options_.max_probes)
-             : "exhaustive";
-}
-
-void ExhaustiveSearcher::search(Session& session) {
-  const std::vector<cloud::Deployment> all = session.space().enumerate();
-  std::size_t stride = 1;
-  if (options_.max_probes > 0 &&
-      all.size() > static_cast<std::size_t>(options_.max_probes)) {
-    stride = (all.size() + options_.max_probes - 1) /
-             static_cast<std::size_t>(options_.max_probes);
-  }
-  for (std::size_t i = 0; i < all.size(); i += stride) {
-    session.probe(all[i], 0.0, "exhaustive");
-  }
-}
-
 std::optional<SearchResult> optimal_deployment(
     const perf::TrainingPerfModel& perf, const perf::TrainingConfig& config,
     const cloud::DeploymentSpace& space, const Scenario& scenario) {
   SearchResult result;
   result.method = "opt";
   double best_objective = -std::numeric_limits<double>::infinity();
+  const CompletionModel completion(config.model.samples_to_train, space);
 
   for (const cloud::Deployment& d : space.enumerate()) {
     const double speed = perf.true_speed(config, d);
     if (speed <= 0.0) continue;
-    const double hours = config.model.samples_to_train / speed / 3600.0 *
-                         space.restart_overhead_multiplier(d);
+    const double hours = completion.training_hours(d, speed);
     const double cost = hours * space.hourly_price(d);
     if (scenario.has_deadline() && hours > scenario.deadline_hours) continue;
     if (scenario.has_budget() && cost > scenario.budget_dollars) continue;

@@ -9,6 +9,7 @@
 // bars in Figs. 13, 14, 18.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "search/searcher.hpp"
@@ -34,12 +35,13 @@ class ExhaustiveSearcher final : public Searcher {
 
   std::string name() const override;
 
+ protected:
+  std::unique_ptr<SearchStrategy> make_strategy(
+      const SearchProblem& problem) const override;
+
   /// Re-expresses profiling wall time as the parallel-campaign makespan
   /// when parallel_clusters > 1 (dollars unchanged).
-  SearchResult run(const SearchProblem& problem) override;
-
- protected:
-  void search(Session& session) override;
+  SearchResult finalize(SearchSession& session) const override;
 
  private:
   ExhaustiveOptions options_;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "bo/acquisition.hpp"
@@ -37,7 +39,7 @@ namespace {
 /// opens at four.
 class SurrogateBank {
  public:
-  SurrogateBank(const Searcher::Session& session,
+  SurrogateBank(const SearchSession& session,
                 const bo::InputNormalizer& normalizer2d,
                 const std::vector<WarmStartPoint>& warm_start,
                 int refit_every)
@@ -49,7 +51,7 @@ class SurrogateBank {
 
   /// Folds trace entries added since the last call into the per-type
   /// curves and the global surrogate.
-  void update(const Searcher::Session& session) {
+  void update(const SearchSession& session) {
     const auto& trace = session.trace();
     std::vector<std::vector<std::size_t>> fresh(types_.size());
     for (std::size_t i = next_trace_index_; i < trace.size(); ++i) {
@@ -108,7 +110,7 @@ class SurrogateBank {
   /// Posterior for one candidate. Safe to call concurrently as long as
   /// each caller passes a distinct cache (the bank itself is read-only
   /// here; see GpRegressor::predict_cached).
-  gp::Prediction predict(const Searcher::Session& session,
+  gp::Prediction predict(const SearchSession& session,
                          const cloud::Deployment& d,
                          std::span<const double> unit2d,
                          gp::GpRegressor::PredictCache& cache) const {
@@ -139,7 +141,7 @@ class SurrogateBank {
   /// Legacy per-type construction, verbatim: real probes of the type
   /// from the full trace, warm-start fallback below two real points,
   /// MLE above four.
-  void rebuild_type(const Searcher::Session& session, std::size_t t) {
+  void rebuild_type(const SearchSession& session, std::size_t t) {
     const cloud::DeploymentSpace& space = session.space();
     std::vector<double> xs;
     std::vector<double> ys;
@@ -207,6 +209,504 @@ class SurrogateBank {
   bool built_ = false;
 };
 
+/// HeterBO's probe policy as an explicit state machine: two
+/// initialization waves (one cursor each), then the cost-aware
+/// acquisition loop. Each propose() emits exactly the probe the legacy
+/// blocking loop would have issued at the same trace state — waves check
+/// the reserve and outage clocks at decision time, which is identical to
+/// the legacy order because the cursor advances once per executed probe.
+class HeterBoStrategy final : public SearchStrategy {
+ public:
+  explicit HeterBoStrategy(const HeterBoOptions& options)
+      : options_(options) {}
+
+  std::optional<ProbeRequest> propose(SearchSession& session) override {
+    if (phase_ == Phase::kBegin) begin(session);
+    if (phase_ == Phase::kWave1) {
+      if (std::optional<ProbeRequest> request = wave1_next(session)) {
+        return request;
+      }
+      phase_ = Phase::kWave2;
+    }
+    if (phase_ == Phase::kWave2) {
+      if (std::optional<ProbeRequest> request = wave2_next(session)) {
+        return request;
+      }
+      if (session.trace().empty() && options_.warm_start.empty()) {
+        MLCD_LOG(kWarn, "heterbo") << "no initial probe affordable";
+        phase_ = Phase::kDone;
+        return std::nullopt;
+      }
+      enter_loop(session);
+    }
+    if (phase_ == Phase::kLoop) {
+      if (std::optional<ProbeRequest> request = loop_next(session)) {
+        return request;
+      }
+      phase_ = Phase::kDone;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  enum class Phase { kBegin, kWave1, kWave2, kLoop, kDone };
+
+  bool reserve_ok(const SearchSession& session,
+                  const cloud::Deployment& d) const {
+    // The reserve budgets each candidate at its *worst-case* spend —
+    // see SearchSession::reserve_allows_probe.
+    if (!options_.protective_reserve) return true;
+    return session.reserve_allows_probe(d);
+  }
+
+  // A type under a capacity outage cannot be launched right now; it is
+  // demoted until the profiling clock leaves the episode.
+  static bool outaged(const SearchSession& session, std::size_t type_index) {
+    return session.profiler().type_in_outage(type_index);
+  }
+
+  bool init_affordable(const SearchSession& session,
+                       const cloud::Deployment& d) const {
+    return session.profiler().expected_profile_cost(
+               session.problem().config, d) <=
+           options_.init_cost_ratio_cap * median_init_;
+  }
+
+  /// Per-type scale-out prune limit from the concavity prior:
+  /// candidates of type t with nodes > limit[t] are skipped.
+  std::vector<int> concavity_limits(const SearchSession& session) const {
+    const std::size_t types = session.space().type_count();
+    std::vector<int> limit(types, std::numeric_limits<int>::max());
+    if (!options_.use_concavity_prior) return limit;
+
+    for (std::size_t t = 0; t < types; ++t) {
+      // Collect feasible probes of this type, ordered by node count.
+      std::vector<std::pair<int, double>> points;
+      for (const ProbeStep& step : session.trace()) {
+        if (step.deployment.type_index == t && step.feasible) {
+          points.emplace_back(step.deployment.nodes, step.measured_speed);
+        }
+      }
+      std::sort(points.begin(), points.end());
+      // Two neighbouring probed scale-outs with declining speed put us on
+      // the concave curve's down-slope: prune everything beyond.
+      for (std::size_t i = 1; i < points.size(); ++i) {
+        if (points[i].second < points[i - 1].second) {
+          limit[t] = points[i].first;
+          break;
+        }
+      }
+    }
+    return limit;
+  }
+
+  /// Paper Eq. 5/6: constraint headroom if we probe `d` and then train
+  /// at the EI-projected improved speed. Positive TEI = worth exploring.
+  double true_expected_improvement(const SearchSession& session,
+                                   const cloud::Deployment& d,
+                                   double projected_speed) const {
+    const Scenario& s = session.scenario();
+    if (projected_speed <= 0.0) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    // Eqs. 5/6 price the nominal run — no restart multiplier.
+    const double train_hours =
+        session.completion().raw_training_hours(projected_speed);
+    if (s.kind == ScenarioKind::kCheapestUnderDeadline) {
+      // Eq. 5: T_max - T_profile - S / EI-projected speed.
+      return s.deadline_hours - session.spent_hours() -
+             session.profiler().expected_profile_hours(
+                 session.problem().config, d) -
+             train_hours;
+    }
+    if (s.kind == ScenarioKind::kFastestUnderBudget) {
+      // Eq. 6: C_max - C_profile - (S / EI-projected speed) * P(m).
+      return s.budget_dollars - session.spent_cost() -
+             session.profiler().expected_profile_cost(
+                 session.problem().config, d) -
+             train_hours * session.space().hourly_price(d);
+    }
+    // Scenario 1 has no constraint; TEI degenerates to +inf headroom.
+    return std::numeric_limits<double>::infinity();
+  }
+
+  void begin(SearchSession& session) {
+    const cloud::DeploymentSpace& space = session.space();
+    const Scenario& scenario = session.scenario();
+    // The penalty currency is whatever the scenario actually pressures:
+    // wall time under a deadline, dollars otherwise (profiling *time* is
+    // nearly uniform across probes — the heterogeneity is monetary).
+    time_penalty_ = scenario.kind == ScenarioKind::kCheapestUnderDeadline;
+
+    const perf::TrainingConfig& config = session.problem().config;
+    // --- Initialization: one probe per instance type at the smallest
+    // scale that can hold the model at all (§III-C "Initial points" —
+    // single node for everything except ZeRO-scale models, whose state
+    // must be partitioned across a minimum number of nodes; that minimum
+    // is static arithmetic, not something worth paying a doomed probe to
+    // discover).
+    min_feasible_.assign(space.type_count(), -1);
+    for (std::size_t t = 0; t < space.type_count(); ++t) {
+      for (int n = 1; n <= space.max_nodes(t); ++n) {
+        if (session.perf().memory_feasible(config, {t, n})) {
+          min_feasible_[t] = n;
+          break;
+        }
+      }
+    }
+    // Types whose minimum viable cluster is disproportionately expensive
+    // to probe are skipped during initialization (they stay reachable
+    // through the acquisition later). "Disproportionate" is measured
+    // against the median min-feasible probe cost across types.
+    std::vector<double> init_costs;
+    for (std::size_t t = 0; t < space.type_count(); ++t) {
+      if (min_feasible_[t] < 0) continue;
+      init_costs.push_back(session.profiler().expected_profile_cost(
+          config, {t, min_feasible_[t]}));
+    }
+    median_init_ = 0.0;
+    if (!init_costs.empty()) {
+      std::sort(init_costs.begin(), init_costs.end());
+      median_init_ = init_costs[init_costs.size() / 2];
+    }
+    // A type whose *minimum viable* probe already breaks the cap can
+    // never be examined cheaply; in the spirit of §III-C ("judiciously
+    // limit the search in a small range") it is excluded from the search
+    // outright rather than left to soak up the exploration allowance
+    // later.
+    excluded_.assign(space.type_count(), false);
+    for (std::size_t t = 0; t < space.type_count(); ++t) {
+      if (min_feasible_[t] < 0) continue;
+      const cloud::Deployment d{t, min_feasible_[t]};
+      if (!init_affordable(session, d)) {
+        excluded_[t] = true;
+        MLCD_LOG(kInfo, "heterbo")
+            << "excluding " << space.catalog().at(t).name
+            << ": its smallest viable probe costs "
+            << session.profiler().expected_profile_cost(config, d)
+            << " (cap " << options_.init_cost_ratio_cap * median_init_
+            << ")";
+      }
+    }
+    // Warm-start coverage: a type with at least two carried-over points
+    // already has a usable curve estimate, so its mandatory init/curve
+    // probes are skipped (the acquisition re-measures where it matters).
+    warm_points_.assign(space.type_count(), 0);
+    for (const WarmStartPoint& w : options_.warm_start) {
+      if (w.deployment.type_index < warm_points_.size() &&
+          space.contains(w.deployment) && w.measured_speed > 0.0) {
+        ++warm_points_[w.deployment.type_index];
+      }
+    }
+    phase_ = Phase::kWave1;
+  }
+
+  std::optional<ProbeRequest> wave1_next(SearchSession& session) {
+    const cloud::DeploymentSpace& space = session.space();
+    while (wave1_t_ < space.type_count()) {
+      const std::size_t t = wave1_t_;
+      if (min_feasible_[t] < 0 || excluded_[t] || warm_points_[t] >= 2 ||
+          outaged(session, t)) {
+        ++wave1_t_;
+        continue;
+      }
+      if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
+        wave1_t_ = space.type_count();
+        break;
+      }
+      ++wave1_t_;
+      const cloud::Deployment d{t, min_feasible_[t]};
+      if (reserve_ok(session, d)) return ProbeRequest{d, 0.0, "init"};
+    }
+    return std::nullopt;
+  }
+
+  // Second wave: one small-scale probe per type so the surrogate sees
+  // each type's scaling *slope*, not just its intercept — without this,
+  // a type whose single node is slow but which scales steeply (the
+  // typical winner) can be starved by the cost-aware acquisition and the
+  // search stops early. This mirrors the paper's observed traces
+  // (Figs. 15-17, steps 4-6: one small/mid probe per panel). A
+  // single-type space gets its curve point at mid-range instead
+  // (Fig. 9a's second initial point before the "third in between").
+  std::optional<ProbeRequest> wave2_next(SearchSession& session) {
+    const cloud::DeploymentSpace& space = session.space();
+    while (wave2_t_ < space.type_count()) {
+      const std::size_t t = wave2_t_;
+      if (min_feasible_[t] < 0 || excluded_[t] || warm_points_[t] >= 2 ||
+          outaged(session, t)) {
+        ++wave2_t_;
+        continue;
+      }
+      if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
+        wave2_t_ = space.type_count();
+        break;
+      }
+      ++wave2_t_;
+      int curve_n = space.type_count() == 1
+                        ? (1 + space.max_nodes(t)) / 2
+                        : std::min(space.max_nodes(t),
+                                   std::max(3, space.max_nodes(t) / 6));
+      curve_n = std::max(curve_n, std::min(space.max_nodes(t),
+                                           min_feasible_[t] + 2));
+      const cloud::Deployment d{t, curve_n};
+      // The single-type midpoint is exempt from the cost cap: it is the
+      // only way to seed the curve fit when there is just one type.
+      const bool affordable =
+          space.type_count() == 1 || init_affordable(session, d);
+      if (curve_n > min_feasible_[t] && !session.already_probed(d) &&
+          reserve_ok(session, d) && affordable) {
+        return ProbeRequest{d, 0.0, "curve"};
+      }
+    }
+    return std::nullopt;
+  }
+
+  void enter_loop(SearchSession& session) {
+    const cloud::DeploymentSpace& space = session.space();
+    const Scenario& scenario = session.scenario();
+    // EI-based stopping is allowed only after the surrogate has seen a
+    // few exploratory probes beyond initialization; the confidence-
+    // interval stop, which trusts the GP's error bars, waits a little
+    // longer still (young GPs are routinely overconfident about
+    // unexplored regions).
+    const int init_count = static_cast<int>(session.trace().size());
+    min_probes_ = init_count + 4;
+    min_probes_ci_ = init_count + 6;
+
+    normalizer_.emplace(make_space_normalizer(space));
+    z_ = stats::normal_quantile(0.5 + options_.ci_confidence / 2.0);
+    all_ = space.enumerate();
+
+    // A warm-started search should not chase "improvements" below what
+    // the previous run already achieved: the best carried-over
+    // observation seeds the EI baseline until real probes take over.
+    warm_floor_ = -std::numeric_limits<double>::infinity();
+    for (const WarmStartPoint& w : options_.warm_start) {
+      if (w.measured_speed <= 0.0 || !space.contains(w.deployment)) continue;
+      warm_floor_ = std::max(
+          warm_floor_,
+          std::log(std::max(
+              scenario_objective(scenario, w.measured_speed,
+                                 space.hourly_price(w.deployment)),
+              1e-9)));
+    }
+
+    // Candidate geometry and the surrogate bank persist across
+    // iterations: 2-D coordinates are normalized once, per-candidate
+    // PredictCaches make repeated scans O(n) per candidate, and GPs are
+    // rebuilt/extended per the SearchProblem::gp_refit_every cadence.
+    const std::size_t m = all_.size();
+    unit2d_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      unit2d_[i] = normalizer_->normalize(deployment_coords(all_[i]));
+    }
+    caches_.resize(m);
+    surrogates_ = std::make_unique<SurrogateBank>(
+        session, *normalizer_, options_.warm_start,
+        session.problem().gp_refit_every);
+    pool_ = &session.pool();
+    valid_.resize(m);
+    ei_values_.resize(m);
+    ucb_values_.resize(m);
+    scores_.resize(m);
+    projected_speeds_.resize(m);
+    phase_ = Phase::kLoop;
+  }
+
+  std::optional<ProbeRequest> loop_next(SearchSession& session) {
+    if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
+      return std::nullopt;
+    }
+    const cloud::DeploymentSpace& space = session.space();
+    const Scenario& scenario = session.scenario();
+    const perf::TrainingConfig& config = session.problem().config;
+    ++iteration_;
+    const std::vector<int> prune = concavity_limits(session);
+
+    // Graceful degradation: a failed bank refit (non-PSD covariance, NaN
+    // likelihood, diverged MLE) demotes this iteration to a surrogate-
+    // free safe mode — the cheapest affordable unprobed candidate that
+    // passes every hard filter — instead of aborting the search. The
+    // bank rebuilds from the full trace on the next iteration, which
+    // re-promotes the loop as soon as a refit succeeds again.
+    bool degraded = session.chaos_degrade(iteration_);
+    std::string why = degraded ? "chaos degrade hook" : "";
+    if (!degraded) {
+      try {
+        surrogates_->update(session);
+      } catch (const std::runtime_error& e) {
+        degraded = true;
+        why = e.what();
+      }
+    }
+    if (degraded) {
+      session.note_degraded(iteration_, why);
+      surrogates_->invalidate();
+      auto safe_allowed = [&](const cloud::Deployment& d) {
+        return d.nodes <= prune[d.type_index] &&
+               min_feasible_[d.type_index] >= 0 &&
+               !excluded_[d.type_index] &&
+               d.nodes >= min_feasible_[d.type_index] &&
+               !outaged(session, d.type_index) && reserve_ok(session, d);
+      };
+      const cloud::Deployment* fallback =
+          degraded_fallback(session, all_, safe_allowed);
+      if (fallback == nullptr) return std::nullopt;
+      return ProbeRequest{*fallback, 0.0, "degraded"};
+    }
+
+    // EI baseline: the incumbent's log objective. (Using only
+    // constraint-compliant probes as the baseline is tempting but
+    // unstable: as profiling spend grows the compliant set shrinks, the
+    // baseline falls, and EI re-inflates — a feedback loop that
+    // encourages more spending. The reserve filter plus the constraint-
+    // aware final pick already deliver the compliance guarantee.)
+    double best = std::log(1e-9);
+    if (session.has_incumbent()) {
+      best = log_objective(session, session.incumbent());
+    }
+    best = std::max(best, warm_floor_);
+
+    const cloud::Deployment* chosen = nullptr;
+    double chosen_score = -std::numeric_limits<double>::infinity();
+    double chosen_projected_speed = 0.0;
+    double ei_max = 0.0;
+    double ucb_max = -std::numeric_limits<double>::infinity();
+    std::size_t affordable = 0;
+
+    // Parallel scan: every candidate's filters, posterior and
+    // acquisition score are functions of its own inputs alone and land
+    // in disjoint pre-sized slots, so the result is bitwise identical
+    // for any thread count (util/thread_pool.hpp). The argmax and the
+    // ei/ucb maxima reduce serially afterwards, in candidate order —
+    // exactly the legacy single-threaded visit order.
+    const std::size_t m = all_.size();
+    pool_->parallel_for(m, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        valid_[i] = 0;
+        const cloud::Deployment& d = all_[i];
+        if (d.nodes > prune[d.type_index]) continue;  // concavity prior
+        // Static memory check: never pay for a probe that arithmetic
+        // already proves cannot run; cost-excluded types stay out too.
+        if (min_feasible_[d.type_index] < 0 || excluded_[d.type_index] ||
+            d.nodes < min_feasible_[d.type_index]) {
+          continue;
+        }
+        if (session.already_probed(d)) continue;
+        if (outaged(session, d.type_index)) continue;  // outage: demoted
+        if (!reserve_ok(session, d)) continue;  // protective reserve
+        valid_[i] = 1;
+
+        const gp::Prediction p =
+            surrogates_->predict(session, d, unit2d_[i], caches_[i]);
+        ei_values_[i] = ei_.score(p, best);
+        ucb_values_[i] = p.mean + z_ * p.stddev();
+
+        // Heterogeneous-cost penalty (Eqs. 7/8): improvement per unit
+        // of what the scenario actually constrains.
+        double penalty =
+            time_penalty_
+                ? session.profiler().expected_profile_hours(config, d)
+                : session.profiler().expected_profile_cost(config, d);
+        penalty = std::max(penalty, 1e-9);
+        scores_[i] = options_.cost_aware_acquisition
+                         ? ei_values_[i] /
+                               std::pow(penalty,
+                                        options_.cost_penalty_exponent)
+                         : ei_values_[i];
+
+        // Projected speed if this candidate realizes its expected
+        // improvement (used for the TEI bookkeeping below). The
+        // surrogate lives in log space, so the projection exponentiates
+        // back.
+        const double projected_objective = std::exp(best + ei_values_[i]);
+        projected_speeds_[i] =
+            scenario.kind == ScenarioKind::kCheapestUnderDeadline
+                ? projected_objective * space.hourly_price(d)
+                : projected_objective;
+      }
+    });
+
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!valid_[i]) continue;
+      ++affordable;
+      ei_max = std::max(ei_max, ei_values_[i]);
+      ucb_max = std::max(ucb_max, ucb_values_[i]);
+      if (scores_[i] > chosen_score) {
+        chosen_score = scores_[i];
+        chosen = &all_[i];
+        chosen_projected_speed = projected_speeds_[i];
+      }
+    }
+
+    if (chosen == nullptr) {
+      MLCD_LOG(kDebug, "heterbo")
+          << "stop: reserve/prior left no candidate (" << affordable
+          << " affordable)";
+      return std::nullopt;
+    }
+    const int probes_done = static_cast<int>(session.trace().size());
+    if (probes_done >= min_probes_ &&
+        ei_max < options_.ei_stop_improvement) {
+      MLCD_LOG(kDebug, "heterbo") << "stop: EI " << ei_max
+                                  << " below threshold";
+      return std::nullopt;
+    }
+    if (probes_done >= min_probes_ci_ && session.has_incumbent() &&
+        ucb_max <= best) {
+      MLCD_LOG(kDebug, "heterbo")
+          << "stop: no candidate plausibly improves at "
+          << options_.ci_confidence << " confidence";
+      return std::nullopt;
+    }
+
+    // TEI (Eqs. 5/6) is recorded for diagnostics: the constraint
+    // headroom assuming the chosen probe realizes its expected
+    // improvement. The hard guarantee itself comes from the reserve
+    // filter above, which is immune to early GP pessimism (a tiny EI
+    // would make TEI negative for every far-from-probed candidate long
+    // before the surrogate has seen the curve).
+    const double tei = true_expected_improvement(session, *chosen,
+                                                 chosen_projected_speed);
+    MLCD_LOG(kTrace, "heterbo") << "probe TEI headroom " << tei;
+    return ProbeRequest{*chosen, chosen_score, "tei"};
+  }
+
+  HeterBoOptions options_;
+  Phase phase_ = Phase::kBegin;
+
+  // --- begin() products
+  bool time_penalty_ = false;
+  std::vector<int> min_feasible_;
+  double median_init_ = 0.0;
+  std::vector<bool> excluded_;
+  std::vector<int> warm_points_;
+
+  // --- wave cursors
+  std::size_t wave1_t_ = 0;
+  std::size_t wave2_t_ = 0;
+
+  // --- enter_loop() products
+  int min_probes_ = 0;
+  int min_probes_ci_ = 0;
+  std::optional<bo::InputNormalizer> normalizer_;
+  bo::ExpectedImprovement ei_;
+  double z_ = 0.0;
+  std::vector<cloud::Deployment> all_;
+  double warm_floor_ = -std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> unit2d_;
+  std::vector<gp::GpRegressor::PredictCache> caches_;
+  std::unique_ptr<SurrogateBank> surrogates_;
+  util::ThreadPool* pool_ = nullptr;
+  std::vector<char> valid_;
+  std::vector<double> ei_values_;
+  std::vector<double> ucb_values_;
+  std::vector<double> scores_;
+  std::vector<double> projected_speeds_;
+  int iteration_ = 0;
+};
+
 }  // namespace
 
 std::vector<WarmStartPoint> warm_start_points(const SearchResult& result) {
@@ -228,396 +728,9 @@ HeterBoSearcher::HeterBoSearcher(const perf::TrainingPerfModel& perf,
   }
 }
 
-std::vector<int> HeterBoSearcher::concavity_limits(
-    const Session& session) const {
-  const std::size_t types = session.space().type_count();
-  std::vector<int> limit(types, std::numeric_limits<int>::max());
-  if (!options_.use_concavity_prior) return limit;
-
-  for (std::size_t t = 0; t < types; ++t) {
-    // Collect feasible probes of this type, ordered by node count.
-    std::vector<std::pair<int, double>> points;
-    for (const ProbeStep& step : session.trace()) {
-      if (step.deployment.type_index == t && step.feasible) {
-        points.emplace_back(step.deployment.nodes, step.measured_speed);
-      }
-    }
-    std::sort(points.begin(), points.end());
-    // Two neighbouring probed scale-outs with declining speed put us on
-    // the concave curve's down-slope: prune everything beyond.
-    for (std::size_t i = 1; i < points.size(); ++i) {
-      if (points[i].second < points[i - 1].second) {
-        limit[t] = points[i].first;
-        break;
-      }
-    }
-  }
-  return limit;
-}
-
-double HeterBoSearcher::true_expected_improvement(
-    const Session& session, const cloud::Deployment& d,
-    double projected_speed) const {
-  const Scenario& s = session.scenario();
-  if (projected_speed <= 0.0) {
-    return -std::numeric_limits<double>::infinity();
-  }
-  const double train_hours =
-      session.problem().config.model.samples_to_train / projected_speed /
-      3600.0;
-  if (s.kind == ScenarioKind::kCheapestUnderDeadline) {
-    // Eq. 5: T_max - T_profile - S / EI-projected speed.
-    return s.deadline_hours - session.spent_hours() -
-           session.profiler().expected_profile_hours(
-               session.problem().config, d) -
-           train_hours;
-  }
-  if (s.kind == ScenarioKind::kFastestUnderBudget) {
-    // Eq. 6: C_max - C_profile - (S / EI-projected speed) * P(m).
-    return s.budget_dollars - session.spent_cost() -
-           session.profiler().expected_profile_cost(
-               session.problem().config, d) -
-           train_hours * session.space().hourly_price(d);
-  }
-  // Scenario 1 has no constraint; TEI degenerates to +inf headroom.
-  return std::numeric_limits<double>::infinity();
-}
-
-void HeterBoSearcher::search(Session& session) {
-  const cloud::DeploymentSpace& space = session.space();
-  const Scenario& scenario = session.scenario();
-  // The penalty currency is whatever the scenario actually pressures:
-  // wall time under a deadline, dollars otherwise (profiling *time* is
-  // nearly uniform across probes — the heterogeneity is monetary).
-  const bool time_penalty =
-      scenario.kind == ScenarioKind::kCheapestUnderDeadline;
-
-  const perf::TrainingConfig& config = session.problem().config;
-  // The reserve budgets each candidate at its *worst-case* spend (every
-  // retry fails, every backoff maxes out, stragglers stretch a fully
-  // extended window) — identical to the expected spend when no faults
-  // are injected. Anything less would let retry-inflated probes eat the
-  // training reserve and break the constraint guarantee.
-  auto reserve_ok = [&](const cloud::Deployment& d) {
-    if (!options_.protective_reserve) return true;
-    return session.reserve_allows(
-        session.profiler().worst_case_profile_hours(config, d),
-        session.profiler().worst_case_profile_cost(config, d));
-  };
-  // A type under a capacity outage cannot be launched right now; it is
-  // demoted until the profiling clock leaves the episode.
-  auto outaged = [&](std::size_t type_index) {
-    return session.profiler().type_in_outage(type_index);
-  };
-
-  // --- Initialization: one probe per instance type at the smallest
-  // scale that can hold the model at all (§III-C "Initial points" —
-  // single node for everything except ZeRO-scale models, whose state
-  // must be partitioned across a minimum number of nodes; that minimum
-  // is static arithmetic, not something worth paying a doomed probe to
-  // discover).
-  std::vector<int> min_feasible(space.type_count(), -1);
-  for (std::size_t t = 0; t < space.type_count(); ++t) {
-    for (int n = 1; n <= space.max_nodes(t); ++n) {
-      if (session.perf().memory_feasible(config, {t, n})) {
-        min_feasible[t] = n;
-        break;
-      }
-    }
-  }
-  // Types whose minimum viable cluster is disproportionately expensive
-  // to probe are skipped during initialization (they stay reachable
-  // through the acquisition later). "Disproportionate" is measured
-  // against the median min-feasible probe cost across types.
-  std::vector<double> init_costs;
-  for (std::size_t t = 0; t < space.type_count(); ++t) {
-    if (min_feasible[t] < 0) continue;
-    init_costs.push_back(session.profiler().expected_profile_cost(
-        config, {t, min_feasible[t]}));
-  }
-  double median_init = 0.0;
-  if (!init_costs.empty()) {
-    std::sort(init_costs.begin(), init_costs.end());
-    median_init = init_costs[init_costs.size() / 2];
-  }
-  auto init_affordable = [&](const cloud::Deployment& d) {
-    return session.profiler().expected_profile_cost(config, d) <=
-           options_.init_cost_ratio_cap * median_init;
-  };
-  // A type whose *minimum viable* probe already breaks the cap can never
-  // be examined cheaply; in the spirit of §III-C ("judiciously limit the
-  // search in a small range") it is excluded from the search outright
-  // rather than left to soak up the exploration allowance later.
-  std::vector<bool> excluded(space.type_count(), false);
-  for (std::size_t t = 0; t < space.type_count(); ++t) {
-    if (min_feasible[t] < 0) continue;
-    const cloud::Deployment d{t, min_feasible[t]};
-    if (!init_affordable(d)) {
-      excluded[t] = true;
-      MLCD_LOG(kInfo, "heterbo")
-          << "excluding " << space.catalog().at(t).name
-          << ": its smallest viable probe costs "
-          << session.profiler().expected_profile_cost(config, d)
-          << " (cap " << options_.init_cost_ratio_cap * median_init << ")";
-    }
-  }
-  // Warm-start coverage: a type with at least two carried-over points
-  // already has a usable curve estimate, so its mandatory init/curve
-  // probes are skipped (the acquisition re-measures where it matters).
-  std::vector<int> warm_points(space.type_count(), 0);
-  for (const WarmStartPoint& w : options_.warm_start) {
-    if (w.deployment.type_index < warm_points.size() &&
-        space.contains(w.deployment) && w.measured_speed > 0.0) {
-      ++warm_points[w.deployment.type_index];
-    }
-  }
-  for (std::size_t t = 0; t < space.type_count(); ++t) {
-    if (min_feasible[t] < 0 || excluded[t] || warm_points[t] >= 2 ||
-        outaged(t)) {
-      continue;
-    }
-    const cloud::Deployment d{t, min_feasible[t]};
-    if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
-      break;
-    }
-    if (reserve_ok(d)) session.probe(d, 0.0, "init");
-  }
-  // Second wave: one small-scale probe per type so the surrogate sees
-  // each type's scaling *slope*, not just its intercept — without this,
-  // a type whose single node is slow but which scales steeply (the
-  // typical winner) can be starved by the cost-aware acquisition and the
-  // search stops early. This mirrors the paper's observed traces
-  // (Figs. 15-17, steps 4-6: one small/mid probe per panel). A
-  // single-type space gets its curve point at mid-range instead
-  // (Fig. 9a's second initial point before the "third in between").
-  for (std::size_t t = 0; t < space.type_count(); ++t) {
-    if (min_feasible[t] < 0 || excluded[t] || warm_points[t] >= 2 ||
-        outaged(t)) {
-      continue;
-    }
-    if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
-      break;
-    }
-    int curve_n = space.type_count() == 1
-                      ? (1 + space.max_nodes(t)) / 2
-                      : std::min(space.max_nodes(t),
-                                 std::max(3, space.max_nodes(t) / 6));
-    curve_n = std::max(curve_n, std::min(space.max_nodes(t),
-                                         min_feasible[t] + 2));
-    const cloud::Deployment d{t, curve_n};
-    // The single-type midpoint is exempt from the cost cap: it is the
-    // only way to seed the curve fit when there is just one type.
-    const bool affordable =
-        space.type_count() == 1 || init_affordable(d);
-    if (curve_n > min_feasible[t] && !session.already_probed(d) &&
-        reserve_ok(d) && affordable) {
-      session.probe(d, 0.0, "curve");
-    }
-  }
-  if (session.trace().empty() && options_.warm_start.empty()) {
-    MLCD_LOG(kWarn, "heterbo") << "no initial probe affordable";
-    return;
-  }
-  // EI-based stopping is allowed only after the surrogate has seen a few
-  // exploratory probes beyond initialization; the confidence-interval
-  // stop, which trusts the GP's error bars, waits a little longer still
-  // (young GPs are routinely overconfident about unexplored regions).
-  const int init_count = static_cast<int>(session.trace().size());
-  const int min_probes = init_count + 4;
-  const int min_probes_ci = init_count + 6;
-
-  const bo::InputNormalizer normalizer = make_space_normalizer(space);
-  const bo::ExpectedImprovement ei;
-  const double z =
-      stats::normal_quantile(0.5 + options_.ci_confidence / 2.0);
-  const std::vector<cloud::Deployment> all = space.enumerate();
-
-  // A warm-started search should not chase "improvements" below what the
-  // previous run already achieved: the best carried-over observation
-  // seeds the EI baseline until real probes take over.
-  double warm_floor = -std::numeric_limits<double>::infinity();
-  for (const WarmStartPoint& w : options_.warm_start) {
-    if (w.measured_speed <= 0.0 || !space.contains(w.deployment)) continue;
-    warm_floor = std::max(
-        warm_floor,
-        std::log(std::max(
-            scenario_objective(scenario, w.measured_speed,
-                               space.hourly_price(w.deployment)),
-            1e-9)));
-  }
-
-  // Candidate geometry and the surrogate bank persist across
-  // iterations: 2-D coordinates are normalized once, per-candidate
-  // PredictCaches make repeated scans O(n) per candidate, and GPs are
-  // rebuilt/extended per the SearchProblem::gp_refit_every cadence.
-  const std::size_t m = all.size();
-  std::vector<std::vector<double>> unit2d(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    unit2d[i] = normalizer.normalize(deployment_coords(all[i]));
-  }
-  std::vector<gp::GpRegressor::PredictCache> caches(m);
-  SurrogateBank surrogates(session, normalizer, options_.warm_start,
-                           session.problem().gp_refit_every);
-  util::ThreadPool& pool = session.pool();
-  std::vector<char> valid(m);
-  std::vector<double> ei_values(m);
-  std::vector<double> ucb_values(m);
-  std::vector<double> scores(m);
-  std::vector<double> projected_speeds(m);
-
-  int iteration = 0;
-  while (static_cast<int>(session.trace().size()) < options_.max_probes) {
-    ++iteration;
-    const std::vector<int> prune = concavity_limits(session);
-
-    // Graceful degradation: a failed bank refit (non-PSD covariance, NaN
-    // likelihood, diverged MLE) demotes this iteration to a surrogate-
-    // free safe mode — the cheapest affordable unprobed candidate that
-    // passes every hard filter — instead of aborting the search. The
-    // bank rebuilds from the full trace on the next iteration, which
-    // re-promotes the loop as soon as a refit succeeds again.
-    bool degraded = session.chaos_degrade(iteration);
-    std::string why = degraded ? "chaos degrade hook" : "";
-    if (!degraded) {
-      try {
-        surrogates.update(session);
-      } catch (const std::runtime_error& e) {
-        degraded = true;
-        why = e.what();
-      }
-    }
-    if (degraded) {
-      session.note_degraded(iteration, why);
-      surrogates.invalidate();
-      auto safe_allowed = [&](const cloud::Deployment& d) {
-        return d.nodes <= prune[d.type_index] &&
-               min_feasible[d.type_index] >= 0 &&
-               !excluded[d.type_index] &&
-               d.nodes >= min_feasible[d.type_index] &&
-               !outaged(d.type_index) && reserve_ok(d);
-      };
-      const cloud::Deployment* fallback =
-          degraded_fallback(session, all, safe_allowed);
-      if (fallback == nullptr) break;
-      session.probe(*fallback, 0.0, "degraded");
-      continue;
-    }
-
-    // EI baseline: the incumbent's log objective. (Using only
-    // constraint-compliant probes as the baseline is tempting but
-    // unstable: as profiling spend grows the compliant set shrinks, the
-    // baseline falls, and EI re-inflates — a feedback loop that
-    // encourages more spending. The reserve filter plus the constraint-
-    // aware final pick already deliver the compliance guarantee.)
-    double best = std::log(1e-9);
-    if (session.has_incumbent()) {
-      best = log_objective(session, session.incumbent());
-    }
-    best = std::max(best, warm_floor);
-
-    const cloud::Deployment* chosen = nullptr;
-    double chosen_score = -std::numeric_limits<double>::infinity();
-    double chosen_projected_speed = 0.0;
-    double ei_max = 0.0;
-    double ucb_max = -std::numeric_limits<double>::infinity();
-    std::size_t affordable = 0;
-
-    // Parallel scan: every candidate's filters, posterior and
-    // acquisition score are functions of its own inputs alone and land
-    // in disjoint pre-sized slots, so the result is bitwise identical
-    // for any thread count (util/thread_pool.hpp). The argmax and the
-    // ei/ucb maxima reduce serially afterwards, in candidate order —
-    // exactly the legacy single-threaded visit order.
-    pool.parallel_for(m, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        valid[i] = 0;
-        const cloud::Deployment& d = all[i];
-        if (d.nodes > prune[d.type_index]) continue;  // concavity prior
-        // Static memory check: never pay for a probe that arithmetic
-        // already proves cannot run; cost-excluded types stay out too.
-        if (min_feasible[d.type_index] < 0 || excluded[d.type_index] ||
-            d.nodes < min_feasible[d.type_index]) {
-          continue;
-        }
-        if (session.already_probed(d)) continue;
-        if (outaged(d.type_index)) continue;  // capacity outage: demoted
-        if (!reserve_ok(d)) continue;  // protective reserve
-        valid[i] = 1;
-
-        const gp::Prediction p =
-            surrogates.predict(session, d, unit2d[i], caches[i]);
-        ei_values[i] = ei.score(p, best);
-        ucb_values[i] = p.mean + z * p.stddev();
-
-        // Heterogeneous-cost penalty (Eqs. 7/8): improvement per unit
-        // of what the scenario actually constrains.
-        double penalty =
-            time_penalty
-                ? session.profiler().expected_profile_hours(config, d)
-                : session.profiler().expected_profile_cost(config, d);
-        penalty = std::max(penalty, 1e-9);
-        scores[i] = options_.cost_aware_acquisition
-                        ? ei_values[i] /
-                              std::pow(penalty,
-                                       options_.cost_penalty_exponent)
-                        : ei_values[i];
-
-        // Projected speed if this candidate realizes its expected
-        // improvement (used for the TEI bookkeeping below). The
-        // surrogate lives in log space, so the projection exponentiates
-        // back.
-        const double projected_objective = std::exp(best + ei_values[i]);
-        projected_speeds[i] =
-            scenario.kind == ScenarioKind::kCheapestUnderDeadline
-                ? projected_objective * space.hourly_price(d)
-                : projected_objective;
-      }
-    });
-
-    for (std::size_t i = 0; i < m; ++i) {
-      if (!valid[i]) continue;
-      ++affordable;
-      ei_max = std::max(ei_max, ei_values[i]);
-      ucb_max = std::max(ucb_max, ucb_values[i]);
-      if (scores[i] > chosen_score) {
-        chosen_score = scores[i];
-        chosen = &all[i];
-        chosen_projected_speed = projected_speeds[i];
-      }
-    }
-
-    if (chosen == nullptr) {
-      MLCD_LOG(kDebug, "heterbo")
-          << "stop: reserve/prior left no candidate (" << affordable
-          << " affordable)";
-      break;
-    }
-    const int probes_done = static_cast<int>(session.trace().size());
-    if (probes_done >= min_probes &&
-        ei_max < options_.ei_stop_improvement) {
-      MLCD_LOG(kDebug, "heterbo") << "stop: EI " << ei_max
-                                  << " below threshold";
-      break;
-    }
-    if (probes_done >= min_probes_ci && session.has_incumbent() &&
-        ucb_max <= best) {
-      MLCD_LOG(kDebug, "heterbo")
-          << "stop: no candidate plausibly improves at "
-          << options_.ci_confidence << " confidence";
-      break;
-    }
-
-    // TEI (Eqs. 5/6) is recorded for diagnostics: the constraint headroom
-    // assuming the chosen probe realizes its expected improvement. The
-    // hard guarantee itself comes from the reserve filter above, which is
-    // immune to early GP pessimism (a tiny EI would make TEI negative for
-    // every far-from-probed candidate long before the surrogate has seen
-    // the curve).
-    const double tei = true_expected_improvement(session, *chosen,
-                                                 chosen_projected_speed);
-    MLCD_LOG(kTrace, "heterbo") << "probe TEI headroom " << tei;
-    session.probe(*chosen, chosen_score, "tei");
-  }
+std::unique_ptr<SearchStrategy> HeterBoSearcher::make_strategy(
+    const SearchProblem& /*problem*/) const {
+  return std::make_unique<HeterBoStrategy>(options_);
 }
 
 }  // namespace mlcd::search

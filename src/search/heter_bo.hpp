@@ -30,6 +30,7 @@
 // the trace.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "search/searcher.hpp"
@@ -90,19 +91,10 @@ class HeterBoSearcher final : public Searcher {
   const HeterBoOptions& options() const noexcept { return options_; }
 
  protected:
-  void search(Session& session) override;
+  std::unique_ptr<SearchStrategy> make_strategy(
+      const SearchProblem& problem) const override;
 
  private:
-  /// Per-type scale-out prune limit from the concavity prior:
-  /// candidates of type t with nodes > limit[t] are skipped.
-  std::vector<int> concavity_limits(const Session& session) const;
-
-  /// Paper Eq. 5/6: constraint headroom if we probe `d` and then train at
-  /// the EI-projected improved speed. Positive TEI = worth exploring.
-  double true_expected_improvement(const Session& session,
-                                   const cloud::Deployment& d,
-                                   double ei_speed) const;
-
   HeterBoOptions options_;
 };
 

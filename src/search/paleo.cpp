@@ -1,6 +1,9 @@
 #include "search/paleo.hpp"
 
 #include <limits>
+#include <memory>
+
+#include "search/completion_model.hpp"
 
 namespace mlcd::search {
 
@@ -25,24 +28,25 @@ double PaleoSearcher::predicted_speed(const perf::TrainingConfig& config,
   return analytic_.true_speed(config, d);
 }
 
-void PaleoSearcher::search(Session& /*session*/) {
-  // Never called; run() below bypasses the probing scaffolding.
+std::unique_ptr<SearchStrategy> PaleoSearcher::make_strategy(
+    const SearchProblem& /*problem*/) const {
+  return nullptr;  // probe-free: the session is born finished
 }
 
-SearchResult PaleoSearcher::run(const SearchProblem& problem) {
+SearchResult PaleoSearcher::finalize(SearchSession& session) const {
+  const SearchProblem& problem = session.problem();
   SearchResult result;
   result.method = name();
 
   // Plan analytically: best predicted objective whose *predicted*
   // completion satisfies the user constraints.
   const cloud::DeploymentSpace& space = *problem.space;
+  const CompletionModel& completion = session.completion();
   double best_objective = -std::numeric_limits<double>::infinity();
   for (const cloud::Deployment& d : space.enumerate()) {
     const double predicted = predicted_speed(problem.config, d);
     if (predicted <= 0.0) continue;
-    const double hours =
-        problem.config.model.samples_to_train / predicted / 3600.0 *
-        space.restart_overhead_multiplier(d);
+    const double hours = completion.training_hours(d, predicted);
     const double cost = hours * space.hourly_price(d);
     if (problem.scenario.has_deadline() &&
         hours > problem.scenario.deadline_hours) {
@@ -71,9 +75,8 @@ SearchResult PaleoSearcher::run(const SearchProblem& problem) {
     result.found = false;
     return result;
   }
-  result.training_hours = problem.config.model.samples_to_train /
-                          result.best_true_speed / 3600.0 *
-                          space.restart_overhead_multiplier(result.best);
+  result.training_hours =
+      completion.training_hours(result.best, result.best_true_speed);
   result.training_cost =
       result.training_hours * space.hourly_price(result.best);
   return result;

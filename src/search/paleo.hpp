@@ -12,6 +12,8 @@
 // deployment that underdelivers, while paying zero profiling cost.
 #pragma once
 
+#include <memory>
+
 #include "perf/perf_model.hpp"
 #include "search/searcher.hpp"
 
@@ -26,16 +28,17 @@ class PaleoSearcher final : public Searcher {
 
   std::string name() const override { return "paleo"; }
 
-  /// Probe-free analytic planning; bypasses the profiling scaffolding.
-  SearchResult run(const SearchProblem& problem) override;
-
   /// Predicted speed of a deployment under Paleo's analytic model.
   double predicted_speed(const perf::TrainingConfig& config,
                          const cloud::Deployment& d) const;
 
  protected:
-  /// Paleo performs no probes; it plans analytically in finalize-time.
-  void search(Session& session) override;
+  /// Paleo performs no probes: a null strategy makes the session finish
+  /// immediately and all planning happens analytically in finalize().
+  std::unique_ptr<SearchStrategy> make_strategy(
+      const SearchProblem& problem) const override;
+
+  SearchResult finalize(SearchSession& session) const override;
 
  private:
   perf::TrainingPerfModel analytic_;

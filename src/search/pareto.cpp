@@ -1,7 +1,12 @@
 #include "search/pareto.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
 #include <stdexcept>
+
+#include "search/completion_model.hpp"
 
 namespace mlcd::search {
 
@@ -40,6 +45,55 @@ std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
   return front;
 }
 
+namespace {
+
+class ParetoStrategy final : public SearchStrategy {
+ public:
+  explicit ParetoStrategy(int probes) : probes_(probes) {}
+
+  std::optional<ProbeRequest> propose(SearchSession& session) override {
+    // Stratified, non-adaptive sample: for each type, node counts spread
+    // geometrically across the range, round-robin until the probe budget
+    // is spent. No observation ever influences the next probe — that is
+    // the method's defining weakness. The whole plan is fixed before the
+    // first probe executes.
+    if (!planned_) {
+      const cloud::DeploymentSpace& space = session.space();
+      const int per_type = std::max(
+          1, probes_ / static_cast<int>(space.type_count()));
+      for (std::size_t t = 0; t < space.type_count(); ++t) {
+        const int max_n = space.max_nodes(t);
+        for (int k = 0; k < per_type; ++k) {
+          // Geometric spread: 1, ~max^(1/(p-1)), ..., max.
+          double frac = per_type == 1
+                            ? 0.0
+                            : static_cast<double>(k) / (per_type - 1);
+          const int n = std::clamp(
+              static_cast<int>(std::lround(std::pow(
+                  static_cast<double>(max_n), frac))),
+              1, max_n);
+          const cloud::Deployment d{t, n};
+          if (!session.already_probed(d)) plan_.push_back(d);
+        }
+      }
+      planned_ = true;
+    }
+    if (cursor_ >= plan_.size() ||
+        static_cast<int>(session.trace().size()) >= probes_) {
+      return std::nullopt;
+    }
+    return ProbeRequest{plan_[cursor_++], 0.0, "pareto"};
+  }
+
+ private:
+  int probes_;
+  bool planned_ = false;
+  std::vector<cloud::Deployment> plan_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
 ParetoSearcher::ParetoSearcher(const perf::TrainingPerfModel& perf,
                                ParetoSearchOptions options)
     : Searcher(perf, IncumbentPolicy::kObjectiveOnly), options_(options) {
@@ -48,46 +102,22 @@ ParetoSearcher::ParetoSearcher(const perf::TrainingPerfModel& perf,
   }
 }
 
-void ParetoSearcher::search(Session& session) {
-  // Stratified, non-adaptive sample: for each type, node counts spread
-  // geometrically across the range, round-robin until the probe budget
-  // is spent. No observation ever influences the next probe — that is
-  // the method's defining weakness.
-  const cloud::DeploymentSpace& space = session.space();
-  std::vector<cloud::Deployment> plan;
-  const int per_type = std::max(
-      1, options_.probes / static_cast<int>(space.type_count()));
-  for (std::size_t t = 0; t < space.type_count(); ++t) {
-    const int max_n = space.max_nodes(t);
-    for (int k = 0; k < per_type; ++k) {
-      // Geometric spread: 1, ~max^(1/(p-1)), ..., max.
-      double frac = per_type == 1
-                        ? 0.0
-                        : static_cast<double>(k) / (per_type - 1);
-      const int n = std::clamp(
-          static_cast<int>(std::lround(std::pow(
-              static_cast<double>(max_n), frac))),
-          1, max_n);
-      const cloud::Deployment d{t, n};
-      if (!session.already_probed(d)) plan.push_back(d);
-    }
-  }
-  for (const cloud::Deployment& d : plan) {
-    if (static_cast<int>(session.trace().size()) >= options_.probes) break;
-    session.probe(d, 0.0, "pareto");
-  }
+std::unique_ptr<SearchStrategy> ParetoSearcher::make_strategy(
+    const SearchProblem& /*problem*/) const {
+  return std::make_unique<ParetoStrategy>(options_.probes);
 }
 
 std::vector<ParetoPoint> ParetoSearcher::front_of(
     const SearchResult& result, const cloud::DeploymentSpace& space,
     double samples_to_train) const {
+  const CompletionModel completion(samples_to_train, space);
   std::vector<ParetoPoint> points;
   for (const ProbeStep& step : result.trace) {
     if (!step.feasible || step.measured_speed <= 0.0) continue;
     ParetoPoint p;
     p.deployment = step.deployment;
-    p.training_hours = samples_to_train / step.measured_speed / 3600.0 *
-                       space.restart_overhead_multiplier(step.deployment);
+    p.training_hours =
+        completion.training_hours(step.deployment, step.measured_speed);
     p.training_cost =
         p.training_hours * space.hourly_price(step.deployment);
     points.push_back(p);

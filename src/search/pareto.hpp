@@ -7,6 +7,7 @@
 // wastes probes in dominated regions and resolves the front coarsely.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "search/searcher.hpp"
@@ -44,7 +45,8 @@ class ParetoSearcher final : public Searcher {
                                     double samples_to_train) const;
 
  protected:
-  void search(Session& session) override;
+  std::unique_ptr<SearchStrategy> make_strategy(
+      const SearchProblem& problem) const override;
 
  private:
   ParetoSearchOptions options_;

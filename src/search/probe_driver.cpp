@@ -1,0 +1,32 @@
+#include "search/probe_driver.hpp"
+
+namespace mlcd::search {
+
+bool ProbeDriver::step(SearchSession& session) {
+  const ProbeRequest* pending = session.next();
+  if (pending == nullptr) return false;
+  // Copy the request: observe() clears the pending slot it points into.
+  const ProbeRequest request = *pending;
+
+  const profiler::ProfileResult outcome =
+      session.profiler().profile(session.problem().config,
+                                 request.deployment);
+  ProbeStep step = session.account(request, outcome);
+
+  // Write-ahead discipline: durable before admitted. Replayed steps are
+  // already on disk — appending them again would duplicate records on
+  // every resume.
+  journal::RunJournal* journal = session.problem().journal;
+  if (journal != nullptr && !outcome.replayed) {
+    journal->append_probe(to_journal_record(step));
+  }
+  session.observe(std::move(step));
+  return true;
+}
+
+void ProbeDriver::drive(SearchSession& session) {
+  while (step(session)) {
+  }
+}
+
+}  // namespace mlcd::search

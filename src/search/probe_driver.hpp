@@ -1,0 +1,36 @@
+// ProbeDriver: executes a session's pending probe requests.
+//
+// The driver owns everything that happens *between* a strategy's
+// proposal and its observation: running the probe through the profiler
+// (which layers retries, fault injection, watchdogs, replay, and
+// ProbeGate admission under it) and the write-ahead journaling
+// discipline — the outcome is made durable before it is admitted into
+// the trace, so a crash between the two re-derives the step from the
+// journal instead of re-spending the probe.
+//
+// Both consumers speak this protocol: Mlcd::deploy drives a session to
+// completion on one thread (drive()), while the service scheduler calls
+// step() from whichever lane currently holds the session, interleaving
+// many sessions at probe granularity.
+#pragma once
+
+#include "search/search_session.hpp"
+
+namespace mlcd::search {
+
+class ProbeDriver {
+ public:
+  /// Executes the session's pending probe, journals the outcome
+  /// (write-ahead), and admits it into the trace. Returns false when the
+  /// session is finished and no probe ran. A profiler exception (probe
+  /// timeout, provision refusal) propagates with the pending request
+  /// intact — the probe never ran, so a recovering caller may step again;
+  /// a journal failure propagates after the spend was accounted and is
+  /// fatal to the run (the typed kJournalError path).
+  static bool step(SearchSession& session);
+
+  /// step() until the session finishes.
+  static void drive(SearchSession& session);
+};
+
+}  // namespace mlcd::search

@@ -1,9 +1,42 @@
 #include "search/random_search.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <stdexcept>
+#include <vector>
 
 namespace mlcd::search {
+namespace {
+
+class RandomStrategy final : public SearchStrategy {
+ public:
+  explicit RandomStrategy(int probes) : probes_(probes) {}
+
+  std::optional<ProbeRequest> propose(SearchSession& session) override {
+    // The shuffle draws from the session RNG, so it happens at the first
+    // propose() — after construction — exactly where the legacy blocking
+    // search() drew it.
+    if (!shuffled_) {
+      pool_ = session.space().enumerate();
+      std::shuffle(pool_.begin(), pool_.end(), session.rng().engine());
+      count_ = std::min<std::size_t>(static_cast<std::size_t>(probes_),
+                                     pool_.size());
+      shuffled_ = true;
+    }
+    if (cursor_ >= count_) return std::nullopt;
+    return ProbeRequest{pool_[cursor_++], 0.0, "random"};
+  }
+
+ private:
+  int probes_;
+  bool shuffled_ = false;
+  std::vector<cloud::Deployment> pool_;
+  std::size_t count_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
 
 RandomSearcher::RandomSearcher(const perf::TrainingPerfModel& perf,
                                RandomSearchOptions options)
@@ -17,14 +50,9 @@ std::string RandomSearcher::name() const {
   return "random-" + std::to_string(options_.probes);
 }
 
-void RandomSearcher::search(Session& session) {
-  std::vector<cloud::Deployment> pool = session.space().enumerate();
-  std::shuffle(pool.begin(), pool.end(), session.rng().engine());
-  const int count =
-      std::min<int>(options_.probes, static_cast<int>(pool.size()));
-  for (int i = 0; i < count; ++i) {
-    session.probe(pool[i], 0.0, "random");
-  }
+std::unique_ptr<SearchStrategy> RandomSearcher::make_strategy(
+    const SearchProblem& /*problem*/) const {
+  return std::make_unique<RandomStrategy>(options_.probes);
 }
 
 }  // namespace mlcd::search

@@ -4,6 +4,8 @@
 // probes to match, and each extra probe inflates the profiling bill.
 #pragma once
 
+#include <memory>
+
 #include "search/searcher.hpp"
 
 namespace mlcd::search {
@@ -20,7 +22,8 @@ class RandomSearcher final : public Searcher {
   std::string name() const override;
 
  protected:
-  void search(Session& session) override;
+  std::unique_ptr<SearchStrategy> make_strategy(
+      const SearchProblem& problem) const override;
 
  private:
   RandomSearchOptions options_;

@@ -1,0 +1,267 @@
+// Ask/tell search session: the resumable half of every searcher.
+//
+// The search layer is split into three pieces (docs/architecture.md):
+//
+//   SearchStrategy  — pure probe-selection policy, an explicit state
+//                     machine advanced one proposal at a time;
+//   SearchSession   — the strategy plus all per-run state (billing
+//                     meter, profiler, RNG, trace, incumbent), exposing
+//                     the pull-style ask/tell surface next()/observe();
+//   ProbeDriver     — executes proposals against the profiler and owns
+//                     the write-ahead journaling discipline.
+//
+// A session never blocks: next() returns the pending ProbeRequest (or
+// finished), and whoever drives it — Mlcd::deploy solo or the service
+// scheduler multiplexing many sessions over a few lanes — decides when
+// to execute. next() is idempotent until observe() lands the outcome, so
+// a capacity-parked session can be resumed later and re-ask for exactly
+// the same probe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/billing.hpp"
+#include "cloud/deployment.hpp"
+#include "journal/journal.hpp"
+#include "perf/perf_model.hpp"
+#include "profiler/profiler.hpp"
+#include "search/completion_model.hpp"
+#include "search/scenario.hpp"
+#include "search/search_result.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlcd::search {
+
+/// Everything that defines one deployment-search task.
+struct SearchProblem {
+  perf::TrainingConfig config;
+  const cloud::DeploymentSpace* space = nullptr;
+  Scenario scenario;
+  std::uint64_t seed = 1;
+  profiler::ProfilerOptions profiler_options;
+  /// Execution lanes for the candidate-scan parallelism (acquisition
+  /// scoring over the deployment plane). Probe traces are bit-identical
+  /// for any value — see util/thread_pool.hpp for the contract — so this
+  /// is purely a wall-clock knob. Values < 1 are clamped to 1.
+  int threads = 1;
+  /// Shared candidate-scan pool (service layer): when set, the session
+  /// scans on this pool instead of lazily creating its own, so M
+  /// scheduler-driven sessions share one set of worker threads rather
+  /// than spawning one pool per job lane. Trace-neutral for any pool
+  /// size (same determinism contract as `threads`). Not owned; must
+  /// outlive the session.
+  util::ThreadPool* scan_pool = nullptr;
+  /// BO-surrogate retune cadence: the searchers rebuild their GPs from
+  /// scratch (hyperparameter MLE + target renormalization) every this
+  /// many incorporated probes and extend them incrementally in between
+  /// (O(n²) bordered-Cholesky adds with frozen hyperparameters).
+  /// 1 (default) retunes on every probe — the exact legacy behavior;
+  /// <= 0 never retunes after the first build.
+  int gp_refit_every = 1;
+  /// Durable run journal the ProbeDriver appends each probe outcome to
+  /// *before* it is admitted into the trace (write-ahead discipline).
+  /// The journal must already contain its header. nullptr = no
+  /// journaling. Not owned.
+  journal::RunJournal* journal = nullptr;
+  /// Crash-resume replay: probe outcomes recovered from a journal, in
+  /// original order. The session's profiler serves these for the first
+  /// `replay.size()` probes instead of executing them — billing, clock,
+  /// and every seeded stream advance exactly as in the original run —
+  /// then switches back to live execution, making the continuation
+  /// bit-identical to an uninterrupted search.
+  std::vector<journal::ProbeRecord> replay;
+  /// Test seam: when set, searchers treat iterations for which this
+  /// returns true as if the surrogate refit had failed, exercising the
+  /// graceful-degradation safe mode without needing a pathological GP.
+  std::function<bool(int iteration)> chaos_degrade_hook;
+  /// Multi-tenant probe gate (service layer): when set, every live probe
+  /// is offered to the gate for cross-job cache reuse and capacity
+  /// admission (see profiler/probe_gate.hpp). Trace-neutral — a gated
+  /// run's trace is bit-identical to the same problem run solo. Not
+  /// owned.
+  profiler::ProbeGate* probe_gate = nullptr;
+  /// Job-invariant fingerprint the gate's ProbeKeys carry (model,
+  /// platform, topology, seed, catalog, market, profiler knobs).
+  std::uint64_t probe_substrate = 0;
+};
+
+/// How the final deployment is chosen from the probe history.
+enum class IncumbentPolicy {
+  /// Highest scenario objective, constraints ignored — what the
+  /// constraint-oblivious baselines do (and why they overshoot).
+  kObjectiveOnly,
+  /// Highest objective among probes whose projected completion still
+  /// satisfies the scenario constraints; least-violating otherwise.
+  kConstraintAware,
+};
+
+/// One probe the strategy wants executed next.
+struct ProbeRequest {
+  cloud::Deployment deployment;
+  /// Acquisition score recorded in the trace (0 for non-BO probes).
+  double acquisition = 0.0;
+  /// Trace label: "init", "curve", "tei", "ei", "degraded", ...
+  std::string reason;
+};
+
+class SearchSession;
+
+/// Probe-selection policy as an explicit resumable state machine.
+///
+/// propose() is called exactly once per executed probe: the session
+/// caches the returned request until its outcome is observed, so a
+/// strategy may advance internal cursors in propose() without ever
+/// seeing the same decision point twice. Returning nullopt finishes the
+/// session permanently. All lazy setup (candidate enumeration, RNG
+/// draws, option validation) belongs in the first propose() call — never
+/// in the constructor — so that building a session has no observable
+/// effect on seeded streams.
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+
+  virtual std::optional<ProbeRequest> propose(SearchSession& session) = 0;
+};
+
+/// Per-run state plus the ask/tell surface. Created via
+/// Searcher::start(); driven by ProbeDriver (or any scheduler speaking
+/// the same protocol); finished via Searcher::finish().
+class SearchSession {
+ public:
+  /// `strategy` may be null for probe-free planners (Paleo): the session
+  /// is then born finished. Throws std::invalid_argument when the
+  /// problem has no deployment space.
+  SearchSession(const perf::TrainingPerfModel& perf,
+                const SearchProblem& problem,
+                std::unique_ptr<SearchStrategy> strategy);
+
+  // ---------------------------------------------------------- ask/tell
+
+  /// The pending probe request, asking the strategy for one when none is
+  /// outstanding. Idempotent: repeated calls return the same request
+  /// until observe() consumes it — this is what lets a capacity-parked
+  /// session resume on a different lane. Returns nullptr once the
+  /// strategy is finished (permanently).
+  const ProbeRequest* next();
+
+  bool finished() const noexcept { return finished_; }
+
+  /// Accounting half of "tell": folds a profile outcome into the
+  /// cumulative spend and builds the full trace step (including the
+  /// cum_* fields a journal record needs). Does NOT touch the trace —
+  /// the driver journals the returned step first (write-ahead), then
+  /// admits it via observe().
+  ProbeStep account(const ProbeRequest& request,
+                    const profiler::ProfileResult& outcome);
+
+  /// Admission half of "tell": appends the accounted step to the trace,
+  /// updates the incumbent, and clears the pending request so the next
+  /// next() advances the strategy. Returns the admitted step.
+  const ProbeStep& observe(ProbeStep step);
+
+  // ----------------------------------------- state shared with strategies
+
+  const SearchProblem& problem() const noexcept { return *problem_; }
+  const cloud::DeploymentSpace& space() const noexcept {
+    return *problem_->space;
+  }
+  const Scenario& scenario() const noexcept { return problem_->scenario; }
+  const perf::TrainingPerfModel& perf() const noexcept { return *perf_; }
+  profiler::Profiler& profiler() noexcept { return profiler_; }
+  const profiler::Profiler& profiler() const noexcept { return profiler_; }
+  util::Rng& rng() noexcept { return rng_; }
+
+  const std::vector<ProbeStep>& trace() const noexcept { return trace_; }
+  bool already_probed(const cloud::Deployment& d) const noexcept;
+
+  double spent_hours() const noexcept { return cum_hours_; }
+  double spent_cost() const noexcept { return cum_cost_; }
+
+  /// Scenario objective of a probed step (0 when infeasible).
+  double objective_of(const ProbeStep& step) const;
+
+  /// Incumbent = best feasible probe by scenario objective.
+  bool has_incumbent() const noexcept { return incumbent_.has_value(); }
+  const ProbeStep& incumbent() const;
+
+  /// The shared completion arithmetic bound to this problem.
+  const CompletionModel& completion() const noexcept { return completion_; }
+
+  /// Projected hours to finish training at a probed point, from its
+  /// measured speed.
+  double projected_training_hours(const ProbeStep& step) const;
+  /// Projected dollars to finish training at a probed point.
+  double projected_training_cost(const ProbeStep& step) const;
+
+  /// Cheapest way to finish training from any probed point so far:
+  /// minimum projected training hours / dollars over feasible probes.
+  /// +inf when nothing feasible has been probed.
+  double min_completion_hours() const;
+  double min_completion_cost() const;
+
+  /// Protective reserve check (HeterBO §III-C "stop condition"):
+  /// after spending `extra_hours` / `extra_cost` on one more probe,
+  /// could we still finish training within the constraints from the
+  /// best fallback probed so far? Always true for Scenario 1.
+  ///
+  /// When no probed point satisfies a constraint yet, that constraint
+  /// does not veto further probes: a violation is already guaranteed,
+  /// and exploring is the only way to find a compliant deployment.
+  bool reserve_allows(double extra_hours, double extra_cost) const;
+
+  /// Reserve check for probing `d` specifically, budgeted at the probe's
+  /// *worst-case* spend (every retry fails, every backoff maxes out,
+  /// stragglers stretch a fully extended window) — identical to the
+  /// expected spend when no faults are injected. Anything less would let
+  /// retry-inflated probes eat the training reserve and break the
+  /// constraint guarantee. Shared by HeterBO's reserve filter and the
+  /// budget-aware BO-loop variants.
+  bool reserve_allows_probe(const cloud::Deployment& d) const;
+
+  /// Worker pool for candidate scans: the injected shared pool when the
+  /// problem carries one, else a lazily created pool sized to
+  /// SearchProblem::threads (probe-free searchers never pay for thread
+  /// spawns).
+  util::ThreadPool& pool();
+
+  /// Records one graceful-degradation episode (surrogate refit failed;
+  /// the iteration ran in the prior-mean safe mode). Journaled unless
+  /// the session is still replaying — a replayed iteration re-derives
+  /// the same episode deterministically and must not duplicate it.
+  void note_degraded(int iteration, const std::string& why);
+  int degraded_iterations() const noexcept { return degraded_; }
+
+  /// True while probes are still being served from journal replay.
+  bool replaying() const noexcept { return profiler_.replay_pending(); }
+
+  /// True when the chaos hook asks this iteration to degrade.
+  bool chaos_degrade(int iteration) const {
+    return problem_->chaos_degrade_hook &&
+           problem_->chaos_degrade_hook(iteration);
+  }
+
+ private:
+  const perf::TrainingPerfModel* perf_;
+  const SearchProblem* problem_;
+  cloud::BillingMeter meter_;
+  profiler::Profiler profiler_;
+  util::Rng rng_;
+  CompletionModel completion_;
+  std::unique_ptr<SearchStrategy> strategy_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<ProbeStep> trace_;
+  std::optional<ProbeRequest> pending_;
+  bool finished_ = false;
+  double cum_hours_ = 0.0;
+  double cum_cost_ = 0.0;
+  std::optional<std::size_t> incumbent_;
+  int degraded_ = 0;
+};
+
+}  // namespace mlcd::search

@@ -1,9 +1,8 @@
 #include "search/searcher.hpp"
 
-#include <algorithm>
 #include <limits>
-#include <stdexcept>
 
+#include "search/probe_driver.hpp"
 #include "util/logging.hpp"
 
 namespace mlcd::search {
@@ -12,228 +11,19 @@ Searcher::Searcher(const perf::TrainingPerfModel& perf,
                    IncumbentPolicy policy)
     : perf_(&perf), policy_(policy) {}
 
-Searcher::Session::Session(const Searcher& owner,
-                           const SearchProblem& problem)
-    : owner_(&owner),
-      problem_(&problem),
-      meter_(*problem.space),
-      profiler_(*owner.perf_, *problem.space, meter_, problem.seed,
-                problem.profiler_options),
-      rng_(util::splitmix64(problem.seed ^ 0x5ea6c4e2u)) {
-  if (problem.space == nullptr) {
-    throw std::invalid_argument("SearchProblem: null deployment space");
-  }
-  if (!problem.replay.empty()) {
-    profiler_.set_replay(problem.replay);
-  }
-  if (problem.probe_gate != nullptr) {
-    profiler_.set_gate(problem.probe_gate, problem.probe_substrate);
-  }
+std::unique_ptr<SearchSession> Searcher::start(
+    const SearchProblem& problem) const {
+  return std::make_unique<SearchSession>(*perf_, problem,
+                                         make_strategy(problem));
 }
 
-const ProbeStep& Searcher::Session::probe(const cloud::Deployment& d,
-                                          double acquisition,
-                                          std::string reason) {
-  const profiler::ProfileResult r =
-      profiler_.profile(problem_->config, d);
-  cum_hours_ += r.profile_hours;
-  cum_cost_ += r.profile_cost;
-
-  ProbeStep step;
-  step.deployment = d;
-  step.failed = r.failed;
-  step.feasible = r.feasible;
-  step.measured_speed = r.measured_speed;
-  step.true_speed = r.true_speed;
-  step.profile_hours = r.profile_hours;
-  step.profile_cost = r.profile_cost;
-  step.cum_profile_hours = cum_hours_;
-  step.cum_profile_cost = cum_cost_;
-  step.acquisition = acquisition;
-  step.reason = std::move(reason);
-  step.attempts = r.attempts;
-  step.fault = r.fault;
-  step.backoff_hours = r.backoff_hours;
-  step.attempt_log = r.attempt_log;
-  step.replayed = r.replayed;
-
-  // Write-ahead discipline: the outcome is made durable *before* it is
-  // admitted into the trace, so a crash between the two re-derives the
-  // step from the journal instead of re-spending the probe. Replayed
-  // steps are already on disk — appending them again would duplicate
-  // records on every resume.
-  if (problem_->journal != nullptr && !r.replayed) {
-    problem_->journal->append_probe(to_journal_record(step));
-  }
-  trace_.push_back(std::move(step));
-
-  const std::size_t idx = trace_.size() - 1;
-  if (trace_[idx].feasible &&
-      (!incumbent_.has_value() ||
-       objective_of(trace_[idx]) > objective_of(trace_[*incumbent_]))) {
-    incumbent_ = idx;
-  }
-  return trace_[idx];
+SearchResult Searcher::run(const SearchProblem& problem) const {
+  const std::unique_ptr<SearchSession> session = start(problem);
+  ProbeDriver::drive(*session);
+  return finish(*session);
 }
 
-util::ThreadPool& Searcher::Session::pool() {
-  if (!pool_) {
-    pool_ = std::make_unique<util::ThreadPool>(problem_->threads);
-  }
-  return *pool_;
-}
-
-void Searcher::Session::note_degraded(int iteration, const std::string& why) {
-  ++degraded_;
-  MLCD_LOG(kWarn, "search")
-      << "surrogate refit failed at iteration " << iteration << " (" << why
-      << "); degrading to prior-mean safe mode for this iteration";
-  if (problem_->journal != nullptr && !replaying()) {
-    problem_->journal->append_degrade({iteration, why});
-  }
-}
-
-bool Searcher::Session::already_probed(
-    const cloud::Deployment& d) const noexcept {
-  for (const ProbeStep& s : trace_) {
-    // A transiently failed probe produced no measurement; the point may
-    // be retried.
-    if (s.deployment == d && !s.failed) return true;
-  }
-  return false;
-}
-
-double Searcher::Session::objective_of(const ProbeStep& step) const {
-  if (!step.feasible) return 0.0;
-  const Scenario& s = problem_->scenario;
-  // Under a deadline, a deployment whose *training run alone* cannot
-  // finish in time has no utility at any price — without this, the
-  // cost-efficiency objective degenerates to the smallest (slowest)
-  // cluster. Note this uses only the deadline itself, not the time
-  // already spent: constraint-oblivious methods still burn profiling
-  // time on top and overshoot moderately, as the paper reports.
-  if (s.has_deadline() &&
-      projected_training_hours(step) > s.deadline_hours) {
-    return 0.0;
-  }
-  return scenario_objective(s, step.measured_speed,
-                            problem_->space->hourly_price(step.deployment));
-}
-
-const ProbeStep& Searcher::Session::incumbent() const {
-  if (!incumbent_) throw std::logic_error("Session: no incumbent yet");
-  return trace_[*incumbent_];
-}
-
-double Searcher::Session::projected_training_hours(
-    const ProbeStep& step) const {
-  if (!step.feasible || step.measured_speed <= 0.0) {
-    return std::numeric_limits<double>::infinity();
-  }
-  return problem_->config.model.samples_to_train / step.measured_speed /
-         3600.0 *
-         problem_->space->restart_overhead_multiplier(step.deployment);
-}
-
-double Searcher::Session::projected_training_cost(
-    const ProbeStep& step) const {
-  const double hours = projected_training_hours(step);
-  if (!std::isfinite(hours)) return hours;
-  return hours * problem_->space->hourly_price(step.deployment);
-}
-
-double Searcher::Session::min_completion_hours() const {
-  double best = std::numeric_limits<double>::infinity();
-  for (const ProbeStep& step : trace_) {
-    if (step.feasible) {
-      best = std::min(best, projected_training_hours(step));
-    }
-  }
-  return best;
-}
-
-double Searcher::Session::min_completion_cost() const {
-  double best = std::numeric_limits<double>::infinity();
-  for (const ProbeStep& step : trace_) {
-    if (step.feasible) {
-      best = std::min(best, projected_training_cost(step));
-    }
-  }
-  return best;
-}
-
-namespace {
-// Completion projections come from noisy measured speeds while the final
-// accounting uses the substrate's true speed; the reserve keeps this much
-// relative headroom so measurement noise cannot turn a "just fits" into a
-// violation.
-constexpr double kReserveMargin = 0.03;
-}  // namespace
-
-bool Searcher::Session::reserve_allows(double extra_hours,
-                                       double extra_cost) const {
-  // The reserve protects the *best compliant* deployment found so far
-  // (the paper's "reserves the training budget for the current best"):
-  // spending that would forfeit the ability to finish training there is
-  // vetoed. This is stronger than only protecting the cheapest fallback
-  // — without it the search can keep probing until nothing but a slow,
-  // cheap deployment still fits the constraint.
-  const Scenario& s = problem_->scenario;
-
-  // Select the best-objective probe whose completion currently satisfies
-  // every constraint; its completion time/cost is what we reserve.
-  double reserve_hours = std::numeric_limits<double>::infinity();
-  double reserve_cost = std::numeric_limits<double>::infinity();
-  {
-    double best_objective = -std::numeric_limits<double>::infinity();
-    for (const ProbeStep& step : trace_) {
-      if (!step.feasible) continue;
-      const double h = projected_training_hours(step);
-      const double c = projected_training_cost(step);
-      const bool compliant =
-          (!s.has_deadline() || cum_hours_ + h <= s.deadline_hours) &&
-          (!s.has_budget() || cum_cost_ + c <= s.budget_dollars);
-      if (!compliant) continue;
-      const double objective = objective_of(step);
-      if (objective > best_objective) {
-        best_objective = objective;
-        reserve_hours = h;
-        reserve_cost = c;
-      }
-    }
-    if (!std::isfinite(reserve_hours)) {
-      // Nothing compliant yet: protect the cheapest way to finish, if
-      // any exists (when even that violates, the constraint does not
-      // veto further probes — exploring is the only path to compliance).
-      reserve_hours = min_completion_hours();
-      reserve_cost = min_completion_cost();
-    }
-  }
-
-  if (s.has_deadline() && std::isfinite(reserve_hours)) {
-    const double limit = s.deadline_hours * (1.0 - kReserveMargin);
-    if (cum_hours_ + reserve_hours <= limit &&
-        cum_hours_ + extra_hours + reserve_hours > limit) {
-      return false;
-    }
-  }
-  if (s.has_budget() && std::isfinite(reserve_cost)) {
-    const double limit = s.budget_dollars * (1.0 - kReserveMargin);
-    if (cum_cost_ + reserve_cost <= limit &&
-        cum_cost_ + extra_cost + reserve_cost > limit) {
-      return false;
-    }
-  }
-  return true;
-}
-
-SearchResult Searcher::run(const SearchProblem& problem) {
-  Session session(*this, problem);
-  search(session);
-  return finalize(session);
-}
-
-SearchResult Searcher::finalize(Session& session) const {
+SearchResult Searcher::finalize(SearchSession& session) const {
   SearchResult result;
   result.method = name();
   result.trace = session.trace();
@@ -306,10 +96,9 @@ SearchResult Searcher::finalize(Session& session) const {
   // Train at the chosen deployment; the substrate's true speed governs
   // how long the real training run takes (inflated by spot restarts when
   // the space prices the spot market).
-  const double true_speed = chosen->true_speed;
   result.training_hours =
-      session.problem().config.model.samples_to_train / true_speed /
-      3600.0 * session.space().restart_overhead_multiplier(chosen->deployment);
+      session.completion().training_hours(chosen->deployment,
+                                          chosen->true_speed);
   result.training_cost =
       result.training_hours * session.space().hourly_price(chosen->deployment);
   return result;

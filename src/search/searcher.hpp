@@ -1,86 +1,22 @@
-// Searcher interface and shared per-run machinery.
+// Searcher interface: ask/tell factories over SearchSession.
 //
 // Every method in the paper's evaluation — HeterBO, conventional BO,
-// CherryPick, random, exhaustive, Paleo — implements Searcher. The base
-// class owns the run scaffolding all of them share: a billing meter, a
-// profiler bound to the simulated substrate, probe/trace bookkeeping,
-// incumbent selection, and the final "train at the chosen deployment"
-// accounting. Subclasses implement only the probe-selection strategy.
+// CherryPick, random, exhaustive, Paleo — implements Searcher. A
+// searcher is a stateless factory: start() packages the subclass's
+// probe-selection strategy (see search/search_session.hpp) with the
+// per-run machinery into a resumable SearchSession, and finish() turns a
+// finished session into a SearchResult (final deployment selection +
+// "train at the chosen deployment" accounting). run() is the thin
+// drive-to-completion wrapper solo callers use; the service scheduler
+// instead drives many sessions concurrently through ProbeDriver::step.
 #pragma once
 
-#include <cstdint>
-#include <functional>
 #include <memory>
-#include <optional>
 #include <string>
-#include <vector>
 
-#include "cloud/billing.hpp"
-#include "cloud/deployment.hpp"
-#include "journal/journal.hpp"
-#include "perf/perf_model.hpp"
-#include "profiler/profiler.hpp"
-#include "search/scenario.hpp"
-#include "search/search_result.hpp"
-#include "util/rng.hpp"
-#include "util/thread_pool.hpp"
+#include "search/search_session.hpp"
 
 namespace mlcd::search {
-
-/// Everything that defines one deployment-search task.
-struct SearchProblem {
-  perf::TrainingConfig config;
-  const cloud::DeploymentSpace* space = nullptr;
-  Scenario scenario;
-  std::uint64_t seed = 1;
-  profiler::ProfilerOptions profiler_options;
-  /// Execution lanes for the candidate-scan parallelism (acquisition
-  /// scoring over the deployment plane). Probe traces are bit-identical
-  /// for any value — see util/thread_pool.hpp for the contract — so this
-  /// is purely a wall-clock knob. Values < 1 are clamped to 1.
-  int threads = 1;
-  /// BO-surrogate retune cadence: the searchers rebuild their GPs from
-  /// scratch (hyperparameter MLE + target renormalization) every this
-  /// many incorporated probes and extend them incrementally in between
-  /// (O(n²) bordered-Cholesky adds with frozen hyperparameters).
-  /// 1 (default) retunes on every probe — the exact legacy behavior;
-  /// <= 0 never retunes after the first build.
-  int gp_refit_every = 1;
-  /// Durable run journal to append each probe outcome to *before* it is
-  /// admitted into the trace (write-ahead discipline). The journal must
-  /// already contain its header. nullptr = no journaling. Not owned.
-  journal::RunJournal* journal = nullptr;
-  /// Crash-resume replay: probe outcomes recovered from a journal, in
-  /// original order. The session's profiler serves these for the first
-  /// `replay.size()` probes instead of executing them — billing, clock,
-  /// and every seeded stream advance exactly as in the original run —
-  /// then switches back to live execution, making the continuation
-  /// bit-identical to an uninterrupted search.
-  std::vector<journal::ProbeRecord> replay;
-  /// Test seam: when set, searchers treat iterations for which this
-  /// returns true as if the surrogate refit had failed, exercising the
-  /// graceful-degradation safe mode without needing a pathological GP.
-  std::function<bool(int iteration)> chaos_degrade_hook;
-  /// Multi-tenant probe gate (service layer): when set, every live probe
-  /// is offered to the gate for cross-job cache reuse and capacity
-  /// admission (see profiler/probe_gate.hpp). Trace-neutral — a gated
-  /// run's trace is bit-identical to the same problem run solo. Not
-  /// owned.
-  profiler::ProbeGate* probe_gate = nullptr;
-  /// Job-invariant fingerprint the gate's ProbeKeys carry (model,
-  /// platform, topology, seed, catalog, market, profiler knobs).
-  std::uint64_t probe_substrate = 0;
-};
-
-/// How the final deployment is chosen from the probe history.
-enum class IncumbentPolicy {
-  /// Highest scenario objective, constraints ignored — what the
-  /// constraint-oblivious baselines do (and why they overshoot).
-  kObjectiveOnly,
-  /// Highest objective among probes whose projected completion still
-  /// satisfies the scenario constraints; least-violating otherwise.
-  kConstraintAware,
-};
 
 class Searcher {
  public:
@@ -88,118 +24,40 @@ class Searcher {
 
   virtual std::string name() const = 0;
 
-  /// Runs the full search: probes per the subclass strategy, selects the
-  /// final deployment, accounts for the training run at that deployment.
-  /// (Virtual so probe-free planners like Paleo can bypass the profiling
-  /// scaffolding entirely.)
-  virtual SearchResult run(const SearchProblem& problem);
+  /// Ask: builds a resumable session for `problem`. Both `problem` and
+  /// this searcher must outlive the session. Construction performs no
+  /// probes and draws nothing from seeded streams — strategies defer all
+  /// observable setup to their first proposal.
+  std::unique_ptr<SearchSession> start(const SearchProblem& problem) const;
 
-  /// Per-run mutable state handed to the subclass strategy (public so
-  /// strategy helpers like the shared BO loop can operate on it).
-  class Session {
-   public:
-    Session(const Searcher& owner, const SearchProblem& problem);
+  /// Tell: final deployment selection and training accounting for a
+  /// session whose strategy has finished.
+  SearchResult finish(SearchSession& session) const {
+    return finalize(session);
+  }
 
-    const SearchProblem& problem() const noexcept { return *problem_; }
-    const cloud::DeploymentSpace& space() const noexcept {
-      return *problem_->space;
-    }
-    const Scenario& scenario() const noexcept { return problem_->scenario; }
-    const perf::TrainingPerfModel& perf() const noexcept {
-      return *owner_->perf_;
-    }
-    profiler::Profiler& profiler() noexcept { return profiler_; }
-    const profiler::Profiler& profiler() const noexcept { return profiler_; }
-    util::Rng& rng() noexcept { return rng_; }
-
-    /// Profiles `d`, appends to the trace, updates cumulative spend and
-    /// the incumbent. Returns the recorded step.
-    const ProbeStep& probe(const cloud::Deployment& d, double acquisition,
-                           std::string reason);
-
-    const std::vector<ProbeStep>& trace() const noexcept { return trace_; }
-    bool already_probed(const cloud::Deployment& d) const noexcept;
-
-    double spent_hours() const noexcept { return cum_hours_; }
-    double spent_cost() const noexcept { return cum_cost_; }
-
-    /// Scenario objective of a probed step (0 when infeasible).
-    double objective_of(const ProbeStep& step) const;
-
-    /// Incumbent = best feasible probe by scenario objective.
-    bool has_incumbent() const noexcept { return incumbent_.has_value(); }
-    const ProbeStep& incumbent() const;
-
-    /// Projected hours to finish training at a probed point, from its
-    /// measured speed.
-    double projected_training_hours(const ProbeStep& step) const;
-    /// Projected dollars to finish training at a probed point.
-    double projected_training_cost(const ProbeStep& step) const;
-
-    /// Cheapest way to finish training from any probed point so far:
-    /// minimum projected training hours / dollars over feasible probes.
-    /// +inf when nothing feasible has been probed.
-    double min_completion_hours() const;
-    double min_completion_cost() const;
-
-    /// Protective reserve check (HeterBO §III-C "stop condition"):
-    /// after spending `extra_hours` / `extra_cost` on one more probe,
-    /// could we still finish training within the constraints from the
-    /// best fallback probed so far? Always true for Scenario 1.
-    ///
-    /// When no probed point satisfies a constraint yet, that constraint
-    /// does not veto further probes: a violation is already guaranteed,
-    /// and exploring is the only way to find a compliant deployment.
-    bool reserve_allows(double extra_hours, double extra_cost) const;
-
-    /// Worker pool sized to SearchProblem::threads, created on first use
-    /// so probe-free searchers never pay for thread spawns.
-    util::ThreadPool& pool();
-
-    /// Records one graceful-degradation episode (surrogate refit failed;
-    /// the iteration ran in the prior-mean safe mode). Journaled unless
-    /// the session is still replaying — a replayed iteration re-derives
-    /// the same episode deterministically and must not duplicate it.
-    void note_degraded(int iteration, const std::string& why);
-    int degraded_iterations() const noexcept { return degraded_; }
-
-    /// True while probe() is still serving journaled outcomes.
-    bool replaying() const noexcept { return profiler_.replay_pending(); }
-
-    /// True when the chaos hook asks this iteration to degrade.
-    bool chaos_degrade(int iteration) const {
-      return problem_->chaos_degrade_hook &&
-             problem_->chaos_degrade_hook(iteration);
-    }
-
-   private:
-    const Searcher* owner_;
-    const SearchProblem* problem_;
-    cloud::BillingMeter meter_;
-    profiler::Profiler profiler_;
-    util::Rng rng_;
-    std::unique_ptr<util::ThreadPool> pool_;
-    std::vector<ProbeStep> trace_;
-    double cum_hours_ = 0.0;
-    double cum_cost_ = 0.0;
-    std::optional<std::size_t> incumbent_;
-    int degraded_ = 0;
-  };
+  /// Runs the full search to completion: start() + ProbeDriver::drive()
+  /// + finish().
+  SearchResult run(const SearchProblem& problem) const;
 
  protected:
   explicit Searcher(const perf::TrainingPerfModel& perf,
                     IncumbentPolicy policy = IncumbentPolicy::kObjectiveOnly);
 
-  /// Strategy hook: issue probes via session.probe() until done.
-  virtual void search(Session& session) = 0;
+  /// Strategy hook: the subclass's probe-selection state machine. May
+  /// return null for probe-free planners (the session is born finished
+  /// and only finalize() does any work).
+  virtual std::unique_ptr<SearchStrategy> make_strategy(
+      const SearchProblem& problem) const = 0;
+
+  /// Picks the final deployment per `policy_` and fills in training
+  /// accounting using the substrate's true speed. Overridable for
+  /// methods whose result is not a straight argmax over the trace
+  /// (Paleo's analytic plan, exhaustive's parallel-campaign makespan).
+  virtual SearchResult finalize(SearchSession& session) const;
 
   const perf::TrainingPerfModel* perf_;
   IncumbentPolicy policy_;
-
- private:
-  /// Picks the final deployment per `policy_` and fills in training
-  /// accounting using the substrate's true speed.
-  SearchResult finalize(Session& session) const;
 };
 
 }  // namespace mlcd::search

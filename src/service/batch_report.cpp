@@ -1,5 +1,6 @@
 #include "service/batch_report.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
@@ -19,11 +20,33 @@ int BatchReport::total_cache_hits() const noexcept {
   return count;
 }
 
+int BatchReport::total_session_parks() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) count += job.stats.session_parks;
+  return count;
+}
+
+double BatchReport::total_lane_busy_seconds() const noexcept {
+  double total = 0.0;
+  for (const JobOutcome& job : jobs) total += job.stats.lane_busy_seconds;
+  return total;
+}
+
+double BatchReport::lane_idle_fraction() const noexcept {
+  const int lanes =
+      std::min(threads, static_cast<int>(jobs.size()));
+  const double lane_time = static_cast<double>(lanes) * makespan_seconds;
+  if (lane_time <= 0.0) return 0.0;
+  const double idle = 1.0 - total_lane_busy_seconds() / lane_time;
+  return std::clamp(idle, 0.0, 1.0);
+}
+
 std::string BatchReport::render() const {
   std::ostringstream out;
   out << "=== MLCD batch report ===\n";
   out << "jobs: " << jobs.size() << " (" << succeeded() << " succeeded), "
-      << "scheduler threads: " << threads;
+      << "scheduler threads: " << threads << " ("
+      << (probe_granularity ? "probe granularity" : "job per lane") << ")";
   if (capacity_nodes > 0) out << ", capacity: " << capacity_nodes << " nodes";
   if (tenant_max_jobs > 0) {
     out << ", tenant quota: " << tenant_max_jobs << " concurrent";
@@ -33,6 +56,10 @@ std::string BatchReport::render() const {
   out << "makespan: " << makespan_seconds << " s, peak capacity in use: "
       << peak_capacity_nodes << " nodes, peak tenant concurrency: "
       << peak_tenant_jobs << "\n";
+  out << "lanes: " << std::setprecision(1)
+      << 100.0 * (1.0 - lane_idle_fraction()) << "% busy ("
+      << std::setprecision(2) << total_lane_busy_seconds()
+      << " s occupied, " << total_session_parks() << " session parks)\n";
   out << "probe cache: " << cache.size << " records, " << cache.hits << "/"
       << cache.lookups << " hits\n";
   for (const JobOutcome& job : jobs) {
@@ -50,7 +77,9 @@ std::string BatchReport::render() const {
         << job.stats.cache_hits << " (reused $" << job.stats.reused_probe_cost
         << "), published " << job.stats.cache_publishes
         << "; capacity stalls " << job.stats.capacity_stalls << " ("
-        << job.stats.capacity_stall_seconds << " s)\n";
+        << job.stats.capacity_stall_seconds << " s), parks "
+        << job.stats.session_parks << ", lane busy "
+        << job.stats.lane_busy_seconds << " s\n";
   }
   return out.str();
 }
@@ -61,11 +90,13 @@ std::string BatchReport::to_json() const {
   json.key("schema_version").value(kJsonSchemaVersion);
   json.key("scheduler").begin_object();
   json.key("threads").value(threads);
+  json.key("probe_granularity").value(probe_granularity);
   json.key("capacity_nodes").value(capacity_nodes);
   json.key("tenant_max_jobs").value(tenant_max_jobs);
   json.key("makespan_seconds").value(makespan_seconds);
   json.key("peak_capacity_nodes").value(peak_capacity_nodes);
   json.key("peak_tenant_jobs").value(peak_tenant_jobs);
+  json.key("lane_idle_fraction").value(lane_idle_fraction());
   json.end_object();
   json.key("probe_cache").begin_object();
   json.key("lookups").value(cache.lookups);
@@ -88,6 +119,8 @@ std::string BatchReport::to_json() const {
     json.key("capacity_stalls").value(job.stats.capacity_stalls);
     json.key("capacity_stall_seconds")
         .value(job.stats.capacity_stall_seconds);
+    json.key("session_parks").value(job.stats.session_parks);
+    json.key("lane_busy_seconds").value(job.stats.lane_busy_seconds);
     json.end_object();
     if (job.ok) {
       // The solo-identical RunReport, spliced in verbatim: its bytes are

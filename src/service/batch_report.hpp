@@ -35,8 +35,21 @@ struct JobStats {
   /// still books them, keeping its trace solo-identical).
   double reused_probe_cost = 0.0;
   /// Probes that queued for pool capacity / their cumulative wall wait.
+  /// In probe-granularity mode a stall is a *park*: the session leaves
+  /// its lane and the wait accrues off-lane.
   int capacity_stalls = 0;
   double capacity_stall_seconds = 0.0;
+  /// Times the session was parked off its lane for capacity (probe-
+  /// granularity scheduler only; 0 in job-per-lane mode, where a blocked
+  /// job occupies its lane for the whole wait).
+  int session_parks = 0;
+  /// Real seconds the job actually occupied a scheduler lane. In probe-
+  /// granularity mode this excludes parked time; in job-per-lane mode it
+  /// is run_seconds minus the in-lane capacity waits. The gap between
+  /// total lane-busy time and lanes x makespan is the fleet's lane-idle
+  /// fraction — the quantity the probe-granularity scheduler exists to
+  /// shrink.
+  double lane_busy_seconds = 0.0;
 };
 
 /// One workload job's outcome: either a RunReport or a typed JobError,
@@ -54,13 +67,19 @@ struct JobOutcome {
 };
 
 struct BatchReport {
-  /// Version of the to_json() layout. History: 1 = first release.
-  static constexpr int kJsonSchemaVersion = 1;
+  /// Version of the to_json() layout. History: 1 = first release;
+  /// 2 = adds scheduler.probe_granularity / scheduler.lane_idle_fraction
+  /// and the per-job session_parks / lane_busy_seconds stats.
+  static constexpr int kJsonSchemaVersion = 2;
 
   /// Scheduler configuration this batch ran under.
   int threads = 1;
   int capacity_nodes = 0;    ///< 0 = unlimited
   int tenant_max_jobs = 0;   ///< 0 = unlimited
+  /// True when the batch ran under the probe-granularity scheduler
+  /// (sessions multiplexed over lanes one probe at a time); false for
+  /// the legacy job-per-lane mode.
+  bool probe_granularity = true;
   /// Outcomes in workload order.
   std::vector<JobOutcome> jobs;
   /// Real seconds from first job start to last job finish.
@@ -77,6 +96,16 @@ struct BatchReport {
   int succeeded() const noexcept;
   /// Sum of per-job cache hits (probes the fleet did not re-measure).
   int total_cache_hits() const noexcept;
+  /// Sum of per-job capacity parks (probe-granularity mode only).
+  int total_session_parks() const noexcept;
+  /// Sum of per-job lane-occupancy seconds.
+  double total_lane_busy_seconds() const noexcept;
+  /// Fraction of the batch's lane-time (lanes x makespan, where lanes =
+  /// min(threads, jobs)) that no job occupied, clamped to [0, 1]. This
+  /// is the headline scheduler-efficiency number: job-per-lane wastes
+  /// the whole capacity wait as idle lane-time, probe granularity frees
+  /// the lane instead.
+  double lane_idle_fraction() const noexcept;
 
   /// Multi-line human-readable summary.
   std::string render() const;

@@ -50,6 +50,32 @@ CapacityPool::Admission CapacityPool::acquire(int nodes) {
   return admission;
 }
 
+bool CapacityPool::try_acquire(int nodes) {
+  if (nodes <= 0) {
+    throw std::invalid_argument("CapacityPool: non-positive node count");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) {  // unlimited pool: only track occupancy
+    in_use_ += nodes;
+    peak_ = std::max(peak_, in_use_);
+    return true;
+  }
+  if (nodes > capacity_) {
+    throw std::invalid_argument(
+        "CapacityPool: probe of " + std::to_string(nodes) +
+        " nodes exceeds the pool of " + std::to_string(capacity_) +
+        " (the scheduler should have rejected this workload)");
+  }
+  // A blocked acquire() holds the FIFO head; overtaking it would starve
+  // large probes exactly the way the ticket queue exists to prevent.
+  if (serving_ != next_ticket_ || in_use_ + nodes > capacity_) {
+    return false;
+  }
+  in_use_ += nodes;
+  peak_ = std::max(peak_, in_use_);
+  return true;
+}
+
 void CapacityPool::release(int nodes) noexcept {
   std::lock_guard<std::mutex> lock(mutex_);
   in_use_ = std::max(0, in_use_ - nodes);

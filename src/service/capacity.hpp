@@ -39,6 +39,15 @@ class CapacityPool {
   /// when `nodes` exceeds the pool outright or is non-positive.
   Admission acquire(int nodes);
 
+  /// Non-blocking acquire: takes `nodes` when they fit *right now* and
+  /// no blocked acquire() ticket is waiting (never overtakes the FIFO),
+  /// returns false otherwise without taking anything. The probe-
+  /// granularity scheduler uses this to decide run-vs-park without ever
+  /// blocking a lane; it keeps its own FIFO of parked sessions, so the
+  /// two queueing disciplines are never mixed within one batch. Throws
+  /// like acquire() on non-positive or over-pool node counts.
+  bool try_acquire(int nodes);
+
   /// Returns capacity acquired earlier. Never blocks.
   void release(int nodes) noexcept;
 

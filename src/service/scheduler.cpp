@@ -4,14 +4,18 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <limits>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "journal/journal.hpp"
+#include "search/probe_driver.hpp"
 #include "service/capacity.hpp"
 #include "service/probe_cache.hpp"
 #include "util/logging.hpp"
@@ -23,14 +27,20 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Per-job ProbeGate: cache lookup first, then capacity admission.
-/// The cache and pool are shared (and internally locked); `stats` is the
-/// job's own and is only ever touched from the job's thread — the
-/// profiler calls the gate serially.
+// --------------------------------------------------------------------
+// Legacy job-per-lane mode
+// --------------------------------------------------------------------
+
+/// Per-job ProbeGate: cache lookup first, then (blocking) capacity
+/// admission. The cache and pool are shared (and internally locked);
+/// `stats` is the job's own and is only ever touched from the job's
+/// thread — the profiler calls the gate serially.
 class JobGate final : public profiler::ProbeGate {
  public:
   JobGate(ProbeCache* cache, CapacityPool* capacity, JobStats* stats)
@@ -75,6 +85,440 @@ class JobGate final : public profiler::ProbeGate {
   JobStats* stats_;
 };
 
+/// The pre-ask/tell scheduler: one job owns one lane from claim to
+/// completion, blocking inside CapacityPool::acquire while its lane sits
+/// idle. Kept behind SchedulerOptions::probe_granularity = false as the
+/// baseline the scheduler-efficiency bench compares against. Returns
+/// the peak per-tenant concurrency.
+int run_job_mode(const system::Mlcd& mlcd, const SchedulerOptions& options,
+                 const Workload& workload, BatchReport& report,
+                 ProbeCache* cache, CapacityPool& capacity,
+                 util::ThreadPool& scan_pool, Clock::time_point batch_start) {
+  const std::size_t n = workload.jobs.size();
+
+  // Job claiming: workers pull the lowest-index unclaimed job whose
+  // tenant is under quota; when every unclaimed job is quota-blocked
+  // they sleep until some job completes. A quota slot is only ever held
+  // by a running job and running jobs always finish, so this cannot
+  // deadlock.
+  std::mutex mutex;
+  std::condition_variable claim_cv;
+  std::vector<bool> claimed(n, false);
+  std::map<std::string, int> tenant_running;
+  int peak_tenant = 0;
+
+  const auto claim_next = [&]() -> std::size_t {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      bool any_unclaimed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (claimed[i]) continue;
+        any_unclaimed = true;
+        int& running = tenant_running[workload.jobs[i].tenant];
+        if (options.tenant_max_jobs > 0 &&
+            running >= options.tenant_max_jobs) {
+          continue;  // quota-blocked; later jobs may still be eligible
+        }
+        claimed[i] = true;
+        ++running;
+        peak_tenant = std::max(peak_tenant, running);
+        return i;
+      }
+      if (!any_unclaimed) return kNone;
+      claim_cv.wait(lock);
+    }
+  };
+  const auto complete = [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(mutex);
+    --tenant_running[workload.jobs[i].tenant];
+    claim_cv.notify_all();
+  };
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(options.threads, n));
+  util::ThreadPool pool(workers);
+  pool.parallel_for(
+      static_cast<std::size_t>(workers),
+      [&](std::size_t begin, std::size_t end) {
+        // One claim loop per worker lane (chunks are [w, w+1)).
+        for (std::size_t lane = begin; lane < end; ++lane) {
+          for (std::size_t i = claim_next(); i != kNone; i = claim_next()) {
+            const JobSpec& spec = workload.jobs[i];
+            JobOutcome& outcome = report.jobs[i];
+            outcome.stats.queue_wait_seconds = seconds_since(batch_start);
+            const Clock::time_point job_start = Clock::now();
+            JobGate gate(cache, &capacity, &outcome.stats);
+            system::JobRequest request = spec.request;
+            request.probe_gate = &gate;
+            request.scan_pool = &scan_pool;
+            try {
+              system::DeployResult result = mlcd.deploy(request);
+              if (result.ok()) {
+                outcome.ok = true;
+                outcome.report = std::move(result).report();
+              } else {
+                outcome.error_code = std::string(
+                    system::job_error_code_name(result.error().code));
+                outcome.error_message = result.error().message;
+              }
+            } catch (const std::exception& e) {
+              // One job's internal failure must not take the fleet down.
+              outcome.error_code = "internal";
+              outcome.error_message = e.what();
+            }
+            outcome.stats.run_seconds = seconds_since(job_start);
+            // The lane was occupied for the whole run except the time
+            // the gate spent blocked inside CapacityPool::acquire —
+            // which job-per-lane charges as *idle* lane time, the
+            // inefficiency probe granularity removes.
+            outcome.stats.lane_busy_seconds =
+                std::max(0.0, outcome.stats.run_seconds -
+                                  outcome.stats.capacity_stall_seconds);
+            if (!outcome.ok) {
+              MLCD_LOG(kWarn, "service")
+                  << "job '" << spec.name << "' failed ["
+                  << outcome.error_code << "]: " << outcome.error_message;
+            }
+            complete(i);
+          }
+        }
+      });
+  return peak_tenant;
+}
+
+// --------------------------------------------------------------------
+// Probe-granularity mode
+// --------------------------------------------------------------------
+
+class ProbeBatch;
+
+/// ProbeGate whose admission decision is made *by the scheduler before*
+/// ProbeDriver::step runs, not inside the profiler: the lane stages
+/// either a cache hit or a pre-acquired capacity grant, then steps the
+/// session, and admit() merely consumes what was staged. This is what
+/// lets a lane decide run-vs-park without ever blocking: the blocking
+/// CapacityPool::acquire of JobGate is replaced by the scheduler's own
+/// parked-session FIFO.
+///
+/// Only the lane currently driving the session touches the staged state
+/// — except stage_admitted() from the sweep in release_and_sweep(),
+/// which runs strictly while the session is parked (on no lane at all),
+/// so the state is still never touched concurrently.
+class StagedGate final : public profiler::ProbeGate {
+ public:
+  void bind(ProbeBatch* batch, ProbeCache* cache, JobStats* stats) {
+    batch_ = batch;
+    cache_ = cache;
+    stats_ = stats;
+  }
+
+  /// Stage the shared-cache record for the session's pending probe.
+  void stage_hit(journal::ProbeRecord record) {
+    staged_ = Staged::kHit;
+    record_ = std::move(record);
+  }
+
+  /// Stage a capacity grant (the scheduler already holds the nodes).
+  void stage_admitted() { staged_ = Staged::kAdmitted; }
+
+  bool staged() const noexcept { return staged_ != Staged::kNone; }
+
+  std::optional<journal::ProbeRecord> admit(
+      const profiler::ProbeKey& /*key*/, const cloud::Deployment&) override {
+    switch (staged_) {
+      case Staged::kHit: {
+        staged_ = Staged::kNone;
+        ++stats_->cache_hits;
+        stats_->reused_probe_cost += record_->profile_cost;
+        std::optional<journal::ProbeRecord> hit = std::move(record_);
+        record_.reset();
+        return hit;
+      }
+      case Staged::kAdmitted:
+        staged_ = Staged::kNone;
+        return std::nullopt;
+      case Staged::kNone:
+        break;
+    }
+    throw std::logic_error(
+        "StagedGate::admit: probe stepped without a staged admission "
+        "(scheduler bug)");
+  }
+
+  void publish(const profiler::ProbeKey& key, const cloud::Deployment& d,
+               const journal::ProbeRecord& outcome) override;
+
+  void abandon(const cloud::Deployment& d) noexcept override;
+
+ private:
+  enum class Staged { kNone, kHit, kAdmitted };
+
+  ProbeBatch* batch_ = nullptr;
+  ProbeCache* cache_ = nullptr;
+  JobStats* stats_ = nullptr;
+  Staged staged_ = Staged::kNone;
+  std::optional<journal::ProbeRecord> record_;
+};
+
+/// One workload run under the probe-granularity scheduler: M sessions
+/// multiplexed over N lanes, parked sessions queued FIFO.
+///
+/// Liveness invariant: a session parks only while some other session
+/// holds pool capacity, capacity is only held across one
+/// ProbeDriver::step executing on some lane, and every step ends in
+/// publish()/abandon() — which releases the nodes and sweeps the parked
+/// queue. So a parked session is always eventually restaged, and a
+/// restaged (ready) session is always eventually picked up by a lane:
+/// no deadlock, with the same strict-FIFO fairness the blocking pool
+/// gives job-per-lane mode.
+class ProbeBatch {
+ public:
+  ProbeBatch(const system::Mlcd& mlcd, const SchedulerOptions& options,
+             const Workload& workload, BatchReport& report,
+             ProbeCache* cache, CapacityPool& capacity,
+             util::ThreadPool& scan_pool, Clock::time_point batch_start)
+      : mlcd_(&mlcd),
+        options_(&options),
+        workload_(&workload),
+        report_(&report),
+        cache_(cache),
+        capacity_(&capacity),
+        scan_pool_(&scan_pool),
+        batch_start_(batch_start),
+        states_(workload.jobs.size()),
+        claimed_(workload.jobs.size(), false) {
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      states_[i].gate.bind(this, cache_, &report_->jobs[i].stats);
+    }
+  }
+
+  void run() {
+    const std::size_t n = workload_->jobs.size();
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(options_->threads, n));
+    util::ThreadPool pool(lanes);
+    pool.parallel_for(
+        static_cast<std::size_t>(lanes),
+        [this](std::size_t begin, std::size_t end) {
+          // One drive loop per lane (chunks are [w, w+1)).
+          for (std::size_t lane = begin; lane < end; ++lane) {
+            for (std::size_t i = next_job(); i != kNone; i = next_job()) {
+              drive(i);
+            }
+          }
+        });
+  }
+
+  int peak_tenant() const noexcept { return peak_tenant_; }
+
+  /// Returns a finished probe's nodes to the pool and restages as many
+  /// parked sessions (FIFO) as now fit, handing each its capacity grant
+  /// before it ever reaches a lane. Called from StagedGate::publish /
+  /// abandon on whichever lane ran the probe.
+  void release_and_sweep(int nodes) noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_->release(nodes);
+    bool resumed = false;
+    while (!parked_.empty()) {
+      const Parked& head = parked_.front();
+      if (!capacity_->try_acquire(head.nodes)) break;
+      states_[head.job].gate.stage_admitted();
+      report_->jobs[head.job].stats.capacity_stall_seconds +=
+          seconds_since(head.since);
+      ready_.push_back(head.job);
+      parked_.pop_front();
+      resumed = true;
+    }
+    if (resumed) lane_cv_.notify_all();
+  }
+
+ private:
+  struct JobState {
+    StagedGate gate;
+    /// The prepared session, pinned here across parks. Engaged from
+    /// first lane assignment until finish().
+    std::optional<system::PreparedJob> prepared;
+    bool started = false;
+    Clock::time_point job_start{};
+  };
+
+  struct Parked {
+    std::size_t job;
+    int nodes;                 ///< capacity the pending probe needs
+    Clock::time_point since;   ///< when the session left its lane
+  };
+
+  /// Next session for a free lane: resumed (ready) sessions first —
+  /// they hold pre-acquired capacity, so draining them promptly keeps
+  /// the pool honest — then the lowest-index unclaimed job whose tenant
+  /// is under quota. Blocks when everything is parked, running, or
+  /// quota-blocked; returns kNone once all jobs completed.
+  std::size_t next_job() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (completed_ == workload_->jobs.size()) return kNone;
+      if (!ready_.empty()) {
+        const std::size_t i = ready_.front();
+        ready_.pop_front();
+        return i;
+      }
+      for (std::size_t i = 0; i < claimed_.size(); ++i) {
+        if (claimed_[i]) continue;
+        int& running = tenant_running_[workload_->jobs[i].tenant];
+        if (options_->tenant_max_jobs > 0 &&
+            running >= options_->tenant_max_jobs) {
+          continue;  // quota-blocked; later jobs may still be eligible
+        }
+        claimed_[i] = true;
+        ++running;
+        peak_tenant_ = std::max(peak_tenant_, running);
+        return i;
+      }
+      lane_cv_.wait(lock);
+    }
+  }
+
+  /// Drives job `i` on the calling lane until it finishes, fails, or
+  /// parks for capacity. The tenant-quota slot is held across parks —
+  /// a parked job is still "running" from the tenant's point of view —
+  /// which is deadlock-free because parked sessions resume off probe
+  /// completions, never off quota slots.
+  void drive(std::size_t i) {
+    const Clock::time_point segment_start = Clock::now();
+    JobState& job = states_[i];
+    const JobSpec& spec = workload_->jobs[i];
+    JobOutcome& outcome = report_->jobs[i];
+
+    if (!job.started) {
+      job.started = true;
+      outcome.stats.queue_wait_seconds = seconds_since(batch_start_);
+      job.job_start = Clock::now();
+      system::JobRequest request = spec.request;
+      request.probe_gate = &job.gate;
+      request.scan_pool = scan_pool_;
+      system::PrepareResult prepared = mlcd_->prepare(request);
+      if (!prepared.ok()) {
+        outcome.error_code = std::string(
+            system::job_error_code_name(prepared.error().code));
+        outcome.error_message = prepared.error().message;
+        finish_job(i, segment_start);
+        return;
+      }
+      job.prepared.emplace(std::move(prepared.job()));
+    }
+
+    search::SearchSession& session = job.prepared->session();
+    try {
+      for (;;) {
+        const search::ProbeRequest* request = session.next();
+        if (request == nullptr) {
+          system::DeployResult result = job.prepared->finish();
+          if (result.ok()) {
+            outcome.ok = true;
+            outcome.report = std::move(result).report();
+          } else {
+            outcome.error_code = std::string(
+                system::job_error_code_name(result.error().code));
+            outcome.error_message = result.error().message;
+          }
+          finish_job(i, segment_start);
+          return;
+        }
+        // Journal-replayed probes bypass the gate entirely (no capacity,
+        // no cache — same as solo resume); a park-resumed session
+        // already carries its staged grant.
+        if (!session.replaying() && !job.gate.staged()) {
+          const profiler::ProbeKey key =
+              session.profiler().next_probe_key(request->deployment);
+          std::optional<journal::ProbeRecord> hit =
+              cache_ != nullptr ? cache_->lookup(key) : std::nullopt;
+          if (hit.has_value()) {
+            job.gate.stage_hit(std::move(*hit));
+          } else {
+            const int nodes = request->deployment.nodes;
+            std::unique_lock<std::mutex> lock(mutex_);
+            // Never overtake an earlier-parked session, even when this
+            // probe would fit: strict FIFO, like the blocking pool.
+            if (!parked_.empty() || !capacity_->try_acquire(nodes)) {
+              parked_.push_back(Parked{i, nodes, Clock::now()});
+              ++outcome.stats.capacity_stalls;
+              ++outcome.stats.session_parks;
+              lock.unlock();
+              outcome.stats.lane_busy_seconds +=
+                  seconds_since(segment_start);
+              return;  // lane freed; the sweep will restage this session
+            }
+            job.gate.stage_admitted();
+          }
+        }
+        search::ProbeDriver::step(session);
+      }
+    } catch (const journal::JournalError& e) {
+      // Mid-search journal failures are typed rejections, exactly as
+      // Mlcd::deploy reports them.
+      outcome.error_code = std::string(system::job_error_code_name(
+          system::JobErrorCode::kJournalError));
+      outcome.error_message = e.what();
+    } catch (const std::exception& e) {
+      // One job's internal failure must not take the fleet down.
+      outcome.error_code = "internal";
+      outcome.error_message = e.what();
+    }
+    finish_job(i, segment_start);
+  }
+
+  void finish_job(std::size_t i, Clock::time_point segment_start) {
+    JobState& job = states_[i];
+    JobOutcome& outcome = report_->jobs[i];
+    outcome.stats.lane_busy_seconds += seconds_since(segment_start);
+    outcome.stats.run_seconds = seconds_since(job.job_start);
+    job.prepared.reset();  // release the session before the lane moves on
+    if (!outcome.ok) {
+      MLCD_LOG(kWarn, "service")
+          << "job '" << workload_->jobs[i].name << "' failed ["
+          << outcome.error_code << "]: " << outcome.error_message;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    --tenant_running_[workload_->jobs[i].tenant];
+    ++completed_;
+    lane_cv_.notify_all();
+  }
+
+  const system::Mlcd* mlcd_;
+  const SchedulerOptions* options_;
+  const Workload* workload_;
+  BatchReport* report_;
+  ProbeCache* cache_;
+  CapacityPool* capacity_;
+  util::ThreadPool* scan_pool_;
+  const Clock::time_point batch_start_;
+
+  std::vector<JobState> states_;
+
+  std::mutex mutex_;
+  std::condition_variable lane_cv_;
+  std::vector<bool> claimed_;
+  std::deque<Parked> parked_;        ///< capacity-blocked sessions, FIFO
+  std::deque<std::size_t> ready_;    ///< restaged sessions awaiting a lane
+  std::map<std::string, int> tenant_running_;
+  std::size_t completed_ = 0;
+  int peak_tenant_ = 0;
+};
+
+void StagedGate::publish(const profiler::ProbeKey& key,
+                         const cloud::Deployment& d,
+                         const journal::ProbeRecord& outcome) {
+  batch_->release_and_sweep(d.nodes);
+  if (cache_ != nullptr) {
+    cache_->insert(key, outcome);
+    ++stats_->cache_publishes;
+  }
+}
+
+void StagedGate::abandon(const cloud::Deployment& d) noexcept {
+  batch_->release_and_sweep(d.nodes);
+}
+
 }  // namespace
 
 Scheduler::Scheduler(const system::Mlcd& mlcd, SchedulerOptions options)
@@ -112,6 +556,7 @@ BatchReport Scheduler::run(const Workload& workload) const {
   report.threads = options_.threads;
   report.capacity_nodes = options_.capacity_nodes;
   report.tenant_max_jobs = options_.tenant_max_jobs;
+  report.probe_granularity = options_.probe_granularity;
   report.jobs.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     report.jobs[i].name = workload.jobs[i].name;
@@ -119,91 +564,30 @@ BatchReport Scheduler::run(const Workload& workload) const {
   }
 
   ProbeCache cache;
+  ProbeCache* shared_cache = options_.share_probes ? &cache : nullptr;
   CapacityPool capacity(options_.capacity_nodes);
-
-  // Job claiming: workers pull the lowest-index unclaimed job whose
-  // tenant is under quota; when every unclaimed job is quota-blocked
-  // they sleep until some job completes. A quota slot is only ever held
-  // by a running job and running jobs always finish, so this cannot
-  // deadlock.
-  std::mutex mutex;
-  std::condition_variable claim_cv;
-  std::vector<bool> claimed(n, false);
-  std::map<std::string, int> tenant_running;
-  int peak_tenant = 0;
-  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  // One candidate-scan pool for the whole fleet, sized to the widest
+  // job: sessions submit their acquisition scans here instead of each
+  // spawning its own workers (trace-neutral; see SearchProblem::
+  // scan_pool). Lane threads participate in the batches they submit.
+  int scan_threads = 1;
+  for (const JobSpec& spec : workload.jobs) {
+    scan_threads = std::max(scan_threads, spec.request.threads);
+  }
+  util::ThreadPool scan_pool(scan_threads);
 
   const Clock::time_point batch_start = Clock::now();
-
-  const auto claim_next = [&]() -> std::size_t {
-    std::unique_lock<std::mutex> lock(mutex);
-    for (;;) {
-      bool any_unclaimed = false;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (claimed[i]) continue;
-        any_unclaimed = true;
-        int& running = tenant_running[workload.jobs[i].tenant];
-        if (options_.tenant_max_jobs > 0 &&
-            running >= options_.tenant_max_jobs) {
-          continue;  // quota-blocked; later jobs may still be eligible
-        }
-        claimed[i] = true;
-        ++running;
-        peak_tenant = std::max(peak_tenant, running);
-        return i;
-      }
-      if (!any_unclaimed) return kNone;
-      claim_cv.wait(lock);
-    }
-  };
-  const auto complete = [&](std::size_t i) {
-    std::lock_guard<std::mutex> lock(mutex);
-    --tenant_running[workload.jobs[i].tenant];
-    claim_cv.notify_all();
-  };
-
-  const int workers =
-      static_cast<int>(std::min<std::size_t>(options_.threads, n));
-  util::ThreadPool pool(workers);
-  pool.parallel_for(
-      static_cast<std::size_t>(workers),
-      [&](std::size_t begin, std::size_t end) {
-        // One claim loop per worker lane (chunks are [w, w+1)).
-        for (std::size_t lane = begin; lane < end; ++lane) {
-          for (std::size_t i = claim_next(); i != kNone; i = claim_next()) {
-            const JobSpec& spec = workload.jobs[i];
-            JobOutcome& outcome = report.jobs[i];
-            outcome.stats.queue_wait_seconds = seconds_since(batch_start);
-            const Clock::time_point job_start = Clock::now();
-            JobGate gate(options_.share_probes ? &cache : nullptr, &capacity,
-                         &outcome.stats);
-            system::JobRequest request = spec.request;
-            request.probe_gate = &gate;
-            try {
-              system::DeployResult result = mlcd_->deploy(request);
-              if (result.ok()) {
-                outcome.ok = true;
-                outcome.report = std::move(result).report();
-              } else {
-                outcome.error_code = std::string(
-                    system::job_error_code_name(result.error().code));
-                outcome.error_message = result.error().message;
-              }
-            } catch (const std::exception& e) {
-              // One job's internal failure must not take the fleet down.
-              outcome.error_code = "internal";
-              outcome.error_message = e.what();
-            }
-            outcome.stats.run_seconds = seconds_since(job_start);
-            if (!outcome.ok) {
-              MLCD_LOG(kWarn, "service")
-                  << "job '" << spec.name << "' failed ["
-                  << outcome.error_code << "]: " << outcome.error_message;
-            }
-            complete(i);
-          }
-        }
-      });
+  int peak_tenant = 0;
+  if (options_.probe_granularity) {
+    ProbeBatch batch(*mlcd_, options_, workload, report, shared_cache,
+                     capacity, scan_pool, batch_start);
+    batch.run();
+    peak_tenant = batch.peak_tenant();
+  } else {
+    peak_tenant = run_job_mode(*mlcd_, options_, workload, report,
+                               shared_cache, capacity, scan_pool,
+                               batch_start);
+  }
 
   report.makespan_seconds = seconds_since(batch_start);
   report.peak_capacity_nodes = capacity.peak_in_use();
@@ -212,7 +596,8 @@ BatchReport Scheduler::run(const Workload& workload) const {
   MLCD_LOG(kInfo, "service")
       << "batch of " << n << " jobs done in " << report.makespan_seconds
       << " s (" << report.succeeded() << " ok, "
-      << report.total_cache_hits() << " cache hits, peak "
+      << report.total_cache_hits() << " cache hits, "
+      << report.total_session_parks() << " parks, peak "
       << report.peak_capacity_nodes << " nodes)";
   return report;
 }

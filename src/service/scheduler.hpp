@@ -1,7 +1,17 @@
 // Multi-tenant search scheduler (service layer tentpole).
 //
-// Takes an admitted Workload and runs its jobs concurrently on a shared
-// util::ThreadPool, composing the pieces the service adds on top of
+// Takes an admitted Workload and multiplexes its search sessions over a
+// fixed set of lanes at *probe granularity*: a lane prepares a job via
+// Mlcd::prepare(), then repeatedly asks the session for its pending
+// probe (search_session.hpp) and executes one ProbeDriver::step at a
+// time. A probe that does not fit the capacity pool right now *parks*
+// the session — the lane is released to drive some other job, and the
+// parked session resumes (FIFO) on whichever lane is free once running
+// probes return enough nodes. Compare the legacy job-per-lane mode
+// (SchedulerOptions::probe_granularity = false), where a capacity-
+// blocked job holds its lane idle for the whole wait.
+//
+// Either mode composes the pieces the service adds on top of
 // `mlcd deploy`:
 //
 //   * admission control — a workload whose jobs could never fit the
@@ -40,6 +50,13 @@ struct SchedulerOptions {
   /// Route probes through the shared cross-job cache (on by default;
   /// the bench switches it off to measure its contribution).
   bool share_probes = true;
+  /// Schedule at probe granularity (default): sessions park off their
+  /// lane while waiting for capacity, so lanes stay busy. false selects
+  /// the legacy job-per-lane mode — one job owns one lane from start to
+  /// finish, blocking in CapacityPool::acquire — kept for the
+  /// scheduler-efficiency bench comparison. Both modes produce
+  /// bit-identical per-job RunReports.
+  bool probe_granularity = true;
 };
 
 class Scheduler {

@@ -78,6 +78,9 @@ void ThreadPool::parallel_for(
     fn(0, n);
     return;
   }
+  // One batch at a time: a second submitter waits here, not on corrupted
+  // batch state.
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;

@@ -46,6 +46,13 @@ class ThreadPool {
   /// k = thread_count(). The first exception thrown by fn is rethrown on
   /// the caller after the batch drains. Not reentrant: fn must not call
   /// parallel_for on the same pool.
+  ///
+  /// Safe to call from multiple threads on a shared pool: concurrent
+  /// submissions serialize (one batch at a time, FIFO by mutex order).
+  /// This is what lets the service scheduler hand M concurrent search
+  /// sessions one shared scan pool instead of spawning a worker set per
+  /// job lane. Chunking depends only on (n, thread_count), so sharing is
+  /// trace-neutral under the determinism contract above.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -74,6 +81,10 @@ class ThreadPool {
   int thread_count_ = 1;
   std::vector<std::thread> workers_;
 
+  /// Held for the full span of one parallel_for batch (submission through
+  /// completion) so concurrent submitters on a shared pool serialize.
+  /// Always acquired before mutex_; workers never take it.
+  std::mutex submit_mutex_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

@@ -344,7 +344,8 @@ TEST(CliRun, BatchEndToEnd) {
                         "--out", report_out.c_str()},
                        &out);
   EXPECT_EQ(rc, 0);
-  EXPECT_NE(out.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"probe_granularity\":true"), std::string::npos);
   EXPECT_NE(out.find("\"name\":\"a\""), std::string::npos);
   EXPECT_NE(out.find("\"name\":\"b\""), std::string::npos);
   // --out writes the same document.

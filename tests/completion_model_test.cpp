@@ -1,0 +1,82 @@
+// Tests for search::CompletionModel — the single shared copy of the
+// projected-completion arithmetic. The expression's floating-point
+// evaluation order is load-bearing (the golden suite pins the traces it
+// feeds), so these tests compare bit-for-bit against the exact product
+// every pre-refactor call site computed, not against a tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cloud/deployment.hpp"
+#include "cloud/instance.hpp"
+#include "search/completion_model.hpp"
+
+namespace mlcd::search {
+namespace {
+
+constexpr double kSamples = 1.2e9;
+
+TEST(CompletionModel, MatchesTheLegacyExpressionBitForBit) {
+  const cloud::DeploymentSpace space(cloud::aws_catalog(), 10);
+  const CompletionModel model(kSamples, space);
+  const cloud::Deployment d{3, 7};
+  for (const double speed : {12.5, 3800.0, 0.037}) {
+    // Exactly samples / speed / 3600 * multiplier, in that order.
+    const double expected = kSamples / speed / 3600.0 *
+                            space.restart_overhead_multiplier(d);
+    EXPECT_EQ(model.training_hours(d, speed), expected);
+    EXPECT_EQ(model.training_cost(d, speed),
+              expected * space.hourly_price(d));
+  }
+}
+
+TEST(CompletionModel, SpotMarketInflatesHoursButNotRawHours) {
+  const cloud::DeploymentSpace on_demand(cloud::aws_catalog(), 10,
+                                         cloud::Market::kOnDemand);
+  const cloud::DeploymentSpace spot(cloud::aws_catalog(), 10,
+                                    cloud::Market::kSpot);
+  const CompletionModel od_model(kSamples, on_demand);
+  const CompletionModel spot_model(kSamples, spot);
+  const cloud::Deployment d{0, 8};
+  const double speed = 950.0;
+
+  // On-demand: multiplier is exactly 1, so projected == raw.
+  EXPECT_EQ(on_demand.restart_overhead_multiplier(d), 1.0);
+  EXPECT_EQ(od_model.training_hours(d, speed),
+            od_model.raw_training_hours(speed));
+
+  // Spot: revocation overhead inflates the projection ...
+  EXPECT_GT(spot.restart_overhead_multiplier(d), 1.0);
+  EXPECT_GT(spot_model.training_hours(d, speed),
+            spot_model.raw_training_hours(speed));
+  // ... but never the raw hours TEI budgets with (paper Eqs. 5/6 price
+  // the nominal run), which are market-independent.
+  EXPECT_EQ(spot_model.raw_training_hours(speed),
+            od_model.raw_training_hours(speed));
+  EXPECT_EQ(spot_model.raw_training_hours(speed),
+            kSamples / speed / 3600.0);
+}
+
+TEST(CompletionModel, NonPositiveSpeedProjectsInfinite) {
+  const cloud::DeploymentSpace space(cloud::aws_catalog(), 10);
+  const CompletionModel model(kSamples, space);
+  const cloud::Deployment d{1, 2};
+  for (const double speed : {0.0, -5.0}) {
+    EXPECT_TRUE(std::isinf(model.training_hours(d, speed)));
+    EXPECT_TRUE(std::isinf(model.raw_training_hours(speed)));
+    // A non-finite projection propagates unchanged into the cost, never
+    // multiplied into a NaN.
+    EXPECT_TRUE(std::isinf(model.training_cost(d, speed)));
+    EXPECT_GT(model.training_cost(d, speed), 0.0);
+  }
+}
+
+TEST(CompletionModel, ExposesItsSampleCount) {
+  const cloud::DeploymentSpace space(cloud::aws_catalog(), 4);
+  const CompletionModel model(kSamples, space);
+  EXPECT_EQ(model.samples_to_train(), kSamples);
+}
+
+}  // namespace
+}  // namespace mlcd::search

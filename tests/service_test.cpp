@@ -184,6 +184,41 @@ TEST(CapacityPool, RejectsImpossibleRequests) {
   EXPECT_THROW(pool.acquire(11), std::invalid_argument);
 }
 
+TEST(CapacityPool, TryAcquireNeverBlocksAndNeverOvertakes) {
+  CapacityPool pool(10);
+  EXPECT_THROW(pool.try_acquire(0), std::invalid_argument);
+  EXPECT_THROW(pool.try_acquire(11), std::invalid_argument);
+  EXPECT_TRUE(pool.try_acquire(6));
+  EXPECT_FALSE(pool.try_acquire(5));  // would exceed: refused, not queued
+  EXPECT_EQ(pool.in_use(), 6);
+  EXPECT_TRUE(pool.try_acquire(4));
+  pool.release(6);
+  pool.release(4);
+  EXPECT_EQ(pool.in_use(), 0);
+  EXPECT_EQ(pool.peak_in_use(), 10);
+  EXPECT_EQ(pool.stalls(), 0);  // try_acquire never stalls
+
+  // A blocked acquire() holds the FIFO head: try_acquire must refuse
+  // even a fitting request rather than overtake it.
+  EXPECT_FALSE(pool.acquire(8).stalled);
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    pool.acquire(5);
+    admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pool.try_acquire(1));  // fits, but the waiter is ahead
+  pool.release(8);
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  pool.release(5);
+
+  CapacityPool unlimited(0);
+  EXPECT_TRUE(unlimited.try_acquire(1000));
+  EXPECT_EQ(unlimited.in_use(), 1000);
+  unlimited.release(1000);
+}
+
 TEST(CapacityPool, QueuesUntilCapacityFrees) {
   CapacityPool pool(10);
   EXPECT_FALSE(pool.acquire(8).stalled);
@@ -338,6 +373,69 @@ TEST(Scheduler, BatchReportsAreBitIdenticalToSoloRuns) {
     }
     EXPECT_LE(report.peak_tenant_jobs, 1);
     EXPECT_LE(report.peak_capacity_nodes, 24);
+  }
+}
+
+// The probe-granularity tentpole's observable: under real capacity
+// pressure, sessions *park* — they leave their lane mid-search and
+// resume later — instead of blocking the lane the way job-per-lane mode
+// does, and every RunReport still comes out bit-identical between the
+// two modes. Exhaustive searchers keep all lanes issuing live probes of
+// 1..8 nodes back-to-back, so an 8-node pool is persistently contended.
+TEST(Scheduler, ParksSessionsInsteadOfBlockingLanes) {
+  const system::Mlcd mlcd;
+  const Workload workload = parse_workload(R"({
+    "jobs": [
+      {"name": "a", "tenant": "t1", "model": "resnet",
+       "deadline_hours": 24, "seed": 11, "max_nodes": 8,
+       "method": "exhaustive"},
+      {"name": "b", "tenant": "t2", "model": "resnet",
+       "deadline_hours": 24, "seed": 12, "max_nodes": 8,
+       "method": "exhaustive"},
+      {"name": "c", "tenant": "t3", "model": "alexnet",
+       "deadline_hours": 24, "seed": 13, "max_nodes": 8,
+       "method": "exhaustive"},
+      {"name": "d", "tenant": "t4", "model": "alexnet",
+       "deadline_hours": 24, "seed": 14, "max_nodes": 8,
+       "method": "exhaustive"}
+    ]
+  })");
+  SchedulerOptions parked_mode;
+  parked_mode.threads = 4;
+  parked_mode.capacity_nodes = 8;
+  parked_mode.share_probes = false;  // every probe live: maximal pressure
+  SchedulerOptions blocking_mode = parked_mode;
+  blocking_mode.probe_granularity = false;
+
+  const BatchReport parked = Scheduler(mlcd, parked_mode).run(workload);
+  const BatchReport blocked = Scheduler(mlcd, blocking_mode).run(workload);
+
+  ASSERT_EQ(parked.jobs.size(), 4u);
+  ASSERT_EQ(blocked.jobs.size(), 4u);
+  EXPECT_TRUE(parked.probe_granularity);
+  EXPECT_FALSE(blocked.probe_granularity);
+
+  // Sessions parked (lanes were freed); job-per-lane never parks.
+  EXPECT_GT(parked.total_session_parks(), 0);
+  EXPECT_EQ(blocked.total_session_parks(), 0);
+  EXPECT_LE(parked.peak_capacity_nodes, 8);
+  EXPECT_LE(blocked.peak_capacity_nodes, 8);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(parked.jobs[i].ok) << parked.jobs[i].name;
+    ASSERT_TRUE(blocked.jobs[i].ok) << blocked.jobs[i].name;
+    // The mode is invisible to the job: reports are bit-identical.
+    EXPECT_EQ(parked.jobs[i].report.to_json(),
+              blocked.jobs[i].report.to_json())
+        << parked.jobs[i].name;
+    const JobStats& stats = parked.jobs[i].stats;
+    EXPECT_EQ(stats.capacity_stalls, stats.session_parks);
+    // Parked time accrues off-lane: lane occupancy never exceeds the
+    // job's wall time, and parked jobs spent real time off their lane.
+    EXPECT_LE(stats.lane_busy_seconds, stats.run_seconds + 1e-6);
+    if (stats.session_parks > 0) {
+      EXPECT_GT(stats.capacity_stall_seconds, 0.0);
+    }
   }
 }
 
