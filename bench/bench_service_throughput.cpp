@@ -19,14 +19,24 @@
 // mode must actually park under pressure, and (vs --baseline5) the
 // lane-idle drop and makespan ratio must not regress.
 //
+// The PR-6 chaos series re-runs the contended configuration with the
+// service-level ChaosInjector firing lane crashes at a 10% per-step
+// rate (the recovery machinery of docs/chaos.md: crash-restaged
+// sessions, zero re-executed probes) and writes the comparison to
+// BENCH_PR6.json. Gated: every job must still succeed, crashes must
+// actually fire, jobs untouched by crashes must stay bit-identical to
+// the fault-free run, and the chaotic makespan may exceed the
+// fault-free makespan by at most 25%.
+//
 // Absolute jobs/sec are machine-dependent, so only ratios are gated and
 // baseline-compared: the t4-vs-serial speedup and the probe-cache hit
 // rate are both dimensionless and cancel machine speed out, which keeps
 // the committed baseline meaningful on CI runners of any size.
 //
 // Usage:
-//   bench_service_throughput [--out FILE] [--out5 FILE]
+//   bench_service_throughput [--out FILE] [--out5 FILE] [--out6 FILE]
 //                            [--baseline FILE] [--baseline5 FILE]
+//                            [--baseline6 FILE]
 //                            [--max-regression FRACTION] [--quick]
 #include <algorithm>
 #include <chrono>
@@ -134,8 +144,9 @@ service::Workload contended_fleet() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--out FILE] [--out5 FILE] [--baseline FILE] "
-               "[--baseline5 FILE] [--max-regression FRACTION] [--quick]\n",
+               "usage: %s [--out FILE] [--out5 FILE] [--out6 FILE] "
+               "[--baseline FILE] [--baseline5 FILE] [--baseline6 FILE] "
+               "[--max-regression FRACTION] [--quick]\n",
                argv0);
   return 2;
 }
@@ -194,8 +205,10 @@ bool check_baseline(const std::string& path,
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_PR4.json";
   std::string out5_path = "BENCH_PR5.json";
+  std::string out6_path = "BENCH_PR6.json";
   std::string baseline_path;
   std::string baseline5_path;
+  std::string baseline6_path;
   double max_regression = 0.20;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
@@ -204,10 +217,14 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--out5" && i + 1 < argc) {
       out5_path = argv[++i];
+    } else if (arg == "--out6" && i + 1 < argc) {
+      out6_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
     } else if (arg == "--baseline5" && i + 1 < argc) {
       baseline5_path = argv[++i];
+    } else if (arg == "--baseline6" && i + 1 < argc) {
+      baseline6_path = argv[++i];
     } else if (arg == "--max-regression" && i + 1 < argc) {
       max_regression = std::atof(argv[++i]);
     } else if (arg == "--quick") {
@@ -262,18 +279,46 @@ int main(int argc, char** argv) {
   const service::Workload contended = contended_fleet();
   service::BatchReport contended_probe_mode;
   service::BatchReport contended_job_mode;
+  double contended_probe_secs = 0.0;
   {
     service::SchedulerOptions options;
     options.threads = 4;
     options.capacity_nodes = 8;  // == every job's max_nodes
     options.share_probes = false;
-    best_time(trials,
-              [&] { return service::Scheduler(mlcd, options).run(contended); },
-              &contended_probe_mode);
+    contended_probe_secs = best_time(
+        trials,
+        [&] { return service::Scheduler(mlcd, options).run(contended); },
+        &contended_probe_mode);
     options.probe_granularity = false;
     best_time(trials,
               [&] { return service::Scheduler(mlcd, options).run(contended); },
               &contended_job_mode);
+  }
+
+  // PR-6 chaos series: the identical contended configuration, but with
+  // the service-level fault injector crashing lanes at a 10% lane-
+  // failure rate — every crash re-stages its session from ask/tell
+  // state with zero re-executed probes. The series measures what that
+  // elastic recovery costs the fleet in wall time. The injector's knob
+  // is a per-step hazard; the contended sessions run ~500 probes each,
+  // so 2e-4 per step compounds to the targeted ~10% failure
+  // probability per lane-session (1 - (1 - 2e-4)^500 ~ 0.095). The
+  // fixed seed is part of the gate: chaos draws are pure functions of
+  // (seed, job, step), so the same crashes fire on every machine.
+  service::Workload chaotic = contended;
+  chaotic.chaos.seed = 20260808;
+  chaotic.chaos.lane_crash_rate = 2e-4;
+  service::BatchReport chaos_report;
+  double chaos_secs = 0.0;
+  {
+    service::SchedulerOptions options;
+    options.threads = 4;
+    options.capacity_nodes = 8;
+    options.share_probes = false;
+    chaos_secs = best_time(
+        trials,
+        [&] { return service::Scheduler(mlcd, options).run(chaotic); },
+        &chaos_report);
   }
 
   const double jobs_per_sec_t1 = n_jobs / secs_by_threads[1];
@@ -413,7 +458,108 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", out5_path.c_str());
 
+  // -------------------------------------------------- PR-6 chaos series
+  // Fault-free vs 10% lane-crash-rate runs of the same contended fleet:
+  // the makespan overhead of crash recovery, plus the recovery
+  // contract's cheap observables (nobody fails, crashes fired, jobs no
+  // crash touched are bit-identical to the fault-free run).
+  const double chaos_overhead =
+      contended_probe_secs > 0.0
+          ? chaos_secs / contended_probe_secs - 1.0
+          : 0.0;
+  bool chaos_all_ok = chaos_report.jobs.size() == contended.jobs.size();
+  bool chaos_untouched_identical = true;
+  int chaos_replayed_probes = 0;
+  for (std::size_t i = 0; i < chaos_report.jobs.size(); ++i) {
+    const service::JobOutcome& job = chaos_report.jobs[i];
+    chaos_all_ok = chaos_all_ok && job.ok;
+    if (!job.ok) continue;
+    chaos_replayed_probes += job.report.result.replayed_probes;
+    if (job.stats.lane_crashes == 0 &&
+        i < contended_probe_mode.jobs.size() &&
+        job.report.to_json() !=
+            contended_probe_mode.jobs[i].report.to_json()) {
+      chaos_untouched_identical = false;
+    }
+  }
+
+  std::map<std::string, double> pr6_metrics;
+  pr6_metrics["chaos_makespan_overhead"] = chaos_overhead;
+  // Higher = better (1.0 = free recovery), so the shared baseline gate
+  // applies directly.
+  pr6_metrics["chaos_throughput_ratio"] =
+      chaos_secs > 0.0 ? contended_probe_secs / chaos_secs : 0.0;
+  pr6_metrics["chaos_lane_crashes"] =
+      static_cast<double>(chaos_report.total_lane_crashes());
+  pr6_metrics["chaos_replayed_probes"] =
+      static_cast<double>(chaos_replayed_probes);
+  pr6_metrics["chaos_session_parks"] =
+      static_cast<double>(chaos_report.total_session_parks());
+  pr6_metrics["chaos_secs"] = chaos_secs;
+  pr6_metrics["fault_free_secs"] = contended_probe_secs;
+
+  std::printf(
+      "PR-6 chaos series (~10%% per-session lane-failure rate, seed "
+      "%llu):\n",
+      static_cast<unsigned long long>(chaotic.chaos.seed));
+  for (const auto& [name, value] : pr6_metrics) {
+    std::printf("  %-34s %.4g\n", name.c_str(), value);
+  }
+  std::printf("  %-34s %s\n", "chaos_all_jobs_ok",
+              chaos_all_ok ? "yes" : "NO");
+  std::printf("  %-34s %s\n", "chaos_untouched_jobs_identical",
+              chaos_untouched_identical ? "yes" : "NO");
+
+  util::JsonWriter json6;
+  json6.begin_object();
+  json6.key("schema_version").value(1);
+  json6.key("bench").value("pr6-chaos-gate");
+  json6.key("hardware_threads").value(util::ThreadPool::hardware_threads());
+  json6.key("chaos_seed")
+      .value(static_cast<std::int64_t>(chaotic.chaos.seed));
+  json6.key("lane_crash_rate").value(chaotic.chaos.lane_crash_rate);
+  json6.key("metrics").begin_object();
+  for (const auto& [name, value] : pr6_metrics) json6.key(name).value(value);
+  json6.end_object();
+  json6.key("determinism").begin_object();
+  json6.key("chaos_all_jobs_ok").value(chaos_all_ok);
+  json6.key("chaos_untouched_jobs_identical")
+      .value(chaos_untouched_identical);
+  json6.key("jobs").value(static_cast<std::int64_t>(contended.jobs.size()));
+  json6.end_object();
+  json6.end_object();
+  {
+    std::ofstream out(out6_path);
+    out << json6.str() << "\n";
+  }
+  std::printf("wrote %s\n", out6_path.c_str());
+
   bool ok = true;
+  if (!chaos_all_ok) {
+    std::fprintf(stderr,
+                 "GATE FAIL: a job failed under 10%% lane-crash chaos — "
+                 "recovery must absorb every injected fault\n");
+    ok = false;
+  }
+  if (chaos_report.total_lane_crashes() <= 0) {
+    std::fprintf(stderr,
+                 "GATE FAIL: the chaos series injected no lane crashes "
+                 "— the recovery path went unexercised\n");
+    ok = false;
+  }
+  if (!chaos_untouched_identical) {
+    std::fprintf(stderr,
+                 "GATE FAIL: a job no crash touched diverged from the "
+                 "fault-free run\n");
+    ok = false;
+  }
+  if (chaos_overhead >= 0.25) {
+    std::fprintf(stderr,
+                 "GATE FAIL: 10%% lane-crash chaos inflated the "
+                 "contended makespan by %.1f%% (>= 25%% budget)\n",
+                 100.0 * chaos_overhead);
+    ok = false;
+  }
   if (!modes_identical) {
     std::fprintf(stderr,
                  "GATE FAIL: per-job reports differ between the probe-"
@@ -464,6 +610,14 @@ int main(int argc, char** argv) {
                        "makespan_ratio_job_over_probe"},
                       pr5_metrics, max_regression,
                       /*skip_parallel_ratios=*/true)) {
+    ok = false;
+  }
+  // PR-6 baseline: the fault-free-over-chaotic throughput ratio is
+  // dimensionless and meaningful at any core count.
+  if (!baseline6_path.empty() &&
+      !check_baseline(baseline6_path, {"chaos_throughput_ratio"},
+                      pr6_metrics, max_regression,
+                      /*skip_parallel_ratios=*/false)) {
     ok = false;
   }
 

@@ -89,6 +89,15 @@ batch options (multi-tenant scheduler; see docs/service.md):
                         job-per-lane blocking                  [probe]
   --json                emit the BatchReport as JSON
   --out <file.json>     also write the BatchReport JSON here
+
+service-level chaos (batch only; overrides the workload's "chaos"
+object per flag — see docs/chaos.md):
+  --chaos-seed <n>          fault-schedule seed (recorded in the
+                            BatchReport; same seed = same faults)
+  --chaos-lane-crash-rate <p>   per-step lane-crash hazard      [0]
+  --chaos-revocation-rate <p>   per-step spot-revocation hazard [0]
+  --chaos-probe-loss-rate <p>   per-step result-loss hazard     [0]
+  --chaos-stall-rate <p>        per-step scheduler-stall hazard [0]
 )";
 
 int usage_error(std::ostream& err, const std::string& message) {
@@ -268,6 +277,26 @@ int cmd_batch(const Args& args, std::ostream& out, std::ostream& err) {
       err << "mlcd: " << e.what() << "\n";
       return 2;
     }
+    // CLI chaos knobs override the workload's "chaos" object per flag,
+    // so a committed fleet file can be re-run under a different fault
+    // schedule without editing it.
+    if (const auto seed = args.get("chaos-seed")) {
+      workload.chaos.seed =
+          static_cast<std::uint64_t>(parse_positive_int(*seed));
+    }
+    if (const auto rate = args.get("chaos-lane-crash-rate")) {
+      workload.chaos.lane_crash_rate = parse_fraction(*rate);
+    }
+    if (const auto rate = args.get("chaos-revocation-rate")) {
+      workload.chaos.revocation_rate = parse_fraction(*rate);
+    }
+    if (const auto rate = args.get("chaos-probe-loss-rate")) {
+      workload.chaos.probe_loss_rate = parse_fraction(*rate);
+    }
+    if (const auto rate = args.get("chaos-stall-rate")) {
+      workload.chaos.stall_rate = parse_fraction(*rate);
+    }
+
     service::SchedulerOptions options;
     options.threads = parse_positive_int(args.get_or("threads", "1"));
     if (const auto capacity = args.get("capacity")) {

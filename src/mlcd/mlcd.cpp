@@ -141,10 +141,11 @@ search::SearchSession& PreparedJob::session() noexcept {
 DeployResult PreparedJob::finish() {
   RunReport report;
   report.request = context_->request;
-  // The gate and scan pool are scoped to the run; never let them dangle
-  // out of the report.
+  // The gate, scan pool, and any re-staging replay records are scoped
+  // to the run; never let them leak out of the report.
   report.request.probe_gate = nullptr;
   report.request.scan_pool = nullptr;
+  report.request.replay_records.clear();
   report.scenario = context_->scenario;
   report.resumed_from = context_->resumed_from;
   report.result = context_->searcher->finish(*context_->session);
@@ -291,6 +292,14 @@ PrepareResult Mlcd::prepare(const JobRequest& request) const {
                   "--journal and --resume must name the same file (a "
                   "resumed run continues its own journal)");
   }
+  if (!request.replay_records.empty() &&
+      (!request.resume_path.empty() || !request.journal_path.empty())) {
+    // A fresh journal would truncate the very records being replayed;
+    // journaled jobs re-stage through resume_path instead.
+    return reject(JobErrorCode::kInvalidRequest,
+                  "in-memory replay_records cannot be combined with a "
+                  "journal or resume path");
+  }
   journal::JournalHeader header;
   header.method = request.search_method;
   header.model = request.model;
@@ -334,6 +343,15 @@ PrepareResult Mlcd::prepare(const JobRequest& request) const {
     } else if (!request.journal_path.empty()) {
       context->writer.emplace(
           journal::RunJournal::create(request.journal_path, header));
+    } else if (!request.replay_records.empty()) {
+      // In-memory crash re-staging: the records came from this process's
+      // own captured trace (or write-ahead images), so there is no
+      // header to re-verify — the request they ride in *is* the request
+      // that produced them.
+      MLCD_LOG(kInfo, "mlcd")
+          << "re-staging from " << request.replay_records.size()
+          << " in-memory probe records";
+      problem.replay = request.replay_records;
     }
     if (context->writer) problem.journal = &*context->writer;
 

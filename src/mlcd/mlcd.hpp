@@ -74,10 +74,20 @@ struct JobRequest {
   std::string resume_path;
   /// Multi-tenant probe gate (service layer): when set, the search's
   /// probes are offered to this gate for cross-job cache reuse and
-  /// capacity admission (see profiler/probe_gate.hpp). Trace-neutral:
+  /// capacity admission (see probe_gate.hpp). Trace-neutral:
   /// the resulting RunReport is bit-identical to the gate-free run.
   /// Not owned; nullptr (default) disables.
   profiler::ProbeGate* probe_gate = nullptr;
+  /// In-memory crash re-staging (service layer): replay these journal-
+  /// record images — billing, the profiling clock, and every seeded
+  /// stream advance exactly as the original run — then continue the
+  /// search bit-identically, with zero probes re-executed. This is the
+  /// file-less sibling of resume_path, used by the scheduler to re-stage
+  /// a crashed lane's session from its captured ask/tell state when the
+  /// job keeps no durable journal. Mutually exclusive with resume_path
+  /// and journal_path (journaled jobs re-stage through their own WAL
+  /// file instead). Empty disables.
+  std::vector<journal::ProbeRecord> replay_records;
 };
 
 /// MLCD's answer: the selected deployment plus all accounting.

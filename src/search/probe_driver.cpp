@@ -1,5 +1,7 @@
 #include "search/probe_driver.hpp"
 
+#include <stdexcept>
+
 namespace mlcd::search {
 
 bool ProbeDriver::step(SearchSession& session) {
@@ -27,6 +29,39 @@ bool ProbeDriver::step(SearchSession& session) {
 void ProbeDriver::drive(SearchSession& session) {
   while (step(session)) {
   }
+}
+
+journal::ProbeRecord ProbeDriver::step_losing_result(
+    SearchSession& session) {
+  const ProbeRequest* pending = session.next();
+  if (pending == nullptr) {
+    throw std::logic_error(
+        "ProbeDriver::step_losing_result: no pending probe");
+  }
+  const ProbeRequest request = *pending;
+
+  const profiler::ProfileResult outcome =
+      session.profiler().profile(session.problem().config,
+                                 request.deployment);
+  const ProbeStep step = session.account(request, outcome);
+  const journal::ProbeRecord record = to_journal_record(step);
+  journal::RunJournal* journal = session.problem().journal;
+  if (journal != nullptr && !outcome.replayed) {
+    journal->append_probe(record);
+  }
+  // `step` goes out of scope unobserved: that is the injected loss. The
+  // record image above is all that survives — exactly what a crash
+  // between journaling and admission would leave behind.
+  return record;
+}
+
+void ProbeDriver::admit_recovered(SearchSession& session,
+                                  const journal::ProbeRecord& record) {
+  ProbeStep step = from_journal_record(record);
+  // The step was executed (and billed) live this run — it only
+  // round-tripped through its durable image — so it is not a replay.
+  step.replayed = false;
+  session.observe(std::move(step));
 }
 
 }  // namespace mlcd::search

@@ -14,6 +14,7 @@
 // many sessions at probe granularity.
 #pragma once
 
+#include "journal/journal.hpp"
 #include "search/search_session.hpp"
 
 namespace mlcd::search {
@@ -31,6 +32,23 @@ class ProbeDriver {
 
   /// step() until the session finishes.
   static void drive(SearchSession& session);
+
+  /// Chaos seam (service layer): executes and journals the pending
+  /// probe exactly like step(), but *loses* the in-memory result
+  /// envelope before it is admitted into the trace — returning the
+  /// durable record image the write-ahead discipline preserved instead.
+  /// The session is left mid-step (spend accounted, pending request
+  /// still set, nothing observed); the caller completes recovery with
+  /// admit_recovered(). Throws std::logic_error when no probe is
+  /// pending.
+  static journal::ProbeRecord step_losing_result(SearchSession& session);
+
+  /// Completes a lost step from its write-ahead record image: the
+  /// admitted ProbeStep is reconstructed purely from the serialized
+  /// record, which in simulation is byte-equal to the lost envelope —
+  /// zero probes re-executed, the trace stays solo-identical.
+  static void admit_recovered(SearchSession& session,
+                              const journal::ProbeRecord& record);
 };
 
 }  // namespace mlcd::search

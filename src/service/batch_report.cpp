@@ -8,6 +8,20 @@
 
 namespace mlcd::service {
 
+std::string_view slo_breach_name(SloBreach breach) noexcept {
+  switch (breach) {
+    case SloBreach::kNone:
+      return "none";
+    case SloBreach::kDeadline:
+      return "deadline";
+    case SloBreach::kBudget:
+      return "budget";
+    case SloBreach::kProbes:
+      return "probes";
+  }
+  return "unknown";
+}
+
 int BatchReport::succeeded() const noexcept {
   int count = 0;
   for (const JobOutcome& job : jobs) count += job.ok ? 1 : 0;
@@ -23,6 +37,38 @@ int BatchReport::total_cache_hits() const noexcept {
 int BatchReport::total_session_parks() const noexcept {
   int count = 0;
   for (const JobOutcome& job : jobs) count += job.stats.session_parks;
+  return count;
+}
+
+int BatchReport::total_lane_crashes() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) count += job.stats.lane_crashes;
+  return count;
+}
+
+int BatchReport::total_revocations() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) count += job.stats.grant_revocations;
+  return count;
+}
+
+int BatchReport::total_probe_losses() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) count += job.stats.probe_losses;
+  return count;
+}
+
+int BatchReport::total_scheduler_stalls() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) count += job.stats.scheduler_stalls;
+  return count;
+}
+
+int BatchReport::slo_exceeded_count() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) {
+    count += job.slo != SloBreach::kNone ? 1 : 0;
+  }
   return count;
 }
 
@@ -62,12 +108,24 @@ std::string BatchReport::render() const {
       << " s occupied, " << total_session_parks() << " session parks)\n";
   out << "probe cache: " << cache.size << " records, " << cache.hits << "/"
       << cache.lookups << " hits\n";
+  if (chaos.enabled()) {
+    out << "chaos (seed " << chaos.seed << "): "
+        << total_lane_crashes() << " lane crashes, "
+        << total_revocations() << " revocations, "
+        << total_probe_losses() << " probe losses, "
+        << total_scheduler_stalls() << " stalls absorbed; "
+        << slo_exceeded_count() << " jobs over SLO\n";
+  }
   for (const JobOutcome& job : jobs) {
     out << "--- " << job.name << " (tenant " << job.tenant << ")";
     if (!job.ok) {
       out << " FAILED [" << job.error_code << "]: " << job.error_message
           << "\n";
       continue;
+    }
+    if (job.slo != SloBreach::kNone) {
+      out << " [" << kSloExceeded << ": " << slo_breach_name(job.slo)
+          << "]";
     }
     out << "\n";
     out << "    " << job.report.result.method << " -> "
@@ -80,6 +138,16 @@ std::string BatchReport::render() const {
         << job.stats.capacity_stall_seconds << " s), parks "
         << job.stats.session_parks << ", lane busy "
         << job.stats.lane_busy_seconds << " s\n";
+    if (job.stats.lane_crashes + job.stats.grant_revocations +
+            job.stats.probe_losses + job.stats.scheduler_stalls >
+        0) {
+      out << "    chaos absorbed: " << job.stats.lane_crashes
+          << " lane crashes, " << job.stats.grant_revocations
+          << " revocations (" << job.stats.chaos_backoff_hours
+          << " h backoff), " << job.stats.probe_losses
+          << " probe losses, " << job.stats.scheduler_stalls
+          << " stalls\n";
+    }
   }
   return out.str();
 }
@@ -97,6 +165,21 @@ std::string BatchReport::to_json() const {
   json.key("peak_capacity_nodes").value(peak_capacity_nodes);
   json.key("peak_tenant_jobs").value(peak_tenant_jobs);
   json.key("lane_idle_fraction").value(lane_idle_fraction());
+  json.key("chaos_seed").value(static_cast<std::int64_t>(chaos.seed));
+  json.key("chaos").begin_object();
+  json.key("enabled").value(chaos.enabled());
+  json.key("lane_crash_rate").value(chaos.lane_crash_rate);
+  json.key("revocation_rate").value(chaos.revocation_rate);
+  json.key("probe_loss_rate").value(chaos.probe_loss_rate);
+  json.key("stall_rate").value(chaos.stall_rate);
+  json.end_object();
+  json.end_object();
+  json.key("faults").begin_object();
+  json.key("lane_crashes").value(total_lane_crashes());
+  json.key("grant_revocations").value(total_revocations());
+  json.key("probe_losses").value(total_probe_losses());
+  json.key("scheduler_stalls").value(total_scheduler_stalls());
+  json.key("slo_exceeded").value(slo_exceeded_count());
   json.end_object();
   json.key("probe_cache").begin_object();
   json.key("lookups").value(cache.lookups);
@@ -121,6 +204,18 @@ std::string BatchReport::to_json() const {
         .value(job.stats.capacity_stall_seconds);
     json.key("session_parks").value(job.stats.session_parks);
     json.key("lane_busy_seconds").value(job.stats.lane_busy_seconds);
+    json.key("lane_crashes").value(job.stats.lane_crashes);
+    json.key("grant_revocations").value(job.stats.grant_revocations);
+    json.key("probe_losses").value(job.stats.probe_losses);
+    json.key("scheduler_stalls").value(job.stats.scheduler_stalls);
+    json.key("chaos_backoff_hours").value(job.stats.chaos_backoff_hours);
+    json.end_object();
+    json.key("slo").begin_object();
+    json.key("exceeded").value(job.slo != SloBreach::kNone);
+    json.key("code").value(job.slo != SloBreach::kNone
+                               ? std::string(kSloExceeded)
+                               : std::string());
+    json.key("breach").value(std::string(slo_breach_name(job.slo)));
     json.end_object();
     if (job.ok) {
       // The solo-identical RunReport, spliced in verbatim: its bytes are

@@ -11,12 +11,25 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mlcd/mlcd.hpp"
+#include "service/chaos.hpp"
 #include "service/probe_cache.hpp"
 
 namespace mlcd::service {
+
+/// Which SLO a job breached (kNone = within SLO). A breached job is not
+/// an error: its session was finalized early through the safe-mode path
+/// (best-known deployment from the trace so far) and its outcome is
+/// typed `slo_exceeded`.
+enum class SloBreach { kNone, kDeadline, kBudget, kProbes };
+
+std::string_view slo_breach_name(SloBreach breach) noexcept;
+
+/// The typed outcome code of an SLO-breached job ("slo_exceeded").
+inline constexpr std::string_view kSloExceeded = "slo_exceeded";
 
 /// Scheduler-side accounting for one job (never part of the job's own
 /// simulated accounting).
@@ -50,6 +63,27 @@ struct JobStats {
   /// fraction — the quantity the probe-granularity scheduler exists to
   /// shrink.
   double lane_busy_seconds = 0.0;
+
+  // --- Service-level chaos & SLO counters (schema v3). Unlike the
+  // wall-clock numbers above, every field below is a deterministic
+  // function of (workload, chaos seed): bit-identical across runs and
+  // thread counts, which is what makes a chaotic batch reproducible.
+
+  /// Injected lane crashes this job survived (each one re-staged the
+  /// session on another lane with zero re-executed probes).
+  int lane_crashes = 0;
+  /// Spot revocations of the job's capacity grant / reservation (each
+  /// one parked the session for elastic re-admission).
+  int grant_revocations = 0;
+  /// Probe results lost after execution and re-admitted from the
+  /// write-ahead record image.
+  int probe_losses = 0;
+  /// Injected scheduler stalls absorbed (the session lost a lane turn).
+  int scheduler_stalls = 0;
+  /// Simulated hours of capped jittered re-admission backoff billed at
+  /// the service level for revocations — never on the job's own clock,
+  /// which stays solo-identical.
+  double chaos_backoff_hours = 0.0;
 };
 
 /// One workload job's outcome: either a RunReport or a typed JobError,
@@ -61,16 +95,27 @@ struct JobOutcome {
   /// Set when !ok (mirrors system::JobError).
   std::string error_code;
   std::string error_message;
-  /// Set when ok; bit-identical to the solo run of the same JobSpec.
+  /// Set when ok; bit-identical to the solo run of the same JobSpec
+  /// (unless the job breached its SLO or was crash-re-staged, in which
+  /// case only the replay bookkeeping fields differ).
   system::RunReport report;
   JobStats stats;
+  /// kNone unless the scheduler cut the search short for an SLO breach;
+  /// the report then carries the best-known deployment and the outcome
+  /// is typed kSloExceeded ("slo_exceeded").
+  SloBreach slo = SloBreach::kNone;
 };
 
 struct BatchReport {
   /// Version of the to_json() layout. History: 1 = first release;
   /// 2 = adds scheduler.probe_granularity / scheduler.lane_idle_fraction
-  /// and the per-job session_parks / lane_busy_seconds stats.
-  static constexpr int kJsonSchemaVersion = 2;
+  /// and the per-job session_parks / lane_busy_seconds stats;
+  /// 3 = adds scheduler.chaos_seed + scheduler.chaos, the per-job fault
+  /// counters (lane_crashes, grant_revocations, probe_losses,
+  /// scheduler_stalls, chaos_backoff_hours), the per-job "slo" object,
+  /// and the fleet "faults" totals. Every v2 key is unchanged — v2
+  /// readers keep working.
+  static constexpr int kJsonSchemaVersion = 3;
 
   /// Scheduler configuration this batch ran under.
   int threads = 1;
@@ -91,9 +136,20 @@ struct BatchReport {
   int peak_tenant_jobs = 0;
   /// Fleet-level probe-cache totals.
   ProbeCache::Stats cache;
+  /// The fault environment this batch ran under (all-zero rates for a
+  /// fault-free batch). chaos.seed is the batch-level `chaos_seed` that
+  /// makes every chaotic run bit-reproducible.
+  ChaosOptions chaos;
 
   /// Jobs that completed with a RunReport.
   int succeeded() const noexcept;
+  /// Fleet fault totals (deterministic; see JobStats).
+  int total_lane_crashes() const noexcept;
+  int total_revocations() const noexcept;
+  int total_probe_losses() const noexcept;
+  int total_scheduler_stalls() const noexcept;
+  /// Jobs finalized early for an SLO breach.
+  int slo_exceeded_count() const noexcept;
   /// Sum of per-job cache hits (probes the fleet did not re-measure).
   int total_cache_hits() const noexcept;
   /// Sum of per-job capacity parks (probe-granularity mode only).

@@ -82,6 +82,18 @@ void CapacityPool::release(int nodes) noexcept {
   turn_cv_.notify_all();
 }
 
+void CapacityPool::revoke(int nodes) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Same reserve-safe arithmetic as release(): occupancy can never go
+  // negative, and notify_all() re-checks queued tickets head-first (the
+  // `serving_ == ticket` predicate keeps the FIFO strict even though
+  // every waiter wakes).
+  in_use_ = std::max(0, in_use_ - nodes);
+  ++revocations_;
+  revoked_nodes_ += nodes;
+  turn_cv_.notify_all();
+}
+
 int CapacityPool::in_use() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return in_use_;
@@ -100,6 +112,16 @@ std::int64_t CapacityPool::stalls() const {
 double CapacityPool::stall_seconds() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stall_seconds_;
+}
+
+std::int64_t CapacityPool::revocations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return revocations_;
+}
+
+int CapacityPool::revoked_nodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return revoked_nodes_;
 }
 
 }  // namespace mlcd::service

@@ -49,7 +49,24 @@ class CapacityPool {
   bool try_acquire(int nodes);
 
   /// Returns capacity acquired earlier. Never blocks.
+  ///
+  /// Wake-after-release ordering (audited, regression-tested in
+  /// tests/service_test.cpp): releasing wakes *all* queued tickets, but
+  /// the wait predicate requires `serving_ == ticket`, so waiters are
+  /// admitted strictly in ticket order no matter how the OS schedules
+  /// the wakeups — a later tenant's small probe can never slip past an
+  /// earlier tenant's large one. try_acquire observes the same
+  /// guarantee by refusing whenever any ticket is queued.
   void release(int nodes) noexcept;
+
+  /// Reserve-safe reclamation of a spot-revoked grant. Every grant
+  /// handed out by this pool is revocable: the scheduler — not the
+  /// holder — decides when simulated spot capacity is taken back.
+  /// Returns the nodes exactly like release() (occupancy never
+  /// underflows, queued tickets are re-checked in strict FIFO order)
+  /// and additionally counts the revocation, so chaotic batches can
+  /// audit how much capacity churned. Never blocks.
+  void revoke(int nodes) noexcept;
 
   int capacity_nodes() const noexcept { return capacity_; }
   /// Nodes occupied by in-flight probes right now.
@@ -59,6 +76,9 @@ class CapacityPool {
   /// Probes that had to queue / their cumulative wall wait.
   std::int64_t stalls() const;
   double stall_seconds() const;
+  /// Spot revocations absorbed / total nodes reclaimed through them.
+  std::int64_t revocations() const;
+  int revoked_nodes() const;
 
  private:
   const int capacity_;
@@ -70,6 +90,8 @@ class CapacityPool {
   std::uint64_t serving_ = 0;       // ticket currently at the head
   std::int64_t stalls_ = 0;
   double stall_seconds_ = 0.0;
+  std::int64_t revocations_ = 0;
+  int revoked_nodes_ = 0;
 };
 
 }  // namespace mlcd::service

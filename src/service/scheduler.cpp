@@ -16,7 +16,9 @@
 
 #include "journal/journal.hpp"
 #include "search/probe_driver.hpp"
+#include "search/search_result.hpp"
 #include "service/capacity.hpp"
+#include "service/chaos.hpp"
 #include "service/probe_cache.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -31,6 +33,27 @@ constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// SLO check against the session's *simulated* spend — deterministic at
+/// any thread count, unlike every wall-clock quantity the scheduler
+/// tracks.
+SloBreach slo_breach(const SloPolicy& slo,
+                     const search::SearchSession& session) {
+  if (!slo.enabled()) return SloBreach::kNone;
+  if (slo.max_probes > 0 &&
+      static_cast<int>(session.trace().size()) >= slo.max_probes) {
+    return SloBreach::kProbes;
+  }
+  if (slo.deadline_hours > 0.0 &&
+      session.spent_hours() >= slo.deadline_hours) {
+    return SloBreach::kDeadline;
+  }
+  if (slo.budget_dollars > 0.0 &&
+      session.spent_cost() >= slo.budget_dollars) {
+    return SloBreach::kBudget;
+  }
+  return SloBreach::kNone;
 }
 
 // --------------------------------------------------------------------
@@ -223,6 +246,18 @@ class StagedGate final : public profiler::ProbeGate {
 
   bool staged() const noexcept { return staged_ != Staged::kNone; }
 
+  /// Drops whatever is staged without running a probe (the chaos / SLO
+  /// early-exit paths). Returns true when an admitted capacity grant
+  /// was staged — the caller must return those nodes to the pool. A
+  /// dropped cache hit needs no cleanup: the record stays in the shared
+  /// cache and will simply be looked up again.
+  bool unstage() noexcept {
+    const bool admitted = staged_ == Staged::kAdmitted;
+    staged_ = Staged::kNone;
+    record_.reset();
+    return admitted;
+  }
+
   std::optional<journal::ProbeRecord> admit(
       const profiler::ProbeKey& /*key*/, const cloud::Deployment&) override {
     switch (staged_) {
@@ -287,8 +322,10 @@ class ProbeBatch {
         batch_start_(batch_start),
         states_(workload.jobs.size()),
         claimed_(workload.jobs.size(), false) {
+    if (workload.chaos.enabled()) chaos_.emplace(workload.chaos);
     for (std::size_t i = 0; i < states_.size(); ++i) {
       states_[i].gate.bind(this, cache_, &report_->jobs[i].stats);
+      states_[i].chaos_key = ChaosInjector::job_key(workload.jobs[i].name);
     }
   }
 
@@ -318,6 +355,48 @@ class ProbeBatch {
   void release_and_sweep(int nodes) noexcept {
     std::lock_guard<std::mutex> lock(mutex_);
     capacity_->release(nodes);
+    sweep_parked_locked();
+  }
+
+  /// Like release_and_sweep, but the nodes come back through a spot
+  /// revocation: the pool counts the reclamation, and the freed
+  /// capacity goes to the *head* parked session first — the revoked
+  /// session itself re-admits behind every earlier-parked one, so
+  /// strict FIFO holds under revocation too.
+  void revoke_and_sweep(int nodes) noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_->revoke(nodes);
+    sweep_parked_locked();
+  }
+
+ private:
+  struct JobState {
+    StagedGate gate;
+    /// The prepared session, pinned here across parks. Engaged from
+    /// first lane assignment until finish().
+    std::optional<system::PreparedJob> prepared;
+    bool started = false;
+    Clock::time_point job_start{};
+    /// Stable chaos identity (hash of the job name).
+    std::uint64_t chaos_key = 0;
+    /// First step index whose chaos roll is still outstanding. Fault
+    /// decisions fire at most once per (job, step): a crashed step,
+    /// once replayed, is never re-crashed — which is what makes every
+    /// recovery loop convergent.
+    int chaos_cursor = 0;
+    /// Revocations absorbed so far (the backoff ordinal).
+    int revocations = 0;
+    /// An injected probe-result loss armed for the next executed step.
+    bool pending_loss = false;
+    /// An injected spot revocation armed for the next capacity
+    /// acquisition.
+    bool pending_revocation = false;
+  };
+
+  /// Restages as many parked sessions (FIFO) as now fit, handing each
+  /// its capacity grant before it ever reaches a lane. Caller holds
+  /// mutex_.
+  void sweep_parked_locked() noexcept {
     bool resumed = false;
     while (!parked_.empty()) {
       const Parked& head = parked_.front();
@@ -331,16 +410,6 @@ class ProbeBatch {
     }
     if (resumed) lane_cv_.notify_all();
   }
-
- private:
-  struct JobState {
-    StagedGate gate;
-    /// The prepared session, pinned here across parks. Engaged from
-    /// first lane assignment until finish().
-    std::optional<system::PreparedJob> prepared;
-    bool started = false;
-    Clock::time_point job_start{};
-  };
 
   struct Parked {
     std::size_t job;
@@ -407,27 +476,77 @@ class ProbeBatch {
       job.prepared.emplace(std::move(prepared.job()));
     }
 
-    search::SearchSession& session = job.prepared->session();
     try {
       for (;;) {
+        // Re-fetched each iteration: a lane-crash re-staging replaces
+        // the prepared job (and with it the session object) in place.
+        search::SearchSession& session = job.prepared->session();
         const search::ProbeRequest* request = session.next();
         if (request == nullptr) {
-          system::DeployResult result = job.prepared->finish();
-          if (result.ok()) {
-            outcome.ok = true;
-            outcome.report = std::move(result).report();
-          } else {
-            outcome.error_code = std::string(
-                system::job_error_code_name(result.error().code));
-            outcome.error_message = result.error().message;
-          }
+          finalize(i);
           finish_job(i, segment_start);
           return;
+        }
+        if (!session.replaying()) {
+          // Per-tenant SLO: checked in *simulated* units before the
+          // next probe launches, so a breach fires at the same step at
+          // any thread count. The session is finalized through the
+          // safe-mode path — best-known deployment from the trace so
+          // far — instead of aborting the batch.
+          const SloBreach breach = slo_breach(spec.slo, session);
+          if (breach != SloBreach::kNone) {
+            drop_staged(i, request->deployment.nodes, /*revoked=*/false);
+            outcome.slo = breach;
+            MLCD_LOG(kWarn, "service")
+                << "job '" << spec.name << "' exceeded its "
+                << slo_breach_name(breach)
+                << " SLO; finalizing with best-known deployment";
+            finalize(i);
+            finish_job(i, segment_start);
+            return;
+          }
+          // Chaos rolls fire at most once per (job, step): pure
+          // functions of (seed, job, step), independent of lanes,
+          // threads, and cache state.
+          const int step = static_cast<int>(session.trace().size());
+          if (chaos_.has_value() && step >= job.chaos_cursor) {
+            job.chaos_cursor = step + 1;
+            const ChaosFault fault = chaos_->roll(job.chaos_key, step);
+            if (fault != ChaosFault::kNone &&
+                !absorb_fault(i, fault, request->deployment.nodes,
+                              segment_start)) {
+              return;  // the session left this lane (or failed)
+            }
+          }
         }
         // Journal-replayed probes bypass the gate entirely (no capacity,
         // no cache — same as solo resume); a park-resumed session
         // already carries its staged grant.
         if (!session.replaying() && !job.gate.staged()) {
+          if (job.pending_revocation) {
+            // The capacity this probe reserved is spot-revoked as it
+            // launches: reclaim any grant reserve-safely and park for
+            // elastic re-admission through the same FIFO as every
+            // capacity wait.
+            job.pending_revocation = false;
+            const int nodes = request->deployment.nodes;
+            std::unique_lock<std::mutex> lock(mutex_);
+            const bool reclaimed =
+                parked_.empty() && capacity_->try_acquire(nodes);
+            parked_.push_back(Parked{i, nodes, Clock::now()});
+            ++outcome.stats.capacity_stalls;
+            ++outcome.stats.session_parks;
+            if (reclaimed) {
+              // Park *before* revoking so the sweep can restage this
+              // very session when nothing else holds the pool.
+              capacity_->revoke(nodes);
+              sweep_parked_locked();
+            }
+            lock.unlock();
+            outcome.stats.lane_busy_seconds +=
+                seconds_since(segment_start);
+            return;  // lane freed; the sweep will restage this session
+          }
           const profiler::ProbeKey key =
               session.profiler().next_probe_key(request->deployment);
           std::optional<journal::ProbeRecord> hit =
@@ -451,7 +570,19 @@ class ProbeBatch {
             job.gate.stage_admitted();
           }
         }
-        search::ProbeDriver::step(session);
+        if (job.pending_loss && !session.replaying()) {
+          // The probe executes and is journaled normally, but its
+          // in-memory result envelope is lost before admission; the
+          // write-ahead record image recovers it bit-identically —
+          // zero probes re-executed.
+          job.pending_loss = false;
+          ++outcome.stats.probe_losses;
+          const journal::ProbeRecord image =
+              search::ProbeDriver::step_losing_result(session);
+          search::ProbeDriver::admit_recovered(session, image);
+        } else {
+          search::ProbeDriver::step(session);
+        }
       }
     } catch (const journal::JournalError& e) {
       // Mid-search journal failures are typed rejections, exactly as
@@ -465,6 +596,129 @@ class ProbeBatch {
       outcome.error_message = e.what();
     }
     finish_job(i, segment_start);
+  }
+
+  /// Finalizes the session via Searcher::finish and records the
+  /// outcome. For an unfinished session (the SLO breach path) this is
+  /// the safe-mode finalization: the best-known deployment is selected
+  /// from the trace so far.
+  void finalize(std::size_t i) {
+    JobState& job = states_[i];
+    JobOutcome& outcome = report_->jobs[i];
+    system::DeployResult result = job.prepared->finish();
+    if (result.ok()) {
+      outcome.ok = true;
+      outcome.report = std::move(result).report();
+    } else {
+      outcome.error_code = std::string(
+          system::job_error_code_name(result.error().code));
+      outcome.error_message = result.error().message;
+    }
+  }
+
+  /// Hands a live session back to the lane pool (chaos crash / stall
+  /// paths): it re-enters the ready queue and whichever lane frees up
+  /// first drives it next.
+  void requeue(std::size_t i) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ready_.push_back(i);
+    lane_cv_.notify_all();
+  }
+
+  /// Returns a staged-but-unused capacity grant to the pool (released
+  /// or spot-revoked) and sweeps the parked FIFO. No-op when nothing
+  /// admitted was staged. Defensive on the chaos paths: faults roll
+  /// only at fresh step boundaries, which never carry a staged grant.
+  void drop_staged(std::size_t i, int nodes, bool revoked) noexcept {
+    if (!states_[i].gate.unstage()) return;
+    if (revoked) {
+      revoke_and_sweep(nodes);
+    } else {
+      release_and_sweep(nodes);
+    }
+  }
+
+  /// Applies one injected fault at a step boundary. Returns true when
+  /// the lane should keep driving the session (revocation and probe
+  /// loss arm a pending flag and continue), false when the session left
+  /// this lane (crash re-staging, stall) or failed to re-stage — lane
+  /// accounting is already settled in that case.
+  bool absorb_fault(std::size_t i, ChaosFault fault, int nodes,
+                    Clock::time_point segment_start) {
+    JobState& job = states_[i];
+    JobOutcome& outcome = report_->jobs[i];
+    switch (fault) {
+      case ChaosFault::kLaneCrash:
+        ++outcome.stats.lane_crashes;
+        drop_staged(i, nodes, /*revoked=*/false);
+        if (!restage_crashed(i)) {
+          finish_job(i, segment_start);  // typed error already recorded
+          return false;
+        }
+        outcome.stats.lane_busy_seconds += seconds_since(segment_start);
+        requeue(i);
+        return false;
+      case ChaosFault::kSpotRevocation:
+        ++outcome.stats.grant_revocations;
+        // The re-admission delay: PR 1's capped jittered backoff,
+        // billed at the service level (the job's own clock and meter
+        // stay solo-identical).
+        outcome.stats.chaos_backoff_hours +=
+            chaos_->revocation_backoff_hours(job.chaos_key,
+                                             job.revocations++);
+        job.pending_revocation = true;
+        return true;
+      case ChaosFault::kProbeLoss:
+        job.pending_loss = true;
+        return true;
+      case ChaosFault::kSchedulerStall:
+        ++outcome.stats.scheduler_stalls;
+        outcome.stats.lane_busy_seconds += seconds_since(segment_start);
+        requeue(i);
+        return false;
+      case ChaosFault::kNone:
+        break;
+    }
+    return true;
+  }
+
+  /// Rebuilds a crashed lane's in-flight session from its ask/tell
+  /// state: every admitted step is captured as a journal-record image
+  /// and replayed through a fresh PreparedJob — billing, clock, and
+  /// every seeded stream advance exactly as the original — so the
+  /// re-staged session continues bit-identically with zero re-executed
+  /// probes. Journaled jobs re-stage through their own WAL file (the
+  /// same path a process crash would resume from). Returns false with
+  /// the typed error recorded when re-preparation fails.
+  bool restage_crashed(std::size_t i) {
+    JobState& job = states_[i];
+    const JobSpec& spec = workload_->jobs[i];
+    JobOutcome& outcome = report_->jobs[i];
+    system::JobRequest request = spec.request;
+    request.probe_gate = &job.gate;
+    request.scan_pool = scan_pool_;
+    if (!request.journal_path.empty() || !request.resume_path.empty()) {
+      request.resume_path = !request.journal_path.empty()
+                                ? request.journal_path
+                                : request.resume_path;
+    } else {
+      const search::SearchSession& session = job.prepared->session();
+      request.replay_records.reserve(session.trace().size());
+      for (const search::ProbeStep& step : session.trace()) {
+        request.replay_records.push_back(search::to_journal_record(step));
+      }
+    }
+    job.prepared.reset();  // the crashed lane's context dies with it
+                           // (closing any journal writer before reopen)
+    system::PrepareResult prepared = mlcd_->prepare(request);
+    if (!prepared.ok()) {
+      outcome.error_code = std::string(
+          system::job_error_code_name(prepared.error().code));
+      outcome.error_message = prepared.error().message;
+      return false;
+    }
+    job.prepared.emplace(std::move(prepared.job()));
+    return true;
   }
 
   void finish_job(std::size_t i, Clock::time_point segment_start) {
@@ -492,6 +746,9 @@ class ProbeBatch {
   CapacityPool* capacity_;
   util::ThreadPool* scan_pool_;
   const Clock::time_point batch_start_;
+
+  /// Engaged when the workload declares a chaotic fault environment.
+  std::optional<ChaosInjector> chaos_;
 
   std::vector<JobState> states_;
 
@@ -552,7 +809,23 @@ BatchReport Scheduler::run(const Workload& workload) const {
     }
   }
 
+  // Chaos and SLO enforcement live at probe boundaries — only the
+  // probe-granularity scheduler has them. Refuse up front rather than
+  // silently running a chaotic workload fault-free.
+  workload.chaos.validate();
+  bool slo_declared = false;
+  for (const JobSpec& spec : workload.jobs) {
+    slo_declared = slo_declared || spec.slo.enabled();
+  }
+  if ((workload.chaos.enabled() || slo_declared) &&
+      !options_.probe_granularity) {
+    throw std::invalid_argument(
+        "Scheduler: service-level chaos injection and SLO enforcement "
+        "require the probe-granularity scheduler (--scheduler probe)");
+  }
+
   BatchReport report;
+  report.chaos = workload.chaos;
   report.threads = options_.threads;
   report.capacity_nodes = options_.capacity_nodes;
   report.tenant_max_jobs = options_.tenant_max_jobs;

@@ -25,10 +25,24 @@
 //   * a shared ProbeCache — identical probes are measured once and
 //     served to every later job, billing only the first tenant.
 //
+// The probe-granularity mode additionally hosts the service-level
+// fault domain (docs/chaos.md): a workload-declared ChaosInjector fires
+// lane crashes (session re-staged from its ask/tell state via replay,
+// zero probes re-executed), spot revocations (grant reclaimed, session
+// parked for elastic re-admission with service-billed backoff), probe-
+// result losses (recovered from the write-ahead record image), and
+// scheduler stalls — plus per-tenant SLO enforcement: a job over its
+// declared SLO is finalized early through the safe-mode path
+// (best-known deployment, typed "slo_exceeded") instead of aborting
+// the batch.
+//
 // The hard invariant, enforced by tests/service_test.cpp at every
 // thread count: each job's RunReport — trace included — is bit-identical
 // to running that JobSpec solo with the same seed. Scheduling order,
-// quotas, capacity waits, and cache hits are all trace-neutral.
+// quotas, capacity waits, and cache hits are all trace-neutral; chaos
+// decisions are deterministic in (seed, job, step), so the invariant
+// extends to chaotic batches for every job the schedule leaves
+// untouched.
 #pragma once
 
 #include "mlcd/mlcd.hpp"

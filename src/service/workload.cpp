@@ -41,6 +41,52 @@ std::string string_field(const util::JsonValue& job, const std::string& key,
   return job.at(key).as_string();
 }
 
+/// Strictly positive finite number — the validation contract every
+/// dollars/hours field of the format shares (PR 3 conventions, extended
+/// to the SLO fields here).
+double positive_field(const util::JsonValue& obj, const std::string& key,
+                      const std::string& owner) {
+  const double x = finite_number(obj.at(key), key);
+  if (x <= 0.0) fail(owner + ": non-positive '" + key + "'");
+  return x;
+}
+
+/// Probability in [0, 1], finite.
+double rate_field(const util::JsonValue& obj, const std::string& key) {
+  const double x = finite_number(obj.at(key), key);
+  if (x < 0.0 || x > 1.0) {
+    fail("'" + key + "' must be a rate in [0, 1]");
+  }
+  return x;
+}
+
+ChaosOptions parse_chaos(const util::JsonValue& chaos) {
+  if (!chaos.is_object()) fail("'chaos' must be an object");
+  ChaosOptions options;
+  if (chaos.contains("seed")) {
+    options.seed =
+        static_cast<std::uint64_t>(int_field(chaos, "seed", 0, 0));
+  }
+  if (chaos.contains("lane_crash_rate")) {
+    options.lane_crash_rate = rate_field(chaos, "lane_crash_rate");
+  }
+  if (chaos.contains("revocation_rate")) {
+    options.revocation_rate = rate_field(chaos, "revocation_rate");
+  }
+  if (chaos.contains("probe_loss_rate")) {
+    options.probe_loss_rate = rate_field(chaos, "probe_loss_rate");
+  }
+  if (chaos.contains("stall_rate")) {
+    options.stall_rate = rate_field(chaos, "stall_rate");
+  }
+  try {
+    options.validate();
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+  return options;
+}
+
 JobSpec parse_job(const util::JsonValue& job, std::size_t index) {
   if (!job.is_object()) {
     fail("jobs[" + std::to_string(index) + "] must be an object");
@@ -60,18 +106,24 @@ JobSpec parse_job(const util::JsonValue& job, std::size_t index) {
   r.model = job.at("model").as_string();
   r.platform = string_field(job, "platform", r.platform);
   r.search_method = string_field(job, "method", r.search_method);
+  const std::string owner = "job '" + spec.name + "'";
   if (job.contains("deadline_hours")) {
-    const double hours = finite_number(job.at("deadline_hours"),
-                                       "deadline_hours");
-    if (hours <= 0.0) fail("job '" + spec.name + "': non-positive deadline");
-    r.requirements.deadline_hours = hours;
+    r.requirements.deadline_hours =
+        positive_field(job, "deadline_hours", owner);
   }
   if (job.contains("budget_dollars")) {
-    const double dollars = finite_number(job.at("budget_dollars"),
-                                         "budget_dollars");
-    if (dollars <= 0.0) fail("job '" + spec.name + "': non-positive budget");
-    r.requirements.budget_dollars = dollars;
+    r.requirements.budget_dollars =
+        positive_field(job, "budget_dollars", owner);
   }
+  if (job.contains("slo_deadline_hours")) {
+    spec.slo.deadline_hours =
+        positive_field(job, "slo_deadline_hours", owner);
+  }
+  if (job.contains("slo_budget_dollars")) {
+    spec.slo.budget_dollars =
+        positive_field(job, "slo_budget_dollars", owner);
+  }
+  spec.slo.max_probes = int_field(job, "slo_max_probes", 0, 1);
   r.seed = static_cast<std::uint64_t>(int_field(job, "seed", 1, 1));
   r.max_nodes = int_field(job, "max_nodes", r.max_nodes, 1);
   r.threads = int_field(job, "threads", r.threads, 1);
@@ -97,7 +149,8 @@ Workload parse_workload(std::string_view json) {
   }
   if (!doc.is_object()) fail("top level must be an object");
   if (doc.contains("schema_version")) {
-    const double v = doc.at("schema_version").as_number();
+    const double v = finite_number(doc.at("schema_version"),
+                                   "schema_version");
     if (v != Workload::kJsonSchemaVersion) {
       std::ostringstream message;
       message << "unsupported schema_version " << v << " (this build reads "
@@ -108,6 +161,7 @@ Workload parse_workload(std::string_view json) {
   if (!doc.contains("jobs")) fail("missing 'jobs' array");
 
   Workload workload;
+  if (doc.contains("chaos")) workload.chaos = parse_chaos(doc.at("chaos"));
   const auto& jobs = doc.at("jobs").as_array();
   if (jobs.empty()) fail("'jobs' must not be empty");
   std::set<std::string> names;

@@ -25,9 +25,19 @@
 //         "use_spot": false,
 //         "threads": 1,                   // per-job candidate-scan lanes
 //         "gp_refit_every": 1,
-//         "journal": "acme-resnet.mlcdj"  // optional durable journal
+//         "journal": "acme-resnet.mlcdj", // optional durable journal
+//         "slo_deadline_hours": 12.0,     // optional service SLOs
+//         "slo_budget_dollars": 80.0,
+//         "slo_max_probes": 30
 //       }
-//     ]
+//     ],
+//     "chaos": {                          // optional fault injection
+//       "seed": 7,                        // (docs/chaos.md)
+//       "lane_crash_rate": 0.05,
+//       "revocation_rate": 0.05,
+//       "probe_loss_rate": 0.02,
+//       "stall_rate": 0.02
+//     }
 //   }
 #pragma once
 
@@ -36,22 +46,45 @@
 #include <vector>
 
 #include "mlcd/mlcd.hpp"
+#include "service/chaos.hpp"
 
 namespace mlcd::service {
 
+/// Per-tenant service-level objectives, enforced by the scheduler at
+/// probe boundaries in *simulated* units (the session's own profiling
+/// clock and billing meter), so a breach fires at the same step at any
+/// thread count. A job over its SLO is not aborted: its session is
+/// finalized early through the safe-mode path — best-known deployment
+/// from the trace so far — and the outcome is typed `slo_exceeded`.
+/// Distinct from JobRequest::requirements (deadline_hours /
+/// budget_dollars), which shape the *search scenario* the tenant asked
+/// to solve; SLOs bound what the service lets the search spend.
+struct SloPolicy {
+  double deadline_hours = 0.0;   ///< cap on spent profiling hours; 0 = off
+  double budget_dollars = 0.0;   ///< cap on spent profiling dollars; 0 = off
+  int max_probes = 0;            ///< cap on executed probes; 0 = off
+
+  bool enabled() const noexcept {
+    return deadline_hours > 0.0 || budget_dollars > 0.0 || max_probes > 0;
+  }
+};
+
 /// One named job of a workload: a tenant label (the quota bucket) plus
-/// the full deploy request.
+/// the full deploy request and the tenant's service-level objectives.
 struct JobSpec {
   std::string name;
   std::string tenant;
   system::JobRequest request;
+  SloPolicy slo;
 };
 
-/// A fleet of jobs admitted and scheduled together.
+/// A fleet of jobs admitted and scheduled together, plus the fault
+/// environment the batch runs under (defaults to fault-free).
 struct Workload {
   static constexpr int kJsonSchemaVersion = 1;
 
   std::vector<JobSpec> jobs;
+  ChaosOptions chaos;
 };
 
 /// Parses a workload document. Throws std::invalid_argument on

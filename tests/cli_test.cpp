@@ -344,7 +344,7 @@ TEST(CliRun, BatchEndToEnd) {
                         "--out", report_out.c_str()},
                        &out);
   EXPECT_EQ(rc, 0);
-  EXPECT_NE(out.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(out.find("\"probe_granularity\":true"), std::string::npos);
   EXPECT_NE(out.find("\"name\":\"a\""), std::string::npos);
   EXPECT_NE(out.find("\"name\":\"b\""), std::string::npos);
@@ -355,6 +355,49 @@ TEST(CliRun, BatchEndToEnd) {
   EXPECT_EQ(buffer.str(), out);
   std::remove(workload.c_str());
   std::remove(report_out.c_str());
+}
+
+TEST(CliRun, BatchChaosKnobsOverrideWorkload) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string workload = (tmp / "mlcd_cli_batch_chaos.json").string();
+  {
+    std::ofstream f(workload);
+    // The workload declares a chaotic environment; the CLI overrides
+    // the seed and adds a stall hazard per flag.
+    f << R"({"jobs": [
+      {"name": "a", "tenant": "t1", "model": "resnet",
+       "deadline_hours": 24, "seed": 7, "max_nodes": 8}
+    ],
+    "chaos": {"seed": 3, "probe_loss_rate": 1.0}})";
+  }
+  std::string out;
+  const int rc = drive({"batch", workload.c_str(), "--threads", "2",
+                        "--chaos-seed", "11", "--chaos-stall-rate", "0.5",
+                        "--json"},
+                       &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("\"chaos_seed\":11"), std::string::npos);
+  EXPECT_NE(out.find("\"probe_loss_rate\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"stall_rate\":0.5"), std::string::npos);
+  // Every live probe's result envelope was lost and recovered from its
+  // write-ahead record image.
+  EXPECT_EQ(out.find("\"probe_losses\":0"), std::string::npos);
+  std::remove(workload.c_str());
+}
+
+TEST(CliRun, BatchRejectsOutOfRangeChaosRate) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string workload = (tmp / "mlcd_cli_batch_badrate.json").string();
+  {
+    std::ofstream f(workload);
+    f << R"({"jobs": [{"name": "a", "model": "resnet", "max_nodes": 8}]})";
+  }
+  std::string err;
+  EXPECT_EQ(drive({"batch", workload.c_str(), "--chaos-lane-crash-rate",
+                   "1.5"},
+                  nullptr, &err),
+            2);
+  std::remove(workload.c_str());
 }
 
 TEST(CliRun, BatchRefusesOverCapacityWorkload) {

@@ -6,7 +6,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -15,11 +17,14 @@
 #include <thread>
 #include <vector>
 
+#include "journal/journal.hpp"
 #include "mlcd/mlcd.hpp"
 #include "search/pareto.hpp"
+#include "search/search_result.hpp"
 #include "search/trace_io.hpp"
 #include "service/batch_report.hpp"
 #include "service/capacity.hpp"
+#include "service/chaos.hpp"
 #include "service/probe_cache.hpp"
 #include "service/scheduler.hpp"
 #include "service/workload.hpp"
@@ -94,6 +99,63 @@ TEST(Workload, RejectsBadDocuments) {
   EXPECT_THROW(parse_workload(R"({"jobs": [
       {"name": "a", "model": "resnet", "max_nodes": 0}]})"),
                std::invalid_argument);
+}
+
+TEST(Workload, ParsesSloAndChaos) {
+  const Workload w = parse_workload(R"({
+    "chaos": {"seed": 42, "lane_crash_rate": 0.1, "revocation_rate": 0.05,
+              "probe_loss_rate": 1.0, "stall_rate": 0},
+    "jobs": [
+      {"name": "a", "model": "resnet", "deadline_hours": 24,
+       "slo_deadline_hours": 12, "slo_budget_dollars": 80,
+       "slo_max_probes": 9}
+    ]
+  })");
+  EXPECT_EQ(w.chaos.seed, 42u);
+  EXPECT_DOUBLE_EQ(w.chaos.lane_crash_rate, 0.1);
+  EXPECT_DOUBLE_EQ(w.chaos.revocation_rate, 0.05);
+  EXPECT_DOUBLE_EQ(w.chaos.probe_loss_rate, 1.0);
+  EXPECT_DOUBLE_EQ(w.chaos.stall_rate, 0.0);
+  EXPECT_TRUE(w.chaos.enabled());
+  const SloPolicy& slo = w.jobs[0].slo;
+  EXPECT_TRUE(slo.enabled());
+  EXPECT_DOUBLE_EQ(slo.deadline_hours, 12.0);
+  EXPECT_DOUBLE_EQ(slo.budget_dollars, 80.0);
+  EXPECT_EQ(slo.max_probes, 9);
+  // Absent => SLO disabled, fault-free chaos environment.
+  const Workload plain =
+      parse_workload(R"({"jobs": [{"name": "a", "model": "resnet"}]})");
+  EXPECT_FALSE(plain.chaos.enabled());
+  EXPECT_FALSE(plain.jobs[0].slo.enabled());
+}
+
+TEST(Workload, RejectsBadSloAndChaos) {
+  const auto reject = [](const std::string& doc) {
+    EXPECT_THROW(parse_workload(doc), std::invalid_argument) << doc;
+  };
+  // SLO numbers share the dollars/hours contract: finite, > 0.
+  reject(R"({"jobs": [{"name": "a", "model": "resnet",
+             "slo_deadline_hours": -1}]})");
+  reject(R"({"jobs": [{"name": "a", "model": "resnet",
+             "slo_budget_dollars": 0}]})");
+  reject(R"({"jobs": [{"name": "a", "model": "resnet",
+             "slo_deadline_hours": 1e999}]})");  // non-finite after strtod
+  reject(R"({"jobs": [{"name": "a", "model": "resnet",
+             "slo_max_probes": 0}]})");
+  reject(R"({"jobs": [{"name": "a", "model": "resnet",
+             "slo_max_probes": 2.5}]})");
+  // Chaos: object with finite rates in [0, 1], non-negative integer seed.
+  reject(R"({"chaos": 3, "jobs": [{"name": "a", "model": "resnet"}]})");
+  reject(R"({"chaos": {"lane_crash_rate": 1.5},
+             "jobs": [{"name": "a", "model": "resnet"}]})");
+  reject(R"({"chaos": {"revocation_rate": -0.1},
+             "jobs": [{"name": "a", "model": "resnet"}]})");
+  reject(R"({"chaos": {"stall_rate": 1e999},
+             "jobs": [{"name": "a", "model": "resnet"}]})");
+  reject(R"({"chaos": {"seed": -1},
+             "jobs": [{"name": "a", "model": "resnet"}]})");
+  reject(R"({"chaos": {"seed": 1.5},
+             "jobs": [{"name": "a", "model": "resnet"}]})");
 }
 
 TEST(Workload, LoadReadsFileAndReportsMissing) {
@@ -245,6 +307,107 @@ TEST(CapacityPool, QueuesUntilCapacityFrees) {
   EXPECT_EQ(pool.stalls(), 1);
   EXPECT_GT(pool.stall_seconds(), 0.0);
   pool.release(5);
+}
+
+TEST(CapacityPool, RevokeReclaimsLikeReleaseAndCounts) {
+  CapacityPool pool(10);
+  EXPECT_TRUE(pool.try_acquire(8));
+  pool.revoke(8);
+  EXPECT_EQ(pool.in_use(), 0);
+  EXPECT_EQ(pool.revocations(), 1);
+  EXPECT_EQ(pool.revoked_nodes(), 8);
+  // Reserve-safe: occupancy never underflows even if a revocation races
+  // a release of the same grant.
+  EXPECT_TRUE(pool.try_acquire(3));
+  pool.release(3);
+  pool.revoke(3);
+  EXPECT_EQ(pool.in_use(), 0);
+  EXPECT_EQ(pool.revocations(), 2);
+  EXPECT_EQ(pool.revoked_nodes(), 11);
+
+  // A blocked acquire() is woken by revoke() exactly as by release().
+  EXPECT_FALSE(pool.acquire(8).stalled);
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    pool.acquire(5);
+    admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load());
+  pool.revoke(8);
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(pool.in_use(), 5);
+  pool.release(5);
+}
+
+// Wake-after-release audit (see the release() doc comment): release
+// notifies *all* queued tickets, but the `serving_ == ticket` predicate
+// admits them strictly in ticket order — and try_acquire keeps refusing
+// while any ticket is queued, so it can never overtake either. The same
+// holds when the capacity returns via revoke().
+TEST(CapacityPool, FifoWakeOrderSurvivesReleaseAndRevoke) {
+  for (const bool via_revoke : {false, true}) {
+    CapacityPool pool(10);
+    EXPECT_FALSE(pool.acquire(10).stalled);
+
+    std::mutex order_mutex;
+    std::vector<int> order;
+    std::atomic<int> queued{0};
+    const auto enqueue = [&](int id, int nodes) {
+      return std::thread([&, id, nodes] {
+        ++queued;
+        pool.acquire(nodes);
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(id);
+      });
+    };
+    // Tickets are issued in acquire() call order; stagger the starts so
+    // that order is deterministic for the test.
+    std::thread first = enqueue(1, 6);
+    while (queued.load() < 1) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::thread second = enqueue(2, 5);
+    while (queued.load() < 2) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // Freeing 5 nodes would fit ticket 2 (5 + 5 <= 10) but not the
+    // head's 6: nobody may be admitted, and try_acquire must refuse a
+    // fitting request too rather than overtake the queue.
+    if (via_revoke) {
+      pool.revoke(5);
+    } else {
+      pool.release(5);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      EXPECT_TRUE(order.empty()) << "via_revoke=" << via_revoke;
+    }
+    EXPECT_FALSE(pool.try_acquire(1));
+
+    // Freeing the rest admits ticket 1 alone (6 + 5 still exceeds the
+    // pool, so ticket 2 keeps waiting behind it)...
+    if (via_revoke) {
+      pool.revoke(5);
+    } else {
+      pool.release(5);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      ASSERT_EQ(order.size(), 1u) << "via_revoke=" << via_revoke;
+      EXPECT_EQ(order[0], 1);
+    }
+    // ... and ticket 1's own release finally admits ticket 2.
+    pool.release(6);
+    first.join();
+    second.join();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[1], 2) << "via_revoke=" << via_revoke;
+    pool.release(5);
+    EXPECT_EQ(pool.in_use(), 0);
+  }
 }
 
 // --------------------------------------------------------------- Scheduler
@@ -439,6 +602,426 @@ TEST(Scheduler, ParksSessionsInsteadOfBlockingLanes) {
   }
 }
 
+// -------------------------------------------- service-level chaos & SLO
+
+TEST(ChaosInjector, RollsAreDeterministicAndSeeded) {
+  ChaosOptions options;
+  options.seed = 7;
+  options.lane_crash_rate = 0.5;
+  ChaosOptions reseeded = options;
+  reseeded.seed = 8;
+  const ChaosInjector a(options);
+  const ChaosInjector b(options);
+  const ChaosInjector c(reseeded);
+  const std::uint64_t key = ChaosInjector::job_key("job-a");
+  const std::uint64_t other = ChaosInjector::job_key("job-b");
+  int faults = 0;
+  int divergences = 0;
+  for (int step = 0; step < 128; ++step) {
+    const ChaosFault fault = a.roll(key, step);
+    // Pure function of (seed, job, step): independent instances agree.
+    EXPECT_EQ(fault, b.roll(key, step)) << step;
+    EXPECT_TRUE(fault == ChaosFault::kNone ||
+                fault == ChaosFault::kLaneCrash);
+    if (fault != ChaosFault::kNone) ++faults;
+    if (fault != c.roll(key, step) || fault != a.roll(other, step)) {
+      ++divergences;
+    }
+  }
+  // Rate 0.5 fires often but not always; other seeds / jobs decorrelate.
+  EXPECT_GT(faults, 16);
+  EXPECT_LT(faults, 112);
+  EXPECT_GT(divergences, 0);
+
+  // Re-admission backoff is positive, capped, and deterministic.
+  const double backoff = a.revocation_backoff_hours(key, 0);
+  EXPECT_GT(backoff, 0.0);
+  EXPECT_DOUBLE_EQ(backoff, b.revocation_backoff_hours(key, 0));
+
+  // A fault-free configuration never rolls anything.
+  const ChaosInjector quiet(ChaosOptions{});
+  for (int step = 0; step < 32; ++step) {
+    EXPECT_EQ(quiet.roll(key, step), ChaosFault::kNone);
+  }
+
+  // Rates outside [0, 1] are rejected up front.
+  ChaosOptions bad;
+  bad.probe_loss_rate = 1.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.probe_loss_rate = -0.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+/// Seed for the chaos sweep: CI varies it (MLCD_CHAOS_SEED) to prove the
+/// recovery machinery is not tuned to one lucky fault schedule.
+std::uint64_t chaos_seed_from_env() {
+  const char* env = std::getenv("MLCD_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 20260808ull;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// Everything except the replay bookkeeping must survive a lane crash:
+/// the re-staged session's trace carries the same probes, measurements,
+/// and cumulative accounting as the solo run — only the `replayed`
+/// flags (and the replayed_probes counter) record that a crash happened.
+void expect_equal_modulo_replay(const search::SearchResult& got,
+                                const search::SearchResult& solo) {
+  ASSERT_EQ(got.trace.size(), solo.trace.size());
+  for (std::size_t i = 0; i < got.trace.size(); ++i) {
+    const search::ProbeStep& g = got.trace[i];
+    const search::ProbeStep& s = solo.trace[i];
+    EXPECT_EQ(g.deployment.type_index, s.deployment.type_index) << i;
+    EXPECT_EQ(g.deployment.nodes, s.deployment.nodes) << i;
+    EXPECT_EQ(g.failed, s.failed) << i;
+    EXPECT_EQ(g.feasible, s.feasible) << i;
+    EXPECT_DOUBLE_EQ(g.measured_speed, s.measured_speed) << i;
+    EXPECT_DOUBLE_EQ(g.profile_hours, s.profile_hours) << i;
+    EXPECT_DOUBLE_EQ(g.profile_cost, s.profile_cost) << i;
+    EXPECT_DOUBLE_EQ(g.cum_profile_hours, s.cum_profile_hours) << i;
+    EXPECT_DOUBLE_EQ(g.cum_profile_cost, s.cum_profile_cost) << i;
+    EXPECT_EQ(g.reason, s.reason) << i;
+    EXPECT_EQ(g.attempts, s.attempts) << i;
+  }
+  EXPECT_EQ(got.found, solo.found);
+  EXPECT_EQ(got.best.type_index, solo.best.type_index);
+  EXPECT_EQ(got.best.nodes, solo.best.nodes);
+  EXPECT_DOUBLE_EQ(got.profile_hours, solo.profile_hours);
+  EXPECT_DOUBLE_EQ(got.profile_cost, solo.profile_cost);
+  EXPECT_DOUBLE_EQ(got.training_hours, solo.training_hours);
+  EXPECT_DOUBLE_EQ(got.training_cost, solo.training_cost);
+}
+
+Workload one_job(const std::string& chaos) {
+  return parse_workload(R"({
+    "chaos": )" + chaos + R"(,
+    "jobs": [{"name": "solo", "model": "resnet", "deadline_hours": 24,
+              "seed": 7, "max_nodes": 10}]
+  })");
+}
+
+// probe_loss_rate = 1: every live result envelope is dropped after
+// execution and recovered from the write-ahead record image. The
+// recovery is invisible — the report is byte-identical to the solo run,
+// nothing was re-executed, nothing marked replayed.
+TEST(ChaosService, LostResultsRecoverBitIdenticallyFromRecordImages) {
+  const system::Mlcd mlcd;
+  const Workload workload =
+      one_job(R"({"seed": 5, "probe_loss_rate": 1.0})");
+  const std::string solo =
+      mlcd.deploy(workload.jobs[0].request).report().to_json();
+  const BatchReport report = Scheduler(mlcd, {}).run(workload);
+  ASSERT_TRUE(report.jobs[0].ok);
+  EXPECT_EQ(report.jobs[0].report.to_json(), solo);
+  const JobStats& stats = report.jobs[0].stats;
+  EXPECT_EQ(stats.probe_losses,
+            static_cast<int>(report.jobs[0].report.result.trace.size()));
+  EXPECT_EQ(report.jobs[0].report.result.replayed_probes, 0);
+  EXPECT_EQ(report.total_probe_losses(), stats.probe_losses);
+}
+
+// stall_rate = 1: the session loses a lane turn at every step boundary
+// (at most once per step — stalls never re-roll), and none of it shows
+// in the job's own accounting.
+TEST(ChaosService, SchedulerStallsOnlyCostLaneTurns) {
+  const system::Mlcd mlcd;
+  const Workload workload = one_job(R"({"seed": 5, "stall_rate": 1.0})");
+  const std::string solo =
+      mlcd.deploy(workload.jobs[0].request).report().to_json();
+  const BatchReport report = Scheduler(mlcd, {}).run(workload);
+  ASSERT_TRUE(report.jobs[0].ok);
+  EXPECT_EQ(report.jobs[0].report.to_json(), solo);
+  EXPECT_EQ(report.jobs[0].stats.scheduler_stalls,
+            static_cast<int>(report.jobs[0].report.result.trace.size()));
+}
+
+// revocation_rate = 1: every capacity grant is spot-revoked as its probe
+// launches. The session parks, re-enters through the FIFO, and the probe
+// runs on re-admission; the backoff is billed at the service level while
+// the job's own clock and meter stay solo-identical.
+TEST(ChaosService, RevocationsParkAndElasticallyReadmit) {
+  const system::Mlcd mlcd;
+  const Workload workload =
+      one_job(R"({"seed": 5, "revocation_rate": 1.0})");
+  const std::string solo =
+      mlcd.deploy(workload.jobs[0].request).report().to_json();
+  for (const int capacity : {0, 10}) {  // unlimited and tight pools
+    SchedulerOptions options;
+    options.capacity_nodes = capacity;
+    const BatchReport report = Scheduler(mlcd, options).run(workload);
+    ASSERT_TRUE(report.jobs[0].ok) << "capacity=" << capacity;
+    EXPECT_EQ(report.jobs[0].report.to_json(), solo);
+    const JobStats& stats = report.jobs[0].stats;
+    const int live_probes =
+        static_cast<int>(report.jobs[0].report.result.trace.size());
+    EXPECT_EQ(stats.grant_revocations, live_probes);
+    EXPECT_GE(stats.session_parks, stats.grant_revocations);
+    EXPECT_GT(stats.chaos_backoff_hours, 0.0);
+    EXPECT_EQ(report.total_revocations(), stats.grant_revocations);
+  }
+}
+
+// Lane crashes on a journaled job: the session is re-staged through its
+// own write-ahead journal — the same path a process crash resumes from.
+// Zero probes are re-executed: the journal holds exactly one record per
+// trace step (a re-execution would have appended duplicates), and every
+// measurement and cumulative dollar matches the solo run.
+TEST(ChaosService, LaneCrashRestagesFromJournalWithZeroReExecution) {
+  const system::Mlcd mlcd;
+  const std::string journal_path =
+      (std::filesystem::temp_directory_path() / "mlcd_chaos_crash.mlcdj")
+          .string();
+  std::remove(journal_path.c_str());
+  Workload workload = one_job(R"({"seed": 3, "lane_crash_rate": 0.3})");
+  workload.jobs[0].request.journal_path = journal_path;
+
+  system::JobRequest solo_request = workload.jobs[0].request;
+  solo_request.journal_path.clear();  // journals are trace-neutral
+  const system::DeployResult solo = mlcd.deploy(solo_request);
+  ASSERT_TRUE(solo.ok());
+
+  const BatchReport report = Scheduler(mlcd, {}).run(workload);
+  ASSERT_TRUE(report.jobs[0].ok);
+  EXPECT_GT(report.jobs[0].stats.lane_crashes, 0);
+  EXPECT_GT(report.jobs[0].report.result.replayed_probes, 0);
+  expect_equal_modulo_replay(report.jobs[0].report.result,
+                             solo.report().result);
+
+  const journal::JournalContents contents =
+      journal::read_journal(journal_path);
+  EXPECT_EQ(contents.probes.size(),
+            report.jobs[0].report.result.trace.size());
+  std::remove(journal_path.c_str());
+}
+
+// Lane crashes on a journal-less job: the replacement session is rebuilt
+// from the crashed session's in-memory ask/tell state (replay-record
+// images), with the same zero-re-execution guarantee.
+TEST(ChaosService, LaneCrashRestagesFromAskTellStateWithoutJournal) {
+  const system::Mlcd mlcd;
+  const Workload workload =
+      one_job(R"({"seed": 3, "lane_crash_rate": 0.3})");
+  const system::DeployResult solo = mlcd.deploy(workload.jobs[0].request);
+  ASSERT_TRUE(solo.ok());
+  const BatchReport report = Scheduler(mlcd, {}).run(workload);
+  ASSERT_TRUE(report.jobs[0].ok);
+  EXPECT_GT(report.jobs[0].stats.lane_crashes, 0);
+  EXPECT_GT(report.jobs[0].report.result.replayed_probes, 0);
+  expect_equal_modulo_replay(report.jobs[0].report.result,
+                             solo.report().result);
+}
+
+TEST(ChaosService, SloBreachFinalizesWithBestKnownDeployment) {
+  const system::Mlcd mlcd;
+  const Workload workload = parse_workload(R"({
+    "jobs": [
+      {"name": "capped", "model": "resnet", "deadline_hours": 24,
+       "seed": 7, "max_nodes": 10, "slo_max_probes": 4},
+      {"name": "free", "model": "resnet", "deadline_hours": 24,
+       "seed": 7, "max_nodes": 10}
+    ]
+  })");
+  const std::string solo =
+      mlcd.deploy(workload.jobs[1].request).report().to_json();
+  SchedulerOptions options;
+  options.share_probes = false;  // the capped job must stop on its own
+  const BatchReport report = Scheduler(mlcd, options).run(workload);
+
+  // The breach is not an error: the session was finalized through the
+  // safe-mode path with the best deployment known at the cutoff.
+  const JobOutcome& capped = report.jobs[0];
+  ASSERT_TRUE(capped.ok);
+  EXPECT_EQ(capped.slo, SloBreach::kProbes);
+  EXPECT_EQ(capped.report.result.trace.size(), 4u);
+  EXPECT_TRUE(capped.report.result.found);
+  EXPECT_EQ(report.slo_exceeded_count(), 1);
+
+  // ... and it never leaks onto its neighbours: the uncapped job is
+  // still bit-identical to its solo run.
+  ASSERT_TRUE(report.jobs[1].ok);
+  EXPECT_EQ(report.jobs[1].slo, SloBreach::kNone);
+  EXPECT_EQ(report.jobs[1].report.to_json(), solo);
+}
+
+TEST(ChaosService, SloDeadlineAndBudgetBreachesAreTyped) {
+  const system::Mlcd mlcd;
+  const Workload workload = parse_workload(R"({
+    "jobs": [
+      {"name": "late", "model": "resnet", "deadline_hours": 24,
+       "seed": 7, "max_nodes": 10, "slo_deadline_hours": 0.001},
+      {"name": "broke", "model": "resnet", "deadline_hours": 24,
+       "seed": 7, "max_nodes": 10, "slo_budget_dollars": 0.001}
+    ]
+  })");
+  SchedulerOptions options;
+  options.share_probes = false;
+  const BatchReport report = Scheduler(mlcd, options).run(workload);
+  ASSERT_TRUE(report.jobs[0].ok);
+  EXPECT_EQ(report.jobs[0].slo, SloBreach::kDeadline);
+  EXPECT_EQ(report.jobs[0].report.result.trace.size(), 1u);
+  ASSERT_TRUE(report.jobs[1].ok);
+  EXPECT_EQ(report.jobs[1].slo, SloBreach::kBudget);
+  EXPECT_EQ(report.jobs[1].report.result.trace.size(), 1u);
+  EXPECT_EQ(report.slo_exceeded_count(), 2);
+}
+
+TEST(ChaosService, ChaosAndSloRequireProbeGranularity) {
+  const system::Mlcd mlcd;
+  SchedulerOptions legacy;
+  legacy.probe_granularity = false;
+  const Scheduler scheduler(mlcd, legacy);
+  EXPECT_THROW(
+      scheduler.run(one_job(R"({"seed": 1, "stall_rate": 0.5})")),
+      std::invalid_argument);
+  const Workload slo = parse_workload(R"({
+    "jobs": [{"name": "a", "model": "resnet", "deadline_hours": 24,
+              "slo_max_probes": 4}]
+  })");
+  EXPECT_THROW(scheduler.run(slo), std::invalid_argument);
+  // A fault-free, SLO-free workload still runs in legacy mode.
+  const BatchReport report = scheduler.run(small_fleet());
+  EXPECT_EQ(report.succeeded(), 4);
+}
+
+// ------------------------------------------------- seeded chaos sweep
+//
+// The tentpole's soak: a multi-tenant fleet under all four fault kinds
+// at once, driven by a seed CI rotates via MLCD_CHAOS_SEED. Asserts the
+// full recovery contract: nobody fails, reserve/quota/budget invariants
+// hold, jobs untouched by crashes stay bit-identical to their solo
+// runs, crash-restaged jobs re-execute zero probes, and the whole
+// chaotic batch is deterministic across thread counts and repeats.
+
+Workload chaos_fleet(std::uint64_t seed) {
+  static constexpr const char* kModels[] = {"alexnet", "resnet",
+                                            "char_rnn"};
+  static constexpr const char* kMethods[] = {"heterbo", "heterbo",
+                                             "conv-bo", "cherrypick"};
+  Workload workload;
+  workload.chaos.seed = seed;
+  workload.chaos.lane_crash_rate = 0.08;
+  workload.chaos.revocation_rate = 0.06;
+  workload.chaos.probe_loss_rate = 0.06;
+  workload.chaos.stall_rate = 0.05;
+  for (int t = 0; t < 3; ++t) {
+    for (int j = 0; j < 4; ++j) {
+      JobSpec spec;
+      spec.tenant = "tenant-" + std::to_string(t);
+      spec.name = spec.tenant + "-job-" + std::to_string(j);
+      spec.request.model = kModels[j % 3];
+      spec.request.search_method = kMethods[j % 4];
+      spec.request.seed = static_cast<std::uint64_t>(100 + j);
+      spec.request.max_nodes = 10;
+      if (j % 2 == 0) {
+        spec.request.requirements.deadline_hours = 18.0 + j;
+      } else {
+        spec.request.requirements.budget_dollars = 150.0 + 25.0 * j;
+      }
+      workload.jobs.push_back(std::move(spec));
+    }
+  }
+  return workload;
+}
+
+/// The deterministic face of one job's outcome: everything that must be
+/// bit-identical across runs and thread counts of the same chaotic
+/// workload (wall-clock stats and cache-timing counters excluded).
+std::string deterministic_signature(const JobOutcome& job) {
+  std::ostringstream out;
+  out.precision(17);
+  out << job.name << '|' << job.ok << '|' << job.error_code << '|'
+      << job.stats.lane_crashes << '|' << job.stats.grant_revocations
+      << '|' << job.stats.probe_losses << '|'
+      << job.stats.scheduler_stalls << '|'
+      << job.stats.chaos_backoff_hours << '|'
+      << slo_breach_name(job.slo) << '|' << job.report.to_json();
+  return out.str();
+}
+
+TEST(ChaosService, SeededSweepRecoversEveryTenantDeterministically) {
+  const std::uint64_t seed = chaos_seed_from_env();
+  const system::Mlcd mlcd;
+  const Workload workload = chaos_fleet(seed);
+
+  std::vector<std::string> solo_json;
+  std::vector<system::RunReport> solo_reports;
+  for (const JobSpec& spec : workload.jobs) {
+    const system::DeployResult result = mlcd.deploy(spec.request);
+    ASSERT_TRUE(result.ok()) << spec.name;
+    solo_json.push_back(result.report().to_json());
+    solo_reports.push_back(result.report());
+  }
+
+  std::vector<std::string> reference;
+  for (const int threads : {1, 4, 4}) {  // repeat 4 to catch race luck
+    SchedulerOptions options;
+    options.threads = threads;
+    options.capacity_nodes = 16;
+    options.tenant_max_jobs = 2;
+    const BatchReport report = Scheduler(mlcd, options).run(workload);
+    ASSERT_EQ(report.jobs.size(), workload.jobs.size());
+    EXPECT_EQ(report.chaos.seed, seed);
+
+    int crashed_jobs = 0;
+    for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+      const JobOutcome& job = report.jobs[i];
+      // Chaos at these rates must never fail a job: every fault kind is
+      // absorbed and recovered from.
+      ASSERT_TRUE(job.ok) << job.name << " [" << job.error_code
+                          << "]: " << job.error_message;
+      EXPECT_EQ(job.slo, SloBreach::kNone);
+      // Budget invariant: recovery never pushes a job over its own
+      // scenario constraints (its simulated accounting is untouched).
+      EXPECT_TRUE(
+          job.report.result.meets_constraints(job.report.scenario))
+          << job.name;
+      if (job.stats.lane_crashes == 0) {
+        // Jobs no crash touched — including ones that absorbed
+        // revocations, losses, and stalls — are bit-identical to solo.
+        EXPECT_EQ(job.report.to_json(), solo_json[i])
+            << "threads=" << threads << " job=" << job.name;
+        EXPECT_EQ(job.report.result.replayed_probes, 0) << job.name;
+      } else {
+        // Crash-restaged jobs differ only in replay bookkeeping:
+        // same probes, same measurements, same money — zero
+        // re-executions.
+        ++crashed_jobs;
+        EXPECT_GT(job.report.result.replayed_probes, 0) << job.name;
+        expect_equal_modulo_replay(job.report.result,
+                                   solo_reports[i].result);
+      }
+    }
+
+    // The sweep must actually exercise every fault kind (rates and
+    // trace lengths are sized so this holds for any seed).
+    EXPECT_GT(report.total_lane_crashes(), 0);
+    EXPECT_GT(report.total_revocations(), 0);
+    EXPECT_GT(report.total_probe_losses(), 0);
+    EXPECT_GT(report.total_scheduler_stalls(), 0);
+    EXPECT_GT(crashed_jobs, 0);
+
+    // Reserve and quota invariants under churn.
+    EXPECT_LE(report.peak_capacity_nodes, 16);
+    EXPECT_LE(report.peak_tenant_jobs, 2);
+    EXPECT_GE(report.makespan_seconds, 0.0);
+
+    // Same workload + same chaos_seed => bit-identical deterministic
+    // outcomes, at any thread count, every run.
+    std::vector<std::string> signature;
+    signature.reserve(report.jobs.size());
+    for (const JobOutcome& job : report.jobs) {
+      signature.push_back(deterministic_signature(job));
+    }
+    if (reference.empty()) {
+      reference = std::move(signature);
+    } else {
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(signature[i], reference[i])
+            << "threads=" << threads << " job=" << report.jobs[i].name;
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------ BatchReport
 
 TEST(BatchReport, JsonRoundTripsUnderTheSchema) {
@@ -471,6 +1054,80 @@ TEST(BatchReport, JsonRoundTripsUnderTheSchema) {
     // ... and its bytes are exactly the solo document's bytes.
     EXPECT_EQ(report.jobs[i].report.to_json(),
               mlcd.deploy(small_fleet().jobs[i].request).report().to_json());
+  }
+}
+
+// Schema v3 round-trip: the chaos/SLO additions land in their own keys
+// and every v2 key is byte-for-byte where a v2 reader expects it.
+TEST(BatchReport, V3JsonCarriesChaosSloAndKeepsV2Keys) {
+  const system::Mlcd mlcd;
+  Workload workload = parse_workload(R"({
+    "chaos": {"seed": 11, "probe_loss_rate": 1.0},
+    "jobs": [
+      {"name": "lossy", "model": "resnet", "deadline_hours": 24,
+       "seed": 7, "max_nodes": 10},
+      {"name": "capped", "model": "alexnet", "budget_dollars": 150,
+       "seed": 9, "max_nodes": 10, "slo_max_probes": 3}
+    ]
+  })");
+  SchedulerOptions options;
+  options.threads = 2;
+  options.capacity_nodes = 20;
+  const BatchReport report = Scheduler(mlcd, options).run(workload);
+  ASSERT_EQ(report.succeeded(), 2);
+
+  const util::JsonValue doc = util::parse_json(report.to_json());
+  EXPECT_EQ(doc.at("schema_version").as_number(), 3);
+
+  // v3: batch-level chaos environment (the reproducibility handle).
+  const util::JsonValue& scheduler = doc.at("scheduler");
+  EXPECT_EQ(scheduler.at("chaos_seed").as_number(), 11);
+  const util::JsonValue& chaos = scheduler.at("chaos");
+  EXPECT_TRUE(chaos.at("enabled").as_bool());
+  EXPECT_DOUBLE_EQ(chaos.at("probe_loss_rate").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(chaos.at("lane_crash_rate").as_number(), 0.0);
+
+  // v3: fleet fault totals.
+  const util::JsonValue& faults = doc.at("faults");
+  EXPECT_EQ(faults.at("probe_losses").as_number(),
+            report.total_probe_losses());
+  EXPECT_EQ(faults.at("lane_crashes").as_number(), 0);
+  EXPECT_EQ(faults.at("grant_revocations").as_number(), 0);
+  EXPECT_EQ(faults.at("scheduler_stalls").as_number(), 0);
+  EXPECT_EQ(faults.at("slo_exceeded").as_number(), 1);
+  EXPECT_GT(report.total_probe_losses(), 0);
+
+  // v3: per-job fault counters and the typed SLO object.
+  const auto& jobs = doc.at("jobs").as_array();
+  ASSERT_EQ(jobs.size(), 2u);
+  const util::JsonValue& lossy = jobs[0].at("stats");
+  EXPECT_EQ(lossy.at("probe_losses").as_number(),
+            report.jobs[0].stats.probe_losses);
+  EXPECT_EQ(lossy.at("lane_crashes").as_number(), 0);
+  EXPECT_EQ(lossy.at("grant_revocations").as_number(), 0);
+  EXPECT_EQ(lossy.at("scheduler_stalls").as_number(), 0);
+  EXPECT_DOUBLE_EQ(lossy.at("chaos_backoff_hours").as_number(), 0.0);
+  EXPECT_FALSE(jobs[0].at("slo").at("exceeded").as_bool());
+  EXPECT_EQ(jobs[0].at("slo").at("code").as_string(), "");
+  EXPECT_EQ(jobs[0].at("slo").at("breach").as_string(), "none");
+  EXPECT_TRUE(jobs[1].at("slo").at("exceeded").as_bool());
+  EXPECT_EQ(jobs[1].at("slo").at("code").as_string(), "slo_exceeded");
+  EXPECT_EQ(jobs[1].at("slo").at("breach").as_string(), "probes");
+
+  // Every key a v2 reader consumes is still present and typed the same.
+  EXPECT_EQ(scheduler.at("threads").as_number(), 2);
+  EXPECT_EQ(scheduler.at("capacity_nodes").as_number(), 20);
+  EXPECT_TRUE(scheduler.at("probe_granularity").as_bool());
+  EXPECT_GE(scheduler.at("makespan_seconds").as_number(), 0.0);
+  EXPECT_GE(scheduler.at("lane_idle_fraction").as_number(), 0.0);
+  EXPECT_GE(doc.at("probe_cache").at("hits").as_number(), 0.0);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(jobs[i].at("ok").as_bool());
+    EXPECT_GE(jobs[i].at("stats").at("session_parks").as_number(), 0.0);
+    EXPECT_GE(jobs[i].at("stats").at("lane_busy_seconds").as_number(),
+              0.0);
+    EXPECT_EQ(jobs[i].at("report").at("schema_version").as_number(),
+              system::RunReport::kJsonSchemaVersion);
   }
 }
 
