@@ -84,7 +84,7 @@ void BM_ProfilerProbe(benchmark::State& state) {
   profiler::Profiler profiler(s.perf, s.space, meter, 1);
   const cloud::Deployment d{1, 10};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(profiler.profile(s.config, d));
+    benchmark::DoNotOptimize(profiler.profile(s.config, {d}));
   }
 }
 BENCHMARK(BM_ProfilerProbe);

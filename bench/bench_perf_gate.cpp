@@ -12,8 +12,15 @@
 // calibration-normalized ratios: every throughput is divided by the
 // machine's serial GP-fit throughput measured in the same process.
 //
+// The binary also carries the PR-7 multi-fidelity gate: a deterministic
+// HeterBO ladder-vs-full series over the paper's two constrained
+// scenarios, written to BENCH_PR7.json (--out7/--baseline7). Gated
+// claims: probe cost >= 5% lower with the ladder, final deployment
+// within 10% of the full-fidelity pick, constraints preserved.
+//
 // Usage:
 //   bench_perf_gate [--out FILE] [--baseline FILE]
+//                   [--out7 FILE] [--baseline7 FILE]
 //                   [--max-regression FRACTION] [--quick]
 #include <algorithm>
 #include <chrono>
@@ -32,6 +39,7 @@
 #include "gp/gp_regressor.hpp"
 #include "gp/kernel.hpp"
 #include "journal/journal.hpp"
+#include "profiler/fidelity.hpp"
 #include "search/heter_bo.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -257,9 +265,88 @@ JournalOverheadReport journal_overhead(int trials) {
   return report;
 }
 
+// --------------------------------------------- PR-7 multi-fidelity gate
+
+/// One scenario's ladder-vs-full HeterBO comparison, seed-averaged.
+struct FidelityScenarioReport {
+  std::string name;
+  double ladder_probe_cost = 0.0;  ///< mean dollars spent probing
+  double full_probe_cost = 0.0;
+  double ladder_quality = 0.0;  ///< mean scenario metric (lower = better)
+  double full_quality = 0.0;
+  int seeds = 0;
+  bool all_found = true;           ///< both modes found a deployment
+  bool constraints_ok = true;      ///< ladder met constraints wherever
+                                   ///< the full-fidelity run did
+};
+
+/// Runs HeterBO with the fidelity ladder on and off over the paper's two
+/// constrained scenarios (restricted 3-type catalog, several seeds) and
+/// reports probe spend vs final-deployment quality. The gated claim:
+/// cheap low-fidelity sweeps plus full-fidelity confirmation reach the
+/// same-or-comparable deployment at measurably lower total probe cost.
+std::vector<FidelityScenarioReport> multi_fidelity_comparison() {
+  const cloud::InstanceCatalog cat =
+      bench::subset_catalog({"c5.xlarge", "c5.4xlarge", "p2.xlarge"});
+  const cloud::DeploymentSpace space(cat, 50);
+  const perf::TrainingPerfModel perf(cat);
+
+  struct Case {
+    const char* name;
+    const char* model;
+    search::Scenario scenario;
+    // The scenario's own "minimize this" metric of the final pick.
+    double (*quality)(const search::SearchResult&);
+  };
+  const Case cases[] = {
+      {"budget", "char_rnn", search::Scenario::fastest_under_budget(120.0),
+       [](const search::SearchResult& r) { return r.training_hours; }},
+      {"deadline", "resnet", search::Scenario::cheapest_under_deadline(24.0),
+       [](const search::SearchResult& r) { return r.training_cost; }},
+  };
+
+  std::vector<FidelityScenarioReport> reports;
+  for (const Case& c : cases) {
+    FidelityScenarioReport report;
+    report.name = c.name;
+    const perf::TrainingConfig config = bench::make_config(c.model);
+    for (const std::uint64_t seed : {1ULL, 7ULL, 13ULL, 21ULL}) {
+      search::SearchProblem full_problem =
+          bench::make_problem(config, space, c.scenario, seed);
+      const search::SearchResult full =
+          bench::run_method(perf, full_problem, "heterbo");
+
+      search::SearchProblem ladder_problem =
+          bench::make_problem(config, space, c.scenario, seed);
+      ladder_problem.profiler_options.fidelity.rungs =
+          profiler::parse_fidelity_rungs("0.5:1,0.25:2");
+      const search::SearchResult ladder =
+          bench::run_method(perf, ladder_problem, "heterbo");
+
+      ++report.seeds;
+      report.all_found = report.all_found && full.found && ladder.found;
+      if (full.meets_constraints(c.scenario) &&
+          !ladder.meets_constraints(c.scenario)) {
+        report.constraints_ok = false;
+      }
+      report.ladder_probe_cost += ladder.profile_cost;
+      report.full_probe_cost += full.profile_cost;
+      report.ladder_quality += c.quality(ladder);
+      report.full_quality += c.quality(full);
+    }
+    report.ladder_probe_cost /= report.seeds;
+    report.full_probe_cost /= report.seeds;
+    report.ladder_quality /= report.seeds;
+    report.full_quality /= report.seeds;
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--out FILE] [--baseline FILE] "
+               "[--out7 FILE] [--baseline7 FILE] "
                "[--max-regression FRACTION] [--quick]\n",
                argv0);
   return 2;
@@ -270,6 +357,8 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_PR2.json";
   std::string baseline_path;
+  std::string out7_path = "BENCH_PR7.json";
+  std::string baseline7_path;
   double max_regression = 0.20;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
@@ -278,6 +367,10 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (arg == "--out7" && i + 1 < argc) {
+      out7_path = argv[++i];
+    } else if (arg == "--baseline7" && i + 1 < argc) {
+      baseline7_path = argv[++i];
     } else if (arg == "--max-regression" && i + 1 < argc) {
       max_regression = std::atof(argv[++i]);
     } else if (arg == "--quick") {
@@ -400,6 +493,119 @@ int main(int argc, char** argv) {
       } else {
         std::printf("  baseline check %-32s ok (%+.1f%%)\n", key,
                     100.0 * (ratio / base_ratio - 1.0));
+      }
+    }
+  }
+
+  // ------------------------------------------ PR-7 multi-fidelity gate
+  //
+  // Everything below is deterministic simulation (dollars and simulated
+  // hours, not wall time), so the numbers are machine-independent and
+  // the baseline comparison needs no calibration.
+  std::printf("PR-7 multi-fidelity gate: running HeterBO ladder-vs-full "
+              "series...\n");
+  const std::vector<FidelityScenarioReport> fidelity =
+      multi_fidelity_comparison();
+
+  util::JsonWriter json7;
+  json7.begin_object();
+  json7.key("schema_version").value(1);
+  json7.key("bench").value("pr7-multi-fidelity-gate");
+  json7.key("ladder").value("0.5:1,0.25:2");
+  json7.key("scenarios").begin_array();
+  for (const FidelityScenarioReport& r : fidelity) {
+    const double cost_ratio =
+        r.full_probe_cost > 0.0 ? r.ladder_probe_cost / r.full_probe_cost
+                                : 1.0;
+    const double quality_ratio =
+        r.full_quality > 0.0 ? r.ladder_quality / r.full_quality : 1.0;
+    std::printf(
+        "  %-10s probe cost $%.2f vs $%.2f (%.0f%%), quality %.4g vs "
+        "%.4g (%+.1f%%), seeds=%d\n",
+        r.name.c_str(), r.ladder_probe_cost, r.full_probe_cost,
+        100.0 * cost_ratio, r.ladder_quality, r.full_quality,
+        100.0 * (quality_ratio - 1.0), r.seeds);
+    json7.begin_object();
+    json7.key("scenario").value(r.name);
+    json7.key("seeds").value(r.seeds);
+    json7.key("ladder_probe_cost").value(r.ladder_probe_cost);
+    json7.key("full_probe_cost").value(r.full_probe_cost);
+    json7.key("probe_cost_ratio").value(cost_ratio);
+    json7.key("ladder_quality").value(r.ladder_quality);
+    json7.key("full_quality").value(r.full_quality);
+    json7.key("quality_ratio").value(quality_ratio);
+    json7.key("all_found").value(r.all_found);
+    json7.key("constraints_ok").value(r.constraints_ok);
+    json7.end_object();
+
+    if (!r.all_found) {
+      std::fprintf(stderr,
+                   "GATE FAIL: %s: a HeterBO run found no deployment\n",
+                   r.name.c_str());
+      ok = false;
+    }
+    if (!r.constraints_ok) {
+      std::fprintf(stderr,
+                   "GATE FAIL: %s: the ladder run violated constraints "
+                   "the full-fidelity run satisfied\n",
+                   r.name.c_str());
+      ok = false;
+    }
+    // The tentpole claim: measurably (>= 5%) cheaper probing...
+    if (cost_ratio > 0.95) {
+      std::fprintf(stderr,
+                   "GATE FAIL: %s: multi-fidelity probe cost is %.0f%% "
+                   "of full-fidelity (<= 95%% required)\n",
+                   r.name.c_str(), 100.0 * cost_ratio);
+      ok = false;
+    }
+    // ...at a same-or-comparable final deployment (the confirm stage
+    // may settle on a near-optimal neighbor; 10% is the envelope the
+    // de-biased low-fidelity measurements guarantee).
+    if (quality_ratio > 1.10) {
+      std::fprintf(stderr,
+                   "GATE FAIL: %s: ladder final deployment is %.1f%% "
+                   "worse than full-fidelity (<= 10%% allowed)\n",
+                   r.name.c_str(), 100.0 * (quality_ratio - 1.0));
+      ok = false;
+    }
+  }
+  json7.end_array();
+  json7.end_object();
+  {
+    std::ofstream out(out7_path);
+    out << json7.str() << "\n";
+  }
+  std::printf("wrote %s\n", out7_path.c_str());
+
+  if (!baseline7_path.empty()) {
+    std::ifstream in(baseline7_path);
+    if (!in) {
+      std::fprintf(stderr, "GATE FAIL: cannot read baseline %s\n",
+                   baseline7_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const util::JsonValue baseline = util::parse_json(buffer.str());
+    for (const util::JsonValue& base : baseline.at("scenarios").as_array()) {
+      const std::string name = base.at("scenario").as_string();
+      for (const FidelityScenarioReport& r : fidelity) {
+        if (r.name != name) continue;
+        const double base_ratio = base.at("probe_cost_ratio").as_number();
+        const double ratio = r.full_probe_cost > 0.0
+                                 ? r.ladder_probe_cost / r.full_probe_cost
+                                 : 1.0;
+        if (ratio > base_ratio * (1.0 + max_regression)) {
+          std::fprintf(stderr,
+                       "GATE FAIL: %s probe-cost ratio regressed "
+                       "%.4g -> %.4g vs baseline\n",
+                       name.c_str(), base_ratio, ratio);
+          ok = false;
+        } else {
+          std::printf("  baseline7 check %-31s ok (%.4g vs %.4g)\n",
+                      name.c_str(), ratio, base_ratio);
+        }
       }
     }
   }

@@ -16,6 +16,7 @@
 #include "cloud/instance.hpp"
 #include "mlcd/mlcd.hpp"
 #include "models/model_zoo.hpp"
+#include "profiler/fidelity.hpp"
 #include "service/scheduler.hpp"
 #include "service/workload.hpp"
 #include "util/table.hpp"
@@ -57,6 +58,18 @@ deploy/compare options:
   --spot                buy spot capacity (cheaper, revocable)
   --trace               print the probe-by-probe search trace
   --json                emit the deploy report as JSON
+
+multi-fidelity options (heterbo; see docs/multi-fidelity.md):
+  --fidelity-rungs <s>  enable the fidelity ladder: comma-separated
+                        <sample_fraction>:<iteration_tier> rungs,
+                        highest fidelity first, e.g. 0.5:1,0.25:2.
+                        Exploration probes run at the cheapest rung;
+                        the best candidates are confirmed at full
+                        fidelity before selection                [off]
+  --fidelity-max-bias <p>   throughput over-estimation of a probe
+                        that samples none of the dataset        [0.25]
+  --fidelity-max-noise <p>  extra lognormal sigma such a probe adds
+                        on top of the profiler noise            [0.06]
 
 chaos options (fault injection; see docs/fault-model.md):
   --failure-rate <p>    per-node launch-failure probability   [0]
@@ -133,6 +146,16 @@ system::JobRequest request_from(const Args& args) {
   if (const auto rate = args.get("failure-rate")) {
     job.profiler_options.faults.launch_failure_per_node =
         parse_fraction(*rate);
+  }
+  if (const auto rungs = args.get("fidelity-rungs")) {
+    job.profiler_options.fidelity.rungs =
+        profiler::parse_fidelity_rungs(*rungs);
+  }
+  if (const auto bias = args.get("fidelity-max-bias")) {
+    job.profiler_options.fidelity.max_speed_bias = parse_fraction(*bias);
+  }
+  if (const auto noise = args.get("fidelity-max-noise")) {
+    job.profiler_options.fidelity.max_extra_noise = parse_fraction(*noise);
   }
   if (const auto rate = args.get("straggler-rate")) {
     job.profiler_options.faults.straggler_rate = parse_fraction(*rate);

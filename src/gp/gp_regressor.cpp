@@ -47,6 +47,7 @@ GpRegressor::GpRegressor(const GpRegressor& other)
       x_(other.x_),
       y_raw_(other.y_raw_),
       y_(other.y_),
+      noise_multipliers_(other.noise_multipliers_),
       y_mean_(other.y_mean_),
       y_scale_(other.y_scale_),
       factor_(other.factor_),
@@ -64,6 +65,7 @@ GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
   x_ = other.x_;
   y_raw_ = other.y_raw_;
   y_ = other.y_;
+  noise_multipliers_ = other.noise_multipliers_;
   y_mean_ = other.y_mean_;
   y_scale_ = other.y_scale_;
   factor_ = other.factor_;
@@ -77,12 +79,35 @@ GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
 
 std::size_t GpRegressor::input_dim() const noexcept { return x_.cols(); }
 
+bool GpRegressor::homoscedastic_noise() const noexcept {
+  for (const double m : noise_multipliers_) {
+    if (m != 1.0) return false;
+  }
+  return true;
+}
+
 void GpRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y) {
+  fit(x, y, linalg::Vector(y.size(), 1.0));
+}
+
+void GpRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y,
+                      const linalg::Vector& noise_multipliers) {
   if (x.rows() == 0 || x.rows() != y.size()) {
     throw std::invalid_argument("GpRegressor::fit: shape mismatch");
   }
+  if (noise_multipliers.size() != y.size()) {
+    throw std::invalid_argument(
+        "GpRegressor::fit: noise_multipliers size mismatch");
+  }
+  for (const double m : noise_multipliers) {
+    if (!(m > 0.0) || !std::isfinite(m)) {
+      throw std::invalid_argument(
+          "GpRegressor::fit: noise multipliers must be finite and > 0");
+    }
+  }
   x_ = x;
   y_raw_ = y;
+  noise_multipliers_ = noise_multipliers;
 
   // Target normalization.
   y_mean_ = 0.0;
@@ -125,7 +150,15 @@ double GpRegressor::refit_with_current_params() {
       k(j, i) = v;
     }
   }
-  k.add_to_diagonal(noise_stddev_ * noise_stddev_);
+  if (homoscedastic_noise()) {
+    // Bit-exact legacy path: every multi-fidelity-free fit lands here.
+    k.add_to_diagonal(noise_stddev_ * noise_stddev_);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double m = noise_multipliers_[i];
+      k(i, i) += noise_stddev_ * noise_stddev_ * m * m;
+    }
+  }
 
   try {
     factor_.emplace(k);
@@ -220,12 +253,22 @@ void GpRegressor::optimize_hyperparameters() {
 }
 
 void GpRegressor::add_observation(std::span<const double> x, double y) {
+  add_observation(x, y, 1.0);
+}
+
+void GpRegressor::add_observation(std::span<const double> x, double y,
+                                  double noise_multiplier) {
   if (!factor_) {
     throw std::logic_error("GpRegressor::add_observation: call fit() first");
   }
   if (x.size() != x_.cols()) {
     throw std::invalid_argument(
         "GpRegressor::add_observation: dimension mismatch");
+  }
+  if (!(noise_multiplier > 0.0) || !std::isfinite(noise_multiplier)) {
+    throw std::invalid_argument(
+        "GpRegressor::add_observation: noise multiplier must be finite "
+        "and > 0");
   }
 
   // Grow the stored design matrix and raw targets.
@@ -238,6 +281,8 @@ void GpRegressor::add_observation(std::span<const double> x, double y) {
   }
   linalg::Vector y_grown = y_raw_;
   y_grown.push_back(y);
+  linalg::Vector m_grown = noise_multipliers_;
+  m_grown.push_back(noise_multiplier);
 
   // Hyperparameters and the target normalization are functions of the
   // whole data set; on the retune schedule a full refit is the correct
@@ -251,7 +296,7 @@ void GpRegressor::add_observation(std::span<const double> x, double y) {
        (options_.refit_every > 1 &&
         adds_since_refit_ + 1 >= options_.refit_every));
   if (scheduled_refit) {
-    fit(grown, y_grown);
+    fit(grown, y_grown, m_grown);
     return;
   }
 
@@ -265,7 +310,13 @@ void GpRegressor::add_observation(std::span<const double> x, double y) {
     col[i] = (*kernel_)(x_.row(i), x);
   }
   const double diag =
-      (*kernel_)(x, x) + noise_stddev_ * noise_stddev_ + factor_->jitter();
+      noise_multiplier == 1.0
+          ? (*kernel_)(x, x) + noise_stddev_ * noise_stddev_ +
+                factor_->jitter()
+          : (*kernel_)(x, x) +
+                noise_stddev_ * noise_stddev_ * noise_multiplier *
+                    noise_multiplier +
+                factor_->jitter();
   if (!factor_->try_extend(col, diag, kMinBorderPivotRatio)) {
     // Tolerance-checked fallback: the border is numerically unsafe
     // (typically a near-duplicate point); the full refit reapplies the
@@ -273,12 +324,13 @@ void GpRegressor::add_observation(std::span<const double> x, double y) {
     MLCD_LOG(kDebug, "gp")
         << "incremental update rejected (ill-conditioned border), "
            "falling back to full refit";
-    fit(grown, y_grown);
+    fit(grown, y_grown, m_grown);
     return;
   }
 
   x_ = std::move(grown);
   y_raw_ = std::move(y_grown);
+  noise_multipliers_ = std::move(m_grown);
   y_.push_back((y_raw_.back() - y_mean_) / y_scale_);
   factor_->extend_solve_lower(w_, y_);
   alpha_ = factor_->solve_lower_transpose(w_);
@@ -306,7 +358,8 @@ void GpRegressor::refit_full(bool retune_hyperparameters) {
   if (retune_hyperparameters) {
     const linalg::Matrix x = x_;
     const linalg::Vector y = y_raw_;
-    fit(x, y);
+    const linalg::Vector m = noise_multipliers_;
+    fit(x, y, m);
     return;
   }
   const double lml = refit_with_current_params();

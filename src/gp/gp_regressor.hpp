@@ -79,6 +79,16 @@ class GpRegressor {
   /// Throws std::invalid_argument on shape mismatch or empty data.
   void fit(const linalg::Matrix& x, const linalg::Vector& y);
 
+  /// Heteroscedastic fit: `noise_multipliers` (n entries, all > 0) scale
+  /// the per-observation noise stddev — observation i contributes
+  /// (noise_stddev * m_i)^2 to the covariance diagonal. Low-fidelity
+  /// probes carry multipliers > 1 so the GP trusts them less without
+  /// discarding them (the TrimTuner treatment). When every multiplier is
+  /// exactly 1.0 the arithmetic is bit-identical to the homoscedastic
+  /// fit() above.
+  void fit(const linalg::Matrix& x, const linalg::Vector& y,
+           const linalg::Vector& noise_multipliers);
+
   /// Adds one observation to a fitted model. When hyperparameter
   /// optimization and target normalization are both disabled — or the
   /// GpOptions::refit_every schedule says this add is not a retune
@@ -89,6 +99,11 @@ class GpRegressor {
   /// scratch. Throws std::logic_error before fit() and
   /// std::invalid_argument on dimension mismatch.
   void add_observation(std::span<const double> x, double y);
+
+  /// add_observation() with a per-observation noise multiplier (> 0);
+  /// the plain overload is exactly this with multiplier 1.0.
+  void add_observation(std::span<const double> x, double y,
+                       double noise_multiplier);
 
   /// Rebuilds the covariance factor from the stored observations in
   /// O(n³). With `retune_hyperparameters` the MLE and target
@@ -146,11 +161,16 @@ class GpRegressor {
   double noise_stddev() const noexcept { return noise_stddev_; }
 
  private:
-  /// Builds K(X, X) + sigma_n^2 I and factorizes; returns log marginal
-  /// likelihood, or -inf when the factorization fails.
+  /// Builds K(X, X) + sigma_n^2 diag(m^2) and factorizes; returns log
+  /// marginal likelihood, or -inf when the factorization fails.
   double refit_with_current_params();
 
   void optimize_hyperparameters();
+
+  /// True when every stored noise multiplier is exactly 1.0 — the
+  /// homoscedastic case, which must keep the legacy bit-exact
+  /// add_to_diagonal path.
+  bool homoscedastic_noise() const noexcept;
 
   std::unique_ptr<Kernel> kernel_;
   GpOptions options_;
@@ -159,6 +179,9 @@ class GpRegressor {
   linalg::Matrix x_;          // stored design points
   linalg::Vector y_raw_;      // original targets
   linalg::Vector y_;          // normalized targets
+  /// Per-observation noise multipliers, parallel to y_raw_ (1.0 for
+  /// homoscedastic observations).
+  linalg::Vector noise_multipliers_;
   double y_mean_ = 0.0;
   double y_scale_ = 1.0;
 

@@ -83,9 +83,14 @@ class Composer {
 };
 
 std::string compose_header(const JournalHeader& h) {
+  // Version is derived from content, not from h.version: a run without a
+  // fidelity ladder writes a version-1 header byte-identically to the
+  // pre-ladder format (the golden suite pins those bytes), and only a
+  // run that actually uses the ladder stamps version 2.
+  const int version = h.fidelity_ladder_hash != 0 ? 2 : 1;
   Composer c;
   c.field("t", "header")
-      .field("version", h.version)
+      .field("version", version)
       .field("method", h.method)
       .field("model", h.model)
       .field("platform", h.platform)
@@ -99,6 +104,9 @@ std::string compose_header(const JournalHeader& h) {
       .field_u64("catalog_hash", h.catalog_hash)
       .field_u64("profiler_options_hash", h.profiler_options_hash)
       .field_u64("warm_start_hash", h.warm_start_hash);
+  if (h.fidelity_ladder_hash != 0) {
+    c.field_u64("fidelity_ladder", h.fidelity_ladder_hash);
+  }
   return c.str();
 }
 
@@ -133,6 +141,12 @@ std::string compose_probe(const ProbeRecord& p) {
       .field("fault", p.fault)
       .field("backoff_hours", p.backoff_hours)
       .raw("attempt_log", attempts.str());
+  // Fidelity fields travel sparsely: full-fidelity records (and thus
+  // every record of a ladder-free run) keep the version-1 byte layout.
+  if (p.sample_fraction != 1.0 || p.iteration_tier != 0) {
+    c.field("sample_fraction", p.sample_fraction)
+        .field("iteration_tier", p.iteration_tier);
+  }
   return c.str();
 }
 
@@ -189,10 +203,10 @@ std::uint64_t require_u64(const util::JsonValue& obj, std::string_view key) {
 JournalHeader parse_header(const util::JsonValue& obj) {
   JournalHeader h;
   h.version = require_int(obj, "version");
-  if (h.version != kJournalFormatVersion) {
+  if (h.version < 1 || h.version > kJournalFormatVersion) {
     fail(JournalErrorCode::kVersionMismatch,
          "journal format version " + std::to_string(h.version) +
-             " is not supported (expected " +
+             " is not supported (expected 1.." +
              std::to_string(kJournalFormatVersion) + ")");
   }
   h.method = require_string(obj, "method");
@@ -208,6 +222,10 @@ JournalHeader parse_header(const util::JsonValue& obj) {
   h.catalog_hash = require_u64(obj, "catalog_hash");
   h.profiler_options_hash = require_u64(obj, "profiler_options_hash");
   h.warm_start_hash = require_u64(obj, "warm_start_hash");
+  // Absent in version-1 headers (and in version-2 headers of ladder-free
+  // runs, which are never written — but tolerate them): ladder disabled.
+  h.fidelity_ladder_hash =
+      obj.contains("fidelity_ladder") ? require_u64(obj, "fidelity_ladder") : 0;
   return h;
 }
 
@@ -244,6 +262,12 @@ ProbeRecord parse_probe(const util::JsonValue& obj) {
     e.backoff_hours = require_number(item, "backoff_hours");
     p.attempt_log.push_back(e);
   }
+  // Absent on full-fidelity records and every version-1 record.
+  p.sample_fraction = obj.contains("sample_fraction")
+                          ? require_number(obj, "sample_fraction")
+                          : 1.0;
+  p.iteration_tier =
+      obj.contains("iteration_tier") ? require_int(obj, "iteration_tier") : 0;
   return p;
 }
 

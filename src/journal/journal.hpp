@@ -68,7 +68,12 @@ class JournalError : public std::runtime_error {
 
 /// Journal format version (the number in the MLCDJ1 frame magic and the
 /// header record). Bumped on any change to framing or record layout.
-inline constexpr int kJournalFormatVersion = 1;
+/// Version 2 adds the fidelity ladder: a `fidelity_ladder` header field
+/// and per-record `sample_fraction`/`iteration_tier` keys. Both are
+/// emitted sparsely — a run with the ladder disabled writes a version-1
+/// journal byte-identically, and version-1 journals read back as
+/// full-fidelity runs.
+inline constexpr int kJournalFormatVersion = 2;
 
 /// Everything that shapes the probe sequence of a run. Two runs whose
 /// headers are equal and whose binaries match produce bit-identical
@@ -94,6 +99,10 @@ struct JournalHeader {
   std::uint64_t profiler_options_hash = 0;
   /// FNV-1a over the warm-start points (they steer the surrogate).
   std::uint64_t warm_start_hash = 0;
+  /// profiler::hash_fidelity_ladder of the run's fidelity ladder; 0 when
+  /// the ladder is disabled (and for every version-1 journal). A resume
+  /// under a different ladder proposes different probes and is refused.
+  std::uint64_t fidelity_ladder_hash = 0;
 };
 
 /// One journaled launch attempt (mirrors cloud::AttemptRecord).
@@ -123,6 +132,11 @@ struct ProbeRecord {
   int fault = 0;  ///< cloud::FaultKind as int
   double backoff_hours = 0.0;
   std::vector<AttemptEntry> attempt_log;
+  /// Probe fidelity (profiler::Fidelity in primitive terms; the journal
+  /// layer stays below the profiler layer). Defaults are the full probe;
+  /// the fields are serialized only when reduced.
+  double sample_fraction = 1.0;
+  int iteration_tier = 0;
 };
 
 /// One journaled searcher-degradation episode (surrogate refit failed;

@@ -66,6 +66,14 @@ std::string header_diff(const journal::JournalHeader& got,
   if (got.use_spot != want.use_spot) return "use_spot";
   if (got.gp_refit_every != want.gp_refit_every) return "gp_refit_every";
   if (got.catalog_hash != want.catalog_hash) return "catalog contents";
+  // A version-1 journal carries hash 0 (ladder disabled), so resuming an
+  // old journal with a ladder configured — or vice versa — is refused
+  // here: the ladder changes which probes the strategies propose. The
+  // check precedes the profiler-options check because the ladder is
+  // also mixed into that hash — this order names the precise culprit.
+  if (got.fidelity_ladder_hash != want.fidelity_ladder_hash) {
+    return "fidelity ladder";
+  }
   if (got.profiler_options_hash != want.profiler_options_hash) {
     return "profiler/fault options";
   }
@@ -319,6 +327,8 @@ PrepareResult Mlcd::prepare(const JobRequest& request) const {
   header.profiler_options_hash =
       profiler::hash_options(request.profiler_options);
   header.warm_start_hash = hash_warm_start(request.warm_start);
+  header.fidelity_ladder_hash =
+      profiler::hash_fidelity_ladder(request.profiler_options.fidelity);
 
   try {
     if (!request.resume_path.empty()) {
@@ -379,9 +389,13 @@ DeployResult Mlcd::deploy(const JobRequest& request) const {
 }
 
 std::string RunReport::to_json() const {
+  // Schema v4 exists only when the fidelity ladder is enabled; a
+  // ladder-free run emits the exact v3 document (the golden suite pins
+  // those bytes).
+  const bool ladder = request.profiler_options.fidelity.enabled();
   util::JsonWriter json;
   json.begin_object();
-  json.key("schema_version").value(kJsonSchemaVersion);
+  json.key("schema_version").value(ladder ? kJsonSchemaVersion : 3);
   json.key("request").begin_object();
   json.key("model").value(request.model);
   json.key("platform").value(request.platform);
@@ -392,11 +406,19 @@ std::string RunReport::to_json() const {
   json.key("threads").value(request.threads);
   json.key("gp_refit_every").value(request.gp_refit_every);
   json.key("failure_rate")
-      .value(std::max(request.profiler_options.faults.launch_failure_per_node,
-                      request.profiler_options.failure_rate));
+      .value(request.profiler_options.faults.launch_failure_per_node);
   json.key("max_retries").value(request.profiler_options.retry.max_attempts);
   json.key("chaos_seed")
       .value(static_cast<std::int64_t>(request.profiler_options.fault_seed));
+  if (ladder) {
+    json.key("fidelity_rungs")
+        .value(profiler::format_fidelity_rungs(
+            request.profiler_options.fidelity.rungs));
+    json.key("fidelity_max_bias")
+        .value(request.profiler_options.fidelity.max_speed_bias);
+    json.key("fidelity_max_noise")
+        .value(request.profiler_options.fidelity.max_extra_noise);
+  }
   json.key("journal").value(request.resume_path.empty()
                                 ? request.journal_path
                                 : request.resume_path);
@@ -433,6 +455,15 @@ std::string RunReport::to_json() const {
   json.key("replayed_probes").value(result.replayed_probes);
   json.key("probe_timeouts").value(result.probe_timeout_count());
   json.key("degraded_iterations").value(result.degraded_iterations);
+  if (ladder) {
+    int low = 0;
+    int full = 0;
+    for (const search::ProbeStep& step : result.trace) {
+      (step.fidelity.is_full() ? full : low) += 1;
+    }
+    json.key("low_fidelity_probes").value(low);
+    json.key("full_fidelity_probes").value(full);
+  }
   json.key("trace").begin_array();
   for (const search::ProbeStep& step : result.trace) {
     json.begin_object();
@@ -448,6 +479,10 @@ std::string RunReport::to_json() const {
     json.key("fault").value(std::string(cloud::fault_kind_name(step.fault)));
     json.key("backoff_hours").value(step.backoff_hours);
     json.key("replayed").value(step.replayed);
+    if (ladder) {
+      json.key("sample_fraction").value(step.fidelity.sample_fraction);
+      json.key("iteration_tier").value(step.fidelity.iteration_tier);
+    }
     json.end_object();
   }
   json.end_array();

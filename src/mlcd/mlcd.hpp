@@ -99,8 +99,13 @@ struct RunReport {
   /// counters under stable snake_case keys; 3 = adds the crash-safety
   /// fields (request.journal / request.resumed_from, result
   /// replayed_probes / probe_timeouts / degraded_iterations, per-step
-  /// replayed flag).
-  static constexpr int kJsonSchemaVersion = 3;
+  /// replayed flag); 4 = adds the multi-fidelity keys
+  /// (request.fidelity_rungs / fidelity_max_bias / fidelity_max_noise,
+  /// result low_fidelity_probes / full_fidelity_probes, per-step
+  /// sample_fraction / iteration_tier). The v4 keys are emitted only
+  /// when the fidelity ladder is enabled; ladder-free runs keep emitting
+  /// the byte-identical v3 document.
+  static constexpr int kJsonSchemaVersion = 4;
 
   JobRequest request;
   search::Scenario scenario;

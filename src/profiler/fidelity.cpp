@@ -1,0 +1,86 @@
+#include "profiler/fidelity.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "journal/journal.hpp"
+
+namespace mlcd::profiler {
+
+double fidelity_window_fraction(int iteration_tier) noexcept {
+  return std::pow(0.5, iteration_tier);
+}
+
+std::uint64_t hash_fidelity_ladder(const FidelityOptions& options) noexcept {
+  if (!options.enabled()) return 0;
+  journal::HashStream h;
+  h.mix(static_cast<std::uint64_t>(options.rungs.size()));
+  for (const Fidelity& rung : options.rungs) {
+    h.mix(rung.sample_fraction).mix(rung.iteration_tier);
+  }
+  h.mix(options.max_speed_bias).mix(options.max_extra_noise);
+  const std::uint64_t digest = h.digest();
+  // 0 is reserved for "no ladder" (version-1 headers); remap the
+  // astronomically unlikely collision instead of aliasing it.
+  return digest != 0 ? digest : 1;
+}
+
+std::vector<Fidelity> parse_fidelity_rungs(const std::string& spec) {
+  const auto fail = [&](const std::string& why) -> void {
+    throw std::invalid_argument("invalid fidelity ladder '" + spec + "': " +
+                                why + " (expected e.g. \"0.5:1,0.25:2\")");
+  };
+  std::vector<Fidelity> rungs;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string rung_spec = spec.substr(pos, comma - pos);
+    const std::size_t colon = rung_spec.find(':');
+    if (rung_spec.empty() || colon == std::string::npos ||
+        colon + 1 >= rung_spec.size()) {
+      fail("each rung must be <sample_fraction>:<iteration_tier>");
+    }
+    Fidelity rung;
+    try {
+      std::size_t used = 0;
+      rung.sample_fraction = std::stod(rung_spec.substr(0, colon), &used);
+      if (used != colon) fail("malformed sample fraction");
+      const std::string tier_spec = rung_spec.substr(colon + 1);
+      rung.iteration_tier = std::stoi(tier_spec, &used);
+      if (used != tier_spec.size()) fail("malformed iteration tier");
+    } catch (const std::invalid_argument&) {
+      fail("non-numeric rung");
+    } catch (const std::out_of_range&) {
+      fail("rung out of range");
+    }
+    if (!(rung.sample_fraction > 0.0) || rung.sample_fraction > 1.0) {
+      fail("sample fraction must be in (0, 1]");
+    }
+    if (rung.iteration_tier < 0 || rung.iteration_tier > 8) {
+      fail("iteration tier must be in [0, 8]");
+    }
+    if (rung.is_full()) {
+      fail("the full-fidelity rung is implicit and must not be listed");
+    }
+    rungs.push_back(rung);
+    pos = comma + 1;
+  }
+  if (rungs.empty()) fail("ladder is empty");
+  return rungs;
+}
+
+std::string format_fidelity_rungs(const std::vector<Fidelity>& rungs) {
+  std::string out;
+  for (const Fidelity& rung : rungs) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g:%d", rung.sample_fraction,
+                  rung.iteration_tier);
+    if (!out.empty()) out += ',';
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mlcd::profiler

@@ -1,0 +1,87 @@
+// Probe fidelity: the knob that makes explorations cheap on purpose.
+//
+// The paper's premise is that explorations have heterogeneous cost; this
+// header adds the second half of the lever: a probe does not have to be
+// a *full* profiling run. Following TrimTuner (sub-sampled datasets) and
+// the paramount-iteration literature (truncated measurement windows), a
+// Fidelity describes how much of the real measurement a probe performs:
+//
+//  - `sample_fraction` — fraction of the training dataset the probe's
+//    short run touches. Sub-sampling shrinks setup/warm-up wall time but
+//    biases the measured throughput optimistically (smaller working
+//    sets cache better), by up to FidelityOptions::max_speed_bias.
+//  - `iteration_tier` — halvings of the measurement window: tier t
+//    measures iterations * 0.5^t iterations. Fewer iterations mean a
+//    cheaper window and a noisier mean.
+//
+// The default Fidelity{} is the full-fidelity probe: bit-identical in
+// arithmetic, streams, and cost to the pre-multi-fidelity engine. Every
+// low-fidelity observation carries a known bias envelope and a noise
+// multiplier (fidelity_noise_multiplier in profiler.hpp) so the search's
+// GP can de-bias and de-weight it instead of trusting it blindly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlcd::profiler {
+
+/// How much of a real profiling run one probe performs. The default is
+/// the full-fidelity probe; anything else is cheaper, noisier, and
+/// optimistically biased.
+struct Fidelity {
+  /// Dataset sub-sample fraction in (0, 1]; 1.0 = the full dataset.
+  double sample_fraction = 1.0;
+  /// Measurement-window halvings: the probe measures
+  /// iterations * 0.5^tier iterations. 0 = the full window.
+  int iteration_tier = 0;
+
+  bool is_full() const noexcept {
+    return sample_fraction == 1.0 && iteration_tier == 0;
+  }
+  bool operator==(const Fidelity&) const = default;
+};
+
+/// Fraction of the full measurement window a tier keeps (0.5^tier).
+double fidelity_window_fraction(int iteration_tier) noexcept;
+
+/// The fidelity ladder a search may climb. `rungs` lists the *reduced*
+/// rungs only, ordered from highest to lowest fidelity — the full
+/// probe is always implicitly available and is never listed. An empty
+/// ladder disables multi-fidelity entirely: every probe is full and the
+/// engine is bit-identical to the single-fidelity one.
+struct FidelityOptions {
+  std::vector<Fidelity> rungs{};
+  /// Throughput over-estimation of a probe that samples none of the
+  /// dataset (linearly interpolated: bias = max_speed_bias * (1 - s)).
+  double max_speed_bias = 0.25;
+  /// Extra lognormal sigma a zero-sample probe adds on top of the
+  /// profiler's noise_sigma (same linear interpolation).
+  double max_extra_noise = 0.06;
+
+  bool enabled() const noexcept { return !rungs.empty(); }
+  /// The cheapest rung — what exploratory sweeps probe at.
+  Fidelity exploration_rung() const noexcept {
+    return rungs.empty() ? Fidelity{} : rungs.back();
+  }
+};
+
+/// Fingerprint of the ladder for the journal header: a resume under a
+/// different ladder is a different search. Returns 0 (and mixes
+/// nothing) for a disabled ladder, which is exactly what a pre-ladder
+/// version-1 journal header carries — old journals resume as
+/// full-fidelity runs, new-ladder resumes of old journals are refused.
+std::uint64_t hash_fidelity_ladder(const FidelityOptions& options) noexcept;
+
+/// Parses a CLI/workload ladder spec: comma-separated
+/// `<sample_fraction>:<iteration_tier>` rungs, e.g. "0.5:1,0.25:2".
+/// Throws std::invalid_argument on malformed or out-of-range rungs
+/// (fraction outside (0, 1], tier outside [0, 8], or a full-fidelity
+/// rung, which must not be listed).
+std::vector<Fidelity> parse_fidelity_rungs(const std::string& spec);
+
+/// Inverse of parse_fidelity_rungs ("" for an empty ladder).
+std::string format_fidelity_rungs(const std::vector<Fidelity>& rungs);
+
+}  // namespace mlcd::profiler

@@ -37,11 +37,16 @@
 
 #include "cloud/deployment.hpp"
 #include "journal/journal.hpp"
+#include "profiler/fidelity.hpp"
 
 namespace mlcd::profiler {
 
 /// Identity of one probe computation. Equal keys => bit-identical
-/// outcomes (see the contract above).
+/// outcomes (see the contract above). The requested fidelity is part of
+/// the key: a low-fidelity measurement of a deployment must never be
+/// served where a full-fidelity one was requested (or vice versa, or
+/// across different rungs) — the two are different computations with
+/// different cost, noise, and bias.
 struct ProbeKey {
   /// Job-invariant fingerprint: model, platform, topology, seed,
   /// max_nodes, market, catalog hash, profiler-options hash.
@@ -53,6 +58,9 @@ struct ProbeKey {
   int probe_index = 0;
   std::size_t type_index = 0;
   int nodes = 0;
+  /// Requested probe fidelity (Fidelity{} = full).
+  double sample_fraction = 1.0;
+  int iteration_tier = 0;
 
   bool operator==(const ProbeKey&) const = default;
 };

@@ -1,6 +1,8 @@
 #include "profiler/profiler.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -14,20 +16,6 @@ namespace mlcd::profiler {
 
 namespace {
 
-// The legacy failure_rate knob becomes a per-node launch hazard: for a
-// 1-node probe the probability is unchanged, and larger clusters are now
-// (correctly) riskier.
-cloud::FaultModelOptions merge_legacy_failure_rate(
-    const ProfilerOptions& options) {
-  if (options.failure_rate < 0.0 || options.failure_rate >= 1.0) {
-    throw std::invalid_argument("Profiler: invalid options");
-  }
-  cloud::FaultModelOptions faults = options.faults;
-  faults.launch_failure_per_node =
-      std::max(faults.launch_failure_per_node, options.failure_rate);
-  return faults;
-}
-
 std::uint64_t fault_stream_seed(std::uint64_t profiler_seed,
                                 const ProfilerOptions& options) {
   if (options.fault_seed != 0) return options.fault_seed;
@@ -37,11 +25,16 @@ std::uint64_t fault_stream_seed(std::uint64_t profiler_seed,
 }  // namespace
 
 std::size_t ProbeKeyHash::operator()(const ProbeKey& key) const noexcept {
+  std::uint64_t sample_bits = 0;
+  static_assert(sizeof(sample_bits) == sizeof(key.sample_fraction));
+  std::memcpy(&sample_bits, &key.sample_fraction, sizeof(sample_bits));
   std::uint64_t h = key.substrate;
   h = util::splitmix64(h ^ key.history);
   h = util::splitmix64(h ^ static_cast<std::uint64_t>(key.probe_index));
   h = util::splitmix64(h ^ static_cast<std::uint64_t>(key.type_index));
   h = util::splitmix64(h ^ static_cast<std::uint64_t>(key.nodes));
+  h = util::splitmix64(h ^ sample_bits);
+  h = util::splitmix64(h ^ static_cast<std::uint64_t>(key.iteration_tier));
   return static_cast<std::size_t>(h);
 }
 
@@ -54,10 +47,14 @@ std::uint64_t hash_options(const ProfilerOptions& o) noexcept {
       .mix(o.noise_sigma)
       .mix(o.cov_threshold)
       .mix(o.max_extensions)
-      .mix(o.extension_hours)
-      .mix(o.failure_rate);
+      .mix(o.extension_hours);
   const cloud::FaultModelOptions& f = o.faults;
+  // Slot layout: the per-node launch hazard occupies the slot of the
+  // retired `failure_rate` alias, and the alias's successor slot mixes a
+  // constant 0.0. Configurations the alias could express keep their
+  // pre-removal digest, so their journals still fingerprint-match.
   h.mix(f.launch_failure_per_node)
+      .mix(0.0)
       .mix(f.spot_revocation_scale)
       .mix(f.outage_episodes_per_100h)
       .mix(f.outage_mean_hours)
@@ -82,13 +79,49 @@ std::uint64_t hash_options(const ProfilerOptions& o) noexcept {
   h.mix(o.fault_seed)
       .mix(o.probe_attempt_timeout_hours)
       .mix(o.watchdog_wall_seconds);
+  // Mixed only when enabled: ladder-free configurations keep the digest
+  // they had before the fidelity axis existed, so their journals and
+  // cache keys stay valid across the engine versions.
+  if (o.fidelity.enabled()) h.mix(hash_fidelity_ladder(o.fidelity));
   return h.digest();
+}
+
+double fidelity_speed_bias(const ProfilerOptions& options,
+                           const Fidelity& fidelity) noexcept {
+  if (fidelity.is_full()) return 0.0;
+  return options.fidelity.max_speed_bias * (1.0 - fidelity.sample_fraction);
+}
+
+int fidelity_iterations(const ProfilerOptions& options,
+                        const Fidelity& fidelity) noexcept {
+  if (fidelity.is_full()) return options.iterations;
+  const double w = fidelity_window_fraction(fidelity.iteration_tier);
+  return std::max(
+      2, static_cast<int>(std::lround(options.iterations * w)));
+}
+
+double fidelity_noise_multiplier(const ProfilerOptions& options,
+                                 const Fidelity& fidelity) noexcept {
+  if (fidelity.is_full()) return 1.0;
+  // Sigma inflation from sub-sampling x the sqrt-of-n penalty of a
+  // shorter measurement window. The floor keeps the ratio finite for a
+  // (degenerate) noise-free profiler.
+  const double base_sigma = std::max(options.noise_sigma, 1e-9);
+  const double low_sigma =
+      base_sigma +
+      options.fidelity.max_extra_noise * (1.0 - fidelity.sample_fraction);
+  const double iteration_ratio =
+      static_cast<double>(options.iterations) /
+      static_cast<double>(fidelity_iterations(options, fidelity));
+  return (low_sigma / base_sigma) * std::sqrt(iteration_ratio);
 }
 
 journal::ProbeRecord measurement_record(const ProfileResult& result) {
   journal::ProbeRecord rec;
   rec.type_index = result.deployment.type_index;
   rec.nodes = result.deployment.nodes;
+  rec.sample_fraction = result.fidelity.sample_fraction;
+  rec.iteration_tier = result.fidelity.iteration_tier;
   rec.failed = result.failed;
   rec.feasible = result.feasible;
   rec.measured_speed = result.measured_speed;
@@ -116,14 +149,27 @@ Profiler::Profiler(const perf::TrainingPerfModel& perf,
       rng_(seed),
       options_(options),
       fault_model_(space.catalog(), fault_stream_seed(seed, options),
-                   merge_legacy_failure_rate(options)) {
+                   options.faults) {
   if (options_.iterations < 2) {
     throw std::invalid_argument("Profiler: need at least 2 iterations");
   }
   if (options_.base_profile_hours <= 0.0 || options_.noise_sigma < 0.0 ||
-      options_.max_extensions < 0 || options_.failure_rate < 0.0 ||
-      options_.failure_rate >= 1.0) {
+      options_.max_extensions < 0) {
     throw std::invalid_argument("Profiler: invalid options");
+  }
+  for (const Fidelity& rung : options_.fidelity.rungs) {
+    if (!(rung.sample_fraction > 0.0) || rung.sample_fraction > 1.0 ||
+        rung.iteration_tier < 0 || rung.iteration_tier > 8 ||
+        rung.is_full()) {
+      throw std::invalid_argument(
+          "Profiler: invalid fidelity rung (sample fraction must be in "
+          "(0, 1], tier in [0, 8], and the full rung is implicit)");
+    }
+  }
+  if (options_.fidelity.max_speed_bias < 0.0 ||
+      options_.fidelity.max_speed_bias >= 1.0 ||
+      options_.fidelity.max_extra_noise < 0.0) {
+    throw std::invalid_argument("Profiler: invalid fidelity options");
   }
   if (options_.retry.max_attempts < 1 ||
       options_.retry.base_backoff_hours < 0.0 ||
@@ -142,8 +188,9 @@ void Profiler::set_replay(std::vector<journal::ProbeRecord> records) {
   replay_pos_ = 0;
 }
 
-double Profiler::expected_profile_hours(
-    const perf::TrainingConfig& config, const cloud::Deployment& d) const {
+double Profiler::expected_profile_hours(const perf::TrainingConfig& config,
+                                        const cloud::Deployment& d,
+                                        const Fidelity& fidelity) const {
   const int extra_nodes = d.nodes - 1;
   const double base = options_.base_profile_hours +
                       options_.extra_hours_per_3_nodes * (extra_nodes / 3);
@@ -151,20 +198,39 @@ double Profiler::expected_profile_hours(
   // whose iterations cannot fit min_window_iterations into it stretch
   // the probe (huge models are expensive to profile *anywhere*).
   const perf::IterationBreakdown b = perf_->breakdown(config, d);
-  if (!b.feasible) return base;
+  if (fidelity.is_full()) {
+    // The exact legacy arithmetic, kept on its own branch: restructuring
+    // it through the reduced-fidelity formula below would not be bitwise
+    // identical, and the full-fidelity engine must be.
+    if (!b.feasible) return base;
+    const double needed_h =
+        options_.min_window_iterations * b.iteration_s / 3600.0;
+    return base + std::max(0.0, needed_h - 0.5 * base);
+  }
+  // Reduced fidelity. Half the base window is setup/warm-up; dataset
+  // sub-sampling shrinks that half linearly (a smaller working set
+  // stages and warms faster). The other half is measurement budget —
+  // equivalently max(0.5 * base, needed_h) of window — scaled by the
+  // tier's window fraction.
+  const double w = fidelity_window_fraction(fidelity.iteration_tier);
+  const double setup = 0.5 * base * (0.5 + 0.5 * fidelity.sample_fraction);
+  if (!b.feasible) return setup + 0.5 * base * w;
   const double needed_h =
       options_.min_window_iterations * b.iteration_s / 3600.0;
-  return base + std::max(0.0, needed_h - 0.5 * base);
+  return setup + std::max(0.5 * base, needed_h) * w;
 }
 
 double Profiler::expected_profile_cost(const perf::TrainingConfig& config,
-                                       const cloud::Deployment& d) const {
-  return expected_profile_hours(config, d) * space_->hourly_price(d);
+                                       const cloud::Deployment& d,
+                                       const Fidelity& fidelity) const {
+  return expected_profile_hours(config, d, fidelity) *
+         space_->hourly_price(d);
 }
 
-double Profiler::worst_case_profile_hours(
-    const perf::TrainingConfig& config, const cloud::Deployment& d) const {
-  const double planned = expected_profile_hours(config, d);
+double Profiler::worst_case_profile_hours(const perf::TrainingConfig& config,
+                                          const cloud::Deployment& d,
+                                          const Fidelity& fidelity) const {
+  const double planned = expected_profile_hours(config, d, fidelity);
   const bool faults_on = fault_model_.enabled(space_->market());
   const double timeout = options_.probe_attempt_timeout_hours;
   if (!faults_on && timeout <= 0.0) return planned;
@@ -172,13 +238,17 @@ double Profiler::worst_case_profile_hours(
   const double slowdown = (faults_on && faults.straggler_rate > 0.0)
                               ? std::max(1.0, faults.straggler_slowdown)
                               : 1.0;
+  const double extension_hours =
+      fidelity.is_full()
+          ? options_.extension_hours
+          : options_.extension_hours *
+                fidelity_window_fraction(fidelity.iteration_tier);
   // Worst success: fully extended window on a straggling cluster. The
   // watchdog caps every attempt's wall time at its deadline (an attempt
   // that would run longer is killed and retried), so the deadline also
   // caps the bound.
   const double success_natural =
-      (planned + options_.max_extensions * options_.extension_hours) *
-      slowdown;
+      (planned + options_.max_extensions * extension_hours) * slowdown;
   const double success =
       timeout > 0.0 ? std::min(success_natural, timeout) : success_natural;
   // Worst retry chain: every preceding attempt fails at the costliest
@@ -199,27 +269,32 @@ double Profiler::worst_case_profile_hours(
          retries * (per_failed_wall + options_.retry.max_backoff_hours);
 }
 
-double Profiler::worst_case_profile_cost(
-    const perf::TrainingConfig& config, const cloud::Deployment& d) const {
+double Profiler::worst_case_profile_cost(const perf::TrainingConfig& config,
+                                         const cloud::Deployment& d,
+                                         const Fidelity& fidelity) const {
   const bool faults_on = fault_model_.enabled(space_->market());
   const double timeout = options_.probe_attempt_timeout_hours;
   if (!faults_on && timeout <= 0.0) {
-    return expected_profile_cost(config, d);
+    return expected_profile_cost(config, d, fidelity);
   }
-  const double planned = expected_profile_hours(config, d);
+  const double planned = expected_profile_hours(config, d, fidelity);
   const double price = space_->hourly_price(d);
   const auto& faults = fault_model_.options();
   const double slowdown = (faults_on && faults.straggler_rate > 0.0)
                               ? std::max(1.0, faults.straggler_slowdown)
                               : 1.0;
+  const double extension_hours =
+      fidelity.is_full()
+          ? options_.extension_hours
+          : options_.extension_hours *
+                fidelity_window_fraction(fidelity.iteration_tier);
   // The meter rounds every charge up to whole seconds with a 60 s
   // minimum; bound each attempt's charge by hours + 1 s, floored at 60 s.
   const auto billed = [&](double hours) {
     return std::max(hours + 1.0 / 3600.0, 60.0 / 3600.0) * price;
   };
   const double success_natural =
-      (planned + options_.max_extensions * options_.extension_hours) *
-      slowdown;
+      (planned + options_.max_extensions * extension_hours) * slowdown;
   const double success = billed(
       timeout > 0.0 ? std::min(success_natural, timeout) : success_natural);
   double per_failed_bill =
@@ -237,23 +312,25 @@ double Profiler::worst_case_profile_cost(
 }
 
 ProfileResult Profiler::profile(const perf::TrainingConfig& config,
-                                const cloud::Deployment& d) {
+                                const ProbeRequest& request) {
+  const cloud::Deployment& d = request.deployment;
   if (!space_->contains(d)) {
     throw std::invalid_argument("Profiler::profile: deployment out of space");
   }
   ProfileResult result;
   if (replay_pending()) {
-    result = replay_next(config, d);
+    result = replay_next(config, request);
   } else if (gate_ != nullptr) {
-    const ProbeKey key = next_probe_key(d);
+    const ProbeKey key = next_probe_key(request);
     if (std::optional<journal::ProbeRecord> hit = gate_->admit(key, d)) {
-      // Another job already measured this exact probe: serve the shared
-      // record the way journal resume would, but trace-neutrally.
-      result = serve_record(config, d, *hit, /*from_journal=*/false);
+      // Another job already measured this exact probe (same fidelity
+      // included — the key forbids cross-fidelity aliasing): serve the
+      // shared record the way journal resume would, but trace-neutrally.
+      result = serve_record(config, request, *hit, /*from_journal=*/false);
     } else {
       // Admitted: capacity for d.nodes is held until publish/abandon.
       try {
-        result = profile_live(config, d);
+        result = profile_live(config, request);
       } catch (...) {
         gate_->abandon(d);
         throw;
@@ -261,21 +338,24 @@ ProfileResult Profiler::profile(const perf::TrainingConfig& config,
       gate_->publish(key, d, measurement_record(result));
     }
   } else {
-    result = profile_live(config, d);
+    result = profile_live(config, request);
   }
   note_history(result);
   return result;
 }
 
 ProfileResult Profiler::profile_live(const perf::TrainingConfig& config,
-                                     const cloud::Deployment& d) {
+                                     const ProbeRequest& request) {
+  const cloud::Deployment& d = request.deployment;
+  const Fidelity& fidelity = request.fidelity;
   ++probes_;
   util::Rng probe_rng = rng_.fork(static_cast<std::uint64_t>(probes_));
 
   ProfileResult result;
   result.deployment = d;
+  result.fidelity = fidelity;
   result.true_speed = perf_->true_speed(config, d);
-  const double planned = expected_profile_hours(config, d);
+  const double planned = expected_profile_hours(config, d, fidelity);
 
   const bool faults_on = fault_model_.enabled(space_->market());
   const double timeout = options_.probe_attempt_timeout_hours;
@@ -404,21 +484,42 @@ ProfileResult Profiler::profile_live(const perf::TrainingConfig& config,
     auto state = std::make_shared<MeasureState>(MeasureState{probe_rng});
     state->extensions = result.extensions;
     state->attempt_hours = planned;
-    const double true_speed = result.true_speed;
+    // Fidelity semantics, each on an is_full() branch so the full path
+    // reuses the exact values (and therefore the exact draws) of the
+    // single-fidelity engine: a sub-sampled dataset biases the measured
+    // throughput optimistically and adds measurement noise; a truncated
+    // tier measures fewer iterations per (cheaper) window.
+    const double median_speed =
+        fidelity.is_full()
+            ? result.true_speed
+            : result.true_speed *
+                  (1.0 + fidelity_speed_bias(options_, fidelity));
+    const double sigma =
+        fidelity.is_full()
+            ? options_.noise_sigma
+            : options_.noise_sigma + options_.fidelity.max_extra_noise *
+                                         (1.0 - fidelity.sample_fraction);
+    const int window_iterations = fidelity_iterations(options_, fidelity);
+    const double extension_hours =
+        fidelity.is_full()
+            ? options_.extension_hours
+            : options_.extension_hours *
+                  fidelity_window_fraction(fidelity.iteration_tier);
     const ProfilerOptions& opts = options_;
-    const auto measure = [state, true_speed, &opts] {
+    const auto measure = [state, median_speed, sigma, window_iterations,
+                          extension_hours, &opts] {
       auto measure_iterations = [&](int count) {
         for (int i = 0; i < count; ++i) {
           state->window.add(
-              state->rng.lognormal_median(true_speed, opts.noise_sigma));
+              state->rng.lognormal_median(median_speed, sigma));
         }
       };
-      measure_iterations(opts.iterations);
+      measure_iterations(window_iterations);
       while (state->window.coefficient_of_variation() > opts.cov_threshold &&
              state->extensions < opts.max_extensions) {
         ++state->extensions;
-        state->attempt_hours += opts.extension_hours;
-        measure_iterations(opts.iterations);
+        state->attempt_hours += extension_hours;
+        measure_iterations(window_iterations);
       }
     };
     if (!util::ThreadPool::run_with_deadline(measure,
@@ -474,16 +575,17 @@ ProfileResult Profiler::profile_live(const perf::TrainingConfig& config,
 }
 
 ProfileResult Profiler::replay_next(const perf::TrainingConfig& config,
-                                    const cloud::Deployment& d) {
+                                    const ProbeRequest& request) {
   const journal::ProbeRecord& rec = replay_[replay_pos_];
   ++replay_pos_;
-  return serve_record(config, d, rec, /*from_journal=*/true);
+  return serve_record(config, request, rec, /*from_journal=*/true);
 }
 
 ProfileResult Profiler::serve_record(const perf::TrainingConfig& config,
-                                     const cloud::Deployment& d,
+                                     const ProbeRequest& request,
                                      const journal::ProbeRecord& rec,
                                      bool from_journal) {
+  const cloud::Deployment& d = request.deployment;
   const int probe_number = probes_ + 1;
   const auto diverged = [&](const std::string& what) -> void {
     const std::string context =
@@ -501,6 +603,10 @@ ProfileResult Profiler::serve_record(const perf::TrainingConfig& config,
              std::to_string(rec.nodes) +
              " but the search requested a different deployment");
   }
+  if (rec.sample_fraction != request.fidelity.sample_fraction ||
+      rec.iteration_tier != request.fidelity.iteration_tier) {
+    diverged("record was measured at a different fidelity than requested");
+  }
   ++probes_;
   // Advance the probe fork exactly as the original run did (fork mutates
   // the parent engine). The child stream fed only this probe's noise and
@@ -509,11 +615,14 @@ ProfileResult Profiler::serve_record(const perf::TrainingConfig& config,
 
   ProfileResult result;
   result.deployment = d;
+  result.fidelity = request.fidelity;
   result.true_speed = perf_->true_speed(config, d);
   if (result.true_speed != rec.true_speed) {
     diverged("substrate true speed differs from the recorded value");
   }
-  const double planned = expected_profile_hours(config, d);
+  // The fault stream re-roll below must see the window the original run
+  // planned — which depends on the record's fidelity.
+  const double planned = expected_profile_hours(config, d, request.fidelity);
   const bool faults_on = fault_model_.enabled(space_->market());
 
   for (std::size_t i = 0; i < rec.attempt_log.size(); ++i) {
@@ -603,6 +712,11 @@ void Profiler::note_history(const ProfileResult& result) {
       .mix(static_cast<std::uint64_t>(rec.attempt_log.size()));
   for (const journal::AttemptEntry& a : rec.attempt_log) {
     h.mix(a.fault).mix(a.hours).mix(a.cost).mix(a.backoff_hours);
+  }
+  // Full-fidelity records mix nothing extra so a ladder-free run keeps
+  // the exact pre-multi-fidelity history digest (and hence ProbeKeys).
+  if (!(rec.sample_fraction == 1.0 && rec.iteration_tier == 0)) {
+    h.mix(rec.sample_fraction).mix(rec.iteration_tier);
   }
   history_ = h.digest();
 }

@@ -30,6 +30,7 @@
 #include "cloud/fault_model.hpp"
 #include "journal/journal.hpp"
 #include "perf/perf_model.hpp"
+#include "profiler/fidelity.hpp"
 #include "profiler/probe_gate.hpp"
 #include "util/rng.hpp"
 
@@ -58,11 +59,11 @@ struct ProfilerOptions {
   int max_extensions = 3;
   /// Wall time added per extension, hours.
   double extension_hours = 2.0 / 60.0;
-  /// Deprecated alias: probability that a probe's cluster launch fails.
-  /// Folded into `faults.launch_failure_per_node` at construction, so the
-  /// legacy knob now (correctly) makes a 50-node probe riskier than a
-  /// 1-node probe. Prefer setting `faults` directly.
-  double failure_rate = 0.0;
+  /// The fidelity ladder low-cost exploratory probes may descend (see
+  /// fidelity.hpp). Empty (the default) disables multi-fidelity: every
+  /// probe runs at full fidelity and the profiler is bit-identical to
+  /// the single-fidelity engine.
+  FidelityOptions fidelity;
   /// Operational hazards injected per launch attempt.
   cloud::FaultModelOptions faults;
   /// Recovery discipline when an attempt fails.
@@ -87,9 +88,21 @@ struct ProfilerOptions {
   double watchdog_wall_seconds = 0.0;
 };
 
+/// What to probe, and how hard: the single entry point of
+/// Profiler::profile. Strategies propose (deployment, fidelity) jointly
+/// — a cheap low-fidelity sweep of a deployment and its full-fidelity
+/// confirmation are different probes with different cost and different
+/// information content.
+struct ProbeRequest {
+  cloud::Deployment deployment;
+  Fidelity fidelity{};  ///< default: a full-fidelity probe
+};
+
 /// Outcome of one profiling probe.
 struct ProfileResult {
   cloud::Deployment deployment;
+  /// The fidelity the probe ran at (echoed from the request).
+  Fidelity fidelity{};
   bool failed = false;          ///< all launch attempts failed (retryable)
   bool feasible = false;        ///< false when the model cannot run there
   double measured_speed = 0.0;  ///< samples/s (mean over iterations)
@@ -111,9 +124,30 @@ struct ProfileResult {
 };
 
 /// Fingerprint of every profiler knob (fault hazards, retry policy,
-/// watchdog deadlines, noise): the journal header and the service's
-/// probe-cache keys both refuse to match runs whose knobs differ.
+/// watchdog deadlines, noise, fidelity ladder): the journal header and
+/// the service's probe-cache keys both refuse to match runs whose knobs
+/// differ. The fidelity ladder is mixed only when enabled, so digests
+/// of ladder-free configurations are stable across engine versions.
 std::uint64_t hash_options(const ProfilerOptions& options) noexcept;
+
+/// Expected optimistic throughput bias of a probe at `fidelity`:
+/// measured_speed over-estimates true throughput by a factor of
+/// (1 + bias). Exactly 0.0 at full fidelity.
+double fidelity_speed_bias(const ProfilerOptions& options,
+                           const Fidelity& fidelity) noexcept;
+
+/// Measurement-noise inflation of a probe at `fidelity` relative to a
+/// full-fidelity probe (sigma ratio x sqrt of the iteration-count
+/// ratio) — the per-observation noise multiplier the search's GP uses
+/// to de-weight cheap observations (TrimTuner's heteroscedastic
+/// treatment). Exactly 1.0 at full fidelity.
+double fidelity_noise_multiplier(const ProfilerOptions& options,
+                                 const Fidelity& fidelity) noexcept;
+
+/// Iterations one measurement window contains at `fidelity`
+/// (options.iterations at full fidelity, halved per tier, floored at 2).
+int fidelity_iterations(const ProfilerOptions& options,
+                        const Fidelity& fidelity) noexcept;
 
 /// The measurement image of a probe outcome: the journal-record fields
 /// the profiler itself produces. Session-side fields (cumulative spend,
@@ -130,38 +164,50 @@ class Profiler {
            const cloud::DeploymentSpace& space, cloud::BillingMeter& meter,
            std::uint64_t seed, ProfilerOptions options = {});
 
-  /// Runs one probe. Infeasible deployments still consume (and bill) the
-  /// base probe time — discovering that a model does not fit costs real
-  /// money on a real cloud too. Under injected faults the probe retries
-  /// failed launches per the RetryPolicy, billing every attempt.
+  /// Runs one probe at the requested fidelity. Infeasible deployments
+  /// still consume (and bill) the base probe time — discovering that a
+  /// model does not fit costs real money on a real cloud too. Under
+  /// injected faults the probe retries failed launches per the
+  /// RetryPolicy, billing every attempt. A full-fidelity request is
+  /// bit-identical (draws, charges, clock) to the pre-multi-fidelity
+  /// engine; a reduced request shrinks the window and the bill, biases
+  /// the measured throughput optimistically by fidelity_speed_bias, and
+  /// widens its noise by fidelity_noise_multiplier.
   ProfileResult profile(const perf::TrainingConfig& config,
-                        const cloud::Deployment& d);
+                        const ProbeRequest& request);
 
-  /// Deterministic expected wall time of probing `d` (the quantity
-  /// HeterBO's penalty terms use), hours — the paper's t(m, n). Includes
-  /// the window stretch needed to fit min_window_iterations of the given
-  /// model (static arithmetic on model FLOPs and instance specs — no
-  /// profiling required to estimate it).
+  /// Deterministic expected wall time of probing `d` at `fidelity` (the
+  /// quantity HeterBO's penalty terms use), hours — the paper's t(m, n).
+  /// Includes the window stretch needed to fit min_window_iterations of
+  /// the given model (static arithmetic on model FLOPs and instance
+  /// specs — no profiling required to estimate it). Sub-sampled probes
+  /// shrink setup/warm-up, truncated tiers shrink the measurement
+  /// window; the full-fidelity default reproduces the legacy arithmetic
+  /// bit-for-bit.
   double expected_profile_hours(const perf::TrainingConfig& config,
-                                const cloud::Deployment& d) const;
+                                const cloud::Deployment& d,
+                                const Fidelity& fidelity = {}) const;
 
   /// Expected dollar cost of probing `d` — the paper's PL_C
   /// = P(m) * n * t(m, n).
   double expected_profile_cost(const perf::TrainingConfig& config,
-                               const cloud::Deployment& d) const;
+                               const cloud::Deployment& d,
+                               const Fidelity& fidelity = {}) const;
 
-  /// Upper bound on the wall time one probe of `d` can consume: every
-  /// attempt fails at the worst fault, every backoff hits its cap, and a
-  /// straggler stretches a fully-extended window. Equals
+  /// Upper bound on the wall time one probe of `d` at `fidelity` can
+  /// consume: every attempt fails at the worst fault, every backoff hits
+  /// its cap, and a straggler stretches a fully-extended window. Equals
   /// expected_profile_hours when no faults are configured. The protective
   /// reserve budgets probes against this, which is what keeps the
   /// deadline guarantee intact under injected failures.
   double worst_case_profile_hours(const perf::TrainingConfig& config,
-                                  const cloud::Deployment& d) const;
+                                  const cloud::Deployment& d,
+                                  const Fidelity& fidelity = {}) const;
 
   /// Dollar analogue of worst_case_profile_hours (backoff is free).
   double worst_case_profile_cost(const perf::TrainingConfig& config,
-                                 const cloud::Deployment& d) const;
+                                 const cloud::Deployment& d,
+                                 const Fidelity& fidelity = {}) const;
 
   const ProfilerOptions& options() const noexcept { return options_; }
   int probes_performed() const noexcept { return probes_; }
@@ -197,18 +243,20 @@ class Profiler {
   /// Probes served from the shared probe cache so far.
   int cache_served_probes() const noexcept { return cache_served_; }
 
-  /// The ProbeKey the *next* profile() call for `d` would carry — the
-  /// same fingerprint profile() derives before consulting the gate. Lets
-  /// a probe-granularity scheduler pre-check the shared cache (a hit
-  /// needs no capacity) before deciding whether to run, park, or serve
-  /// the session's pending probe.
-  ProbeKey next_probe_key(const cloud::Deployment& d) const noexcept {
+  /// The ProbeKey the *next* profile() call for `request` would carry —
+  /// the same fingerprint profile() derives before consulting the gate.
+  /// Lets a probe-granularity scheduler pre-check the shared cache (a
+  /// hit needs no capacity) before deciding whether to run, park, or
+  /// serve the session's pending probe.
+  ProbeKey next_probe_key(const ProbeRequest& request) const noexcept {
     ProbeKey key;
     key.substrate = substrate_;
     key.history = history_;
     key.probe_index = probes_ + 1;
-    key.type_index = d.type_index;
-    key.nodes = d.nodes;
+    key.type_index = request.deployment.type_index;
+    key.nodes = request.deployment.nodes;
+    key.sample_fraction = request.fidelity.sample_fraction;
+    key.iteration_tier = request.fidelity.iteration_tier;
     return key;
   }
 
@@ -227,16 +275,16 @@ class Profiler {
   /// Executes one probe against the substrate (the historical profile()
   /// body); profile() wraps it with replay service and the probe gate.
   ProfileResult profile_live(const perf::TrainingConfig& config,
-                             const cloud::Deployment& d);
+                             const ProbeRequest& request);
   ProfileResult replay_next(const perf::TrainingConfig& config,
-                            const cloud::Deployment& d);
+                            const ProbeRequest& request);
   /// Serves a recorded outcome instead of executing: advances billing,
   /// the clock, and every seeded stream exactly as the original
   /// execution did, verifying the record against the substrate at each
   /// step (JournalError(kReplayDiverged) on mismatch). `from_journal`
   /// selects the replayed flag/counter vs the cache-served counter.
   ProfileResult serve_record(const perf::TrainingConfig& config,
-                             const cloud::Deployment& d,
+                             const ProbeRequest& request,
                              const journal::ProbeRecord& rec,
                              bool from_journal);
   /// Folds a completed probe into the history fingerprint ProbeKeys

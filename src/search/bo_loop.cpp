@@ -33,7 +33,14 @@ double log_objective(const SearchSession& session,
   // far below any real measurement, which is exactly the signal we want
   // the surrogate to carry.
   constexpr double kFloor = 1e-9;
-  return std::log(std::max(session.objective_of(step), kFloor));
+  const double raw = std::log(std::max(session.objective_of(step), kFloor));
+  if (step.fidelity.is_full()) return raw;
+  // Low-fidelity measurements are optimistically biased by a known
+  // envelope (TrimTuner's sub-sampling effect); subtracting log1p(bias)
+  // centers them on the full-fidelity surface so the surrogate can mix
+  // fidelities without inheriting the optimism.
+  return raw - std::log1p(profiler::fidelity_speed_bias(
+                   session.problem().profiler_options, step.fidelity));
 }
 
 gp::GpRegressor fit_gp_on_trace(const SearchSession& session,
@@ -54,12 +61,17 @@ gp::GpRegressor fit_gp_on_trace(const SearchSession& session,
   }
   linalg::Matrix x(usable.size(), 2);
   linalg::Vector y(usable.size());
+  linalg::Vector noise_mult(usable.size());
   for (std::size_t i = 0; i < usable.size(); ++i) {
     const std::vector<double> unit =
         normalizer.normalize(deployment_coords(usable[i]->deployment));
     x(i, 0) = unit[0];
     x(i, 1) = unit[1];
     y[i] = log_objective(session, *usable[i]);
+    // Exactly 1.0 for full-fidelity probes, so a ladder-free trace fits
+    // through the bit-exact homoscedastic path.
+    noise_mult[i] = profiler::fidelity_noise_multiplier(
+        session.problem().profiler_options, usable[i]->fidelity);
   }
   gp::GpOptions options;
   options.noise_stddev = 0.05;
@@ -85,7 +97,7 @@ gp::GpRegressor fit_gp_on_trace(const SearchSession& session,
   kernel->set_lengthscale(0, 0.30);
   kernel->set_lengthscale(1, 0.25);
   gp::GpRegressor gp(std::move(kernel), options);
-  gp.fit(x, y);
+  gp.fit(x, y, noise_mult);
   return gp;
 }
 
@@ -116,7 +128,9 @@ bool TraceSurrogate::update(const SearchSession& session) {
   for (std::size_t i : fresh) {
     gp_->add_observation(
         normalizer_->normalize(deployment_coords(trace[i].deployment)),
-        log_objective(session, trace[i]));
+        log_objective(session, trace[i]),
+        profiler::fidelity_noise_multiplier(
+            session.problem().profiler_options, trace[i].fidelity));
   }
   adds_since_build_ += static_cast<int>(fresh.size());
   return true;

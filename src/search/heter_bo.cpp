@@ -82,7 +82,10 @@ class SurrogateBank {
             static_cast<double>(trace[i].deployment.nodes) /
             session.space().max_nodes(t);
         const double q[1] = {n_unit};
-        state.gp->add_observation(q, log_objective(session, trace[i]));
+        state.gp->add_observation(
+            q, log_objective(session, trace[i]),
+            profiler::fidelity_noise_multiplier(
+                session.problem().profiler_options, trace[i].fidelity));
       }
       state.adds_since_build += static_cast<int>(fresh[t].size());
     }
@@ -145,11 +148,14 @@ class SurrogateBank {
     const cloud::DeploymentSpace& space = session.space();
     std::vector<double> xs;
     std::vector<double> ys;
+    std::vector<double> ms;
     for (const ProbeStep& step : session.trace()) {
       if (step.deployment.type_index != t || step.failed) continue;
       xs.push_back(static_cast<double>(step.deployment.nodes) /
                    space.max_nodes(t));
       ys.push_back(log_objective(session, step));
+      ms.push_back(profiler::fidelity_noise_multiplier(
+          session.problem().profiler_options, step.fidelity));
     }
     // Warm-start pseudo-observations shape the surrogate of types the
     // new search has not measured yet. Once the type has two real
@@ -167,6 +173,7 @@ class SurrogateBank {
             scenario_objective(session.scenario(), w.measured_speed,
                                space.hourly_price(w.deployment)),
             1e-9)));
+        ms.push_back(1.0);  // warm-start points were full measurements
       }
     }
     // Even a single observation pins the type's level (with wide
@@ -177,9 +184,11 @@ class SurrogateBank {
     }
     linalg::Matrix design(xs.size(), 1);
     linalg::Vector targets(xs.size());
+    linalg::Vector noise_mult(xs.size());
     for (std::size_t i = 0; i < xs.size(); ++i) {
       design(i, 0) = xs[i];
       targets[i] = ys[i];
+      noise_mult[i] = ms[i];
     }
     gp::GpOptions options;
     options.noise_stddev = 0.05;
@@ -195,7 +204,7 @@ class SurrogateBank {
     auto kernel = std::make_unique<gp::Matern52Kernel>(1);
     kernel->set_lengthscale(0, 0.25);
     gp::GpRegressor fit(std::move(kernel), options);
-    fit.fit(design, targets);
+    fit.fit(design, targets, noise_mult);
     types_[t].gp.emplace(std::move(fit));
   }
 
@@ -243,20 +252,31 @@ class HeterBoStrategy final : public SearchStrategy {
       if (std::optional<ProbeRequest> request = loop_next(session)) {
         return request;
       }
+      // With a fidelity ladder the loop explored cheaply; before
+      // finishing, the best unconfirmed low-fidelity findings are
+      // re-measured at full fidelity (nothing to confirm in a
+      // ladder-free run — the phase proposes nothing and falls through).
+      phase_ = Phase::kConfirm;
+    }
+    if (phase_ == Phase::kConfirm) {
+      if (std::optional<ProbeRequest> request = confirm_next(session)) {
+        return request;
+      }
       phase_ = Phase::kDone;
     }
     return std::nullopt;
   }
 
  private:
-  enum class Phase { kBegin, kWave1, kWave2, kLoop, kDone };
+  enum class Phase { kBegin, kWave1, kWave2, kLoop, kConfirm, kDone };
 
-  bool reserve_ok(const SearchSession& session,
-                  const cloud::Deployment& d) const {
-    // The reserve budgets each candidate at its *worst-case* spend —
-    // see SearchSession::reserve_allows_probe.
+  bool reserve_ok(const SearchSession& session, const cloud::Deployment& d,
+                  const profiler::Fidelity& fidelity = {}) const {
+    // The reserve budgets each candidate at its *worst-case* spend at
+    // the fidelity it would be probed at — see
+    // SearchSession::reserve_allows_probe.
     if (!options_.protective_reserve) return true;
-    return session.reserve_allows_probe(d);
+    return session.reserve_allows_probe(d, fidelity);
   }
 
   // A type under a capacity outage cannot be launched right now; it is
@@ -281,18 +301,32 @@ class HeterBoStrategy final : public SearchStrategy {
 
     for (std::size_t t = 0; t < types; ++t) {
       // Collect feasible probes of this type, ordered by node count.
-      std::vector<std::pair<int, double>> points;
+      // Speeds are only comparable within one fidelity (a low rung's
+      // optimism could fake a down-slope against a full neighbour), so
+      // each point carries its fidelity and the decline test below only
+      // fires between equal-fidelity neighbours.
+      struct CurvePoint {
+        int nodes;
+        double speed;
+        profiler::Fidelity fidelity;
+      };
+      std::vector<CurvePoint> points;
       for (const ProbeStep& step : session.trace()) {
         if (step.deployment.type_index == t && step.feasible) {
-          points.emplace_back(step.deployment.nodes, step.measured_speed);
+          points.push_back(
+              {step.deployment.nodes, step.measured_speed, step.fidelity});
         }
       }
-      std::sort(points.begin(), points.end());
+      std::stable_sort(points.begin(), points.end(),
+                       [](const CurvePoint& a, const CurvePoint& b) {
+                         return a.nodes < b.nodes;
+                       });
       // Two neighbouring probed scale-outs with declining speed put us on
       // the concave curve's down-slope: prune everything beyond.
       for (std::size_t i = 1; i < points.size(); ++i) {
-        if (points[i].second < points[i - 1].second) {
-          limit[t] = points[i].first;
+        if (points[i].fidelity == points[i - 1].fidelity &&
+            points[i].speed < points[i - 1].speed) {
+          limit[t] = points[i].nodes;
           break;
         }
       }
@@ -333,6 +367,10 @@ class HeterBoStrategy final : public SearchStrategy {
   void begin(SearchSession& session) {
     const cloud::DeploymentSpace& space = session.space();
     const Scenario& scenario = session.scenario();
+    // Exploration fidelity: the ladder's cheapest rung when enabled,
+    // Fidelity{} (full) otherwise — in which case every request below is
+    // exactly the legacy full-fidelity probe.
+    explore_ = session.problem().profiler_options.fidelity.exploration_rung();
     // The penalty currency is whatever the scenario actually pressures:
     // wall time under a deadline, dollars otherwise (profiling *time* is
     // nearly uniform across probes — the heterogeneity is monetary).
@@ -416,7 +454,9 @@ class HeterBoStrategy final : public SearchStrategy {
       }
       ++wave1_t_;
       const cloud::Deployment d{t, min_feasible_[t]};
-      if (reserve_ok(session, d)) return ProbeRequest{d, 0.0, "init"};
+      if (reserve_ok(session, d, explore_)) {
+        return ProbeRequest{d, 0.0, "init", explore_};
+      }
     }
     return std::nullopt;
   }
@@ -454,9 +494,10 @@ class HeterBoStrategy final : public SearchStrategy {
       // only way to seed the curve fit when there is just one type.
       const bool affordable =
           space.type_count() == 1 || init_affordable(session, d);
-      if (curve_n > min_feasible_[t] && !session.already_probed(d) &&
-          reserve_ok(session, d) && affordable) {
-        return ProbeRequest{d, 0.0, "curve"};
+      if (curve_n > min_feasible_[t] &&
+          !session.already_probed(d, explore_) &&
+          reserve_ok(session, d, explore_) && affordable) {
+        return ProbeRequest{d, 0.0, "curve", explore_};
       }
     }
     return std::nullopt;
@@ -515,7 +556,16 @@ class HeterBoStrategy final : public SearchStrategy {
   }
 
   std::optional<ProbeRequest> loop_next(SearchSession& session) {
-    if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
+    // Ladder runs reserve a slice of the probe budget for the
+    // confirmation stage: low-fidelity observations never become the
+    // incumbent, so a loop that spent the whole budget exploring would
+    // end holding nothing but optimistically-biased hypotheses.
+    const int confirm_reserve =
+        explore_.is_full()
+            ? 0
+            : std::min(3, std::max(1, options_.max_probes / 8));
+    if (static_cast<int>(session.trace().size()) >=
+        options_.max_probes - confirm_reserve) {
       return std::nullopt;
     }
     const cloud::DeploymentSpace& space = session.space();
@@ -548,12 +598,13 @@ class HeterBoStrategy final : public SearchStrategy {
                min_feasible_[d.type_index] >= 0 &&
                !excluded_[d.type_index] &&
                d.nodes >= min_feasible_[d.type_index] &&
-               !outaged(session, d.type_index) && reserve_ok(session, d);
+               !outaged(session, d.type_index) &&
+               reserve_ok(session, d, explore_);
       };
       const cloud::Deployment* fallback =
           degraded_fallback(session, all_, safe_allowed);
       if (fallback == nullptr) return std::nullopt;
-      return ProbeRequest{*fallback, 0.0, "degraded"};
+      return ProbeRequest{*fallback, 0.0, "degraded", explore_};
     }
 
     // EI baseline: the incumbent's log objective. (Using only
@@ -565,6 +616,15 @@ class HeterBoStrategy final : public SearchStrategy {
     double best = std::log(1e-9);
     if (session.has_incumbent()) {
       best = log_objective(session, session.incumbent());
+    } else if (!explore_.is_full()) {
+      // A ladder run has no full-fidelity incumbent during the loop, so
+      // baseline EI on the best de-biased low-fidelity observation
+      // instead — otherwise EI never decays and the stopping rules
+      // cannot engage.
+      for (const ProbeStep& step : session.trace()) {
+        if (step.failed || !step.feasible) continue;
+        best = std::max(best, log_objective(session, step));
+      }
     }
     best = std::max(best, warm_floor_);
 
@@ -593,9 +653,15 @@ class HeterBoStrategy final : public SearchStrategy {
             d.nodes < min_feasible_[d.type_index]) {
           continue;
         }
-        if (session.already_probed(d)) continue;
+        // Skip points already measured at the exploration fidelity *or*
+        // already confirmed at full fidelity (identical checks when the
+        // ladder is disabled).
+        if (session.already_probed(d) ||
+            session.already_probed(d, explore_)) {
+          continue;
+        }
         if (outaged(session, d.type_index)) continue;  // outage: demoted
-        if (!reserve_ok(session, d)) continue;  // protective reserve
+        if (!reserve_ok(session, d, explore_)) continue;  // reserve
         valid_[i] = 1;
 
         const gp::Prediction p =
@@ -605,10 +671,14 @@ class HeterBoStrategy final : public SearchStrategy {
 
         // Heterogeneous-cost penalty (Eqs. 7/8): improvement per unit
         // of what the scenario actually constrains.
+        // The penalty is the spend of the probe as it would actually run
+        // — at the exploration fidelity when the ladder is enabled.
         double penalty =
             time_penalty_
-                ? session.profiler().expected_profile_hours(config, d)
-                : session.profiler().expected_profile_cost(config, d);
+                ? session.profiler().expected_profile_hours(config, d,
+                                                            explore_)
+                : session.profiler().expected_profile_cost(config, d,
+                                                           explore_);
         penalty = std::max(penalty, 1e-9);
         scores_[i] = options_.cost_aware_acquisition
                          ? ei_values_[i] /
@@ -670,7 +740,92 @@ class HeterBoStrategy final : public SearchStrategy {
     const double tei = true_expected_improvement(session, *chosen,
                                                  chosen_projected_speed);
     MLCD_LOG(kTrace, "heterbo") << "probe TEI headroom " << tei;
-    return ProbeRequest{*chosen, chosen_score, "tei"};
+    return ProbeRequest{*chosen, chosen_score, "tei", explore_};
+  }
+
+  /// Confirmation stage (ladder runs only): the loop's low-fidelity
+  /// observations are hypotheses, not answers — their speeds carry a
+  /// known optimistic bias and never become the incumbent. Re-measure
+  /// the most promising unconfirmed ones at full fidelity, best first,
+  /// until none could beat the incumbent even after bias correction.
+  std::optional<ProbeRequest> confirm_next(SearchSession& session) {
+    if (explore_.is_full()) return std::nullopt;  // ladder disabled
+    if (static_cast<int>(session.trace().size()) >= options_.max_probes) {
+      return std::nullopt;
+    }
+    const double incumbent_objective =
+        session.has_incumbent()
+            ? session.objective_of(session.incumbent())
+            : 0.0;
+    const profiler::ProfilerOptions& popts =
+        session.problem().profiler_options;
+    const Scenario& scenario = session.scenario();
+    const perf::TrainingConfig& config = session.problem().config;
+    // Only compliant candidates are worth confirming: the compliance
+    // check charges the confirm probe's own expected full-fidelity
+    // spend up front, so a hypothesis whose completion no longer fits
+    // *after* paying for its confirmation is skipped rather than
+    // confirmed into a stranded measurement. When nothing is compliant
+    // and no incumbent exists, the least-violating candidate (the one
+    // finalize would fall back to) is confirmed instead, so even a
+    // doomed-to-violate run ends with one trustworthy measurement.
+    const ProbeStep* best_step = nullptr;
+    double best_corrected = incumbent_objective;
+    const ProbeStep* fallback_step = nullptr;
+    double fallback_penalty = -std::numeric_limits<double>::infinity();
+    for (const ProbeStep& step : session.trace()) {
+      if (step.failed || !step.feasible || step.fidelity.is_full()) continue;
+      // Already attempted at full fidelity — confirmed, independently
+      // measured, or failed (a failed confirm is not retried: each
+      // deployment gets at most one confirmation attempt, which bounds
+      // this stage).
+      bool attempted_full = false;
+      for (const ProbeStep& other : session.trace()) {
+        if (other.deployment == step.deployment &&
+            other.fidelity.is_full()) {
+          attempted_full = true;
+          break;
+        }
+      }
+      if (attempted_full) continue;
+      if (outaged(session, step.deployment.type_index)) continue;
+      if (!reserve_ok(session, step.deployment)) continue;  // full-cost
+      const double h = session.corrected_projected_training_hours(step);
+      const double c = session.corrected_projected_training_cost(step);
+      const double probe_h = session.profiler().expected_profile_hours(
+          config, step.deployment);
+      const double probe_c = session.profiler().expected_profile_cost(
+          config, step.deployment);
+      const bool compliant =
+          (!scenario.has_deadline() ||
+           session.spent_hours() + probe_h + h <= scenario.deadline_hours) &&
+          (!scenario.has_budget() ||
+           session.spent_cost() + probe_c + c <= scenario.budget_dollars);
+      const double bias = profiler::fidelity_speed_bias(popts, step.fidelity);
+      const double corrected = session.objective_of(step) / (1.0 + bias);
+      if (compliant) {
+        // Never confirm what cannot beat the incumbent even after the
+        // optimistic bias is corrected away.
+        if (corrected > best_corrected) {
+          best_corrected = corrected;
+          best_step = &step;
+        }
+      } else if (!session.has_incumbent()) {
+        const double penalty = scenario.has_budget() ? -(probe_c + c)
+                                                     : -(probe_h + h);
+        if (penalty > fallback_penalty) {
+          fallback_penalty = penalty;
+          fallback_step = &step;
+        }
+      }
+    }
+    const ProbeStep* chosen =
+        best_step != nullptr
+            ? best_step
+            : (session.has_incumbent() ? nullptr : fallback_step);
+    if (chosen == nullptr) return std::nullopt;
+    return ProbeRequest{chosen->deployment, 0.0, "confirm",
+                        profiler::Fidelity{}};
   }
 
   HeterBoOptions options_;
@@ -678,6 +833,7 @@ class HeterBoStrategy final : public SearchStrategy {
 
   // --- begin() products
   bool time_penalty_ = false;
+  profiler::Fidelity explore_;  // full when the ladder is disabled
   std::vector<int> min_feasible_;
   double median_init_ = 0.0;
   std::vector<bool> excluded_;

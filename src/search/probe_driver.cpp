@@ -10,9 +10,9 @@ bool ProbeDriver::step(SearchSession& session) {
   // Copy the request: observe() clears the pending slot it points into.
   const ProbeRequest request = *pending;
 
-  const profiler::ProfileResult outcome =
-      session.profiler().profile(session.problem().config,
-                                 request.deployment);
+  const profiler::ProfileResult outcome = session.profiler().profile(
+      session.problem().config,
+      profiler::ProbeRequest{request.deployment, request.fidelity});
   ProbeStep step = session.account(request, outcome);
 
   // Write-ahead discipline: durable before admitted. Replayed steps are
@@ -40,9 +40,9 @@ journal::ProbeRecord ProbeDriver::step_losing_result(
   }
   const ProbeRequest request = *pending;
 
-  const profiler::ProfileResult outcome =
-      session.profiler().profile(session.problem().config,
-                                 request.deployment);
+  const profiler::ProfileResult outcome = session.profiler().profile(
+      session.problem().config,
+      profiler::ProbeRequest{request.deployment, request.fidelity});
   const ProbeStep step = session.account(request, outcome);
   const journal::ProbeRecord record = to_journal_record(step);
   journal::RunJournal* journal = session.problem().journal;

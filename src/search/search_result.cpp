@@ -72,6 +72,8 @@ journal::ProbeRecord to_journal_record(const ProbeStep& step) {
     rec.attempt_log.push_back({static_cast<int>(a.fault), a.hours, a.cost,
                                a.backoff_hours});
   }
+  rec.sample_fraction = step.fidelity.sample_fraction;
+  rec.iteration_tier = step.fidelity.iteration_tier;
   return rec;
 }
 
@@ -97,6 +99,7 @@ ProbeStep from_journal_record(const journal::ProbeRecord& record) {
                                 a.hours, a.cost, a.backoff_hours});
   }
   step.replayed = true;
+  step.fidelity = {record.sample_fraction, record.iteration_tier};
   return step;
 }
 

@@ -12,6 +12,7 @@
 #include "cloud/deployment.hpp"
 #include "cloud/fault_model.hpp"
 #include "journal/journal.hpp"
+#include "profiler/fidelity.hpp"
 #include "search/scenario.hpp"
 
 namespace mlcd::search {
@@ -36,6 +37,10 @@ struct ProbeStep {
   /// True when this step was restored from a resume journal rather than
   /// executed (its spend was paid by the original run).
   bool replayed = false;
+  /// Fidelity the probe was measured at (Fidelity{} = full). Low-fidelity
+  /// steps carry biased, noisier measurements and never become the
+  /// incumbent — see SearchSession::observe.
+  profiler::Fidelity fidelity{};
 };
 
 /// Journal-record image of a probe step (what the run journal persists).

@@ -68,13 +68,17 @@ ProbeStep SearchSession::account(const ProbeRequest& request,
   step.backoff_hours = outcome.backoff_hours;
   step.attempt_log = outcome.attempt_log;
   step.replayed = outcome.replayed;
+  step.fidelity = outcome.fidelity;
   return step;
 }
 
 const ProbeStep& SearchSession::observe(ProbeStep step) {
   trace_.push_back(std::move(step));
   const std::size_t idx = trace_.size() - 1;
-  if (trace_[idx].feasible &&
+  // Only full-fidelity measurements may become the incumbent: a low-
+  // fidelity speed is optimistically biased, and promoting it would let
+  // the search "finish" on a deployment it never actually confirmed.
+  if (trace_[idx].feasible && trace_[idx].fidelity.is_full() &&
       (!incumbent_.has_value() ||
        objective_of(trace_[idx]) > objective_of(trace_[*incumbent_]))) {
     incumbent_ = idx;
@@ -105,8 +109,18 @@ bool SearchSession::already_probed(
     const cloud::Deployment& d) const noexcept {
   for (const ProbeStep& s : trace_) {
     // A transiently failed probe produced no measurement; the point may
-    // be retried.
-    if (s.deployment == d && !s.failed) return true;
+    // be retried. A low-fidelity measurement does not make the point
+    // "probed" either — full-fidelity confirmation is still informative.
+    if (s.deployment == d && !s.failed && s.fidelity.is_full()) return true;
+  }
+  return false;
+}
+
+bool SearchSession::already_probed(
+    const cloud::Deployment& d,
+    const profiler::Fidelity& fidelity) const noexcept {
+  for (const ProbeStep& s : trace_) {
+    if (s.deployment == d && !s.failed && s.fidelity == fidelity) return true;
   }
   return false;
 }
@@ -148,11 +162,42 @@ double SearchSession::projected_training_cost(
   return hours * problem_->space->hourly_price(step.deployment);
 }
 
+double SearchSession::corrected_projected_training_hours(
+    const ProbeStep& step) const {
+  if (!step.feasible || step.measured_speed <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double bias = profiler::fidelity_speed_bias(
+      problem_->profiler_options, step.fidelity);
+  return completion_.training_hours(step.deployment,
+                                    step.measured_speed / (1.0 + bias));
+}
+
+double SearchSession::corrected_projected_training_cost(
+    const ProbeStep& step) const {
+  const double hours = corrected_projected_training_hours(step);
+  if (!std::isfinite(hours)) return hours;
+  return hours * problem_->space->hourly_price(step.deployment);
+}
+
 double SearchSession::min_completion_hours() const {
+  // Completion fallbacks consider only full-fidelity probes: a biased
+  // low-fidelity speed would overstate how fast a fallback could finish
+  // and silently weaken the reserve guarantee. While a ladder run has
+  // nothing confirmed yet, the *bias-corrected* low-fidelity projection
+  // — conservative by construction — stands in so the reserve is never
+  // toothless mid-exploration.
   double best = std::numeric_limits<double>::infinity();
   for (const ProbeStep& step : trace_) {
-    if (step.feasible) {
+    if (step.feasible && step.fidelity.is_full()) {
       best = std::min(best, projected_training_hours(step));
+    }
+  }
+  if (!std::isfinite(best)) {
+    for (const ProbeStep& step : trace_) {
+      if (step.feasible && !step.fidelity.is_full()) {
+        best = std::min(best, corrected_projected_training_hours(step));
+      }
     }
   }
   return best;
@@ -161,8 +206,15 @@ double SearchSession::min_completion_hours() const {
 double SearchSession::min_completion_cost() const {
   double best = std::numeric_limits<double>::infinity();
   for (const ProbeStep& step : trace_) {
-    if (step.feasible) {
+    if (step.feasible && step.fidelity.is_full()) {
       best = std::min(best, projected_training_cost(step));
+    }
+  }
+  if (!std::isfinite(best)) {
+    for (const ProbeStep& step : trace_) {
+      if (step.feasible && !step.fidelity.is_full()) {
+        best = std::min(best, corrected_projected_training_cost(step));
+      }
     }
   }
   return best;
@@ -193,7 +245,7 @@ bool SearchSession::reserve_allows(double extra_hours,
   {
     double best_objective = -std::numeric_limits<double>::infinity();
     for (const ProbeStep& step : trace_) {
-      if (!step.feasible) continue;
+      if (!step.feasible || !step.fidelity.is_full()) continue;
       const double h = projected_training_hours(step);
       const double c = projected_training_cost(step);
       const bool compliant =
@@ -205,6 +257,30 @@ bool SearchSession::reserve_allows(double extra_hours,
         best_objective = objective;
         reserve_hours = h;
         reserve_cost = c;
+      }
+    }
+    if (!std::isfinite(reserve_hours)) {
+      // A ladder run reaches here while nothing is confirmed yet:
+      // protect the best *bias-corrected* low-fidelity fallback so the
+      // reserve has teeth before the confirm stage. The correction
+      // divides the optimistic speed back down, so the reserved
+      // completion is conservative. (Ladder-free runs never enter this
+      // scan — every feasible step is full-fidelity.)
+      double best_objective = -std::numeric_limits<double>::infinity();
+      for (const ProbeStep& step : trace_) {
+        if (!step.feasible || step.fidelity.is_full()) continue;
+        const double h = corrected_projected_training_hours(step);
+        const double c = corrected_projected_training_cost(step);
+        const bool compliant =
+            (!s.has_deadline() || cum_hours_ + h <= s.deadline_hours) &&
+            (!s.has_budget() || cum_cost_ + c <= s.budget_dollars);
+        if (!compliant) continue;
+        const double objective = objective_of(step);
+        if (objective > best_objective) {
+          best_objective = objective;
+          reserve_hours = h;
+          reserve_cost = c;
+        }
       }
     }
     if (!std::isfinite(reserve_hours)) {
@@ -237,6 +313,13 @@ bool SearchSession::reserve_allows_probe(const cloud::Deployment& d) const {
   return reserve_allows(
       profiler_.worst_case_profile_hours(problem_->config, d),
       profiler_.worst_case_profile_cost(problem_->config, d));
+}
+
+bool SearchSession::reserve_allows_probe(
+    const cloud::Deployment& d, const profiler::Fidelity& fidelity) const {
+  return reserve_allows(
+      profiler_.worst_case_profile_hours(problem_->config, d, fidelity),
+      profiler_.worst_case_profile_cost(problem_->config, d, fidelity));
 }
 
 }  // namespace mlcd::search

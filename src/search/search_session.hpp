@@ -101,13 +101,19 @@ enum class IncumbentPolicy {
   kConstraintAware,
 };
 
-/// One probe the strategy wants executed next.
+/// One probe the strategy wants executed next. Strategies propose the
+/// deployment and the fidelity jointly: a cheap low-fidelity sweep and a
+/// full-fidelity confirmation of the same deployment are different
+/// requests with different cost, noise, and information content.
 struct ProbeRequest {
   cloud::Deployment deployment;
   /// Acquisition score recorded in the trace (0 for non-BO probes).
   double acquisition = 0.0;
-  /// Trace label: "init", "curve", "tei", "ei", "degraded", ...
+  /// Trace label: "init", "curve", "tei", "ei", "confirm", ...
   std::string reason;
+  /// Requested probe fidelity (Fidelity{} = full). Only meaningful when
+  /// the problem's fidelity ladder is enabled.
+  profiler::Fidelity fidelity{};
 };
 
 class SearchSession;
@@ -178,7 +184,13 @@ class SearchSession {
   util::Rng& rng() noexcept { return rng_; }
 
   const std::vector<ProbeStep>& trace() const noexcept { return trace_; }
+  /// True when `d` has a *full-fidelity* probe in the trace. Low-fidelity
+  /// observations do not count: the search may still want to confirm the
+  /// deployment at full fidelity.
   bool already_probed(const cloud::Deployment& d) const noexcept;
+  /// True when `d` was probed at exactly `fidelity`.
+  bool already_probed(const cloud::Deployment& d,
+                      const profiler::Fidelity& fidelity) const noexcept;
 
   double spent_hours() const noexcept { return cum_hours_; }
   double spent_cost() const noexcept { return cum_cost_; }
@@ -198,6 +210,14 @@ class SearchSession {
   double projected_training_hours(const ProbeStep& step) const;
   /// Projected dollars to finish training at a probed point.
   double projected_training_cost(const ProbeStep& step) const;
+
+  /// Bias-corrected completion projections for a low-fidelity step: the
+  /// optimistically biased measured speed is divided back down by the
+  /// fidelity's bias envelope before projecting, so the result is
+  /// conservative. Identical to the uncorrected projections for
+  /// full-fidelity steps (bias is exactly zero there).
+  double corrected_projected_training_hours(const ProbeStep& step) const;
+  double corrected_projected_training_cost(const ProbeStep& step) const;
 
   /// Cheapest way to finish training from any probed point so far:
   /// minimum projected training hours / dollars over feasible probes.
@@ -223,6 +243,12 @@ class SearchSession {
   /// constraint guarantee. Shared by HeterBO's reserve filter and the
   /// budget-aware BO-loop variants.
   bool reserve_allows_probe(const cloud::Deployment& d) const;
+  /// Same reserve check budgeted at the worst-case spend of a probe at
+  /// `fidelity` (cheaper than full for reduced rungs — this is precisely
+  /// how low-fidelity sweeps stretch the exploration budget without
+  /// weakening the worst-case guarantee).
+  bool reserve_allows_probe(const cloud::Deployment& d,
+                            const profiler::Fidelity& fidelity) const;
 
   /// Worker pool for candidate scans: the injected shared pool when the
   /// problem carries one, else a lazily created pool sized to

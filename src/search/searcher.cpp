@@ -44,16 +44,27 @@ SearchResult Searcher::finalize(SearchSession& session) const {
     }
   };
 
-  if (policy_ == IncumbentPolicy::kObjectiveOnly) {
-    for (const ProbeStep& step : result.trace) {
-      if (step.feasible) consider(step, session.objective_of(step));
+  // The final pick prefers full-fidelity measurements: low-fidelity
+  // speeds are optimistically biased and would overstate both the
+  // objective and the projected completion. Only when the trace holds no
+  // feasible full-fidelity probe at all (a ladder run cut short before
+  // any confirmation) does the pick fall back to low-fidelity steps —
+  // still better than reporting nothing found. In a ladder-free run
+  // every step is full and both passes are the legacy selection.
+  const auto select = [&](bool require_full) {
+    if (policy_ == IncumbentPolicy::kObjectiveOnly) {
+      for (const ProbeStep& step : result.trace) {
+        if (require_full && !step.fidelity.is_full()) continue;
+        if (step.feasible) consider(step, session.objective_of(step));
+      }
+      return;
     }
-  } else {
     // Constraint-aware: prefer probes whose projected completion keeps
     // every constraint satisfied; among them maximize the objective.
     bool any_compliant = false;
     for (const ProbeStep& step : result.trace) {
       if (!step.feasible) continue;
+      if (require_full && !step.fidelity.is_full()) continue;
       const double train_h = session.projected_training_hours(step);
       const double train_c = session.projected_training_cost(step);
       const bool compliant =
@@ -71,6 +82,7 @@ SearchResult Searcher::finalize(SearchSession& session) const {
       // soonest (deadline) or cheapest (budget).
       for (const ProbeStep& step : result.trace) {
         if (!step.feasible) continue;
+        if (require_full && !step.fidelity.is_full()) continue;
         const double penalty =
             scenario.has_budget()
                 ? -session.projected_training_cost(step)
@@ -78,7 +90,9 @@ SearchResult Searcher::finalize(SearchSession& session) const {
         consider(step, penalty);
       }
     }
-  }
+  };
+  select(/*require_full=*/true);
+  if (chosen == nullptr) select(/*require_full=*/false);
 
   if (chosen == nullptr) {
     MLCD_LOG(kWarn, "search")

@@ -64,6 +64,18 @@ int BatchReport::total_scheduler_stalls() const noexcept {
   return count;
 }
 
+int BatchReport::total_low_fidelity_probes() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) count += job.stats.low_fidelity_probes;
+  return count;
+}
+
+int BatchReport::total_full_fidelity_probes() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) count += job.stats.full_fidelity_probes;
+  return count;
+}
+
 int BatchReport::slo_exceeded_count() const noexcept {
   int count = 0;
   for (const JobOutcome& job : jobs) {
@@ -108,6 +120,11 @@ std::string BatchReport::render() const {
       << " s occupied, " << total_session_parks() << " session parks)\n";
   out << "probe cache: " << cache.size << " records, " << cache.hits << "/"
       << cache.lookups << " hits\n";
+  if (total_low_fidelity_probes() > 0) {
+    out << "fidelity: " << total_low_fidelity_probes()
+        << " reduced-rung probes, " << total_full_fidelity_probes()
+        << " full-fidelity probes\n";
+  }
   if (chaos.enabled()) {
     out << "chaos (seed " << chaos.seed << "): "
         << total_lane_crashes() << " lane crashes, "
@@ -181,6 +198,10 @@ std::string BatchReport::to_json() const {
   json.key("scheduler_stalls").value(total_scheduler_stalls());
   json.key("slo_exceeded").value(slo_exceeded_count());
   json.end_object();
+  json.key("fidelity").begin_object();
+  json.key("low_fidelity_probes").value(total_low_fidelity_probes());
+  json.key("full_fidelity_probes").value(total_full_fidelity_probes());
+  json.end_object();
   json.key("probe_cache").begin_object();
   json.key("lookups").value(cache.lookups);
   json.key("hits").value(cache.hits);
@@ -209,6 +230,8 @@ std::string BatchReport::to_json() const {
     json.key("probe_losses").value(job.stats.probe_losses);
     json.key("scheduler_stalls").value(job.stats.scheduler_stalls);
     json.key("chaos_backoff_hours").value(job.stats.chaos_backoff_hours);
+    json.key("low_fidelity_probes").value(job.stats.low_fidelity_probes);
+    json.key("full_fidelity_probes").value(job.stats.full_fidelity_probes);
     json.end_object();
     json.key("slo").begin_object();
     json.key("exceeded").value(job.slo != SloBreach::kNone);

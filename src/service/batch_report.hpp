@@ -84,6 +84,17 @@ struct JobStats {
   /// the service level for revocations — never on the job's own clock,
   /// which stays solo-identical.
   double chaos_backoff_hours = 0.0;
+
+  // --- Multi-fidelity counters (schema v4). Derived from the job's
+  // final trace: how many probes ran at a reduced fidelity rung versus
+  // at full fidelity. A ladder-free job reports 0 / N.
+
+  /// Probes measured at a reduced fidelity rung (sub-sampled dataset
+  /// and/or shortened iteration window).
+  int low_fidelity_probes = 0;
+  /// Probes measured at full fidelity (the only kind a ladder-free
+  /// job ever runs).
+  int full_fidelity_probes = 0;
 };
 
 /// One workload job's outcome: either a RunReport or a typed JobError,
@@ -115,7 +126,11 @@ struct BatchReport {
   /// scheduler_stalls, chaos_backoff_hours), the per-job "slo" object,
   /// and the fleet "faults" totals. Every v2 key is unchanged — v2
   /// readers keep working.
-  static constexpr int kJsonSchemaVersion = 3;
+  /// 4 = adds the per-job multi-fidelity probe counters
+  /// (low_fidelity_probes, full_fidelity_probes) and the fleet
+  /// "fidelity" totals. Every v3 key is unchanged — v3 readers keep
+  /// working; ladder-free jobs simply report zero low-fidelity probes.
+  static constexpr int kJsonSchemaVersion = 4;
 
   /// Scheduler configuration this batch ran under.
   int threads = 1;
@@ -150,6 +165,10 @@ struct BatchReport {
   int total_scheduler_stalls() const noexcept;
   /// Jobs finalized early for an SLO breach.
   int slo_exceeded_count() const noexcept;
+  /// Fleet multi-fidelity totals (how many probes the batch ran at a
+  /// reduced rung versus at full fidelity; schema v4).
+  int total_low_fidelity_probes() const noexcept;
+  int total_full_fidelity_probes() const noexcept;
   /// Sum of per-job cache hits (probes the fleet did not re-measure).
   int total_cache_hits() const noexcept;
   /// Sum of per-job capacity parks (probe-granularity mode only).

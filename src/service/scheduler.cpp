@@ -547,8 +547,8 @@ class ProbeBatch {
                 seconds_since(segment_start);
             return;  // lane freed; the sweep will restage this session
           }
-          const profiler::ProbeKey key =
-              session.profiler().next_probe_key(request->deployment);
+          const profiler::ProbeKey key = session.profiler().next_probe_key(
+              profiler::ProbeRequest{request->deployment, request->fidelity});
           std::optional<journal::ProbeRecord> hit =
               cache_ != nullptr ? cache_->lookup(key) : std::nullopt;
           if (hit.has_value()) {
@@ -609,6 +609,15 @@ class ProbeBatch {
     if (result.ok()) {
       outcome.ok = true;
       outcome.report = std::move(result).report();
+      // Schema-v4 fidelity counters, derived from the final trace so
+      // replays and cache hits are counted exactly once each.
+      for (const search::ProbeStep& step : outcome.report.result.trace) {
+        if (step.fidelity.is_full()) {
+          ++outcome.stats.full_fidelity_probes;
+        } else {
+          ++outcome.stats.low_fidelity_probes;
+        }
+      }
     } else {
       outcome.error_code = std::string(
           system::job_error_code_name(result.error().code));

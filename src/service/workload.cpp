@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "profiler/fidelity.hpp"
 #include "util/json.hpp"
 
 namespace mlcd::service {
@@ -124,6 +125,30 @@ JobSpec parse_job(const util::JsonValue& job, std::size_t index) {
         positive_field(job, "slo_budget_dollars", owner);
   }
   spec.slo.max_probes = int_field(job, "slo_max_probes", 0, 1);
+  if (job.contains("failure_rate")) {
+    // The scalar alias was retired with the multi-fidelity redesign;
+    // reject it loudly instead of silently ignoring a chaos knob.
+    fail(owner +
+         ": 'failure_rate' was removed; use the per-node launch hazard "
+         "('launch_failure_per_node' via the CLI fault knobs) instead");
+  }
+  if (job.contains("fidelity_rungs")) {
+    const std::string spec = job.at("fidelity_rungs").as_string();
+    try {
+      r.profiler_options.fidelity.rungs =
+          profiler::parse_fidelity_rungs(spec);
+    } catch (const std::invalid_argument& e) {
+      fail(owner + ": " + e.what());
+    }
+  }
+  if (job.contains("fidelity_max_bias")) {
+    r.profiler_options.fidelity.max_speed_bias =
+        rate_field(job, "fidelity_max_bias");
+  }
+  if (job.contains("fidelity_max_noise")) {
+    r.profiler_options.fidelity.max_extra_noise =
+        rate_field(job, "fidelity_max_noise");
+  }
   r.seed = static_cast<std::uint64_t>(int_field(job, "seed", 1, 1));
   r.max_nodes = int_field(job, "max_nodes", r.max_nodes, 1);
   r.threads = int_field(job, "threads", r.threads, 1);

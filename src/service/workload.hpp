@@ -26,6 +26,9 @@
 //         "threads": 1,                   // per-job candidate-scan lanes
 //         "gp_refit_every": 1,
 //         "journal": "acme-resnet.mlcdj", // optional durable journal
+//         "fidelity_rungs": "0.5:1,0.25:2", // optional multi-fidelity
+//         "fidelity_max_bias": 0.25,      //   ladder (docs/multi-fidelity.md)
+//         "fidelity_max_noise": 0.06,
 //         "slo_deadline_hours": 12.0,     // optional service SLOs
 //         "slo_budget_dollars": 80.0,
 //         "slo_max_probes": 30

@@ -43,7 +43,7 @@ TEST(FailureInjection, FailedProbesBillHalfTheWindow) {
   cloud::BillingMeter meter(space);
 
   profiler::ProfilerOptions options;
-  options.failure_rate = 0.5;          // legacy knob -> per-node hazard
+  options.faults.launch_failure_per_node = 0.5;
   options.retry.max_attempts = 1;      // no recovery: every roll is final
   profiler::Profiler profiler(perf, space, meter, 3, options);
 
@@ -90,11 +90,11 @@ TEST(FailureInjection, InvalidRateThrows) {
   const perf::TrainingPerfModel perf(cat);
   cloud::BillingMeter meter(space);
   profiler::ProfilerOptions bad;
-  bad.failure_rate = 1.0;
+  bad.faults.launch_failure_per_node = 1.0;
   EXPECT_THROW(profiler::Profiler(perf, space, meter, 1, bad),
                std::invalid_argument);
   profiler::ProfilerOptions bad2;
-  bad2.failure_rate = -0.1;
+  bad2.faults.launch_failure_per_node = -0.1;
   EXPECT_THROW(profiler::Profiler(perf, space, meter, 1, bad2),
                std::invalid_argument);
   profiler::ProfilerOptions bad3;
@@ -271,7 +271,7 @@ TEST_P(SearchUnderFailures, HeterBoStillFindsAndComplies) {
   p.space = &space;
   p.scenario = search::Scenario::fastest_under_budget(120.0);
   p.seed = static_cast<std::uint64_t>(GetParam());
-  p.profiler_options.failure_rate = 0.2;
+  p.profiler_options.faults.launch_failure_per_node = 0.2;
 
   const search::SearchResult r = search::HeterBoSearcher(perf).run(p);
   ASSERT_TRUE(r.found) << "seed " << GetParam();
@@ -299,7 +299,7 @@ TEST(FailureInjection, FailedProbesMayBeRetried) {
   p.config = resnet_config();
   p.space = &space;
   p.scenario = search::Scenario::fastest();
-  p.profiler_options.failure_rate = 0.4;
+  p.profiler_options.faults.launch_failure_per_node = 0.4;
   // Disable in-probe recovery so failures surface in the trace.
   p.profiler_options.retry.max_attempts = 1;
 
@@ -331,7 +331,7 @@ TEST(FailureInjection, FailuresCountedInProfilingSpend) {
   p.space = &space;
   p.scenario = search::Scenario::fastest();
   p.seed = 5;
-  p.profiler_options.failure_rate = 0.3;
+  p.profiler_options.faults.launch_failure_per_node = 0.3;
 
   const search::SearchResult r = search::HeterBoSearcher(perf).run(p);
   double sum = 0.0;

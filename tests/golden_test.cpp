@@ -182,7 +182,7 @@ std::vector<GoldenCase> golden_cases() {
     GoldenCase c;
     c.id = method + "-faults";
     c.request = base_request(method, "resnet", 2, 7);
-    c.request.profiler_options.failure_rate = 0.2;
+    c.request.profiler_options.faults.launch_failure_per_node = 0.2;
     c.request.profiler_options.retry.max_attempts = 3;
     cases.push_back(std::move(c));
   }

@@ -414,8 +414,9 @@ TEST(CrashSafety, ReportCarriesSchema3CrashFields) {
   system::JobRequest resume = base_request();
   resume.resume_path = request.journal_path;
   const system::RunReport resumed = mlcd.deploy(resume).report();
-  EXPECT_EQ(system::RunReport::kJsonSchemaVersion, 3);
+  EXPECT_EQ(system::RunReport::kJsonSchemaVersion, 4);
   const std::string json = resumed.to_json();
+  // Ladder-free runs keep emitting the byte-identical v3 document.
   EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(json.find("\"resumed_from\""), std::string::npos);
   EXPECT_NE(json.find("\"replayed_probes\""), std::string::npos);

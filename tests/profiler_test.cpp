@@ -70,7 +70,7 @@ TEST_F(ProfilerTest, HugeModelStretchesTheWindow) {
 TEST_F(ProfilerTest, MeasurementNearTruth) {
   Profiler profiler(perf_, space_, meter_, 7);
   const cloud::Deployment d{type_of("c5.4xlarge"), 10};
-  const ProfileResult r = profiler.profile(config(), d);
+  const ProfileResult r = profiler.profile(config(), {d});
   EXPECT_TRUE(r.feasible);
   EXPECT_GT(r.true_speed, 0.0);
   EXPECT_NEAR(r.measured_speed / r.true_speed, 1.0, 0.05);
@@ -79,8 +79,8 @@ TEST_F(ProfilerTest, MeasurementNearTruth) {
 TEST_F(ProfilerTest, MeasurementsAreNoisyAcrossProbes) {
   Profiler profiler(perf_, space_, meter_, 7);
   const cloud::Deployment d{type_of("c5.4xlarge"), 10};
-  const ProfileResult a = profiler.profile(config(), d);
-  const ProfileResult b = profiler.profile(config(), d);
+  const ProfileResult a = profiler.profile(config(), {d});
+  const ProfileResult b = profiler.profile(config(), {d});
   EXPECT_NE(a.measured_speed, b.measured_speed);
   EXPECT_DOUBLE_EQ(a.true_speed, b.true_speed);
 }
@@ -89,14 +89,14 @@ TEST_F(ProfilerTest, DeterministicPerSeed) {
   cloud::BillingMeter m1(space_), m2(space_);
   Profiler p1(perf_, space_, m1, 42), p2(perf_, space_, m2, 42);
   const cloud::Deployment d{type_of("c5.4xlarge"), 10};
-  EXPECT_DOUBLE_EQ(p1.profile(config(), d).measured_speed,
-                   p2.profile(config(), d).measured_speed);
+  EXPECT_DOUBLE_EQ(p1.profile(config(), {d}).measured_speed,
+                   p2.profile(config(), {d}).measured_speed);
 }
 
 TEST_F(ProfilerTest, ChargesBillingMeter) {
   Profiler profiler(perf_, space_, meter_, 1);
   const cloud::Deployment d{type_of("c5.xlarge"), 1};
-  const ProfileResult r = profiler.profile(config(), d);
+  const ProfileResult r = profiler.profile(config(), {d});
   EXPECT_NEAR(meter_.total_cost(cloud::UsageKind::kProfiling),
               r.profile_cost, 1e-12);
   EXPECT_DOUBLE_EQ(meter_.total_cost(cloud::UsageKind::kTraining), 0.0);

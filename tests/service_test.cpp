@@ -19,6 +19,7 @@
 
 #include "journal/journal.hpp"
 #include "mlcd/mlcd.hpp"
+#include "profiler/fidelity.hpp"
 #include "search/pareto.hpp"
 #include "search/search_result.hpp"
 #include "search/trace_io.hpp"
@@ -156,6 +157,60 @@ TEST(Workload, RejectsBadSloAndChaos) {
              "jobs": [{"name": "a", "model": "resnet"}]})");
   reject(R"({"chaos": {"seed": 1.5},
              "jobs": [{"name": "a", "model": "resnet"}]})");
+}
+
+TEST(Workload, RejectsTheRetiredFailureRateAlias) {
+  // The scalar failure_rate alias was removed with the ProbeRequest
+  // redesign; an old workload document must fail loudly with migration
+  // guidance, not silently drop a chaos knob.
+  try {
+    parse_workload(R"({"jobs": [
+        {"name": "a", "model": "resnet", "failure_rate": 0.2}]})");
+    FAIL() << "retired 'failure_rate' key was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'failure_rate' was removed"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("launch_failure_per_node"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Workload, ParsesTheFidelityLadder) {
+  const Workload w = parse_workload(R"({
+    "jobs": [
+      {"name": "a", "model": "resnet", "deadline_hours": 24,
+       "fidelity_rungs": "0.5:1,0.25:2", "fidelity_max_bias": 0.2,
+       "fidelity_max_noise": 0.04},
+      {"name": "b", "model": "resnet", "deadline_hours": 24}
+    ]
+  })");
+  const profiler::FidelityOptions& fid =
+      w.jobs[0].request.profiler_options.fidelity;
+  ASSERT_TRUE(fid.enabled());
+  ASSERT_EQ(fid.rungs.size(), 2u);
+  EXPECT_DOUBLE_EQ(fid.rungs[0].sample_fraction, 0.5);
+  EXPECT_EQ(fid.rungs[0].iteration_tier, 1);
+  EXPECT_DOUBLE_EQ(fid.rungs[1].sample_fraction, 0.25);
+  EXPECT_EQ(fid.rungs[1].iteration_tier, 2);
+  EXPECT_DOUBLE_EQ(fid.max_speed_bias, 0.2);
+  EXPECT_DOUBLE_EQ(fid.max_extra_noise, 0.04);
+  // Absent => ladder disabled (the single-fidelity engine).
+  EXPECT_FALSE(w.jobs[1].request.profiler_options.fidelity.enabled());
+
+  // Malformed ladders are rejected with the job named.
+  try {
+    parse_workload(R"({"jobs": [
+        {"name": "a", "model": "resnet", "fidelity_rungs": "1:0"}]})");
+    FAIL() << "full-fidelity rung was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fidelity ladder"), std::string::npos) << what;
+    EXPECT_NE(what.find("a"), std::string::npos) << what;
+  }
+  EXPECT_THROW(parse_workload(R"({"jobs": [
+      {"name": "a", "model": "resnet", "fidelity_max_bias": 1.5}]})"),
+               std::invalid_argument);
 }
 
 TEST(Workload, LoadReadsFileAndReportsMissing) {
@@ -537,6 +592,53 @@ TEST(Scheduler, BatchReportsAreBitIdenticalToSoloRuns) {
     EXPECT_LE(report.peak_tenant_jobs, 1);
     EXPECT_LE(report.peak_capacity_nodes, 24);
   }
+}
+
+// A ladder-enabled job rides the batch scheduler unchanged: its report
+// stays bit-identical to the solo run, its fidelity counters land in the
+// per-job stats, and a ladder-free neighbor in the same batch reports
+// zero reduced-rung probes.
+TEST(Scheduler, MixedFidelityJobsMatchSoloAndCountRungs) {
+  const system::Mlcd mlcd;
+  const Workload workload = parse_workload(R"({
+    "jobs": [
+      {"name": "ladder", "model": "resnet", "budget_dollars": 150,
+       "seed": 7, "max_nodes": 8, "instance_types": ["c5.xlarge",
+       "c5.4xlarge"], "fidelity_rungs": "0.5:1,0.25:2"},
+      {"name": "plain", "model": "resnet", "budget_dollars": 150,
+       "seed": 7, "max_nodes": 8, "instance_types": ["c5.xlarge",
+       "c5.4xlarge"]}
+    ]
+  })");
+
+  std::vector<std::string> solo;
+  for (const JobSpec& spec : workload.jobs) {
+    const system::DeployResult result = mlcd.deploy(spec.request);
+    ASSERT_TRUE(result.ok()) << spec.name;
+    solo.push_back(result.report().to_json());
+  }
+
+  const BatchReport report = Scheduler(mlcd, {}).run(workload);
+  ASSERT_EQ(report.jobs.size(), 2u);
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    ASSERT_TRUE(report.jobs[i].ok) << report.jobs[i].name;
+    EXPECT_EQ(report.jobs[i].report.to_json(), solo[i])
+        << report.jobs[i].name;
+  }
+  // Same model+seed, but the ladder job's probe sequence diverges at the
+  // first reduced-rung probe — the shared cache must not leak anything
+  // across the fidelity boundary.
+  EXPECT_GT(report.jobs[0].stats.low_fidelity_probes, 0);
+  EXPECT_GT(report.jobs[0].stats.full_fidelity_probes, 0);
+  EXPECT_EQ(report.jobs[1].stats.low_fidelity_probes, 0);
+  EXPECT_GT(report.jobs[1].stats.full_fidelity_probes, 0);
+  EXPECT_EQ(report.total_low_fidelity_probes(),
+            report.jobs[0].stats.low_fidelity_probes);
+
+  // The fleet JSON carries the v4 fidelity totals.
+  const util::JsonValue doc = util::parse_json(report.to_json());
+  EXPECT_EQ(doc.at("fidelity").at("low_fidelity_probes").as_number(),
+            report.total_low_fidelity_probes());
 }
 
 // The probe-granularity tentpole's observable: under real capacity
@@ -1047,9 +1149,9 @@ TEST(BatchReport, JsonRoundTripsUnderTheSchema) {
     ASSERT_TRUE(jobs[i].at("ok").as_bool());
     EXPECT_GE(jobs[i].at("stats").at("cache_hits").as_number(), 0.0);
     // The embedded document is a full RunReport under its own schema.
+    // Ladder-free jobs keep emitting the byte-identical v3 document.
     const util::JsonValue& embedded = jobs[i].at("report");
-    EXPECT_EQ(embedded.at("schema_version").as_number(),
-              system::RunReport::kJsonSchemaVersion);
+    EXPECT_EQ(embedded.at("schema_version").as_number(), 3);
     EXPECT_TRUE(embedded.at("result").at("found").as_bool());
     // ... and its bytes are exactly the solo document's bytes.
     EXPECT_EQ(report.jobs[i].report.to_json(),
@@ -1077,7 +1179,15 @@ TEST(BatchReport, V3JsonCarriesChaosSloAndKeepsV2Keys) {
   ASSERT_EQ(report.succeeded(), 2);
 
   const util::JsonValue doc = util::parse_json(report.to_json());
-  EXPECT_EQ(doc.at("schema_version").as_number(), 3);
+  EXPECT_EQ(doc.at("schema_version").as_number(), 4);
+
+  // v4: fleet fidelity totals (zero low-fidelity probes here — no job
+  // in this workload enables a ladder).
+  const util::JsonValue& fidelity = doc.at("fidelity");
+  EXPECT_EQ(fidelity.at("low_fidelity_probes").as_number(), 0);
+  EXPECT_EQ(fidelity.at("full_fidelity_probes").as_number(),
+            report.total_full_fidelity_probes());
+  EXPECT_GT(report.total_full_fidelity_probes(), 0);
 
   // v3: batch-level chaos environment (the reproducibility handle).
   const util::JsonValue& scheduler = doc.at("scheduler");
@@ -1126,8 +1236,12 @@ TEST(BatchReport, V3JsonCarriesChaosSloAndKeepsV2Keys) {
     EXPECT_GE(jobs[i].at("stats").at("session_parks").as_number(), 0.0);
     EXPECT_GE(jobs[i].at("stats").at("lane_busy_seconds").as_number(),
               0.0);
-    EXPECT_EQ(jobs[i].at("report").at("schema_version").as_number(),
-              system::RunReport::kJsonSchemaVersion);
+    EXPECT_EQ(jobs[i].at("stats").at("low_fidelity_probes").as_number(),
+              0);
+    EXPECT_GT(jobs[i].at("stats").at("full_fidelity_probes").as_number(),
+              0);
+    // Ladder-free jobs keep emitting the byte-identical v3 RunReport.
+    EXPECT_EQ(jobs[i].at("report").at("schema_version").as_number(), 3);
   }
 }
 
