@@ -28,6 +28,23 @@
 // the fault-free run, and the chaotic makespan may exceed the
 // fault-free makespan by at most 25%.
 //
+// The PR-8 durability series re-runs the contended fleet as a durable
+// batch (--journal-dir: write-ahead batch manifest plus one fsync'd
+// run journal per job) and writes the comparison to BENCH_PR8.json.
+// Per-probe fsync is the PR-3 run journal's price and dwarfs a
+// *simulated* probe (~5us of work vs ~100us of fsync), so the gated
+// ratio isolates what the batch layer adds on top: both sides carry
+// per-job run journals — the baseline declares one per job, the
+// durable batch auto-manages them — and the ratio measures the batch
+// manifest alone (one header + three lifecycle records per job),
+// gated < 5% of the contended batch's wall time. The full cost of
+// per-probe durability vs the bare fleet is reported ungated as
+// durability_overhead_ratio: against real probes (minutes to hours) a
+// fsync is noise, but against simulated probes it would gate nothing
+// except the runner's disk. Also gated: the probe-free replay of the
+// finished batch via --resume (every report bit-identical to the
+// fresh run, zero probes re-executed).
+//
 // Absolute jobs/sec are machine-dependent, so only ratios are gated and
 // baseline-compared: the t4-vs-serial speedup and the probe-cache hit
 // rate are both dimensionless and cancel machine speed out, which keeps
@@ -35,8 +52,9 @@
 //
 // Usage:
 //   bench_service_throughput [--out FILE] [--out5 FILE] [--out6 FILE]
-//                            [--baseline FILE] [--baseline5 FILE]
-//                            [--baseline6 FILE]
+//                            [--out8 FILE] [--baseline FILE]
+//                            [--baseline5 FILE] [--baseline6 FILE]
+//                            [--baseline8 FILE]
 //                            [--max-regression FRACTION] [--quick]
 #include <algorithm>
 #include <chrono>
@@ -49,7 +67,10 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "mlcd/mlcd.hpp"
+#include "service/batch_journal.hpp"
 #include "service/batch_report.hpp"
 #include "service/scheduler.hpp"
 #include "service/workload.hpp"
@@ -145,7 +166,8 @@ service::Workload contended_fleet() {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--out FILE] [--out5 FILE] [--out6 FILE] "
-               "[--baseline FILE] [--baseline5 FILE] [--baseline6 FILE] "
+               "[--out8 FILE] [--baseline FILE] [--baseline5 FILE] "
+               "[--baseline6 FILE] [--baseline8 FILE] "
                "[--max-regression FRACTION] [--quick]\n",
                argv0);
   return 2;
@@ -206,9 +228,11 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_PR4.json";
   std::string out5_path = "BENCH_PR5.json";
   std::string out6_path = "BENCH_PR6.json";
+  std::string out8_path = "BENCH_PR8.json";
   std::string baseline_path;
   std::string baseline5_path;
   std::string baseline6_path;
+  std::string baseline8_path;
   double max_regression = 0.20;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
@@ -219,12 +243,16 @@ int main(int argc, char** argv) {
       out5_path = argv[++i];
     } else if (arg == "--out6" && i + 1 < argc) {
       out6_path = argv[++i];
+    } else if (arg == "--out8" && i + 1 < argc) {
+      out8_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
     } else if (arg == "--baseline5" && i + 1 < argc) {
       baseline5_path = argv[++i];
     } else if (arg == "--baseline6" && i + 1 < argc) {
       baseline6_path = argv[++i];
+    } else if (arg == "--baseline8" && i + 1 < argc) {
+      baseline8_path = argv[++i];
     } else if (arg == "--max-regression" && i + 1 < argc) {
       max_regression = std::atof(argv[++i]);
     } else if (arg == "--quick") {
@@ -534,7 +562,188 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", out6_path.c_str());
 
+  // ---------------------------------------------- PR-8 durability series
+  // The contended fleet re-run as a durable batch. The gated ratio
+  // compares two configurations that both fsync every probe — jobs
+  // declaring their own run journals (no batch manifest) vs the same
+  // jobs under --journal-dir (write-ahead manifest + auto-managed
+  // journals) — so it isolates the batch manifest's cost. Per-probe
+  // durability vs the bare fleet is reported ungated: a simulated
+  // probe is ~5us of work, so that ratio only measures fsync latency.
+  const std::string dir8 =
+      (std::filesystem::temp_directory_path() / "mlcd_bench_pr8").string();
+  std::filesystem::remove_all(dir8);
+  std::filesystem::create_directories(dir8);
+  service::Workload self_journaled = contended;
+  for (std::size_t i = 0; i < self_journaled.jobs.size(); ++i) {
+    self_journaled.jobs[i].request.journal_path =
+        dir8 + "/self-" + std::to_string(i) + ".mlcdj";
+  }
+  const std::string durable_dir8 = dir8 + "/durable";
+  service::BatchReport self_report;
+  service::BatchReport journaled_report;
+  double self_secs = std::numeric_limits<double>::infinity();
+  double journaled_secs = std::numeric_limits<double>::infinity();
+  {
+    service::SchedulerOptions options;
+    options.threads = 4;
+    options.capacity_nodes = 8;
+    options.share_probes = false;
+    service::SchedulerOptions durable_options = options;
+    durable_options.journal_dir = durable_dir8;
+    // Interleaved trials: both sides fsync ~3000 records per run, so
+    // disk-latency drift over the series would bias a
+    // phase-then-phase measurement; alternating cancels it out of the
+    // min-of-trials ratio.
+    for (int t = 0; t < trials; ++t) {
+      Clock::time_point start = Clock::now();
+      service::BatchReport report =
+          service::Scheduler(mlcd, options).run(self_journaled);
+      double secs = seconds_since(start);
+      if (secs < self_secs) {
+        self_secs = secs;
+        self_report = std::move(report);
+      }
+      start = Clock::now();
+      report = service::Scheduler(mlcd, durable_options).run(contended);
+      secs = seconds_since(start);
+      if (secs < journaled_secs) {
+        journaled_secs = secs;
+        journaled_report = std::move(report);
+      }
+    }
+  }
+  service::BatchReport replay_report;
+  double replay_secs = 0.0;
+  {
+    service::SchedulerOptions options;
+    options.threads = 4;
+    options.capacity_nodes = 8;
+    options.share_probes = false;
+    options.journal_dir = durable_dir8;
+    options.resume = true;
+    replay_secs = best_time(
+        trials,
+        [&] { return service::Scheduler(mlcd, options).run(contended); },
+        &replay_report);
+  }
+
+  // Journaling and replay must both be trace-neutral: same reports as
+  // the journal-less contended run, modulo resume bookkeeping (which
+  // the resume-invariant digest excludes).
+  bool self_identical =
+      self_report.jobs.size() == contended_probe_mode.jobs.size();
+  bool journaled_identical =
+      journaled_report.jobs.size() == contended_probe_mode.jobs.size();
+  bool replay_identical =
+      replay_report.jobs.size() == contended_probe_mode.jobs.size();
+  int replayed_probes8 = 0;
+  for (std::size_t i = 0; i < contended_probe_mode.jobs.size(); ++i) {
+    const std::uint64_t plain_digest =
+        service::digest_run_report(contended_probe_mode.jobs[i].report);
+    self_identical = self_identical && self_report.jobs[i].ok &&
+                     service::digest_run_report(self_report.jobs[i].report) ==
+                         plain_digest;
+    journaled_identical =
+        journaled_identical && journaled_report.jobs[i].ok &&
+        service::digest_run_report(journaled_report.jobs[i].report) ==
+            plain_digest;
+    replay_identical =
+        replay_identical && replay_report.jobs[i].ok &&
+        service::digest_run_report(replay_report.jobs[i].report) ==
+            plain_digest;
+    if (replay_report.jobs[i].ok) {
+      replayed_probes8 += replay_report.jobs[i].report.result.replayed_probes;
+    }
+  }
+  const double journal_overhead_ratio =
+      self_secs > 0.0 ? journaled_secs / self_secs : 0.0;
+
+  std::map<std::string, double> pr8_metrics;
+  pr8_metrics["batch_journal_overhead_ratio"] = journal_overhead_ratio;
+  // Higher = better, for the shared baseline gate.
+  pr8_metrics["journal_throughput_ratio"] =
+      journaled_secs > 0.0 ? self_secs / journaled_secs : 0.0;
+  // Ungated: what fsync-per-probe costs against 5us simulated probes.
+  pr8_metrics["durability_overhead_ratio"] =
+      contended_probe_secs > 0.0 ? journaled_secs / contended_probe_secs
+                                 : 0.0;
+  pr8_metrics["journaled_secs"] = journaled_secs;
+  pr8_metrics["self_journaled_secs"] = self_secs;
+  pr8_metrics["plain_secs"] = contended_probe_secs;
+  pr8_metrics["replay_secs"] = replay_secs;
+  pr8_metrics["replay_speedup"] =
+      replay_secs > 0.0 ? journaled_secs / replay_secs : 0.0;
+  pr8_metrics["replayed_reports"] =
+      static_cast<double>(replay_report.replayed_reports());
+  pr8_metrics["replayed_probes"] = static_cast<double>(replayed_probes8);
+
+  std::printf(
+      "PR-8 durability series (contended fleet, 4 lanes, journal dir "
+      "%s):\n",
+      dir8.c_str());
+  for (const auto& [name, value] : pr8_metrics) {
+    std::printf("  %-34s %.4g\n", name.c_str(), value);
+  }
+  std::printf("  %-34s %s\n", "self_journaled_reports_identical",
+              self_identical ? "yes" : "NO");
+  std::printf("  %-34s %s\n", "journaled_reports_identical",
+              journaled_identical ? "yes" : "NO");
+  std::printf("  %-34s %s\n", "replayed_reports_identical",
+              replay_identical ? "yes" : "NO");
+
+  util::JsonWriter json8;
+  json8.begin_object();
+  json8.key("schema_version").value(1);
+  json8.key("bench").value("pr8-durability-gate");
+  json8.key("hardware_threads").value(util::ThreadPool::hardware_threads());
+  json8.key("metrics").begin_object();
+  for (const auto& [name, value] : pr8_metrics) json8.key(name).value(value);
+  json8.end_object();
+  json8.key("determinism").begin_object();
+  json8.key("self_journaled_reports_identical").value(self_identical);
+  json8.key("journaled_reports_identical").value(journaled_identical);
+  json8.key("replayed_reports_identical").value(replay_identical);
+  json8.key("jobs").value(static_cast<std::int64_t>(contended.jobs.size()));
+  json8.end_object();
+  json8.end_object();
+  {
+    std::ofstream out(out8_path);
+    out << json8.str() << "\n";
+  }
+  std::printf("wrote %s\n", out8_path.c_str());
+  std::filesystem::remove_all(dir8);
+
   bool ok = true;
+  if (!self_identical || !journaled_identical) {
+    std::fprintf(stderr,
+                 "GATE FAIL: journaling perturbed a job's report — both "
+                 "the per-job journals and the durable batch must be "
+                 "trace-neutral\n");
+    ok = false;
+  }
+  if (!replay_identical || replay_report.replayed_reports() !=
+                               static_cast<int>(contended.jobs.size())) {
+    std::fprintf(stderr,
+                 "GATE FAIL: --resume of the finished batch did not "
+                 "replay every report bit-identically\n");
+    ok = false;
+  }
+  if (replay_report.cache.inserts != 0) {
+    std::fprintf(stderr,
+                 "GATE FAIL: the batch replay executed probes (%lld "
+                 "cache inserts) — replay must be probe-free\n",
+                 static_cast<long long>(replay_report.cache.inserts));
+    ok = false;
+  }
+  if (journal_overhead_ratio >= 1.05) {
+    std::fprintf(stderr,
+                 "GATE FAIL: the batch manifest inflated the contended "
+                 "makespan %.1f%% over per-job journals (>= 5%% "
+                 "budget)\n",
+                 100.0 * (journal_overhead_ratio - 1.0));
+    ok = false;
+  }
   if (!chaos_all_ok) {
     std::fprintf(stderr,
                  "GATE FAIL: a job failed under 10%% lane-crash chaos — "
@@ -617,6 +826,15 @@ int main(int argc, char** argv) {
   if (!baseline6_path.empty() &&
       !check_baseline(baseline6_path, {"chaos_throughput_ratio"},
                       pr6_metrics, max_regression,
+                      /*skip_parallel_ratios=*/false)) {
+    ok = false;
+  }
+
+  // PR-8 baseline: the per-job-journals-over-durable-batch throughput
+  // ratio is dimensionless and meaningful at any core count.
+  if (!baseline8_path.empty() &&
+      !check_baseline(baseline8_path, {"journal_throughput_ratio"},
+                      pr8_metrics, max_regression,
                       /*skip_parallel_ratios=*/false)) {
     ok = false;
   }

@@ -11,6 +11,7 @@
 
 #include "cli/args.hpp"
 #include "cloud/catalog_io.hpp"
+#include "journal/journal.hpp"
 #include "search/registry.hpp"
 #include "search/trace_io.hpp"
 #include "cloud/instance.hpp"
@@ -85,6 +86,12 @@ crash-safety options (see docs/crash-safety.md):
   --resume <file>       replay a journal and continue the search
                         bit-identically (zero probes re-executed);
                         the request must match the journal's header
+  --journal-on-error <p> abort = a journal *write* failure fails the
+                        run with a typed journal error; degrade =
+                        continue journal-less with a reported warning
+                        (results stay correct, the run just stops
+                        being crash-resumable). Resume-side *read*
+                        failures always refuse               [abort]
   --probe-timeout <t>   per-attempt watchdog deadline, e.g. 30m: an
                         attempt running longer is killed, billed for
                         the elapsed window, and retried        [off]
@@ -103,6 +110,32 @@ batch options (multi-tenant scheduler; see docs/service.md):
   --json                emit the BatchReport as JSON
   --out <file.json>     also write the BatchReport JSON here
 
+durable-batch options (batch only; see docs/crash-safety.md):
+  --journal-dir <dir>   make the batch durable: a write-ahead manifest
+                        (batch.mlcdb) plus one auto-managed probe
+                        journal per job under <dir> (created if
+                        missing), so a killed batch can be resumed
+  --resume              (with --journal-dir) resume the recorded batch:
+                        finished jobs replay their reports from their
+                        journals bit-identically with zero probes
+                        re-executed, in-flight jobs continue where
+                        they stopped, never-started jobs run fresh
+  --journal-on-error <p> abort | degrade — what a manifest/journal
+                        *write* failure does (see deploy)      [abort]
+
+batch exit codes:
+  0  every job succeeded within its SLO
+  1  one or more jobs failed (unknown model/method, bad request)
+  2  usage error (bad flags, admission refused)
+  3  workload file unreadable or malformed
+  4  journal error: manifest/journal unreadable or mismatched on
+     resume, a write failure under --journal-on-error abort, or a
+     replayed report diverging from its recorded digest
+  5  every job produced a report but at least one was finalized
+     early over its SLO ("slo_exceeded")
+  6  one or more jobs died on an internal error
+  When several apply, 4 beats 6 beats 1 beats 5.
+
 service-level chaos (batch only; overrides the workload's "chaos"
 object per flag — see docs/chaos.md):
   --chaos-seed <n>          fault-schedule seed (recorded in the
@@ -116,6 +149,14 @@ object per flag — see docs/chaos.md):
 int usage_error(std::ostream& err, const std::string& message) {
   err << "mlcd: " << message << "\n" << kUsage;
   return 2;
+}
+
+journal::OnError parse_journal_on_error(const Args& args) {
+  const std::string policy = args.get_or("journal-on-error", "abort");
+  if (policy == "abort") return journal::OnError::kAbort;
+  if (policy == "degrade") return journal::OnError::kDegrade;
+  throw std::invalid_argument("--journal-on-error must be 'abort' or "
+                              "'degrade' (got '" + policy + "')");
 }
 
 system::JobRequest request_from(const Args& args) {
@@ -178,6 +219,7 @@ system::JobRequest request_from(const Args& args) {
   if (const auto resume = args.get("resume")) {
     job.resume_path = *resume;
   }
+  job.journal_on_error = parse_journal_on_error(args);
   if (const auto timeout = args.get("probe-timeout")) {
     job.profiler_options.probe_attempt_timeout_hours =
         parse_duration_hours(*timeout);
@@ -296,9 +338,12 @@ int cmd_batch(const Args& args, std::ostream& out, std::ostream& err) {
     service::Workload workload;
     try {
       workload = service::load_workload(positional[1]);
-    } catch (const std::runtime_error& e) {
+    } catch (const std::exception& e) {
+      // Exit 3: the workload file itself is unreadable or malformed —
+      // distinct from flag mistakes (2) so fleet scripts can tell a
+      // broken deployment artifact from a broken invocation.
       err << "mlcd: " << e.what() << "\n";
-      return 2;
+      return 3;
     }
     // CLI chaos knobs override the workload's "chaos" object per flag,
     // so a committed fleet file can be re-run under a different fault
@@ -329,6 +374,16 @@ int cmd_batch(const Args& args, std::ostream& out, std::ostream& err) {
       options.tenant_max_jobs = parse_positive_int(*quota);
     }
     options.share_probes = !args.has("no-share");
+    if (const auto dir = args.get("journal-dir")) {
+      options.journal_dir = *dir;
+    }
+    options.resume = args.has("resume");
+    if (options.resume && options.journal_dir.empty()) {
+      return usage_error(err,
+                         "batch --resume requires --journal-dir (the "
+                         "manifest to resume from lives there)");
+    }
+    options.journal_on_error = parse_journal_on_error(args);
     const std::string scheduler_mode = args.get_or("scheduler", "probe");
     if (scheduler_mode == "probe") {
       options.probe_granularity = true;
@@ -341,7 +396,16 @@ int cmd_batch(const Args& args, std::ostream& out, std::ostream& err) {
 
     const system::Mlcd mlcd;
     const service::Scheduler scheduler(mlcd, options);
-    const service::BatchReport report = scheduler.run(workload);
+    service::BatchReport report;
+    try {
+      report = scheduler.run(workload);
+    } catch (const journal::JournalError& e) {
+      // Exit 4: batch-level journal failures — an unreadable or
+      // mismatched manifest on resume, or a manifest write failure
+      // under the abort policy.
+      err << "mlcd: " << e.what() << "\n";
+      return 4;
+    }
     if (const auto path = args.get("out")) {
       std::ofstream file(*path, std::ios::binary | std::ios::trunc);
       if (!file) {
@@ -355,8 +419,7 @@ int cmd_batch(const Args& args, std::ostream& out, std::ostream& err) {
     } else {
       out << report.render();
     }
-    return report.succeeded() == static_cast<int>(report.jobs.size()) ? 0
-                                                                      : 1;
+    return batch_exit_code(report);
   } catch (const std::invalid_argument& e) {
     return usage_error(err, e.what());
   }
@@ -404,13 +467,36 @@ int cmd_instances(const Args& args, std::ostream& out) {
 
 }  // namespace
 
+int batch_exit_code(const service::BatchReport& report) {
+  bool journal_error = false;
+  bool internal = false;
+  bool failed = false;
+  for (const service::JobOutcome& job : report.jobs) {
+    if (job.ok) continue;
+    failed = true;
+    if (job.error_code == "journal_error") journal_error = true;
+    if (job.error_code == "internal") internal = true;
+  }
+  if (journal_error) return 4;
+  if (internal) return 6;
+  if (failed) return 1;
+  if (report.slo_exceeded_count() > 0) return 5;
+  return 0;
+}
+
 int run(int argc, const char* const* argv, std::ostream& out,
         std::ostream& err) {
   Args args;
   try {
-    args = Args::parse(
-        argc, argv,
-        /*flags=*/{"trace", "help", "json", "spot", "no-share"});
+    std::vector<std::string> flags = {"trace", "help", "json", "spot",
+                                      "no-share"};
+    // In batch mode --resume is a flag (the manifest under --journal-dir
+    // names the batch); in deploy mode it takes the journal file to
+    // resume from.
+    if (argc > 1 && std::string(argv[1]) == "batch") {
+      flags.push_back("resume");
+    }
+    args = Args::parse(argc, argv, flags);
   } catch (const std::invalid_argument& e) {
     return usage_error(err, e.what());
   }

@@ -12,12 +12,25 @@
 
 #include <iosfwd>
 
+namespace mlcd::service {
+struct BatchReport;
+}
+
 namespace mlcd::cli {
 
 /// Entry point (also used by tests). Writes human output to `out` and
-/// problems to `err`; returns the process exit code (0 = success, 1 =
-/// search failed to find a feasible deployment, 2 = usage error).
+/// problems to `err`; returns the process exit code. Deploy/compare:
+/// 0 = success, 1 = no feasible deployment found, 2 = usage error.
+/// Batch additionally distinguishes (documented in the usage text,
+/// pinned by tests/cli_test.cpp): 3 = workload file unreadable or
+/// malformed, 4 = journal error, 5 = SLO breach, 6 = internal job
+/// error.
 int run(int argc, const char* const* argv, std::ostream& out,
         std::ostream& err);
+
+/// Exit code of a completed batch, most severe condition first:
+/// 4 journal error > 6 internal error > 1 job failure > 5 SLO breach >
+/// 0 all clear. Exposed so tests can pin the precedence directly.
+int batch_exit_code(const service::BatchReport& report);
 
 }  // namespace mlcd::cli

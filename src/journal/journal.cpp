@@ -10,6 +10,7 @@
 
 #include "cloud/instance.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 
 #if defined(_WIN32)
 #include <io.h>
@@ -361,6 +362,37 @@ JournalError::JournalError(JournalErrorCode code, const std::string& message)
                          message),
       code_(code) {}
 
+namespace {
+std::atomic<IoFaultInjector*> g_io_fault_injector{nullptr};
+}  // namespace
+
+std::optional<IoFaultKind> IoFaultInjector::next_append() noexcept {
+  const std::uint64_t index =
+      counter_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.fail_at >= 0 &&
+      index == static_cast<std::uint64_t>(options_.fail_at)) {
+    return options_.kind;
+  }
+  if (options_.fault_rate > 0.0) {
+    // Pure hash draw over (seed, append index): deterministic for a
+    // given sweep regardless of the thread interleaving that produced
+    // each index.
+    const std::uint64_t draw =
+        util::splitmix64(options_.seed ^ (index + 0x9e3779b97f4a7c15ULL));
+    const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    if (u < options_.fault_rate) return options_.kind;
+  }
+  return std::nullopt;
+}
+
+void set_io_fault_injector(IoFaultInjector* injector) noexcept {
+  g_io_fault_injector.store(injector, std::memory_order_release);
+}
+
+IoFaultInjector* io_fault_injector() noexcept {
+  return g_io_fault_injector.load(std::memory_order_acquire);
+}
+
 std::uint32_t crc32(std::string_view bytes) noexcept {
   static const std::array<std::uint32_t, 256> table = [] {
     std::array<std::uint32_t, 256> t{};
@@ -431,15 +463,15 @@ std::uint64_t hash_catalog(const cloud::InstanceCatalog& catalog) noexcept {
   return h.digest();
 }
 
-RunJournal::RunJournal(std::string path, std::FILE* file)
+FramedWriter::FramedWriter(std::string path, std::FILE* file)
     : path_(std::move(path)), file_(file) {}
 
-RunJournal::RunJournal(RunJournal&& other) noexcept
+FramedWriter::FramedWriter(FramedWriter&& other) noexcept
     : path_(std::move(other.path_)), file_(other.file_) {
   other.file_ = nullptr;
 }
 
-RunJournal& RunJournal::operator=(RunJournal&& other) noexcept {
+FramedWriter& FramedWriter::operator=(FramedWriter&& other) noexcept {
   if (this != &other) {
     if (file_ != nullptr) std::fclose(file_);
     path_ = std::move(other.path_);
@@ -449,24 +481,21 @@ RunJournal& RunJournal::operator=(RunJournal&& other) noexcept {
   return *this;
 }
 
-RunJournal::~RunJournal() {
+FramedWriter::~FramedWriter() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-RunJournal RunJournal::create(const std::string& path,
-                              const JournalHeader& header) {
+FramedWriter FramedWriter::create(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     fail(JournalErrorCode::kIo, "cannot open journal '" + path +
                                     "' for writing: " + std::strerror(errno));
   }
-  RunJournal journal(path, file);
-  journal.append_record(compose_header(header));
-  return journal;
+  return FramedWriter(path, file);
 }
 
-RunJournal RunJournal::append_to(const std::string& path,
-                                 std::uint64_t valid_bytes) {
+FramedWriter FramedWriter::append_to(const std::string& path,
+                                     std::uint64_t valid_bytes) {
 #if defined(_WIN32)
   // Truncation via reopen; torn tails are rare enough that portability
   // beats elegance here.
@@ -499,19 +528,44 @@ RunJournal RunJournal::append_to(const std::string& path,
     fail(JournalErrorCode::kIo, "cannot open journal '" + path +
                                     "' for appending: " + std::strerror(errno));
   }
-  return RunJournal(path, file);
+  return FramedWriter(path, file);
 }
 
-void RunJournal::append_probe(const ProbeRecord& record) {
-  append_record(compose_probe(record));
-}
-
-void RunJournal::append_degrade(const DegradeRecord& record) {
-  append_record(compose_degrade(record));
-}
-
-void RunJournal::append_record(const std::string& payload) {
+void FramedWriter::append(const std::string& payload) {
   const std::string line = frame(payload);
+  if (IoFaultInjector* injector = io_fault_injector()) {
+    if (const std::optional<IoFaultKind> fault = injector->next_append()) {
+      switch (*fault) {
+        case IoFaultKind::kEnospc:
+          // Nothing of the record reaches the disk.
+          fail(JournalErrorCode::kIo,
+               "cannot append to journal '" + path_ +
+                   "': injected ENOSPC (" + std::strerror(ENOSPC) + ")");
+        case IoFaultKind::kShortWrite: {
+          // A real torn prefix lands on disk so the stored state matches
+          // a crash mid-append; readers drop it as a torn tail.
+          const std::size_t cut = line.size() / 2;
+          if (cut > 0 &&
+              std::fwrite(line.data(), 1, cut, file_) == cut) {
+            std::fflush(file_);
+          }
+          fail(JournalErrorCode::kIo,
+               "injected short write to journal '" + path_ + "'");
+        }
+        case IoFaultKind::kFsyncFail:
+          // The record is buffered in full but its durability barrier
+          // fails: it may or may not survive, exactly like a real fsync
+          // error. Either on-disk state replays soundly (write-ahead:
+          // the record precedes trace admission).
+          if (std::fwrite(line.data(), 1, line.size(), file_) ==
+              line.size()) {
+            std::fflush(file_);
+          }
+          fail(JournalErrorCode::kIo,
+               "injected fsync failure on journal '" + path_ + "'");
+      }
+    }
+  }
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
     fail(JournalErrorCode::kIo,
          "short write to journal '" + path_ + "': " + std::strerror(errno));
@@ -530,6 +584,40 @@ void RunJournal::append_record(const std::string& payload) {
     fail(JournalErrorCode::kIo,
          "cannot fsync journal '" + path_ + "': " + std::strerror(errno));
   }
+}
+
+std::string frame_record(const std::string& payload) {
+  return frame(payload);
+}
+
+RunJournal::RunJournal(FramedWriter writer) : writer_(std::move(writer)) {}
+
+RunJournal::RunJournal(RunJournal&& other) noexcept = default;
+RunJournal& RunJournal::operator=(RunJournal&& other) noexcept = default;
+RunJournal::~RunJournal() = default;
+
+RunJournal RunJournal::create(const std::string& path,
+                              const JournalHeader& header) {
+  RunJournal journal(FramedWriter::create(path));
+  journal.append_record(compose_header(header));
+  return journal;
+}
+
+RunJournal RunJournal::append_to(const std::string& path,
+                                 std::uint64_t valid_bytes) {
+  return RunJournal(FramedWriter::append_to(path, valid_bytes));
+}
+
+void RunJournal::append_probe(const ProbeRecord& record) {
+  append_record(compose_probe(record));
+}
+
+void RunJournal::append_degrade(const DegradeRecord& record) {
+  append_record(compose_degrade(record));
+}
+
+void RunJournal::append_record(const std::string& payload) {
+  writer_.append(payload);
 }
 
 JournalContents read_journal(const std::string& path) {
@@ -619,6 +707,55 @@ JournalContents read_journal(const std::string& path) {
          "journal '" + path + "' has no readable header record");
   }
   return contents;
+}
+
+FramedFile read_framed_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    fail(JournalErrorCode::kIo, "cannot open journal '" + path +
+                                    "' for reading: " + std::strerror(errno));
+  }
+  std::string text;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    text.append(buffer, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    fail(JournalErrorCode::kIo, "error reading journal '" + path + "'");
+  }
+
+  FramedFile out;
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    const std::size_t newline = text.find('\n', offset);
+    const bool is_tail =
+        newline == std::string::npos || newline + 1 >= text.size();
+    const std::string_view line =
+        newline == std::string::npos
+            ? std::string_view(text).substr(offset)
+            : std::string_view(text).substr(offset, newline - offset);
+
+    FrameResult framed = unframe(line);
+    // Same torn-tail rule as read_journal: a bad or unterminated record
+    // at the very end is a torn append (dropped); earlier it is
+    // corruption at rest (refused).
+    if (!framed.ok || newline == std::string::npos) {
+      if (is_tail) {
+        out.truncated_tail = true;
+        break;
+      }
+      fail(JournalErrorCode::kCorrupt,
+           "journal '" + path + "' is corrupt at byte offset " +
+               std::to_string(offset));
+    }
+    out.payloads.push_back(std::move(framed.payload));
+    offset = newline + 1;
+    out.valid_bytes = offset;
+  }
+  return out;
 }
 
 }  // namespace mlcd::journal

@@ -32,8 +32,10 @@
 // journal describes a different search.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -65,6 +67,57 @@ class JournalError : public std::runtime_error {
  private:
   JournalErrorCode code_;
 };
+
+/// Policy for journal append failures mid-run (`--journal-on-error`).
+/// Either way a failed append must never corrupt in-memory search
+/// state: the write-ahead record is composed from the outcome before
+/// the trace admits it, so the failure leaves at worst a torn record
+/// prefix on disk.
+enum class OnError {
+  kAbort,    ///< surface the typed JournalError; the run fails
+  kDegrade,  ///< drop to journal-less operation with a reported warning
+};
+
+/// Which storage fault the injector fires.
+enum class IoFaultKind {
+  kShortWrite,  ///< torn line: only a prefix of the framed record lands
+  kFsyncFail,   ///< data buffered but the durability barrier fails
+  kEnospc,      ///< no space: nothing of the record reaches the disk
+};
+
+/// Seeded storage-fault injector for the framed journal writers. Tests
+/// install one process-globally (set_io_fault_injector); every framed
+/// append — run journals and the batch manifest alike — consults it
+/// once, so `fail_at` indexes the global append sequence. Thread-safe:
+/// concurrent appends each draw a distinct index.
+class IoFaultInjector {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    double fault_rate = 0.0;  ///< per-append fault probability
+    long long fail_at = -1;   ///< 0-based append index to fail; -1 = off
+    IoFaultKind kind = IoFaultKind::kFsyncFail;
+  };
+  explicit IoFaultInjector(const Options& options) : options_(options) {}
+
+  /// Fate of the next framed append: the fault to inject, or nullopt.
+  std::optional<IoFaultKind> next_append() noexcept;
+
+  /// Appends observed so far (for sweeping fail_at over a run's length).
+  std::uint64_t appends() const noexcept {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Options options_;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+/// Installs (or clears, with nullptr) the process-global fault injector
+/// consulted by every framed append. The injector must outlive its
+/// installation window; tests clear the hook before destroying it.
+void set_io_fault_injector(IoFaultInjector* injector) noexcept;
+IoFaultInjector* io_fault_injector() noexcept;
 
 /// Journal format version (the number in the MLCDJ1 frame magic and the
 /// header record). Bumped on any change to framing or record layout.
@@ -158,6 +211,43 @@ struct JournalContents {
   bool truncated_tail = false;
 };
 
+/// Append-only writer of MLCDJ1-framed records. Every append is framed,
+/// written, flushed, and fsync'd before returning, and consults the
+/// installed IoFaultInjector (if any) first. RunJournal and the service
+/// batch manifest both sit on this writer, so storage-fault injection
+/// and the write-ahead discipline are exercised identically for either.
+class FramedWriter {
+ public:
+  /// Starts a fresh framed file at `path` (truncating any existing
+  /// file). Throws JournalError(kIo).
+  static FramedWriter create(const std::string& path);
+
+  /// Reopens an existing framed file for appending, truncating it to
+  /// `valid_bytes` first (drops a torn tail record).
+  static FramedWriter append_to(const std::string& path,
+                                std::uint64_t valid_bytes);
+
+  FramedWriter(FramedWriter&& other) noexcept;
+  FramedWriter& operator=(FramedWriter&& other) noexcept;
+  FramedWriter(const FramedWriter&) = delete;
+  FramedWriter& operator=(const FramedWriter&) = delete;
+  ~FramedWriter();
+
+  /// Frames `payload` and durably appends it. Throws JournalError(kIo)
+  /// on any write/flush/fsync failure, real or injected. A failed
+  /// append leaves no in-memory residue — at worst a torn record
+  /// prefix on disk, which readers drop as a torn tail.
+  void append(const std::string& payload);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  FramedWriter(std::string path, std::FILE* file);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
 /// Append-only journal writer. Every append is framed, written, and
 /// fsync'd before returning — when append_probe() returns, the probe's
 /// spend survives a crash of this process (write-ahead discipline: the
@@ -183,14 +273,13 @@ class RunJournal {
   void append_probe(const ProbeRecord& record);
   void append_degrade(const DegradeRecord& record);
 
-  const std::string& path() const noexcept { return path_; }
+  const std::string& path() const noexcept { return writer_.path(); }
 
  private:
-  RunJournal(std::string path, std::FILE* file);
+  explicit RunJournal(FramedWriter writer);
   void append_record(const std::string& payload);
 
-  std::string path_;
-  std::FILE* file_ = nullptr;
+  FramedWriter writer_;
 };
 
 /// Reads a journal back: frames and parses every record, validating
@@ -199,6 +288,23 @@ class RunJournal {
 /// a missing/alien header throws kCorrupt, and an unsupported format
 /// version throws kVersionMismatch.
 JournalContents read_journal(const std::string& path);
+
+/// Frames a payload into one MLCDJ1 journal line (magic, byte length,
+/// CRC-32 of the payload, payload, newline).
+std::string frame_record(const std::string& payload);
+
+/// A framed file read back generically: every cleanly-framed payload in
+/// order, for readers whose record schema lives above the journal layer
+/// (the service batch manifest). A framing/CRC failure on the final,
+/// unterminated record is a torn append and is dropped (truncated_tail
+/// set); anywhere earlier the file is corrupt at rest and reading
+/// throws JournalError(kCorrupt).
+struct FramedFile {
+  std::vector<std::string> payloads;
+  std::uint64_t valid_bytes = 0;
+  bool truncated_tail = false;
+};
+FramedFile read_framed_file(const std::string& path);
 
 /// CRC-32 (IEEE 802.3, reflected) of a byte string.
 std::uint32_t crc32(std::string_view bytes) noexcept;

@@ -133,6 +133,9 @@ struct PreparedJob::Context {
   std::optional<journal::RunJournal> writer;
   search::SearchProblem problem;
   std::string resumed_from;
+  /// Why journal creation failed under the degrade policy (empty
+  /// otherwise); handed to the session once it exists.
+  std::string journal_create_failure;
   std::unique_ptr<search::SearchSession> session;
 };
 
@@ -156,6 +159,8 @@ DeployResult PreparedJob::finish() {
   report.request.replay_records.clear();
   report.scenario = context_->scenario;
   report.resumed_from = context_->resumed_from;
+  report.journal_degraded = context_->session->journal_degraded();
+  report.journal_degrade_reason = context_->session->journal_degrade_reason();
   report.result = context_->searcher->finish(*context_->session);
   MLCD_LOG(kInfo, "mlcd") << report.result.method << " selected "
                           << report.result.best_description;
@@ -259,6 +264,7 @@ PrepareResult Mlcd::prepare(const JobRequest& request) const {
   problem.threads = request.threads;
   problem.scan_pool = request.scan_pool;
   problem.gp_refit_every = request.gp_refit_every;
+  problem.journal_on_error = request.journal_on_error;
 
   if (request.probe_gate != nullptr) {
     // Substrate fingerprint for the service probe cache: everything
@@ -351,8 +357,16 @@ PrepareResult Mlcd::prepare(const JobRequest& request) const {
           request.resume_path, contents.valid_bytes));
       context->resumed_from = request.resume_path;
     } else if (!request.journal_path.empty()) {
-      context->writer.emplace(
-          journal::RunJournal::create(request.journal_path, header));
+      try {
+        context->writer.emplace(
+            journal::RunJournal::create(request.journal_path, header));
+      } catch (const journal::JournalError& e) {
+        // Creation failures degrade like mid-run append failures (the
+        // run simply starts journal-less); resume-side *read* failures
+        // above always refuse regardless of policy.
+        if (request.journal_on_error == journal::OnError::kAbort) throw;
+        context->journal_create_failure = e.what();
+      }
     } else if (!request.replay_records.empty()) {
       // In-memory crash re-staging: the records came from this process's
       // own captured trace (or write-ahead images), so there is no
@@ -368,6 +382,9 @@ PrepareResult Mlcd::prepare(const JobRequest& request) const {
     // Session construction performs no probes and draws nothing from
     // seeded streams — a prepared job that is never driven spends $0.
     context->session = context->searcher->start(problem);
+    if (!context->journal_create_failure.empty()) {
+      context->session->degrade_journal(context->journal_create_failure);
+    }
   } catch (const journal::JournalError& e) {
     return reject(JobErrorCode::kJournalError, e.what());
   }
@@ -455,6 +472,12 @@ std::string RunReport::to_json() const {
   json.key("replayed_probes").value(result.replayed_probes);
   json.key("probe_timeouts").value(result.probe_timeout_count());
   json.key("degraded_iterations").value(result.degraded_iterations);
+  // Sparse: only a run that lost its journal mid-flight carries these
+  // keys, so fault-free documents keep their pinned bytes.
+  if (journal_degraded) {
+    json.key("journal_degraded").value(true);
+    json.key("journal_degrade_reason").value(journal_degrade_reason);
+  }
   if (ladder) {
     int low = 0;
     int full = 0;
@@ -496,6 +519,11 @@ std::string RunReport::render() const {
   out << "=== MLCD run report ===\n";
   out << "job        : " << request.model << " on " << request.platform
       << "\n";
+  if (journal_degraded) {
+    out << "WARNING    : journal write failed ("
+        << journal_degrade_reason
+        << "); run completed journal-less and is not crash-resumable\n";
+  }
   out << result.summary(scenario);
   return out.str();
 }

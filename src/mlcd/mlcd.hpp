@@ -72,6 +72,13 @@ struct JobRequest {
   /// disables. Mutually exclusive with journal_path naming a different
   /// file.
   std::string resume_path;
+  /// What a journal write failure does to the run (CLI
+  /// --journal-on-error): kAbort (default) fails the job with the typed
+  /// kJournalError; kDegrade drops to journal-less operation with a
+  /// reported warning while the search continues correctly. Resume-side
+  /// *read* failures (corruption, header mismatch) always refuse — a
+  /// degraded policy never resumes from history it cannot trust.
+  journal::OnError journal_on_error = journal::OnError::kAbort;
   /// Multi-tenant probe gate (service layer): when set, the search's
   /// probes are offered to this gate for cross-job cache reuse and
   /// capacity admission (see probe_gate.hpp). Trace-neutral:
@@ -104,7 +111,11 @@ struct RunReport {
   /// result low_fidelity_probes / full_fidelity_probes, per-step
   /// sample_fraction / iteration_tier). The v4 keys are emitted only
   /// when the fidelity ladder is enabled; ladder-free runs keep emitting
-  /// the byte-identical v3 document.
+  /// the byte-identical v3 document. PR 8 adds the sparse
+  /// journal_degraded / journal_degrade_reason result keys without a
+  /// version bump: they are emitted only when a journal write failure
+  /// degraded the run under --journal-on-error=degrade, so every
+  /// fault-free document keeps its prior bytes.
   static constexpr int kJsonSchemaVersion = 4;
 
   JobRequest request;
@@ -112,6 +123,11 @@ struct RunReport {
   search::SearchResult result;
   /// Journal path this run was resumed from (empty for a fresh run).
   std::string resumed_from;
+  /// True when a journal write failure dropped the run to journal-less
+  /// operation (--journal-on-error=degrade). The search completed
+  /// correctly but the run is no longer crash-resumable.
+  bool journal_degraded = false;
+  std::string journal_degrade_reason;
 
   /// Multi-line human-readable report.
   std::string render() const;

@@ -3,6 +3,28 @@
 #include <stdexcept>
 
 namespace mlcd::search {
+namespace {
+
+// Write-ahead append with the journal-on-error policy applied: abort
+// rethrows the typed JournalError (the run fails as kJournalError);
+// degrade drops the session to journal-less operation and lets the
+// already-accounted step be admitted normally — in-memory search state
+// stays consistent either way.
+void journal_step(SearchSession& session,
+                  const journal::ProbeRecord& record) {
+  journal::RunJournal* journal = session.journal();
+  if (journal == nullptr) return;
+  try {
+    journal->append_probe(record);
+  } catch (const journal::JournalError& e) {
+    if (session.problem().journal_on_error == journal::OnError::kAbort) {
+      throw;
+    }
+    session.degrade_journal(e.what());
+  }
+}
+
+}  // namespace
 
 bool ProbeDriver::step(SearchSession& session) {
   const ProbeRequest* pending = session.next();
@@ -18,9 +40,8 @@ bool ProbeDriver::step(SearchSession& session) {
   // Write-ahead discipline: durable before admitted. Replayed steps are
   // already on disk — appending them again would duplicate records on
   // every resume.
-  journal::RunJournal* journal = session.problem().journal;
-  if (journal != nullptr && !outcome.replayed) {
-    journal->append_probe(to_journal_record(step));
+  if (!outcome.replayed) {
+    journal_step(session, to_journal_record(step));
   }
   session.observe(std::move(step));
   return true;
@@ -45,9 +66,8 @@ journal::ProbeRecord ProbeDriver::step_losing_result(
       profiler::ProbeRequest{request.deployment, request.fidelity});
   const ProbeStep step = session.account(request, outcome);
   const journal::ProbeRecord record = to_journal_record(step);
-  journal::RunJournal* journal = session.problem().journal;
-  if (journal != nullptr && !outcome.replayed) {
-    journal->append_probe(record);
+  if (!outcome.replayed) {
+    journal_step(session, record);
   }
   // `step` goes out of scope unobserved: that is the injected loss. The
   // record image above is all that survives — exactly what a crash

@@ -100,9 +100,24 @@ void SearchSession::note_degraded(int iteration, const std::string& why) {
   MLCD_LOG(kWarn, "search")
       << "surrogate refit failed at iteration " << iteration << " (" << why
       << "); degrading to prior-mean safe mode for this iteration";
-  if (problem_->journal != nullptr && !replaying()) {
-    problem_->journal->append_degrade({iteration, why});
+  if (journal() != nullptr && !replaying()) {
+    try {
+      journal()->append_degrade({iteration, why});
+    } catch (const journal::JournalError& e) {
+      if (problem_->journal_on_error == journal::OnError::kAbort) throw;
+      degrade_journal(e.what());
+    }
   }
+}
+
+void SearchSession::degrade_journal(const std::string& why) {
+  if (journal_degraded_) return;
+  journal_degraded_ = true;
+  journal_degrade_reason_ = why;
+  MLCD_LOG(kWarn, "search")
+      << "journal write failed (" << why
+      << "); continuing without a journal — this run is no longer "
+         "crash-resumable";
 }
 
 bool SearchSession::already_probed(

@@ -69,6 +69,12 @@ struct SearchProblem {
   /// The journal must already contain its header. nullptr = no
   /// journaling. Not owned.
   journal::RunJournal* journal = nullptr;
+  /// What a journal append failure mid-run does: kAbort surfaces the
+  /// typed JournalError (the run fails as kJournalError); kDegrade drops
+  /// the session to journal-less operation with a reported warning and
+  /// the search continues correctly — either way the failed append never
+  /// corrupts in-memory search state.
+  journal::OnError journal_on_error = journal::OnError::kAbort;
   /// Crash-resume replay: probe outcomes recovered from a journal, in
   /// original order. The session's profiler serves these for the first
   /// `replay.size()` probes instead of executing them — billing, clock,
@@ -266,6 +272,23 @@ class SearchSession {
   /// True while probes are still being served from journal replay.
   bool replaying() const noexcept { return profiler_.replay_pending(); }
 
+  /// The problem's journal, or nullptr once a mid-run append failure
+  /// degraded this session to journal-less operation. Drivers append
+  /// through this accessor, never through the problem directly.
+  journal::RunJournal* journal() const noexcept {
+    return journal_degraded_ ? nullptr : problem_->journal;
+  }
+
+  /// Drops the session to journal-less operation after an append (or,
+  /// under the degrade policy, creation) failure. In-memory search state
+  /// is untouched — the run continues correctly, it just stops being
+  /// crash-resumable — and the episode is surfaced in the final report.
+  void degrade_journal(const std::string& why);
+  bool journal_degraded() const noexcept { return journal_degraded_; }
+  const std::string& journal_degrade_reason() const noexcept {
+    return journal_degrade_reason_;
+  }
+
   /// True when the chaos hook asks this iteration to degrade.
   bool chaos_degrade(int iteration) const {
     return problem_->chaos_degrade_hook &&
@@ -288,6 +311,8 @@ class SearchSession {
   double cum_cost_ = 0.0;
   std::optional<std::size_t> incumbent_;
   int degraded_ = 0;
+  bool journal_degraded_ = false;
+  std::string journal_degrade_reason_;
 };
 
 }  // namespace mlcd::search

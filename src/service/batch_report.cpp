@@ -76,6 +76,22 @@ int BatchReport::total_full_fidelity_probes() const noexcept {
   return count;
 }
 
+int BatchReport::resumed_jobs() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) {
+    count += job.stats.resumed_from_journal ? 1 : 0;
+  }
+  return count;
+}
+
+int BatchReport::replayed_reports() const noexcept {
+  int count = 0;
+  for (const JobOutcome& job : jobs) {
+    count += job.stats.replayed_from_journal ? 1 : 0;
+  }
+  return count;
+}
+
 int BatchReport::slo_exceeded_count() const noexcept {
   int count = 0;
   for (const JobOutcome& job : jobs) {
@@ -124,6 +140,17 @@ std::string BatchReport::render() const {
     out << "fidelity: " << total_low_fidelity_probes()
         << " reduced-rung probes, " << total_full_fidelity_probes()
         << " full-fidelity probes\n";
+  }
+  if (resumed_jobs() + replayed_reports() > 0) {
+    out << "resume: " << replayed_reports()
+        << " reports replayed from journals, " << resumed_jobs()
+        << " in-flight jobs resumed\n";
+  }
+  if (batch_journal_degraded) {
+    out << "WARNING: batch manifest write failed ("
+        << batch_journal_degrade_reason
+        << "); results are complete but this batch is no longer "
+           "kill-resumable\n";
   }
   if (chaos.enabled()) {
     out << "chaos (seed " << chaos.seed << "): "
@@ -182,6 +209,16 @@ std::string BatchReport::to_json() const {
   json.key("peak_capacity_nodes").value(peak_capacity_nodes);
   json.key("peak_tenant_jobs").value(peak_tenant_jobs);
   json.key("lane_idle_fraction").value(lane_idle_fraction());
+  json.key("resumed_jobs").value(resumed_jobs());
+  json.key("replayed_reports").value(replayed_reports());
+  if (batch_journal_degraded) {
+    // Sparse warning keys (schema v5): only a degraded batch carries
+    // them, so journaled and journal-less happy-path documents stay
+    // key-identical.
+    json.key("batch_journal_degraded").value(true);
+    json.key("batch_journal_degrade_reason")
+        .value(batch_journal_degrade_reason);
+  }
   json.key("chaos_seed").value(static_cast<std::int64_t>(chaos.seed));
   json.key("chaos").begin_object();
   json.key("enabled").value(chaos.enabled());
@@ -232,6 +269,8 @@ std::string BatchReport::to_json() const {
     json.key("chaos_backoff_hours").value(job.stats.chaos_backoff_hours);
     json.key("low_fidelity_probes").value(job.stats.low_fidelity_probes);
     json.key("full_fidelity_probes").value(job.stats.full_fidelity_probes);
+    json.key("resumed_from_journal").value(job.stats.resumed_from_journal);
+    json.key("replayed_from_journal").value(job.stats.replayed_from_journal);
     json.end_object();
     json.key("slo").begin_object();
     json.key("exceeded").value(job.slo != SloBreach::kNone);

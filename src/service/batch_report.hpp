@@ -95,6 +95,21 @@ struct JobStats {
   /// Probes measured at full fidelity (the only kind a ladder-free
   /// job ever runs).
   int full_fidelity_probes = 0;
+
+  // --- Durable-batch counters (schema v5). Set only by a batch running
+  // under --journal-dir --resume: which recovery path revived this job
+  // after the previous process died. Both false for fresh jobs and for
+  // every job of a non-resumed batch.
+
+  /// The job was in flight when the previous process died and resumed
+  /// from its per-job journal (its journaled prefix replayed, the rest
+  /// executed live).
+  bool resumed_from_journal = false;
+  /// The job had already finished when the previous process died; its
+  /// whole report was replayed bit-identically from its per-job journal
+  /// with zero probes re-executed (digest-verified against the batch
+  /// manifest).
+  bool replayed_from_journal = false;
 };
 
 /// One workload job's outcome: either a RunReport or a typed JobError,
@@ -130,7 +145,14 @@ struct BatchReport {
   /// (low_fidelity_probes, full_fidelity_probes) and the fleet
   /// "fidelity" totals. Every v3 key is unchanged — v3 readers keep
   /// working; ladder-free jobs simply report zero low-fidelity probes.
-  static constexpr int kJsonSchemaVersion = 4;
+  /// 5 = adds the durable-batch keys: per-job stats
+  /// resumed_from_journal / replayed_from_journal, the fleet
+  /// scheduler.resumed_jobs / scheduler.replayed_reports counters, and
+  /// the sparse scheduler.batch_journal_degraded(+_reason) warning keys
+  /// (emitted only when a degrade-policy batch lost its manifest).
+  /// Every v4 key is unchanged — v4 readers keep working; a batch run
+  /// without --journal-dir simply reports all-zero counters.
+  static constexpr int kJsonSchemaVersion = 5;
 
   /// Scheduler configuration this batch ran under.
   int threads = 1;
@@ -155,6 +177,12 @@ struct BatchReport {
   /// fault-free batch). chaos.seed is the batch-level `chaos_seed` that
   /// makes every chaotic run bit-reproducible.
   ChaosOptions chaos;
+  /// Set when a degrade-policy batch lost its write-ahead manifest to a
+  /// storage fault mid-run: results are complete and correct, but the
+  /// batch is no longer kill-resumable. Never set under the abort
+  /// policy, which surfaces the fault as a JournalError instead.
+  bool batch_journal_degraded = false;
+  std::string batch_journal_degrade_reason;
 
   /// Jobs that completed with a RunReport.
   int succeeded() const noexcept;
@@ -169,6 +197,11 @@ struct BatchReport {
   /// reduced rung versus at full fidelity; schema v4).
   int total_low_fidelity_probes() const noexcept;
   int total_full_fidelity_probes() const noexcept;
+  /// Durable-batch recovery totals (schema v5): jobs revived from their
+  /// per-job journals after a process kill — in-flight resumes and
+  /// finished-report replays respectively. Zero for a fresh batch.
+  int resumed_jobs() const noexcept;
+  int replayed_reports() const noexcept;
   /// Sum of per-job cache hits (probes the fleet did not re-measure).
   int total_cache_hits() const noexcept;
   /// Sum of per-job capacity parks (probe-granularity mode only).

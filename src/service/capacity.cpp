@@ -87,10 +87,16 @@ void CapacityPool::revoke(int nodes) noexcept {
   // Same reserve-safe arithmetic as release(): occupancy can never go
   // negative, and notify_all() re-checks queued tickets head-first (the
   // `serving_ == ticket` predicate keeps the FIFO strict even though
-  // every waiter wakes).
-  in_use_ = std::max(0, in_use_ - nodes);
-  ++revocations_;
-  revoked_nodes_ += nodes;
+  // every waiter wakes). The revocation ledger only counts nodes that
+  // were actually in use: a revoke that races a release (or a stray
+  // double-revoke) reclaims nothing and must not inflate the stats —
+  // revoked_nodes_ would otherwise drift past what the pool ever held.
+  const int reclaimed = std::min(std::max(nodes, 0), in_use_);
+  in_use_ -= reclaimed;
+  if (reclaimed > 0) {
+    ++revocations_;
+    revoked_nodes_ += reclaimed;
+  }
   turn_cv_.notify_all();
 }
 

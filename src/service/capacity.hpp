@@ -65,7 +65,10 @@ class CapacityPool {
   /// Returns the nodes exactly like release() (occupancy never
   /// underflows, queued tickets are re-checked in strict FIFO order)
   /// and additionally counts the revocation, so chaotic batches can
-  /// audit how much capacity churned. Never blocks.
+  /// audit how much capacity churned. Only nodes actually in use are
+  /// counted: a revoke after the grant was already released (or a
+  /// double-revoke) reclaims nothing and leaves the ledger untouched.
+  /// Never blocks.
   void revoke(int nodes) noexcept;
 
   int capacity_nodes() const noexcept { return capacity_; }

@@ -4,9 +4,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <filesystem>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -17,6 +20,7 @@
 #include "journal/journal.hpp"
 #include "search/probe_driver.hpp"
 #include "search/search_result.hpp"
+#include "service/batch_journal.hpp"
 #include "service/capacity.hpp"
 #include "service/chaos.hpp"
 #include "service/probe_cache.hpp"
@@ -54,6 +58,236 @@ SloBreach slo_breach(const SloPolicy& slo,
     return SloBreach::kBudget;
   }
   return SloBreach::kNone;
+}
+
+// --------------------------------------------------------------------
+// Durable batches (--journal-dir)
+// --------------------------------------------------------------------
+
+/// How one job of a durable batch starts, decided from the manifest
+/// before any lane runs: fresh (create its journal), resumed (continue
+/// an in-flight journal), or replayed (re-materialize a finished report
+/// from its journal with zero probes re-executed).
+struct DurablePlan {
+  /// Full path of the job's auto-managed run journal.
+  std::string journal_file;
+  /// Request wiring: true sets journal_path (create/truncate), false
+  /// sets resume_path (replay + continue).
+  bool fresh_create = true;
+  bool resumed = false;
+  bool replayed = false;
+  /// The manifest's finished-record digest; a replayed report that
+  /// hashes differently diverged and is refused (kReplayDiverged).
+  std::uint64_t expected_digest = 0;
+};
+
+/// The batch manifest plus the batch-level write-failure policy.
+/// append() never throws: a write failure latches the first error,
+/// stops all further manifest writes (both policies — a half-written
+/// manifest must not keep growing), and Scheduler::run settles the
+/// policy after the fleet drains: kAbort rethrows it as a typed
+/// JournalError, kDegrade flags the report and carries on. Either way
+/// no in-memory job state is touched.
+class ManifestHandle {
+ public:
+  /// `initial_error` non-empty latches the handle immediately: the
+  /// manifest failed to even be created under the degrade policy, so
+  /// `manifest` is null and every append is a no-op.
+  ManifestHandle(std::unique_ptr<BatchJournal> manifest,
+                 journal::OnError on_error,
+                 std::string initial_error = {})
+      : manifest_(std::move(manifest)),
+        on_error_(on_error),
+        error_(std::move(initial_error)) {}
+
+  void append(const BatchJobRecord& record) noexcept {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_.empty() || manifest_ == nullptr) return;
+    }
+    try {
+      manifest_->append(record);
+    } catch (const journal::JournalError& e) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error_.empty()) error_ = e.what();
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error_.empty()) error_ = e.what();
+    }
+  }
+
+  journal::OnError on_error() const noexcept { return on_error_; }
+
+  /// First write error, empty while the manifest is healthy.
+  std::string error() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return error_;
+  }
+
+ private:
+  std::unique_ptr<BatchJournal> manifest_;
+  journal::OnError on_error_;
+  mutable std::mutex mutex_;
+  std::string error_;
+};
+
+/// Basename of job i's auto-managed journal: stable across resumes
+/// (index + sanitized name), so a resumed process derives the same path
+/// without trusting manifest contents.
+std::string job_journal_name(std::size_t i, const std::string& name) {
+  std::string safe;
+  safe.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    safe.push_back(ok ? c : '_');
+  }
+  return "job-" + std::to_string(i) + "-" + safe + ".mlcdj";
+}
+
+/// Refuses a resume whose workload or capacity/quota configuration does
+/// not fingerprint-match the manifest: it describes a different batch.
+void verify_manifest_header(const BatchManifestHeader& recorded,
+                            const BatchManifestHeader& expected,
+                            const std::string& path) {
+  std::string diff;
+  if (recorded.workload_hash != expected.workload_hash) {
+    diff = "workload";
+  } else if (recorded.chaos_seed != expected.chaos_seed) {
+    diff = "chaos_seed";
+  } else if (recorded.job_count != expected.job_count) {
+    diff = "job_count";
+  } else if (recorded.capacity_nodes != expected.capacity_nodes) {
+    diff = "capacity_nodes";
+  } else if (recorded.tenant_max_jobs != expected.tenant_max_jobs) {
+    diff = "tenant_max_jobs";
+  }
+  if (!diff.empty()) {
+    throw journal::JournalError(
+        journal::JournalErrorCode::kHeaderMismatch,
+        "batch manifest '" + path + "' records a different batch: " + diff +
+            " differs");
+  }
+}
+
+/// Plans a durable batch: verifies no job claims its own journal,
+/// creates/resumes the manifest, decides each job's recovery path, and
+/// rewrites the workload copy `durable` with the auto-managed journal
+/// wiring. Throws journal::JournalError for every manifest-read problem
+/// (resume-side read failures refuse regardless of policy) and
+/// std::invalid_argument for admission conflicts.
+std::vector<DurablePlan> plan_durable_batch(
+    const Workload& workload, const SchedulerOptions& options,
+    Workload& durable, std::unique_ptr<BatchJournal>& manifest,
+    std::string& create_error) {
+  namespace fs = std::filesystem;
+  for (const JobSpec& spec : workload.jobs) {
+    if (!spec.request.journal_path.empty() ||
+        !spec.request.resume_path.empty() ||
+        !spec.request.replay_records.empty()) {
+      throw std::invalid_argument(
+          "Scheduler: admission refused — job '" + spec.name +
+          "' declares its own journal/resume, but --journal-dir manages "
+          "every per-job journal");
+    }
+  }
+  std::error_code ec;
+  fs::create_directories(options.journal_dir, ec);
+  if (ec) {
+    journal::JournalError error(
+        journal::JournalErrorCode::kIo,
+        "cannot create journal dir '" + options.journal_dir + "' (" +
+            ec.message() + ")");
+    // Resume cannot proceed without reading the manifest, and abort
+    // surfaces the failure before any probe spends. Degrade runs the
+    // batch journal-less: each job's own journal create will fail and
+    // degrade the same way, so the batch still completes correctly.
+    if (options.resume ||
+        options.journal_on_error == journal::OnError::kAbort) {
+      throw error;
+    }
+    create_error = error.what();
+  }
+
+  const std::size_t n = workload.jobs.size();
+  const std::string manifest_path = options.journal_dir + "/batch.mlcdb";
+  const BatchManifestHeader header = make_manifest_header(
+      workload, options.capacity_nodes, options.tenant_max_jobs);
+  std::vector<DurablePlan> plans(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    plans[i].journal_file = options.journal_dir + "/" +
+                            job_journal_name(i, workload.jobs[i].name);
+  }
+
+  if (options.resume) {
+    const BatchManifestContents contents = read_manifest(manifest_path);
+    verify_manifest_header(contents.header, header, manifest_path);
+    int replays = 0;
+    int resumes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const BatchJobState& state = contents.jobs[i];
+      const bool have_file = fs::exists(plans[i].journal_file);
+      if (state.finished && state.ok && have_file) {
+        // Finished before the kill: replay the whole report from the
+        // per-job journal, bit-identically and probe-free, then verify
+        // it against the manifest digest.
+        plans[i].fresh_create = false;
+        plans[i].replayed = true;
+        plans[i].expected_digest = state.report_digest;
+        ++replays;
+      } else if (state.assigned && have_file) {
+        // In flight when the process died: replay the journaled prefix
+        // and execute the rest live, continuing the same journal.
+        plans[i].fresh_create = false;
+        plans[i].resumed = true;
+        ++resumes;
+      }
+      // Everything else — never started, finished-but-failed (failures
+      // are deterministic), or a journal file lost from disk — runs
+      // fresh, re-creating its journal.
+    }
+    manifest = BatchJournal::append_to(manifest_path, contents.valid_bytes);
+    MLCD_LOG(kInfo, "service")
+        << "resuming batch from " << manifest_path << ": " << replays
+        << " finished reports to replay, " << resumes
+        << " in-flight jobs to resume, "
+        << (n - static_cast<std::size_t>(replays + resumes))
+        << " to run fresh"
+        << (contents.truncated_tail ? " (torn manifest tail dropped)" : "");
+  } else if (create_error.empty()) {
+    try {
+      manifest = BatchJournal::create(manifest_path, header);
+      // Write-ahead: the whole fleet is journaled as admitted before any
+      // probe runs, so a kill during job 0 still knows the batch roster.
+      for (std::size_t i = 0; i < n; ++i) {
+        BatchJobRecord record;
+        record.phase = BatchJobPhase::kAdmitted;
+        record.job = static_cast<int>(i);
+        record.name = workload.jobs[i].name;
+        manifest->append(record);
+      }
+    } catch (const journal::JournalError& e) {
+      // Write failures obey the batch policy even this early: degrade
+      // runs the batch manifest-less (per-job journals may still work),
+      // abort surfaces the typed error before any probe spends.
+      if (options.journal_on_error == journal::OnError::kAbort) throw;
+      manifest.reset();
+      create_error = e.what();
+    }
+  }
+
+  durable = workload;
+  for (std::size_t i = 0; i < n; ++i) {
+    system::JobRequest& request = durable.jobs[i].request;
+    request.journal_on_error = options.journal_on_error;
+    if (plans[i].fresh_create) {
+      request.journal_path = plans[i].journal_file;
+    } else {
+      request.resume_path = plans[i].journal_file;
+    }
+  }
+  return plans;
 }
 
 // --------------------------------------------------------------------
@@ -308,10 +542,14 @@ class StagedGate final : public profiler::ProbeGate {
 /// gives job-per-lane mode.
 class ProbeBatch {
  public:
+  /// `manifest` / `plans` are both null for a non-durable batch; for a
+  /// durable one `plans` holds one entry per workload job.
   ProbeBatch(const system::Mlcd& mlcd, const SchedulerOptions& options,
              const Workload& workload, BatchReport& report,
              ProbeCache* cache, CapacityPool& capacity,
-             util::ThreadPool& scan_pool, Clock::time_point batch_start)
+             util::ThreadPool& scan_pool, Clock::time_point batch_start,
+             ManifestHandle* manifest = nullptr,
+             const std::vector<DurablePlan>* plans = nullptr)
       : mlcd_(&mlcd),
         options_(&options),
         workload_(&workload),
@@ -319,6 +557,8 @@ class ProbeBatch {
         cache_(cache),
         capacity_(&capacity),
         scan_pool_(&scan_pool),
+        manifest_(manifest),
+        plans_(plans),
         batch_start_(batch_start),
         states_(workload.jobs.size()),
         claimed_(workload.jobs.size(), false) {
@@ -462,6 +702,21 @@ class ProbeBatch {
       job.started = true;
       outcome.stats.queue_wait_seconds = seconds_since(batch_start_);
       job.job_start = Clock::now();
+      if (manifest_ != nullptr && plans_ != nullptr) {
+        const DurablePlan& plan = (*plans_)[i];
+        // Write-ahead: the assigned record lands *before* prepare()
+        // touches the per-job journal file, so a kill in between leaves
+        // an assigned-but-fileless job — which a resume simply reruns
+        // fresh. Resumed/replayed jobs are already assigned on disk.
+        if (!plan.resumed && !plan.replayed) {
+          BatchJobRecord record;
+          record.phase = BatchJobPhase::kAssigned;
+          record.job = static_cast<int>(i);
+          record.name = spec.name;
+          record.journal_file = plan.journal_file;
+          manifest_->append(record);
+        }
+      }
       system::JobRequest request = spec.request;
       request.probe_gate = &job.gate;
       request.scan_pool = scan_pool_;
@@ -623,6 +878,30 @@ class ProbeBatch {
           system::job_error_code_name(result.error().code));
       outcome.error_message = result.error().message;
     }
+    if (outcome.ok && plans_ != nullptr &&
+        (*plans_)[i].replayed) {
+      // Replay verification: the re-materialized report must hash to
+      // exactly what the manifest's finished record promised
+      // (kReplayDiverged otherwise) — the journal is not allowed to
+      // drift underneath a finished result.
+      const DurablePlan& plan = (*plans_)[i];
+      const std::uint64_t digest = digest_run_report(outcome.report);
+      if (digest != plan.expected_digest) {
+        outcome.ok = false;
+        outcome.report = system::RunReport{};
+        outcome.stats.low_fidelity_probes = 0;
+        outcome.stats.full_fidelity_probes = 0;
+        outcome.error_code = std::string(system::job_error_code_name(
+            system::JobErrorCode::kJournalError));
+        outcome.error_message =
+            journal::JournalError(
+                journal::JournalErrorCode::kReplayDiverged,
+                "journal '" + plan.journal_file +
+                    "' replayed a report that diverged from the batch "
+                    "manifest digest")
+                .what();
+      }
+    }
   }
 
   /// Hands a live session back to the lane pool (chaos crash / stall
@@ -736,6 +1015,28 @@ class ProbeBatch {
     outcome.stats.lane_busy_seconds += seconds_since(segment_start);
     outcome.stats.run_seconds = seconds_since(job.job_start);
     job.prepared.reset();  // release the session before the lane moves on
+                           // (and close its journal writer first)
+    if (manifest_ != nullptr && plans_ != nullptr &&
+        !(*plans_)[i].replayed) {
+      // Durably record the outcome *after* the per-job journal writer
+      // closed, so a kill from here on replays the finished report
+      // instead of re-running anything. Replayed jobs already carry
+      // their finished record.
+      BatchJobRecord record;
+      record.phase = BatchJobPhase::kFinished;
+      record.job = static_cast<int>(i);
+      record.name = workload_->jobs[i].name;
+      record.journal_file = (*plans_)[i].journal_file;
+      record.ok = outcome.ok;
+      record.outcome =
+          outcome.ok ? (outcome.slo != SloBreach::kNone
+                            ? std::string(kSloExceeded)
+                            : std::string("ok"))
+                     : outcome.error_code;
+      record.report_digest =
+          outcome.ok ? digest_run_report(outcome.report) : 0;
+      manifest_->append(record);
+    }
     if (!outcome.ok) {
       MLCD_LOG(kWarn, "service")
           << "job '" << workload_->jobs[i].name << "' failed ["
@@ -754,6 +1055,8 @@ class ProbeBatch {
   ProbeCache* cache_;
   CapacityPool* capacity_;
   util::ThreadPool* scan_pool_;
+  ManifestHandle* manifest_;              ///< null: batch not durable
+  const std::vector<DurablePlan>* plans_; ///< null: batch not durable
   const Clock::time_point batch_start_;
 
   /// Engaged when the workload declares a chaotic fault environment.
@@ -832,6 +1135,33 @@ BatchReport Scheduler::run(const Workload& workload) const {
         "Scheduler: service-level chaos injection and SLO enforcement "
         "require the probe-granularity scheduler (--scheduler probe)");
   }
+  if (!options_.journal_dir.empty() && !options_.probe_granularity) {
+    throw std::invalid_argument(
+        "Scheduler: durable batches (--journal-dir) require the "
+        "probe-granularity scheduler (--scheduler probe)");
+  }
+  if (options_.resume && options_.journal_dir.empty()) {
+    throw std::invalid_argument(
+        "Scheduler: --resume requires --journal-dir (the manifest to "
+        "resume from lives there)");
+  }
+
+  // Durable batches: plan every job's recovery path from the manifest
+  // (or write a fresh one) before any lane runs, and swap in the
+  // workload copy carrying the auto-managed journal wiring.
+  std::unique_ptr<BatchJournal> manifest;
+  std::optional<ManifestHandle> manifest_handle;
+  std::vector<DurablePlan> plans;
+  Workload durable;
+  const Workload* active = &workload;
+  if (!options_.journal_dir.empty()) {
+    std::string create_error;
+    plans = plan_durable_batch(workload, options_, durable, manifest,
+                               create_error);
+    manifest_handle.emplace(std::move(manifest), options_.journal_on_error,
+                            std::move(create_error));
+    active = &durable;
+  }
 
   BatchReport report;
   report.chaos = workload.chaos;
@@ -843,6 +1173,10 @@ BatchReport Scheduler::run(const Workload& workload) const {
   for (std::size_t i = 0; i < n; ++i) {
     report.jobs[i].name = workload.jobs[i].name;
     report.jobs[i].tenant = workload.jobs[i].tenant;
+    if (!plans.empty()) {
+      report.jobs[i].stats.resumed_from_journal = plans[i].resumed;
+      report.jobs[i].stats.replayed_from_journal = plans[i].replayed;
+    }
   }
 
   ProbeCache cache;
@@ -861,14 +1195,36 @@ BatchReport Scheduler::run(const Workload& workload) const {
   const Clock::time_point batch_start = Clock::now();
   int peak_tenant = 0;
   if (options_.probe_granularity) {
-    ProbeBatch batch(*mlcd_, options_, workload, report, shared_cache,
-                     capacity, scan_pool, batch_start);
+    ProbeBatch batch(*mlcd_, options_, *active, report, shared_cache,
+                     capacity, scan_pool, batch_start,
+                     manifest_handle ? &*manifest_handle : nullptr,
+                     plans.empty() ? nullptr : &plans);
     batch.run();
     peak_tenant = batch.peak_tenant();
   } else {
     peak_tenant = run_job_mode(*mlcd_, options_, workload, report,
                                shared_cache, capacity, scan_pool,
                                batch_start);
+  }
+
+  // Settle the manifest write-failure policy only after every lane
+  // drained: no in-memory job state depends on the manifest, so all
+  // results above are complete and correct either way.
+  if (manifest_handle.has_value()) {
+    const std::string manifest_error = manifest_handle->error();
+    if (!manifest_error.empty()) {
+      if (options_.journal_on_error == journal::OnError::kAbort) {
+        throw journal::JournalError(
+            journal::JournalErrorCode::kIo,
+            "batch manifest append failed: " + manifest_error);
+      }
+      report.batch_journal_degraded = true;
+      report.batch_journal_degrade_reason = manifest_error;
+      MLCD_LOG(kWarn, "service")
+          << "batch manifest write failed (" << manifest_error
+          << "); continuing without a manifest — this batch is no "
+             "longer kill-resumable";
+    }
   }
 
   report.makespan_seconds = seconds_since(batch_start);

@@ -45,6 +45,9 @@
 // untouched.
 #pragma once
 
+#include <string>
+
+#include "journal/journal.hpp"
 #include "mlcd/mlcd.hpp"
 #include "service/batch_report.hpp"
 #include "service/workload.hpp"
@@ -71,6 +74,25 @@ struct SchedulerOptions {
   /// scheduler-efficiency bench comparison. Both modes produce
   /// bit-identical per-job RunReports.
   bool probe_granularity = true;
+  /// Non-empty makes the batch durable: the scheduler writes a
+  /// write-ahead manifest (`batch.mlcdb`) plus one auto-managed run
+  /// journal per job under this directory (created if missing), so a
+  /// killed `mlcd batch` process can be resumed. Requires the
+  /// probe-granularity scheduler; jobs declaring their own
+  /// journal/resume paths are refused at admission (the directory owns
+  /// every journal). See docs/crash-safety.md.
+  std::string journal_dir;
+  /// With journal_dir: resume the batch recorded in the manifest instead
+  /// of starting fresh. Finished jobs replay their per-job journals
+  /// bit-identically (zero probes re-executed, digest-verified);
+  /// in-flight jobs resume; never-started jobs run fresh.
+  bool resume = false;
+  /// What a *write* failure of the manifest or a per-job journal does:
+  /// kAbort (default) surfaces a typed journal::JournalError, kDegrade
+  /// continues journal-less with a reported warning (results stay
+  /// correct; the batch is just no longer kill-resumable). Resume-side
+  /// *read* failures always refuse regardless of policy.
+  journal::OnError journal_on_error = journal::OnError::kAbort;
 };
 
 class Scheduler {
@@ -84,7 +106,9 @@ class Scheduler {
   /// std::invalid_argument when admission fails (empty workload, or a
   /// job's max_nodes exceeds capacity_nodes). Per-job failures (unknown
   /// model/method, journal errors) do not abort the batch — they come
-  /// back as failed JobOutcomes.
+  /// back as failed JobOutcomes. With journal_dir, batch-level journal
+  /// failures (unreadable/mismatched manifest on resume; manifest write
+  /// failure under the abort policy) throw journal::JournalError.
   BatchReport run(const Workload& workload) const;
 
   const SchedulerOptions& options() const noexcept { return options_; }

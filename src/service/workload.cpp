@@ -155,6 +155,16 @@ JobSpec parse_job(const util::JsonValue& job, std::size_t index) {
   r.gp_refit_every = int_field(job, "gp_refit_every", r.gp_refit_every, 0);
   if (job.contains("use_spot")) r.use_spot = job.at("use_spot").as_bool();
   r.journal_path = string_field(job, "journal", "");
+  if (job.contains("journal_on_error")) {
+    const std::string policy = job.at("journal_on_error").as_string();
+    if (policy == "abort") {
+      r.journal_on_error = journal::OnError::kAbort;
+    } else if (policy == "degrade") {
+      r.journal_on_error = journal::OnError::kDegrade;
+    } else {
+      fail(owner + ": 'journal_on_error' must be \"abort\" or \"degrade\"");
+    }
+  }
   if (job.contains("instance_types")) {
     for (const util::JsonValue& t : job.at("instance_types").as_array()) {
       r.instance_types.push_back(t.as_string());

@@ -26,6 +26,8 @@
 //         "threads": 1,                   // per-job candidate-scan lanes
 //         "gp_refit_every": 1,
 //         "journal": "acme-resnet.mlcdj", // optional durable journal
+//         "journal_on_error": "degrade",  // "abort" (default) or
+//                                         //   "degrade" (docs/crash-safety.md)
 //         "fidelity_rungs": "0.5:1,0.25:2", // optional multi-fidelity
 //         "fidelity_max_bias": 0.25,      //   ladder (docs/multi-fidelity.md)
 //         "fidelity_max_noise": 0.06,

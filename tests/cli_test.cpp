@@ -10,6 +10,7 @@
 
 #include "cli/args.hpp"
 #include "cli/cli.hpp"
+#include "service/batch_report.hpp"
 
 namespace mlcd::cli {
 namespace {
@@ -319,10 +320,24 @@ TEST(CliRun, BatchRequiresWorkloadFile) {
   EXPECT_NE(err.find("workload"), std::string::npos);
 }
 
-TEST(CliRun, BatchMissingFileFails) {
+TEST(CliRun, BatchMissingFileFailsWithWorkloadExitCode) {
   std::string err;
-  EXPECT_EQ(drive({"batch", "/no/such/workload.json"}, nullptr, &err), 2);
+  // Exit 3: broken workload artifact, distinct from flag mistakes (2).
+  EXPECT_EQ(drive({"batch", "/no/such/workload.json"}, nullptr, &err), 3);
   EXPECT_NE(err.find("cannot read"), std::string::npos);
+}
+
+TEST(CliRun, BatchMalformedWorkloadIsExitCode3) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string workload = (tmp / "mlcd_cli_batch_malformed.json").string();
+  {
+    std::ofstream f(workload);
+    f << "{\"jobs\": [{\"name\": ";  // truncated JSON
+  }
+  std::string err;
+  EXPECT_EQ(drive({"batch", workload.c_str()}, nullptr, &err), 3);
+  EXPECT_NE(err.find("workload"), std::string::npos);
+  std::remove(workload.c_str());
 }
 
 TEST(CliRun, BatchEndToEnd) {
@@ -344,7 +359,12 @@ TEST(CliRun, BatchEndToEnd) {
                         "--out", report_out.c_str()},
                        &out);
   EXPECT_EQ(rc, 0);
+  // The batch document is schema v5; the embedded (ladder-free)
+  // RunReports keep their own v3 version key.
+  EXPECT_NE(out.find("\"schema_version\":5"), std::string::npos);
   EXPECT_NE(out.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"resumed_jobs\":0"), std::string::npos);
+  EXPECT_NE(out.find("\"replayed_reports\":0"), std::string::npos);
   EXPECT_NE(out.find("\"probe_granularity\":true"), std::string::npos);
   EXPECT_NE(out.find("\"name\":\"a\""), std::string::npos);
   EXPECT_NE(out.find("\"name\":\"b\""), std::string::npos);
@@ -412,6 +432,183 @@ TEST(CliRun, BatchRefusesOverCapacityWorkload) {
                   &err),
             2);
   EXPECT_NE(err.find("admission refused"), std::string::npos);
+  std::remove(workload.c_str());
+}
+
+// ---------------------------------------------------- batch exit codes
+
+namespace {
+
+/// Writes a one-job workload file and returns its path.
+std::string write_workload(const std::string& name, const char* json) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string path = (tmp / name).string();
+  std::ofstream f(path);
+  f << json;
+  return path;
+}
+
+}  // namespace
+
+TEST(CliRun, BatchJobFailureIsExitCode1) {
+  const std::string workload = write_workload(
+      "mlcd_cli_exit1.json",
+      R"({"jobs": [{"name": "a", "model": "no_such_model",
+                    "max_nodes": 8}]})");
+  EXPECT_EQ(drive({"batch", workload.c_str()}), 1);
+  std::remove(workload.c_str());
+}
+
+TEST(CliRun, BatchPerJobJournalErrorIsExitCode4) {
+  // A job whose declared journal cannot be created fails typed under
+  // the (default) abort policy, and the journal error outranks the
+  // plain-failure exit code.
+  const std::string workload = write_workload(
+      "mlcd_cli_exit4.json",
+      R"({"jobs": [{"name": "a", "model": "resnet", "max_nodes": 8,
+                    "journal": "/no/such/dir/a.mlcdj"}]})");
+  std::string out;
+  EXPECT_EQ(drive({"batch", workload.c_str(), "--json"}, &out), 4);
+  EXPECT_NE(out.find("\"code\":\"journal_error\""), std::string::npos);
+  std::remove(workload.c_str());
+}
+
+TEST(CliRun, BatchUnreadableManifestOnResumeIsExitCode4) {
+  const std::string workload = write_workload(
+      "mlcd_cli_exit4b.json",
+      R"({"jobs": [{"name": "a", "model": "resnet", "max_nodes": 8}]})");
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string dir = (tmp / "mlcd_cli_exit4b_nodir").string();
+  std::filesystem::remove_all(dir);
+  // --resume with no manifest on disk: a batch-level journal read error.
+  std::string err;
+  EXPECT_EQ(drive({"batch", workload.c_str(), "--journal-dir", dir.c_str(),
+                   "--resume"},
+                  nullptr, &err),
+            4);
+  std::filesystem::remove_all(dir);
+  std::remove(workload.c_str());
+}
+
+TEST(CliRun, BatchSloBreachIsExitCode5) {
+  const std::string workload = write_workload(
+      "mlcd_cli_exit5.json",
+      R"({"jobs": [{"name": "a", "model": "resnet", "max_nodes": 8,
+                    "slo_max_probes": 3}]})");
+  std::string out;
+  EXPECT_EQ(drive({"batch", workload.c_str(), "--json"}, &out), 5);
+  EXPECT_NE(out.find("\"code\":\"slo_exceeded\""), std::string::npos);
+  std::remove(workload.c_str());
+}
+
+TEST(CliRun, BatchResumeWithoutJournalDirIsUsageError) {
+  const std::string workload = write_workload(
+      "mlcd_cli_resume_nodir.json",
+      R"({"jobs": [{"name": "a", "model": "resnet", "max_nodes": 8}]})");
+  std::string err;
+  EXPECT_EQ(drive({"batch", workload.c_str(), "--resume"}, nullptr, &err),
+            2);
+  EXPECT_NE(err.find("--journal-dir"), std::string::npos);
+  std::remove(workload.c_str());
+}
+
+TEST(CliRun, BatchBadJournalOnErrorPolicyIsUsageError) {
+  const std::string workload = write_workload(
+      "mlcd_cli_badpolicy.json",
+      R"({"jobs": [{"name": "a", "model": "resnet", "max_nodes": 8}]})");
+  std::string err;
+  EXPECT_EQ(drive({"batch", workload.c_str(), "--journal-on-error",
+                   "sometimes"},
+                  nullptr, &err),
+            2);
+  EXPECT_NE(err.find("journal-on-error"), std::string::npos);
+  std::remove(workload.c_str());
+}
+
+TEST(CliRun, BatchExitCodePrecedenceIsPinned) {
+  // 4 (journal) > 6 (internal) > 1 (failed) > 5 (SLO) > 0.
+  service::BatchReport report;
+  report.jobs.resize(4);
+  report.jobs[0].ok = true;
+  report.jobs[1].ok = true;
+  report.jobs[1].slo = service::SloBreach::kProbes;
+  report.jobs[2].error_code = "unknown_model";
+  report.jobs[3].error_code = "internal";
+  EXPECT_EQ(batch_exit_code(report), 6);
+  report.jobs[3].error_code = "journal_error";
+  EXPECT_EQ(batch_exit_code(report), 4);
+  report.jobs[3].ok = true;
+  report.jobs[3].error_code.clear();
+  EXPECT_EQ(batch_exit_code(report), 1);
+  report.jobs[2].ok = true;
+  report.jobs[2].error_code.clear();
+  EXPECT_EQ(batch_exit_code(report), 5);
+  report.jobs[1].slo = service::SloBreach::kNone;
+  EXPECT_EQ(batch_exit_code(report), 0);
+}
+
+TEST(CliRun, BatchDurableResumeReplaysBitIdentically) {
+  // End-to-end through the CLI: run a durable batch, then resume the
+  // (fully finished) batch — every report must come back replayed from
+  // the per-job journals, identical modulo resume bookkeeping.
+  const std::string workload = write_workload(
+      "mlcd_cli_durable.json",
+      R"({"jobs": [
+        {"name": "a", "tenant": "t1", "model": "resnet", "seed": 7,
+         "max_nodes": 8},
+        {"name": "b", "tenant": "t2", "model": "alexnet", "seed": 9,
+         "max_nodes": 8, "method": "random"}
+      ]})");
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string dir = (tmp / "mlcd_cli_durable_dir").string();
+  std::filesystem::remove_all(dir);
+
+  std::string first;
+  ASSERT_EQ(drive({"batch", workload.c_str(), "--threads", "2",
+                   "--journal-dir", dir.c_str(), "--json"},
+                  &first),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(dir + "/batch.mlcdb"));
+  ASSERT_TRUE(std::filesystem::exists(dir + "/job-0-a.mlcdj"));
+  ASSERT_TRUE(std::filesystem::exists(dir + "/job-1-b.mlcdj"));
+
+  std::string second;
+  ASSERT_EQ(drive({"batch", workload.c_str(), "--threads", "2",
+                   "--journal-dir", dir.c_str(), "--resume", "--json"},
+                  &second),
+            0);
+  EXPECT_NE(second.find("\"replayed_reports\":2"), std::string::npos);
+  EXPECT_NE(second.find("\"replayed_from_journal\":true"),
+            std::string::npos);
+  // The replayed run re-executed nothing: every trace step carries the
+  // replay marker and the probe-by-probe content matches the original.
+  EXPECT_EQ(second.find("\"replayed\":false"), std::string::npos);
+  const auto trace_of = [](const std::string& doc, const char* job) {
+    const std::size_t at = doc.find(std::string("\"name\":\"") + job);
+    const std::size_t begin = doc.find("\"trace\":[", at);
+    // Fault-free steps carry no nested arrays, so the first ']' closes
+    // the trace.
+    const std::size_t end = doc.find(']', begin);
+    return doc.substr(begin, end - begin + 1);
+  };
+  for (const char* job : {"a", "b"}) {
+    std::string a = trace_of(first, job);
+    std::string b = trace_of(second, job);
+    // Normalize the only legitimate difference inside a trace step.
+    const auto scrub = [](std::string& text) {
+      for (std::size_t at = text.find("\"replayed\":");
+           at != std::string::npos; at = text.find("\"replayed\":", at)) {
+        const std::size_t value = at + std::string("\"replayed\":").size();
+        const std::size_t comma = text.find_first_of(",}", value);
+        text.replace(value, comma - value, "X");
+        at = value;
+      }
+    };
+    scrub(a);
+    scrub(b);
+    EXPECT_EQ(a, b) << "job " << job;
+  }
+  std::filesystem::remove_all(dir);
   std::remove(workload.c_str());
 }
 

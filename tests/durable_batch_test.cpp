@@ -1,0 +1,1027 @@
+// Durable batch service tests: the write-ahead batch manifest
+// (round-trip, torn tail, typed corruption refusals), the workload /
+// report fingerprints replay verification rests on, storage-fault
+// injection under both --journal-on-error policies (run journals and
+// the batch manifest alike), in-process batch resume across every
+// manifest state a kill can leave behind, capacity-pool revocation
+// edges, and the process-kill harness: SIGKILL the real `mlcd batch`
+// binary at a seeded sweep of points, resume, and assert the batch
+// comes back bit-identical. See docs/crash-safety.md.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "journal/journal.hpp"
+#include "mlcd/mlcd.hpp"
+#include "service/batch_journal.hpp"
+#include "service/batch_report.hpp"
+#include "service/capacity.hpp"
+#include "service/scheduler.hpp"
+#include "service/workload.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define MLCD_HAVE_POSIX_SPAWN 1
+#endif
+
+namespace mlcd::service {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+/// A fresh, empty directory under the test temp root.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = temp_path(name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Byte offsets of every record boundary (just after each '\n'),
+/// including 0 and the file size.
+std::vector<std::size_t> record_boundaries(const std::string& bytes) {
+  std::vector<std::size_t> offsets = {0};
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (bytes[i] == '\n') offsets.push_back(i + 1);
+  }
+  return offsets;
+}
+
+/// Installs a storage-fault injector for the lifetime of the scope.
+class FaultScope {
+ public:
+  explicit FaultScope(const journal::IoFaultInjector::Options& options)
+      : injector_(options) {
+    journal::set_io_fault_injector(&injector_);
+  }
+  ~FaultScope() { journal::set_io_fault_injector(nullptr); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  journal::IoFaultInjector injector_;
+};
+
+journal::IoFaultInjector::Options fail_at(long long index,
+                                          journal::IoFaultKind kind =
+                                              journal::IoFaultKind::kFsyncFail) {
+  journal::IoFaultInjector::Options options;
+  options.fail_at = index;
+  options.kind = kind;
+  return options;
+}
+
+/// The two-job fleet every durable test runs: small, fast, and with two
+/// different methods so the per-job journals differ.
+Workload durable_fleet() {
+  return parse_workload(R"({
+    "jobs": [
+      {"name": "a", "tenant": "t1", "model": "resnet", "seed": 7,
+       "max_nodes": 8},
+      {"name": "b", "tenant": "t2", "model": "alexnet", "seed": 9,
+       "max_nodes": 8, "method": "random"}
+    ]
+  })");
+}
+
+SchedulerOptions durable_options(const std::string& dir) {
+  SchedulerOptions options;
+  options.threads = 1;  // deterministic global append order
+  options.journal_dir = dir;
+  return options;
+}
+
+BatchManifestHeader sample_batch_header() {
+  BatchManifestHeader header;
+  header.workload_hash = 0xDEADBEEFCAFEF00DULL;
+  header.chaos_seed = 11;
+  header.job_count = 2;
+  header.capacity_nodes = 30;
+  header.tenant_max_jobs = 2;
+  return header;
+}
+
+// --------------------------------------------------------------- manifest
+
+TEST(BatchManifest, RoundTripsJobLifecycle) {
+  const std::string path = temp_path("roundtrip.mlcdb");
+  const BatchManifestHeader header = sample_batch_header();
+  {
+    std::unique_ptr<BatchJournal> manifest =
+        BatchJournal::create(path, header);
+    BatchJobRecord admitted;
+    admitted.phase = BatchJobPhase::kAdmitted;
+    admitted.name = "a";
+    manifest->append(admitted);
+    admitted.job = 1;
+    admitted.name = "b";
+    manifest->append(admitted);
+
+    BatchJobRecord assigned;
+    assigned.phase = BatchJobPhase::kAssigned;
+    assigned.job = 0;
+    assigned.name = "a";
+    assigned.journal_file = "job-0-a.mlcdj";
+    manifest->append(assigned);
+
+    BatchJobRecord finished;
+    finished.phase = BatchJobPhase::kFinished;
+    finished.job = 0;
+    finished.name = "a";
+    finished.journal_file = "job-0-a.mlcdj";
+    finished.ok = true;
+    finished.outcome = "ok";
+    finished.report_digest = 0xFFFFFFFFFFFFFFFFULL;
+    manifest->append(finished);
+  }
+
+  const BatchManifestContents back = read_manifest(path);
+  EXPECT_FALSE(back.truncated_tail);
+  EXPECT_EQ(back.valid_bytes, read_file(path).size());
+  EXPECT_EQ(back.header.version, kBatchManifestVersion);
+  EXPECT_EQ(back.header.workload_hash, header.workload_hash);
+  EXPECT_EQ(back.header.chaos_seed, header.chaos_seed);
+  EXPECT_EQ(back.header.job_count, 2);
+  EXPECT_EQ(back.header.capacity_nodes, 30);
+  EXPECT_EQ(back.header.tenant_max_jobs, 2);
+
+  ASSERT_EQ(back.jobs.size(), 2u);
+  EXPECT_TRUE(back.jobs[0].admitted);
+  EXPECT_TRUE(back.jobs[0].assigned);
+  EXPECT_TRUE(back.jobs[0].finished);
+  EXPECT_TRUE(back.jobs[0].ok);
+  EXPECT_EQ(back.jobs[0].outcome, "ok");
+  EXPECT_EQ(back.jobs[0].journal_file, "job-0-a.mlcdj");
+  EXPECT_EQ(back.jobs[0].report_digest, 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_TRUE(back.jobs[1].admitted);
+  EXPECT_FALSE(back.jobs[1].assigned);
+  EXPECT_FALSE(back.jobs[1].finished);
+}
+
+TEST(BatchManifest, TornTailIsDroppedNotFatal) {
+  const std::string path = temp_path("torn.mlcdb");
+  {
+    std::unique_ptr<BatchJournal> manifest =
+        BatchJournal::create(path, sample_batch_header());
+    BatchJobRecord record;
+    record.phase = BatchJobPhase::kAssigned;
+    record.journal_file = "job-0-a.mlcdj";
+    manifest->append(record);
+    record.phase = BatchJobPhase::kFinished;
+    record.ok = true;
+    record.outcome = "ok";
+    manifest->append(record);
+  }
+  const std::string bytes = read_file(path);
+  const std::vector<std::size_t> offsets = record_boundaries(bytes);
+  ASSERT_EQ(offsets.size(), 4u);  // header + 2 records + EOF
+
+  // Cut mid-way through the finished record: the kill landed mid-append.
+  const std::size_t cut = offsets[2] + (offsets[3] - offsets[2]) / 2;
+  write_file(path, bytes.substr(0, cut));
+  const BatchManifestContents back = read_manifest(path);
+  EXPECT_TRUE(back.truncated_tail);
+  EXPECT_EQ(back.valid_bytes, offsets[2]);
+  EXPECT_TRUE(back.jobs[0].assigned);
+  EXPECT_FALSE(back.jobs[0].finished);  // the torn record never happened
+}
+
+TEST(BatchManifest, MidFileCorruptionRefusedTyped) {
+  const std::string path = temp_path("corrupt.mlcdb");
+  {
+    std::unique_ptr<BatchJournal> manifest =
+        BatchJournal::create(path, sample_batch_header());
+    BatchJobRecord record;
+    record.phase = BatchJobPhase::kAssigned;
+    record.journal_file = "job-0-a.mlcdj";
+    manifest->append(record);
+    record.job = 1;
+    manifest->append(record);
+  }
+  std::string bytes = read_file(path);
+  const std::vector<std::size_t> offsets = record_boundaries(bytes);
+  bytes[offsets[1] + 20] ^= 0x20;  // flip a byte before the tail
+  write_file(path, bytes);
+  try {
+    read_manifest(path);
+    FAIL() << "corrupt manifest was accepted";
+  } catch (const journal::JournalError& e) {
+    EXPECT_EQ(e.code(), journal::JournalErrorCode::kCorrupt);
+  }
+}
+
+TEST(BatchManifest, ValidFrameWithGarbagePayloadRefusedTyped) {
+  const std::string path = temp_path("garbage.mlcdb");
+  { BatchJournal::create(path, sample_batch_header()); }
+  // A correctly-framed record whose payload is not a manifest record is
+  // not a torn write — the writer stored garbage. Refuse, typed.
+  for (const std::string payload : {"not json at all", "[1,2,3]",
+                                    R"({"t":"alien"})",
+                                    R"({"t":"job","phase":"warped"})"}) {
+    const std::string base = read_file(path);
+    write_file(path, base + journal::frame_record(payload));
+    try {
+      read_manifest(path);
+      FAIL() << "accepted garbage payload: " << payload;
+    } catch (const journal::JournalError& e) {
+      EXPECT_EQ(e.code(), journal::JournalErrorCode::kCorrupt) << payload;
+    }
+    write_file(path, base);
+  }
+}
+
+TEST(BatchManifest, UnsupportedVersionRefusedTyped) {
+  const std::string path = temp_path("version.mlcdb");
+  BatchManifestHeader header = sample_batch_header();
+  header.version = kBatchManifestVersion + 1;
+  { BatchJournal::create(path, header); }
+  try {
+    read_manifest(path);
+    FAIL() << "future manifest version was accepted";
+  } catch (const journal::JournalError& e) {
+    EXPECT_EQ(e.code(), journal::JournalErrorCode::kVersionMismatch);
+  }
+}
+
+TEST(BatchManifest, OutOfRangeJobIndexRefusedTyped) {
+  const std::string path = temp_path("range.mlcdb");
+  {
+    std::unique_ptr<BatchJournal> manifest =
+        BatchJournal::create(path, sample_batch_header());
+    BatchJobRecord record;
+    record.job = 2;  // header declares job_count = 2 -> valid are 0, 1
+    manifest->append(record);
+  }
+  try {
+    read_manifest(path);
+    FAIL() << "out-of-range job index was accepted";
+  } catch (const journal::JournalError& e) {
+    EXPECT_EQ(e.code(), journal::JournalErrorCode::kCorrupt);
+  }
+}
+
+TEST(BatchManifest, SecondHeaderRefusedTyped) {
+  const std::string path = temp_path("twohead.mlcdb");
+  { BatchJournal::create(path, sample_batch_header()); }
+  const std::string bytes = read_file(path);
+  write_file(path, bytes + bytes);  // duplicate the header record
+  try {
+    read_manifest(path);
+    FAIL() << "second header was accepted";
+  } catch (const journal::JournalError& e) {
+    EXPECT_EQ(e.code(), journal::JournalErrorCode::kCorrupt);
+  }
+}
+
+TEST(BatchManifest, HeaderlessOrEmptyFileRefusedTyped) {
+  const std::string path = temp_path("headless.mlcdb");
+  write_file(path, "");
+  EXPECT_THROW(read_manifest(path), journal::JournalError);
+  // A job record where the header should be.
+  BatchJobRecord record;
+  {
+    std::unique_ptr<BatchJournal> manifest =
+        BatchJournal::create(path, sample_batch_header());
+    manifest->append(record);
+  }
+  const std::string bytes = read_file(path);
+  const std::vector<std::size_t> offsets = record_boundaries(bytes);
+  write_file(path, bytes.substr(offsets[1]));  // strip the header line
+  try {
+    read_manifest(path);
+    FAIL() << "headerless manifest was accepted";
+  } catch (const journal::JournalError& e) {
+    EXPECT_EQ(e.code(), journal::JournalErrorCode::kCorrupt);
+  }
+}
+
+// ----------------------------------------------------------- fingerprints
+
+TEST(BatchFingerprint, HashJobIgnoresTraceNeutralKnobs) {
+  Workload workload = durable_fleet();
+  const std::uint64_t base = hash_job(workload.jobs[0]);
+
+  // Trace-neutral knobs: a resume may change them freely.
+  workload.jobs[0].request.threads = 7;
+  workload.jobs[0].request.journal_path = "elsewhere.mlcdj";
+  EXPECT_EQ(hash_job(workload.jobs[0]), base);
+
+  // Everything that shapes the probe trace or admission must bind.
+  Workload seed = durable_fleet();
+  seed.jobs[0].request.seed = 8;
+  EXPECT_NE(hash_job(seed.jobs[0]), base);
+  Workload model = durable_fleet();
+  model.jobs[0].request.model = "bert";
+  EXPECT_NE(hash_job(model.jobs[0]), base);
+  Workload slo = durable_fleet();
+  slo.jobs[0].slo.max_probes = 5;
+  EXPECT_NE(hash_job(slo.jobs[0]), base);
+  Workload tenant = durable_fleet();
+  tenant.jobs[0].tenant = "t9";
+  EXPECT_NE(hash_job(tenant.jobs[0]), base);
+}
+
+TEST(BatchFingerprint, HeaderBindsWorkloadAndServiceConfig) {
+  const Workload workload = durable_fleet();
+  const BatchManifestHeader base = make_manifest_header(workload, 30, 2);
+  EXPECT_EQ(base.job_count, 2);
+
+  // Different capacity/quota or job order describe a different batch.
+  EXPECT_NE(make_manifest_header(workload, 10, 2).capacity_nodes,
+            base.capacity_nodes);
+  Workload swapped = workload;
+  std::swap(swapped.jobs[0], swapped.jobs[1]);
+  EXPECT_NE(make_manifest_header(swapped, 30, 2).workload_hash,
+            base.workload_hash);
+  Workload chaotic = workload;
+  chaotic.chaos.seed = 99;
+  chaotic.chaos.probe_loss_rate = 0.01;
+  EXPECT_NE(make_manifest_header(chaotic, 30, 2).chaos_seed,
+            base.chaos_seed);
+}
+
+TEST(BatchFingerprint, ReportDigestIsResumeInvariant) {
+  const system::Mlcd mlcd;
+  const std::string path = temp_path("digest.mlcdj");
+  system::JobRequest request = durable_fleet().jobs[0].request;
+  request.journal_path = path;
+  const system::RunReport original = mlcd.deploy(request).report();
+
+  // Replaying the finished journal reconstructs the report probe-free;
+  // only the resume bookkeeping differs, which the digest excludes.
+  system::JobRequest resume = durable_fleet().jobs[0].request;
+  resume.resume_path = path;
+  const system::RunReport replayed = mlcd.deploy(resume).report();
+  EXPECT_EQ(replayed.result.replayed_probes,
+            static_cast<int>(replayed.result.trace.size()));
+  EXPECT_EQ(digest_run_report(replayed), digest_run_report(original));
+
+  // A genuinely different run hashes differently.
+  system::JobRequest other = durable_fleet().jobs[0].request;
+  other.seed = 8;
+  const system::RunReport different = mlcd.deploy(other).report();
+  EXPECT_NE(digest_run_report(different), digest_run_report(original));
+}
+
+// --------------------------------------------------- storage-fault injection
+
+TEST(StorageFaults, InjectorFiresAtTheSeededIndex) {
+  journal::IoFaultInjector::Options options;
+  options.fail_at = 2;
+  options.kind = journal::IoFaultKind::kEnospc;
+  journal::IoFaultInjector injector(options);
+  EXPECT_FALSE(injector.next_append().has_value());  // append 0
+  EXPECT_FALSE(injector.next_append().has_value());  // append 1
+  const std::optional<journal::IoFaultKind> fault = injector.next_append();
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(*fault, journal::IoFaultKind::kEnospc);
+  EXPECT_FALSE(injector.next_append().has_value());  // one-shot
+  EXPECT_EQ(injector.appends(), 4u);
+
+  journal::IoFaultInjector::Options always;
+  always.fault_rate = 1.0;
+  journal::IoFaultInjector storm(always);
+  EXPECT_TRUE(storm.next_append().has_value());
+  EXPECT_TRUE(storm.next_append().has_value());
+}
+
+TEST(StorageFaults, AppendFaultUnderAbortFailsTheJobTyped) {
+  const system::Mlcd mlcd;
+  for (const journal::IoFaultKind kind :
+       {journal::IoFaultKind::kFsyncFail, journal::IoFaultKind::kEnospc,
+        journal::IoFaultKind::kShortWrite}) {
+    const std::string path = temp_path("abort.mlcdj");
+    system::JobRequest request = durable_fleet().jobs[0].request;
+    request.journal_path = path;
+    FaultScope scope(fail_at(3, kind));  // header + 2 probes land first
+    const system::DeployResult result = mlcd.deploy(request);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, system::JobErrorCode::kJournalError);
+    // The failed append never corrupts what already reached the disk:
+    // the journal reads back as a valid (possibly torn-tail) prefix.
+    journal::set_io_fault_injector(nullptr);
+    const journal::JournalContents back = journal::read_journal(path);
+    EXPECT_LE(back.probes.size(), 3u);
+  }
+}
+
+TEST(StorageFaults, AppendFaultUnderDegradeKeepsTheRunCorrect) {
+  const system::Mlcd mlcd;
+  system::JobRequest plain = durable_fleet().jobs[0].request;
+  const system::RunReport bare = mlcd.deploy(plain).report();
+
+  system::JobRequest request = durable_fleet().jobs[0].request;
+  request.journal_path = temp_path("degrade.mlcdj");
+  request.journal_on_error = journal::OnError::kDegrade;
+  FaultScope scope(fail_at(3));
+  const system::DeployResult result = mlcd.deploy(request);
+  ASSERT_TRUE(result.ok());
+  const system::RunReport& report = result.report();
+  EXPECT_TRUE(report.journal_degraded);
+  EXPECT_FALSE(report.journal_degrade_reason.empty());
+  // The search itself is untouched: bit-identical to the bare run.
+  EXPECT_EQ(digest_run_report(report), digest_run_report(bare));
+  // The degradation is reported, not silent.
+  EXPECT_NE(report.render().find("WARNING"), std::string::npos);
+  EXPECT_NE(report.to_json().find("\"journal_degraded\":true"),
+            std::string::npos);
+  EXPECT_EQ(bare.to_json().find("journal_degraded"), std::string::npos);
+}
+
+TEST(StorageFaults, CreateFaultObeysThePolicy) {
+  const system::Mlcd mlcd;
+  system::JobRequest request = durable_fleet().jobs[0].request;
+  request.journal_path = temp_path("create.mlcdj");
+  {
+    FaultScope scope(fail_at(0));  // the header write at create
+    const system::DeployResult aborted = mlcd.deploy(request);
+    ASSERT_FALSE(aborted.ok());
+    EXPECT_EQ(aborted.error().code, system::JobErrorCode::kJournalError);
+  }
+  {
+    request.journal_on_error = journal::OnError::kDegrade;
+    FaultScope scope(fail_at(0));
+    const system::DeployResult degraded = mlcd.deploy(request);
+    ASSERT_TRUE(degraded.ok());
+    EXPECT_TRUE(degraded.report().journal_degraded);
+  }
+}
+
+TEST(StorageFaults, ManifestAppendFaultUnderAbortThrowsAfterDrain) {
+  const std::string dir = fresh_dir("manifest_abort");
+  const Workload workload = durable_fleet();
+  const system::Mlcd mlcd;
+  // Global append order with one lane: manifest header (0), two
+  // admitted records (1, 2), then job 0's assigned record (3).
+  FaultScope scope(fail_at(3));
+  try {
+    Scheduler(mlcd, durable_options(dir)).run(workload);
+    FAIL() << "manifest append fault was swallowed under abort";
+  } catch (const journal::JournalError& e) {
+    EXPECT_EQ(e.code(), journal::JournalErrorCode::kIo);
+    EXPECT_NE(std::string(e.what()).find("manifest"), std::string::npos);
+  }
+}
+
+TEST(StorageFaults, ManifestAppendFaultUnderDegradeFlagsTheReport) {
+  const std::string dir = fresh_dir("manifest_degrade");
+  const Workload workload = durable_fleet();
+  const system::Mlcd mlcd;
+  SchedulerOptions options = durable_options(dir);
+  options.journal_on_error = journal::OnError::kDegrade;
+  FaultScope scope(fail_at(3));
+  const BatchReport report = Scheduler(mlcd, options).run(workload);
+  // Every job still completed correctly — only durability was lost.
+  EXPECT_EQ(report.succeeded(), 2);
+  EXPECT_TRUE(report.batch_journal_degraded);
+  EXPECT_FALSE(report.batch_journal_degrade_reason.empty());
+  EXPECT_NE(report.to_json().find("\"batch_journal_degraded\":true"),
+            std::string::npos);
+  EXPECT_NE(report.render().find("WARNING"), std::string::npos);
+}
+
+TEST(StorageFaults, ManifestCreateFaultObeysThePolicy) {
+  const Workload workload = durable_fleet();
+  const system::Mlcd mlcd;
+  {
+    const std::string dir = fresh_dir("manifest_create_abort");
+    FaultScope scope(fail_at(0));  // the manifest header write
+    EXPECT_THROW(Scheduler(mlcd, durable_options(dir)).run(workload),
+                 journal::JournalError);
+  }
+  {
+    const std::string dir = fresh_dir("manifest_create_degrade");
+    SchedulerOptions options = durable_options(dir);
+    options.journal_on_error = journal::OnError::kDegrade;
+    FaultScope scope(fail_at(0));
+    const BatchReport report = Scheduler(mlcd, options).run(workload);
+    EXPECT_EQ(report.succeeded(), 2);
+    EXPECT_TRUE(report.batch_journal_degraded);
+  }
+}
+
+// The dir itself failing to come up (a path under a regular file) is
+// the earliest possible storage failure and obeys the same policy:
+// degrade runs the whole batch journal-less — manifest and per-job
+// journals both flagged — while abort refuses before any probe spends.
+TEST(StorageFaults, JournalDirCreateFailureObeysThePolicy) {
+  const std::string file = temp_path("not-a-dir");
+  write_file(file, "x");
+  const Workload workload = durable_fleet();
+  const system::Mlcd mlcd;
+  SchedulerOptions options;
+  options.threads = 1;
+  options.journal_dir = file + "/sub";
+  try {
+    Scheduler(mlcd, options).run(workload);
+    FAIL() << "journal-dir create failure was swallowed under abort";
+  } catch (const journal::JournalError& e) {
+    EXPECT_EQ(e.code(), journal::JournalErrorCode::kIo);
+    EXPECT_NE(std::string(e.what()).find("journal dir"), std::string::npos);
+  }
+  options.journal_on_error = journal::OnError::kDegrade;
+  const BatchReport report = Scheduler(mlcd, options).run(workload);
+  EXPECT_EQ(report.succeeded(), 2);
+  EXPECT_TRUE(report.batch_journal_degraded);
+  for (const JobOutcome& job : report.jobs) {
+    EXPECT_TRUE(job.report.journal_degraded) << job.name;
+  }
+}
+
+// ------------------------------------------------------ durable batch runs
+
+TEST(DurableBatch, FreshRunWritesManifestAndPerJobJournals) {
+  const std::string dir = fresh_dir("fresh");
+  const Workload workload = durable_fleet();
+  const system::Mlcd mlcd;
+  const BatchReport report =
+      Scheduler(mlcd, durable_options(dir)).run(workload);
+  ASSERT_EQ(report.succeeded(), 2);
+  EXPECT_EQ(report.resumed_jobs(), 0);
+  EXPECT_EQ(report.replayed_reports(), 0);
+  EXPECT_FALSE(report.batch_journal_degraded);
+
+  ASSERT_TRUE(std::filesystem::exists(dir + "/batch.mlcdb"));
+  ASSERT_TRUE(std::filesystem::exists(dir + "/job-0-a.mlcdj"));
+  ASSERT_TRUE(std::filesystem::exists(dir + "/job-1-b.mlcdj"));
+
+  const BatchManifestContents manifest = read_manifest(dir + "/batch.mlcdb");
+  ASSERT_EQ(manifest.jobs.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(manifest.jobs[i].finished) << "job " << i;
+    EXPECT_TRUE(manifest.jobs[i].ok) << "job " << i;
+    EXPECT_EQ(manifest.jobs[i].outcome, "ok") << "job " << i;
+    EXPECT_EQ(manifest.jobs[i].report_digest,
+              digest_run_report(report.jobs[i].report))
+        << "job " << i;
+  }
+}
+
+// Four lanes race lifecycle appends into the shared manifest while
+// per-job journals record probes; the lane count is trace-neutral (same
+// digests as the serial durable run) and the finished batch still
+// replays probe-free.
+TEST(DurableBatch, FourLaneDurableBatchMatchesSerial) {
+  Workload workload = durable_fleet();
+  for (std::size_t j = 0; j < 2; ++j) {
+    service::JobSpec spec = workload.jobs[j];
+    spec.name += "-2";
+    spec.request.seed += 100;
+    workload.jobs.push_back(std::move(spec));
+  }
+  const system::Mlcd mlcd;
+  const BatchReport serial =
+      Scheduler(mlcd, durable_options(fresh_dir("lanes-serial")))
+          .run(workload);
+  SchedulerOptions options = durable_options(fresh_dir("lanes-par"));
+  options.threads = 4;
+  const BatchReport laned = Scheduler(mlcd, options).run(workload);
+  ASSERT_EQ(serial.succeeded(), 4);
+  ASSERT_EQ(laned.succeeded(), 4);
+  for (std::size_t i = 0; i < workload.jobs.size(); ++i) {
+    EXPECT_EQ(digest_run_report(laned.jobs[i].report),
+              digest_run_report(serial.jobs[i].report))
+        << "job " << i;
+  }
+  options.resume = true;
+  const BatchReport replay = Scheduler(mlcd, options).run(workload);
+  EXPECT_EQ(replay.replayed_reports(), 4);
+  EXPECT_EQ(replay.cache.inserts, 0);
+}
+
+TEST(DurableBatch, ResumeOfFinishedBatchReplaysProbeFree) {
+  const std::string dir = fresh_dir("replay");
+  const Workload workload = durable_fleet();
+  const system::Mlcd mlcd;
+  const BatchReport first =
+      Scheduler(mlcd, durable_options(dir)).run(workload);
+  ASSERT_EQ(first.succeeded(), 2);
+
+  SchedulerOptions options = durable_options(dir);
+  options.resume = true;
+  const BatchReport second = Scheduler(mlcd, options).run(workload);
+  ASSERT_EQ(second.succeeded(), 2);
+  EXPECT_EQ(second.replayed_reports(), 2);
+  EXPECT_EQ(second.resumed_jobs(), 0);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(second.jobs[i].stats.replayed_from_journal) << "job " << i;
+    // Bit-identical modulo resume bookkeeping...
+    EXPECT_EQ(digest_run_report(second.jobs[i].report),
+              digest_run_report(first.jobs[i].report))
+        << "job " << i;
+    // ... with zero probes re-executed: every step is a replay.
+    const search::SearchResult& result = second.jobs[i].report.result;
+    EXPECT_EQ(result.replayed_probes,
+              static_cast<int>(result.trace.size()))
+        << "job " << i;
+    for (const search::ProbeStep& step : result.trace) {
+      EXPECT_TRUE(step.replayed);
+    }
+  }
+  // Nothing was measured, so nothing reached the shared cache.
+  EXPECT_EQ(second.cache.inserts, 0);
+  EXPECT_EQ(second.cache.lookups, 0);
+  EXPECT_EQ(second.peak_capacity_nodes, 0);
+}
+
+TEST(DurableBatch, ResumeRunsNeverStartedJobsFresh) {
+  // A kill right after admission: the manifest has only the header and
+  // the admitted roster — no per-job journal exists yet.
+  const std::string dir = fresh_dir("admitted_only");
+  const Workload workload = durable_fleet();
+  const system::Mlcd mlcd;
+  {
+    std::unique_ptr<BatchJournal> manifest = BatchJournal::create(
+        dir + "/batch.mlcdb", make_manifest_header(workload, 0, 0));
+    for (int i = 0; i < 2; ++i) {
+      BatchJobRecord record;
+      record.job = i;
+      record.name = workload.jobs[static_cast<std::size_t>(i)].name;
+      manifest->append(record);
+    }
+  }
+
+  SchedulerOptions options = durable_options(dir);
+  options.resume = true;
+  const BatchReport resumed = Scheduler(mlcd, options).run(workload);
+  ASSERT_EQ(resumed.succeeded(), 2);
+  EXPECT_EQ(resumed.resumed_jobs(), 0);
+  EXPECT_EQ(resumed.replayed_reports(), 0);
+
+  // Fresh execution lands the same reports as an uninterrupted batch...
+  const std::string fresh = fresh_dir("admitted_only_baseline");
+  const BatchReport baseline =
+      Scheduler(mlcd, durable_options(fresh)).run(workload);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(digest_run_report(resumed.jobs[i].report),
+              digest_run_report(baseline.jobs[i].report))
+        << "job " << i;
+  }
+  // ... and the continued manifest now records both jobs finished.
+  const BatchManifestContents manifest = read_manifest(dir + "/batch.mlcdb");
+  EXPECT_TRUE(manifest.jobs[0].finished);
+  EXPECT_TRUE(manifest.jobs[1].finished);
+}
+
+TEST(DurableBatch, ResumeContinuesInFlightJobs) {
+  // A kill mid-job: the manifest says job 0 was assigned, its journal
+  // holds a prefix of the probe trace, and job 1 never started.
+  const std::string baseline_dir = fresh_dir("inflight_baseline");
+  const Workload workload = durable_fleet();
+  const system::Mlcd mlcd;
+  const BatchReport baseline =
+      Scheduler(mlcd, durable_options(baseline_dir)).run(workload);
+  ASSERT_EQ(baseline.succeeded(), 2);
+
+  const std::string dir = fresh_dir("inflight");
+  {
+    std::unique_ptr<BatchJournal> manifest = BatchJournal::create(
+        dir + "/batch.mlcdb", make_manifest_header(workload, 0, 0));
+    BatchJobRecord record;
+    record.name = "a";
+    manifest->append(record);
+    record.job = 1;
+    record.name = "b";
+    manifest->append(record);
+    BatchJobRecord assigned;
+    assigned.phase = BatchJobPhase::kAssigned;
+    assigned.name = "a";
+    assigned.journal_file = "job-0-a.mlcdj";
+    manifest->append(assigned);
+  }
+  // Truncate job 0's journal to header + 5 probes — the journaled
+  // prefix a kill would have left.
+  const std::string bytes =
+      read_file(baseline_dir + "/job-0-a.mlcdj");
+  const std::vector<std::size_t> offsets = record_boundaries(bytes);
+  ASSERT_GT(offsets.size(), 7u);
+  write_file(dir + "/job-0-a.mlcdj", bytes.substr(0, offsets[6]));
+
+  SchedulerOptions options = durable_options(dir);
+  options.resume = true;
+  const BatchReport resumed = Scheduler(mlcd, options).run(workload);
+  ASSERT_EQ(resumed.succeeded(), 2);
+  EXPECT_EQ(resumed.resumed_jobs(), 1);
+  EXPECT_EQ(resumed.replayed_reports(), 0);
+  EXPECT_TRUE(resumed.jobs[0].stats.resumed_from_journal);
+  EXPECT_FALSE(resumed.jobs[1].stats.resumed_from_journal);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(digest_run_report(resumed.jobs[i].report),
+              digest_run_report(baseline.jobs[i].report))
+        << "job " << i;
+  }
+  // Only the journaled prefix was replayed; the rest ran live.
+  EXPECT_EQ(resumed.jobs[0].report.result.replayed_probes, 5);
+  EXPECT_GT(resumed.jobs[0].report.result.trace.size(), 5u);
+}
+
+TEST(DurableBatch, AssignedJobWithLostJournalRunsFresh) {
+  const std::string dir = fresh_dir("lost_journal");
+  const Workload workload = durable_fleet();
+  const system::Mlcd mlcd;
+  {
+    std::unique_ptr<BatchJournal> manifest = BatchJournal::create(
+        dir + "/batch.mlcdb", make_manifest_header(workload, 0, 0));
+    BatchJobRecord record;
+    record.name = "a";
+    manifest->append(record);
+    record.job = 1;
+    record.name = "b";
+    manifest->append(record);
+    BatchJobRecord assigned;
+    assigned.phase = BatchJobPhase::kAssigned;
+    assigned.name = "a";
+    assigned.journal_file = "job-0-a.mlcdj";
+    manifest->append(assigned);
+    // ... but job-0-a.mlcdj never reached the disk (or was deleted).
+  }
+  SchedulerOptions options = durable_options(dir);
+  options.resume = true;
+  const BatchReport resumed = Scheduler(mlcd, options).run(workload);
+  ASSERT_EQ(resumed.succeeded(), 2);
+  EXPECT_EQ(resumed.resumed_jobs(), 0);
+  EXPECT_FALSE(resumed.jobs[0].stats.resumed_from_journal);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/job-0-a.mlcdj"));
+}
+
+TEST(DurableBatch, ResumeRefusesMismatchedWorkload) {
+  const std::string dir = fresh_dir("mismatch");
+  const system::Mlcd mlcd;
+  ASSERT_EQ(Scheduler(mlcd, durable_options(dir)).run(durable_fleet())
+                .succeeded(),
+            2);
+
+  Workload altered = durable_fleet();
+  altered.jobs[0].request.seed = 8;  // a different search
+  SchedulerOptions options = durable_options(dir);
+  options.resume = true;
+  try {
+    Scheduler(mlcd, options).run(altered);
+    FAIL() << "mismatched workload was resumed";
+  } catch (const journal::JournalError& e) {
+    EXPECT_EQ(e.code(), journal::JournalErrorCode::kHeaderMismatch);
+    EXPECT_NE(std::string(e.what()).find("workload"), std::string::npos);
+  }
+
+  // A different capacity config is a different batch too.
+  SchedulerOptions capacity = durable_options(dir);
+  capacity.resume = true;
+  capacity.capacity_nodes = 16;
+  try {
+    Scheduler(mlcd, capacity).run(durable_fleet());
+    FAIL() << "mismatched capacity config was resumed";
+  } catch (const journal::JournalError& e) {
+    EXPECT_EQ(e.code(), journal::JournalErrorCode::kHeaderMismatch);
+  }
+}
+
+TEST(DurableBatch, ResumeRefusesMissingManifest) {
+  const std::string dir = fresh_dir("missing_manifest");
+  SchedulerOptions options = durable_options(dir);
+  options.resume = true;
+  const system::Mlcd mlcd;
+  EXPECT_THROW(Scheduler(mlcd, options).run(durable_fleet()),
+               journal::JournalError);
+}
+
+TEST(DurableBatch, TamperedDigestIsTypedReplayDivergence) {
+  const std::string dir = fresh_dir("diverged");
+  const Workload workload = durable_fleet();
+  const system::Mlcd mlcd;
+  ASSERT_EQ(Scheduler(mlcd, durable_options(dir)).run(workload).succeeded(),
+            2);
+
+  // Rewrite job 0's finished record with a wrong digest (re-framed, so
+  // the file itself stays valid — only the recorded history lies).
+  const std::string path = dir + "/batch.mlcdb";
+  const std::string bytes = read_file(path);
+  std::string rebuilt;
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    const std::size_t eol = bytes.find('\n', at);
+    std::string line = bytes.substr(at, eol - at + 1);
+    if (line.find("\"phase\":\"finished\",\"job\":0") != std::string::npos) {
+      std::size_t payload_at = 0;
+      for (int spaces = 0; spaces < 3; ++spaces) {
+        payload_at = line.find(' ', payload_at) + 1;
+      }
+      std::string payload =
+          line.substr(payload_at, line.size() - payload_at - 1);
+      const std::size_t digest_at = payload.find("\"report_digest\":\"") +
+                                    std::string("\"report_digest\":\"").size();
+      payload.replace(digest_at, payload.find('"', digest_at) - digest_at,
+                      "1234567");
+      line = journal::frame_record(payload);
+    }
+    rebuilt += line;
+    at = eol + 1;
+  }
+  write_file(path, rebuilt);
+
+  SchedulerOptions options = durable_options(dir);
+  options.resume = true;
+  const BatchReport resumed = Scheduler(mlcd, options).run(workload);
+  EXPECT_FALSE(resumed.jobs[0].ok);
+  EXPECT_EQ(resumed.jobs[0].error_code, "journal_error");
+  EXPECT_NE(resumed.jobs[0].error_message.find("diverged"),
+            std::string::npos);
+  // The untampered job replays fine; the batch is not poisoned.
+  EXPECT_TRUE(resumed.jobs[1].ok);
+  EXPECT_TRUE(resumed.jobs[1].stats.replayed_from_journal);
+}
+
+TEST(DurableBatch, RefusesJobsDeclaringTheirOwnJournals) {
+  const std::string dir = fresh_dir("own_journal");
+  Workload workload = durable_fleet();
+  workload.jobs[0].request.journal_path = temp_path("mine.mlcdj");
+  const system::Mlcd mlcd;
+  EXPECT_THROW(Scheduler(mlcd, durable_options(dir)).run(workload),
+               std::invalid_argument);
+}
+
+TEST(DurableBatch, OptionValidationIsStrict) {
+  const system::Mlcd mlcd;
+  SchedulerOptions legacy;
+  legacy.journal_dir = fresh_dir("legacy");
+  legacy.probe_granularity = false;
+  EXPECT_THROW(Scheduler(mlcd, legacy).run(durable_fleet()),
+               std::invalid_argument);
+
+  SchedulerOptions dirless;
+  dirless.resume = true;
+  EXPECT_THROW(Scheduler(mlcd, dirless).run(durable_fleet()),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- capacity revocation edges
+
+TEST(CapacityRevocation, RevokeAfterReleaseLeavesLedgerUntouched) {
+  CapacityPool pool(10);
+  pool.acquire(4);
+  pool.release(4);
+  // The grant is already gone: a late revoke reclaims nothing.
+  pool.revoke(4);
+  EXPECT_EQ(pool.in_use(), 0);
+  EXPECT_EQ(pool.revocations(), 0);
+  EXPECT_EQ(pool.revoked_nodes(), 0);
+}
+
+TEST(CapacityRevocation, DoubleRevokeCountsTheGrantOnce) {
+  CapacityPool pool(10);
+  pool.acquire(4);
+  pool.revoke(4);
+  pool.revoke(4);  // stray second revoke of the same grant
+  EXPECT_EQ(pool.in_use(), 0);
+  EXPECT_EQ(pool.revocations(), 1);
+  EXPECT_EQ(pool.revoked_nodes(), 4);
+}
+
+TEST(CapacityRevocation, OverRevokeClampsToOccupancy) {
+  CapacityPool pool(10);
+  pool.acquire(3);
+  pool.revoke(10);
+  EXPECT_EQ(pool.in_use(), 0);
+  EXPECT_EQ(pool.revoked_nodes(), 3);
+  // The pool is healthy afterwards: the full capacity is available.
+  EXPECT_TRUE(pool.try_acquire(10));
+  pool.release(10);
+  // Negative revokes are ignored outright.
+  pool.acquire(2);
+  pool.revoke(-5);
+  EXPECT_EQ(pool.in_use(), 2);
+  EXPECT_EQ(pool.revoked_nodes(), 3);
+}
+
+// --------------------------------------------------- process-kill harness
+
+#if defined(MLCD_HAVE_POSIX_SPAWN) && defined(MLCD_CLI_BIN)
+
+/// Spawns `mlcd batch` against `workload`, optionally SIGKILLs it after
+/// `kill_after_us`, and returns the exit code (-1 when killed).
+int run_batch(const std::string& workload, const std::string& dir,
+              const std::string& out, bool resume,
+              long kill_after_us = -1) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    std::freopen("/dev/null", "w", stdout);
+    std::freopen("/dev/null", "w", stderr);
+    std::vector<const char*> argv = {MLCD_CLI_BIN,     "batch",
+                                     workload.c_str(), "--journal-dir",
+                                     dir.c_str(),      "--out",
+                                     out.c_str()};
+    if (resume) argv.push_back("--resume");
+    argv.push_back(nullptr);
+    execv(MLCD_CLI_BIN, const_cast<char* const*>(argv.data()));
+    _exit(127);
+  }
+  if (kill_after_us >= 0) {
+    usleep(static_cast<useconds_t>(kill_after_us));
+    kill(pid, SIGKILL);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// The trace array of one job in a BatchReport JSON document, with the
+/// per-step `replayed` flag (the only legitimate difference between a
+/// fresh and a replayed step) normalized away.
+std::string scrubbed_trace(const std::string& doc, const std::string& job) {
+  const std::size_t at = doc.find("\"name\":\"" + job);
+  EXPECT_NE(at, std::string::npos);
+  const std::size_t begin = doc.find("\"trace\":[", at);
+  EXPECT_NE(begin, std::string::npos);
+  // Fault-free steps carry no nested arrays: the first ']' closes it.
+  const std::size_t end = doc.find(']', begin);
+  std::string trace = doc.substr(begin, end - begin + 1);
+  for (std::size_t flag = trace.find("\"replayed\":");
+       flag != std::string::npos; flag = trace.find("\"replayed\":", flag)) {
+    const std::size_t value = flag + std::string("\"replayed\":").size();
+    const std::size_t comma = trace.find_first_of(",}", value);
+    trace.replace(value, comma - value, "X");
+    flag = value;
+  }
+  return trace;
+}
+
+TEST(KillHarness, KillPointSweepResumesBitIdentically) {
+  const std::string workload = temp_path("kill_workload.json");
+  write_file(workload, R"({"jobs": [
+    {"name": "a", "tenant": "t1", "model": "resnet", "seed": 7,
+     "max_nodes": 8},
+    {"name": "b", "tenant": "t2", "model": "alexnet", "seed": 9,
+     "max_nodes": 8, "method": "random"}
+  ]})");
+
+  // The uninterrupted run is the golden batch every kill point must
+  // reproduce.
+  const std::string golden_dir = fresh_dir("kill_golden");
+  const std::string golden_out = temp_path("kill_golden.json");
+  ASSERT_EQ(run_batch(workload, golden_dir, golden_out, false), 0);
+  const std::string golden = read_file(golden_out);
+  ASSERT_NE(golden.find("\"schema_version\":5"), std::string::npos);
+
+  // Seeded sweep of kill points across the batch's lifetime: before the
+  // manifest exists, mid-first-job, mid-batch, and after completion.
+  std::uint64_t state = 42;
+  std::vector<long> kill_points_us = {0, 500};
+  for (int i = 0; i < 6; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    kill_points_us.push_back(static_cast<long>(state % 40000));  // < 40 ms
+  }
+
+  for (const long kill_after_us : kill_points_us) {
+    const std::string dir =
+        fresh_dir("kill_" + std::to_string(kill_after_us));
+    const std::string out =
+        temp_path("kill_" + std::to_string(kill_after_us) + ".json");
+    run_batch(workload, dir, out, false, kill_after_us);
+
+    // A kill can land before the journal dir was even created; resume
+    // then refuses (no manifest) and a fresh durable run finishes the
+    // job. Either way the sweep point must converge to the golden batch.
+    std::remove(out.c_str());
+    int rc = run_batch(workload, dir, out, true);
+    if (rc == 4 && !std::filesystem::exists(dir + "/batch.mlcdb")) {
+      rc = run_batch(workload, dir, out, false);
+    }
+    ASSERT_EQ(rc, 0) << "kill point " << kill_after_us << " us";
+
+    const std::string resumed = read_file(out);
+    for (const std::string job : {"a", "b"}) {
+      EXPECT_EQ(scrubbed_trace(resumed, job), scrubbed_trace(golden, job))
+          << "kill point " << kill_after_us << " us, job " << job;
+    }
+  }
+  std::remove(workload.c_str());
+}
+
+#endif  // MLCD_HAVE_POSIX_SPAWN && MLCD_CLI_BIN
+
+}  // namespace
+}  // namespace mlcd::service

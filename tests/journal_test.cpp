@@ -20,6 +20,7 @@
 #include "profiler/profiler.hpp"
 #include "search/conv_bo.hpp"
 #include "search/heter_bo.hpp"
+#include "service/batch_journal.hpp"
 
 namespace mlcd {
 namespace {
@@ -620,6 +621,114 @@ TEST_F(DegradeTest, PermanentDegradationNeverViolatesTheReserve) {
   if (result.found) {
     EXPECT_TRUE(result.meets_constraints(p.scenario));
   }
+}
+
+// ------------------------------------------------------------- fuzz sweep
+
+/// A small but representative run journal: header plus probes carrying
+/// strings, attempt logs, and extreme doubles.
+std::string valid_journal_bytes() {
+  const std::string path = temp_path("fuzz.mlcdj");
+  journal::RunJournal j = journal::RunJournal::create(path, sample_header());
+  journal::ProbeRecord probe;
+  probe.type_index = 3;
+  probe.nodes = 5;
+  probe.feasible = true;
+  probe.measured_speed = 0.1 + 0.2;
+  probe.profile_hours = 5e-324;
+  probe.reason = "tei \"quoted\"";
+  probe.attempt_log = {{1, 0.05, 0.25, 0.031}};
+  j.append_probe(probe);
+  probe.nodes = 2;
+  probe.failed = true;
+  j.append_probe(probe);
+  j.append_degrade({1, "fuzz"});
+  return read_file(path);
+}
+
+std::string valid_manifest_bytes() {
+  const std::string path = temp_path("fuzz.mlcdb");
+  service::BatchManifestHeader header;
+  header.workload_hash = 0xDEADBEEFCAFEF00DULL;
+  header.job_count = 2;
+  std::unique_ptr<service::BatchJournal> manifest =
+      service::BatchJournal::create(path, header);
+  service::BatchJobRecord record;
+  record.name = "a";
+  manifest->append(record);
+  record.phase = service::BatchJobPhase::kFinished;
+  record.journal_file = "job-0-a.mlcdj";
+  record.ok = true;
+  record.outcome = "ok";
+  record.report_digest = 77;
+  manifest->append(record);
+  manifest.reset();
+  return read_file(path);
+}
+
+/// One fuzz verdict: the reader accepted the bytes (possibly dropping a
+/// torn tail) or refused them with a typed JournalError. Anything else —
+/// a crash, a hang, or an untyped exception — fails the sweep.
+enum class FuzzVerdict { kAccepted, kAcceptedTruncated, kRefusedTyped };
+
+template <typename Reader>
+FuzzVerdict fuzz_read(const std::string& path, const Reader& reader) {
+  try {
+    return reader(path) ? FuzzVerdict::kAcceptedTruncated
+                        : FuzzVerdict::kAccepted;
+  } catch (const journal::JournalError&) {
+    return FuzzVerdict::kRefusedTyped;
+  }
+  // Any other exception type escapes and fails the test: corruption must
+  // surface as the typed error, never as a generic crash.
+}
+
+template <typename Reader>
+void run_fuzz_sweep(const std::string& bytes, const std::string& path,
+                    const Reader& reader) {
+  // Truncation at every byte: a kill can land anywhere. Every prefix
+  // must read as a valid journal with a dropped tail, or refuse typed.
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    write_file(path, bytes.substr(0, cut));
+    fuzz_read(path, reader);  // must return, not crash or hang
+  }
+  // Seeded single-bit flip at every byte: at-rest corruption. The framing
+  // CRC must catch every flip — acceptance is only legal when the flip
+  // landed in the final record (dropped as a torn tail).
+  // Corrupting the newline that *ends* the penultimate record merges it
+  // into the final line, so the droppable tail zone starts one byte
+  // before the final record.
+  const std::size_t last_line = bytes.rfind('\n', bytes.size() - 2);
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ (1u << (state % 8)));
+    write_file(path, flipped);
+    const FuzzVerdict verdict = fuzz_read(path, reader);
+    EXPECT_NE(verdict, FuzzVerdict::kAccepted)
+        << "bit flip at byte " << i << " was silently accepted";
+    if (verdict == FuzzVerdict::kAcceptedTruncated) {
+      EXPECT_GE(i, last_line)
+          << "flip at byte " << i << " before the tail read as torn tail";
+    }
+  }
+}
+
+TEST(JournalFuzz, RunJournalSurvivesBitFlipAndTruncationSweep) {
+  const std::string path = temp_path("fuzz_run_sweep.mlcdj");
+  run_fuzz_sweep(valid_journal_bytes(), path, [](const std::string& p) {
+    return journal::read_journal(p).truncated_tail;
+  });
+}
+
+TEST(JournalFuzz, BatchManifestSurvivesBitFlipAndTruncationSweep) {
+  const std::string path = temp_path("fuzz_manifest_sweep.mlcdb");
+  run_fuzz_sweep(valid_manifest_bytes(), path, [](const std::string& p) {
+    return service::read_manifest(p).truncated_tail;
+  });
 }
 
 }  // namespace
