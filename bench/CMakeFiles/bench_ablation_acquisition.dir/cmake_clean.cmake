@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_acquisition.dir/bench_ablation_acquisition.cpp.o"
+  "CMakeFiles/bench_ablation_acquisition.dir/bench_ablation_acquisition.cpp.o.d"
+  "bench_ablation_acquisition"
+  "bench_ablation_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_heterbo.dir/bench_ablation_heterbo.cpp.o"
+  "CMakeFiles/bench_ablation_heterbo.dir/bench_ablation_heterbo.cpp.o.d"
+  "bench_ablation_heterbo"
+  "bench_ablation_heterbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_heterbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

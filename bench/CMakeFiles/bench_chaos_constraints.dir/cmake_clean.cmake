@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chaos_constraints.dir/bench_chaos_constraints.cpp.o"
+  "CMakeFiles/bench_chaos_constraints.dir/bench_chaos_constraints.cpp.o.d"
+  "bench_chaos_constraints"
+  "bench_chaos_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chaos_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

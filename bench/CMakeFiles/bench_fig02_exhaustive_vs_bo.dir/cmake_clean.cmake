@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_exhaustive_vs_bo.dir/bench_fig02_exhaustive_vs_bo.cpp.o"
+  "CMakeFiles/bench_fig02_exhaustive_vs_bo.dir/bench_fig02_exhaustive_vs_bo.cpp.o.d"
+  "bench_fig02_exhaustive_vs_bo"
+  "bench_fig02_exhaustive_vs_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_exhaustive_vs_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

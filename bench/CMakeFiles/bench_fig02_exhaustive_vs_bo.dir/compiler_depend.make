@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig02_exhaustive_vs_bo.
+# This may be replaced when dependencies are built.

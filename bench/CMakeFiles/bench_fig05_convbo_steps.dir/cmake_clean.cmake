@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_convbo_steps.dir/bench_fig05_convbo_steps.cpp.o"
+  "CMakeFiles/bench_fig05_convbo_steps.dir/bench_fig05_convbo_steps.cpp.o.d"
+  "bench_fig05_convbo_steps"
+  "bench_fig05_convbo_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_convbo_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

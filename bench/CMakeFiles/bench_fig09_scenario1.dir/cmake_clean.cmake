@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_scenario1.dir/bench_fig09_scenario1.cpp.o"
+  "CMakeFiles/bench_fig09_scenario1.dir/bench_fig09_scenario1.cpp.o.d"
+  "bench_fig09_scenario1"
+  "bench_fig09_scenario1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_scenario1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

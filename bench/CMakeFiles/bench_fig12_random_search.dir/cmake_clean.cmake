@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_random_search.dir/bench_fig12_random_search.cpp.o"
+  "CMakeFiles/bench_fig12_random_search.dir/bench_fig12_random_search.cpp.o.d"
+  "bench_fig12_random_search"
+  "bench_fig12_random_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_random_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_vs_paleo.dir/bench_fig13_vs_paleo.cpp.o"
+  "CMakeFiles/bench_fig13_vs_paleo.dir/bench_fig13_vs_paleo.cpp.o.d"
+  "bench_fig13_vs_paleo"
+  "bench_fig13_vs_paleo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_vs_paleo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

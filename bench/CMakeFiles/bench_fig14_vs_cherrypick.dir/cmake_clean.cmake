@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_vs_cherrypick.dir/bench_fig14_vs_cherrypick.cpp.o"
+  "CMakeFiles/bench_fig14_vs_cherrypick.dir/bench_fig14_vs_cherrypick.cpp.o.d"
+  "bench_fig14_vs_cherrypick"
+  "bench_fig14_vs_cherrypick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_vs_cherrypick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

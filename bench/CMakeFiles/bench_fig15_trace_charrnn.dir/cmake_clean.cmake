@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_trace_charrnn.dir/bench_fig15_trace_charrnn.cpp.o"
+  "CMakeFiles/bench_fig15_trace_charrnn.dir/bench_fig15_trace_charrnn.cpp.o.d"
+  "bench_fig15_trace_charrnn"
+  "bench_fig15_trace_charrnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_trace_charrnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

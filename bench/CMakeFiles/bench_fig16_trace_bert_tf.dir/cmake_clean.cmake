@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_trace_bert_tf.dir/bench_fig16_trace_bert_tf.cpp.o"
+  "CMakeFiles/bench_fig16_trace_bert_tf.dir/bench_fig16_trace_bert_tf.cpp.o.d"
+  "bench_fig16_trace_bert_tf"
+  "bench_fig16_trace_bert_tf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_trace_bert_tf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig16_trace_bert_tf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_trace_bert_mx.dir/bench_fig17_trace_bert_mx.cpp.o"
+  "CMakeFiles/bench_fig17_trace_bert_mx.dir/bench_fig17_trace_bert_mx.cpp.o.d"
+  "bench_fig17_trace_bert_mx"
+  "bench_fig17_trace_bert_mx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_trace_bert_mx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_linalg.dir/bench_micro_linalg.cpp.o"
+  "CMakeFiles/bench_micro_linalg.dir/bench_micro_linalg.cpp.o.d"
+  "bench_micro_linalg"
+  "bench_micro_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

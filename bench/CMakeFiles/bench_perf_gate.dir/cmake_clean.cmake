@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_gate.dir/bench_perf_gate.cpp.o"
+  "CMakeFiles/bench_perf_gate.dir/bench_perf_gate.cpp.o.d"
+  "bench_perf_gate"
+  "bench_perf_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_bench_common.dir/common.cpp.o"
+  "CMakeFiles/mlcd_bench_common.dir/common.cpp.o.d"
+  "libmlcd_bench_common.a"
+  "libmlcd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_fleet.dir/batch_fleet.cpp.o"
+  "CMakeFiles/batch_fleet.dir/batch_fleet.cpp.o.d"
+  "batch_fleet"
+  "batch_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_training.dir/deadline_training.cpp.o"
+  "CMakeFiles/deadline_training.dir/deadline_training.cpp.o.d"
+  "deadline_training"
+  "deadline_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_shootout.dir/optimizer_shootout.cpp.o"
+  "CMakeFiles/optimizer_shootout.dir/optimizer_shootout.cpp.o.d"
+  "optimizer_shootout"
+  "optimizer_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_training.dir/spot_training.cpp.o"
+  "CMakeFiles/spot_training.dir/spot_training.cpp.o.d"
+  "spot_training"
+  "spot_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bo/acquisition.cpp" "src/bo/CMakeFiles/mlcd_bo.dir/acquisition.cpp.o" "gcc" "src/bo/CMakeFiles/mlcd_bo.dir/acquisition.cpp.o.d"
+  "/root/repo/src/bo/normalizer.cpp" "src/bo/CMakeFiles/mlcd_bo.dir/normalizer.cpp.o" "gcc" "src/bo/CMakeFiles/mlcd_bo.dir/normalizer.cpp.o.d"
+  "/root/repo/src/bo/observation_store.cpp" "src/bo/CMakeFiles/mlcd_bo.dir/observation_store.cpp.o" "gcc" "src/bo/CMakeFiles/mlcd_bo.dir/observation_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/gp/CMakeFiles/mlcd_gp.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/mlcd_stats.dir/DependInfo.cmake"
+  "/root/repo/src/linalg/CMakeFiles/mlcd_linalg.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/mlcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_bo.dir/acquisition.cpp.o"
+  "CMakeFiles/mlcd_bo.dir/acquisition.cpp.o.d"
+  "CMakeFiles/mlcd_bo.dir/normalizer.cpp.o"
+  "CMakeFiles/mlcd_bo.dir/normalizer.cpp.o.d"
+  "CMakeFiles/mlcd_bo.dir/observation_store.cpp.o"
+  "CMakeFiles/mlcd_bo.dir/observation_store.cpp.o.d"
+  "libmlcd_bo.a"
+  "libmlcd_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd.dir/main.cpp.o"
+  "CMakeFiles/mlcd.dir/main.cpp.o.d"
+  "mlcd"
+  "mlcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_cli.dir/args.cpp.o"
+  "CMakeFiles/mlcd_cli.dir/args.cpp.o.d"
+  "CMakeFiles/mlcd_cli.dir/cli.cpp.o"
+  "CMakeFiles/mlcd_cli.dir/cli.cpp.o.d"
+  "libmlcd_cli.a"
+  "libmlcd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cpp" "src/cloud/CMakeFiles/mlcd_cloud.dir/billing.cpp.o" "gcc" "src/cloud/CMakeFiles/mlcd_cloud.dir/billing.cpp.o.d"
+  "/root/repo/src/cloud/catalog_io.cpp" "src/cloud/CMakeFiles/mlcd_cloud.dir/catalog_io.cpp.o" "gcc" "src/cloud/CMakeFiles/mlcd_cloud.dir/catalog_io.cpp.o.d"
+  "/root/repo/src/cloud/deployment.cpp" "src/cloud/CMakeFiles/mlcd_cloud.dir/deployment.cpp.o" "gcc" "src/cloud/CMakeFiles/mlcd_cloud.dir/deployment.cpp.o.d"
+  "/root/repo/src/cloud/fault_model.cpp" "src/cloud/CMakeFiles/mlcd_cloud.dir/fault_model.cpp.o" "gcc" "src/cloud/CMakeFiles/mlcd_cloud.dir/fault_model.cpp.o.d"
+  "/root/repo/src/cloud/instance.cpp" "src/cloud/CMakeFiles/mlcd_cloud.dir/instance.cpp.o" "gcc" "src/cloud/CMakeFiles/mlcd_cloud.dir/instance.cpp.o.d"
+  "/root/repo/src/cloud/simulator.cpp" "src/cloud/CMakeFiles/mlcd_cloud.dir/simulator.cpp.o" "gcc" "src/cloud/CMakeFiles/mlcd_cloud.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/mlcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

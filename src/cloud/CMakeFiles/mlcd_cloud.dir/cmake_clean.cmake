@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_cloud.dir/billing.cpp.o"
+  "CMakeFiles/mlcd_cloud.dir/billing.cpp.o.d"
+  "CMakeFiles/mlcd_cloud.dir/catalog_io.cpp.o"
+  "CMakeFiles/mlcd_cloud.dir/catalog_io.cpp.o.d"
+  "CMakeFiles/mlcd_cloud.dir/deployment.cpp.o"
+  "CMakeFiles/mlcd_cloud.dir/deployment.cpp.o.d"
+  "CMakeFiles/mlcd_cloud.dir/fault_model.cpp.o"
+  "CMakeFiles/mlcd_cloud.dir/fault_model.cpp.o.d"
+  "CMakeFiles/mlcd_cloud.dir/instance.cpp.o"
+  "CMakeFiles/mlcd_cloud.dir/instance.cpp.o.d"
+  "CMakeFiles/mlcd_cloud.dir/simulator.cpp.o"
+  "CMakeFiles/mlcd_cloud.dir/simulator.cpp.o.d"
+  "libmlcd_cloud.a"
+  "libmlcd_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

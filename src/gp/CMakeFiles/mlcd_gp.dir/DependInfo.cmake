@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/gp_regressor.cpp" "src/gp/CMakeFiles/mlcd_gp.dir/gp_regressor.cpp.o" "gcc" "src/gp/CMakeFiles/mlcd_gp.dir/gp_regressor.cpp.o.d"
+  "/root/repo/src/gp/kernel.cpp" "src/gp/CMakeFiles/mlcd_gp.dir/kernel.cpp.o" "gcc" "src/gp/CMakeFiles/mlcd_gp.dir/kernel.cpp.o.d"
+  "/root/repo/src/gp/nelder_mead.cpp" "src/gp/CMakeFiles/mlcd_gp.dir/nelder_mead.cpp.o" "gcc" "src/gp/CMakeFiles/mlcd_gp.dir/nelder_mead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/linalg/CMakeFiles/mlcd_linalg.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/mlcd_stats.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/mlcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

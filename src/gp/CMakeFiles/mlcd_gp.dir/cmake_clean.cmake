@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_gp.dir/gp_regressor.cpp.o"
+  "CMakeFiles/mlcd_gp.dir/gp_regressor.cpp.o.d"
+  "CMakeFiles/mlcd_gp.dir/kernel.cpp.o"
+  "CMakeFiles/mlcd_gp.dir/kernel.cpp.o.d"
+  "CMakeFiles/mlcd_gp.dir/nelder_mead.cpp.o"
+  "CMakeFiles/mlcd_gp.dir/nelder_mead.cpp.o.d"
+  "libmlcd_gp.a"
+  "libmlcd_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

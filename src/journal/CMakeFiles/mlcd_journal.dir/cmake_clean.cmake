@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_journal.dir/journal.cpp.o"
+  "CMakeFiles/mlcd_journal.dir/journal.cpp.o.d"
+  "libmlcd_journal.a"
+  "libmlcd_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

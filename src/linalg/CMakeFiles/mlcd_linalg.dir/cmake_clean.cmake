@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/mlcd_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/mlcd_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/mlcd_linalg.dir/matrix.cpp.o.d"
+  "libmlcd_linalg.a"
+  "libmlcd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mlcd/cloud_interface.cpp" "src/mlcd/CMakeFiles/mlcd_system.dir/cloud_interface.cpp.o" "gcc" "src/mlcd/CMakeFiles/mlcd_system.dir/cloud_interface.cpp.o.d"
+  "/root/repo/src/mlcd/deployment_engine.cpp" "src/mlcd/CMakeFiles/mlcd_system.dir/deployment_engine.cpp.o" "gcc" "src/mlcd/CMakeFiles/mlcd_system.dir/deployment_engine.cpp.o.d"
+  "/root/repo/src/mlcd/mlcd.cpp" "src/mlcd/CMakeFiles/mlcd_system.dir/mlcd.cpp.o" "gcc" "src/mlcd/CMakeFiles/mlcd_system.dir/mlcd.cpp.o.d"
+  "/root/repo/src/mlcd/platform_interface.cpp" "src/mlcd/CMakeFiles/mlcd_system.dir/platform_interface.cpp.o" "gcc" "src/mlcd/CMakeFiles/mlcd_system.dir/platform_interface.cpp.o.d"
+  "/root/repo/src/mlcd/scenario_analyzer.cpp" "src/mlcd/CMakeFiles/mlcd_system.dir/scenario_analyzer.cpp.o" "gcc" "src/mlcd/CMakeFiles/mlcd_system.dir/scenario_analyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/search/CMakeFiles/mlcd_search.dir/DependInfo.cmake"
+  "/root/repo/src/profiler/CMakeFiles/mlcd_profiler.dir/DependInfo.cmake"
+  "/root/repo/src/perf/CMakeFiles/mlcd_perf.dir/DependInfo.cmake"
+  "/root/repo/src/cloud/CMakeFiles/mlcd_cloud.dir/DependInfo.cmake"
+  "/root/repo/src/models/CMakeFiles/mlcd_models.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/mlcd_util.dir/DependInfo.cmake"
+  "/root/repo/src/journal/CMakeFiles/mlcd_journal.dir/DependInfo.cmake"
+  "/root/repo/src/bo/CMakeFiles/mlcd_bo.dir/DependInfo.cmake"
+  "/root/repo/src/gp/CMakeFiles/mlcd_gp.dir/DependInfo.cmake"
+  "/root/repo/src/linalg/CMakeFiles/mlcd_linalg.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/mlcd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_system.dir/cloud_interface.cpp.o"
+  "CMakeFiles/mlcd_system.dir/cloud_interface.cpp.o.d"
+  "CMakeFiles/mlcd_system.dir/deployment_engine.cpp.o"
+  "CMakeFiles/mlcd_system.dir/deployment_engine.cpp.o.d"
+  "CMakeFiles/mlcd_system.dir/mlcd.cpp.o"
+  "CMakeFiles/mlcd_system.dir/mlcd.cpp.o.d"
+  "CMakeFiles/mlcd_system.dir/platform_interface.cpp.o"
+  "CMakeFiles/mlcd_system.dir/platform_interface.cpp.o.d"
+  "CMakeFiles/mlcd_system.dir/scenario_analyzer.cpp.o"
+  "CMakeFiles/mlcd_system.dir/scenario_analyzer.cpp.o.d"
+  "libmlcd_system.a"
+  "libmlcd_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_models.dir/model_zoo.cpp.o"
+  "CMakeFiles/mlcd_models.dir/model_zoo.cpp.o.d"
+  "libmlcd_models.a"
+  "libmlcd_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/perf_model.cpp" "src/perf/CMakeFiles/mlcd_perf.dir/perf_model.cpp.o" "gcc" "src/perf/CMakeFiles/mlcd_perf.dir/perf_model.cpp.o.d"
+  "/root/repo/src/perf/platform.cpp" "src/perf/CMakeFiles/mlcd_perf.dir/platform.cpp.o" "gcc" "src/perf/CMakeFiles/mlcd_perf.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/cloud/CMakeFiles/mlcd_cloud.dir/DependInfo.cmake"
+  "/root/repo/src/models/CMakeFiles/mlcd_models.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/mlcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

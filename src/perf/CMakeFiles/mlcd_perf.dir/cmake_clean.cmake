@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_perf.dir/perf_model.cpp.o"
+  "CMakeFiles/mlcd_perf.dir/perf_model.cpp.o.d"
+  "CMakeFiles/mlcd_perf.dir/platform.cpp.o"
+  "CMakeFiles/mlcd_perf.dir/platform.cpp.o.d"
+  "libmlcd_perf.a"
+  "libmlcd_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

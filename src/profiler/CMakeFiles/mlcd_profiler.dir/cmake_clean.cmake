@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_profiler.dir/fidelity.cpp.o"
+  "CMakeFiles/mlcd_profiler.dir/fidelity.cpp.o.d"
+  "CMakeFiles/mlcd_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/mlcd_profiler.dir/profiler.cpp.o.d"
+  "libmlcd_profiler.a"
+  "libmlcd_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

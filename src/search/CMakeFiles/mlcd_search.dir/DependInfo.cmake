@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/bo_loop.cpp" "src/search/CMakeFiles/mlcd_search.dir/bo_loop.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/bo_loop.cpp.o.d"
+  "/root/repo/src/search/cherrypick.cpp" "src/search/CMakeFiles/mlcd_search.dir/cherrypick.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/cherrypick.cpp.o.d"
+  "/root/repo/src/search/completion_model.cpp" "src/search/CMakeFiles/mlcd_search.dir/completion_model.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/completion_model.cpp.o.d"
+  "/root/repo/src/search/conv_bo.cpp" "src/search/CMakeFiles/mlcd_search.dir/conv_bo.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/conv_bo.cpp.o.d"
+  "/root/repo/src/search/exhaustive.cpp" "src/search/CMakeFiles/mlcd_search.dir/exhaustive.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/search/heter_bo.cpp" "src/search/CMakeFiles/mlcd_search.dir/heter_bo.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/heter_bo.cpp.o.d"
+  "/root/repo/src/search/paleo.cpp" "src/search/CMakeFiles/mlcd_search.dir/paleo.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/paleo.cpp.o.d"
+  "/root/repo/src/search/pareto.cpp" "src/search/CMakeFiles/mlcd_search.dir/pareto.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/pareto.cpp.o.d"
+  "/root/repo/src/search/probe_driver.cpp" "src/search/CMakeFiles/mlcd_search.dir/probe_driver.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/probe_driver.cpp.o.d"
+  "/root/repo/src/search/random_search.cpp" "src/search/CMakeFiles/mlcd_search.dir/random_search.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/random_search.cpp.o.d"
+  "/root/repo/src/search/registry.cpp" "src/search/CMakeFiles/mlcd_search.dir/registry.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/registry.cpp.o.d"
+  "/root/repo/src/search/scenario.cpp" "src/search/CMakeFiles/mlcd_search.dir/scenario.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/scenario.cpp.o.d"
+  "/root/repo/src/search/search_result.cpp" "src/search/CMakeFiles/mlcd_search.dir/search_result.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/search_result.cpp.o.d"
+  "/root/repo/src/search/search_session.cpp" "src/search/CMakeFiles/mlcd_search.dir/search_session.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/search_session.cpp.o.d"
+  "/root/repo/src/search/searcher.cpp" "src/search/CMakeFiles/mlcd_search.dir/searcher.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/searcher.cpp.o.d"
+  "/root/repo/src/search/trace_io.cpp" "src/search/CMakeFiles/mlcd_search.dir/trace_io.cpp.o" "gcc" "src/search/CMakeFiles/mlcd_search.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/profiler/CMakeFiles/mlcd_profiler.dir/DependInfo.cmake"
+  "/root/repo/src/journal/CMakeFiles/mlcd_journal.dir/DependInfo.cmake"
+  "/root/repo/src/perf/CMakeFiles/mlcd_perf.dir/DependInfo.cmake"
+  "/root/repo/src/cloud/CMakeFiles/mlcd_cloud.dir/DependInfo.cmake"
+  "/root/repo/src/models/CMakeFiles/mlcd_models.dir/DependInfo.cmake"
+  "/root/repo/src/bo/CMakeFiles/mlcd_bo.dir/DependInfo.cmake"
+  "/root/repo/src/gp/CMakeFiles/mlcd_gp.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/mlcd_stats.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/mlcd_util.dir/DependInfo.cmake"
+  "/root/repo/src/linalg/CMakeFiles/mlcd_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_service.dir/batch_journal.cpp.o"
+  "CMakeFiles/mlcd_service.dir/batch_journal.cpp.o.d"
+  "CMakeFiles/mlcd_service.dir/batch_report.cpp.o"
+  "CMakeFiles/mlcd_service.dir/batch_report.cpp.o.d"
+  "CMakeFiles/mlcd_service.dir/capacity.cpp.o"
+  "CMakeFiles/mlcd_service.dir/capacity.cpp.o.d"
+  "CMakeFiles/mlcd_service.dir/chaos.cpp.o"
+  "CMakeFiles/mlcd_service.dir/chaos.cpp.o.d"
+  "CMakeFiles/mlcd_service.dir/probe_cache.cpp.o"
+  "CMakeFiles/mlcd_service.dir/probe_cache.cpp.o.d"
+  "CMakeFiles/mlcd_service.dir/scheduler.cpp.o"
+  "CMakeFiles/mlcd_service.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mlcd_service.dir/workload.cpp.o"
+  "CMakeFiles/mlcd_service.dir/workload.cpp.o.d"
+  "libmlcd_service.a"
+  "libmlcd_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_stats.dir/normal.cpp.o"
+  "CMakeFiles/mlcd_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/mlcd_stats.dir/summary.cpp.o"
+  "CMakeFiles/mlcd_stats.dir/summary.cpp.o.d"
+  "libmlcd_stats.a"
+  "libmlcd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

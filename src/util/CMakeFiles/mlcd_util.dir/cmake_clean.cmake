@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/mlcd_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/mlcd_util.dir/csv.cpp.o"
+  "CMakeFiles/mlcd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mlcd_util.dir/json.cpp.o"
+  "CMakeFiles/mlcd_util.dir/json.cpp.o.d"
+  "CMakeFiles/mlcd_util.dir/logging.cpp.o"
+  "CMakeFiles/mlcd_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mlcd_util.dir/rng.cpp.o"
+  "CMakeFiles/mlcd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mlcd_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/mlcd_util.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/mlcd_util.dir/table.cpp.o"
+  "CMakeFiles/mlcd_util.dir/table.cpp.o.d"
+  "CMakeFiles/mlcd_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mlcd_util.dir/thread_pool.cpp.o.d"
+  "libmlcd_util.a"
+  "libmlcd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

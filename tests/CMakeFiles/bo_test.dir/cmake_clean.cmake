@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bo_test.dir/bo_test.cpp.o"
+  "CMakeFiles/bo_test.dir/bo_test.cpp.o.d"
+  "bo_test"
+  "bo_test.pdb"
+  "bo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/completion_model_test.dir/completion_model_test.cpp.o"
+  "CMakeFiles/completion_model_test.dir/completion_model_test.cpp.o.d"
+  "completion_model_test"
+  "completion_model_test.pdb"
+  "completion_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/completion_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

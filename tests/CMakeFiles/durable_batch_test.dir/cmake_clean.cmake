@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_batch_test.dir/durable_batch_test.cpp.o"
+  "CMakeFiles/durable_batch_test.dir/durable_batch_test.cpp.o.d"
+  "durable_batch_test"
+  "durable_batch_test.pdb"
+  "durable_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

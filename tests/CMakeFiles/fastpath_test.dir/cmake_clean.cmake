@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpath_test.dir/fastpath_test.cpp.o"
+  "CMakeFiles/fastpath_test.dir/fastpath_test.cpp.o.d"
+  "fastpath_test"
+  "fastpath_test.pdb"
+  "fastpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_test.dir/gp_test.cpp.o"
+  "CMakeFiles/gp_test.dir/gp_test.cpp.o.d"
+  "gp_test"
+  "gp_test.pdb"
+  "gp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

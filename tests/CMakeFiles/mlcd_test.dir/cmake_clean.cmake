@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcd_test.dir/mlcd_test.cpp.o"
+  "CMakeFiles/mlcd_test.dir/mlcd_test.cpp.o.d"
+  "mlcd_test"
+  "mlcd_test.pdb"
+  "mlcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

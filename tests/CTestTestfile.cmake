@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/util_test[1]_include.cmake")
+include("/root/repo/tests/linalg_test[1]_include.cmake")
+include("/root/repo/tests/stats_test[1]_include.cmake")
+include("/root/repo/tests/gp_test[1]_include.cmake")
+include("/root/repo/tests/bo_test[1]_include.cmake")
+include("/root/repo/tests/cloud_test[1]_include.cmake")
+include("/root/repo/tests/models_test[1]_include.cmake")
+include("/root/repo/tests/perf_test[1]_include.cmake")
+include("/root/repo/tests/profiler_test[1]_include.cmake")
+include("/root/repo/tests/search_test[1]_include.cmake")
+include("/root/repo/tests/completion_model_test[1]_include.cmake")
+include("/root/repo/tests/mlcd_test[1]_include.cmake")
+include("/root/repo/tests/cli_test[1]_include.cmake")
+include("/root/repo/tests/fastpath_test[1]_include.cmake")
+include("/root/repo/tests/fault_model_test[1]_include.cmake")
+include("/root/repo/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/tests/invariants_test[1]_include.cmake")
+include("/root/repo/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/tests/integration_test[1]_include.cmake")
+include("/root/repo/tests/journal_test[1]_include.cmake")
+include("/root/repo/tests/fidelity_test[1]_include.cmake")
+include("/root/repo/tests/service_test[1]_include.cmake")
+include("/root/repo/tests/golden_test[1]_include.cmake")
+include("/root/repo/tests/durable_batch_test[1]_include.cmake")
