@@ -13,6 +13,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("ablation-acquisition");
   bench::print_header(
       "Ablation — acquisition functions (ResNet scale-out, Scenario 1)",
       "(not a paper figure) §II-D surveys EI / UCB / POI; the paper "
@@ -62,5 +65,5 @@ int main() {
   bench::print_note(
       "all three find near-optimal picks on this smooth concave curve; "
       "EI needs no tuning, which is the paper's reason for choosing it");
-  return 0;
+  return bench::finish_metrics(0);
 }

@@ -43,6 +43,9 @@ search::SearchResult run_variant(const perf::TrainingPerfModel& perf,
 }  // namespace
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("ablation-heterbo");
   bench::print_header(
       "Ablation — HeterBO design choices (Char-RNN, budget $120)",
       "(not a paper figure) isolates the contribution of each HeterBO "
@@ -88,5 +91,5 @@ int main() {
       "expected: removing cost awareness or the prior inflates profiling "
       "spend; removing the reserve is the only variant that can violate "
       "the budget");
-  return 0;
+  return bench::finish_metrics(0);
 }

@@ -83,7 +83,10 @@ void fig1b() {
 }  // namespace
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig01-motivation");
   fig1a();
   fig1b();
-  return 0;
+  return bench::finish_metrics(0);
 }

@@ -8,6 +8,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig02-exhaustive-vs-bo");
   bench::print_header(
       "Fig. 2 — exhaustive profiling vs conventional BO (ResNet/CIFAR-10)",
       "exhaustive search limited to 180 of 3,100 choices still costs more "
@@ -66,5 +69,5 @@ int main() {
       ", convbo profile/train $ = " +
       util::fmt_speedup(
           convbo.profile_cost / std::max(convbo.training_cost, 1e-9), 2));
-  return 0;
+  return bench::finish_metrics(0);
 }

@@ -8,6 +8,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig03-scaling-curves");
   const auto& cat = cloud::aws_catalog();
   const perf::TrainingPerfModel perf(cat);
   const auto config = bench::make_config("char_rnn");
@@ -80,5 +83,5 @@ int main() {
         "each column rises to an interior peak then declines (concave), "
         "matching Fig. 3b / the §II-D prior");
   }
-  return 0;
+  return bench::finish_metrics(0);
 }

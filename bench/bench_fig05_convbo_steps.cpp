@@ -11,6 +11,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig05-convbo-steps");
   bench::print_header(
       "Fig. 5 — per-step gain of conventional BO (AlexNet/CIFAR-10)",
       "most ConvBO profiling steps bring no cost saving / speedup; "
@@ -81,5 +84,5 @@ int main() {
       "paper shape: most steps do not help. ours: " +
       std::to_string(helpful) + " helpful vs " + std::to_string(harmful) +
       " unhelpful/harmful steps");
-  return 0;
+  return bench::finish_metrics(0);
 }

@@ -7,6 +7,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig09-scenario1");
   bench::print_header(
       "Fig. 9 — Scenario 1 (fastest, unlimited budget)",
       "ResNet/CIFAR-10, scale-out over c5.4xlarge; HeterBO finds the "
@@ -54,5 +57,5 @@ int main() {
       "paper: HeterBO profiling cost = 16% of ConvBO's; ours = " +
       util::fmt_percent(hb.profile_cost / cb.profile_cost, 0) +
       " with both near the oracle's deployment");
-  return 0;
+  return bench::finish_metrics(0);
 }

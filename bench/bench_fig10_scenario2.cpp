@@ -7,6 +7,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig10-scenario2");
   bench::print_header(
       "Fig. 10 — Scenario 2 (cheapest under a 6 h total-time limit)",
       "ResNet/CIFAR-10, scale-out over c5.4xlarge; HeterBO complies at "
@@ -55,5 +58,5 @@ int main() {
       (hb.meets_constraints(scenario) ? "complies" : "VIOLATES") +
       " at profiling ratio " +
       util::fmt_percent(hb.profile_cost / cb.profile_cost, 0));
-  return 0;
+  return bench::finish_metrics(0);
 }

@@ -6,6 +6,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig11-scenario3");
   bench::print_header(
       "Fig. 11 — Scenario 3 (fastest under a $100 total budget)",
       "ResNet/CIFAR-10, scale-out over c5.4xlarge; HeterBO finishes at "
@@ -49,5 +52,5 @@ int main() {
       (hb.meets_constraints(scenario) ? "met" : "VIOLATED") + "), ConvBO " +
       util::fmt_dollars(cb.total_cost()) + " (" +
       (cb.meets_constraints(scenario) ? "met" : "VIOLATED") + ")");
-  return 0;
+  return bench::finish_metrics(0);
 }

@@ -12,6 +12,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig12-random-search");
   bench::print_header(
       "Fig. 12 — random profiling vs HeterBO (total time distribution)",
       "whisker plot of total hours for 1..36 random probes; HeterBO's "
@@ -67,5 +70,5 @@ int main() {
       "HeterBO mean below the distribution. ours reproduces all three "
       "(HeterBO mean " +
       util::fmt_hours(hb_total) + ")");
-  return 0;
+  return bench::finish_metrics(0);
 }

@@ -8,6 +8,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig13-vs-paleo");
   bench::print_header(
       "Fig. 13 — vs Paleo (Inception-v3/ImageNet, $80 budget)",
       "Paleo profiles nothing but picks a sub-optimal cluster (its "
@@ -65,5 +68,5 @@ int main() {
       "Paleo's pick trains " +
       paleo_gap + " slower than optimal; HeterBO " +
       (hb.meets_constraints(scenario) ? "under budget" : "VIOLATED"));
-  return 0;
+  return bench::finish_metrics(0);
 }

@@ -17,6 +17,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig14-vs-cherrypick");
   bench::print_header(
       "Fig. 14 — vs CherryPick (Char-RNN, 16 h total-time limit)",
       "CherryPick (favored: worse-performing types excluded) still "
@@ -90,5 +93,5 @@ int main() {
       " seeds — violations: conv-bo " + std::to_string(cb_viol) +
       ", cherrypick " + std::to_string(cp_viol) + ", heterbo " +
       std::to_string(hb_viol));
-  return 0;
+  return bench::finish_metrics(0);
 }

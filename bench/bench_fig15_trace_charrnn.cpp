@@ -7,6 +7,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig15-trace-charrnn");
   bench::print_header(
       "Fig. 15 — HeterBO trajectory, Char-RNN (budget $120)",
       "9 steps: single-node probes of each type (1-3), interval discovery "
@@ -44,5 +47,5 @@ int main() {
       "paper shape: cheap single-node probes first, then progressive "
       "narrowing onto the winning type's concave curve; the expensive "
       "region beyond the down-slope is never probed");
-  return 0;
+  return bench::finish_metrics(0);
 }

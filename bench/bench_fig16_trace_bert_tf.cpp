@@ -7,6 +7,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig16-trace-bert-tf");
   bench::print_header(
       "Fig. 16 — HeterBO trajectory, BERT/TensorFlow (budget $100)",
       "8 steps over c5n.xlarge / c5n.4xlarge / p2.xlarge with ring "
@@ -45,5 +48,5 @@ int main() {
       "paper shape: similar explore-then-exploit pattern as Fig. 15 on a "
       "different model/topology, confirming robustness; p2's scale-out is "
       "abandoned after its gradient-bound decline is detected");
-  return 0;
+  return bench::finish_metrics(0);
 }

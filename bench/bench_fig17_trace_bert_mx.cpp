@@ -5,6 +5,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig17-trace-bert-mx");
   bench::print_header(
       "Fig. 17 — HeterBO trajectory, BERT/MXNet (budget $120)",
       "same explore/exploit pattern as the TensorFlow run, confirming "
@@ -43,5 +46,5 @@ int main() {
   bench::print_note(
       "paper shape: trajectory structure matches the TensorFlow run "
       "(Fig. 16) with MXNet-specific speeds — platform independence");
-  return 0;
+  return bench::finish_metrics(0);
 }

@@ -45,6 +45,9 @@ search::SearchResult run_cherrypick(const perf::TrainingPerfModel& perf,
 }  // namespace
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig18-sensitivity");
   bench::print_header(
       "Fig. 18 — budget sensitivity (ResNet/CIFAR-10)",
       "total cost & time vs budget for ConvBO, BO_imprd, CherryPick, "
@@ -107,5 +110,5 @@ int main() {
       "time; ours: up to " +
       util::fmt_speedup(worst_speedup_cb, 2) + " over ConvBO, " +
       util::fmt_speedup(worst_speedup_cp, 2) + " over CherryPick");
-  return 0;
+  return bench::finish_metrics(0);
 }

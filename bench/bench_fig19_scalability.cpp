@@ -10,6 +10,9 @@
 using namespace mlcd;
 
 int main() {
+  // Opening the suite up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run.
+  bench::metrics("fig19-scalability");
   bench::print_header(
       "Fig. 19 — scalability with model size (HeterBO vs ConvBO)",
       "speedup 1.3x -> 6.5x and cost saving 69% -> 92% as the model "
@@ -69,5 +72,5 @@ int main() {
       "1.3x->6.5x, saving 69%->92%); ours must grow in search-cost "
       "saving — bigger models make wasted probes costlier — with the "
       "time speedup direction following where training does not dominate");
-  return 0;
+  return bench::finish_metrics(0);
 }

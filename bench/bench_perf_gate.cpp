@@ -380,6 +380,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Opening the suites up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run; both suites
+  // share this binary, so both history records carry the same series.
+  bench::metrics("pr2-fastpath-gate");
+  bench::metrics("pr7-multi-fidelity-gate");
+
   const int trials = quick ? 3 : 7;
   std::printf("PR-2 fast-path gate: measuring (trials=%d)...\n", trials);
 
@@ -414,6 +420,7 @@ int main(int argc, char** argv) {
 
   for (const auto& [name, value] : metrics) {
     std::printf("  %-34s %.4g\n", name.c_str(), value);
+    bench::record_gate_metric("pr2-fastpath-gate", name, value);
   }
   std::printf("  %-34s %s (%zu probes)\n", "heterbo_trace_identical_t1_t4",
               determinism.identical ? "yes" : "NO", determinism.probes);
@@ -467,7 +474,7 @@ int main(int argc, char** argv) {
     if (!in) {
       std::fprintf(stderr, "GATE FAIL: cannot read baseline %s\n",
                    baseline_path.c_str());
-      return 1;
+      return bench::finish_metrics(1);
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
@@ -538,6 +545,23 @@ int main(int argc, char** argv) {
     json7.key("constraints_ok").value(r.constraints_ok);
     json7.end_object();
 
+    const std::string prefix = r.name + ".";
+    bench::record_gate_metric("pr7-multi-fidelity-gate", prefix + "seeds",
+                              r.seeds);
+    bench::record_gate_metric("pr7-multi-fidelity-gate",
+                              prefix + "ladder_probe_cost",
+                              r.ladder_probe_cost);
+    bench::record_gate_metric("pr7-multi-fidelity-gate",
+                              prefix + "full_probe_cost", r.full_probe_cost);
+    bench::record_gate_metric("pr7-multi-fidelity-gate",
+                              prefix + "probe_cost_ratio", cost_ratio);
+    bench::record_gate_metric("pr7-multi-fidelity-gate",
+                              prefix + "ladder_quality", r.ladder_quality);
+    bench::record_gate_metric("pr7-multi-fidelity-gate",
+                              prefix + "full_quality", r.full_quality);
+    bench::record_gate_metric("pr7-multi-fidelity-gate",
+                              prefix + "quality_ratio", quality_ratio);
+
     if (!r.all_found) {
       std::fprintf(stderr,
                    "GATE FAIL: %s: a HeterBO run found no deployment\n",
@@ -583,7 +607,7 @@ int main(int argc, char** argv) {
     if (!in) {
       std::fprintf(stderr, "GATE FAIL: cannot read baseline %s\n",
                    baseline7_path.c_str());
-      return 1;
+      return bench::finish_metrics(1);
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
@@ -611,5 +635,5 @@ int main(int argc, char** argv) {
   }
 
   if (ok) std::printf("gate passed\n");
-  return ok ? 0 : 1;
+  return bench::finish_metrics(ok ? 0 : 1);
 }

@@ -69,6 +69,7 @@
 
 #include <filesystem>
 
+#include "common.hpp"
 #include "mlcd/mlcd.hpp"
 #include "service/batch_journal.hpp"
 #include "service/batch_report.hpp"
@@ -262,6 +263,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Opening the suites up front starts the observatory's resource
+  // probe (wall time, RSS, allocations) for the whole run; all four
+  // suites share this binary, so each history record carries the series.
+  bench::metrics("pr4-service-gate");
+  bench::metrics("pr5-scheduler-gate");
+  bench::metrics("pr6-chaos-gate");
+  bench::metrics("pr8-durability-gate");
+
   const int trials = quick ? 2 : 5;
   const service::Workload workload = bench_fleet();
   const double n_jobs = static_cast<double>(workload.jobs.size());
@@ -398,6 +407,7 @@ int main(int argc, char** argv) {
 
   for (const auto& [name, value] : metrics) {
     std::printf("  %-34s %.4g\n", name.c_str(), value);
+    bench::record_gate_metric("pr4-service-gate", name, value);
   }
   std::printf("  %-34s %s (%d jobs)\n", "batch_reports_identical_t1_t4",
               identical ? "yes" : "NO", static_cast<int>(n_jobs));
@@ -463,6 +473,7 @@ int main(int argc, char** argv) {
   std::printf("PR-5 scheduler series (4 lanes, 8-node pool, no cache):\n");
   for (const auto& [name, value] : pr5_metrics) {
     std::printf("  %-34s %.4g\n", name.c_str(), value);
+    bench::record_gate_metric("pr5-scheduler-gate", name, value);
   }
   std::printf("  %-34s %s\n", "reports_identical_probe_vs_job",
               modes_identical ? "yes" : "NO");
@@ -532,6 +543,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(chaotic.chaos.seed));
   for (const auto& [name, value] : pr6_metrics) {
     std::printf("  %-34s %.4g\n", name.c_str(), value);
+    bench::record_gate_metric("pr6-chaos-gate", name, value);
   }
   std::printf("  %-34s %s\n", "chaos_all_jobs_ok",
               chaos_all_ok ? "yes" : "NO");
@@ -684,6 +696,7 @@ int main(int argc, char** argv) {
       dir8.c_str());
   for (const auto& [name, value] : pr8_metrics) {
     std::printf("  %-34s %.4g\n", name.c_str(), value);
+    bench::record_gate_metric("pr8-durability-gate", name, value);
   }
   std::printf("  %-34s %s\n", "self_journaled_reports_identical",
               self_identical ? "yes" : "NO");
@@ -840,5 +853,5 @@ int main(int argc, char** argv) {
   }
 
   if (ok) std::printf("gate passed\n");
-  return ok ? 0 : 1;
+  return bench::finish_metrics(ok ? 0 : 1);
 }

@@ -15,6 +15,7 @@
 #include "cloud/deployment.hpp"
 #include "cloud/instance.hpp"
 #include "models/model_zoo.hpp"
+#include "obs/registry.hpp"
 #include "perf/perf_model.hpp"
 #include "search/exhaustive.hpp"  // optimal_deployment(), used by benches
 #include "search/scenario.hpp"
@@ -85,5 +86,26 @@ util::TablePrinter make_result_table();
 /// Prints a search trace as the trajectory figures show it.
 void print_trace(const cloud::DeploymentSpace& space,
                  const search::SearchResult& r);
+
+/// The bench's MetricRegistry for `suite` (created on first use; a
+/// binary that feeds several time-series — bench_perf_gate emits both
+/// the pr2 and pr7 suites — holds one registry per suite). All open
+/// registries are flushed by finish_metrics().
+obs::MetricRegistry& metrics(const std::string& suite);
+
+/// Shorthand: records `value` into `suite` with the gate_metrics()
+/// catalog metadata for `name`.
+void record_gate_metric(const std::string& suite, const std::string& name,
+                        double value);
+
+/// End-of-run flush, designed as `return bench::finish_metrics(code)`:
+/// appends the process resource series (wall time, peak RSS, allocation
+/// counters) to every open registry, writes each suite's record to
+/// bench_out/obs/<suite>.json, and — when MLCD_OBS_HISTORY_DIR is set —
+/// appends it to the committed time-series under that directory, tagged
+/// MLCD_OBS_RUN_ID (default "local"). Returns `exit_code` unchanged on
+/// success; a failed history append turns a passing run into exit 1 so
+/// CI cannot silently drop a record.
+int finish_metrics(int exit_code);
 
 }  // namespace mlcd::bench

@@ -1,0 +1,82 @@
+// Replacement for benchmark::benchmark_main that routes every
+// microbenchmark's timing through the performance observatory: each
+// bench_micro_* binary keeps its normal google-benchmark console
+// output and additionally publishes one MetricSample per benchmark
+// (seconds per iteration, informational — raw micro timings are
+// machine-dependent, so they feed the committed time-series for trend
+// reading but never alert) plus the shared resource series (wall time,
+// peak RSS, allocation counts) via bench::finish_metrics().
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/metric.hpp"
+
+namespace {
+
+// "path/to/bench_micro_linalg" -> "micro-linalg": the binary name is
+// the suite key, so each micro bench owns one history file.
+std::string suite_from_argv0(const char* argv0) {
+  std::string name = argv0 != nullptr ? argv0 : "";
+  const auto slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  for (char& c : name) {
+    if (c == '_') c = '-';
+  }
+  return name.empty() ? "micro-unknown" : name;
+}
+
+class ObsReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ObsReporter(mlcd::obs::MetricRegistry& registry)
+      : registry_(&registry) {}
+
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      // Aggregates (mean/median/stddev under --benchmark_repetitions)
+      // would double-count the per-repetition samples.
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.iterations <= 0) {
+        continue;
+      }
+      const double seconds_per_iter =
+          run.real_accumulated_time / static_cast<double>(run.iterations);
+      if (mlcd::obs::MetricSample* existing =
+              registry_->find(run.benchmark_name())) {
+        existing->values.push_back(seconds_per_iter);
+      } else {
+        mlcd::obs::MetricSample sample;
+        sample.name = run.benchmark_name();
+        sample.unit = "seconds_per_iter";
+        sample.lower_is_better = true;
+        sample.should_alert = false;
+        sample.note = "uncalibrated micro timing; trend only";
+        sample.values.push_back(seconds_per_iter);
+        registry_->add(std::move(sample));
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+ private:
+  mlcd::obs::MetricRegistry* registry_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ObsReporter reporter(
+      mlcd::bench::metrics(suite_from_argv0(argc > 0 ? argv[0] : nullptr)));
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return mlcd::bench::finish_metrics(0);
+}

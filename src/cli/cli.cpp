@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <cctype>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -9,8 +10,13 @@
 
 #include <fstream>
 
+#include <filesystem>
+
 #include "cli/args.hpp"
 #include "cloud/catalog_io.hpp"
+#include "obs/history.hpp"
+#include "obs/perfcheck.hpp"
+#include "util/json.hpp"
 #include "journal/journal.hpp"
 #include "search/registry.hpp"
 #include "search/trace_io.hpp"
@@ -35,6 +41,10 @@ usage:
   mlcd models                            list the model zoo
   mlcd instances [--family <f>]          list the instance catalog
   mlcd export-catalog --out <file.csv>   dump the built-in catalog as CSV
+  mlcd perfcheck [options]               check the committed perf
+                                         time-series for regressions
+  mlcd perfcheck migrate <snap.json>...  convert legacy BENCH_*.json gate
+                                         snapshots into history records
   mlcd help                              this text
 
 deploy/compare options:
@@ -144,6 +154,23 @@ object per flag — see docs/chaos.md):
   --chaos-revocation-rate <p>   per-step spot-revocation hazard [0]
   --chaos-probe-loss-rate <p>   per-step result-loss hazard     [0]
   --chaos-stall-rate <p>        per-step scheduler-stall hazard [0]
+
+perfcheck options (regression alerting; see docs/observability.md):
+  --history-dir <dir>   committed suite time-series    [bench_out/history]
+  --suite <name>        check one suite instead of every history file
+  --window <n>          rolling-baseline records per metric          [5]
+  --min-noise <p>       floor on the allowed relative movement    [0.02]
+  --threads <n>         evaluate min_threads gates against this count
+                        instead of the latest record's own
+  --verbose             list every metric, not just regressions
+  --run-id <id>         (migrate) force the run id; default derives it
+                        from the snapshot file name (BENCH_PR2 -> pr2)
+
+perfcheck exit codes:
+  0  every alerting metric within its allowed window
+  1  regressions (or alerting metrics missing from the latest run)
+  2  usage error (bad flags)
+  3  history/snapshot unreadable, malformed, or absent
 )";
 
 int usage_error(std::ostream& err, const std::string& message) {
@@ -465,6 +492,82 @@ int cmd_instances(const Args& args, std::ostream& out) {
   return 0;
 }
 
+// "path/to/BENCH_PR2.json" -> "pr2": the migrated record's run id tags
+// which PR's gate produced the numbers.
+std::string run_id_from_snapshot_path(const std::string& path) {
+  std::string stem = std::filesystem::path(path).stem().string();
+  if (stem.rfind("BENCH_", 0) == 0) stem = stem.substr(6);
+  for (char& c : stem) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return stem.empty() ? "legacy" : stem;
+}
+
+int cmd_perfcheck(const Args& args, std::ostream& out, std::ostream& err) {
+  try {
+    obs::PerfcheckOptions options;
+    options.history_dir = args.get_or("history-dir", "bench_out/history");
+    if (const auto suite = args.get("suite")) {
+      options.suite_filter = *suite;
+    }
+    options.window = parse_positive_int(args.get_or("window", "5"));
+    if (const auto noise = args.get("min-noise")) {
+      options.min_noise = parse_fraction(*noise);
+    }
+    if (const auto threads = args.get("threads")) {
+      options.hardware_threads = parse_positive_int(*threads);
+    }
+
+    const std::vector<std::string>& positional = args.positional();
+    if (positional.size() > 1 && positional[1] == "migrate") {
+      if (positional.size() < 3) {
+        return usage_error(err, "perfcheck migrate needs snapshot files: "
+                                "mlcd perfcheck migrate <BENCH_*.json>...");
+      }
+      for (std::size_t i = 2; i < positional.size(); ++i) {
+        const std::string& path = positional[i];
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+          err << "mlcd: cannot read '" << path << "'\n";
+          return 3;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        obs::HistoryRecord record;
+        try {
+          record = obs::convert_legacy_snapshot(
+              util::parse_json(buffer.str()),
+              args.get_or("run-id", run_id_from_snapshot_path(path)));
+        } catch (const std::exception& e) {
+          err << "mlcd: " << path << ": " << e.what() << "\n";
+          return 3;
+        }
+        const std::string dest =
+            obs::history_path(options.history_dir, record.suite);
+        obs::append_history(dest, record);
+        out << "migrated " << path << " -> " << dest << " (run "
+            << record.run_id << ", " << record.metrics.size()
+            << " metrics)\n";
+      }
+      return 0;
+    }
+
+    obs::PerfcheckReport report;
+    try {
+      report = obs::run_perfcheck(options);
+    } catch (const std::exception& e) {
+      // Exit 3, mirroring batch: the history artifact is broken or
+      // absent — distinct from flag mistakes (2).
+      err << "mlcd: " << e.what() << "\n";
+      return 3;
+    }
+    out << report.render(args.has("verbose"));
+    return report.alert_count() > 0 ? 1 : 0;
+  } catch (const std::invalid_argument& e) {
+    return usage_error(err, e.what());
+  }
+}
+
 }  // namespace
 
 int batch_exit_code(const service::BatchReport& report) {
@@ -496,6 +599,9 @@ int run(int argc, const char* const* argv, std::ostream& out,
     if (argc > 1 && std::string(argv[1]) == "batch") {
       flags.push_back("resume");
     }
+    if (argc > 1 && std::string(argv[1]) == "perfcheck") {
+      flags.push_back("verbose");
+    }
     args = Args::parse(argc, argv, flags);
   } catch (const std::invalid_argument& e) {
     return usage_error(err, e.what());
@@ -515,6 +621,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
   if (command == "searchers") return cmd_searchers(out);
   if (command == "models") return cmd_models(out);
   if (command == "instances") return cmd_instances(args, out);
+  if (command == "perfcheck") return cmd_perfcheck(args, out, err);
   if (command == "export-catalog") {
     const auto path = args.get("out");
     if (!path) return usage_error(err, "--out is required");

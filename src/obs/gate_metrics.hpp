@@ -1,0 +1,27 @@
+// Metadata catalog for the gate benches' metric series.
+//
+// One table declares unit, direction, alerting contract, and
+// normalization rule for every metric the PR-2..PR-8 gate benches
+// publish, so the live emitters (bench_perf_gate,
+// bench_service_throughput) and the one-shot legacy snapshot converter
+// (perfcheck.hpp) stamp identical schemas — the migrated BENCH_PR*.json
+// history and the records fresh runs append must form one comparable
+// time-series.
+#pragma once
+
+#include <string>
+
+#include "obs/metric.hpp"
+
+namespace mlcd::obs {
+
+/// A fully-annotated sample for `name` in `suite` carrying one
+/// replicate `value`. Known names get the catalog's metadata; unknown
+/// names default to an informational (never-alerting) series, so a
+/// bench can always publish a new number before the catalog learns its
+/// contract. Dotted names ("budget.probe_cost_ratio") match on the
+/// final segment.
+MetricSample gate_metric(const std::string& suite, const std::string& name,
+                         double value);
+
+}  // namespace mlcd::obs

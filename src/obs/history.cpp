@@ -1,0 +1,153 @@
+#include "obs/history.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace mlcd::obs {
+
+namespace {
+
+NormalizeOp parse_normalize_op(const std::string& text) {
+  if (text == "divide") return NormalizeOp::kDivide;
+  if (text == "multiply") return NormalizeOp::kMultiply;
+  throw std::invalid_argument("obs history: unknown normalize_op '" + text +
+                              "'");
+}
+
+MetricSample sample_from_json(const util::JsonValue& value) {
+  MetricSample sample;
+  sample.name = value.at("name").as_string();
+  sample.unit = value.at("unit").as_string();
+  sample.lower_is_better = value.at("lower_is_better").as_bool();
+  for (const util::JsonValue& v : value.at("values").as_array()) {
+    sample.values.push_back(v.as_number());
+  }
+  sample.should_alert = value.at("should_alert").as_bool();
+  sample.alert_threshold = value.at("alert_threshold").as_number();
+  if (value.contains("normalize_by")) {
+    sample.normalize_by = value.at("normalize_by").as_string();
+    sample.normalize_op =
+        parse_normalize_op(value.at("normalize_op").as_string());
+  }
+  if (value.contains("min_threads")) {
+    sample.min_threads =
+        static_cast<int>(value.at("min_threads").as_number());
+  }
+  if (value.contains("note")) sample.note = value.at("note").as_string();
+  return sample;
+}
+
+void sample_to_json(util::JsonWriter& json, const MetricSample& sample) {
+  json.begin_object();
+  json.key("name").value(sample.name);
+  json.key("unit").value(sample.unit);
+  json.key("lower_is_better").value(sample.lower_is_better);
+  json.key("values").begin_array();
+  for (const double v : sample.values) json.value(v);
+  json.end_array();
+  json.key("should_alert").value(sample.should_alert);
+  json.key("alert_threshold").value(sample.alert_threshold);
+  if (!sample.normalize_by.empty()) {
+    json.key("normalize_by").value(sample.normalize_by);
+    json.key("normalize_op").value(normalize_op_name(sample.normalize_op));
+  }
+  if (sample.min_threads > 0) json.key("min_threads").value(sample.min_threads);
+  if (!sample.note.empty()) json.key("note").value(sample.note);
+  json.end_object();
+}
+
+}  // namespace
+
+std::string HistoryRecord::to_json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("obs_schema_version").value(schema_version);
+  json.key("suite").value(suite);
+  json.key("run_id").value(run_id);
+  json.key("hardware_threads").value(hardware_threads);
+  json.key("metrics").begin_array();
+  for (const MetricSample& sample : metrics) sample_to_json(json, sample);
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+HistoryRecord HistoryRecord::from_json(const util::JsonValue& value) {
+  HistoryRecord record;
+  record.schema_version =
+      static_cast<int>(value.at("obs_schema_version").as_number());
+  if (record.schema_version > kObsSchemaVersion) {
+    throw std::invalid_argument(
+        "obs history: record schema_version " +
+        std::to_string(record.schema_version) +
+        " is newer than this binary understands (" +
+        std::to_string(kObsSchemaVersion) + ")");
+  }
+  record.suite = value.at("suite").as_string();
+  record.run_id = value.at("run_id").as_string();
+  record.hardware_threads =
+      static_cast<int>(value.at("hardware_threads").as_number());
+  for (const util::JsonValue& m : value.at("metrics").as_array()) {
+    record.metrics.push_back(sample_from_json(m));
+  }
+  return record;
+}
+
+const MetricSample* HistoryRecord::find(const std::string& name) const {
+  for (const MetricSample& sample : metrics) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+std::string history_path(const std::string& dir, const std::string& suite) {
+  std::string file;
+  for (const char c : suite) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    file.push_back(safe ? c : '-');
+  }
+  return dir + "/" + file + ".jsonl";
+}
+
+std::vector<HistoryRecord> load_history_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::vector<HistoryRecord> records;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      records.push_back(HistoryRecord::from_json(util::parse_json(line)));
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(path + ":" + std::to_string(line_no) +
+                                  ": " + e.what());
+    }
+  }
+  return records;
+}
+
+void append_history(const std::string& path, const HistoryRecord& record) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    throw std::runtime_error("obs history: cannot open '" + path +
+                             "' for append");
+  }
+  out << record.to_json() << "\n";
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("obs history: write to '" + path + "' failed");
+  }
+}
+
+}  // namespace mlcd::obs

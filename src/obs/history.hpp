@@ -1,0 +1,54 @@
+// The committed time-series: one JSONL file per suite under
+// bench_out/history/, one record per run keyed by PR/commit.
+//
+// A record is the versioned JSON serialization of one run's
+// MetricSamples plus the context the checker needs (suite, run id,
+// hardware threads). Records append — history is write-once per run —
+// and perfcheck reads the last record as "latest" and the window of
+// records before it as the rolling baseline. The files are committed to
+// the repository, so every PR's numbers land in review next to the code
+// that produced them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metric.hpp"
+
+namespace mlcd::util {
+class JsonValue;
+}
+
+namespace mlcd::obs {
+
+/// One run's worth of metrics for one suite.
+struct HistoryRecord {
+  int schema_version = kObsSchemaVersion;
+  std::string suite;    ///< time-series key, e.g. "pr2-fastpath-gate"
+  std::string run_id;   ///< PR/commit tag, e.g. "pr9" or a git SHA
+  int hardware_threads = 0;
+  std::vector<MetricSample> metrics;
+
+  /// Compact single-line JSON (one history line).
+  std::string to_json() const;
+
+  /// Inverse of to_json(). Throws std::invalid_argument on a missing or
+  /// ill-typed field, or a record from a newer schema.
+  static HistoryRecord from_json(const util::JsonValue& value);
+
+  const MetricSample* find(const std::string& name) const;
+};
+
+/// `dir`/`suite`.jsonl with the suite sanitized to a safe filename.
+std::string history_path(const std::string& dir, const std::string& suite);
+
+/// Parses every line of a history file, in file order. Throws
+/// std::invalid_argument naming the line on malformed content; a
+/// missing file yields an empty vector (first-ever run).
+std::vector<HistoryRecord> load_history_file(const std::string& path);
+
+/// Appends one record (creating the file and parent directories on
+/// first use). Throws std::runtime_error when the filesystem refuses.
+void append_history(const std::string& path, const HistoryRecord& record);
+
+}  // namespace mlcd::obs

@@ -1,0 +1,22 @@
+#include "obs/metric.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mlcd::obs {
+
+const char* normalize_op_name(NormalizeOp op) {
+  return op == NormalizeOp::kDivide ? "divide" : "multiply";
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+double MetricSample::value() const { return median(values); }
+
+}  // namespace mlcd::obs

@@ -1,0 +1,109 @@
+#include "obs/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace mlcd::obs {
+
+MetricRegistry::MetricRegistry(std::string suite)
+    : suite_(std::move(suite)) {
+  if (suite_.empty()) {
+    throw std::logic_error("MetricRegistry: suite name must not be empty");
+  }
+}
+
+MetricSample& MetricRegistry::add(MetricSample sample) {
+  if (sample.name.empty()) {
+    throw std::logic_error("MetricRegistry: metric name must not be empty");
+  }
+  if (find(sample.name) != nullptr) {
+    throw std::logic_error("MetricRegistry: duplicate metric '" +
+                           sample.name + "' in suite '" + suite_ + "'");
+  }
+  samples_.push_back(std::move(sample));
+  return samples_.back();
+}
+
+MetricSample& MetricRegistry::record(const std::string& name,
+                                     const std::string& unit,
+                                     bool lower_is_better, double value) {
+  if (MetricSample* existing = find(name)) {
+    if (existing->unit != unit ||
+        existing->lower_is_better != lower_is_better) {
+      throw std::logic_error("MetricRegistry: metric '" + name +
+                             "' re-recorded with a different unit or "
+                             "direction");
+    }
+    existing->values.push_back(value);
+    return *existing;
+  }
+  MetricSample sample;
+  sample.name = name;
+  sample.unit = unit;
+  sample.lower_is_better = lower_is_better;
+  sample.values.push_back(value);
+  return add(std::move(sample));
+}
+
+MetricSample* MetricRegistry::find(const std::string& name) {
+  for (MetricSample& sample : samples_) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+void MetricRegistry::record_resources(const ResourceProbe& probe) {
+  {
+    MetricSample wall;
+    wall.name = "process_wall_seconds";
+    wall.unit = "seconds";
+    wall.lower_is_better = true;
+    wall.values.push_back(probe.wall_seconds());
+    // Absolute wall time of the whole binary is machine-dependent and
+    // uncalibrated; tracked for trend reading, never gated.
+    wall.should_alert = false;
+    add(std::move(wall));
+  }
+  {
+    MetricSample rss;
+    rss.name = "peak_rss_mb";
+    rss.unit = "mb";
+    rss.lower_is_better = true;
+    rss.values.push_back(static_cast<double>(peak_rss_bytes()) / (1 << 20));
+    // RSS is comparable across runs of the same workload but jitters
+    // with allocator arenas and libc versions: a wide window.
+    rss.alert_threshold = 0.50;
+    add(std::move(rss));
+  }
+  if (alloc_hook_active()) {
+    const AllocCounters delta = probe.alloc_delta();
+    MetricSample count;
+    count.name = "alloc_count";
+    count.unit = "count";
+    count.lower_is_better = true;
+    count.values.push_back(static_cast<double>(delta.allocations));
+    count.alert_threshold = 0.35;
+    add(std::move(count));
+
+    MetricSample bytes;
+    bytes.name = "alloc_mb";
+    bytes.unit = "mb";
+    bytes.lower_is_better = true;
+    bytes.values.push_back(static_cast<double>(delta.bytes) / (1 << 20));
+    bytes.alert_threshold = 0.35;
+    add(std::move(bytes));
+  }
+}
+
+HistoryRecord MetricRegistry::snapshot(const std::string& run_id) const {
+  HistoryRecord record;
+  record.suite = suite_;
+  record.run_id = run_id;
+  record.hardware_threads = util::ThreadPool::hardware_threads();
+  record.metrics = samples_;
+  return record;
+}
+
+}  // namespace mlcd::obs

@@ -1,0 +1,58 @@
+// MetricRegistry: the single funnel every bench emits through.
+//
+// A registry collects one suite's MetricSamples over a run, attaches the
+// process-wide resource series (wall time, peak RSS, allocation counts —
+// the paired memory series every latency series gains for free), and
+// snapshots into a versioned HistoryRecord for the committed
+// time-series. Bench binaries get theirs via bench::metrics(suite) in
+// bench/common.hpp, which also handles the end-of-run write-out.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/history.hpp"
+#include "obs/metric.hpp"
+#include "obs/resource.hpp"
+
+namespace mlcd::obs {
+
+class MetricRegistry {
+ public:
+  explicit MetricRegistry(std::string suite);
+
+  const std::string& suite() const noexcept { return suite_; }
+
+  /// Registers a fully-specified sample. Throws std::logic_error on an
+  /// empty or duplicate name — two call sites silently feeding one
+  /// series is a bug, not a merge.
+  MetricSample& add(MetricSample sample);
+
+  /// Get-or-create convenience: first call declares the metric, later
+  /// calls with the same name append `value` as another replicate
+  /// (unit/direction must match the declaration).
+  MetricSample& record(const std::string& name, const std::string& unit,
+                       bool lower_is_better, double value);
+
+  MetricSample* find(const std::string& name);
+  const std::vector<MetricSample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Appends the process resource series measured by `probe`:
+  ///   process_wall_seconds  (informational — machine-dependent)
+  ///   peak_rss_mb           (alerting, wide threshold)
+  ///   alloc_count, alloc_mb (alerting; only when the allocation hook
+  ///                          is linked — absent series are honest,
+  ///                          frozen zeros are not)
+  void record_resources(const ResourceProbe& probe);
+
+  /// The run's history record (hardware_threads filled in).
+  HistoryRecord snapshot(const std::string& run_id) const;
+
+ private:
+  std::string suite_;
+  std::vector<MetricSample> samples_;
+};
+
+}  // namespace mlcd::obs

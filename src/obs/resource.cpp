@@ -1,0 +1,63 @@
+#include "obs/resource.hpp"
+
+#include <chrono>
+
+#include <sys/resource.h>
+
+namespace mlcd::obs {
+
+namespace detail {
+
+AllocStorage& alloc_storage() noexcept {
+  // Function-local so operator new calls during early static
+  // initialization find constructed atomics. Atomics allocate nothing,
+  // so this never recurses into the hook.
+  static AllocStorage storage;
+  return storage;
+}
+
+}  // namespace detail
+
+AllocCounters alloc_counters() {
+  const detail::AllocStorage& s = detail::alloc_storage();
+  AllocCounters c;
+  c.allocations = s.allocations.load(std::memory_order_relaxed);
+  c.bytes = s.bytes.load(std::memory_order_relaxed);
+  return c;
+}
+
+bool alloc_hook_active() {
+  return detail::alloc_storage().linked.load(std::memory_order_relaxed);
+}
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+ResourceProbe::ResourceProbe()
+    : start_nanos_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())),
+      start_(alloc_counters()) {}
+
+double ResourceProbe::wall_seconds() const {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return static_cast<double>(now - start_nanos_) * 1e-9;
+}
+
+AllocCounters ResourceProbe::alloc_delta() const {
+  const AllocCounters now = alloc_counters();
+  AllocCounters delta;
+  delta.allocations = now.allocations - start_.allocations;
+  delta.bytes = now.bytes - start_.bytes;
+  return delta;
+}
+
+}  // namespace mlcd::obs
