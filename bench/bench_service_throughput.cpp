@@ -45,6 +45,18 @@
 // finished batch via --resume (every report bit-identical to the
 // fresh run, zero probes re-executed).
 //
+// The PR-10 sharded-core series stresses the low-contention service
+// core at scale: a 128-session fleet over 8 tenants, swept across
+// sharded lane counts (1/2/4/16) plus the legacy central dispatcher at
+// 4 lanes, under real capacity pressure so sessions park and resume on
+// their owner lanes while idle lanes steal. Written to BENCH_PR10.json
+// and the pr10-sharded-gate observatory suite. Gated: every run's
+// per-job reports bit-identical to the 1-lane schedule (work stealing
+// must not perturb a single trace), steals and parks actually fire,
+// the cache runs striped, and — on machines with >= 4 cores — the
+// 4-lane speedup exceeds 1.0x and the 16-lane idle fraction stays
+// under 0.35.
+//
 // Absolute jobs/sec are machine-dependent, so only ratios are gated and
 // baseline-compared: the t4-vs-serial speedup and the probe-cache hit
 // rate are both dimensionless and cancel machine speed out, which keeps
@@ -52,9 +64,10 @@
 //
 // Usage:
 //   bench_service_throughput [--out FILE] [--out5 FILE] [--out6 FILE]
-//                            [--out8 FILE] [--baseline FILE]
-//                            [--baseline5 FILE] [--baseline6 FILE]
-//                            [--baseline8 FILE]
+//                            [--out8 FILE] [--out10 FILE]
+//                            [--baseline FILE] [--baseline5 FILE]
+//                            [--baseline6 FILE] [--baseline8 FILE]
+//                            [--baseline10 FILE]
 //                            [--max-regression FRACTION] [--quick]
 #include <algorithm>
 #include <chrono>
@@ -164,11 +177,38 @@ service::Workload contended_fleet() {
   return workload;
 }
 
+/// The PR-10 sharded-core fleet: 128 cheap exhaustive searches across 8
+/// tenants. Small deployment spaces keep each session to a few dozen
+/// probes so the fleet is dominated by scheduler traffic — claims,
+/// parks, steals, cache stripes — rather than by probe compute, and
+/// recurring (model, seed) pairs keep the shared cache hot across jobs.
+service::Workload sharded_fleet() {
+  const char* models[] = {"alexnet", "resnet", "char_rnn"};
+  service::Workload workload;
+  for (int j = 0; j < 128; ++j) {
+    service::JobSpec spec;
+    spec.tenant = "t" + std::to_string(j % 8);
+    spec.name = spec.tenant + "-" + models[j % 3] + "-" + std::to_string(j);
+    spec.request.model = models[j % 3];
+    spec.request.search_method = "exhaustive";
+    // Every 16th job repeats a (model, seed) pair so the striped cache
+    // still serves cross-job hits, but most sessions probe live — live
+    // probes are what occupy the pool and force parks.
+    spec.request.seed = 900 + static_cast<std::uint64_t>(j % 120);
+    spec.request.max_nodes = 6;
+    spec.request.instance_types = {"c5.xlarge", "c5.4xlarge", "p2.xlarge"};
+    spec.request.requirements.deadline_hours = 24.0;
+    workload.jobs.push_back(std::move(spec));
+  }
+  return workload;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--out FILE] [--out5 FILE] [--out6 FILE] "
-               "[--out8 FILE] [--baseline FILE] [--baseline5 FILE] "
-               "[--baseline6 FILE] [--baseline8 FILE] "
+               "[--out8 FILE] [--out10 FILE] [--baseline FILE] "
+               "[--baseline5 FILE] [--baseline6 FILE] [--baseline8 FILE] "
+               "[--baseline10 FILE] "
                "[--max-regression FRACTION] [--quick]\n",
                argv0);
   return 2;
@@ -230,10 +270,12 @@ int main(int argc, char** argv) {
   std::string out5_path = "BENCH_PR5.json";
   std::string out6_path = "BENCH_PR6.json";
   std::string out8_path = "BENCH_PR8.json";
+  std::string out10_path = "BENCH_PR10.json";
   std::string baseline_path;
   std::string baseline5_path;
   std::string baseline6_path;
   std::string baseline8_path;
+  std::string baseline10_path;
   double max_regression = 0.20;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
@@ -246,6 +288,8 @@ int main(int argc, char** argv) {
       out6_path = argv[++i];
     } else if (arg == "--out8" && i + 1 < argc) {
       out8_path = argv[++i];
+    } else if (arg == "--out10" && i + 1 < argc) {
+      out10_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
     } else if (arg == "--baseline5" && i + 1 < argc) {
@@ -254,6 +298,8 @@ int main(int argc, char** argv) {
       baseline6_path = argv[++i];
     } else if (arg == "--baseline8" && i + 1 < argc) {
       baseline8_path = argv[++i];
+    } else if (arg == "--baseline10" && i + 1 < argc) {
+      baseline10_path = argv[++i];
     } else if (arg == "--max-regression" && i + 1 < argc) {
       max_regression = std::atof(argv[++i]);
     } else if (arg == "--quick") {
@@ -270,6 +316,7 @@ int main(int argc, char** argv) {
   bench::metrics("pr5-scheduler-gate");
   bench::metrics("pr6-chaos-gate");
   bench::metrics("pr8-durability-gate");
+  bench::metrics("pr10-sharded-gate");
 
   const int trials = quick ? 2 : 5;
   const service::Workload workload = bench_fleet();
@@ -727,6 +774,114 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", out8_path.c_str());
   std::filesystem::remove_all(dir8);
 
+  // ------------------------------------------- PR-10 sharded-core series
+  // 128 sessions, 8 tenants, capacity pressure forcing parks, swept
+  // across sharded lane counts plus the legacy central dispatcher. The
+  // pool cannot hold two max-size probes at once, so with up to 16
+  // concurrent probers owner-lane resume and cross-lane stealing both
+  // fire constantly.
+  const service::Workload sharded = sharded_fleet();
+  const double n10 = static_cast<double>(sharded.jobs.size());
+  std::map<int, double> sharded_secs;
+  std::map<int, service::BatchReport> sharded_reports;
+  for (const int lanes : {1, 2, 4, 16}) {
+    service::SchedulerOptions options;
+    options.threads = lanes;
+    options.capacity_nodes = 6;  // == every job's max_nodes (PR-5 pattern)
+    options.tenant_max_jobs = 4;
+    sharded_secs[lanes] = best_time(
+        trials,
+        [&] { return service::Scheduler(mlcd, options).run(sharded); },
+        &sharded_reports[lanes]);
+  }
+  service::BatchReport central_l4;
+  double central_l4_secs = 0.0;
+  {
+    service::SchedulerOptions options;
+    options.threads = 4;
+    options.capacity_nodes = 6;
+    options.tenant_max_jobs = 4;
+    options.sharded_dispatch = false;
+    central_l4_secs = best_time(
+        trials,
+        [&] { return service::Scheduler(mlcd, options).run(sharded); },
+        &central_l4);
+  }
+
+  // Determinism across the whole sweep: every schedule — any sharded
+  // lane count, and the central dispatcher — must reproduce the 1-lane
+  // run's per-job reports bit-for-bit.
+  const service::BatchReport& ref10 = sharded_reports[1];
+  bool sweep_identical = true;
+  const auto reports_match = [&](const service::BatchReport& other) {
+    if (other.jobs.size() != ref10.jobs.size()) return false;
+    for (std::size_t i = 0; i < ref10.jobs.size(); ++i) {
+      if (!ref10.jobs[i].ok || !other.jobs[i].ok ||
+          ref10.jobs[i].report.to_json() != other.jobs[i].report.to_json()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (const int lanes : {2, 4, 16}) {
+    sweep_identical = sweep_identical && reports_match(sharded_reports[lanes]);
+  }
+  const bool central_identical = reports_match(central_l4);
+
+  const service::BatchReport& wide = sharded_reports[16];
+  std::map<std::string, double> pr10_metrics;
+  pr10_metrics["jobs_per_sec_l1"] = n10 / sharded_secs[1];
+  pr10_metrics["jobs_per_sec_l2"] = n10 / sharded_secs[2];
+  pr10_metrics["jobs_per_sec_l4"] = n10 / sharded_secs[4];
+  pr10_metrics["jobs_per_sec_l16"] = n10 / sharded_secs[16];
+  pr10_metrics["central_jobs_per_sec_l4"] = n10 / central_l4_secs;
+  const double speedup10_t4 = sharded_secs[4] > 0.0
+                                  ? sharded_secs[1] / sharded_secs[4]
+                                  : 0.0;
+  pr10_metrics["jobs_per_sec_speedup_t4"] = speedup10_t4;
+  const double lane_idle_16 = wide.lane_idle_fraction();
+  pr10_metrics["lane_idle_fraction"] = lane_idle_16;
+  pr10_metrics["steal_count"] = static_cast<double>(wide.lane_steals);
+  pr10_metrics["cache_stripe_max_imbalance"] =
+      wide.cache.max_stripe_imbalance;
+  const int parks10 = wide.total_session_parks();
+
+  std::printf(
+      "PR-10 sharded-core series (%d jobs, 8 tenants, 6-node pool):\n",
+      static_cast<int>(n10));
+  for (const auto& [name, value] : pr10_metrics) {
+    std::printf("  %-34s %.4g\n", name.c_str(), value);
+    bench::record_gate_metric("pr10-sharded-gate", name, value);
+  }
+  std::printf("  %-34s %s\n", "reports_identical_l1_l2_l4_l16",
+              sweep_identical ? "yes" : "NO");
+  std::printf("  %-34s %s\n", "reports_identical_sharded_vs_central",
+              central_identical ? "yes" : "NO");
+  std::printf("  %-34s %d\n", "session_parks_l16", parks10);
+  std::printf("  %-34s %d\n", "cache_stripes", wide.cache.stripes);
+
+  util::JsonWriter json10;
+  json10.begin_object();
+  json10.key("schema_version").value(1);
+  json10.key("bench").value("pr10-sharded-gate");
+  json10.key("hardware_threads").value(util::ThreadPool::hardware_threads());
+  json10.key("metrics").begin_object();
+  for (const auto& [name, value] : pr10_metrics) {
+    json10.key(name).value(value);
+  }
+  json10.end_object();
+  json10.key("determinism").begin_object();
+  json10.key("reports_identical_l1_l2_l4_l16").value(sweep_identical);
+  json10.key("reports_identical_sharded_vs_central").value(central_identical);
+  json10.key("jobs").value(static_cast<std::int64_t>(sharded.jobs.size()));
+  json10.end_object();
+  json10.end_object();
+  {
+    std::ofstream out(out10_path);
+    out << json10.str() << "\n";
+  }
+  std::printf("wrote %s\n", out10_path.c_str());
+
   bool ok = true;
   if (!self_identical || !journaled_identical) {
     std::fprintf(stderr,
@@ -813,6 +968,53 @@ int main(int argc, char** argv) {
                  speedup_t4);
     ok = false;
   }
+  if (!sweep_identical) {
+    std::fprintf(stderr,
+                 "GATE FAIL: per-job reports differ across sharded lane "
+                 "counts — work stealing perturbed a trace\n");
+    ok = false;
+  }
+  if (!central_identical) {
+    std::fprintf(stderr,
+                 "GATE FAIL: per-job reports differ between the sharded "
+                 "and central dispatchers\n");
+    ok = false;
+  }
+  if (wide.lane_steals <= 0) {
+    std::fprintf(stderr,
+                 "GATE FAIL: the 16-lane sharded run recorded no steals "
+                 "— the work-stealing path went unexercised\n");
+    ok = false;
+  }
+  if (parks10 <= 0) {
+    std::fprintf(stderr,
+                 "GATE FAIL: the sharded fleet never parked a session "
+                 "under a max_nodes-sized pool — no capacity contention\n");
+    ok = false;
+  }
+  if (wide.cache.stripes <= 1) {
+    std::fprintf(stderr,
+                 "GATE FAIL: the probe cache ran with %d stripe(s) — "
+                 "the striped cache went unexercised\n",
+                 wide.cache.stripes);
+    ok = false;
+  }
+  if (util::ThreadPool::hardware_threads() >= 4) {
+    if (speedup10_t4 <= 1.0) {
+      std::fprintf(stderr,
+                   "GATE FAIL: 4 sharded lanes ran the 128-session fleet "
+                   "at %.2fx the 1-lane schedule (> 1.0x required)\n",
+                   speedup10_t4);
+      ok = false;
+    }
+    if (lane_idle_16 >= 0.35) {
+      std::fprintf(stderr,
+                   "GATE FAIL: 16-lane idle fraction %.2f (>= 0.35) — "
+                   "stealing left lanes starved\n",
+                   lane_idle_16);
+      ok = false;
+    }
+  }
 
   // Only dimensionless ratios are compared: machine speed cancels out.
   if (!baseline_path.empty() &&
@@ -849,6 +1051,15 @@ int main(int argc, char** argv) {
       !check_baseline(baseline8_path, {"journal_throughput_ratio"},
                       pr8_metrics, max_regression,
                       /*skip_parallel_ratios=*/false)) {
+    ok = false;
+  }
+
+  // PR-10 baseline: only the lane speedup — a parallelism ratio that
+  // needs >= 4 cores on both sides.
+  if (!baseline10_path.empty() &&
+      !check_baseline(baseline10_path, {"jobs_per_sec_speedup_t4"},
+                      pr10_metrics, max_regression,
+                      /*skip_parallel_ratios=*/true)) {
     ok = false;
   }
 

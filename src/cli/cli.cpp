@@ -114,9 +114,15 @@ batch options (multi-tenant scheduler; see docs/service.md):
                         nodes; over-capacity probes queue      [unlimited]
   --tenant-quota <n>    max concurrent jobs per tenant         [unlimited]
   --no-share            disable the cross-job probe cache
-  --scheduler <mode>    probe = park capacity-blocked sessions
-                        off their lane; job = legacy
-                        job-per-lane blocking                  [probe]
+  --scheduler <mode>    sharded = probe granularity, per-lane run
+                        queues with work stealing; central = probe
+                        granularity, legacy single-queue dispatch
+                        (differential testing); job = legacy
+                        job-per-lane blocking. All modes produce
+                        bit-identical per-job reports          [sharded]
+  --cache-stripes <n>   probe-cache stripe count (power of two);
+                        more stripes = less lock contention
+                        between lanes                          [16]
   --json                emit the BatchReport as JSON
   --out <file.json>     also write the BatchReport JSON here
 
@@ -411,14 +417,30 @@ int cmd_batch(const Args& args, std::ostream& out, std::ostream& err) {
                          "manifest to resume from lives there)");
     }
     options.journal_on_error = parse_journal_on_error(args);
-    const std::string scheduler_mode = args.get_or("scheduler", "probe");
-    if (scheduler_mode == "probe") {
+    // Scheduler mode and cache striping: the workload file may pin
+    // them; the CLI flag wins when both are given.
+    const std::string scheduler_mode = args.get_or(
+        "scheduler", workload.scheduler_mode.empty() ? "sharded"
+                                                     : workload.scheduler_mode);
+    if (scheduler_mode == "sharded" || scheduler_mode == "probe") {
+      // "probe" is the pre-sharding alias for the probe-granularity
+      // scheduler; it now selects the sharded dispatcher.
       options.probe_granularity = true;
+      options.sharded_dispatch = true;
+    } else if (scheduler_mode == "central") {
+      options.probe_granularity = true;
+      options.sharded_dispatch = false;
     } else if (scheduler_mode == "job") {
       options.probe_granularity = false;
     } else {
       return usage_error(err, "unknown --scheduler mode '" + scheduler_mode +
-                                  "' (expected probe or job)");
+                                  "' (expected sharded, central, or job)");
+    }
+    if (workload.cache_stripes >= 0) {
+      options.cache_stripes = workload.cache_stripes;
+    }
+    if (const auto stripes = args.get("cache-stripes")) {
+      options.cache_stripes = parse_positive_int(*stripes);
     }
 
     const system::Mlcd mlcd;

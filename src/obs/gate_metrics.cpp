@@ -26,6 +26,10 @@ struct Spec {
   NormalizeOp normalize_op;
   int min_threads;
   const char* note;
+  /// Absolute floor (ceiling when lower_is_better) on the normalized
+  /// value; perfcheck ALERTs on violation even with no baseline. 0 =
+  /// no floor — omitted by the entries that predate the field.
+  double floor = 0.0;
 };
 
 constexpr NormalizeOp kDiv = NormalizeOp::kDivide;
@@ -92,8 +96,11 @@ constexpr Spec kSpecs[] = {
      false, 0.25, "", kDiv, 0, "uncalibrated wall throughput"},
     {"pr4-service-gate", "jobs_per_sec_t4", "per_sec", false,
      false, 0.25, "", kDiv, 0, "uncalibrated wall throughput"},
+    // Floor 1.0: probe-granularity at 4 threads must never be slower
+    // than one thread — an absolute contract, not a baseline-relative
+    // one, so it holds from the first committed record.
     {"pr4-service-gate", "jobs_per_sec_speedup_t4", "ratio", false,
-     true, 0.25, "", kDiv, 4, ""},
+     true, 0.25, "", kDiv, 4, "", 1.0},
     {"pr4-service-gate", "cache_hit_rate_t4", "ratio", false,
      true, 0.10, "", kDiv, 0, ""},
     {"pr4-service-gate", "cache_hits_t4", "count", false,
@@ -163,6 +170,32 @@ constexpr Spec kSpecs[] = {
      true, 0.05, "", kDiv, 0, "deterministic workload"},
     {"pr8-durability-gate", "replayed_probes", "count", false,
      true, 0.05, "", kDiv, 0, "deterministic workload"},
+
+    // ---- pr10-sharded-gate ---------------------------------------
+    // Contention series for the sharded service core (striped probe
+    // cache + per-lane run queues with work stealing). The speedup and
+    // idle-fraction gates carry absolute floors — the whole point of
+    // the sharded core is that more lanes help and lanes stay fed.
+    {"pr10-sharded-gate", "jobs_per_sec_l1", "per_sec", false,
+     false, 0.25, "", kDiv, 0, "uncalibrated wall throughput"},
+    {"pr10-sharded-gate", "jobs_per_sec_l2", "per_sec", false,
+     false, 0.25, "", kDiv, 0, "uncalibrated wall throughput"},
+    {"pr10-sharded-gate", "jobs_per_sec_l4", "per_sec", false,
+     false, 0.25, "", kDiv, 0, "uncalibrated wall throughput"},
+    {"pr10-sharded-gate", "jobs_per_sec_l16", "per_sec", false,
+     false, 0.25, "", kDiv, 0, "uncalibrated wall throughput"},
+    {"pr10-sharded-gate", "central_jobs_per_sec_l4", "per_sec", false,
+     false, 0.25, "", kDiv, 0, "legacy central dispatcher comparison"},
+    {"pr10-sharded-gate", "jobs_per_sec_speedup_t4", "ratio", false,
+     true, 0.25, "", kDiv, 4, "sharded 4-lane / 1-lane throughput", 1.0},
+    {"pr10-sharded-gate", "lane_idle_fraction", "ratio", true,
+     true, 0.30, "", kDiv, 4,
+     "probe-mode idle fraction under contention", 0.35},
+    {"pr10-sharded-gate", "steal_count", "count", false,
+     false, 0.50, "", kDiv, 0,
+     "timing-dependent; bench hard-gates steals > 0"},
+    {"pr10-sharded-gate", "cache_stripe_max_imbalance", "ratio", true,
+     false, 0.50, "", kDiv, 0, "key-distribution-dependent"},
 };
 
 // Dotted names carry a scenario prefix ("budget.probe_cost_ratio");
@@ -189,6 +222,7 @@ MetricSample gate_metric(const std::string& suite, const std::string& name,
     sample.alert_threshold = spec.alert_threshold;
     sample.normalize_by = spec.normalize_by;
     sample.normalize_op = spec.normalize_op;
+    if (spec.floor != 0.0) sample.alert_floor = spec.floor;
     sample.min_threads = spec.min_threads;
     sample.note = spec.note;
     return sample;

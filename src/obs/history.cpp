@@ -33,6 +33,9 @@ MetricSample sample_from_json(const util::JsonValue& value) {
     sample.normalize_op =
         parse_normalize_op(value.at("normalize_op").as_string());
   }
+  if (value.contains("alert_floor")) {
+    sample.alert_floor = value.at("alert_floor").as_number();
+  }
   if (value.contains("min_threads")) {
     sample.min_threads =
         static_cast<int>(value.at("min_threads").as_number());
@@ -55,6 +58,7 @@ void sample_to_json(util::JsonWriter& json, const MetricSample& sample) {
     json.key("normalize_by").value(sample.normalize_by);
     json.key("normalize_op").value(normalize_op_name(sample.normalize_op));
   }
+  if (sample.has_floor()) json.key("alert_floor").value(sample.alert_floor);
   if (sample.min_threads > 0) json.key("min_threads").value(sample.min_threads);
   if (!sample.note.empty()) json.key("note").value(sample.note);
   json.end_object();

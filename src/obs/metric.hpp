@@ -13,6 +13,8 @@
 // on (docs/performance.md).
 #pragma once
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -73,6 +75,18 @@ struct MetricSample {
   /// time-series. Empty = compare raw values.
   std::string normalize_by;
   NormalizeOp normalize_op = NormalizeOp::kDivide;
+
+  /// Optional absolute floor on the *normalized* value — a contract
+  /// independent of the rolling baseline. For lower_is_better=false
+  /// metrics the latest value must be >= the floor; for
+  /// lower_is_better=true it must be <= it (a ceiling). Violations
+  /// ALERT even on the very first run, when no baseline exists to
+  /// compare against — this is how "the sharded scheduler must actually
+  /// be faster than one lane" stays enforced from day one. Honors
+  /// min_threads like the relative gate. NaN = no floor.
+  double alert_floor = std::numeric_limits<double>::quiet_NaN();
+
+  bool has_floor() const noexcept { return !std::isnan(alert_floor); }
 
   /// Minimum hardware_threads a record needs for this metric to be
   /// meaningful (parallel speedups measure ~1.0x on a 1-core box).

@@ -152,6 +152,29 @@ std::vector<MetricVerdict> check_suite(
       continue;
     }
 
+    // Absolute floor (ceiling for lower_is_better): a violated contract
+    // alerts regardless of the rolling baseline — including on the very
+    // first committed record, which the relative gate cannot judge.
+    // A value exactly at the floor passes (strict-violation semantics,
+    // matching the relative gate's strictly-greater rule).
+    if (meta.has_floor()) {
+      const bool violated = meta.lower_is_better
+                                ? latest_value > meta.alert_floor
+                                : latest_value < meta.alert_floor;
+      if (violated) {
+        v.status = VerdictStatus::kAlert;
+        v.latest = latest_value;
+        v.baseline = meta.alert_floor;
+        v.change = signed_change(meta, meta.alert_floor, latest_value);
+        v.detail = "latest " + compact(latest_value) + " violates absolute " +
+                   (meta.lower_is_better ? "ceiling " : "floor ") +
+                   compact(meta.alert_floor);
+        if (!meta.note.empty()) v.detail += " — " + meta.note;
+        verdicts.push_back(std::move(v));
+        continue;
+      }
+    }
+
     std::vector<double> baseline_values;
     for (const HistoryRecord* prior : priors) {
       // Baselines from machines too small for this metric would mix

@@ -110,6 +110,32 @@ void SearchSession::note_degraded(int iteration, const std::string& why) {
   }
 }
 
+void SearchSession::bind_driver(std::uint32_t lane) {
+  std::uint32_t expected = kNoDriver;
+  if (!driver_.compare_exchange_strong(expected, lane,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    throw std::logic_error(
+        "SearchSession: lane " + std::to_string(lane) +
+        " tried to bind a session already driven by lane " +
+        std::to_string(expected));
+  }
+}
+
+void SearchSession::release_driver(std::uint32_t lane) {
+  std::uint32_t expected = lane;
+  if (!driver_.compare_exchange_strong(expected, kNoDriver,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    throw std::logic_error(
+        "SearchSession: lane " + std::to_string(lane) +
+        " tried to release a session it does not drive (held by " +
+        (expected == kNoDriver ? std::string("nobody")
+                               : std::to_string(expected)) +
+        ")");
+  }
+}
+
 void SearchSession::degrade_journal(const std::string& why) {
   if (journal_degraded_) return;
   journal_degraded_ = true;

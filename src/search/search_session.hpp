@@ -18,6 +18,7 @@
 // the same probe.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -295,6 +296,33 @@ class SearchSession {
            problem_->chaos_degrade_hook(iteration);
   }
 
+  // ------------------------------------------------------ lane migration
+
+  /// "No driver bound": the session is parked, queued, or not yet
+  /// scheduled.
+  static constexpr std::uint32_t kNoDriver = 0xffffffffu;
+
+  /// Binds the calling scheduler lane as this session's exclusive
+  /// driver. Sessions have no hidden thread affinity — any lane may
+  /// drive any session — but at most one lane at a time: the service
+  /// scheduler binds before touching next()/observe() and releases
+  /// before the session becomes visible to another lane (park, requeue,
+  /// finish). The token turns a scheduler handoff bug (two lanes
+  /// driving one session) into an immediate std::logic_error instead of
+  /// a silent trace corruption. Solo drivers (Mlcd::deploy) never bind;
+  /// an unbound session is simply owned by whoever holds its pointer.
+  void bind_driver(std::uint32_t lane);
+
+  /// Releases the binding. Throws std::logic_error when `lane` is not
+  /// the bound driver (a double release or a foreign release — both
+  /// scheduler bugs).
+  void release_driver(std::uint32_t lane);
+
+  /// The bound lane, or kNoDriver.
+  std::uint32_t driver() const noexcept {
+    return driver_.load(std::memory_order_acquire);
+  }
+
  private:
   const perf::TrainingPerfModel* perf_;
   const SearchProblem* problem_;
@@ -313,6 +341,7 @@ class SearchSession {
   int degraded_ = 0;
   bool journal_degraded_ = false;
   std::string journal_degrade_reason_;
+  std::atomic<std::uint32_t> driver_{kNoDriver};
 };
 
 }  // namespace mlcd::search

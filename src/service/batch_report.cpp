@@ -120,7 +120,10 @@ std::string BatchReport::render() const {
   out << "=== MLCD batch report ===\n";
   out << "jobs: " << jobs.size() << " (" << succeeded() << " succeeded), "
       << "scheduler threads: " << threads << " ("
-      << (probe_granularity ? "probe granularity" : "job per lane") << ")";
+      << (probe_granularity ? "probe granularity, " + scheduler_mode +
+                                  " dispatch"
+                            : "job per lane")
+      << ")";
   if (capacity_nodes > 0) out << ", capacity: " << capacity_nodes << " nodes";
   if (tenant_max_jobs > 0) {
     out << ", tenant quota: " << tenant_max_jobs << " concurrent";
@@ -133,7 +136,8 @@ std::string BatchReport::render() const {
   out << "lanes: " << std::setprecision(1)
       << 100.0 * (1.0 - lane_idle_fraction()) << "% busy ("
       << std::setprecision(2) << total_lane_busy_seconds()
-      << " s occupied, " << total_session_parks() << " session parks)\n";
+      << " s occupied, " << total_session_parks() << " session parks, "
+      << lane_steals << " steals)\n";
   out << "probe cache: " << cache.size << " records, " << cache.hits << "/"
       << cache.lookups << " hits\n";
   if (total_low_fidelity_probes() > 0) {
@@ -202,7 +206,9 @@ std::string BatchReport::to_json() const {
   json.key("schema_version").value(kJsonSchemaVersion);
   json.key("scheduler").begin_object();
   json.key("threads").value(threads);
+  json.key("mode").value(scheduler_mode);
   json.key("probe_granularity").value(probe_granularity);
+  json.key("lane_steals").value(lane_steals);
   json.key("capacity_nodes").value(capacity_nodes);
   json.key("tenant_max_jobs").value(tenant_max_jobs);
   json.key("makespan_seconds").value(makespan_seconds);
@@ -244,6 +250,8 @@ std::string BatchReport::to_json() const {
   json.key("hits").value(cache.hits);
   json.key("inserts").value(cache.inserts);
   json.key("size").value(static_cast<std::int64_t>(cache.size));
+  json.key("stripes").value(cache.stripes);
+  json.key("stripe_max_imbalance").value(cache.max_stripe_imbalance);
   json.end_object();
   json.key("jobs").begin_array();
   for (const JobOutcome& job : jobs) {

@@ -152,7 +152,12 @@ struct BatchReport {
   /// (emitted only when a degrade-policy batch lost its manifest).
   /// Every v4 key is unchanged — v4 readers keep working; a batch run
   /// without --journal-dir simply reports all-zero counters.
-  static constexpr int kJsonSchemaVersion = 5;
+  /// 6 = adds scheduler.mode ("sharded" / "central" / "job"),
+  /// scheduler.lane_steals, and the probe_cache.stripes /
+  /// probe_cache.stripe_max_imbalance keys for the sharded service
+  /// core. Every v5 key is unchanged — v5 readers keep working
+  /// (probe_granularity remains and mirrors mode != "job").
+  static constexpr int kJsonSchemaVersion = 6;
 
   /// Scheduler configuration this batch ran under.
   int threads = 1;
@@ -162,6 +167,15 @@ struct BatchReport {
   /// (sessions multiplexed over lanes one probe at a time); false for
   /// the legacy job-per-lane mode.
   bool probe_granularity = true;
+  /// Dispatch variant: "sharded" (per-lane run queues with work
+  /// stealing, the default), "central" (the legacy single-queue probe
+  /// scheduler, kept for differential testing), or "job" (job-per-lane
+  /// mode). Scheduling is trace-neutral, so every variant produces
+  /// bit-identical per-job RunReports.
+  std::string scheduler_mode = "sharded";
+  /// Sessions a lane took from another lane's run queue (sharded
+  /// dispatch only; a wall-clock-dependent quantity like makespan).
+  std::int64_t lane_steals = 0;
   /// Outcomes in workload order.
   std::vector<JobOutcome> jobs;
   /// Real seconds from first job start to last job finish.

@@ -1,49 +1,159 @@
 #include "service/capacity.hpp"
 
-#include <algorithm>
 #include <chrono>
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 namespace mlcd::service {
 
-CapacityPool::CapacityPool(int capacity_nodes)
-    : capacity_(capacity_nodes > 0 ? capacity_nodes : 0) {}
+namespace {
 
-CapacityPool::Admission CapacityPool::acquire(int nodes) {
+void validate_request(int nodes, int capacity) {
   if (nodes <= 0) {
     throw std::invalid_argument("CapacityPool: non-positive node count");
   }
-  Admission admission;
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (capacity_ == 0) {  // unlimited pool: only track occupancy
-    in_use_ += nodes;
-    peak_ = std::max(peak_, in_use_);
-    return admission;
-  }
-  if (nodes > capacity_) {
+  if (capacity > 0 && nodes > capacity) {
     throw std::invalid_argument(
         "CapacityPool: probe of " + std::to_string(nodes) +
-        " nodes exceeds the pool of " + std::to_string(capacity_) +
+        " nodes exceeds the pool of " + std::to_string(capacity) +
         " (the scheduler should have rejected this workload)");
   }
+}
+
+}  // namespace
+
+CapacityPool::CapacityPool(int capacity_nodes)
+    : capacity_(capacity_nodes > 0 ? capacity_nodes : 0) {
+  // Spread the tokens across the stripes up front (remainder to the low
+  // stripes) so concurrent gatherers start out on disjoint cache lines.
+  const int per = capacity_ / kTokenStripes;
+  int rem = capacity_ % kTokenStripes;
+  for (TokenStripe& stripe : stripes_) {
+    stripe.tokens.store(per + (rem > 0 ? 1 : 0), std::memory_order_relaxed);
+    if (rem > 0) --rem;
+  }
+}
+
+std::size_t CapacityPool::home_stripe() const noexcept {
+  // A thread keeps returning tokens to — and gathering first from — the
+  // same stripe, so steady-state traffic from different lanes stays on
+  // different cache lines.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+         static_cast<std::size_t>(kTokenStripes - 1);
+}
+
+bool CapacityPool::gather(int nodes) noexcept {
+  const std::size_t home = home_stripe();
+  int taken = 0;
+  for (int i = 0; i < kTokenStripes && taken < nodes; ++i) {
+    TokenStripe& stripe =
+        stripes_[(home + static_cast<std::size_t>(i)) &
+                 static_cast<std::size_t>(kTokenStripes - 1)];
+    int cur = stripe.tokens.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      const int take = cur < nodes - taken ? cur : nodes - taken;
+      if (stripe.tokens.compare_exchange_weak(cur, cur - take,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+        taken += take;
+        break;
+      }
+    }
+  }
+  if (taken == nodes) return true;
+  if (taken > 0) scatter(taken);
+  return false;
+}
+
+void CapacityPool::scatter(int nodes) noexcept {
+  stripes_[home_stripe()].tokens.fetch_add(nodes, std::memory_order_acq_rel);
+}
+
+void CapacityPool::note_acquired(int nodes) noexcept {
+  const int now = in_use_.fetch_add(nodes, std::memory_order_relaxed) + nodes;
+  int peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+int CapacityPool::clamp_release(int nodes) noexcept {
+  if (nodes <= 0) return 0;
+  // CAS loop so concurrent releases can never drive occupancy negative:
+  // each release reclaims at most what is actually in use at its
+  // linearization point (the reserve-safe arithmetic the revoke ledger
+  // depends on).
+  int cur = in_use_.load(std::memory_order_relaxed);
+  while (true) {
+    const int reclaimed = nodes < cur ? nodes : cur;
+    if (reclaimed <= 0) return 0;
+    if (in_use_.compare_exchange_weak(cur, cur - reclaimed,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      return reclaimed;
+    }
+  }
+}
+
+void CapacityPool::wake_waiters() noexcept {
+  // Empty critical section on purpose: taking the mutex orders this
+  // notify after any waiter that checked its predicate but has not yet
+  // parked on the condition variable, closing the missed-wakeup window.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  turn_cv_.notify_all();
+}
+
+CapacityPool::Admission CapacityPool::acquire(int nodes) {
+  validate_request(nodes, capacity_);
+  Admission admission;
+  if (capacity_ == 0) {  // unlimited pool: only track occupancy
+    note_acquired(nodes);
+    return admission;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
   const std::uint64_t ticket = next_ticket_++;
-  const bool must_wait = serving_ != ticket || in_use_ + nodes > capacity_;
-  if (must_wait) {
-    const auto started = std::chrono::steady_clock::now();
-    turn_cv_.wait(lock, [&] {
-      return serving_ == ticket && in_use_ + nodes <= capacity_;
-    });
-    admission.stalled = true;
+  std::chrono::steady_clock::time_point wait_start;
+  bool waited = false;
+  // Strict FIFO: only the head ticket may gather, and it holds the
+  // mutex while it does, so at most one blocking gather is in flight —
+  // its transient partial holds can only ever starve try_acquire
+  // callers, who resolve that through their own serialized retry.
+  bool admitted = serving_ == ticket && gather(nodes);
+  while (!admitted) {
+    if (!waited) {
+      waited = true;
+      admission.stalled = true;
+      ++stalls_;
+      wait_start = std::chrono::steady_clock::now();
+      // seq_cst publish: a try_acquire that starts after this point
+      // must observe the waiter and refuse (FIFO non-overtake). The
+      // counter stays raised through every wake-and-recheck until this
+      // ticket is admitted.
+      waiters_.fetch_add(1, std::memory_order_seq_cst);
+      // Dekker handoff with release()/revoke(): they scatter tokens,
+      // fence, then read waiters_. We registered, fence, then re-check
+      // the tokens. In every interleaving at least one side observes
+      // the other — either the releaser sees this waiter and wakes it,
+      // or this re-check sees the released tokens — so a final release
+      // racing our registration can never strand us parked.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      admitted = serving_ == ticket && gather(nodes);
+      if (admitted) break;
+    }
+    turn_cv_.wait(lock);
+    admitted = serving_ == ticket && gather(nodes);
+  }
+  if (waited) {
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
     admission.wait_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      started)
+                                      wait_start)
             .count();
-    ++stalls_;
     stall_seconds_ += admission.wait_seconds;
   }
-  in_use_ += nodes;
-  peak_ = std::max(peak_, in_use_);
+  note_acquired(nodes);
   ++serving_;
   // The next ticket holder may already fit alongside us.
   turn_cv_.notify_all();
@@ -51,63 +161,74 @@ CapacityPool::Admission CapacityPool::acquire(int nodes) {
 }
 
 bool CapacityPool::try_acquire(int nodes) {
-  if (nodes <= 0) {
-    throw std::invalid_argument("CapacityPool: non-positive node count");
-  }
-  std::lock_guard<std::mutex> lock(mutex_);
+  validate_request(nodes, capacity_);
   if (capacity_ == 0) {  // unlimited pool: only track occupancy
-    in_use_ += nodes;
-    peak_ = std::max(peak_, in_use_);
+    note_acquired(nodes);
     return true;
   }
-  if (nodes > capacity_) {
-    throw std::invalid_argument(
-        "CapacityPool: probe of " + std::to_string(nodes) +
-        " nodes exceeds the pool of " + std::to_string(capacity_) +
-        " (the scheduler should have rejected this workload)");
-  }
   // A blocked acquire() holds the FIFO head; overtaking it would starve
-  // large probes exactly the way the ticket queue exists to prevent.
-  if (serving_ != next_ticket_ || in_use_ + nodes > capacity_) {
-    return false;
+  // large probes exactly the way the ticket queue exists to prevent. So
+  // any queued ticket makes the answer no, before we touch a token.
+  if (waiters_.load(std::memory_order_seq_cst) > 0) return false;
+  if (gather(nodes)) {
+    note_acquired(nodes);
+    return true;
   }
-  in_use_ += nodes;
-  peak_ = std::max(peak_, in_use_);
-  return true;
+  // Shortfall. Either the pool is genuinely full, or concurrent
+  // gatherers fragmented each other (each transiently holding partial
+  // token sets that sum to enough for one of them). One serialized
+  // retry under the pool mutex settles it: every failed gatherer
+  // returns its partials *before* queueing here, so the last contender
+  // through this section sees the true free-token count — a serialized
+  // failure therefore means a real holder exists, and liveness rides on
+  // that holder's eventual release.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (waiters_.load(std::memory_order_seq_cst) > 0) return false;
+  if (gather(nodes)) {
+    note_acquired(nodes);
+    return true;
+  }
+  // Our earlier transient partial hold may have made the head ticket's
+  // gather fail just before the tokens came back; re-wake it so it
+  // re-checks the settled state (we hold the mutex, so this orders
+  // after any waiter about to park on the condition variable).
+  if (waiters_.load(std::memory_order_seq_cst) > 0) turn_cv_.notify_all();
+  return false;
 }
 
 void CapacityPool::release(int nodes) noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
-  in_use_ = std::max(0, in_use_ - nodes);
-  turn_cv_.notify_all();
+  const int reclaimed = clamp_release(nodes);
+  if (capacity_ > 0 && reclaimed > 0) scatter(reclaimed);
+  // Fence pairs with the one in acquire()'s registration path: after
+  // the tokens are back, either we see the registering waiter here and
+  // wake it, or its post-registration re-check sees our tokens.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (waiters_.load(std::memory_order_seq_cst) > 0) wake_waiters();
 }
 
 void CapacityPool::revoke(int nodes) noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
   // Same reserve-safe arithmetic as release(): occupancy can never go
-  // negative, and notify_all() re-checks queued tickets head-first (the
-  // `serving_ == ticket` predicate keeps the FIFO strict even though
-  // every waiter wakes). The revocation ledger only counts nodes that
-  // were actually in use: a revoke that races a release (or a stray
-  // double-revoke) reclaims nothing and must not inflate the stats —
-  // revoked_nodes_ would otherwise drift past what the pool ever held.
-  const int reclaimed = std::min(std::max(nodes, 0), in_use_);
-  in_use_ -= reclaimed;
+  // negative, and queued tickets are re-checked head-first. The
+  // revocation ledger only counts nodes that were actually in use: a
+  // revoke that races a release (or a stray double-revoke) reclaims
+  // nothing and must not inflate the stats — revoked_nodes_ would
+  // otherwise drift past what the pool ever held.
+  const int reclaimed = clamp_release(nodes);
   if (reclaimed > 0) {
-    ++revocations_;
-    revoked_nodes_ += reclaimed;
+    if (capacity_ > 0) scatter(reclaimed);
+    revocations_.fetch_add(1, std::memory_order_relaxed);
+    revoked_nodes_.fetch_add(reclaimed, std::memory_order_relaxed);
   }
-  turn_cv_.notify_all();
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (waiters_.load(std::memory_order_seq_cst) > 0) wake_waiters();
 }
 
-int CapacityPool::in_use() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return in_use_;
+int CapacityPool::in_use() const noexcept {
+  return in_use_.load(std::memory_order_relaxed);
 }
 
-int CapacityPool::peak_in_use() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return peak_;
+int CapacityPool::peak_in_use() const noexcept {
+  return peak_.load(std::memory_order_relaxed);
 }
 
 std::int64_t CapacityPool::stalls() const {
@@ -120,14 +241,12 @@ double CapacityPool::stall_seconds() const {
   return stall_seconds_;
 }
 
-std::int64_t CapacityPool::revocations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return revocations_;
+std::int64_t CapacityPool::revocations() const noexcept {
+  return revocations_.load(std::memory_order_relaxed);
 }
 
-int CapacityPool::revoked_nodes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return revoked_nodes_;
+int CapacityPool::revoked_nodes() const noexcept {
+  return revoked_nodes_.load(std::memory_order_relaxed);
 }
 
 }  // namespace mlcd::service

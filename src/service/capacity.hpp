@@ -8,6 +8,22 @@
 // of head-of-line blocking — the deterministic, explainable choice for
 // a scheduler whose decisions tenants will audit.
 //
+// Admission is split into two paths:
+//
+//   * try_acquire — the probe-granularity scheduler's hot path — is
+//     lock-free while no blocked ticket waits: the pool's tokens live in
+//     cache-line-aligned atomic stripes, and an acquire gathers from its
+//     home stripe first, then steals from the others (bounded: one full
+//     scan), falling back to one mutex-serialized consolidation retry so
+//     two concurrent gatherers can never fragment each other into a
+//     spurious refusal (see capacity.cpp for the liveness argument).
+//   * acquire — the blocking job-per-lane path — keeps the ticketed
+//     FIFO queue under the pool mutex, exactly as before.
+//
+// The two disciplines compose through one rule: try_acquire refuses
+// outright whenever any blocked ticket is queued (an atomic waiter
+// count), so the lock-free path can never overtake the FIFO head.
+//
 // Capacity waits are *real wall-clock* scheduler time. They are never
 // charged to a job's simulated profiling clock or billing meter — a
 // queued cluster bills nothing until it launches — which is exactly what
@@ -15,15 +31,24 @@
 // solo run (docs/service.md).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 
 namespace mlcd::service {
 
-/// Counting semaphore over simulated nodes with FIFO admission.
+/// Counting semaphore over simulated nodes with FIFO admission and a
+/// striped lock-free fast path.
 class CapacityPool {
  public:
+  /// Token stripes the capacity is spread over (power of two). Small
+  /// enough that a full gather scan stays cheap, large enough that
+  /// concurrent releases/acquires of different lanes rarely collide on
+  /// one cache line.
+  static constexpr int kTokenStripes = 8;
+
   /// `capacity_nodes` <= 0 means unlimited (every acquire succeeds
   /// immediately); otherwise acquire(n) requires n <= capacity_nodes —
   /// the scheduler validates workloads against this at admission so a
@@ -41,14 +66,19 @@ class CapacityPool {
 
   /// Non-blocking acquire: takes `nodes` when they fit *right now* and
   /// no blocked acquire() ticket is waiting (never overtakes the FIFO),
-  /// returns false otherwise without taking anything. The probe-
-  /// granularity scheduler uses this to decide run-vs-park without ever
-  /// blocking a lane; it keeps its own FIFO of parked sessions, so the
-  /// two queueing disciplines are never mixed within one batch. Throws
-  /// like acquire() on non-positive or over-pool node counts.
+  /// returns false otherwise without taking anything. Lock-free on the
+  /// uncontended path (atomic stripe gather with stealing); takes the
+  /// pool mutex only for the one serialized consolidation retry after a
+  /// contended shortfall. The probe-granularity scheduler uses this to
+  /// decide run-vs-park without ever blocking a lane; it keeps its own
+  /// FIFO of parked sessions, so the two queueing disciplines are never
+  /// mixed within one batch. Throws like acquire() on non-positive or
+  /// over-pool node counts.
   bool try_acquire(int nodes);
 
-  /// Returns capacity acquired earlier. Never blocks.
+  /// Returns capacity acquired earlier. Never blocks; takes the pool
+  /// mutex only when a blocked ticket is actually waiting (free in
+  /// probe-granularity mode, which never blocks in acquire()).
   ///
   /// Wake-after-release ordering (audited, regression-tested in
   /// tests/service_test.cpp): releasing wakes *all* queued tickets, but
@@ -73,28 +103,65 @@ class CapacityPool {
 
   int capacity_nodes() const noexcept { return capacity_; }
   /// Nodes occupied by in-flight probes right now.
-  int in_use() const;
+  int in_use() const noexcept;
   /// High-water mark of concurrent occupied nodes.
-  int peak_in_use() const;
+  int peak_in_use() const noexcept;
   /// Probes that had to queue / their cumulative wall wait.
   std::int64_t stalls() const;
   double stall_seconds() const;
   /// Spot revocations absorbed / total nodes reclaimed through them.
-  std::int64_t revocations() const;
-  int revoked_nodes() const;
+  std::int64_t revocations() const noexcept;
+  int revoked_nodes() const noexcept;
 
  private:
+  /// One token stripe, alone on its cache line so lanes returning and
+  /// gathering tokens on different stripes never false-share.
+  struct alignas(64) TokenStripe {
+    std::atomic<int> tokens{0};
+  };
+
+  /// Takes up to `nodes` tokens across the stripes (home stripe first,
+  /// then stealing from the rest in one bounded scan). On shortfall
+  /// every taken token is returned and false comes back — all-or-
+  /// nothing from the caller's point of view.
+  bool gather(int nodes) noexcept;
+
+  /// Returns `nodes` tokens to the stripes (spread from the caller's
+  /// home stripe).
+  void scatter(int nodes) noexcept;
+
+  std::size_t home_stripe() const noexcept;
+
+  /// Bumps occupancy and the peak high-water mark (CAS max).
+  void note_acquired(int nodes) noexcept;
+
+  /// Atomically clamps occupancy at zero; returns the nodes actually
+  /// reclaimed (the release()/revoke() reserve-safe arithmetic).
+  int clamp_release(int nodes) noexcept;
+
+  /// Wakes blocked tickets, taking the mutex so a waiter between its
+  /// predicate check and its wait cannot miss the notification. Only
+  /// called when waiters_ was observed nonzero.
+  void wake_waiters() noexcept;
+
   const int capacity_;
+  std::array<TokenStripe, kTokenStripes> stripes_;
+
+  std::atomic<int> in_use_{0};
+  std::atomic<int> peak_{0};
+  /// Blocked acquire() tickets: incremented before a ticket first
+  /// waits, decremented only after it is admitted — so try_acquire
+  /// keeps refusing through the whole wake-and-recheck window.
+  std::atomic<int> waiters_{0};
+  std::atomic<std::int64_t> revocations_{0};
+  std::atomic<int> revoked_nodes_{0};
+
   mutable std::mutex mutex_;
   std::condition_variable turn_cv_;
-  int in_use_ = 0;
-  int peak_ = 0;
   std::uint64_t next_ticket_ = 0;   // next ticket to hand out
   std::uint64_t serving_ = 0;       // ticket currently at the head
   std::int64_t stalls_ = 0;
   double stall_seconds_ = 0.0;
-  std::int64_t revocations_ = 0;
-  int revoked_nodes_ = 0;
 };
 
 }  // namespace mlcd::service

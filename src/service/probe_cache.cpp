@@ -1,33 +1,86 @@
 #include "service/probe_cache.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace mlcd::service {
+
+namespace {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+ProbeCache::ProbeCache(int stripes) {
+  const int count = stripes == 0 ? kDefaultStripes : stripes;
+  if (!is_power_of_two(count)) {
+    throw std::invalid_argument(
+        "ProbeCache: stripe count must be a power of two (got " +
+        std::to_string(stripes) + ")");
+  }
+  stripes_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  mask_ = static_cast<std::size_t>(count) - 1;
+}
+
+ProbeCache::Stripe& ProbeCache::stripe_for(const profiler::ProbeKey& key) {
+  // The low bits of ProbeKeyHash pick the stripe; the map inside the
+  // stripe re-hashes with the same function, which is fine — a stripe's
+  // keys share only their low bits, not their full hash.
+  return *stripes_[profiler::ProbeKeyHash{}(key) & mask_];
+}
 
 std::optional<journal::ProbeRecord> ProbeCache::lookup(
     const profiler::ProbeKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.lookups;
-  const auto it = records_.find(key);
-  if (it == records_.end()) return std::nullopt;
-  ++stats_.hits;
+  Stripe& stripe = stripe_for(key);
+  stripe.lookups.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto it = stripe.records.find(key);
+  if (it == stripe.records.end()) return std::nullopt;
+  stripe.hits.fetch_add(1, std::memory_order_relaxed);
   return it->second;
 }
 
 bool ProbeCache::insert(const profiler::ProbeKey& key,
                         const journal::ProbeRecord& record) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const bool inserted = records_.emplace(key, record).second;
+  Stripe& stripe = stripe_for(key);
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    inserted = stripe.records.emplace(key, record).second;
+  }
   if (inserted) {
-    ++stats_.inserts;
+    stripe.inserts.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++stats_.rejected;
+    stripe.rejected.fetch_add(1, std::memory_order_relaxed);
   }
   return inserted;
 }
 
 ProbeCache::Stats ProbeCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Stats out = stats_;
-  out.size = records_.size();
+  Stats out;
+  out.stripes = stripe_count();
+  std::size_t largest = 0;
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    out.lookups += stripe->lookups.load(std::memory_order_relaxed);
+    out.hits += stripe->hits.load(std::memory_order_relaxed);
+    out.inserts += stripe->inserts.load(std::memory_order_relaxed);
+    out.rejected += stripe->rejected.load(std::memory_order_relaxed);
+    std::size_t size = 0;
+    {
+      std::lock_guard<std::mutex> lock(stripe->mutex);
+      size = stripe->records.size();
+    }
+    out.size += size;
+    largest = size > largest ? size : largest;
+  }
+  if (out.size > 0) {
+    const double mean = static_cast<double>(out.size) /
+                        static_cast<double>(stripes_.size());
+    out.max_stripe_imbalance = static_cast<double>(largest) / mean;
+  }
   return out;
 }
 

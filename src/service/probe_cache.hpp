@@ -9,32 +9,61 @@
 // profiler/probe_gate.hpp for why a key match implies a bit-identical
 // outcome, which is what keeps batch traces equal to solo traces.
 //
+// The map is sharded into N power-of-two stripes keyed by the ProbeKey
+// hash: concurrent lanes looking up or publishing *different* keys take
+// different stripe mutexes, so the cache stops being the fleet-wide
+// serialization point it was as a single-mutex map. Sharding is
+// invisible to the replay semantics — which stripe a key lands on never
+// changes what record a lookup returns — and the ProbeGate contract is
+// untouched.
+//
 // Records are stored as journal::ProbeRecord measurement images (the
 // same representation crash-resume replays), first writer wins, and the
-// map only ever grows — entries are immutable once published, so a hit
-// can be copied out under a short lock with no coherence protocol.
+// stripes only ever grow — entries are immutable once published, so a
+// hit can be copied out under a short per-stripe lock with no coherence
+// protocol. Counters are relaxed atomics (per stripe) aggregated at
+// stats() time: hot-path bumps never contend, and a stats() racing live
+// lookups reads a recent — not torn — snapshot.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "journal/journal.hpp"
 #include "profiler/probe_gate.hpp"
 
 namespace mlcd::service {
 
-/// Thread-safe, grow-only map from probe identity to measured outcome.
+/// Thread-safe, grow-only map from probe identity to measured outcome,
+/// sharded over independently locked stripes.
 class ProbeCache {
  public:
+  /// Default stripe count when the caller passes 0 (auto).
+  static constexpr int kDefaultStripes = 16;
+
   struct Stats {
     std::int64_t lookups = 0;
     std::int64_t hits = 0;
     std::int64_t inserts = 0;   ///< records accepted (first writer)
     std::int64_t rejected = 0;  ///< publish lost the first-writer race
     std::size_t size = 0;
+    int stripes = 0;            ///< stripe count the cache ran with
+    /// Largest stripe's record count divided by the mean stripe record
+    /// count (1.0 = perfectly balanced; 0 while the cache is empty).
+    /// A hash that funnels keys into few stripes shows up here long
+    /// before it shows up as lock contention.
+    double max_stripe_imbalance = 0.0;
   };
+
+  /// `stripes` must be 0 (= kDefaultStripes) or a power of two; throws
+  /// std::invalid_argument otherwise.
+  explicit ProbeCache(int stripes = 0);
 
   /// The record published under `key`, if any.
   std::optional<journal::ProbeRecord> lookup(const profiler::ProbeKey& key);
@@ -45,14 +74,35 @@ class ProbeCache {
   bool insert(const profiler::ProbeKey& key,
               const journal::ProbeRecord& record);
 
+  int stripe_count() const noexcept {
+    return static_cast<int>(stripes_.size());
+  }
+
+  /// Aggregated across stripes. Safe to call while lanes are live: the
+  /// counters are relaxed atomics, so the snapshot is recent and
+  /// untorn, just not a cross-stripe linearization point.
   Stats stats() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<profiler::ProbeKey, journal::ProbeRecord,
-                     profiler::ProbeKeyHash>
-      records_;
-  Stats stats_;
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<profiler::ProbeKey, journal::ProbeRecord,
+                       profiler::ProbeKeyHash>
+        records;
+    // Relaxed: each is an independent event counter; stats() only needs
+    // a recent sum, never cross-counter ordering.
+    std::atomic<std::int64_t> lookups{0};
+    std::atomic<std::int64_t> hits{0};
+    std::atomic<std::int64_t> inserts{0};
+    std::atomic<std::int64_t> rejected{0};
+  };
+
+  Stripe& stripe_for(const profiler::ProbeKey& key);
+
+  // unique_ptr elements: Stripe is neither movable nor copyable (mutex,
+  // atomics), and the vector is sized once in the constructor.
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::size_t mask_ = 0;  ///< stripes_.size() - 1 (power-of-two index mask)
 };
 
 }  // namespace mlcd::service

@@ -5,9 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <filesystem>
-#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,6 +21,7 @@
 #include "service/batch_journal.hpp"
 #include "service/capacity.hpp"
 #include "service/chaos.hpp"
+#include "service/dispatch.hpp"
 #include "service/probe_cache.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -32,8 +31,6 @@ namespace mlcd::service {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -381,7 +378,7 @@ int run_job_mode(const system::Mlcd& mlcd, const SchedulerOptions& options,
         peak_tenant = std::max(peak_tenant, running);
         return i;
       }
-      if (!any_unclaimed) return kNone;
+      if (!any_unclaimed) return kNoJob;
       claim_cv.wait(lock);
     }
   };
@@ -399,7 +396,7 @@ int run_job_mode(const system::Mlcd& mlcd, const SchedulerOptions& options,
       [&](std::size_t begin, std::size_t end) {
         // One claim loop per worker lane (chunks are [w, w+1)).
         for (std::size_t lane = begin; lane < end; ++lane) {
-          for (std::size_t i = claim_next(); i != kNone; i = claim_next()) {
+          for (std::size_t i = claim_next(); i != kNoJob; i = claim_next()) {
             const JobSpec& spec = workload.jobs[i];
             JobOutcome& outcome = report.jobs[i];
             outcome.stats.queue_wait_seconds = seconds_since(batch_start);
@@ -532,14 +529,21 @@ class StagedGate final : public profiler::ProbeGate {
 /// One workload run under the probe-granularity scheduler: M sessions
 /// multiplexed over N lanes, parked sessions queued FIFO.
 ///
+/// The probe-granularity machinery is split three ways (dispatch.hpp)
+/// so that no per-probe step ever takes a batch-wide lock: JobClaims
+/// (fresh jobs + tenant quotas, touched once per job lifetime),
+/// ParkQueue (the capacity FIFO with a lock-free admission fast path),
+/// and a Dispatcher (per-lane run queues with work stealing, or the
+/// legacy central queue behind --scheduler central).
+///
 /// Liveness invariant: a session parks only while some other session
 /// holds pool capacity, capacity is only held across one
 /// ProbeDriver::step executing on some lane, and every step ends in
 /// publish()/abandon() — which releases the nodes and sweeps the parked
 /// queue. So a parked session is always eventually restaged, and a
-/// restaged (ready) session is always eventually picked up by a lane:
-/// no deadlock, with the same strict-FIFO fairness the blocking pool
-/// gives job-per-lane mode.
+/// restaged (enqueued) session is always eventually picked up by a
+/// lane: no deadlock, with the same strict-FIFO fairness the blocking
+/// pool gives job-per-lane mode.
 class ProbeBatch {
  public:
   /// `manifest` / `plans` are both null for a non-durable batch; for a
@@ -560,42 +564,46 @@ class ProbeBatch {
         manifest_(manifest),
         plans_(plans),
         batch_start_(batch_start),
-        states_(workload.jobs.size()),
-        claimed_(workload.jobs.size(), false) {
+        lane_count_(std::min<std::size_t>(
+            static_cast<std::size_t>(options.threads),
+            workload.jobs.size())),
+        claims_(tenants_of(workload), options.tenant_max_jobs),
+        states_(workload.jobs.size()) {
     if (workload.chaos.enabled()) chaos_.emplace(workload.chaos);
     for (std::size_t i = 0; i < states_.size(); ++i) {
       states_[i].gate.bind(this, cache_, &report_->jobs[i].stats);
       states_[i].chaos_key = ChaosInjector::job_key(workload.jobs[i].name);
     }
+    if (options.sharded_dispatch) {
+      dispatcher_ = std::make_unique<ShardedDispatcher>(lane_count_, &claims_);
+    } else {
+      dispatcher_ = std::make_unique<CentralDispatcher>(&claims_);
+    }
   }
 
   void run() {
-    const std::size_t n = workload_->jobs.size();
-    const int lanes =
-        static_cast<int>(std::min<std::size_t>(options_->threads, n));
-    util::ThreadPool pool(lanes);
+    util::ThreadPool pool(static_cast<int>(lane_count_));
     pool.parallel_for(
-        static_cast<std::size_t>(lanes),
-        [this](std::size_t begin, std::size_t end) {
+        lane_count_, [this](std::size_t begin, std::size_t end) {
           // One drive loop per lane (chunks are [w, w+1)).
           for (std::size_t lane = begin; lane < end; ++lane) {
-            for (std::size_t i = next_job(); i != kNone; i = next_job()) {
-              drive(i);
+            for (std::size_t i = dispatcher_->next_job(lane); i != kNoJob;
+                 i = dispatcher_->next_job(lane)) {
+              drive(i, lane);
             }
           }
         });
   }
 
-  int peak_tenant() const noexcept { return peak_tenant_; }
+  int peak_tenant() const { return claims_.peak_tenant(); }
+  std::int64_t steals() const noexcept { return dispatcher_->steals(); }
 
-  /// Returns a finished probe's nodes to the pool and restages as many
-  /// parked sessions (FIFO) as now fit, handing each its capacity grant
-  /// before it ever reaches a lane. Called from StagedGate::publish /
-  /// abandon on whichever lane ran the probe.
+  /// Returns a finished probe's nodes to the pool and restages every
+  /// parked session (FIFO) that now fits, handing each its capacity
+  /// grant before it ever reaches a lane. Called from
+  /// StagedGate::publish / abandon on whichever lane ran the probe.
   void release_and_sweep(int nodes) noexcept {
-    std::lock_guard<std::mutex> lock(mutex_);
-    capacity_->release(nodes);
-    sweep_parked_locked();
+    restage(park_.release_and_sweep(*capacity_, nodes));
   }
 
   /// Like release_and_sweep, but the nodes come back through a spot
@@ -604,9 +612,7 @@ class ProbeBatch {
   /// session itself re-admits behind every earlier-parked one, so
   /// strict FIFO holds under revocation too.
   void revoke_and_sweep(int nodes) noexcept {
-    std::lock_guard<std::mutex> lock(mutex_);
-    capacity_->revoke(nodes);
-    sweep_parked_locked();
+    restage(park_.revoke_and_sweep(*capacity_, nodes));
   }
 
  private:
@@ -633,67 +639,42 @@ class ProbeBatch {
     bool pending_revocation = false;
   };
 
-  /// Restages as many parked sessions (FIFO) as now fit, handing each
-  /// its capacity grant before it ever reaches a lane. Caller holds
-  /// mutex_.
-  void sweep_parked_locked() noexcept {
-    bool resumed = false;
-    while (!parked_.empty()) {
-      const Parked& head = parked_.front();
-      if (!capacity_->try_acquire(head.nodes)) break;
-      states_[head.job].gate.stage_admitted();
-      report_->jobs[head.job].stats.capacity_stall_seconds +=
-          seconds_since(head.since);
-      ready_.push_back(head.job);
-      parked_.pop_front();
-      resumed = true;
-    }
-    if (resumed) lane_cv_.notify_all();
+  static std::vector<std::string> tenants_of(const Workload& workload) {
+    std::vector<std::string> tenants;
+    tenants.reserve(workload.jobs.size());
+    for (const JobSpec& spec : workload.jobs) tenants.push_back(spec.tenant);
+    return tenants;
   }
 
-  struct Parked {
-    std::size_t job;
-    int nodes;                 ///< capacity the pending probe needs
-    Clock::time_point since;   ///< when the session left its lane
-  };
-
-  /// Next session for a free lane: resumed (ready) sessions first —
-  /// they hold pre-acquired capacity, so draining them promptly keeps
-  /// the pool honest — then the lowest-index unclaimed job whose tenant
-  /// is under quota. Blocks when everything is parked, running, or
-  /// quota-blocked; returns kNone once all jobs completed.
-  std::size_t next_job() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    for (;;) {
-      if (completed_ == workload_->jobs.size()) return kNone;
-      if (!ready_.empty()) {
-        const std::size_t i = ready_.front();
-        ready_.pop_front();
-        return i;
-      }
-      for (std::size_t i = 0; i < claimed_.size(); ++i) {
-        if (claimed_[i]) continue;
-        int& running = tenant_running_[workload_->jobs[i].tenant];
-        if (options_->tenant_max_jobs > 0 &&
-            running >= options_->tenant_max_jobs) {
-          continue;  // quota-blocked; later jobs may still be eligible
-        }
-        claimed_[i] = true;
-        ++running;
-        peak_tenant_ = std::max(peak_tenant_, running);
-        return i;
-      }
-      lane_cv_.wait(lock);
+  /// Routes swept sessions back into circulation. Each arrives with its
+  /// capacity grant already acquired and *exclusively owned by the
+  /// sweeping thread* (the ParkQueue popped it under its lock): the
+  /// gate is staged and the stall wait booked before the enqueue makes
+  /// the session visible to any lane, so no lock beyond the run-queue
+  /// handoff is needed.
+  void restage(const std::vector<ParkQueue::Resumed>& resumed) noexcept {
+    for (const ParkQueue::Resumed& r : resumed) {
+      states_[r.job].gate.stage_admitted();
+      report_->jobs[r.job].stats.capacity_stall_seconds += r.waited_seconds;
+      dispatcher_->enqueue(r.job, r.owner_lane);
     }
   }
 
-  /// Drives job `i` on the calling lane until it finishes, fails, or
-  /// parks for capacity. The tenant-quota slot is held across parks —
-  /// a parked job is still "running" from the tenant's point of view —
+  /// Drives job `i` on lane `lane` until it finishes, fails, or parks
+  /// for capacity. The tenant-quota slot is held across parks — a
+  /// parked job is still "running" from the tenant's point of view —
   /// which is deadlock-free because parked sessions resume off probe
   /// completions, never off quota slots.
-  void drive(std::size_t i) {
+  ///
+  /// Lane migration: the lane binds itself as the session's exclusive
+  /// driver on entry and releases inside the park callback (under the
+  /// park lock, *before* the entry becomes sweepable) or before a
+  /// requeue — the last point where this lane still owns the session.
+  /// A finished/failed session is destroyed while bound; the next lane
+  /// to drive a crash-re-staged replacement binds the fresh session.
+  void drive(std::size_t i, std::size_t lane) {
     const Clock::time_point segment_start = Clock::now();
+    const std::uint32_t driver = static_cast<std::uint32_t>(lane);
     JobState& job = states_[i];
     const JobSpec& spec = workload_->jobs[i];
     JobOutcome& outcome = report_->jobs[i];
@@ -731,6 +712,7 @@ class ProbeBatch {
       job.prepared.emplace(std::move(prepared.job()));
     }
 
+    job.prepared->session().bind_driver(driver);
     try {
       for (;;) {
         // Re-fetched each iteration: a lane-crash re-staging replaces
@@ -768,7 +750,7 @@ class ProbeBatch {
             job.chaos_cursor = step + 1;
             const ChaosFault fault = chaos_->roll(job.chaos_key, step);
             if (fault != ChaosFault::kNone &&
-                !absorb_fault(i, fault, request->deployment.nodes,
+                !absorb_fault(i, lane, fault, request->deployment.nodes,
                               segment_start)) {
               return;  // the session left this lane (or failed)
             }
@@ -778,28 +760,25 @@ class ProbeBatch {
         // no cache — same as solo resume); a park-resumed session
         // already carries its staged grant.
         if (!session.replaying() && !job.gate.staged()) {
+          // Everything the lane must settle before a park makes the
+          // session visible to other lanes: stats (they would race the
+          // resuming lane otherwise) and the driver-token release. Runs
+          // under the park lock, before the entry becomes sweepable.
+          const auto on_park = [&]() {
+            ++outcome.stats.capacity_stalls;
+            ++outcome.stats.session_parks;
+            outcome.stats.lane_busy_seconds += seconds_since(segment_start);
+            session.release_driver(driver);
+          };
           if (job.pending_revocation) {
             // The capacity this probe reserved is spot-revoked as it
             // launches: reclaim any grant reserve-safely and park for
             // elastic re-admission through the same FIFO as every
             // capacity wait.
             job.pending_revocation = false;
-            const int nodes = request->deployment.nodes;
-            std::unique_lock<std::mutex> lock(mutex_);
-            const bool reclaimed =
-                parked_.empty() && capacity_->try_acquire(nodes);
-            parked_.push_back(Parked{i, nodes, Clock::now()});
-            ++outcome.stats.capacity_stalls;
-            ++outcome.stats.session_parks;
-            if (reclaimed) {
-              // Park *before* revoking so the sweep can restage this
-              // very session when nothing else holds the pool.
-              capacity_->revoke(nodes);
-              sweep_parked_locked();
-            }
-            lock.unlock();
-            outcome.stats.lane_busy_seconds +=
-                seconds_since(segment_start);
+            restage(park_.park_revoked(*capacity_, i,
+                                       request->deployment.nodes, lane,
+                                       on_park));
             return;  // lane freed; the sweep will restage this session
           }
           const profiler::ProbeKey key = session.profiler().next_probe_key(
@@ -808,21 +787,12 @@ class ProbeBatch {
               cache_ != nullptr ? cache_->lookup(key) : std::nullopt;
           if (hit.has_value()) {
             job.gate.stage_hit(std::move(*hit));
-          } else {
-            const int nodes = request->deployment.nodes;
-            std::unique_lock<std::mutex> lock(mutex_);
-            // Never overtake an earlier-parked session, even when this
-            // probe would fit: strict FIFO, like the blocking pool.
-            if (!parked_.empty() || !capacity_->try_acquire(nodes)) {
-              parked_.push_back(Parked{i, nodes, Clock::now()});
-              ++outcome.stats.capacity_stalls;
-              ++outcome.stats.session_parks;
-              lock.unlock();
-              outcome.stats.lane_busy_seconds +=
-                  seconds_since(segment_start);
-              return;  // lane freed; the sweep will restage this session
-            }
+          } else if (park_.admit_or_park(*capacity_, i,
+                                         request->deployment.nodes, lane,
+                                         on_park)) {
             job.gate.stage_admitted();
+          } else {
+            return;  // parked; the sweep will restage this session
           }
         }
         if (job.pending_loss && !session.replaying()) {
@@ -904,13 +874,12 @@ class ProbeBatch {
     }
   }
 
-  /// Hands a live session back to the lane pool (chaos crash / stall
-  /// paths): it re-enters the ready queue and whichever lane frees up
-  /// first drives it next.
-  void requeue(std::size_t i) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ready_.push_back(i);
-    lane_cv_.notify_all();
+  /// Hands a live session back into circulation (chaos crash / stall
+  /// paths): it re-enters `lane`'s run queue, and that lane — or a
+  /// stealing one — drives it next. The caller must have released the
+  /// driver token (or replaced the session) first.
+  void requeue(std::size_t i, std::size_t lane) {
+    dispatcher_->enqueue(i, lane);
   }
 
   /// Returns a staged-but-unused capacity grant to the pool (released
@@ -931,20 +900,23 @@ class ProbeBatch {
   /// loss arm a pending flag and continue), false when the session left
   /// this lane (crash re-staging, stall) or failed to re-stage — lane
   /// accounting is already settled in that case.
-  bool absorb_fault(std::size_t i, ChaosFault fault, int nodes,
-                    Clock::time_point segment_start) {
+  bool absorb_fault(std::size_t i, std::size_t lane, ChaosFault fault,
+                    int nodes, Clock::time_point segment_start) {
     JobState& job = states_[i];
     JobOutcome& outcome = report_->jobs[i];
     switch (fault) {
       case ChaosFault::kLaneCrash:
         ++outcome.stats.lane_crashes;
         drop_staged(i, nodes, /*revoked=*/false);
+        // The crashed session dies bound to this lane; the fresh
+        // re-staged one is unbound until whichever lane pops the
+        // requeue binds it.
         if (!restage_crashed(i)) {
           finish_job(i, segment_start);  // typed error already recorded
           return false;
         }
         outcome.stats.lane_busy_seconds += seconds_since(segment_start);
-        requeue(i);
+        requeue(i, lane);
         return false;
       case ChaosFault::kSpotRevocation:
         ++outcome.stats.grant_revocations;
@@ -962,7 +934,11 @@ class ProbeBatch {
       case ChaosFault::kSchedulerStall:
         ++outcome.stats.scheduler_stalls;
         outcome.stats.lane_busy_seconds += seconds_since(segment_start);
-        requeue(i);
+        // Stats settled and driver released before the enqueue makes
+        // the session visible to another lane.
+        job.prepared->session().release_driver(
+            static_cast<std::uint32_t>(lane));
+        requeue(i, lane);
         return false;
       case ChaosFault::kNone:
         break;
@@ -1042,10 +1018,8 @@ class ProbeBatch {
           << "job '" << workload_->jobs[i].name << "' failed ["
           << outcome.error_code << "]: " << outcome.error_message;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    --tenant_running_[workload_->jobs[i].tenant];
-    ++completed_;
-    lane_cv_.notify_all();
+    claims_.finished(i);
+    dispatcher_->on_job_finished();
   }
 
   const system::Mlcd* mlcd_;
@@ -1058,20 +1032,18 @@ class ProbeBatch {
   ManifestHandle* manifest_;              ///< null: batch not durable
   const std::vector<DurablePlan>* plans_; ///< null: batch not durable
   const Clock::time_point batch_start_;
+  const std::size_t lane_count_;
 
   /// Engaged when the workload declares a chaotic fault environment.
   std::optional<ChaosInjector> chaos_;
 
-  std::vector<JobState> states_;
+  // The three lock domains that replaced the old batch-wide mutex —
+  // see dispatch.hpp for what each one guards and why.
+  JobClaims claims_;
+  ParkQueue park_;
+  std::unique_ptr<Dispatcher> dispatcher_;
 
-  std::mutex mutex_;
-  std::condition_variable lane_cv_;
-  std::vector<bool> claimed_;
-  std::deque<Parked> parked_;        ///< capacity-blocked sessions, FIFO
-  std::deque<std::size_t> ready_;    ///< restaged sessions awaiting a lane
-  std::map<std::string, int> tenant_running_;
-  std::size_t completed_ = 0;
-  int peak_tenant_ = 0;
+  std::vector<JobState> states_;
 };
 
 void StagedGate::publish(const profiler::ProbeKey& key,
@@ -1098,6 +1070,14 @@ Scheduler::Scheduler(const system::Mlcd& mlcd, SchedulerOptions options)
   }
   if (options_.tenant_max_jobs < 0) {
     throw std::invalid_argument("Scheduler: negative tenant_max_jobs");
+  }
+  if (options_.cache_stripes < 0 ||
+      (options_.cache_stripes > 0 &&
+       (options_.cache_stripes & (options_.cache_stripes - 1)) != 0)) {
+    throw std::invalid_argument(
+        "Scheduler: cache_stripes must be 0 (default) or a power of two "
+        "(got " +
+        std::to_string(options_.cache_stripes) + ")");
   }
 }
 
@@ -1133,12 +1113,13 @@ BatchReport Scheduler::run(const Workload& workload) const {
       !options_.probe_granularity) {
     throw std::invalid_argument(
         "Scheduler: service-level chaos injection and SLO enforcement "
-        "require the probe-granularity scheduler (--scheduler probe)");
+        "require a probe-granularity scheduler (--scheduler sharded or "
+        "central)");
   }
   if (!options_.journal_dir.empty() && !options_.probe_granularity) {
     throw std::invalid_argument(
-        "Scheduler: durable batches (--journal-dir) require the "
-        "probe-granularity scheduler (--scheduler probe)");
+        "Scheduler: durable batches (--journal-dir) require a "
+        "probe-granularity scheduler (--scheduler sharded or central)");
   }
   if (options_.resume && options_.journal_dir.empty()) {
     throw std::invalid_argument(
@@ -1169,6 +1150,10 @@ BatchReport Scheduler::run(const Workload& workload) const {
   report.capacity_nodes = options_.capacity_nodes;
   report.tenant_max_jobs = options_.tenant_max_jobs;
   report.probe_granularity = options_.probe_granularity;
+  report.scheduler_mode =
+      options_.probe_granularity
+          ? (options_.sharded_dispatch ? "sharded" : "central")
+          : "job";
   report.jobs.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     report.jobs[i].name = workload.jobs[i].name;
@@ -1179,7 +1164,7 @@ BatchReport Scheduler::run(const Workload& workload) const {
     }
   }
 
-  ProbeCache cache;
+  ProbeCache cache(options_.cache_stripes);
   ProbeCache* shared_cache = options_.share_probes ? &cache : nullptr;
   CapacityPool capacity(options_.capacity_nodes);
   // One candidate-scan pool for the whole fleet, sized to the widest
@@ -1201,6 +1186,7 @@ BatchReport Scheduler::run(const Workload& workload) const {
                      plans.empty() ? nullptr : &plans);
     batch.run();
     peak_tenant = batch.peak_tenant();
+    report.lane_steals = batch.steals();
   } else {
     peak_tenant = run_job_mode(*mlcd_, options_, workload, report,
                                shared_cache, capacity, scan_pool,

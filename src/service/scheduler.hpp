@@ -74,6 +74,20 @@ struct SchedulerOptions {
   /// scheduler-efficiency bench comparison. Both modes produce
   /// bit-identical per-job RunReports.
   bool probe_granularity = true;
+  /// Probe-granularity dispatch style. true (default, `--scheduler
+  /// sharded`): per-lane run queues with work stealing — no
+  /// probe-granularity step takes a batch-wide lock. false
+  /// (`--scheduler central`): the legacy single-queue dispatcher, kept
+  /// one release behind for differential testing. Dispatch is
+  /// trace-neutral: both produce bit-identical per-job RunReports.
+  /// Ignored in job-per-lane mode.
+  bool sharded_dispatch = true;
+  /// Probe-cache stripe count: 0 (default) picks
+  /// ProbeCache::kDefaultStripes; otherwise must be a power of two
+  /// (validated at construction). More stripes = less lock contention
+  /// between lanes publishing/looking up different probes; the report's
+  /// probe_cache.stripe_max_imbalance shows how evenly keys spread.
+  int cache_stripes = 0;
   /// Non-empty makes the batch durable: the scheduler writes a
   /// write-ahead manifest (`batch.mlcdb`) plus one auto-managed run
   /// journal per job under this directory (created if missing), so a

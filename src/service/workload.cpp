@@ -197,6 +197,23 @@ Workload parse_workload(std::string_view json) {
 
   Workload workload;
   if (doc.contains("chaos")) workload.chaos = parse_chaos(doc.at("chaos"));
+  if (doc.contains("scheduler")) {
+    const std::string mode = doc.at("scheduler").as_string();
+    if (mode != "sharded" && mode != "central" && mode != "job" &&
+        mode != "probe") {
+      fail("'scheduler' must be \"sharded\", \"central\", \"job\", or the "
+           "legacy alias \"probe\" (got \"" + mode + "\")");
+    }
+    workload.scheduler_mode = mode;
+  }
+  if (doc.contains("cache_stripes")) {
+    const int stripes = int_field(doc, "cache_stripes", 0, 0);
+    if (stripes > 0 && (stripes & (stripes - 1)) != 0) {
+      fail("'cache_stripes' must be 0 (default) or a power of two (got " +
+           std::to_string(stripes) + ")");
+    }
+    workload.cache_stripes = stripes;
+  }
   const auto& jobs = doc.at("jobs").as_array();
   if (jobs.empty()) fail("'jobs' must not be empty");
   std::set<std::string> names;

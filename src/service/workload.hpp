@@ -36,6 +36,14 @@
 //         "slo_max_probes": 30
 //       }
 //     ],
+//     "scheduler": "sharded",             // optional dispatch mode:
+//                                         //   "sharded" (default),
+//                                         //   "central", "job" — the
+//                                         //   --scheduler flag overrides
+//     "cache_stripes": 16,                // optional probe-cache stripe
+//                                         //   count (power of two; the
+//                                         //   --cache-stripes flag
+//                                         //   overrides)
 //     "chaos": {                          // optional fault injection
 //       "seed": 7,                        // (docs/chaos.md)
 //       "lane_crash_rate": 0.05,
@@ -90,6 +98,14 @@ struct Workload {
 
   std::vector<JobSpec> jobs;
   ChaosOptions chaos;
+  /// Dispatch mode the workload asks for: "sharded", "central", "job",
+  /// or the legacy alias "probe" (= sharded). Empty = unset (the CLI
+  /// default or --scheduler flag decides). Committed fleet files can
+  /// pin the mode; the flag still overrides per run.
+  std::string scheduler_mode;
+  /// Probe-cache stripe count the workload asks for: 0 = the built-in
+  /// default, otherwise a power of two. -1 = unset (CLI decides).
+  int cache_stripes = -1;
 };
 
 /// Parses a workload document. Throws std::invalid_argument on

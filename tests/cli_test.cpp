@@ -361,7 +361,7 @@ TEST(CliRun, BatchEndToEnd) {
   EXPECT_EQ(rc, 0);
   // The batch document is schema v5; the embedded (ladder-free)
   // RunReports keep their own v3 version key.
-  EXPECT_NE(out.find("\"schema_version\":5"), std::string::npos);
+  EXPECT_NE(out.find("\"schema_version\":6"), std::string::npos);
   EXPECT_NE(out.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(out.find("\"resumed_jobs\":0"), std::string::npos);
   EXPECT_NE(out.find("\"replayed_reports\":0"), std::string::npos);

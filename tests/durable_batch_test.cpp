@@ -984,7 +984,7 @@ TEST(KillHarness, KillPointSweepResumesBitIdentically) {
   const std::string golden_out = temp_path("kill_golden.json");
   ASSERT_EQ(run_batch(workload, golden_dir, golden_out, false), 0);
   const std::string golden = read_file(golden_out);
-  ASSERT_NE(golden.find("\"schema_version\":5"), std::string::npos);
+  ASSERT_NE(golden.find("\"schema_version\":6"), std::string::npos);
 
   // Seeded sweep of kill points across the batch's lifetime: before the
   // manifest exists, mid-first-job, mid-batch, and after completion.

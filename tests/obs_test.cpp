@@ -105,6 +105,7 @@ TEST(ObsSchema, HistoryRecordRoundTripsThroughJson) {
   rich.normalize_by = "calibration_fits_per_sec";
   rich.normalize_op = obs::NormalizeOp::kMultiply;
   rich.min_threads = 4;
+  rich.alert_floor = 1.5;
   rich.note = "per-thread scan";
   MetricSample info = make_sample("wall_s", 1.25);
   info.should_alert = false;
@@ -129,6 +130,8 @@ TEST(ObsSchema, HistoryRecordRoundTripsThroughJson) {
   EXPECT_EQ(r->normalize_by, "calibration_fits_per_sec");
   EXPECT_EQ(r->normalize_op, obs::NormalizeOp::kMultiply);
   EXPECT_EQ(r->min_threads, 4);
+  ASSERT_TRUE(r->has_floor());
+  EXPECT_DOUBLE_EQ(r->alert_floor, 1.5);
   EXPECT_EQ(r->note, "per-thread scan");
 
   const MetricSample* i = after.find("wall_s");
@@ -136,6 +139,7 @@ TEST(ObsSchema, HistoryRecordRoundTripsThroughJson) {
   EXPECT_FALSE(i->should_alert);
   EXPECT_TRUE(i->normalize_by.empty());
   EXPECT_EQ(i->min_threads, 0);
+  EXPECT_FALSE(i->has_floor());
 }
 
 TEST(ObsSchema, RejectsRecordsFromANewerSchema) {
@@ -372,6 +376,84 @@ TEST(Perfcheck, MinThreadsSkipsOnSmallMachines) {
   const MetricVerdict* v = find_verdict(verdicts, "speedup");
   ASSERT_NE(v, nullptr);
   EXPECT_EQ(v->status, VerdictStatus::kSkipped);
+}
+
+TEST(Perfcheck, AbsoluteFloorAlertsEvenOnFirstRun) {
+  MetricSample speedup = make_sample("speedup_t4", 0.8, false);
+  speedup.alert_floor = 1.0;
+  std::vector<HistoryRecord> records;
+  records.push_back(make_record("first", {speedup}));
+  const auto verdicts = obs::check_suite(records, test_options());
+  const MetricVerdict* v = find_verdict(verdicts, "speedup_t4");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->status, VerdictStatus::kAlert);
+  EXPECT_NE(v->detail.find("floor"), std::string::npos);
+}
+
+TEST(Perfcheck, ValueAtTheFloorPassesToTheRelativeGate) {
+  MetricSample speedup = make_sample("speedup_t4", 1.0, false);
+  speedup.alert_floor = 1.0;
+  std::vector<HistoryRecord> records;
+  records.push_back(make_record("first", {speedup}));
+  const auto verdicts = obs::check_suite(records, test_options());
+  const MetricVerdict* v = find_verdict(verdicts, "speedup_t4");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->status, VerdictStatus::kFirstRun);
+}
+
+TEST(Perfcheck, FloorActsAsCeilingForLowerIsBetter) {
+  // lane_idle_fraction style: lower_is_better with a 0.35 cap. A value
+  // above the cap alerts even when the rolling baseline would pass it.
+  MetricSample idle = make_sample("idle_fraction", 0.30, true);
+  idle.alert_floor = 0.35;
+  std::vector<HistoryRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    records.push_back(make_record("pr" + std::to_string(i), {idle}));
+  }
+  MetricSample blown = idle;
+  blown.values = {0.40};  // only +33% vs baseline, but over the cap
+  blown.alert_threshold = 1.0;
+  records.push_back(make_record("latest", {blown}));
+  const auto verdicts = obs::check_suite(records, test_options());
+  const MetricVerdict* v = find_verdict(verdicts, "idle_fraction");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->status, VerdictStatus::kAlert);
+  EXPECT_NE(v->detail.find("ceiling"), std::string::npos);
+}
+
+TEST(Perfcheck, FloorStillHonorsMinThreadsSkip) {
+  MetricSample speedup = make_sample("speedup_t4", 0.5, false);
+  speedup.alert_floor = 1.0;
+  speedup.min_threads = 4;
+  std::vector<HistoryRecord> records;
+  records.push_back(make_record("first", {speedup}));
+  PerfcheckOptions options = test_options();
+  options.hardware_threads = 1;
+  const auto verdicts = obs::check_suite(records, options);
+  const MetricVerdict* v = find_verdict(verdicts, "speedup_t4");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->status, VerdictStatus::kSkipped);
+}
+
+TEST(GateMetrics, ServiceSpeedupCarriesTheAbsoluteFloor) {
+  const MetricSample pr4 =
+      obs::gate_metric("pr4-service-gate", "jobs_per_sec_speedup_t4", 1.4);
+  ASSERT_TRUE(pr4.has_floor());
+  EXPECT_DOUBLE_EQ(pr4.alert_floor, 1.0);
+  const MetricSample pr10 =
+      obs::gate_metric("pr10-sharded-gate", "jobs_per_sec_speedup_t4", 1.4);
+  ASSERT_TRUE(pr10.has_floor());
+  EXPECT_DOUBLE_EQ(pr10.alert_floor, 1.0);
+  EXPECT_EQ(pr10.min_threads, 4);
+  const MetricSample idle =
+      obs::gate_metric("pr10-sharded-gate", "lane_idle_fraction", 0.1);
+  ASSERT_TRUE(idle.has_floor());
+  EXPECT_DOUBLE_EQ(idle.alert_floor, 0.35);
+  EXPECT_TRUE(idle.lower_is_better);
+  const MetricSample steals =
+      obs::gate_metric("pr10-sharded-gate", "steal_count", 12.0);
+  EXPECT_FALSE(steals.should_alert);
+  EXPECT_FALSE(steals.has_floor());
 }
 
 TEST(Perfcheck, InformationalMetricsNeverGate) {

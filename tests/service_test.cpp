@@ -1182,7 +1182,7 @@ TEST(BatchReport, V3JsonCarriesChaosSloAndKeepsV2Keys) {
   ASSERT_EQ(report.succeeded(), 2);
 
   const util::JsonValue doc = util::parse_json(report.to_json());
-  EXPECT_EQ(doc.at("schema_version").as_number(), 5);
+  EXPECT_EQ(doc.at("schema_version").as_number(), 6);
 
   // v5: resume counters are always emitted (zero for a fresh batch) and
   // the degraded-manifest keys are sparse (absent while healthy).
